@@ -1,0 +1,217 @@
+//! Whole-array compute-intensive-kernel baselines (§VI-B / Fig. 6).
+//!
+//! Same structure as the heat baselines (one H2D, `steps` kernels, one D2H)
+//! without ghost exchange. The variants differ by memory management and by
+//! math implementation:
+//!
+//! * `CUDA` / `CUDA pinned` — `math.h` double-precision sin/cos/sqrt;
+//! * `CUDA pinned fast math` — `-use_fast_math`;
+//! * `OpenACC` — PGI-generated math (faster than CUDA's `math.h`, as the
+//!   paper observes), untuned geometry.
+
+use crate::common::{MemMode, RunOpts, RunResult};
+use gpu_sim::{GpuSystem, KernelLaunch, MachineConfig};
+use kernels::busy::{self, MathImpl};
+use memslab::Slab;
+
+/// CUDA implementation with the given memory mode and math library.
+pub fn cuda_busy(
+    cfg: &MachineConfig,
+    n: i64,
+    steps: usize,
+    iters: u32,
+    math: MathImpl,
+    opts: RunOpts,
+) -> RunResult {
+    let math_tag = match math {
+        MathImpl::CudaLibm => "",
+        MathImpl::FastMath => "-fastmath",
+        MathImpl::PgiLibm => "-pgimath",
+    };
+    run(
+        cfg,
+        n,
+        steps,
+        iters,
+        math,
+        1.0,
+        opts,
+        format!("CUDA-{}{}", opts.mem.label(), math_tag),
+    )
+}
+
+/// OpenACC implementation: PGI math, untuned launch geometry.
+pub fn openacc_busy(
+    cfg: &MachineConfig,
+    n: i64,
+    steps: usize,
+    iters: u32,
+    opts: RunOpts,
+) -> RunResult {
+    run(
+        cfg,
+        n,
+        steps,
+        iters,
+        MathImpl::PgiLibm,
+        0.95,
+        opts,
+        format!("OpenACC-{}", opts.mem.label()),
+    )
+}
+
+/// The initial condition shared by every busy-kernel run.
+pub fn busy_init() -> impl Fn(tida::IntVect) -> f64 {
+    kernels::init::gaussian(64)
+}
+
+fn fill_dense(slab: &Slab, n: i64) {
+    let l = tida::Layout::new(tida::Box3::cube(n));
+    let f = busy_init();
+    slab.fill_with(|o| f(l.cell_at(o)));
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run(
+    cfg: &MachineConfig,
+    n: i64,
+    steps: usize,
+    iters: u32,
+    math: MathImpl,
+    efficiency: f64,
+    opts: RunOpts,
+    label: String,
+) -> RunResult {
+    let mut gpu = GpuSystem::with_backing(cfg.clone(), opts.backed);
+    gpu.set_tracing(opts.tracing);
+    let len = (n * n * n) as usize;
+    let cells = len as u64;
+
+    let result_slab: Slab = match opts.mem {
+        MemMode::Managed => {
+            let u = gpu.malloc_managed(len).expect("managed alloc");
+            fill_dense(&gpu.managed_slab(u), n);
+            let stream = gpu.create_stream();
+            for _ in 0..steps {
+                let slab = gpu.managed_slab(u);
+                gpu.launch_kernel(
+                    stream,
+                    KernelLaunch::new("busy", busy::cost(cells, iters, math))
+                        .efficiency(efficiency)
+                        .reads(u.into())
+                        .writes(u.into())
+                        .exec(move || {
+                            slab.with_mut(|d| {
+                                if let Some(d) = d {
+                                    busy::golden(d, iters);
+                                }
+                            });
+                        }),
+                );
+            }
+            gpu.managed_host_access(u);
+            gpu.managed_slab(u)
+        }
+        MemMode::Pageable | MemMode::Pinned => {
+            let kind = match opts.mem {
+                MemMode::Pageable => gpu_sim::HostMemKind::Pageable,
+                _ => gpu_sim::HostMemKind::Pinned,
+            };
+            let h = gpu.malloc_host(len, kind);
+            fill_dense(&gpu.host_slab(h), n);
+            let d = gpu.malloc_device(len).expect("device alloc");
+            let stream = gpu.create_stream();
+            gpu.memcpy_h2d_async(d, 0, h, 0, len, stream);
+            for _ in 0..steps {
+                let slab = gpu.device_slab(d);
+                gpu.launch_kernel(
+                    stream,
+                    KernelLaunch::new("busy", busy::cost(cells, iters, math))
+                        .efficiency(efficiency)
+                        .reads(d.into())
+                        .writes(d.into())
+                        .exec(move || {
+                            slab.with_mut(|data| {
+                                if let Some(data) = data {
+                                    busy::golden(data, iters);
+                                }
+                            });
+                        }),
+                );
+            }
+            gpu.memcpy_d2h_async(h, 0, d, 0, len, stream);
+            gpu.stream_synchronize(stream);
+            gpu.host_slab(h)
+        }
+    };
+
+    let elapsed = gpu.finish();
+    RunResult {
+        label,
+        elapsed,
+        bytes_h2d: gpu.stats_bytes_h2d(),
+        bytes_d2h: gpu.stats_bytes_d2h(),
+        kernels: gpu.stats_kernels(),
+        result: result_slab.snapshot(),
+        trace: if opts.tracing { Some(gpu.trace()) } else { None },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::k40m()
+    }
+
+    #[test]
+    fn cuda_busy_matches_golden() {
+        let n = 8;
+        let (steps, iters) = (2, 5);
+        let r = cuda_busy(
+            &cfg(),
+            n,
+            steps,
+            iters,
+            MathImpl::CudaLibm,
+            RunOpts::validated(MemMode::Pinned),
+        );
+        let l = tida::Layout::new(tida::Box3::cube(n));
+        let f = busy_init();
+        let mut golden: Vec<f64> = (0..l.len()).map(|o| f(l.cell_at(o))).collect();
+        for _ in 0..steps {
+            busy::golden(&mut golden, iters);
+        }
+        assert_eq!(r.result.unwrap(), golden);
+    }
+
+    #[test]
+    fn fig6_ordering_cuda_slowest_fastmath_fastest() {
+        let n = 32;
+        let (steps, iters) = (10, busy::DEFAULT_KERNEL_ITERATION);
+        let t_cuda = cuda_busy(&cfg(), n, steps, iters, MathImpl::CudaLibm, RunOpts::timing(MemMode::Pinned)).elapsed;
+        let t_fast = cuda_busy(&cfg(), n, steps, iters, MathImpl::FastMath, RunOpts::timing(MemMode::Pinned)).elapsed;
+        let t_acc = openacc_busy(&cfg(), n, steps, iters, RunOpts::timing(MemMode::Pageable)).elapsed;
+        assert!(t_cuda > t_acc, "CUDA libm slower than OpenACC/PGI math");
+        assert!(t_cuda > t_fast, "fast math beats libm");
+    }
+
+    #[test]
+    fn managed_variant_runs_and_matches() {
+        let n = 6;
+        let r = cuda_busy(
+            &cfg(),
+            n,
+            1,
+            3,
+            MathImpl::CudaLibm,
+            RunOpts::validated(MemMode::Managed),
+        );
+        let l = tida::Layout::new(tida::Box3::cube(n));
+        let f = busy_init();
+        let mut golden: Vec<f64> = (0..l.len()).map(|o| f(l.cell_at(o))).collect();
+        busy::golden(&mut golden, 3);
+        assert_eq!(r.result.unwrap(), golden);
+    }
+}

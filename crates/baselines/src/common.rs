@@ -1,0 +1,112 @@
+//! Shared configuration and result types for all execution-model variants.
+
+use gpu_sim::{SimTime, Trace};
+
+/// Host memory / transfer discipline of a whole-array baseline.
+///
+/// Matches the three memory managements the paper compares in §II-B/Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemMode {
+    /// Ordinary `malloc` host memory; transfers stage and synchronize.
+    Pageable,
+    /// `cudaMallocHost` pinned memory; full-bandwidth async DMA.
+    Pinned,
+    /// `cudaMallocManaged` unified memory; on-demand migration.
+    Managed,
+}
+
+impl MemMode {
+    pub fn label(self) -> &'static str {
+        match self {
+            MemMode::Pageable => "pageable",
+            MemMode::Pinned => "pinned",
+            MemMode::Managed => "managed",
+        }
+    }
+}
+
+/// Options common to every baseline run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOpts {
+    pub mem: MemMode,
+    /// Allocate real data (validated run) or virtual buffers (timing only).
+    pub backed: bool,
+    /// Record a span trace.
+    pub tracing: bool,
+}
+
+impl RunOpts {
+    pub fn timing(mem: MemMode) -> Self {
+        RunOpts {
+            mem,
+            backed: false,
+            tracing: false,
+        }
+    }
+
+    pub fn validated(mem: MemMode) -> Self {
+        RunOpts {
+            mem,
+            backed: true,
+            tracing: false,
+        }
+    }
+
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
+}
+
+/// Outcome of one run: the simulated wall time, transfer/kernel statistics,
+/// the final field (when backed), and the trace (when recorded).
+pub struct RunResult {
+    pub label: String,
+    pub elapsed: SimTime,
+    pub bytes_h2d: u64,
+    pub bytes_d2h: u64,
+    pub kernels: u64,
+    pub result: Option<Vec<f64>>,
+    pub trace: Option<Trace>,
+}
+
+impl RunResult {
+    /// Elapsed time in milliseconds (convenience for reports).
+    pub fn ms(&self) -> f64 {
+        self.elapsed.as_ms_f64()
+    }
+
+    /// Speedup of `self` relative to `baseline` (>1 means `self` is faster).
+    pub fn speedup_over(&self, baseline: &RunResult) -> f64 {
+        baseline.elapsed.as_secs_f64() / self.elapsed.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_mode_labels() {
+        assert_eq!(MemMode::Pageable.label(), "pageable");
+        assert_eq!(MemMode::Pinned.label(), "pinned");
+        assert_eq!(MemMode::Managed.label(), "managed");
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let mk = |ns: u64| RunResult {
+            label: "x".into(),
+            elapsed: SimTime::from_ns(ns),
+            bytes_h2d: 0,
+            bytes_d2h: 0,
+            kernels: 0,
+            result: None,
+            trace: None,
+        };
+        let fast = mk(100);
+        let slow = mk(400);
+        assert_eq!(fast.speedup_over(&slow), 4.0);
+        assert_eq!(slow.speedup_over(&fast), 0.25);
+    }
+}

@@ -1,0 +1,297 @@
+//! Whole-array heat-solver baselines (§II-C / Fig. 1, §VI-A / Fig. 5).
+//!
+//! All variants use the classic structure the paper describes: allocate the
+//! full `n³` array on host and device, transfer once up, run one fused
+//! kernel per time step (periodic boundaries handled inside the kernel for
+//! tuned CUDA, by extra boundary-update kernels for the OpenACC-generated
+//! versions), transfer once down. The differences between variants are
+//! exactly the differences the paper names:
+//!
+//! * memory management — pageable vs pinned vs managed ([`MemMode`]);
+//! * kernel generation — tuned CUDA geometry (efficiency 1.0, one kernel
+//!   per step) vs OpenACC-generated (efficiency < 1, one compute kernel plus
+//!   one kernel per boundary face, each paying launch overhead);
+//! * OpenACC-managed transfers carry a small per-step runtime overhead
+//!   (data-presence bookkeeping) that the raw-CUDA hybrid avoids.
+
+use crate::common::{MemMode, RunOpts, RunResult};
+use gpu_sim::{GpuSystem, KernelCost, KernelLaunch, MachineConfig};
+use kernels::heat;
+use memslab::Slab;
+use tida::IntVect;
+
+/// Kernel-generation model.
+#[derive(Debug, Clone, Copy)]
+struct KernelGen {
+    efficiency: f64,
+    /// Launch one extra kernel per face and step (OpenACC boundary update).
+    boundary_kernels: bool,
+    /// Per-step host-side runtime overhead (OpenACC data bookkeeping).
+    runtime_overhead: gpu_sim::SimTime,
+}
+
+const CUDA_GEN: KernelGen = KernelGen {
+    efficiency: 1.0,
+    boundary_kernels: false,
+    runtime_overhead: gpu_sim::SimTime::ZERO,
+};
+
+const OPENACC_GEN: KernelGen = KernelGen {
+    efficiency: 0.85,
+    boundary_kernels: true,
+    runtime_overhead: gpu_sim::SimTime(20_000), // 20 us
+};
+
+/// Tuned CUDA implementation (one fused kernel per step).
+pub fn cuda_heat(cfg: &MachineConfig, n: i64, steps: usize, opts: RunOpts) -> RunResult {
+    run(cfg, n, steps, opts, CUDA_GEN, format!("CUDA-{}", opts.mem.label()))
+}
+
+/// OpenACC implementation: compiler-generated kernels (untuned geometry,
+/// per-face boundary kernels) and directive-managed data.
+pub fn openacc_heat(cfg: &MachineConfig, n: i64, steps: usize, opts: RunOpts) -> RunResult {
+    run(
+        cfg,
+        n,
+        steps,
+        opts,
+        OPENACC_GEN,
+        format!("OpenACC-{}", opts.mem.label()),
+    )
+}
+
+/// The paper's hybrid (§II-C): CUDA manages memory and transfers, OpenACC
+/// generates the kernels. No OpenACC runtime overhead on the data path.
+pub fn hybrid_heat(cfg: &MachineConfig, n: i64, steps: usize, opts: RunOpts) -> RunResult {
+    let gen = KernelGen {
+        runtime_overhead: gpu_sim::SimTime::ZERO,
+        ..OPENACC_GEN
+    };
+    run(
+        cfg,
+        n,
+        steps,
+        opts,
+        gen,
+        format!("CUDAmem+OpenACCkern-{}", opts.mem.label()),
+    )
+}
+
+/// Fill a dense slab with the standard initial condition.
+fn fill_dense(slab: &Slab, n: i64) {
+    let l = tida::Layout::new(tida::Box3::cube(n));
+    let f = heat_init();
+    slab.fill_with(|o| f(l.cell_at(o)));
+}
+
+fn run(
+    cfg: &MachineConfig,
+    n: i64,
+    steps: usize,
+    opts: RunOpts,
+    gen: KernelGen,
+    label: String,
+) -> RunResult {
+    assert!(steps >= 1, "heat baseline needs at least one step");
+    let mut gpu = GpuSystem::with_backing(cfg.clone(), opts.backed);
+    gpu.set_tracing(opts.tracing);
+    let len = (n * n * n) as usize;
+    let cells = len as u64;
+    let fac = heat::DEFAULT_FAC;
+    let face_bytes = (n * n) as u64 * 16;
+
+    let result_slab: Slab = match opts.mem {
+        MemMode::Managed => {
+            let u = gpu.malloc_managed(len).expect("managed alloc");
+            let v = gpu.malloc_managed(len).expect("managed alloc");
+            fill_dense(&gpu.managed_slab(u), n);
+            let stream = gpu.create_stream();
+            let (mut cur, mut next) = (u, v);
+            for _ in 0..steps {
+                if gen.runtime_overhead > gpu_sim::SimTime::ZERO {
+                    gpu.host_work(gen.runtime_overhead, "acc-runtime");
+                }
+                let (src_slab, dst_slab) = (gpu.managed_slab(cur), gpu.managed_slab(next));
+                gpu.launch_kernel(
+                    stream,
+                    KernelLaunch::new("heat", heat::cost(cells))
+                        .efficiency(gen.efficiency)
+                        .reads(cur.into())
+                        .writes(next.into())
+                        .exec(move || {
+                            src_slab.with(|s| {
+                                dst_slab.with_mut(|d| {
+                                    if let (Some(s), Some(d)) = (s, d) {
+                                        heat::golden_step(d, s, n, fac);
+                                    }
+                                })
+                            });
+                        }),
+                );
+                if gen.boundary_kernels {
+                    for _ in 0..6 {
+                        gpu.launch_kernel(
+                            stream,
+                            KernelLaunch::new("bdry", KernelCost::Bytes(face_bytes))
+                                .efficiency(gen.efficiency),
+                        );
+                    }
+                }
+                std::mem::swap(&mut cur, &mut next);
+            }
+            gpu.managed_host_access(cur);
+            gpu.managed_slab(cur)
+        }
+        MemMode::Pageable | MemMode::Pinned => {
+            let kind = match opts.mem {
+                MemMode::Pageable => gpu_sim::HostMemKind::Pageable,
+                _ => gpu_sim::HostMemKind::Pinned,
+            };
+            let h = gpu.malloc_host(len, kind);
+            fill_dense(&gpu.host_slab(h), n);
+            let d_u = gpu.malloc_device(len).expect("device alloc");
+            let d_v = gpu.malloc_device(len).expect("device alloc");
+            let stream = gpu.create_stream();
+            gpu.memcpy_h2d_async(d_u, 0, h, 0, len, stream);
+            let (mut cur, mut next) = (d_u, d_v);
+            for _ in 0..steps {
+                if gen.runtime_overhead > gpu_sim::SimTime::ZERO {
+                    gpu.host_work(gen.runtime_overhead, "acc-runtime");
+                }
+                let (src_slab, dst_slab) = (gpu.device_slab(cur), gpu.device_slab(next));
+                gpu.launch_kernel(
+                    stream,
+                    KernelLaunch::new("heat", heat::cost(cells))
+                        .efficiency(gen.efficiency)
+                        .reads(cur.into())
+                        .writes(next.into())
+                        .exec(move || {
+                            src_slab.with(|s| {
+                                dst_slab.with_mut(|d| {
+                                    if let (Some(s), Some(d)) = (s, d) {
+                                        heat::golden_step(d, s, n, fac);
+                                    }
+                                })
+                            });
+                        }),
+                );
+                if gen.boundary_kernels {
+                    for _ in 0..6 {
+                        gpu.launch_kernel(
+                            stream,
+                            KernelLaunch::new("bdry", KernelCost::Bytes(face_bytes))
+                                .efficiency(gen.efficiency),
+                        );
+                    }
+                }
+                std::mem::swap(&mut cur, &mut next);
+            }
+            gpu.memcpy_d2h_async(h, 0, cur, 0, len, stream);
+            gpu.stream_synchronize(stream);
+            gpu.host_slab(h)
+        }
+    };
+
+    let elapsed = gpu.finish();
+    RunResult {
+        label,
+        elapsed,
+        bytes_h2d: gpu.stats_bytes_h2d(),
+        bytes_d2h: gpu.stats_bytes_d2h(),
+        kernels: gpu.stats_kernels(),
+        result: result_slab.snapshot(),
+        trace: if opts.tracing { Some(gpu.trace()) } else { None },
+    }
+}
+
+/// The initial condition shared by every heat run (baselines and TiDA-acc),
+/// so results are directly comparable.
+pub fn heat_init() -> impl Fn(IntVect) -> f64 {
+    kernels::init::hash_field(11)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::k40m()
+    }
+
+    #[test]
+    fn cuda_pinned_matches_golden() {
+        let n = 8;
+        let steps = 3;
+        let r = cuda_heat(&cfg(), n, steps, RunOpts::validated(MemMode::Pinned));
+        let golden = heat::golden_run(heat_init(), n, steps, heat::DEFAULT_FAC);
+        assert_eq!(r.result.unwrap(), golden);
+    }
+
+    #[test]
+    fn managed_matches_golden() {
+        let n = 8;
+        let steps = 2;
+        let r = cuda_heat(&cfg(), n, steps, RunOpts::validated(MemMode::Managed));
+        let golden = heat::golden_run(heat_init(), n, steps, heat::DEFAULT_FAC);
+        assert_eq!(r.result.unwrap(), golden);
+    }
+
+    #[test]
+    fn pinned_faster_than_pageable_faster_than_managed() {
+        let n = 64;
+        let steps = 5;
+        let t = |mem| cuda_heat(&cfg(), n, steps, RunOpts::timing(mem)).elapsed;
+        let pinned = t(MemMode::Pinned);
+        let pageable = t(MemMode::Pageable);
+        let managed = t(MemMode::Managed);
+        assert!(pinned < pageable, "{pinned} !< {pageable}");
+        assert!(pageable < managed, "{pageable} !< {managed}");
+    }
+
+    #[test]
+    fn cuda_faster_than_hybrid_faster_than_openacc() {
+        // Fig. 1's within-memory-class ordering.
+        let n = 48;
+        let steps = 20;
+        let opts = RunOpts::timing(MemMode::Pinned);
+        let cuda = cuda_heat(&cfg(), n, steps, opts).elapsed;
+        let hybrid = hybrid_heat(&cfg(), n, steps, opts).elapsed;
+        let acc = openacc_heat(&cfg(), n, steps, opts).elapsed;
+        assert!(cuda < hybrid, "{cuda} !< {hybrid}");
+        assert!(hybrid <= acc, "{hybrid} !<= {acc}");
+    }
+
+    #[test]
+    fn openacc_launches_boundary_kernels() {
+        let n = 8;
+        let steps = 4;
+        let acc = openacc_heat(&cfg(), n, steps, RunOpts::timing(MemMode::Pageable));
+        let cuda = cuda_heat(&cfg(), n, steps, RunOpts::timing(MemMode::Pageable));
+        assert_eq!(cuda.kernels, steps as u64);
+        assert_eq!(acc.kernels, steps as u64 * 7);
+    }
+
+    #[test]
+    fn transfer_accounting() {
+        let n = 16;
+        let r = cuda_heat(&cfg(), n, 1, RunOpts::timing(MemMode::Pinned));
+        let bytes = (n * n * n) as u64 * 8;
+        assert_eq!(r.bytes_h2d, bytes);
+        assert_eq!(r.bytes_d2h, bytes);
+    }
+
+    #[test]
+    fn all_variants_agree_on_result() {
+        let n = 6;
+        let steps = 2;
+        let golden = heat::golden_run(heat_init(), n, steps, heat::DEFAULT_FAC);
+        for (name, r) in [
+            ("cuda-pageable", cuda_heat(&cfg(), n, steps, RunOpts::validated(MemMode::Pageable))),
+            ("openacc-pinned", openacc_heat(&cfg(), n, steps, RunOpts::validated(MemMode::Pinned))),
+            ("hybrid-pinned", hybrid_heat(&cfg(), n, steps, RunOpts::validated(MemMode::Pinned))),
+            ("openacc-managed", openacc_heat(&cfg(), n, steps, RunOpts::validated(MemMode::Managed))),
+        ] {
+            assert_eq!(r.result.unwrap(), golden, "{name}");
+        }
+    }
+}

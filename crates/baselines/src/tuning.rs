@@ -1,0 +1,143 @@
+//! Region-size autotuning.
+//!
+//! The paper leaves region/tile sizes to the programmer ("a programmer can
+//! easily tune these parameters", §IV-A) or to external models (ExaSAT).
+//! Because this reproduction's platform is a deterministic simulator,
+//! tuning can be *exact and free*: run the candidate configurations with
+//! virtual (unbacked) buffers — milliseconds of wall time at full problem
+//! scale — and pick the best simulated time before committing to a real
+//! (backed) run.
+
+use crate::common::RunResult;
+use crate::tida_impl::{tida_busy, tida_heat, TidaOpts};
+use gpu_sim::{MachineConfig, SimTime};
+
+/// Outcome of a tuning sweep.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// The winning region count.
+    pub best_regions: usize,
+    /// Simulated time of the winner.
+    pub best_time: SimTime,
+    /// Every candidate, in the order tried.
+    pub tried: Vec<(usize, SimTime)>,
+}
+
+impl TuneResult {
+    fn from_runs(tried: Vec<(usize, SimTime)>) -> TuneResult {
+        let (best_regions, best_time) = tried
+            .iter()
+            .copied()
+            .min_by_key(|&(_, t)| t)
+            .expect("at least one candidate");
+        TuneResult {
+            best_regions,
+            best_time,
+            tried,
+        }
+    }
+}
+
+/// Default candidate region counts (powers of two up to `max`).
+pub fn default_candidates(n: i64, max: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut r = 1usize;
+    while r <= max && (r as i64) <= n {
+        out.push(r);
+        r *= 2;
+    }
+    out
+}
+
+/// Tune the heat solver's region count for an `n³` domain and `steps`
+/// steps on `cfg`.
+pub fn autotune_heat_regions(
+    cfg: &MachineConfig,
+    n: i64,
+    steps: usize,
+    candidates: &[usize],
+) -> TuneResult {
+    assert!(!candidates.is_empty(), "no candidates to tune over");
+    let tried = candidates
+        .iter()
+        .map(|&r| (r, tida_heat(cfg, n, steps, &TidaOpts::timing(r)).elapsed))
+        .collect();
+    TuneResult::from_runs(tried)
+}
+
+/// Tune the compute-intensive kernel's region count.
+pub fn autotune_busy_regions(
+    cfg: &MachineConfig,
+    n: i64,
+    steps: usize,
+    iters: u32,
+    candidates: &[usize],
+) -> TuneResult {
+    assert!(!candidates.is_empty(), "no candidates to tune over");
+    let tried = candidates
+        .iter()
+        .map(|&r| (r, tida_busy(cfg, n, steps, iters, &TidaOpts::timing(r)).elapsed))
+        .collect();
+    TuneResult::from_runs(tried)
+}
+
+/// Re-run the winning configuration, backed, and return its result
+/// (convenience for "tune then run").
+pub fn run_tuned_heat(cfg: &MachineConfig, n: i64, steps: usize, tuned: &TuneResult) -> RunResult {
+    tida_heat(cfg, n, steps, &TidaOpts::validated(tuned.best_regions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernels::{heat, init};
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::k40m()
+    }
+
+    #[test]
+    fn default_candidates_powers_of_two() {
+        assert_eq!(default_candidates(64, 32), vec![1, 2, 4, 8, 16, 32]);
+        assert_eq!(default_candidates(4, 32), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn tuner_picks_the_minimum() {
+        let t = autotune_heat_regions(&cfg(), 64, 1, &[1, 4, 8]);
+        assert_eq!(t.tried.len(), 3);
+        let min = t.tried.iter().map(|&(_, d)| d).min().unwrap();
+        assert_eq!(t.best_time, min);
+        assert!(t.tried.iter().any(|&(r, d)| r == t.best_regions && d == min));
+    }
+
+    #[test]
+    fn transfer_bound_heat_prefers_multiple_regions() {
+        // One step at a transfer-bound size: pipelining must beat a single
+        // region.
+        let t = autotune_heat_regions(&cfg(), 128, 1, &[1, 8]);
+        assert_eq!(t.best_regions, 8);
+    }
+
+    #[test]
+    fn tuned_run_is_still_bitwise_correct() {
+        let n = 8;
+        let steps = 2;
+        let t = autotune_heat_regions(&cfg(), n, steps, &[2, 4]);
+        let r = run_tuned_heat(&cfg(), n, steps, &t);
+        let golden = heat::golden_run(init::hash_field(11), n, steps, heat::DEFAULT_FAC);
+        assert_eq!(r.result.unwrap(), golden);
+    }
+
+    #[test]
+    fn busy_tuner_runs() {
+        let t = autotune_busy_regions(&cfg(), 32, 2, 10, &[1, 2, 4]);
+        assert!(t.best_time > SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "no candidates")]
+    fn empty_candidates_panic() {
+        autotune_heat_regions(&cfg(), 8, 1, &[]);
+    }
+}

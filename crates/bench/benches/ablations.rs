@@ -1,0 +1,99 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! slot policy (A), region count (B), ghost-update location (C), and the
+//! transfer-avoidance options (D).
+
+use baselines::{tida_heat, TidaOpts};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::MachineConfig;
+use tida_acc::{SlotPolicy, WritebackPolicy};
+use tida_bench::experiments::{self, Scale};
+
+fn bench_slot_policy(c: &mut Criterion) {
+    let cfg = MachineConfig::k40m();
+    let (n, steps) = (128, 5);
+    eprintln!("{}", experiments::ablation_slots(Scale::Quick).render_table());
+
+    let mut g = c.benchmark_group("ablation_slot_policy");
+    g.sample_size(10);
+    for (name, policy) in [("static", SlotPolicy::StaticInterleaved), ("lru", SlotPolicy::Lru)] {
+        g.bench_with_input(BenchmarkId::new("policy", name), &policy, |b, &policy| {
+            b.iter(|| {
+                let mut o = TidaOpts::timing(8).with_max_slots(6);
+                o.acc = o.acc.with_policy(policy);
+                tida_heat(&cfg, n, steps, &o).elapsed
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_region_count(c: &mut Criterion) {
+    let cfg = MachineConfig::k40m();
+    let (n, steps) = (128, 4);
+    eprintln!("{}", experiments::ablation_regions(Scale::Quick).render_table());
+
+    let mut g = c.benchmark_group("ablation_region_count");
+    g.sample_size(10);
+    for regions in [1usize, 4, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("regions", regions), &regions, |b, &r| {
+            b.iter(|| tida_heat(&cfg, n, steps, &TidaOpts::timing(r)).elapsed)
+        });
+    }
+    g.finish();
+}
+
+fn bench_ghost_location(c: &mut Criterion) {
+    let cfg = MachineConfig::k40m();
+    let (n, steps) = (128, 5);
+    eprintln!("{}", experiments::ablation_ghost(Scale::Quick).render_table());
+
+    let mut g = c.benchmark_group("ablation_ghost_location");
+    g.sample_size(10);
+    g.bench_function("device_ghosts", |b| {
+        b.iter(|| tida_heat(&cfg, n, steps, &TidaOpts::timing(16)).elapsed)
+    });
+    g.bench_function("host_ghosts", |b| {
+        b.iter(|| {
+            let mut o = TidaOpts::timing(16);
+            o.acc.ghost_on_device = false;
+            tida_heat(&cfg, n, steps, &o).elapsed
+        })
+    });
+    g.finish();
+}
+
+fn bench_transfer_options(c: &mut Criterion) {
+    let cfg = MachineConfig::k40m();
+    let (n, steps) = (128, 4);
+    eprintln!("{}", experiments::ablation_transfers(Scale::Quick).render_table());
+
+    let mut g = c.benchmark_group("ablation_transfer_options");
+    g.sample_size(10);
+    g.bench_function("paper_defaults", |b| {
+        b.iter(|| tida_heat(&cfg, n, steps, &TidaOpts::timing(8).with_max_slots(6)).elapsed)
+    });
+    g.bench_function("upload_written_regions", |b| {
+        b.iter(|| {
+            let mut o = TidaOpts::timing(8).with_max_slots(6);
+            o.acc.upload_written_regions = true;
+            tida_heat(&cfg, n, steps, &o).elapsed
+        })
+    });
+    g.bench_function("dirty_only_writeback", |b| {
+        b.iter(|| {
+            let mut o = TidaOpts::timing(8).with_max_slots(6);
+            o.acc = o.acc.with_writeback(WritebackPolicy::DirtyOnly);
+            tida_heat(&cfg, n, steps, &o).elapsed
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_slot_policy,
+    bench_region_count,
+    bench_ghost_location,
+    bench_transfer_options
+);
+criterion_main!(benches);

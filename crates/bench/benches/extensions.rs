@@ -1,0 +1,78 @@
+//! Benches for the extension experiments: multi-GPU scaling, the NVLink
+//! what-if, interconnect sensitivity, and the autotuner.
+
+use baselines::{tida_heat, tida_heat_multi, tida_heat_timetiled, tuning, TidaOpts};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::MachineConfig;
+use tida_bench::experiments::{self, Scale};
+
+fn bench_multi_gpu(c: &mut Criterion) {
+    let cfg = MachineConfig::k40m();
+    let (n, steps, regions) = (128, 5, 16);
+    eprintln!("{}", experiments::multi_gpu_scaling(Scale::Quick).render_table());
+
+    let mut g = c.benchmark_group("ext_multi_gpu");
+    g.sample_size(10);
+    for devices in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("devices", devices), &devices, |b, &d| {
+            b.iter(|| tida_heat_multi(&cfg, n, steps, regions, d, false).elapsed)
+        });
+    }
+    g.finish();
+}
+
+fn bench_nvlink(c: &mut Criterion) {
+    let (n, steps) = (128, 5);
+    eprintln!("{}", experiments::nvlink_whatif(Scale::Quick).render_table());
+
+    let mut g = c.benchmark_group("ext_nvlink");
+    g.sample_size(10);
+    g.bench_function("k40m_pcie", |b| {
+        b.iter(|| tida_heat(&MachineConfig::k40m(), n, steps, &TidaOpts::timing(16)).elapsed)
+    });
+    g.bench_function("p100_nvlink", |b| {
+        b.iter(|| tida_heat(&MachineConfig::p100_nvlink(), n, steps, &TidaOpts::timing(16)).elapsed)
+    });
+    g.finish();
+}
+
+fn bench_autotune(c: &mut Criterion) {
+    let cfg = MachineConfig::k40m();
+    let candidates = tuning::default_candidates(128, 32);
+    let t = tuning::autotune_heat_regions(&cfg, 128, 2, &candidates);
+    eprintln!(
+        "autotune heat 128^3 x2 steps: best = {} regions ({})",
+        t.best_regions, t.best_time
+    );
+
+    let mut g = c.benchmark_group("ext_autotune");
+    g.sample_size(10);
+    g.bench_function("sweep_6_candidates", |b| {
+        b.iter(|| tuning::autotune_heat_regions(&cfg, 128, 2, &candidates).best_regions)
+    });
+    g.finish();
+}
+
+fn bench_temporal_blocking(c: &mut Criterion) {
+    let cfg = MachineConfig::k40m();
+    let (n, steps, regions) = (128, 8, 8);
+    eprintln!("{}", experiments::temporal_blocking(Scale::Quick).render_table());
+
+    let mut g = c.benchmark_group("ext_temporal_blocking");
+    g.sample_size(10);
+    for block in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("block", block), &block, |b, &blk| {
+            b.iter(|| tida_heat_timetiled(&cfg, n, steps, regions, blk, Some(4), false).elapsed)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_multi_gpu,
+    bench_nvlink,
+    bench_autotune,
+    bench_temporal_blocking
+);
+criterion_main!(benches);

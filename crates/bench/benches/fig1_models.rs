@@ -1,0 +1,36 @@
+//! Fig. 1 bench: heat solver across execution models × memory managements.
+//!
+//! Criterion measures the harness wall time (the discrete-event simulation
+//! of each variant); the simulated times that regenerate the figure itself
+//! are printed once at startup and by `figures -- fig1`.
+
+use baselines::{heat, MemMode, RunOpts};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::MachineConfig;
+
+fn bench_fig1(c: &mut Criterion) {
+    let cfg = MachineConfig::k40m();
+    let (n, steps) = (96, 10);
+
+    // Print the figure data once so bench logs carry the simulated result.
+    let f = tida_bench::experiments::fig1(tida_bench::experiments::Scale::Quick);
+    eprintln!("{}", f.render_table());
+
+    let mut g = c.benchmark_group("fig1_heat_models");
+    g.sample_size(10);
+    for mem in [MemMode::Pageable, MemMode::Pinned, MemMode::Managed] {
+        g.bench_with_input(BenchmarkId::new("cuda", mem.label()), &mem, |b, &mem| {
+            b.iter(|| heat::cuda_heat(&cfg, n, steps, RunOpts::timing(mem)).elapsed)
+        });
+        g.bench_with_input(BenchmarkId::new("openacc", mem.label()), &mem, |b, &mem| {
+            b.iter(|| heat::openacc_heat(&cfg, n, steps, RunOpts::timing(mem)).elapsed)
+        });
+        g.bench_with_input(BenchmarkId::new("hybrid", mem.label()), &mem, |b, &mem| {
+            b.iter(|| heat::hybrid_heat(&cfg, n, steps, RunOpts::timing(mem)).elapsed)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Fig. 5 bench: heat solver at increasing iteration counts — CUDA-pinned
+//! and OpenACC baselines vs TiDA-acc's pipelined transfers.
+
+use baselines::{heat, tida_heat, MemMode, RunOpts, TidaOpts};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::MachineConfig;
+
+fn bench_fig5(c: &mut Criterion) {
+    let cfg = MachineConfig::k40m();
+    let n = 128;
+
+    let f = tida_bench::experiments::fig5(tida_bench::experiments::Scale::Quick);
+    eprintln!("{}", f.render_table());
+
+    let mut g = c.benchmark_group("fig5_heat_iterations");
+    g.sample_size(10);
+    for iters in [1usize, 10, 100] {
+        g.bench_with_input(
+            BenchmarkId::new("cuda_pageable", iters),
+            &iters,
+            |b, &it| b.iter(|| heat::cuda_heat(&cfg, n, it, RunOpts::timing(MemMode::Pageable)).elapsed),
+        );
+        g.bench_with_input(BenchmarkId::new("cuda_pinned", iters), &iters, |b, &it| {
+            b.iter(|| heat::cuda_heat(&cfg, n, it, RunOpts::timing(MemMode::Pinned)).elapsed)
+        });
+        g.bench_with_input(BenchmarkId::new("openacc", iters), &iters, |b, &it| {
+            b.iter(|| heat::openacc_heat(&cfg, n, it, RunOpts::timing(MemMode::Pageable)).elapsed)
+        });
+        g.bench_with_input(BenchmarkId::new("tida_acc_16r", iters), &iters, |b, &it| {
+            b.iter(|| tida_heat(&cfg, n, it, &TidaOpts::timing(16)).elapsed)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Fig. 6 bench: the compute-intensive kernel across math implementations
+//! and execution models.
+
+use baselines::{busy, tida_busy, MemMode, RunOpts, TidaOpts};
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::MachineConfig;
+use kernels::busy::{MathImpl, DEFAULT_KERNEL_ITERATION};
+
+fn bench_fig6(c: &mut Criterion) {
+    let cfg = MachineConfig::k40m();
+    let (n, steps, iters) = (128, 10, DEFAULT_KERNEL_ITERATION);
+
+    let f = tida_bench::experiments::fig6(tida_bench::experiments::Scale::Quick);
+    eprintln!("{}", f.render_table());
+
+    let mut g = c.benchmark_group("fig6_busy_models");
+    g.sample_size(10);
+    g.bench_function("cuda_pageable_libm", |b| {
+        b.iter(|| {
+            busy::cuda_busy(&cfg, n, steps, iters, MathImpl::CudaLibm, RunOpts::timing(MemMode::Pageable)).elapsed
+        })
+    });
+    g.bench_function("cuda_pinned_libm", |b| {
+        b.iter(|| {
+            busy::cuda_busy(&cfg, n, steps, iters, MathImpl::CudaLibm, RunOpts::timing(MemMode::Pinned)).elapsed
+        })
+    });
+    g.bench_function("cuda_pinned_fastmath", |b| {
+        b.iter(|| {
+            busy::cuda_busy(&cfg, n, steps, iters, MathImpl::FastMath, RunOpts::timing(MemMode::Pinned)).elapsed
+        })
+    });
+    g.bench_function("openacc_pageable", |b| {
+        b.iter(|| busy::openacc_busy(&cfg, n, steps, iters, RunOpts::timing(MemMode::Pageable)).elapsed)
+    });
+    g.bench_function("tida_acc_16r", |b| {
+        b.iter(|| tida_busy(&cfg, n, steps, iters, &TidaOpts::timing(16)).elapsed)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Fig. 8 bench: the limited-memory case — all regions resident vs a
+//! two-slot device limit vs one whole-domain region.
+
+use baselines::{tida_busy, TidaOpts};
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::MachineConfig;
+use kernels::busy::DEFAULT_KERNEL_ITERATION;
+
+fn bench_fig8(c: &mut Criterion) {
+    let cfg = MachineConfig::k40m();
+    let (n, steps, iters) = (128, 20, DEFAULT_KERNEL_ITERATION);
+
+    let f = tida_bench::experiments::fig8(tida_bench::experiments::Scale::Quick);
+    eprintln!("{}", f.render_table());
+
+    let mut g = c.benchmark_group("fig8_limited_memory");
+    g.sample_size(10);
+    g.bench_function("tida_acc_16r_full", |b| {
+        b.iter(|| tida_busy(&cfg, n, steps, iters, &TidaOpts::timing(16)).elapsed)
+    });
+    g.bench_function("tida_acc_16r_2slots", |b| {
+        b.iter(|| tida_busy(&cfg, n, steps, iters, &TidaOpts::timing(16).with_max_slots(2)).elapsed)
+    });
+    g.bench_function("tida_acc_1region", |b| {
+        b.iter(|| tida_busy(&cfg, n, steps, iters, &TidaOpts::timing(1)).elapsed)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! `figures` — regenerate the paper's evaluation figures on the simulated
+//! platform.
+//!
+//! ```text
+//! cargo run --release -p tida-bench --bin figures -- all
+//! cargo run --release -p tida-bench --bin figures -- fig5
+//! cargo run --release -p tida-bench --bin figures -- fig7 --quick
+//! ```
+//!
+//! Subcommands: `fig1 fig5 fig6 fig7 fig8 ablations all`. Pass `--quick`
+//! for the reduced CI-sized workloads.
+
+use tida_bench::experiments::{self as exp, Scale};
+use tida_bench::report::FigData;
+
+/// When `--json` is passed, figures are also written to `results/*.json`.
+fn emit(fig: &FigData, json: bool, slug: &str) {
+    println!("{}", fig.render_table());
+    if json {
+        std::fs::create_dir_all("results").expect("create results dir");
+        let path = format!("results/{slug}.json");
+        std::fs::write(&path, fig.to_json()).expect("write results file");
+        eprintln!("wrote {path}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let scale = if quick { Scale::Quick } else { Scale::Paper };
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let mut ran = false;
+    let wants = |name: &str| what == name || what == "all";
+
+    println!(
+        "# TiDA-acc figure harness — scale: {:?} (simulated Tesla K40m / PCIe Gen3)\n",
+        scale
+    );
+
+    if wants("fig1") {
+        ran = true;
+        let f = exp::fig1(scale);
+        emit(&f, json, "fig1");
+        println!("{}", f.render_bars(60));
+    }
+    if wants("fig5") {
+        ran = true;
+        let f = exp::fig5(scale);
+        emit(&f, json, "fig5");
+        println!("{}", f.render_bars(60));
+    }
+    if wants("fig6") {
+        ran = true;
+        let f = exp::fig6(scale);
+        emit(&f, json, "fig6");
+        println!("{}", f.render_bars(60));
+    }
+    if wants("fig7") {
+        ran = true;
+        println!("{}", exp::fig7());
+    }
+    if wants("fig8") {
+        ran = true;
+        let f = exp::fig8(scale);
+        emit(&f, json, "fig8");
+        println!("{}", f.render_bars(60));
+    }
+    if wants("extensions") {
+        ran = true;
+        emit(&exp::nvlink_whatif(scale), json, "ext_e1_nvlink");
+        emit(&exp::multi_gpu_scaling(scale), json, "ext_e2_multigpu");
+        emit(&exp::interconnect_sweep(scale), json, "ext_e3_interconnect");
+        emit(&exp::cpu_gpu_crossover(scale), json, "ext_e4_crossover");
+        emit(&exp::temporal_blocking(scale), json, "ext_e5_temporal");
+    }
+    if wants("ablations") {
+        ran = true;
+        for (f, slug) in [
+            (exp::ablation_slots(scale), "abl_a_slots"),
+            (exp::ablation_regions(scale), "abl_b_regions"),
+            (exp::ablation_ghost(scale), "abl_c_ghost"),
+            (exp::ablation_transfers(scale), "abl_d_transfers"),
+            (exp::ablation_ghost_engine(scale), "abl_e_ghost_engine"),
+        ] {
+            emit(&f, json, slug);
+        }
+    }
+
+    if !ran {
+        eprintln!("unknown figure '{what}'; use: fig1 fig5 fig6 fig7 fig8 ablations extensions all [--quick] [--json]");
+        std::process::exit(2);
+    }
+}

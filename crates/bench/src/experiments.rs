@@ -1,0 +1,697 @@
+//! One runner per paper figure, plus the ablations from DESIGN.md.
+//!
+//! Every runner executes the relevant implementations on the simulated K40m
+//! platform (timing-only buffers at full paper scale) and returns a
+//! [`FigData`] with the same series the paper plots. `Scale::Paper` uses the
+//! paper's exact workload sizes; `Scale::Quick` shrinks them for CI and
+//! Criterion runs without changing any qualitative ordering.
+
+use crate::report::{FigData, Series};
+use baselines::{busy as bbusy, heat as bheat, tida_busy, tida_heat, MemMode, RunOpts, TidaOpts};
+use gpu_sim::MachineConfig;
+use kernels::busy::{DEFAULT_KERNEL_ITERATION, MathImpl};
+use tida_acc::{AccOptions, SlotPolicy, WritebackPolicy};
+
+/// Workload size selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's sizes: 384³/512³ domains, up to 1000 iterations.
+    Paper,
+    /// Reduced sizes for CI / Criterion; same qualitative shapes.
+    Quick,
+}
+
+impl Scale {
+    fn heat_n(self) -> i64 {
+        match self {
+            Scale::Paper => 512,
+            Scale::Quick => 128,
+        }
+    }
+
+    fn fig1_n(self) -> i64 {
+        match self {
+            Scale::Paper => 384,
+            Scale::Quick => 96,
+        }
+    }
+
+    fn fig1_steps(self) -> usize {
+        match self {
+            Scale::Paper => 100,
+            Scale::Quick => 10,
+        }
+    }
+
+    fn fig5_iters(self) -> &'static [usize] {
+        match self {
+            Scale::Paper => &[1, 10, 100, 1000],
+            Scale::Quick => &[1, 10, 100],
+        }
+    }
+
+    fn busy_n(self) -> i64 {
+        match self {
+            Scale::Paper => 512,
+            Scale::Quick => 128,
+        }
+    }
+
+    fn busy_steps(self) -> usize {
+        match self {
+            Scale::Paper => 100,
+            Scale::Quick => 10,
+        }
+    }
+
+    fn fig8_steps(self) -> usize {
+        match self {
+            Scale::Paper => 1000,
+            Scale::Quick => 50,
+        }
+    }
+}
+
+fn cfg() -> MachineConfig {
+    MachineConfig::k40m()
+}
+
+/// Fig. 1: heat solver running time under {CUDA, OpenACC, CUDA-memory +
+/// OpenACC-kernels} × {pageable, pinned, managed}, 384³, 100 iterations.
+pub fn fig1(scale: Scale) -> FigData {
+    let c = cfg();
+    let n = scale.fig1_n();
+    let steps = scale.fig1_steps();
+    let mut fig = FigData::new(
+        format!("Fig 1: heat {n}^3, {steps} iterations, execution models x memory management"),
+        "time [ms]",
+    );
+    let mems = [MemMode::Pageable, MemMode::Pinned, MemMode::Managed];
+    let mut cuda = Series::new("CUDA");
+    let mut acc = Series::new("OpenACC");
+    let mut hybrid = Series::new("CUDAmem+OpenACCkern");
+    for mem in mems {
+        cuda.push(mem.label(), bheat::cuda_heat(&c, n, steps, RunOpts::timing(mem)).ms());
+        acc.push(mem.label(), bheat::openacc_heat(&c, n, steps, RunOpts::timing(mem)).ms());
+        hybrid.push(mem.label(), bheat::hybrid_heat(&c, n, steps, RunOpts::timing(mem)).ms());
+    }
+    fig.series.extend([cuda, acc, hybrid]);
+    fig.notes.push(
+        "paper: CUDA-pinned fastest; pageable/managed slower in every model; \
+         hybrid recovers most of the CUDA-vs-OpenACC gap"
+            .into(),
+    );
+    fig
+}
+
+/// Fig. 5: heat-solver speedup over CUDA-pageable at 1/10/100/1000
+/// iterations, 512³, TiDA-acc with 16 regions.
+pub fn fig5(scale: Scale) -> FigData {
+    let c = cfg();
+    let n = scale.heat_n();
+    let mut fig = FigData::new(
+        format!("Fig 5: heat {n}^3 speedup over CUDA-pageable vs iteration count"),
+        "speedup (x)",
+    );
+    let mut pinned = Series::new("CUDA-pinned");
+    let mut acc = Series::new("OpenACC-pageable");
+    let mut tida = Series::new("TiDA-acc(16r)");
+    for &iters in scale.fig5_iters() {
+        let base = bheat::cuda_heat(&c, n, iters, RunOpts::timing(MemMode::Pageable));
+        let x = iters.to_string();
+        pinned.push(
+            &x,
+            bheat::cuda_heat(&c, n, iters, RunOpts::timing(MemMode::Pinned)).speedup_over(&base),
+        );
+        acc.push(
+            &x,
+            bheat::openacc_heat(&c, n, iters, RunOpts::timing(MemMode::Pageable))
+                .speedup_over(&base),
+        );
+        tida.push(
+            &x,
+            tida_heat(&c, n, iters, &TidaOpts::timing(16)).speedup_over(&base),
+        );
+    }
+    fig.series.extend([pinned, acc, tida]);
+    fig.notes.push(
+        "paper: TiDA-acc wins at low iteration counts (transfers dominate and are hidden); \
+         CUDA variants converge to it as compute amortizes the transfers"
+            .into(),
+    );
+    fig
+}
+
+/// Fig. 6: compute-intensive kernel execution times, 512³.
+pub fn fig6(scale: Scale) -> FigData {
+    let c = cfg();
+    let n = scale.busy_n();
+    let steps = scale.busy_steps();
+    let iters = DEFAULT_KERNEL_ITERATION;
+    let mut fig = FigData::new(
+        format!("Fig 6: compute-intensive kernel {n}^3, {steps} steps, kernel_iteration={iters}"),
+        "time [ms]",
+    );
+    let mut s = Series::new("time");
+    s.push(
+        "CUDA",
+        bbusy::cuda_busy(&c, n, steps, iters, MathImpl::CudaLibm, RunOpts::timing(MemMode::Pageable)).ms(),
+    );
+    s.push(
+        "CUDA-pinned",
+        bbusy::cuda_busy(&c, n, steps, iters, MathImpl::CudaLibm, RunOpts::timing(MemMode::Pinned)).ms(),
+    );
+    s.push(
+        "CUDA-pinned-fastmath",
+        bbusy::cuda_busy(&c, n, steps, iters, MathImpl::FastMath, RunOpts::timing(MemMode::Pinned)).ms(),
+    );
+    s.push(
+        "OpenACC-pageable",
+        bbusy::openacc_busy(&c, n, steps, iters, RunOpts::timing(MemMode::Pageable)).ms(),
+    );
+    s.push(
+        "TiDA-acc(16r)",
+        tida_busy(&c, n, steps, iters, &TidaOpts::timing(16)).ms(),
+    );
+    fig.series.push(s);
+    fig.notes.push(
+        "paper: PGI-math builds (OpenACC, TiDA-acc) beat CUDA's math.h; fast-math closes the \
+         gap; TiDA-acc adds no overhead"
+            .into(),
+    );
+    fig
+}
+
+/// Fig. 7: the limited-memory timeline — a Gantt chart of two slot streams
+/// staging regions (D2H/H2D) fully overlapped with compute.
+pub fn fig7() -> String {
+    let c = cfg();
+    let opts = TidaOpts::timing(6).with_max_slots(2).with_tracing();
+    let r = tida_busy(&c, 64, 2, DEFAULT_KERNEL_ITERATION, &opts);
+    let trace = r.trace.expect("tracing enabled");
+    let mut out = format!(
+        "Fig 7: TiDA-acc under limited memory (6 regions, 2 device slots)\n\
+         elapsed {}; h2d {} MiB, d2h {} MiB, kernels {}\n\n",
+        r.elapsed,
+        r.bytes_h2d >> 20,
+        r.bytes_d2h >> 20,
+        r.kernels
+    );
+    out.push_str(&trace.render_gantt(100));
+    let h2d_compute = trace.overlap_time(0, 2);
+    let d2h_compute = trace.overlap_time(1, 2);
+    out.push_str(&format!(
+        "\noverlap: h2d||compute {h2d_compute}, d2h||compute {d2h_compute} \
+         (paper: transfers fully hidden behind compute)\n"
+    ));
+    out
+}
+
+/// Fig. 8: compute-intensive kernel, 512³, 1000 steps: TiDA-acc with all
+/// regions resident vs a 2-slot device limit vs a single whole-domain
+/// region.
+pub fn fig8(scale: Scale) -> FigData {
+    let c = cfg();
+    let n = scale.busy_n();
+    let steps = scale.fig8_steps();
+    let iters = DEFAULT_KERNEL_ITERATION;
+    let mut fig = FigData::new(
+        format!("Fig 8: limited device memory, busy kernel {n}^3, {steps} steps"),
+        "time [ms]",
+    );
+    let mut s = Series::new("time");
+    s.push("TiDA-acc(16r)", tida_busy(&c, n, steps, iters, &TidaOpts::timing(16)).ms());
+    s.push(
+        "TiDA-acc(16r,2slots)",
+        tida_busy(&c, n, steps, iters, &TidaOpts::timing(16).with_max_slots(2)).ms(),
+    );
+    s.push("TiDA-acc(1r)", tida_busy(&c, n, steps, iters, &TidaOpts::timing(1)).ms());
+    fig.series.push(s);
+    fig.notes.push(
+        "paper: the 2-slot limit costs almost nothing (staging hides behind compute); \
+         the single-region configuration shows the library adds no overhead"
+            .into(),
+    );
+    fig
+}
+
+/// Ablation A (DESIGN.md): static interleaved slot mapping (paper) vs LRU
+/// pool, heat solver under memory pressure.
+pub fn ablation_slots(scale: Scale) -> FigData {
+    let c = cfg();
+    let n = scale.heat_n();
+    let steps = match scale {
+        Scale::Paper => 50,
+        Scale::Quick => 10,
+    };
+    let mut fig = FigData::new(
+        format!("Ablation A: slot policy under memory pressure, heat {n}^3, {steps} steps"),
+        "time [ms]",
+    );
+    for slots in [3usize, 8, 16] {
+        let mut s = Series::new(format!("{slots} slots"));
+        for (name, policy) in [("static", SlotPolicy::StaticInterleaved), ("lru", SlotPolicy::Lru)] {
+            let mut o = TidaOpts::timing(8).with_max_slots(slots);
+            o.acc = o.acc.with_policy(policy);
+            s.push(name, tida_heat(&c, n, steps, &o).ms());
+        }
+        fig.series.push(s);
+    }
+    fig
+}
+
+/// Ablation B: region-count sweep for the heat solver — the paper states
+/// 16 regions gave the best performance at 512³.
+pub fn ablation_regions(scale: Scale) -> FigData {
+    let c = cfg();
+    let n = scale.heat_n();
+    let steps = match scale {
+        Scale::Paper => 10,
+        Scale::Quick => 4,
+    };
+    let mut fig = FigData::new(
+        format!("Ablation B: region count, heat {n}^3, {steps} steps"),
+        "time [ms]",
+    );
+    let mut s = Series::new("TiDA-acc");
+    for regions in [1usize, 2, 4, 8, 16, 32, 64] {
+        if regions as i64 > n {
+            continue;
+        }
+        s.push(
+            regions.to_string(),
+            tida_heat(&c, n, steps, &TidaOpts::timing(regions)).ms(),
+        );
+    }
+    fig.series.push(s);
+    fig.notes
+        .push("paper: 16 regions performed best for the 512^3 heat solver".into());
+    fig
+}
+
+/// Ablation C: device-side ghost update with host index-calc overlap
+/// (paper) vs forcing every ghost patch through the host.
+pub fn ablation_ghost(scale: Scale) -> FigData {
+    let c = cfg();
+    let n = scale.heat_n();
+    let steps = match scale {
+        Scale::Paper => 50,
+        Scale::Quick => 10,
+    };
+    let mut fig = FigData::new(
+        format!("Ablation C: ghost-update location, heat {n}^3, {steps} steps"),
+        "time [ms]",
+    );
+    let mut s = Series::new("TiDA-acc(16r)");
+    let device = TidaOpts::timing(16);
+    s.push("device-ghosts", tida_heat(&c, n, steps, &device).ms());
+    let mut host = TidaOpts::timing(16);
+    host.acc.ghost_on_device = false;
+    s.push("host-ghosts", tida_heat(&c, n, steps, &host).ms());
+    fig.series.push(s);
+    fig.notes.push(
+        "host-path ghosts bounce every region over PCIe each step; the paper's device \
+         update avoids that entirely"
+            .into(),
+    );
+    fig
+}
+
+/// Ablation D: the write-intent allocation and the write-back policy.
+pub fn ablation_transfers(scale: Scale) -> FigData {
+    let c = cfg();
+    let n = scale.heat_n();
+    let steps = match scale {
+        Scale::Paper => 10,
+        Scale::Quick => 4,
+    };
+    let mut fig = FigData::new(
+        format!("Ablation D: transfer-avoidance options, heat {n}^3, {steps} steps, 6 slots"),
+        "time [ms]",
+    );
+    let mut s = Series::new("TiDA-acc(8r)");
+    let base = TidaOpts::timing(8).with_max_slots(6);
+    s.push("paper-defaults", tida_heat(&c, n, steps, &base).ms());
+    let mut upload = base.clone();
+    upload.acc.upload_written_regions = true;
+    s.push("upload-written", tida_heat(&c, n, steps, &upload).ms());
+    let mut dirty = base.clone();
+    dirty.acc = dirty.acc.with_writeback(WritebackPolicy::DirtyOnly);
+    s.push("dirty-only-writeback", tida_heat(&c, n, steps, &dirty).ms());
+    fig.series.push(s);
+    fig
+}
+
+/// Extension experiment E1: the paper's §I NVLink motivation — how does the
+/// Fig. 5 picture change when the interconnect is ~5× faster (and the
+/// device proportionally stronger)? Runs the Fig. 5 sweep on the
+/// P100/NVLink machine model.
+pub fn nvlink_whatif(scale: Scale) -> FigData {
+    let c = MachineConfig::p100_nvlink();
+    let n = scale.heat_n();
+    let mut fig = FigData::new(
+        format!("E1: Fig 5 sweep on {}, heat {n}^3", c.name),
+        "speedup over CUDA-pageable (x)",
+    );
+    let mut pinned = Series::new("CUDA-pinned");
+    let mut tida = Series::new("TiDA-acc(16r)");
+    for &iters in scale.fig5_iters() {
+        let base = bheat::cuda_heat(&c, n, iters, RunOpts::timing(MemMode::Pageable));
+        let x = iters.to_string();
+        pinned.push(
+            &x,
+            bheat::cuda_heat(&c, n, iters, RunOpts::timing(MemMode::Pinned)).speedup_over(&base),
+        );
+        tida.push(
+            &x,
+            tida_heat(&c, n, iters, &TidaOpts::timing(16)).speedup_over(&base),
+        );
+    }
+    fig.series.extend([pinned, tida]);
+    fig.notes.push(
+        "faster links shrink the transfer share, so overlap buys less at low iteration \
+         counts than on PCIe — but the ordering at 1 iteration is preserved"
+            .into(),
+    );
+    fig
+}
+
+/// Extension experiment E2: multi-GPU strong scaling of the heat solver
+/// (regions distributed over devices, pack/P2P/unpack halos).
+pub fn multi_gpu_scaling(scale: Scale) -> FigData {
+    let c = cfg();
+    let n = scale.heat_n();
+    let steps = match scale {
+        Scale::Paper => 100,
+        Scale::Quick => 10,
+    };
+    let regions = 16;
+    let mut fig = FigData::new(
+        format!("E2: multi-GPU strong scaling, heat {n}^3, {steps} steps, {regions} regions"),
+        "time [ms]",
+    );
+    let mut s = Series::new("TiDA-multi");
+    for devices in [1usize, 2, 4, 8] {
+        let r = baselines::tida_heat_multi(&c, n, steps, regions, devices, false);
+        s.push(format!("{devices}gpu"), r.ms());
+    }
+    fig.series.push(s);
+    fig.notes.push(
+        "compute scales with devices; cross-device halo traffic over the PCIe peer link \
+         bounds the speedup (Amdahl on the exchange phase)"
+            .into(),
+    );
+    fig
+}
+
+/// Extension experiment E3: interconnect sensitivity. Scales the PCIe
+/// bandwidth from 0.25× to 8× the K40m baseline and reports where overlap
+/// stops paying: the crossover between TiDA-acc and a synchronous
+/// CUDA-pinned run at one heat step.
+pub fn interconnect_sweep(scale: Scale) -> FigData {
+    let n = scale.heat_n();
+    let mut fig = FigData::new(
+        format!("E3: interconnect sensitivity, heat {n}^3, 1 step"),
+        "TiDA-acc speedup over CUDA-pinned (x)",
+    );
+    let mut s = Series::new("speedup");
+    for mult in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        let mut c = cfg();
+        c.h2d_pinned_bw *= mult;
+        c.d2h_pinned_bw *= mult;
+        c.host_stage_bw *= mult;
+        let pinned = bheat::cuda_heat(&c, n, 1, RunOpts::timing(MemMode::Pinned));
+        let tida = tida_heat(&c, n, 1, &TidaOpts::timing(16));
+        s.push(format!("{mult}x"), tida.speedup_over(&pinned));
+    }
+    fig.series.push(s);
+    fig.notes.push(
+        "slow links make overlap decisive (transfers dominate and are hidden); fast links \
+         shrink the transfer share until the library's fixed overheads win out — the \
+         quantitative form of the paper's NVLink discussion (§I)"
+            .into(),
+    );
+    fig
+}
+
+/// Ablation E: the ghost-engine schedule — the paper's per-patch kernels
+/// behind a global `acc wait` barrier vs batched gathers vs barrier-free
+/// event ordering vs both.
+pub fn ablation_ghost_engine(scale: Scale) -> FigData {
+    let c = cfg();
+    let n = scale.heat_n();
+    let steps = match scale {
+        Scale::Paper => 100,
+        Scale::Quick => 10,
+    };
+    let mut fig = FigData::new(
+        format!("Ablation E: ghost-engine schedule, heat {n}^3, {steps} steps, 16 regions"),
+        "time [ms]",
+    );
+    let mut s = Series::new("TiDA-acc(16r)");
+    let variants: [(&str, bool, bool); 4] = [
+        ("paper (barrier, per-patch)", true, false),
+        ("batched gathers", true, true),
+        ("barrier-free", false, false),
+        ("barrier-free + batched", false, true),
+    ];
+    for (name, barrier, batching) in variants {
+        let mut o = TidaOpts::timing(16);
+        o.acc.ghost_barrier = barrier;
+        o.acc.ghost_batching = batching;
+        s.push(name, tida_heat(&c, n, steps, &o).ms());
+    }
+    fig.series.push(s);
+    fig.notes.push(
+        "per-slot event ordering makes the global acc-wait redundant; batching cuts \
+         launch overhead. Both are bitwise-invisible to results (see \
+         tests/ghost_engine_options.rs)"
+            .into(),
+    );
+    fig
+}
+
+/// Extension experiment E4: CPU vs GPU crossover. The same TiDA-acc
+/// program runs on the host path (`reset(GPU=false)`) and the device path;
+/// at small problems the transfers and launch overheads make the CPU win —
+/// the classic offload break-even the single-source API lets users probe
+/// with one flag.
+pub fn cpu_gpu_crossover(scale: Scale) -> FigData {
+    let c = cfg();
+    let steps = 10;
+    let sizes: &[i64] = match scale {
+        Scale::Paper => &[16, 32, 64, 128, 256, 512],
+        Scale::Quick => &[16, 32, 64, 128],
+    };
+    let mut fig = FigData::new(
+        format!("E4: CPU vs GPU crossover, heat solver, {steps} steps"),
+        "time [ms]",
+    );
+    let mut cpu = Series::new("TiDA-acc CPU path");
+    let mut gpu = Series::new("TiDA-acc GPU path");
+    for &n in sizes {
+        let regions = 8.min(n as usize);
+        let mut o = TidaOpts::timing(regions);
+        o.acc.gpu = false;
+        cpu.push(format!("{n}^3"), tida_heat(&c, n, steps, &o).ms());
+        gpu.push(
+            format!("{n}^3"),
+            tida_heat(&c, n, steps, &TidaOpts::timing(regions)).ms(),
+        );
+    }
+    fig.series.extend([cpu, gpu]);
+    fig.notes.push(
+        "one source, one flag: the GPU pays off once the per-cell work dwarfs launch and          transfer overheads"
+            .into(),
+    );
+    fig
+}
+
+/// Extension experiment E5: temporal blocking on top of region staging.
+/// In the out-of-core regime (2-slot device limit), computing `block` time
+/// steps per region residency amortizes the staging transfers.
+pub fn temporal_blocking(scale: Scale) -> FigData {
+    let c = cfg();
+    let n = scale.heat_n();
+    let regions = 16;
+    let steps = match scale {
+        Scale::Paper => 48,
+        Scale::Quick => 12,
+    };
+    let mut fig = FigData::new(
+        format!("E5: temporal blocking under staging, heat {n}^3, {steps} steps, {regions} regions, 4 slots"),
+        "time [ms]",
+    );
+    let mut s = Series::new("TiDA-tt");
+    for block in [1usize, 2, 4] {
+        let r = baselines::tida_heat_timetiled(&c, n, steps, regions, block, Some(4), false);
+        s.push(format!("block {block}"), r.ms());
+    }
+    fig.series.push(s);
+    fig.notes.push(
+        "wider halos and trapezoid re-compute buy fewer stagings; the optimum depends on          the transfer/compute ratio"
+            .into(),
+    );
+    fig
+}
+
+/// The options struct used across the harness (re-exported for benches).
+pub fn paper_acc_options() -> AccOptions {
+    AccOptions::paper()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Quick-scale smoke tests that also assert the headline shapes.
+
+    #[test]
+    fn fig1_shape_pinned_fastest_managed_slowest() {
+        let f = fig1(Scale::Quick);
+        let get = |series: &str, x: &str| {
+            f.series
+                .iter()
+                .find(|s| s.name == series)
+                .and_then(|s| s.points.iter().find(|(l, _)| l == x))
+                .map(|&(_, v)| v)
+                .unwrap()
+        };
+        for model in ["CUDA", "OpenACC", "CUDAmem+OpenACCkern"] {
+            assert!(get(model, "pinned") < get(model, "pageable"), "{model}");
+            assert!(get(model, "pageable") < get(model, "managed"), "{model}");
+        }
+        // CUDA beats OpenACC within each memory class.
+        for mem in ["pageable", "pinned", "managed"] {
+            assert!(get("CUDA", mem) < get("OpenACC", mem), "{mem}");
+        }
+    }
+
+    #[test]
+    fn fig5_shape_tida_wins_low_iters_and_converges() {
+        // Shape assertions hold at the paper's 512^3 scale (fixed launch
+        // overheads distort the quick scale); timing-only runs are cheap.
+        let f = fig5(Scale::Paper);
+        let get = |series: &str, x: &str| {
+            f.series
+                .iter()
+                .find(|s| s.name == series)
+                .and_then(|s| s.points.iter().find(|(l, _)| l == x))
+                .map(|&(_, v)| v)
+                .unwrap()
+        };
+        // At 1 iteration TiDA-acc has the highest speedup.
+        assert!(get("TiDA-acc(16r)", "1") > get("CUDA-pinned", "1"));
+        assert!(get("TiDA-acc(16r)", "1") > get("OpenACC-pageable", "1"));
+        // The TiDA-acc advantage over CUDA-pinned shrinks with iterations.
+        let ratio_1 = get("TiDA-acc(16r)", "1") / get("CUDA-pinned", "1");
+        let ratio_100 = get("TiDA-acc(16r)", "100") / get("CUDA-pinned", "100");
+        assert!(ratio_100 < ratio_1);
+    }
+
+    #[test]
+    fn fig6_shape_math_ordering() {
+        let f = fig6(Scale::Quick);
+        let s = &f.series[0];
+        let get = |x: &str| s.points.iter().find(|(l, _)| l == x).map(|&(_, v)| v).unwrap();
+        assert!(get("CUDA") > get("OpenACC-pageable"));
+        assert!(get("CUDA") > get("CUDA-pinned-fastmath"));
+        assert!(get("CUDA") > get("TiDA-acc(16r)"));
+    }
+
+    #[test]
+    fn fig7_gantt_shows_overlap() {
+        let g = fig7();
+        assert!(g.contains("h2d"));
+        assert!(g.contains("compute"));
+        assert!(!g.contains("h2d||compute 0ns"));
+    }
+
+    #[test]
+    fn fig8_shape_limited_close_to_full() {
+        let f = fig8(Scale::Quick);
+        let s = &f.series[0];
+        let get = |x: &str| s.points.iter().find(|(l, _)| l == x).map(|&(_, v)| v).unwrap();
+        let full = get("TiDA-acc(16r)");
+        let limited = get("TiDA-acc(16r,2slots)");
+        let single = get("TiDA-acc(1r)");
+        assert!(limited / full < 1.10, "limited {limited} vs full {full}");
+        // The single-region configuration is close too (no library overhead).
+        assert!(single / full < 1.15, "single {single} vs full {full}");
+    }
+
+    #[test]
+    fn extension_nvlink_preserves_low_iter_ordering() {
+        let f = nvlink_whatif(Scale::Paper);
+        let get = |series: &str, x: &str| {
+            f.series
+                .iter()
+                .find(|s| s.name == series)
+                .and_then(|s| s.points.iter().find(|(l, _)| l == x))
+                .map(|&(_, v)| v)
+                .unwrap()
+        };
+        assert!(get("TiDA-acc(16r)", "1") > get("CUDA-pinned", "1"));
+    }
+
+    #[test]
+    fn extension_multi_gpu_two_devices_beat_one() {
+        let f = multi_gpu_scaling(Scale::Paper);
+        let s = &f.series[0];
+        let get = |x: &str| s.points.iter().find(|(l, _)| l == x).map(|&(_, v)| v).unwrap();
+        assert!(get("2gpu") < get("1gpu"));
+    }
+
+    #[test]
+    fn extension_interconnect_monotone_in_bandwidth() {
+        // Slower links -> overlap matters more: the speedup series must be
+        // (weakly) decreasing in bandwidth.
+        let f = interconnect_sweep(Scale::Paper);
+        let vals: Vec<f64> = f.series[0].points.iter().map(|&(_, v)| v).collect();
+        for w in vals.windows(2) {
+            assert!(w[0] >= w[1] * 0.98, "speedup should fall as links speed up: {vals:?}");
+        }
+        // At 0.25x bandwidth, overlap is decisive.
+        assert!(vals[0] > 1.3, "slow-link speedup {vals:?}");
+    }
+
+    #[test]
+    fn extension_crossover_gpu_wins_large_cpu_wins_small() {
+        let f = cpu_gpu_crossover(Scale::Paper);
+        let get = |series: &str, x: &str| {
+            f.series
+                .iter()
+                .find(|s| s.name == series)
+                .and_then(|s| s.points.iter().find(|(l, _)| l == x))
+                .map(|&(_, v)| v)
+                .unwrap()
+        };
+        assert!(get("TiDA-acc GPU path", "512^3") < get("TiDA-acc CPU path", "512^3"));
+        assert!(get("TiDA-acc CPU path", "16^3") < get("TiDA-acc GPU path", "16^3"));
+    }
+
+    #[test]
+    fn extension_temporal_blocking_wins_when_staging() {
+        let f = temporal_blocking(Scale::Paper);
+        let s = &f.series[0];
+        let get = |x: &str| s.points.iter().find(|(l, _)| l == x).map(|&(_, v)| v).unwrap();
+        assert!(get("block 4") < get("block 2"));
+        assert!(get("block 2") < get("block 1"));
+    }
+
+    #[test]
+    fn ablation_ghost_device_wins() {
+        let f = ablation_ghost(Scale::Quick);
+        let s = &f.series[0];
+        let get = |x: &str| s.points.iter().find(|(l, _)| l == x).map(|&(_, v)| v).unwrap();
+        assert!(get("device-ghosts") < get("host-ghosts"));
+    }
+
+    #[test]
+    fn ablation_transfers_paper_defaults_fastest() {
+        let f = ablation_transfers(Scale::Quick);
+        let s = &f.series[0];
+        let get = |x: &str| s.points.iter().find(|(l, _)| l == x).map(|&(_, v)| v).unwrap();
+        assert!(get("paper-defaults") <= get("upload-written"));
+    }
+}

@@ -1,0 +1,10 @@
+//! `tida-bench` — the evaluation harness.
+//!
+//! [`experiments`] regenerates every figure of the paper's evaluation
+//! (Figs. 1, 5, 6, 7, 8) plus the ablations listed in DESIGN.md;
+//! [`report`] renders them as tables and bar charts. The `figures` binary is
+//! the command-line front end; the Criterion benches under `benches/` wrap
+//! the same runners.
+
+pub mod experiments;
+pub mod report;

@@ -1,0 +1,191 @@
+//! Text rendering for figure data: aligned tables and horizontal bar charts.
+
+use serde::Serialize;
+
+/// One named series of (x-label, value) points.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    pub name: String,
+    pub points: Vec<(String, f64)>,
+}
+
+impl Series {
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, x: impl Into<String>, y: f64) {
+        self.points.push((x.into(), y));
+    }
+}
+
+/// Data behind one regenerated figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct FigData {
+    pub title: String,
+    /// What the values are (e.g. `time [ms]` or `speedup over CUDA-pageable`).
+    pub unit: String,
+    pub series: Vec<Series>,
+    pub notes: Vec<String>,
+}
+
+impl FigData {
+    pub fn new(title: impl Into<String>, unit: impl Into<String>) -> Self {
+        FigData {
+            title: title.into(),
+            unit: unit.into(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// All x-labels in first-appearance order.
+    fn x_labels(&self) -> Vec<&str> {
+        let mut labels: Vec<&str> = Vec::new();
+        for s in &self.series {
+            for (x, _) in &s.points {
+                if !labels.contains(&x.as_str()) {
+                    labels.push(x);
+                }
+            }
+        }
+        labels
+    }
+
+    fn value(&self, series: &Series, x: &str) -> Option<f64> {
+        series.points.iter().find(|(l, _)| l == x).map(|&(_, v)| v)
+    }
+
+    /// Render as an aligned table: one row per series, one column per x.
+    pub fn render_table(&self) -> String {
+        let xs = self.x_labels();
+        let name_w = self
+            .series
+            .iter()
+            .map(|s| s.name.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let col_w = xs.iter().map(|x| x.len()).max().unwrap_or(6).max(10);
+
+        let mut out = format!("## {}  ({})\n\n", self.title, self.unit);
+        out.push_str(&format!("{:name_w$}", ""));
+        for x in &xs {
+            out.push_str(&format!("  {x:>col_w$}"));
+        }
+        out.push('\n');
+        for s in &self.series {
+            out.push_str(&format!("{:name_w$}", s.name));
+            for x in &xs {
+                match self.value(s, x) {
+                    Some(v) => out.push_str(&format!("  {v:>col_w$.3}")),
+                    None => out.push_str(&format!("  {:>col_w$}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+
+    /// Serialize to pretty JSON (for `figures --json`).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("figure data serializes")
+    }
+
+    /// Render each x-column as a labelled horizontal bar chart.
+    pub fn render_bars(&self, width: usize) -> String {
+        let xs = self.x_labels();
+        let max = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(_, v)| v))
+            .fold(0f64, f64::max)
+            .max(1e-12);
+        let name_w = self
+            .series
+            .iter()
+            .map(|s| s.name.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let mut out = String::new();
+        for x in xs {
+            if self.series.iter().filter_map(|s| self.value(s, x)).count() == 0 {
+                continue;
+            }
+            out.push_str(&format!("[{x}]\n"));
+            for s in &self.series {
+                if let Some(v) = self.value(s, x) {
+                    let bar = ((v / max) * width as f64).round() as usize;
+                    out.push_str(&format!(
+                        "  {:name_w$} |{} {v:.3}\n",
+                        s.name,
+                        "#".repeat(bar.max(1))
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigData {
+        let mut f = FigData::new("Fig X", "ms");
+        let mut a = Series::new("cuda");
+        a.push("1", 10.0);
+        a.push("10", 20.0);
+        let mut b = Series::new("tida-acc");
+        b.push("1", 5.0);
+        f.series.push(a);
+        f.series.push(b);
+        f.notes.push("shape only".into());
+        f
+    }
+
+    #[test]
+    fn table_contains_all_cells() {
+        let t = sample().render_table();
+        assert!(t.contains("Fig X"));
+        assert!(t.contains("cuda"));
+        assert!(t.contains("tida-acc"));
+        assert!(t.contains("10.000"));
+        assert!(t.contains("5.000"));
+        assert!(t.contains('-'));
+        assert!(t.contains("note: shape only"));
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let b = sample().render_bars(20);
+        assert!(b.contains("[1]"));
+        assert!(b.contains("[10]"));
+        let long = "#".repeat(20);
+        assert!(b.contains(&long));
+    }
+
+    #[test]
+    fn json_roundtrips_structure() {
+        let j = sample().to_json();
+        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(v["title"], "Fig X");
+        assert_eq!(v["series"][0]["name"], "cuda");
+        assert_eq!(v["series"][0]["points"][1][1], 20.0);
+    }
+
+    #[test]
+    fn empty_figure_renders() {
+        let f = FigData::new("empty", "ms");
+        assert!(f.render_table().contains("empty"));
+        assert_eq!(f.render_bars(10), "");
+    }
+}

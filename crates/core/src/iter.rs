@@ -1,0 +1,97 @@
+//! The GPU-enabled tile iterator (§V).
+//!
+//! Mirrors the paper's user interface:
+//!
+//! ```text
+//! for (tlIter.reset(GPU=true); tlIter.isValid(); tlIter.next()) {
+//!     Tile& tile = tlIter.tile();
+//!     compute(tile, lambda);
+//! }
+//! ```
+//!
+//! `reset(acc, gpu)` restarts the traversal *and* switches the runtime's
+//! execution mode, which is what the paper's `reset(GPU=true)` argument
+//! does; `compute` then routes each tile to the host or the device
+//! accordingly.
+
+use crate::tileacc::TileAcc;
+use tida::{Decomposition, Tile, TileIter, TileSpec};
+
+/// Tile iterator bound to a [`TileAcc`] execution mode.
+pub struct AccIter {
+    inner: TileIter,
+}
+
+impl AccIter {
+    /// Iterator over the tiles of `decomp` at the given granularity.
+    ///
+    /// The paper recommends `TileSpec::RegionSized` for GPU execution (one
+    /// kernel per region); smaller tiles help cache reuse on the CPU.
+    pub fn new(decomp: &Decomposition, spec: TileSpec) -> AccIter {
+        AccIter {
+            inner: TileIter::new(decomp, spec),
+        }
+    }
+
+    /// Restart the traversal and set the execution mode — the paper's
+    /// `reset(GPU=...)`.
+    pub fn reset(&mut self, acc: &mut TileAcc, gpu: bool) {
+        acc.set_gpu(gpu);
+        self.inner.reset();
+    }
+
+    pub fn is_valid(&self) -> bool {
+        self.inner.is_valid()
+    }
+
+    pub fn tile(&self) -> Tile {
+        self.inner.tile()
+    }
+
+    pub fn next_tile(&mut self) {
+        self.inner.next_tile();
+    }
+
+    /// Number of tiles in the traversal.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::AccOptions;
+    use gpu_sim::{GpuSystem, MachineConfig};
+    use tida::{Domain, RegionSpec};
+
+    #[test]
+    fn reset_switches_acc_mode_and_restarts() {
+        let decomp = Decomposition::new(Domain::periodic_cube(8), RegionSpec::Count(2));
+        let mut acc = TileAcc::new(
+            GpuSystem::new(MachineConfig::k40m()),
+            AccOptions::default(),
+        );
+        let mut it = AccIter::new(&decomp, TileSpec::RegionSized);
+        assert_eq!(it.len(), 2);
+
+        it.reset(&mut acc, false);
+        assert!(!acc.gpu_enabled());
+        let mut n = 0;
+        while it.is_valid() {
+            let _ = it.tile();
+            it.next_tile();
+            n += 1;
+        }
+        assert_eq!(n, 2);
+        assert!(!it.is_valid());
+
+        it.reset(&mut acc, true);
+        assert!(acc.gpu_enabled());
+        assert!(it.is_valid());
+    }
+}

@@ -1,0 +1,759 @@
+//! Multi-GPU extension: regions distributed across devices.
+//!
+//! The paper's related work points at multi-GPU systems (dCUDA, XACC) and
+//! its model extends naturally: regions are already the unit of transfer
+//! and execution, so distributing them over several devices only adds one
+//! mechanism — cross-device halo exchange. [`MultiAcc`] implements the
+//! standard pack / peer-copy / unpack pipeline for ghost patches whose
+//! source and destination regions live on different GPUs:
+//!
+//! 1. a *pack* kernel on the source device gathers the patch's source cells
+//!    into a contiguous staging buffer,
+//! 2. a peer copy (`cudaMemcpyPeerAsync`) moves the staging buffer to the
+//!    destination device,
+//! 3. an *unpack* kernel scatters it into the destination region's ghosts.
+//!
+//! Each region gets its own stream on its owner device, so kernels and halo
+//! traffic pipeline exactly as in the single-GPU runtime. Unlike
+//! [`crate::TileAcc`], `MultiAcc` keeps every region resident on its owner
+//! (the point of multiple GPUs is aggregate memory); combining distribution
+//! with slot staging is future work.
+
+use crate::tileacc::ArrayId;
+use gpu_sim::{
+    DeviceBuffer, GpuSystem, HostBuffer, HostMemKind, KernelCost, KernelLaunch, SimTime, StreamId,
+};
+use std::sync::Arc;
+use tida::{with_dst_src, with_view_mut, Box3, Decomposition, GhostPatch, Tile, TileArray};
+
+struct MArray {
+    array: TileArray,
+    host: Vec<HostBuffer>,
+    dev: Vec<DeviceBuffer>,
+    resident: Vec<bool>,
+    dirty: Vec<bool>,
+}
+
+/// Per-cross-device-patch staging buffers (source-side and destination-side).
+#[derive(Clone, Copy)]
+struct PatchStaging {
+    src_stage: DeviceBuffer,
+    dst_stage: DeviceBuffer,
+}
+
+/// The multi-GPU runtime. See the module docs.
+pub struct MultiAcc {
+    gpu: GpuSystem,
+    decomp: Option<Arc<Decomposition>>,
+    arrays: Vec<MArray>,
+    /// Owner device per region (contiguous blocks).
+    owner: Vec<usize>,
+    /// One stream per region, on its owner device.
+    streams: Vec<StreamId>,
+    kernel_efficiency: f64,
+    initialized: bool,
+    /// Staging-buffer cache for cross-device patches, keyed by patch
+    /// geometry.
+    staging_keys: Vec<(usize, usize, Box3)>,
+    staging: Vec<PatchStaging>,
+}
+
+impl MultiAcc {
+    /// Wrap a multi-device platform (see [`GpuSystem::multi`]).
+    pub fn new(gpu: GpuSystem) -> Self {
+        MultiAcc {
+            gpu,
+            decomp: None,
+            arrays: Vec::new(),
+            owner: Vec::new(),
+            streams: Vec::new(),
+            kernel_efficiency: 0.95,
+            initialized: false,
+            staging_keys: Vec::new(),
+            staging: Vec::new(),
+        }
+    }
+
+    /// Register an array (all arrays must share one decomposition).
+    pub fn register(&mut self, array: &TileArray) -> ArrayId {
+        assert!(!self.initialized, "register arrays before first use");
+        match &self.decomp {
+            None => self.decomp = Some(array.decomp().clone()),
+            Some(d) => assert!(
+                Arc::ptr_eq(d, array.decomp()),
+                "all registered arrays must share one decomposition"
+            ),
+        }
+        let host: Vec<HostBuffer> = array
+            .regions()
+            .iter()
+            .map(|r| self.gpu.adopt_host_slab(r.slab.clone(), HostMemKind::Pinned))
+            .collect();
+        self.arrays.push(MArray {
+            array: array.clone(),
+            host,
+            dev: Vec::new(),
+            resident: Vec::new(),
+            dirty: Vec::new(),
+        });
+        ArrayId(self.arrays.len() - 1)
+    }
+
+    /// Device owning a region.
+    pub fn owner(&self, region: usize) -> usize {
+        self.owner[region]
+    }
+
+    pub fn gpu(&self) -> &GpuSystem {
+        &self.gpu
+    }
+
+    pub fn gpu_mut(&mut self) -> &mut GpuSystem {
+        &mut self.gpu
+    }
+
+    pub fn finish(&mut self) -> SimTime {
+        self.gpu.finish()
+    }
+
+    fn num_regions(&self) -> usize {
+        self.decomp.as_ref().expect("no arrays").num_regions()
+    }
+
+    /// Allocate device buffers and streams: region `r` goes to device
+    /// `r * D / R` (contiguous blocks minimize cross-device faces for slab
+    /// decompositions).
+    fn ensure_init(&mut self) {
+        if self.initialized {
+            return;
+        }
+        let regions = self.num_regions();
+        let devices = self.gpu.num_devices();
+        self.owner = (0..regions).map(|r| r * devices / regions).collect();
+        self.streams = self
+            .owner
+            .iter()
+            .map(|&d| self.gpu.create_stream_on(d))
+            .collect();
+        for ai in 0..self.arrays.len() {
+            for r in 0..regions {
+                let len = self.arrays[ai].array.region(r).slab.len();
+                let dev = self
+                    .gpu
+                    .malloc_device_on(self.owner[r], len)
+                    .expect("multi-GPU assumes the distributed working set fits");
+                self.arrays[ai].dev.push(dev);
+            }
+            self.arrays[ai].resident = vec![false; regions];
+            self.arrays[ai].dirty = vec![false; regions];
+        }
+        self.initialized = true;
+    }
+
+    /// Upload a region to its owner if the host copy is authoritative.
+    fn ensure_resident(&mut self, a: ArrayId, r: usize, write_all: bool) {
+        self.ensure_init();
+        if self.arrays[a.0].resident[r] {
+            return;
+        }
+        if !write_all {
+            let len = self.arrays[a.0].array.region(r).slab.len();
+            let (dev, host) = (self.arrays[a.0].dev[r], self.arrays[a.0].host[r]);
+            self.gpu
+                .memcpy_h2d_async(dev, 0, host, 0, len, self.streams[r]);
+        }
+        self.arrays[a.0].resident[r] = true;
+        self.arrays[a.0].dirty[r] = write_all;
+    }
+
+    /// Bring a region back to the host (blocking), releasing residency.
+    fn acquire_host(&mut self, a: ArrayId, r: usize) {
+        if !self.initialized || !self.arrays[a.0].resident[r] {
+            return;
+        }
+        if self.arrays[a.0].dirty[r] {
+            let len = self.arrays[a.0].array.region(r).slab.len();
+            let (dev, host) = (self.arrays[a.0].dev[r], self.arrays[a.0].host[r]);
+            self.gpu
+                .memcpy_d2h_async(host, 0, dev, 0, len, self.streams[r]);
+        }
+        self.gpu.stream_synchronize(self.streams[r]);
+        self.arrays[a.0].resident[r] = false;
+        self.arrays[a.0].dirty[r] = false;
+    }
+
+    /// Bring every region of `array` home (pipelined per-stream drain).
+    pub fn sync_to_host(&mut self, array: ArrayId) {
+        for r in 0..self.num_regions() {
+            self.acquire_host(array, r);
+        }
+    }
+
+    /// In-place kernel over one tile (distributed `compute1`).
+    pub fn compute1(
+        &mut self,
+        tile: Tile,
+        array: ArrayId,
+        cost: KernelCost,
+        label: &'static str,
+        f: impl FnOnce(&mut tida::ViewMut<'_>, Box3) + 'static,
+    ) {
+        let r = tile.region;
+        self.ensure_resident(array, r, false);
+        let slab = self.gpu.device_slab(self.arrays[array.0].dev[r]);
+        let layout = self.arrays[array.0].array.region(r).layout;
+        let bx = tile.bx;
+        let dev = self.arrays[array.0].dev[r];
+        self.gpu.launch_kernel(
+            self.streams[r],
+            KernelLaunch::new(label, cost)
+                .efficiency(self.kernel_efficiency)
+                .writes(dev.into())
+                .exec(move || {
+                    with_view_mut(&slab, layout, |mut v| f(&mut v, bx));
+                }),
+        );
+        self.arrays[array.0].dirty[r] = true;
+    }
+
+    /// Two-operand kernel over matching regions (distributed `compute2`).
+    /// Both operands live on the same device (same region), in one stream —
+    /// no cross-stream ordering needed.
+    pub fn compute2(
+        &mut self,
+        tile: Tile,
+        dst: ArrayId,
+        src: ArrayId,
+        cost: KernelCost,
+        label: &'static str,
+        f: impl FnOnce(&mut tida::ViewMut<'_>, &tida::View<'_>, Box3) + 'static,
+    ) {
+        assert_ne!(dst, src, "compute2 operands must be distinct arrays");
+        let r = tile.region;
+        let write_all = tile.bx == self.arrays[dst.0].array.region(r).valid;
+        self.ensure_resident(src, r, false);
+        self.ensure_resident(dst, r, write_all);
+        let dslab = self.gpu.device_slab(self.arrays[dst.0].dev[r]);
+        let sslab = self.gpu.device_slab(self.arrays[src.0].dev[r]);
+        let dl = self.arrays[dst.0].array.region(r).layout;
+        let sl = self.arrays[src.0].array.region(r).layout;
+        let bx = tile.bx;
+        let (ddev, sdev) = (self.arrays[dst.0].dev[r], self.arrays[src.0].dev[r]);
+        self.gpu.launch_kernel(
+            self.streams[r],
+            KernelLaunch::new(label, cost)
+                .efficiency(self.kernel_efficiency)
+                .reads(sdev.into())
+                .writes(ddev.into())
+                .exec(move || {
+                    with_dst_src((&dslab, dl), (&sslab, sl), |mut d, s| f(&mut d, &s, bx));
+                }),
+        );
+        self.arrays[dst.0].dirty[r] = true;
+    }
+
+    /// General multi-operand kernel over matching regions (distributed
+    /// counterpart of [`crate::TileAcc::compute`]). All operands of one
+    /// region live on its owner device, in its stream.
+    pub fn compute(
+        &mut self,
+        tile: Tile,
+        writes: &[ArrayId],
+        reads: &[ArrayId],
+        cost: KernelCost,
+        label: &'static str,
+        f: impl FnOnce(&mut [tida::ViewMut<'_>], &[tida::View<'_>], Box3) + 'static,
+    ) {
+        assert!(!writes.is_empty(), "compute needs at least one write array");
+        let r = tile.region;
+        let write_all = tile
+            .bx
+            .contains_box(&self.arrays[writes[0].0].array.region(r).valid);
+        for &a in reads {
+            self.ensure_resident(a, r, false);
+        }
+        for (i, &a) in writes.iter().enumerate() {
+            self.ensure_resident(a, r, i == 0 && write_all && !reads.contains(&a));
+        }
+        let wpairs: Vec<(memslab::Slab, tida::Layout)> = writes
+            .iter()
+            .map(|a| {
+                (
+                    self.gpu.device_slab(self.arrays[a.0].dev[r]),
+                    self.arrays[a.0].array.region(r).layout,
+                )
+            })
+            .collect();
+        let rpairs: Vec<(memslab::Slab, tida::Layout)> = reads
+            .iter()
+            .map(|a| {
+                (
+                    self.gpu.device_slab(self.arrays[a.0].dev[r]),
+                    self.arrays[a.0].array.region(r).layout,
+                )
+            })
+            .collect();
+        let bx = tile.bx;
+        let mut launch = KernelLaunch::new(label, cost)
+            .efficiency(self.kernel_efficiency)
+            .exec(move || {
+                let wrefs: Vec<(&memslab::Slab, tida::Layout)> =
+                    wpairs.iter().map(|(s, l)| (s, *l)).collect();
+                let rrefs: Vec<(&memslab::Slab, tida::Layout)> =
+                    rpairs.iter().map(|(s, l)| (s, *l)).collect();
+                tida::with_many(&wrefs, &rrefs, |ws, rs| f(ws, rs, bx));
+            });
+        for &a in reads {
+            launch = launch.reads(self.arrays[a.0].dev[r].into());
+        }
+        for &a in writes {
+            launch = launch.writes(self.arrays[a.0].dev[r].into());
+        }
+        self.gpu.launch_kernel(self.streams[r], launch);
+        for &a in writes {
+            self.arrays[a.0].dirty[r] = true;
+        }
+    }
+
+    /// Reduce `map(cell)` over every valid cell of `array` with `combine`
+    /// (distributed counterpart of [`crate::TileAcc::reduce`]): one
+    /// reduction kernel per region on its owner device, partials combined
+    /// on the host. Blocking. `None` for virtual runs.
+    pub fn reduce<M, C>(
+        &mut self,
+        array: ArrayId,
+        label: &'static str,
+        identity: f64,
+        map: M,
+        combine: C,
+    ) -> Option<f64>
+    where
+        M: Fn(f64) -> f64 + Clone + 'static,
+        C: Fn(f64, f64) -> f64 + Clone + 'static,
+    {
+        self.ensure_init();
+        let regions = self.num_regions();
+        let partials = std::sync::Arc::new(parking_lot::Mutex::new(vec![identity; regions]));
+        let virtual_run = self.array_ref(array).is_virtual();
+        for r in 0..regions {
+            let reg = self.array_ref(array).region(r).clone();
+            let cells = reg.valid.num_cells();
+            if self.arrays[array.0].resident[r] {
+                let slab = self.gpu.device_slab(self.arrays[array.0].dev[r]);
+                let (m, c, out) = (map.clone(), combine.clone(), partials.clone());
+                let dev = self.arrays[array.0].dev[r];
+                self.gpu.launch_kernel(
+                    self.streams[r],
+                    KernelLaunch::new(label, KernelCost::Bytes(cells * 8))
+                        .efficiency(self.kernel_efficiency)
+                        .reads(dev.into())
+                        .exec(move || {
+                            tida::with_view(&slab, reg.layout, |v| {
+                                let mut acc = identity;
+                                for iv in reg.valid.iter() {
+                                    acc = c(acc, m(v.at(iv)));
+                                }
+                                out.lock()[reg.id] = acc;
+                            });
+                        }),
+                );
+            } else {
+                let (m, c, out) = (map.clone(), combine.clone(), partials.clone());
+                tida::with_view(&reg.slab, reg.layout, |v| {
+                    let mut acc = identity;
+                    for iv in reg.valid.iter() {
+                        acc = c(acc, m(v.at(iv)));
+                    }
+                    out.lock()[reg.id] = acc;
+                });
+                let cost = KernelCost::Bytes(cells * 8);
+                let d = cost.duration_on_host(self.gpu.config());
+                self.gpu.host_work(d, label);
+            }
+        }
+        self.gpu.device_synchronize();
+        if virtual_run {
+            return None;
+        }
+        let partials = partials.lock();
+        Some(partials.iter().copied().fold(identity, combine))
+    }
+
+    /// Ghost exchange across all regions, using device gathers within a
+    /// device and pack → peer-copy → unpack across devices.
+    pub fn fill_boundary(&mut self, array: ArrayId) {
+        self.ensure_init();
+        let patches: Vec<GhostPatch> = self.array_ref(array).patches().to_vec();
+        if patches.is_empty() {
+            return;
+        }
+        // The paper's `acc wait` before the update phase.
+        self.gpu.device_synchronize();
+
+        for p in &patches {
+            let dst_res = self.arrays[array.0].resident[p.dst_region];
+            let src_res = self.arrays[array.0].resident[p.src_region];
+            if !dst_res && !src_res {
+                // Both authoritative on the host: update in place.
+                self.host_patch(array, p);
+                continue;
+            }
+            self.ensure_resident(array, p.src_region, false);
+            self.ensure_resident(array, p.dst_region, false);
+            if self.owner[p.src_region] == self.owner[p.dst_region] {
+                self.same_device_patch(array, p);
+            } else {
+                self.cross_device_patch(array, p);
+            }
+        }
+    }
+
+    fn array_ref(&self, a: ArrayId) -> &TileArray {
+        &self.arrays[a.0].array
+    }
+
+    fn host_patch(&mut self, array: ArrayId, p: &GhostPatch) {
+        self.acquire_host(array, p.src_region);
+        self.acquire_host(array, p.dst_region);
+        let cells = p.num_cells();
+        let cfg = self.gpu.config();
+        let cost = cfg.host_index_time(cells) + cfg.host_copy_time(cells * 16);
+        self.array_ref(array).apply_patch(p);
+        self.gpu.host_work(cost, "ghost-host");
+    }
+
+    fn same_device_patch(&mut self, array: ArrayId, p: &GhostPatch) {
+        let cells = p.num_cells();
+        let idx_time = self.gpu.config().host_index_time(cells);
+        self.gpu.host_work(idx_time, "ghost-idx");
+        if p.src_region != p.dst_region {
+            let ev = self.gpu.record_event(self.streams[p.src_region]);
+            self.gpu.stream_wait_event(self.streams[p.dst_region], ev);
+        }
+        let dst_slab = self.gpu.device_slab(self.arrays[array.0].dev[p.dst_region]);
+        let src_slab = self.gpu.device_slab(self.arrays[array.0].dev[p.src_region]);
+        let dst_layout = self.array_ref(array).region(p.dst_region).layout;
+        let src_layout = self.array_ref(array).region(p.src_region).layout;
+        let patch = *p;
+        let (sdev, ddev) = (
+            self.arrays[array.0].dev[p.src_region],
+            self.arrays[array.0].dev[p.dst_region],
+        );
+        self.gpu.launch_kernel(
+            self.streams[p.dst_region],
+            KernelLaunch::new("ghost", KernelCost::Bytes(cells * 16))
+                .efficiency(self.kernel_efficiency)
+                .reads(sdev.into())
+                .writes(ddev.into())
+                .exec(move || {
+                    if dst_slab.is_virtual() || src_slab.is_virtual() {
+                        return;
+                    }
+                    let dst_idx = dst_layout.offsets_of(&patch.dst_box);
+                    let src_idx: Vec<usize> = patch
+                        .dst_box
+                        .iter()
+                        .map(|c| src_layout.offset(c - patch.shift))
+                        .collect();
+                    memslab::gather(&dst_slab, &dst_idx, &src_slab, &src_idx);
+                }),
+        );
+        self.arrays[array.0].dirty[p.dst_region] = true;
+    }
+
+    /// Pack on the source device, peer-copy, unpack on the destination.
+    fn cross_device_patch(&mut self, array: ArrayId, p: &GhostPatch) {
+        let cells = p.num_cells() as usize;
+        let idx_time = self.gpu.config().host_index_time(cells as u64);
+        self.gpu.host_work(idx_time, "ghost-idx");
+
+        let staging = self.patch_staging(p, cells);
+        let src_layout = self.array_ref(array).region(p.src_region).layout;
+        let dst_layout = self.array_ref(array).region(p.dst_region).layout;
+        let patch = *p;
+
+        // 1. Pack on the source device, in the source region's stream.
+        let src_slab = self.gpu.device_slab(self.arrays[array.0].dev[p.src_region]);
+        let stage_src_slab = self.gpu.device_slab(staging.src_stage);
+        let (srdev, ssdev) = (self.arrays[array.0].dev[p.src_region], staging.src_stage);
+        self.gpu.launch_kernel(
+            self.streams[p.src_region],
+            KernelLaunch::new("pack", KernelCost::Bytes(cells as u64 * 16))
+                .efficiency(self.kernel_efficiency)
+                .reads(srdev.into())
+                .writes(ssdev.into())
+                .exec(move || {
+                    if src_slab.is_virtual() || stage_src_slab.is_virtual() {
+                        return;
+                    }
+                    let src_idx: Vec<usize> = patch
+                        .dst_box
+                        .iter()
+                        .map(|c| src_layout.offset(c - patch.shift))
+                        .collect();
+                    let lin: Vec<usize> = (0..src_idx.len()).collect();
+                    memslab::gather(&stage_src_slab, &lin, &src_slab, &src_idx);
+                }),
+        );
+
+        // 2. Peer copy, ordered after the pack, in the destination stream.
+        let ev = self.gpu.record_event(self.streams[p.src_region]);
+        self.gpu.stream_wait_event(self.streams[p.dst_region], ev);
+        self.gpu.memcpy_p2p_async(
+            staging.dst_stage,
+            0,
+            staging.src_stage,
+            0,
+            cells,
+            self.streams[p.dst_region],
+        );
+
+        // 3. Unpack into the destination ghosts.
+        let dst_slab = self.gpu.device_slab(self.arrays[array.0].dev[p.dst_region]);
+        let stage_dst_slab = self.gpu.device_slab(staging.dst_stage);
+        let (ddev, dsdev) = (self.arrays[array.0].dev[p.dst_region], staging.dst_stage);
+        self.gpu.launch_kernel(
+            self.streams[p.dst_region],
+            KernelLaunch::new("unpack", KernelCost::Bytes(cells as u64 * 16))
+                .efficiency(self.kernel_efficiency)
+                .reads(dsdev.into())
+                .writes(ddev.into())
+                .exec(move || {
+                    if dst_slab.is_virtual() || stage_dst_slab.is_virtual() {
+                        return;
+                    }
+                    let dst_idx = dst_layout.offsets_of(&patch.dst_box);
+                    let lin: Vec<usize> = (0..dst_idx.len()).collect();
+                    memslab::gather(&dst_slab, &dst_idx, &stage_dst_slab, &lin);
+                }),
+        );
+        self.arrays[array.0].dirty[p.dst_region] = true;
+
+        // The next pack into the source staging buffer must wait for this
+        // peer copy; serialize via an event back onto the source stream.
+        let ev2 = self.gpu.record_event(self.streams[p.dst_region]);
+        self.gpu.stream_wait_event(self.streams[p.src_region], ev2);
+    }
+
+    /// Get (allocating on first use) the staging pair for a patch. Staging
+    /// buffers are keyed by (src_region, dst_region, box) — patch geometry
+    /// is static, so each exchange reuses its pair.
+    fn patch_staging(&mut self, p: &GhostPatch, cells: usize) -> PatchStaging {
+        // Staging buffers are small; allocate fresh per call would leak
+        // device memory across steps, so cache by key.
+        let key = (p.src_region, p.dst_region, p.dst_box);
+        if let Some(idx) = self.staging_keys.iter().position(|k| *k == key) {
+            return self.staging[idx];
+        }
+        let src_stage = self
+            .gpu
+            .malloc_device_on(self.owner[p.src_region], cells)
+            .expect("staging allocation");
+        let dst_stage = self
+            .gpu
+            .malloc_device_on(self.owner[p.dst_region], cells)
+            .expect("staging allocation");
+        let entry = PatchStaging {
+            src_stage,
+            dst_stage,
+        };
+        self.staging_keys.push(key);
+        self.staging.push(entry);
+        entry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ArrayId;
+    use gpu_sim::{GpuSystem, MachineConfig, SimTime};
+    use kernels::{busy, heat, init};
+    use tida::{tiles_of, Domain, ExchangeMode, RegionSpec, TileSpec};
+
+    fn heat_drive(
+        acc: &mut MultiAcc,
+        decomp: &Arc<Decomposition>,
+        mut src: ArrayId,
+        mut dst: ArrayId,
+        steps: usize,
+    ) -> ArrayId {
+        let tiles = tiles_of(decomp, TileSpec::RegionSized);
+        for _ in 0..steps {
+            acc.fill_boundary(src);
+            for &t in &tiles {
+                acc.compute2(t, dst, src, heat::cost(t.num_cells()), "heat", |d, s, bx| {
+                    heat::step_tile(d, s, &bx, heat::DEFAULT_FAC)
+                });
+            }
+            std::mem::swap(&mut src, &mut dst);
+        }
+        acc.sync_to_host(src);
+        src
+    }
+
+    #[test]
+    fn heat_across_two_devices_matches_golden() {
+        let n = 8i64;
+        let steps = 4;
+        let decomp = Arc::new(Decomposition::new(
+            Domain::periodic_cube(n),
+            RegionSpec::Count(4),
+        ));
+        let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+        let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+        ua.fill_valid(init::hash_field(31));
+
+        let mut acc = MultiAcc::new(GpuSystem::multi(MachineConfig::k40m(), 2, true));
+        let a = acc.register(&ua);
+        let b = acc.register(&ub);
+        let last = heat_drive(&mut acc, &decomp, a, b, steps);
+        acc.finish();
+
+        // Regions 0-1 on device 0, regions 2-3 on device 1.
+        assert_eq!(acc.owner(0), 0);
+        assert_eq!(acc.owner(3), 1);
+        assert!(acc.gpu().stats_bytes_p2p() > 0, "cross-device halos used P2P");
+
+        let golden = heat::golden_run(init::hash_field(31), n, steps, heat::DEFAULT_FAC);
+        let arr = if last == a { &ua } else { &ub };
+        assert_eq!(arr.to_dense().unwrap(), golden);
+    }
+
+    #[test]
+    fn heat_across_four_devices_matches_golden() {
+        let n = 8i64;
+        let steps = 3;
+        let decomp = Arc::new(Decomposition::new(
+            Domain::periodic_cube(n),
+            RegionSpec::Count(8),
+        ));
+        let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+        let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+        ua.fill_valid(init::hash_field(32));
+
+        let mut acc = MultiAcc::new(GpuSystem::multi(MachineConfig::k40m(), 4, true));
+        let a = acc.register(&ua);
+        let b = acc.register(&ub);
+        let last = heat_drive(&mut acc, &decomp, a, b, steps);
+        acc.finish();
+        let golden = heat::golden_run(init::hash_field(32), n, steps, heat::DEFAULT_FAC);
+        let arr = if last == a { &ua } else { &ub };
+        assert_eq!(arr.to_dense().unwrap(), golden);
+    }
+
+    #[test]
+    fn single_device_multiacc_equals_golden_too() {
+        let n = 8i64;
+        let decomp = Arc::new(Decomposition::new(
+            Domain::periodic_cube(n),
+            RegionSpec::Count(4),
+        ));
+        let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+        let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+        ua.fill_valid(init::hash_field(33));
+        let mut acc = MultiAcc::new(GpuSystem::multi(MachineConfig::k40m(), 1, true));
+        let a = acc.register(&ua);
+        let b = acc.register(&ub);
+        let last = heat_drive(&mut acc, &decomp, a, b, 3);
+        acc.finish();
+        assert_eq!(acc.gpu().stats_bytes_p2p(), 0, "one device, no peer traffic");
+        let golden = heat::golden_run(init::hash_field(33), n, 3, heat::DEFAULT_FAC);
+        let arr = if last == a { &ua } else { &ub };
+        assert_eq!(arr.to_dense().unwrap(), golden);
+    }
+
+    #[test]
+    fn compute_bound_work_scales_with_devices() {
+        let run = |devices: usize| {
+            let decomp = Arc::new(Decomposition::new(
+                Domain::periodic_cube(64),
+                RegionSpec::Count(8),
+            ));
+            let u = TileArray::new(decomp.clone(), 0, ExchangeMode::Faces, false);
+            let mut acc = MultiAcc::new(GpuSystem::multi(MachineConfig::k40m(), devices, false));
+            let a = acc.register(&u);
+            for _ in 0..4 {
+                for t in tiles_of(&decomp, TileSpec::RegionSized) {
+                    acc.compute1(
+                        t,
+                        a,
+                        busy::cost(t.num_cells(), busy::DEFAULT_KERNEL_ITERATION, busy::MathImpl::PgiLibm),
+                        "busy",
+                        |_, _| {},
+                    );
+                }
+            }
+            acc.sync_to_host(a);
+            acc.finish()
+        };
+        let one = run(1);
+        let two = run(2);
+        let four = run(4);
+        let s2 = one.as_secs_f64() / two.as_secs_f64();
+        let s4 = one.as_secs_f64() / four.as_secs_f64();
+        assert!(s2 > 1.8, "2-device speedup {s2}");
+        assert!(s4 > 3.2, "4-device speedup {s4}");
+    }
+
+    #[test]
+    fn prop_style_sweep_devices_regions_steps() {
+        // Exhaustive small sweep (deterministic stand-in for a proptest:
+        // the space is tiny). Every (devices, regions, steps) combination
+        // must be bitwise golden.
+        for devices in [1usize, 2, 3] {
+            for regions in [2usize, 4] {
+                for steps in [1usize, 3] {
+                    let n = 8i64;
+                    let decomp = Arc::new(Decomposition::new(
+                        Domain::periodic_cube(n),
+                        RegionSpec::Count(regions),
+                    ));
+                    let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+                    let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+                    ua.fill_valid(init::hash_field(devices as u64 * 100 + regions as u64));
+                    let mut acc =
+                        MultiAcc::new(GpuSystem::multi(MachineConfig::k40m(), devices, true));
+                    let a = acc.register(&ua);
+                    let b = acc.register(&ub);
+                    let last = heat_drive(&mut acc, &decomp, a, b, steps);
+                    acc.finish();
+                    let golden = heat::golden_run(
+                        init::hash_field(devices as u64 * 100 + regions as u64),
+                        n,
+                        steps,
+                        heat::DEFAULT_FAC,
+                    );
+                    let arr = if last == a { &ua } else { &ub };
+                    assert_eq!(
+                        arr.to_dense().unwrap(),
+                        golden,
+                        "devices={devices} regions={regions} steps={steps}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn in_place_kernel_after_exchange_correct() {
+        // compute1 + ghost exchange across devices in one flow.
+        let n = 6i64;
+        let decomp = Arc::new(Decomposition::new(
+            Domain::periodic_cube(n),
+            RegionSpec::Count(2),
+        ));
+        let u = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+        u.fill_valid(|iv| iv.z() as f64);
+        let mut acc = MultiAcc::new(GpuSystem::multi(MachineConfig::k40m(), 2, true));
+        let a = acc.register(&u);
+        acc.fill_boundary(a);
+        for t in tiles_of(&decomp, TileSpec::RegionSized) {
+            acc.compute1(t, a, gpu_sim::KernelCost::Flops(1e3), "noop", |_, _| {});
+        }
+        acc.sync_to_host(a);
+        let elapsed = acc.finish();
+        assert!(elapsed > SimTime::ZERO);
+        assert_eq!(u.value(tida::IntVect::new(0, 0, 5)), Some(5.0));
+    }
+}

@@ -1,0 +1,129 @@
+//! Runtime configuration of the accelerator layer.
+
+/// How regions are mapped to device memory slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotPolicy {
+    /// The paper's scheme: region `r` of array `a` statically maps to slot
+    /// `(r * num_arrays + a) % num_slots`. Interleaving by array keeps the
+    /// source and destination regions of one kernel in distinct slots
+    /// whenever `num_slots >= num_arrays`.
+    StaticInterleaved,
+    /// Extension: any free slot, evicting the least-recently-used occupant
+    /// when none is free. Avoids static collisions at the cost of a lookup.
+    Lru,
+}
+
+/// When an evicted region's device data is copied back to the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WritebackPolicy {
+    /// The paper's behaviour: every eviction queues a device→host transfer.
+    Always,
+    /// Extension: skip the transfer when no kernel has written the slot
+    /// since it was loaded (the host copy is still current).
+    DirtyOnly,
+}
+
+/// Options for [`crate::TileAcc`].
+#[derive(Debug, Clone)]
+pub struct AccOptions {
+    pub policy: SlotPolicy,
+    pub writeback: WritebackPolicy,
+    /// Artificial cap on the number of device slots, regardless of free
+    /// memory — how the paper limits the GPU to two regions in Fig. 7/8.
+    pub max_slots: Option<usize>,
+    /// Fraction of free device memory the slot pool may claim.
+    pub mem_fraction: f64,
+    /// Initial execution mode (the tile iterator's `reset(GPU=...)`).
+    pub gpu: bool,
+    /// Efficiency of the library's kernels. TiDA-acc kernels are generated
+    /// by the OpenACC compiler from the `compute` lambda (§IV-B-5); the
+    /// library supplies `collapse`/`deviceptr` hints and launches one kernel
+    /// per region, which the cost model credits as near-tuned (0.95) rather
+    /// than hand-tuned CUDA (1.0).
+    pub kernel_efficiency: f64,
+    /// Upload a region that the next kernel fully overwrites. `false`
+    /// (default) skips the host→device copy when `compute`'s destination
+    /// tile covers the region's whole valid box — without this, the heat
+    /// solver moves twice the necessary data and the paper's low-iteration
+    /// wins (Fig. 5) are impossible, so the original library must have had
+    /// an equivalent. Set `true` to measure the difference (ablation).
+    pub upload_written_regions: bool,
+    /// Run ghost-cell updates on the device when regions are resident
+    /// (§IV-B-6). `false` forces every ghost patch onto the host path —
+    /// the ablation for the paper's device-update design choice.
+    pub ghost_on_device: bool,
+    /// Synchronize the whole device before each ghost exchange, as the
+    /// paper does (`acc wait`, §IV-B-6). `false` is the barrier-free
+    /// extension: per-slot event ordering replaces the global barrier, so
+    /// the exchange of one region overlaps compute still draining on
+    /// others.
+    pub ghost_barrier: bool,
+    /// Launch one combined gather kernel per destination region instead of
+    /// one kernel per patch (extension): same traffic, ~6× fewer launches
+    /// for face exchanges.
+    pub ghost_batching: bool,
+}
+
+impl Default for AccOptions {
+    fn default() -> Self {
+        AccOptions {
+            policy: SlotPolicy::StaticInterleaved,
+            writeback: WritebackPolicy::Always,
+            max_slots: None,
+            mem_fraction: 0.95,
+            gpu: true,
+            kernel_efficiency: 0.95,
+            upload_written_regions: false,
+            ghost_on_device: true,
+            ghost_barrier: true,
+            ghost_batching: false,
+        }
+    }
+}
+
+impl AccOptions {
+    /// The paper's configuration (static slots, unconditional write-back).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    pub fn with_max_slots(mut self, n: usize) -> Self {
+        self.max_slots = Some(n);
+        self
+    }
+
+    pub fn with_policy(mut self, p: SlotPolicy) -> Self {
+        self.policy = p;
+        self
+    }
+
+    pub fn with_writeback(mut self, w: WritebackPolicy) -> Self {
+        self.writeback = w;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let o = AccOptions::paper();
+        assert_eq!(o.policy, SlotPolicy::StaticInterleaved);
+        assert_eq!(o.writeback, WritebackPolicy::Always);
+        assert_eq!(o.max_slots, None);
+        assert!(o.gpu);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let o = AccOptions::default()
+            .with_max_slots(2)
+            .with_policy(SlotPolicy::Lru)
+            .with_writeback(WritebackPolicy::DirtyOnly);
+        assert_eq!(o.max_slots, Some(2));
+        assert_eq!(o.policy, SlotPolicy::Lru);
+        assert_eq!(o.writeback, WritebackPolicy::DirtyOnly);
+    }
+}

@@ -1,0 +1,173 @@
+//! Reductions over tile arrays.
+//!
+//! Solvers need global quantities (residual norms, total energy) that the
+//! paper's compute API cannot express: a reduction produces one scalar from
+//! every region, wherever each region currently lives. The device path
+//! launches one reduction kernel per resident region in its slot's stream
+//! (cost: one streaming read of the region) followed by a scalar-sized
+//! device→host copy; host-resident regions reduce on the host clock. The
+//! call is blocking, like `cublas`-style reductions.
+
+use crate::tileacc::{ArrayId, Residency, TileAcc};
+use gpu_sim::{KernelCost, KernelLaunch};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use tida::with_view;
+
+impl TileAcc {
+    /// Reduce `map(cell)` over every valid cell of `array` with the
+    /// associative `combine`, starting from `identity`.
+    ///
+    /// Returns `None` when the array is virtual (timing-only run) — the
+    /// schedule cost is still charged, so harnesses can time reductions.
+    pub fn reduce<M, C>(
+        &mut self,
+        array: ArrayId,
+        label: &'static str,
+        identity: f64,
+        map: M,
+        combine: C,
+    ) -> Option<f64>
+    where
+        M: Fn(f64) -> f64 + Clone + 'static,
+        C: Fn(f64, f64) -> f64 + Clone + 'static,
+    {
+        let regions = self.array(array).num_regions();
+        let partials: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(vec![identity; regions]));
+        let virtual_run = self.array(array).is_virtual();
+
+        for r in 0..regions {
+            let reg = self.array(array).region(r).clone();
+            let cells = reg.valid.num_cells();
+            match self.residency(array, r) {
+                Residency::Device(s) if self.gpu_enabled() => {
+                    // Device partial reduction in the slot's stream.
+                    let slab = self.gpu().device_slab(self.slot_dev(s));
+                    let (m, c, out) = (map.clone(), combine.clone(), partials.clone());
+                    let eff = self.kernel_efficiency();
+                    let stream = self.slot_stream(s);
+                    let dev = self.slot_dev(s);
+                    self.gpu_mut().launch_kernel(
+                        stream,
+                        KernelLaunch::new(label, KernelCost::Bytes(cells * 8))
+                            .efficiency(eff)
+                            .reads(dev.into())
+                            .exec(move || {
+                                with_view(&slab, reg.layout, |v| {
+                                    let mut acc = identity;
+                                    for iv in reg.valid.iter() {
+                                        acc = c(acc, m(v.at(iv)));
+                                    }
+                                    out.lock()[reg.id] = acc;
+                                });
+                            }),
+                    );
+                    // The partial comes back as a scalar copy (modelled as a
+                    // one-element transfer; latency dominated).
+                    let host_scratch = self
+                        .gpu_mut()
+                        .malloc_host(1, gpu_sim::HostMemKind::Pinned);
+                    let dev = self.slot_dev(s);
+                    self.gpu_mut()
+                        .memcpy_d2h_async(host_scratch, 0, dev, 0, 1, stream);
+                }
+                _ => {
+                    // Host partial: the region's authoritative copy is on
+                    // the host (or we are in CPU mode — acquire it first).
+                    self.acquire_host(array, r);
+                    let (m, c, out) = (map.clone(), combine.clone(), partials.clone());
+                    with_view(&reg.slab, reg.layout, |v| {
+                        let mut acc = identity;
+                        for iv in reg.valid.iter() {
+                            acc = c(acc, m(v.at(iv)));
+                        }
+                        out.lock()[reg.id] = acc;
+                    });
+                    let cost = KernelCost::Bytes(cells * 8);
+                    let d = cost.duration_on_host(self.gpu().config());
+                    self.gpu_mut().host_work(d, label);
+                }
+            }
+        }
+        // Blocking: wait for all partials, then combine on the host.
+        self.gpu_mut().device_synchronize();
+        if virtual_run {
+            return None;
+        }
+        let partials = partials.lock();
+        Some(partials.iter().copied().fold(identity, combine))
+    }
+
+    /// Sum of all valid cells.
+    pub fn reduce_sum(&mut self, array: ArrayId) -> Option<f64> {
+        self.reduce(array, "reduce-sum", 0.0, |x| x, |a, b| a + b)
+    }
+
+    /// Maximum absolute value over all valid cells.
+    pub fn reduce_max_abs(&mut self, array: ArrayId) -> Option<f64> {
+        self.reduce(array, "reduce-max", 0.0, f64::abs, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{AccOptions, TileAcc};
+    use gpu_sim::{GpuSystem, MachineConfig};
+    use std::sync::Arc;
+    use tida::{tiles_of, Decomposition, Domain, ExchangeMode, RegionSpec, TileArray, TileSpec};
+
+    fn setup(backed: bool) -> (TileAcc, TileArray, crate::ArrayId, Arc<Decomposition>) {
+        let decomp = Arc::new(Decomposition::new(
+            Domain::periodic_cube(8),
+            RegionSpec::Count(4),
+        ));
+        let u = TileArray::new(decomp.clone(), 0, ExchangeMode::Faces, backed);
+        u.fill_valid(|iv| (iv.x() - 3) as f64);
+        let mut acc = TileAcc::new(GpuSystem::new(MachineConfig::k40m()), AccOptions::paper());
+        let a = acc.register(&u);
+        (acc, u, a, decomp)
+    }
+
+    #[test]
+    fn sum_over_host_resident_regions() {
+        let (mut acc, _u, a, _d) = setup(true);
+        // x-3 over x in 0..8 sums to 4 per (y,z) line; 64 lines.
+        assert_eq!(acc.reduce_sum(a), Some(4.0 * 64.0));
+    }
+
+    #[test]
+    fn sum_after_gpu_compute_uses_device_path() {
+        let (mut acc, _u, a, d) = setup(true);
+        for t in tiles_of(&d, TileSpec::RegionSized) {
+            acc.compute1(t, a, gpu_sim::KernelCost::Flops(1e3), "inc", |v, bx| {
+                for iv in bx.iter() {
+                    v.update(iv, |x| x + 1.0);
+                }
+            });
+        }
+        // Regions are device-resident now; the reduction must see the
+        // incremented values without an explicit sync_to_host.
+        assert_eq!(acc.reduce_sum(a), Some(4.0 * 64.0 + 512.0));
+    }
+
+    #[test]
+    fn max_abs_reduction() {
+        let (mut acc, _u, a, _d) = setup(true);
+        assert_eq!(acc.reduce_max_abs(a), Some(4.0)); // |7-3| = 4
+    }
+
+    #[test]
+    fn virtual_run_returns_none_but_costs_time() {
+        let (mut acc, _u, a, _d) = setup(false);
+        let before = acc.gpu().host_now();
+        assert_eq!(acc.reduce_sum(a), None);
+        assert!(acc.gpu().host_now() > before, "reduction must cost time");
+    }
+
+    #[test]
+    fn reduction_in_cpu_mode() {
+        let (mut acc, _u, a, _d) = setup(true);
+        acc.set_gpu(false);
+        assert_eq!(acc.reduce_sum(a), Some(4.0 * 64.0));
+    }
+}

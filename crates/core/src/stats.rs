@@ -1,0 +1,83 @@
+//! Runtime counters.
+
+use std::fmt;
+
+/// Counters accumulated by [`crate::TileAcc`] over a run. Useful for
+/// asserting the caching protocol's behaviour (hits avoid transfers,
+/// limited memory causes evictions, static-slot conflicts fall back to the
+/// host) without inspecting the schedule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccStats {
+    /// Device-cache hits: the region was already resident in its slot.
+    pub hits: u64,
+    /// Host→device region loads.
+    pub loads: u64,
+    /// Slots claimed without an upload because the kernel overwrites the
+    /// whole region (write-intent allocation).
+    pub write_allocs: u64,
+    /// Evictions (another region needed the slot).
+    pub evictions: u64,
+    /// Eviction write-backs skipped because the slot was clean
+    /// (only under `WritebackPolicy::DirtyOnly`).
+    pub writebacks_skipped: u64,
+    /// Device→host transfers triggered by host access.
+    pub host_syncs: u64,
+    /// Kernels launched on the device path.
+    pub kernels_gpu: u64,
+    /// Tiles executed on the host path (CPU mode or conflict fallback).
+    pub kernels_host: u64,
+    /// Tiles that *fell back* to the host because of a static slot conflict.
+    pub conflict_fallbacks: u64,
+    /// Ghost patches applied via device gather kernels.
+    pub ghost_gpu: u64,
+    /// Ghost patches applied on the host.
+    pub ghost_host: u64,
+}
+
+impl fmt::Display for AccStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hits={} loads={} evictions={} host_syncs={} kernels(gpu/host)={}/{} ghosts(gpu/host)={}/{} conflicts={}",
+            self.hits,
+            self.loads,
+            self.evictions,
+            self.host_syncs,
+            self.kernels_gpu,
+            self.kernels_host,
+            self.ghost_gpu,
+            self.ghost_host,
+            self.conflict_fallbacks,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed_and_displays() {
+        let s = AccStats::default();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.write_allocs, 0);
+        assert_eq!(s.writebacks_skipped, 0);
+        let text = s.to_string();
+        assert!(text.contains("loads=0"));
+        assert!(text.contains("evictions=0"));
+    }
+
+    #[test]
+    fn display_reflects_counts() {
+        let s = AccStats {
+            hits: 3,
+            loads: 2,
+            kernels_gpu: 7,
+            ..AccStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("hits=3"));
+        assert!(text.contains("loads=2"));
+        assert!(text.contains("kernels(gpu/host)=7/0"));
+    }
+}

@@ -1,0 +1,767 @@
+//! `TileAcc` — device memory slots, streams, caching, and the compute API.
+//!
+//! This is the paper's main data structure (§IV-B). Responsibilities, in the
+//! paper's order:
+//!
+//! 1. **Memory management**: query free device memory (`cudaMemGetInfo`),
+//!    allocate one region-sized device buffer per *slot* for as many regions
+//!    as fit, and map regions onto slots (regions share slots when the
+//!    device memory is insufficient — that is what lets oversubscribed
+//!    problems run).
+//! 2. **Streams**: one stream per slot; all operations touching a slot are
+//!    issued to its stream, so transfers of one region overlap kernels on
+//!    others while per-slot order is automatic.
+//! 3. **Memory transfers**: regions are the transfer unit; all copies are
+//!    asynchronous `cudaMemcpyAsync` equivalents. Host-bound transfers are
+//!    followed by a stream synchronize because the caller may touch the data
+//!    immediately (§IV-B-3).
+//! 4. **Caching**: a cache list records which region currently occupies each
+//!    slot (`None` = empty, the paper's `-1`); accesses that hit skip the
+//!    transfer, misses queue an eviction write-back plus a load.
+//! 5. **Kernels**: the `compute` methods take tiles and a closure (the
+//!    paper's C++ lambda) and launch it in the destination slot's stream.
+//! 6. **Ghost cell update**: see `ghost.rs`.
+//!
+//! Deviation from the paper (documented in DESIGN.md): when one kernel needs
+//! two regions that live in *different* slots, the kernel is issued to the
+//! destination slot's stream with an event-wait on the source slot's stream,
+//! and the source slot records a "foreign consumer" event so a later load
+//! into it cannot overwrite data a still-running kernel is reading. The
+//! paper does not spell out its cross-stream ordering; this is the standard
+//! CUDA idiom and preserves the paper's overlap behaviour.
+
+use crate::options::{AccOptions, SlotPolicy, WritebackPolicy};
+use crate::stats::AccStats;
+use gpu_sim::{
+    DeviceBuffer, GpuSystem, HostBuffer, HostMemKind, KernelCost, OpId, SimTime, StreamId,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+use tida::{with_view_mut, Box3, Decomposition, Tile, TileArray};
+
+/// Handle to an array registered with [`TileAcc::register`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayId(pub(crate) usize);
+
+/// Where a region's authoritative data currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residency {
+    Host,
+    /// Resident in this device slot.
+    Device(usize),
+}
+
+/// A static slot conflict: the operation needed two regions that map to the
+/// same device slot. The caller falls back to the host path.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SlotConflict;
+
+struct ArrayEntry {
+    array: TileArray,
+    /// Pinned host buffer handle per region (`cudaMallocHost` in the paper).
+    host: Vec<HostBuffer>,
+}
+
+struct Slot {
+    dev: DeviceBuffer,
+    dirty: bool,
+    /// Completion events of kernels in *other* streams that read this slot;
+    /// the next transfer into the slot must wait for them.
+    foreign_consumers: Vec<gpu_sim::Event>,
+    lru_stamp: u64,
+}
+
+/// The accelerator runtime. One `TileAcc` owns the simulated platform and
+/// every registered array. See the module docs.
+pub struct TileAcc {
+    gpu: GpuSystem,
+    opts: AccOptions,
+    decomp: Option<Arc<Decomposition>>,
+    arrays: Vec<ArrayEntry>,
+    /// Device slots (allocated lazily on first use).
+    slots: Vec<Slot>,
+    streams: Vec<StreamId>,
+    /// Paper's cache list: global region occupying each slot.
+    cache: Vec<Option<usize>>,
+    /// Inverse map: slot holding each global region.
+    loc: Vec<Option<usize>>,
+    /// In-flight eviction write-backs per global region.
+    inflight_writeback: HashMap<usize, OpId>,
+    /// Last enqueued device operation touching each global region's *host*
+    /// buffer (H2D reads it, D2H writes it). Host-side code must wait for
+    /// this op before touching the buffer eagerly, or a simulated transfer
+    /// scheduled in the past would observe data written by host code that
+    /// (in simulated time) runs after it.
+    host_slab_op: HashMap<usize, OpId>,
+    clock: u64,
+    gpu_mode: bool,
+    stats: AccStats,
+    /// Bytes of one device slot.
+    slot_len: usize,
+}
+
+impl TileAcc {
+    /// Wrap a platform. Arrays are added with [`TileAcc::register`]; device
+    /// slots are sized on first use.
+    pub fn new(gpu: GpuSystem, opts: AccOptions) -> Self {
+        let gpu_mode = opts.gpu;
+        TileAcc {
+            gpu,
+            opts,
+            decomp: None,
+            arrays: Vec::new(),
+            slots: Vec::new(),
+            streams: Vec::new(),
+            cache: Vec::new(),
+            loc: Vec::new(),
+            inflight_writeback: HashMap::new(),
+            host_slab_op: HashMap::new(),
+            clock: 0,
+            gpu_mode,
+            stats: AccStats::default(),
+            slot_len: 0,
+        }
+    }
+
+    /// Register a tile array. All arrays must share one decomposition (the
+    /// paper's kernels iterate matching regions of several arrays). Must be
+    /// called before the first compute/ghost operation.
+    pub fn register(&mut self, array: &TileArray) -> ArrayId {
+        assert!(
+            self.slots.is_empty(),
+            "register all arrays before the first compute operation"
+        );
+        match &self.decomp {
+            None => self.decomp = Some(array.decomp().clone()),
+            Some(d) => assert!(
+                Arc::ptr_eq(d, array.decomp()),
+                "all registered arrays must share one decomposition"
+            ),
+        }
+        let host: Vec<HostBuffer> = array
+            .regions()
+            .iter()
+            .map(|r| self.gpu.adopt_host_slab(r.slab.clone(), HostMemKind::Pinned))
+            .collect();
+        self.arrays.push(ArrayEntry {
+            array: array.clone(),
+            host,
+        });
+        ArrayId(self.arrays.len() - 1)
+    }
+
+    /// Switch between GPU and CPU execution — the paper's
+    /// `tileItr.reset(GPU=true/false)`.
+    pub fn set_gpu(&mut self, on: bool) {
+        self.gpu_mode = on;
+    }
+
+    pub fn gpu_enabled(&self) -> bool {
+        self.gpu_mode
+    }
+
+    pub fn stats(&self) -> AccStats {
+        self.stats
+    }
+
+    pub fn gpu(&self) -> &GpuSystem {
+        &self.gpu
+    }
+
+    pub fn gpu_mut(&mut self) -> &mut GpuSystem {
+        &mut self.gpu
+    }
+
+    /// Number of device slots (0 before first use).
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn num_arrays(&self) -> usize {
+        self.arrays.len()
+    }
+
+    fn num_regions(&self) -> usize {
+        self.decomp
+            .as_ref()
+            .expect("no arrays registered")
+            .num_regions()
+    }
+
+    /// Where a region's authoritative copy lives right now.
+    pub fn residency(&self, array: ArrayId, region: usize) -> Residency {
+        if self.slots.is_empty() {
+            return Residency::Host;
+        }
+        match self.loc[self.gidx(array, region)] {
+            Some(s) => Residency::Device(s),
+            None => Residency::Host,
+        }
+    }
+
+    /// Drain all outstanding work; returns total elapsed simulated time.
+    pub fn finish(&mut self) -> SimTime {
+        self.gpu.finish()
+    }
+
+    /// Global region index: regions of different arrays interleave so the
+    /// static policy keeps one kernel's operands in distinct slots.
+    fn gidx(&self, array: ArrayId, region: usize) -> usize {
+        region * self.arrays.len() + array.0
+    }
+
+    fn gsplit(&self, g: usize) -> (usize, usize) {
+        (g % self.arrays.len(), g / self.arrays.len())
+    }
+
+    /// Lazily size and allocate the slot pool (§IV-B-1): query free device
+    /// memory and fit as many region-sized buffers as possible, capped by
+    /// the total region count and by `opts.max_slots`.
+    fn ensure_slots(&mut self) {
+        if !self.slots.is_empty() {
+            return;
+        }
+        assert!(!self.arrays.is_empty(), "no arrays registered");
+        let total = self.num_regions() * self.arrays.len();
+        self.slot_len = self
+            .arrays
+            .iter()
+            .flat_map(|a| a.array.regions().iter())
+            .map(|r| r.slab.len())
+            .max()
+            .expect("arrays have regions");
+        let bytes = (self.slot_len * std::mem::size_of::<f64>()) as u64;
+        let (free, _) = self.gpu.mem_get_info();
+        let fit = ((free as f64 * self.opts.mem_fraction) as u64 / bytes) as usize;
+        let n = total
+            .min(fit)
+            .min(self.opts.max_slots.unwrap_or(usize::MAX));
+        assert!(
+            n >= 1,
+            "device memory ({free} bytes free) cannot hold a single region ({bytes} bytes)"
+        );
+        for _ in 0..n {
+            let dev = self
+                .gpu
+                .malloc_device(self.slot_len)
+                .expect("slot pool sizing guaranteed the allocation fits");
+            let stream = self.gpu.create_stream();
+            self.slots.push(Slot {
+                dev,
+                dirty: false,
+                foreign_consumers: Vec::new(),
+                lru_stamp: 0,
+            });
+            self.streams.push(stream);
+        }
+        self.cache = vec![None; n];
+        self.loc = vec![None; total];
+    }
+
+    fn touch(&mut self, slot: usize) {
+        self.clock += 1;
+        self.slots[slot].lru_stamp = self.clock;
+    }
+
+    /// Choose the slot for global region `g`, never one of `pinned`.
+    fn pick_slot(&self, g: usize, pinned: &[usize]) -> Result<usize, SlotConflict> {
+        let n = self.slots.len();
+        match self.opts.policy {
+            SlotPolicy::StaticInterleaved => {
+                let s = g % n;
+                if pinned.contains(&s) {
+                    Err(SlotConflict)
+                } else {
+                    Ok(s)
+                }
+            }
+            SlotPolicy::Lru => (0..n)
+                .filter(|s| !pinned.contains(s))
+                .min_by_key(|&s| (self.cache[s].is_some(), self.slots[s].lru_stamp))
+                .ok_or(SlotConflict),
+        }
+    }
+
+    /// The caching protocol of §IV-B-4: make region (`array`, `region`)
+    /// device-resident, queueing at most one eviction write-back and one
+    /// load in the slot's stream. Returns the slot. `pinned` slots (held by
+    /// the current operation's other operands) are never victimized.
+    pub(crate) fn acquire_device(
+        &mut self,
+        array: ArrayId,
+        region: usize,
+        pinned: &[usize],
+    ) -> Result<usize, SlotConflict> {
+        self.acquire_device_intent(array, region, pinned, false)
+    }
+
+    /// [`TileAcc::acquire_device`] with a write intent: when `write_all` is
+    /// true the caller's kernel overwrites the region's entire valid box, so
+    /// (unless `opts.upload_written_regions`) the host→device load is
+    /// skipped — the slot is simply claimed and marked dirty.
+    pub(crate) fn acquire_device_intent(
+        &mut self,
+        array: ArrayId,
+        region: usize,
+        pinned: &[usize],
+        write_all: bool,
+    ) -> Result<usize, SlotConflict> {
+        self.ensure_slots();
+        let g = self.gidx(array, region);
+        if let Some(s) = self.loc[g] {
+            self.stats.hits += 1;
+            self.touch(s);
+            return Ok(s);
+        }
+        let s = self.pick_slot(g, pinned)?;
+
+        // Everything that happens to this slot from here on must wait for
+        // kernels in *other* streams still using it.
+        self.drain_consumers_into(s, s);
+
+        // Evict the current occupant, writing its data back (§IV-B-4,
+        // "second possibility").
+        if let Some(g2) = self.cache[s] {
+            self.stats.evictions += 1;
+            let write_back =
+                self.opts.writeback == WritebackPolicy::Always || self.slots[s].dirty;
+            if write_back {
+                let (a2, r2) = self.gsplit(g2);
+                let host = self.arrays[a2].host[r2];
+                let len = self.arrays[a2].array.region(r2).slab.len();
+                let op = self
+                    .gpu
+                    .memcpy_d2h_async(host, 0, self.slots[s].dev, 0, len, self.streams[s]);
+                self.inflight_writeback.insert(g2, op);
+                self.host_slab_op.insert(g2, op);
+            } else {
+                self.stats.writebacks_skipped += 1;
+            }
+            self.loc[g2] = None;
+        }
+
+        // The incoming load must additionally wait for any in-flight
+        // write-back of this region's own host buffer.
+        if let Some(op) = self.inflight_writeback.remove(&g) {
+            self.gpu.stream_wait_op(self.streams[s], op);
+        }
+
+        let skip_load = write_all && !self.opts.upload_written_regions;
+        if skip_load {
+            // The kernel overwrites the whole valid box; ghost cells are
+            // refreshed by the next fill_boundary before anything reads
+            // them, so no upload is needed. The slot is dirty from the
+            // moment it is claimed.
+            self.stats.write_allocs += 1;
+            self.slots[s].dirty = true;
+        } else {
+            let (a, r) = self.gsplit(g);
+            let host = self.arrays[a].host[r];
+            let len = self.arrays[a].array.region(r).slab.len();
+            let op = self
+                .gpu
+                .memcpy_h2d_async(self.slots[s].dev, 0, host, 0, len, self.streams[s]);
+            self.host_slab_op.insert(g, op);
+            self.stats.loads += 1;
+            self.slots[s].dirty = false;
+        }
+        self.cache[s] = Some(g);
+        self.loc[g] = Some(s);
+        self.touch(s);
+        Ok(s)
+    }
+
+    /// Host access to a region (§IV-B-4, "GPU disabled iteration"): if it is
+    /// device-resident, queue the transfer back and block until it lands
+    /// (the caller may touch the data immediately, §IV-B-3). The slot is
+    /// released.
+    pub(crate) fn acquire_host(&mut self, array: ArrayId, region: usize) {
+        if self.slots.is_empty() {
+            return; // nothing was ever on the device
+        }
+        let g = self.gidx(array, region);
+        if let Some(s) = self.loc[g] {
+            let need_copy =
+                self.opts.writeback == WritebackPolicy::Always || self.slots[s].dirty;
+            if need_copy {
+                self.drain_consumers_into(s, s);
+                let (a, r) = self.gsplit(g);
+                let host = self.arrays[a].host[r];
+                let len = self.arrays[a].array.region(r).slab.len();
+                self.gpu
+                    .memcpy_d2h_async(host, 0, self.slots[s].dev, 0, len, self.streams[s]);
+                self.stats.host_syncs += 1;
+            }
+            self.gpu.stream_synchronize(self.streams[s]);
+            self.cache[s] = None;
+            self.loc[g] = None;
+            self.slots[s].dirty = false;
+        } else if let Some(op) = self.inflight_writeback.remove(&g) {
+            // An eviction write-back is still in flight; wait for it.
+            self.gpu.sync_op(op);
+        }
+        // The caller will touch the host buffer eagerly: every enqueued
+        // transfer that reads or writes it must have executed first (a
+        // pending upload could otherwise observe host writes from its
+        // simulated future).
+        if let Some(op) = self.host_slab_op.remove(&g) {
+            self.gpu.sync_op(op);
+        }
+    }
+
+    /// Bring every region of `array` back to the host, region by region —
+    /// the drain is pipelined because each region syncs only its own slot's
+    /// stream.
+    pub fn sync_to_host(&mut self, array: ArrayId) {
+        for r in 0..self.num_regions() {
+            self.acquire_host(array, r);
+        }
+    }
+
+    /// Asynchronously stage a region onto the device ahead of use
+    /// (extension: `cudaMemPrefetchAsync`-style warm-up). A no-op when the
+    /// region is already resident or when GPU execution is disabled; under
+    /// the static policy a region whose slot is needed by later operands
+    /// may still be evicted before use.
+    pub fn prefetch(&mut self, array: ArrayId, region: usize) {
+        if !self.gpu_mode {
+            return;
+        }
+        self.ensure_slots();
+        let _ = self.acquire_device(array, region, &[]);
+    }
+
+    /// Prefetch every region of `array` (pipelined across slot streams).
+    pub fn prefetch_all(&mut self, array: ArrayId) {
+        for r in 0..self.num_regions() {
+            self.prefetch(array, r);
+        }
+    }
+
+    /// Record that a kernel running in `consumer_stream_slot`'s stream reads
+    /// (or writes) `src_slot`; a later operation on `src_slot` must wait for
+    /// it.
+    fn note_foreign_read(&mut self, src_slot: usize, consumer_slot: usize) {
+        if src_slot != consumer_slot {
+            let ev = self.gpu.record_event(self.streams[consumer_slot]);
+            self.slots[src_slot].foreign_consumers.push(ev);
+        }
+    }
+
+    /// Make the next operation submitted to `stream_slot`'s stream wait for
+    /// every recorded foreign use of `slot`.
+    fn drain_consumers_into(&mut self, slot: usize, stream_slot: usize) {
+        let consumers = std::mem::take(&mut self.slots[slot].foreign_consumers);
+        for ev in consumers {
+            self.gpu.stream_wait_event(self.streams[stream_slot], ev);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The compute API (§V): tiles + a lambda, one source for CPU and GPU.
+    // ------------------------------------------------------------------
+
+    /// In-place kernel over one tile of one array:
+    /// `compute(tile, [](data, lo, hi) {...})` in the paper's interface.
+    ///
+    /// `cost` declares the device cost; the closure is the data effect and
+    /// runs wherever the tile executes (host, or the simulated device).
+    pub fn compute1(
+        &mut self,
+        tile: Tile,
+        array: ArrayId,
+        cost: KernelCost,
+        label: &'static str,
+        f: impl FnOnce(&mut tida::ViewMut<'_>, Box3) + 'static,
+    ) {
+        if !self.gpu_mode {
+            self.compute1_host(tile, array, cost, label, f);
+            return;
+        }
+        self.ensure_slots();
+        let s = match self.acquire_device(array, tile.region, &[]) {
+            Ok(s) => s,
+            Err(SlotConflict) => {
+                // A single operand cannot conflict under either policy, but
+                // keep the fallback for robustness.
+                self.stats.conflict_fallbacks += 1;
+                self.compute1_host(tile, array, cost, label, f);
+                return;
+            }
+        };
+        let slab = self.gpu.device_slab(self.slots[s].dev);
+        let layout = self.arrays[array.0].array.region(tile.region).layout;
+        let bx = tile.bx;
+        let dev = self.slots[s].dev;
+        self.gpu.launch_kernel(
+            self.streams[s],
+            gpu_sim::KernelLaunch::new(label, cost)
+                .efficiency(self.opts.kernel_efficiency)
+                .writes(dev.into())
+                .exec(move || {
+                    with_view_mut(&slab, layout, |mut v| f(&mut v, bx));
+                }),
+        );
+        self.slots[s].dirty = true;
+        self.stats.kernels_gpu += 1;
+    }
+
+    fn compute1_host(
+        &mut self,
+        tile: Tile,
+        array: ArrayId,
+        cost: KernelCost,
+        label: &'static str,
+        f: impl FnOnce(&mut tida::ViewMut<'_>, Box3),
+    ) {
+        self.acquire_host(array, tile.region);
+        let r = self.arrays[array.0].array.region(tile.region);
+        let (slab, layout) = (r.slab.clone(), r.layout);
+        with_view_mut(&slab, layout, |mut v| f(&mut v, tile.bx));
+        let d = cost.duration_on_host(self.gpu.config());
+        self.gpu.host_work(d, label);
+        self.stats.kernels_host += 1;
+    }
+
+    /// Two-operand kernel over matching regions: `dst <- f(src)` on the
+    /// cells of `tile` (the heat step's `compute(tile_new, tile_old, ...)`).
+    /// A convenience wrapper over [`TileAcc::compute`].
+    pub fn compute2(
+        &mut self,
+        tile: Tile,
+        dst: ArrayId,
+        src: ArrayId,
+        cost: KernelCost,
+        label: &'static str,
+        f: impl FnOnce(&mut tida::ViewMut<'_>, &tida::View<'_>, Box3) + 'static,
+    ) {
+        self.compute(tile, &[dst], &[src], cost, label, move |ws, rs, bx| {
+            f(&mut ws[0], &rs[0], bx)
+        });
+    }
+
+    /// The general multi-operand kernel (§V: "If computation involves
+    /// multiple tiles as inputs, then the compute method takes these tiles
+    /// and a lambda function").
+    ///
+    /// Over the cells of `tile`, the closure receives mutable views of the
+    /// matching region of every array in `writes` and read views of every
+    /// array in `reads` (in the given order). Write arrays whose tile covers
+    /// the whole valid box are claimed without uploading (write-intent).
+    /// `writes` and `reads` must be disjoint; use [`TileAcc::compute1`] for
+    /// in-place kernels.
+    pub fn compute(
+        &mut self,
+        tile: Tile,
+        writes: &[ArrayId],
+        reads: &[ArrayId],
+        cost: KernelCost,
+        label: &'static str,
+        f: impl FnOnce(&mut [tida::ViewMut<'_>], &[tida::View<'_>], Box3) + 'static,
+    ) {
+        assert!(!writes.is_empty(), "compute needs at least one write array");
+        for (i, w) in writes.iter().enumerate() {
+            assert!(
+                !writes[i + 1..].contains(w),
+                "compute: duplicate write array {w:?}"
+            );
+            assert!(
+                !reads.contains(w),
+                "compute: array {w:?} in both writes and reads; use compute1 for in-place kernels"
+            );
+        }
+        if !self.gpu_mode {
+            self.compute_host(tile, writes, reads, cost, label, f);
+            return;
+        }
+        self.ensure_slots();
+        let r = tile.region;
+        let write_all = tile.bx == self.arrays[writes[0].0].array.region(r).valid;
+
+        // Acquire every operand, pinning as we go so later acquisitions
+        // cannot evict earlier ones. Any static-slot conflict falls back to
+        // the host path.
+        let mut pinned: Vec<usize> = Vec::with_capacity(reads.len() + writes.len());
+        let mut read_slots = Vec::with_capacity(reads.len());
+        for &a in reads {
+            match self.acquire_device(a, r, &pinned) {
+                Ok(s) => {
+                    if !pinned.contains(&s) {
+                        pinned.push(s);
+                    }
+                    read_slots.push(s);
+                }
+                Err(SlotConflict) => {
+                    self.stats.conflict_fallbacks += 1;
+                    self.compute_host(tile, writes, reads, cost, label, f);
+                    return;
+                }
+            }
+        }
+        let mut write_slots = Vec::with_capacity(writes.len());
+        for &a in writes {
+            match self.acquire_device_intent(a, r, &pinned, write_all) {
+                Ok(s) => {
+                    pinned.push(s);
+                    write_slots.push(s);
+                }
+                Err(SlotConflict) => {
+                    self.stats.conflict_fallbacks += 1;
+                    self.compute_host(tile, writes, reads, cost, label, f);
+                    return;
+                }
+            }
+        }
+
+        // The kernel runs in the first write slot's stream; order it after
+        // every other involved slot's outstanding work, and after foreign
+        // uses of the slots it will overwrite.
+        let ks = write_slots[0];
+        let mut ordered: Vec<usize> = Vec::new();
+        for &s in read_slots.iter().chain(&write_slots) {
+            if s != ks && !ordered.contains(&s) {
+                ordered.push(s);
+                let ev = self.gpu.record_event(self.streams[s]);
+                self.gpu.stream_wait_event(self.streams[ks], ev);
+            }
+        }
+        for &s in &write_slots {
+            self.drain_consumers_into(s, ks);
+        }
+
+        let wpairs: Vec<(memslab::Slab, tida::Layout)> = writes
+            .iter()
+            .zip(&write_slots)
+            .map(|(a, &s)| {
+                (
+                    self.gpu.device_slab(self.slots[s].dev),
+                    self.arrays[a.0].array.region(r).layout,
+                )
+            })
+            .collect();
+        let rpairs: Vec<(memslab::Slab, tida::Layout)> = reads
+            .iter()
+            .zip(&read_slots)
+            .map(|(a, &s)| {
+                (
+                    self.gpu.device_slab(self.slots[s].dev),
+                    self.arrays[a.0].array.region(r).layout,
+                )
+            })
+            .collect();
+        let bx = tile.bx;
+        let mut launch = gpu_sim::KernelLaunch::new(label, cost)
+            .efficiency(self.opts.kernel_efficiency)
+            .exec(move || {
+                let wrefs: Vec<(&memslab::Slab, tida::Layout)> =
+                    wpairs.iter().map(|(s, l)| (s, *l)).collect();
+                let rrefs: Vec<(&memslab::Slab, tida::Layout)> =
+                    rpairs.iter().map(|(s, l)| (s, *l)).collect();
+                tida::with_many(&wrefs, &rrefs, |ws, rs| f(ws, rs, bx));
+            });
+        for &s in &read_slots {
+            launch = launch.reads(self.slots[s].dev.into());
+        }
+        for &s in &write_slots {
+            launch = launch.writes(self.slots[s].dev.into());
+        }
+        self.gpu.launch_kernel(self.streams[ks], launch);
+        for &s in &write_slots {
+            self.slots[s].dirty = true;
+            self.note_foreign_read(s, ks);
+        }
+        for &s in &read_slots {
+            self.note_foreign_read(s, ks);
+        }
+        self.stats.kernels_gpu += 1;
+    }
+
+    fn compute_host(
+        &mut self,
+        tile: Tile,
+        writes: &[ArrayId],
+        reads: &[ArrayId],
+        cost: KernelCost,
+        label: &'static str,
+        f: impl FnOnce(&mut [tida::ViewMut<'_>], &[tida::View<'_>], Box3),
+    ) {
+        for &a in reads.iter().chain(writes) {
+            self.acquire_host(a, tile.region);
+        }
+        let wpairs: Vec<(memslab::Slab, tida::Layout)> = writes
+            .iter()
+            .map(|a| {
+                let reg = self.arrays[a.0].array.region(tile.region);
+                (reg.slab.clone(), reg.layout)
+            })
+            .collect();
+        let rpairs: Vec<(memslab::Slab, tida::Layout)> = reads
+            .iter()
+            .map(|a| {
+                let reg = self.arrays[a.0].array.region(tile.region);
+                (reg.slab.clone(), reg.layout)
+            })
+            .collect();
+        let wrefs: Vec<(&memslab::Slab, tida::Layout)> =
+            wpairs.iter().map(|(s, l)| (s, *l)).collect();
+        let rrefs: Vec<(&memslab::Slab, tida::Layout)> =
+            rpairs.iter().map(|(s, l)| (s, *l)).collect();
+        tida::with_many(&wrefs, &rrefs, |ws, rs| f(ws, rs, tile.bx));
+        let d = cost.duration_on_host(self.gpu.config());
+        self.gpu.host_work(d, label);
+        self.stats.kernels_host += 1;
+    }
+
+    // Internal accessors for ghost.rs.
+    pub(crate) fn array(&self, a: ArrayId) -> &TileArray {
+        &self.arrays[a.0].array
+    }
+
+    pub(crate) fn slot_dev(&self, s: usize) -> DeviceBuffer {
+        self.slots[s].dev
+    }
+
+    pub(crate) fn slot_stream(&self, s: usize) -> StreamId {
+        self.streams[s]
+    }
+
+    pub(crate) fn kernel_efficiency(&self) -> f64 {
+        self.opts.kernel_efficiency
+    }
+
+    pub(crate) fn ghost_on_device(&self) -> bool {
+        self.opts.ghost_on_device
+    }
+
+    pub(crate) fn ghost_barrier(&self) -> bool {
+        self.opts.ghost_barrier
+    }
+
+    pub(crate) fn ghost_batching(&self) -> bool {
+        self.opts.ghost_batching
+    }
+
+    pub(crate) fn drain_consumers_pub(&mut self, slot: usize, stream_slot: usize) {
+        self.drain_consumers_into(slot, stream_slot);
+    }
+
+    pub(crate) fn mark_dirty(&mut self, s: usize) {
+        self.slots[s].dirty = true;
+    }
+
+    pub(crate) fn bump_ghost_gpu(&mut self) {
+        self.stats.ghost_gpu += 1;
+    }
+
+    pub(crate) fn bump_ghost_host(&mut self) {
+        self.stats.ghost_host += 1;
+    }
+
+    pub(crate) fn bump_conflict(&mut self) {
+        self.stats.conflict_fallbacks += 1;
+    }
+
+    pub(crate) fn note_foreign_read_pub(&mut self, src_slot: usize, consumer_slot: usize) {
+        self.note_foreign_read(src_slot, consumer_slot);
+    }
+}

@@ -1,0 +1,125 @@
+//! `desim` — a deterministic discrete-event engine.
+//!
+//! This crate is the timing substrate of the GPU platform simulator
+//! (`gpu-sim`): simulated time ([`SimTime`]), capacity-k FIFO engines,
+//! dependency-scheduled operations with data-effect callbacks
+//! ([`Scheduler`]), and recorded span traces ([`Trace`]).
+//!
+//! It knows nothing about GPUs; `gpu-sim` maps CUDA-style streams, copy
+//! engines and kernels onto these primitives.
+
+mod scheduler;
+mod time;
+mod trace;
+
+pub use scheduler::{Bound, CriticalStep, Effect, EngineId, Op, OpId, Scheduler};
+pub use time::SimTime;
+pub use trace::{Span, Trace};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Random op DAGs: every schedule must satisfy the three invariants
+    /// (capacity-1 engine exclusivity, dependency order, not_before).
+    fn arb_program() -> impl Strategy<Value = (usize, Vec<(usize, u64, u64, Vec<usize>)>)> {
+        // (num_engines, ops as (engine, duration, not_before, deps-as-earlier-indices))
+        (1usize..4).prop_flat_map(|nengines| {
+            let ops = proptest::collection::vec(
+                (0usize..nengines, 0u64..100, 0u64..50, proptest::collection::vec(any::<prop::sample::Index>(), 0..3)),
+                1..40,
+            )
+            .prop_map(move |raw| {
+                raw.into_iter()
+                    .enumerate()
+                    .map(|(i, (e, d, nb, deps))| {
+                        let deps: Vec<usize> = if i == 0 {
+                            vec![]
+                        } else {
+                            deps.into_iter().map(|ix| ix.index(i)).collect()
+                        };
+                        (e, d, nb, deps)
+                    })
+                    .collect::<Vec<_>>()
+            });
+            (Just(nengines), ops)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_schedule_invariants((nengines, prog) in arb_program()) {
+            let mut s = Scheduler::new();
+            let engines: Vec<EngineId> = (0..nengines).map(|i| s.add_engine(format!("e{i}"), 1)).collect();
+            s.set_tracing(true);
+            let mut ids: Vec<OpId> = Vec::new();
+            for (e, d, nb, deps) in &prog {
+                let op = Op::on(engines[*e], SimTime::from_ns(*d))
+                    .not_before(SimTime::from_ns(*nb))
+                    .after_all(deps.iter().map(|&i| ids[i]));
+                ids.push(s.submit(op));
+            }
+            let makespan = s.run_all();
+
+            // 1. deps respected + not_before respected
+            for (i, (_, _, nb, deps)) in prog.iter().enumerate() {
+                let start = s.start_of(ids[i]).unwrap();
+                prop_assert!(start >= SimTime::from_ns(*nb));
+                for &d in deps {
+                    prop_assert!(s.completion(ids[d]).unwrap() <= start);
+                }
+            }
+            // 2. capacity-1 engines never overlap
+            let trace = s.trace();
+            for e in 0..nengines {
+                let spans = trace.spans_of(e);
+                for w in spans.windows(2) {
+                    prop_assert!(w[0].end <= w[1].start,
+                        "engine {e} overlap: {:?}..{:?} then {:?}..{:?}",
+                        w[0].start, w[0].end, w[1].start, w[1].end);
+                }
+            }
+            // 3. makespan bounds: at least the longest op, at most sum + max not_before
+            let total: u64 = prog.iter().map(|(_, d, _, _)| d).sum();
+            let max_nb: u64 = prog.iter().map(|(_, _, nb, _)| *nb).max().unwrap_or(0);
+            prop_assert!(makespan.as_ns() <= total + max_nb);
+            let longest: u64 = prog.iter().map(|(_, d, _, _)| *d).max().unwrap_or(0);
+            prop_assert!(makespan.as_ns() >= longest);
+
+            // 4. the critical path is time-contiguous, ends at the makespan,
+            //    and terminates at a host-bound op.
+            let path = s.critical_path();
+            prop_assert!(!path.is_empty());
+            prop_assert_eq!(path[0].end, makespan);
+            for w in path.windows(2) {
+                // Dependency/Engine bounds abut exactly; HostAfter may leave
+                // a gap covered by host-side time.
+                match w[0].bound {
+                    Bound::HostAfter(_) => prop_assert!(w[0].start >= w[1].end),
+                    _ => prop_assert_eq!(w[0].start, w[1].end, "critical path has a gap"),
+                }
+            }
+            prop_assert!(matches!(path.last().unwrap().bound, Bound::Host));
+        }
+
+        /// The scheduler is deterministic: same program, same schedule.
+        #[test]
+        fn prop_deterministic((nengines, prog) in arb_program()) {
+            let run = || {
+                let mut s = Scheduler::new();
+                let engines: Vec<EngineId> = (0..nengines).map(|i| s.add_engine(format!("e{i}"), 1)).collect();
+                let mut ids: Vec<OpId> = Vec::new();
+                for (e, d, nb, deps) in &prog {
+                    let op = Op::on(engines[*e], SimTime::from_ns(*d))
+                        .not_before(SimTime::from_ns(*nb))
+                        .after_all(deps.iter().map(|&i| ids[i]));
+                    ids.push(s.submit(op));
+                }
+                s.run_all();
+                ids.iter().map(|&i| (s.start_of(i).unwrap(), s.completion(i).unwrap())).collect::<Vec<_>>()
+            };
+            prop_assert_eq!(run(), run());
+        }
+    }
+}

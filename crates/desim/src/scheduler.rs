@@ -1,0 +1,669 @@
+//! Dependency-driven list scheduler.
+//!
+//! The model: a fixed set of *engines* (capacity-k FIFO servers — copy
+//! engines, the compute engine, ...), and *operations* submitted
+//! incrementally. An operation carries
+//!
+//! * the engine it must run on (or none, for zero-cost markers),
+//! * a duration (from the cost model),
+//! * a `not_before` time — the host clock at enqueue; hardware cannot start
+//!   work before the host issued it,
+//! * dependencies on previously submitted operations (stream FIFO order and
+//!   cross-stream event waits are expressed this way), and
+//! * an optional *effect*: a closure applied when the operation executes,
+//!   which is how simulated copies and kernels move real data.
+//!
+//! Operations become *ready* when all dependencies have completed (and
+//! `not_before` has passed); ready operations are admitted to their engine in
+//! ready-time order (ties broken by submission order), starting at
+//! `max(ready, earliest-free-server)`. This mirrors how CUDA hardware queues
+//! drain work and makes the schedule — and therefore every simulated run —
+//! fully deterministic.
+//!
+//! Effects are applied in scheduling order. For programs whose conflicting
+//! accesses are ordered by dependencies (as any correct stream program is),
+//! this coincides with data order; see `gpu-sim`'s hazard checker for the
+//! racy case.
+
+use crate::time::SimTime;
+use crate::trace::{Span, Trace};
+use std::borrow::Cow;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Handle to an engine registered with [`Scheduler::add_engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EngineId(pub usize);
+
+/// Handle to a submitted operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub usize);
+
+/// Closure applied when an operation executes.
+pub type Effect = Box<dyn FnOnce()>;
+
+/// Description of one operation; build with [`Op::on`] / [`Op::marker`].
+pub struct Op {
+    engine: Option<EngineId>,
+    duration: SimTime,
+    not_before: SimTime,
+    deps: Vec<OpId>,
+    label: Cow<'static, str>,
+    category: &'static str,
+    effect: Option<Effect>,
+    host_cause: Option<OpId>,
+}
+
+impl Op {
+    /// An operation occupying `engine` for `duration`.
+    pub fn on(engine: EngineId, duration: SimTime) -> Self {
+        Op {
+            engine: Some(engine),
+            duration,
+            not_before: SimTime::ZERO,
+            deps: Vec::new(),
+            label: Cow::Borrowed("op"),
+            category: "op",
+            effect: None,
+            host_cause: None,
+        }
+    }
+
+    /// A zero-duration operation bound to no engine; completes as soon as its
+    /// dependencies do. Used for events/fences.
+    pub fn marker() -> Self {
+        Op {
+            engine: None,
+            duration: SimTime::ZERO,
+            not_before: SimTime::ZERO,
+            deps: Vec::new(),
+            label: Cow::Borrowed("marker"),
+            category: "marker",
+            effect: None,
+            host_cause: None,
+        }
+    }
+
+    /// Earliest start (host enqueue time).
+    pub fn not_before(mut self, t: SimTime) -> Self {
+        self.not_before = t;
+        self
+    }
+
+    /// Add one dependency.
+    pub fn after(mut self, dep: OpId) -> Self {
+        self.deps.push(dep);
+        self
+    }
+
+    /// Add dependencies.
+    pub fn after_all(mut self, deps: impl IntoIterator<Item = OpId>) -> Self {
+        self.deps.extend(deps);
+        self
+    }
+
+    /// Label shown in traces.
+    pub fn label(mut self, label: impl Into<Cow<'static, str>>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Trace category (e.g. `h2d`, `kernel`, `host`).
+    pub fn category(mut self, category: &'static str) -> Self {
+        self.category = category;
+        self
+    }
+
+    /// Data effect applied at execution.
+    pub fn effect(mut self, f: impl FnOnce() + 'static) -> Self {
+        self.effect = Some(Box::new(f));
+        self
+    }
+
+    /// Attribute this op's `not_before` to a host stall on `op` (the host
+    /// blocked on it before enqueueing this). Purely for critical-path
+    /// attribution; no timing effect.
+    pub fn host_cause(mut self, op: Option<OpId>) -> Self {
+        self.host_cause = op;
+        self
+    }
+}
+
+struct Engine {
+    /// Earliest time each server slot becomes free.
+    servers: Vec<SimTime>,
+    /// Last op executed on each server (for critical-path attribution).
+    last_on_server: Vec<Option<usize>>,
+}
+
+struct OpNode {
+    engine: Option<EngineId>,
+    duration: SimTime,
+    label: Cow<'static, str>,
+    category: &'static str,
+    remaining_deps: usize,
+    dependents: Vec<usize>,
+    /// max(not_before, ends of resolved deps so far).
+    ready_time: SimTime,
+    /// The dependency whose completion set `ready_time` (None when bound by
+    /// `not_before`, i.e. the host).
+    binding_dep: Option<usize>,
+    start: Option<SimTime>,
+    end: Option<SimTime>,
+    effect: Option<Effect>,
+    host_cause: Option<OpId>,
+    /// What delayed this op's start (filled at execution).
+    bound: Bound,
+}
+
+/// Why an operation started when it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// Started at its host enqueue time (`not_before`).
+    Host,
+    /// Started at its host enqueue time, and the host was there because it
+    /// had blocked on the given op shortly before.
+    HostAfter(OpId),
+    /// Waited for a dependency (stream order / event) to complete.
+    Dependency(OpId),
+    /// Waited for its engine to become free behind another op.
+    Engine(OpId),
+}
+
+/// One step of a critical path: the op, its timing, and what it waited for.
+#[derive(Debug, Clone)]
+pub struct CriticalStep {
+    pub op: OpId,
+    pub label: String,
+    pub category: &'static str,
+    pub start: SimTime,
+    pub end: SimTime,
+    pub bound: Bound,
+}
+
+/// The list scheduler. See the module docs for the model.
+#[derive(Default)]
+pub struct Scheduler {
+    engines: Vec<Engine>,
+    engine_names: Vec<String>,
+    ops: Vec<OpNode>,
+    /// Ready ops as (ready_time_ns, op_index); min-heap via `Reverse`.
+    ready: BinaryHeap<Reverse<(u64, usize)>>,
+    executed: usize,
+    max_end: SimTime,
+    /// Op with the latest completion so far.
+    last_finished: Option<usize>,
+    tracing: bool,
+    spans: Vec<Span>,
+}
+
+impl Scheduler {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an engine with `capacity` parallel servers (>= 1).
+    pub fn add_engine(&mut self, name: impl Into<String>, capacity: usize) -> EngineId {
+        assert!(capacity >= 1, "engine capacity must be at least 1");
+        self.engines.push(Engine {
+            servers: vec![SimTime::ZERO; capacity],
+            last_on_server: vec![None; capacity],
+        });
+        self.engine_names.push(name.into());
+        EngineId(self.engines.len() - 1)
+    }
+
+    /// Enable or disable span recording (labels are kept either way).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Submit an operation. Dependencies must refer to already-submitted ops.
+    pub fn submit(&mut self, op: Op) -> OpId {
+        let id = self.ops.len();
+        if let Some(EngineId(e)) = op.engine {
+            assert!(e < self.engines.len(), "unknown engine {e}");
+        }
+        let mut ready_time = op.not_before;
+        let mut binding_dep = None;
+        let mut remaining = 0usize;
+        for &OpId(d) in &op.deps {
+            assert!(d < id, "op {id} depends on not-yet-submitted op {d}");
+            match self.ops[d].end {
+                Some(end) => {
+                    if end > ready_time || (end == ready_time && binding_dep.is_none()) {
+                        ready_time = end;
+                        binding_dep = Some(d);
+                    }
+                }
+                None => {
+                    self.ops[d].dependents.push(id);
+                    remaining += 1;
+                }
+            }
+        }
+        self.ops.push(OpNode {
+            engine: op.engine,
+            duration: op.duration,
+            label: op.label,
+            category: op.category,
+            remaining_deps: remaining,
+            dependents: Vec::new(),
+            ready_time,
+            binding_dep,
+            start: None,
+            end: None,
+            effect: op.effect,
+            host_cause: op.host_cause,
+            bound: Bound::Host,
+        });
+        if remaining == 0 {
+            self.ready.push(Reverse((ready_time.as_ns(), id)));
+        }
+        OpId(id)
+    }
+
+    /// Completion time, if the op has executed.
+    pub fn completion(&self, OpId(id): OpId) -> Option<SimTime> {
+        self.ops[id].end
+    }
+
+    /// Start time, if the op has executed.
+    pub fn start_of(&self, OpId(id): OpId) -> Option<SimTime> {
+        self.ops[id].start
+    }
+
+    /// Number of operations executed so far.
+    pub fn executed(&self) -> usize {
+        self.executed
+    }
+
+    /// Number of operations submitted so far.
+    pub fn submitted(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Latest completion time over all executed operations.
+    pub fn max_end(&self) -> SimTime {
+        self.max_end
+    }
+
+    /// The operation with the latest completion so far.
+    pub fn last_finished(&self) -> Option<OpId> {
+        self.last_finished.map(OpId)
+    }
+
+    /// Execute one ready operation. Returns `false` when nothing is ready.
+    fn step(&mut self) -> bool {
+        let Some(Reverse((_, idx))) = self.ready.pop() else {
+            return false;
+        };
+        let (start, server) = match self.ops[idx].engine {
+            None => (self.ops[idx].ready_time, 0),
+            Some(EngineId(e)) => {
+                let servers = &mut self.engines[e].servers;
+                let (srv, _) = servers
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(i, t)| (**t, *i))
+                    .expect("engine has at least one server");
+                let start = self.ops[idx].ready_time.max(servers[srv]);
+                (start, srv)
+            }
+        };
+        let end = start + self.ops[idx].duration;
+        // Attribute the delay: engine contention, a dependency, or the host.
+        self.ops[idx].bound = match self.ops[idx].engine {
+            Some(EngineId(e)) if start > self.ops[idx].ready_time => {
+                match self.engines[e].last_on_server[server] {
+                    Some(prev) => Bound::Engine(OpId(prev)),
+                    None => Bound::Host,
+                }
+            }
+            _ => match self.ops[idx].binding_dep {
+                Some(d) => Bound::Dependency(OpId(d)),
+                None => match self.ops[idx].host_cause {
+                    Some(c) => Bound::HostAfter(c),
+                    None => Bound::Host,
+                },
+            },
+        };
+        if let Some(EngineId(e)) = self.ops[idx].engine {
+            self.engines[e].servers[server] = end;
+            self.engines[e].last_on_server[server] = Some(idx);
+        }
+        self.ops[idx].start = Some(start);
+        self.ops[idx].end = Some(end);
+        if end >= self.max_end {
+            self.max_end = end;
+            self.last_finished = Some(idx);
+        }
+        self.executed += 1;
+
+        if self.tracing {
+            if let Some(EngineId(e)) = self.ops[idx].engine {
+                self.spans.push(Span {
+                    engine: e,
+                    server,
+                    label: self.ops[idx].label.to_string(),
+                    category: self.ops[idx].category.to_string(),
+                    start,
+                    end,
+                });
+            }
+        }
+        if let Some(effect) = self.ops[idx].effect.take() {
+            effect();
+        }
+
+        let dependents = std::mem::take(&mut self.ops[idx].dependents);
+        for dep in dependents {
+            let node = &mut self.ops[dep];
+            if end > node.ready_time || (end == node.ready_time && node.binding_dep.is_none()) {
+                node.ready_time = end;
+                node.binding_dep = Some(idx);
+            }
+            node.remaining_deps -= 1;
+            if node.remaining_deps == 0 {
+                self.ready.push(Reverse((node.ready_time.as_ns(), dep)));
+            }
+        }
+        true
+    }
+
+    /// The chain of operations that determined the makespan, latest first:
+    /// start from the op that finished last, then repeatedly follow whatever
+    /// it waited for (a dependency or the op ahead of it on its engine)
+    /// until an op that started at its host enqueue time.
+    ///
+    /// Call after [`Scheduler::run_all`]. Empty if nothing executed.
+    pub fn critical_path(&self) -> Vec<CriticalStep> {
+        let mut cur = self
+            .ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.end.is_some())
+            .max_by_key(|(i, o)| (o.end.unwrap(), *i))
+            .map(|(i, _)| i);
+        let mut path = Vec::new();
+        while let Some(i) = cur {
+            let o = &self.ops[i];
+            path.push(CriticalStep {
+                op: OpId(i),
+                label: o.label.to_string(),
+                category: o.category,
+                start: o.start.expect("on path"),
+                end: o.end.expect("on path"),
+                bound: o.bound,
+            });
+            cur = match o.bound {
+                Bound::Host => None,
+                Bound::HostAfter(OpId(d))
+                | Bound::Dependency(OpId(d))
+                | Bound::Engine(OpId(d)) => Some(d),
+            };
+        }
+        path
+    }
+
+    /// Execute until `op` has completed; returns its completion time.
+    ///
+    /// Panics if `op` can never complete (which cannot happen for ops built
+    /// from already-submitted dependencies).
+    pub fn run_until(&mut self, op: OpId) -> SimTime {
+        while self.ops[op.0].end.is_none() {
+            assert!(self.step(), "deadlock: op {} not reachable", op.0);
+        }
+        self.ops[op.0].end.expect("just completed")
+    }
+
+    /// Execute every submitted operation; returns the makespan.
+    pub fn run_all(&mut self) -> SimTime {
+        while self.step() {}
+        assert_eq!(
+            self.executed,
+            self.ops.len(),
+            "internal error: ops stranded with unresolved dependencies"
+        );
+        self.max_end
+    }
+
+    /// The trace recorded so far (empty unless tracing was on).
+    pub fn trace(&self) -> Trace {
+        Trace {
+            engine_names: self.engine_names.clone(),
+            spans: self.spans.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn ns(n: u64) -> SimTime {
+        SimTime::from_ns(n)
+    }
+
+    #[test]
+    fn single_op_runs_at_not_before() {
+        let mut s = Scheduler::new();
+        let e = s.add_engine("e", 1);
+        let op = s.submit(Op::on(e, ns(10)).not_before(ns(5)));
+        assert_eq!(s.run_until(op), ns(15));
+        assert_eq!(s.start_of(op), Some(ns(5)));
+    }
+
+    #[test]
+    fn fifo_on_capacity_one_engine() {
+        let mut s = Scheduler::new();
+        let e = s.add_engine("e", 1);
+        let a = s.submit(Op::on(e, ns(10)));
+        let b = s.submit(Op::on(e, ns(10)));
+        s.run_all();
+        assert_eq!(s.completion(a), Some(ns(10)));
+        assert_eq!(s.completion(b), Some(ns(20)));
+    }
+
+    #[test]
+    fn capacity_two_runs_in_parallel() {
+        let mut s = Scheduler::new();
+        let e = s.add_engine("e", 2);
+        let a = s.submit(Op::on(e, ns(10)));
+        let b = s.submit(Op::on(e, ns(10)));
+        let c = s.submit(Op::on(e, ns(10)));
+        assert_eq!(s.run_all(), ns(20));
+        assert_eq!(s.completion(a), Some(ns(10)));
+        assert_eq!(s.completion(b), Some(ns(10)));
+        assert_eq!(s.completion(c), Some(ns(20)));
+    }
+
+    #[test]
+    fn dependencies_serialize_across_engines() {
+        let mut s = Scheduler::new();
+        let e1 = s.add_engine("copy", 1);
+        let e2 = s.add_engine("compute", 1);
+        let copy = s.submit(Op::on(e1, ns(100)));
+        let kernel = s.submit(Op::on(e2, ns(50)).after(copy));
+        assert_eq!(s.run_until(kernel), ns(150));
+    }
+
+    #[test]
+    fn independent_engines_overlap() {
+        let mut s = Scheduler::new();
+        let e1 = s.add_engine("copy", 1);
+        let e2 = s.add_engine("compute", 1);
+        s.submit(Op::on(e1, ns(100)));
+        s.submit(Op::on(e2, ns(100)));
+        assert_eq!(s.run_all(), ns(100));
+    }
+
+    #[test]
+    fn marker_completes_with_deps() {
+        let mut s = Scheduler::new();
+        let e = s.add_engine("e", 1);
+        let a = s.submit(Op::on(e, ns(10)));
+        let b = s.submit(Op::on(e, ns(20)));
+        let m = s.submit(Op::marker().after(a).after(b));
+        assert_eq!(s.run_until(m), ns(30));
+    }
+
+    #[test]
+    fn effects_apply_in_dependency_order() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut s = Scheduler::new();
+        let e = s.add_engine("e", 1);
+        let l1 = log.clone();
+        let a = s.submit(Op::on(e, ns(10)).effect(move || l1.borrow_mut().push("a")));
+        let l2 = log.clone();
+        let _b = s.submit(
+            Op::on(e, ns(10))
+                .after(a)
+                .effect(move || l2.borrow_mut().push("b")),
+        );
+        s.run_all();
+        assert_eq!(*log.borrow(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn run_until_is_partial() {
+        let mut s = Scheduler::new();
+        let e = s.add_engine("e", 1);
+        let a = s.submit(Op::on(e, ns(10)));
+        let b = s.submit(Op::on(e, ns(10)));
+        s.run_until(a);
+        assert_eq!(s.completion(a), Some(ns(10)));
+        // b may or may not have run; run_all finishes it.
+        s.run_all();
+        assert_eq!(s.completion(b), Some(ns(20)));
+    }
+
+    #[test]
+    fn incremental_submission_after_running() {
+        let mut s = Scheduler::new();
+        let e = s.add_engine("e", 1);
+        let a = s.submit(Op::on(e, ns(10)));
+        s.run_all();
+        // Submit an op depending on an already-finished one.
+        let b = s.submit(Op::on(e, ns(5)).after(a).not_before(ns(100)));
+        assert_eq!(s.run_until(b), ns(105));
+    }
+
+    #[test]
+    fn ready_order_breaks_ties_by_submission() {
+        let mut s = Scheduler::new();
+        let e = s.add_engine("e", 1);
+        let a = s.submit(Op::on(e, ns(10)).label("first"));
+        let b = s.submit(Op::on(e, ns(10)).label("second"));
+        s.set_tracing(true);
+        // Both ready at t=0: submission order wins.
+        s.run_all();
+        assert!(s.start_of(a).unwrap() < s.start_of(b).unwrap());
+    }
+
+    #[test]
+    fn tracing_records_spans() {
+        let mut s = Scheduler::new();
+        let e = s.add_engine("copy", 1);
+        s.set_tracing(true);
+        s.submit(Op::on(e, ns(10)).label("H2D:R0").category("h2d"));
+        s.run_all();
+        let t = s.trace();
+        assert_eq!(t.spans.len(), 1);
+        assert_eq!(t.spans[0].label, "H2D:R0");
+        assert_eq!(t.spans[0].category, "h2d");
+        assert_eq!(t.engine_names, vec!["copy".to_string()]);
+    }
+
+    #[test]
+    fn no_tracing_no_spans() {
+        let mut s = Scheduler::new();
+        let e = s.add_engine("copy", 1);
+        s.submit(Op::on(e, ns(10)));
+        s.run_all();
+        assert!(s.trace().spans.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not-yet-submitted")]
+    fn forward_dependency_panics() {
+        let mut s = Scheduler::new();
+        let e = s.add_engine("e", 1);
+        s.submit(Op::on(e, ns(10)).after(OpId(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_engine_panics() {
+        Scheduler::new().add_engine("bad", 0);
+    }
+
+    #[test]
+    fn diamond_dependency() {
+        let mut s = Scheduler::new();
+        let e = s.add_engine("e", 4);
+        let a = s.submit(Op::on(e, ns(10)));
+        let b = s.submit(Op::on(e, ns(20)).after(a));
+        let c = s.submit(Op::on(e, ns(30)).after(a));
+        let d = s.submit(Op::on(e, ns(5)).after(b).after(c));
+        assert_eq!(s.run_until(d), ns(45)); // 10 + 30 + 5
+    }
+
+    #[test]
+    fn critical_path_follows_dependency_chain() {
+        let mut s = Scheduler::new();
+        let copy = s.add_engine("copy", 1);
+        let comp = s.add_engine("compute", 1);
+        let a = s.submit(Op::on(copy, ns(100)).label("h2d"));
+        let b = s.submit(Op::on(comp, ns(50)).after(a).label("kernel"));
+        let c = s.submit(Op::on(copy, ns(30)).after(b).label("d2h"));
+        s.run_all();
+        let path = s.critical_path();
+        let labels: Vec<&str> = path.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, vec!["d2h", "kernel", "h2d"]);
+        assert_eq!(path[0].bound, Bound::Dependency(b));
+        assert_eq!(path[1].bound, Bound::Dependency(a));
+        assert_eq!(path[2].bound, Bound::Host);
+        // The path covers the makespan with no gaps (chained ops abut).
+        assert_eq!(path[0].end, SimTime::from_ns(180));
+        let _ = c;
+    }
+
+    #[test]
+    fn critical_path_attributes_engine_contention() {
+        let mut s = Scheduler::new();
+        let e = s.add_engine("e", 1);
+        let a = s.submit(Op::on(e, ns(100)).label("first"));
+        let b = s.submit(Op::on(e, ns(10)).label("second"));
+        s.run_all();
+        let path = s.critical_path();
+        assert_eq!(path[0].label, "second");
+        assert_eq!(path[0].bound, Bound::Engine(a));
+        assert_eq!(path[1].label, "first");
+        let _ = b;
+    }
+
+    #[test]
+    fn critical_path_empty_before_running() {
+        let s = Scheduler::new();
+        assert!(s.critical_path().is_empty());
+    }
+
+    #[test]
+    fn counts_track_submission_and_execution() {
+        let mut s = Scheduler::new();
+        let e = s.add_engine("e", 1);
+        s.submit(Op::on(e, ns(1)));
+        s.submit(Op::on(e, ns(1)));
+        assert_eq!(s.submitted(), 2);
+        assert_eq!(s.executed(), 0);
+        s.run_all();
+        assert_eq!(s.executed(), 2);
+    }
+}

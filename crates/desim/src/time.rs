@@ -1,0 +1,171 @@
+//! Simulated time.
+//!
+//! [`SimTime`] is a point on the simulation clock, measured in integer
+//! nanoseconds from the start of the run. Integer time keeps the scheduler
+//! fully deterministic: there is no floating-point accumulation drift, and
+//! ties are broken by submission order rather than by rounding noise.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (nanoseconds since the start of the run).
+///
+/// Durations are represented with the same type; the distinction is by use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// From integer nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// From integer microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// From integer milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// From seconds, rounding to the nearest nanosecond. Negative or
+    /// non-finite inputs are clamped to zero (cost models can produce tiny
+    /// negative values through float error; time never runs backwards).
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime((s * 1e9).round() as u64)
+    }
+
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Saturating subtraction: durations never go negative.
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflow"),
+        )
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    /// Human scale: picks ns / µs / ms / s by magnitude.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns < 1_000 {
+            write!(f, "{ns}ns")
+        } else if ns < 1_000_000 {
+            write!(f, "{:.2}us", ns as f64 / 1e3)
+        } else if ns < 1_000_000_000 {
+            write!(f, "{:.2}ms", ns as f64 / 1e6)
+        } else {
+            write!(f, "{:.3}s", ns as f64 / 1e9)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(SimTime::from_us(3).as_ns(), 3_000);
+        assert_eq!(SimTime::from_ms(2).as_ns(), 2_000_000);
+        assert_eq!(SimTime::from_secs_f64(1.5).as_ns(), 1_500_000_000);
+        assert_eq!(SimTime::from_ns(500).as_secs_f64(), 5e-7);
+    }
+
+    #[test]
+    fn negative_and_nan_seconds_clamp_to_zero() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::INFINITY), SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_ns(100);
+        let b = SimTime::from_ns(40);
+        assert_eq!(a + b, SimTime::from_ns(140));
+        assert_eq!(a - b, SimTime::from_ns(60));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimTime::from_ns(140));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = SimTime::from_ns(1) - SimTime::from_ns(2);
+    }
+
+    #[test]
+    fn display_scales() {
+        assert_eq!(SimTime::from_ns(12).to_string(), "12ns");
+        assert_eq!(SimTime::from_ns(1_500).to_string(), "1.50us");
+        assert_eq!(SimTime::from_ms(12).to_string(), "12.00ms");
+        assert_eq!(SimTime::from_secs_f64(2.5).to_string(), "2.500s");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimTime = [1u64, 2, 3].iter().map(|&n| SimTime::from_ns(n)).sum();
+        assert_eq!(total, SimTime::from_ns(6));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_ns(1) < SimTime::from_ns(2));
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,249 @@
+//! Execution traces.
+//!
+//! When tracing is enabled, the scheduler records one [`Span`] per executed
+//! operation. Spans can be rendered as an ASCII Gantt chart (one lane per
+//! engine server — this regenerates the paper's Fig. 3/7 timelines) or
+//! exported as Chrome trace-event JSON for `chrome://tracing` / Perfetto.
+
+use crate::time::SimTime;
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// One executed operation on one engine server.
+#[derive(Debug, Clone, Serialize)]
+pub struct Span {
+    /// Index of the engine the operation ran on.
+    pub engine: usize,
+    /// Server slot within the engine (0 for capacity-1 engines).
+    pub server: usize,
+    /// Operation label, e.g. `H2D:R3`.
+    pub label: String,
+    /// Coarse category, e.g. `h2d`, `kernel`, `host`.
+    pub category: String,
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
+/// A recorded schedule: engine names plus the spans that ran on them.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    pub engine_names: Vec<String>,
+    pub spans: Vec<Span>,
+}
+
+impl Trace {
+    /// Latest end time over all spans.
+    pub fn makespan(&self) -> SimTime {
+        self.spans.iter().map(|s| s.end).max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Total busy time of one engine (sum of its span durations).
+    pub fn busy_time(&self, engine: usize) -> SimTime {
+        self.spans
+            .iter()
+            .filter(|s| s.engine == engine)
+            .map(|s| s.end - s.start)
+            .sum()
+    }
+
+    /// Spans of one engine, in start order.
+    pub fn spans_of(&self, engine: usize) -> Vec<&Span> {
+        let mut v: Vec<&Span> = self.spans.iter().filter(|s| s.engine == engine).collect();
+        v.sort_by_key(|s| (s.start, s.end));
+        v
+    }
+
+    /// Simulated time during which `a` and `b` both had a span in flight.
+    ///
+    /// This is the quantity behind the paper's overlap claims: e.g. the time
+    /// the H2D copy engine and the compute engine were concurrently busy.
+    pub fn overlap_time(&self, a: usize, b: usize) -> SimTime {
+        let mut total = 0u64;
+        for sa in self.spans.iter().filter(|s| s.engine == a) {
+            for sb in self.spans.iter().filter(|s| s.engine == b) {
+                let lo = sa.start.max(sb.start);
+                let hi = sa.end.min(sb.end);
+                if lo < hi {
+                    total += (hi - lo).as_ns();
+                }
+            }
+        }
+        SimTime::from_ns(total)
+    }
+
+    /// Render an ASCII Gantt chart, `width` characters wide, one lane per
+    /// (engine, server) pair that has at least one span.
+    pub fn render_gantt(&self, width: usize) -> String {
+        let width = width.max(20);
+        let makespan = self.makespan();
+        let mut out = String::new();
+        if makespan == SimTime::ZERO {
+            out.push_str("(empty trace)\n");
+            return out;
+        }
+        let ns_per_col = (makespan.as_ns() as f64 / width as f64).max(1.0);
+
+        // Collect lanes in (engine, server) order.
+        let mut lanes: Vec<(usize, usize)> = self
+            .spans
+            .iter()
+            .map(|s| (s.engine, s.server))
+            .collect();
+        lanes.sort_unstable();
+        lanes.dedup();
+
+        let label_w = lanes
+            .iter()
+            .map(|&(e, s)| self.lane_name(e, s).len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+
+        let _ = writeln!(
+            out,
+            "{:label_w$} |{}| 0 .. {makespan}",
+            "lane",
+            "-".repeat(width)
+        );
+        for &(e, srv) in &lanes {
+            let mut row = vec![' '; width];
+            for span in self.spans.iter().filter(|s| s.engine == e && s.server == srv) {
+                let c0 = (span.start.as_ns() as f64 / ns_per_col) as usize;
+                let c1 = ((span.end.as_ns() as f64 / ns_per_col).ceil() as usize).min(width);
+                let glyph = span
+                    .label
+                    .chars()
+                    .next()
+                    .filter(|c| c.is_ascii_graphic())
+                    .unwrap_or('#');
+                for cell in row.iter_mut().take(c1).skip(c0.min(width.saturating_sub(1))) {
+                    *cell = glyph;
+                }
+            }
+            let _ = writeln!(
+                out,
+                "{:label_w$} |{}|",
+                self.lane_name(e, srv),
+                row.into_iter().collect::<String>()
+            );
+        }
+        out
+    }
+
+    fn lane_name(&self, engine: usize, server: usize) -> String {
+        let base = self
+            .engine_names
+            .get(engine)
+            .cloned()
+            .unwrap_or_else(|| format!("eng{engine}"));
+        if server == 0 {
+            base
+        } else {
+            format!("{base}.{server}")
+        }
+    }
+
+    /// Export as Chrome trace-event JSON (`chrome://tracing`, Perfetto).
+    pub fn to_chrome_json(&self) -> String {
+        #[derive(Serialize)]
+        struct Event<'a> {
+            name: &'a str,
+            cat: &'a str,
+            ph: &'a str,
+            ts: f64,
+            dur: f64,
+            pid: usize,
+            tid: usize,
+        }
+        let events: Vec<Event<'_>> = self
+            .spans
+            .iter()
+            .map(|s| Event {
+                name: &s.label,
+                cat: &s.category,
+                ph: "X",
+                ts: s.start.as_us_f64(),
+                dur: (s.end - s.start).as_us_f64(),
+                pid: 0,
+                tid: s.engine * 64 + s.server,
+            })
+            .collect();
+        serde_json::to_string(&events).expect("trace serialization cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(engine: usize, server: usize, label: &str, start: u64, end: u64) -> Span {
+        Span {
+            engine,
+            server,
+            label: label.to_string(),
+            category: "test".to_string(),
+            start: SimTime::from_ns(start),
+            end: SimTime::from_ns(end),
+        }
+    }
+
+    fn sample() -> Trace {
+        Trace {
+            engine_names: vec!["h2d".into(), "compute".into()],
+            spans: vec![
+                span(0, 0, "H2D:R0", 0, 100),
+                span(0, 0, "H2D:R1", 100, 200),
+                span(1, 0, "K:R0", 100, 250),
+            ],
+        }
+    }
+
+    #[test]
+    fn makespan_and_busy_time() {
+        let t = sample();
+        assert_eq!(t.makespan(), SimTime::from_ns(250));
+        assert_eq!(t.busy_time(0), SimTime::from_ns(200));
+        assert_eq!(t.busy_time(1), SimTime::from_ns(150));
+        assert_eq!(t.busy_time(7), SimTime::ZERO);
+    }
+
+    #[test]
+    fn overlap_time_counts_concurrent_ns() {
+        let t = sample();
+        // H2D:R1 [100,200) overlaps K:R0 [100,250) for 100ns.
+        assert_eq!(t.overlap_time(0, 1), SimTime::from_ns(100));
+        assert_eq!(t.overlap_time(1, 0), SimTime::from_ns(100));
+    }
+
+    #[test]
+    fn spans_of_sorted_by_start() {
+        let mut t = sample();
+        t.spans.swap(0, 1);
+        let spans = t.spans_of(0);
+        assert_eq!(spans[0].label, "H2D:R0");
+        assert_eq!(spans[1].label, "H2D:R1");
+    }
+
+    #[test]
+    fn gantt_renders_all_lanes() {
+        let g = sample().render_gantt(40);
+        assert!(g.contains("h2d"));
+        assert!(g.contains("compute"));
+        assert!(g.contains('H'));
+        assert!(g.contains('K'));
+    }
+
+    #[test]
+    fn gantt_empty_trace() {
+        let t = Trace::default();
+        assert!(t.render_gantt(40).contains("empty"));
+    }
+
+    #[test]
+    fn chrome_json_is_valid_and_complete() {
+        let json = sample().to_chrome_json();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.as_array().unwrap().len(), 3);
+        assert_eq!(parsed[0]["ph"], "X");
+    }
+}

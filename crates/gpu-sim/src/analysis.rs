@@ -1,0 +1,219 @@
+//! Post-run analysis: where did the time go?
+//!
+//! [`RunReport`] condenses a finished run into the quantities the paper
+//! argues about — per-engine utilization, transfer/compute overlap, and a
+//! critical-path breakdown by category (is the run bound by kernels, by the
+//! interconnect, or by host-side work?).
+
+use crate::system::GpuSystem;
+use desim::{Bound, CriticalStep, SimTime};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A condensed account of a finished run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    pub elapsed: SimTime,
+    /// (engine name, busy time, utilization in `[0,1]`).
+    pub engines: Vec<(String, SimTime, f64)>,
+    /// Simulated time both an H2D engine and a compute engine were busy.
+    pub h2d_compute_overlap: SimTime,
+    /// Simulated time both a D2H engine and a compute engine were busy.
+    pub d2h_compute_overlap: SimTime,
+    /// Critical-path time by category (kernel / h2d / d2h / host / ...).
+    pub critical_by_category: BTreeMap<&'static str, SimTime>,
+    /// Number of steps on the critical path.
+    pub critical_len: usize,
+}
+
+impl RunReport {
+    /// The category carrying the largest share of the critical path.
+    pub fn dominant_category(&self) -> Option<(&'static str, SimTime)> {
+        self.critical_by_category
+            .iter()
+            .max_by_key(|(_, t)| **t)
+            .map(|(c, t)| (*c, *t))
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "elapsed {}", self.elapsed)?;
+        for (name, busy, util) in &self.engines {
+            writeln!(f, "  {name:<12} busy {busy:<12} ({:.0}% utilized)", util * 100.0)?;
+        }
+        writeln!(
+            f,
+            "  overlap: h2d||compute {}, d2h||compute {}",
+            self.h2d_compute_overlap, self.d2h_compute_overlap
+        )?;
+        writeln!(f, "  critical path ({} ops):", self.critical_len)?;
+        for (cat, t) in &self.critical_by_category {
+            let share = t.as_secs_f64() / self.elapsed.as_secs_f64().max(1e-12) * 100.0;
+            writeln!(f, "    {cat:<8} {t:<12} ({share:.0}%)")?;
+        }
+        Ok(())
+    }
+}
+
+impl GpuSystem {
+    /// Analyze the completed run. Requires tracing to have been enabled;
+    /// drains any outstanding work first.
+    pub fn report(&mut self) -> RunReport {
+        let elapsed = self.finish();
+        let trace = self.trace();
+        let names = trace.engine_names.clone();
+
+        let engines: Vec<(String, SimTime, f64)> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let busy = trace.busy_time(i);
+                let util = busy.as_secs_f64() / elapsed.as_secs_f64().max(1e-12);
+                (n.clone(), busy, util)
+            })
+            .collect();
+
+        let idx_of = |suffix: &str| -> Vec<usize> {
+            names
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.ends_with(suffix))
+                .map(|(i, _)| i)
+                .collect()
+        };
+        let mut h2d_compute_overlap = SimTime::ZERO;
+        let mut d2h_compute_overlap = SimTime::ZERO;
+        for &c in &idx_of("compute") {
+            for &h in &idx_of("h2d") {
+                h2d_compute_overlap += trace.overlap_time(h, c);
+            }
+            for &d in &idx_of("d2h") {
+                d2h_compute_overlap += trace.overlap_time(d, c);
+            }
+        }
+
+        let path = self.critical_path();
+        let mut critical_by_category: BTreeMap<&'static str, SimTime> = BTreeMap::new();
+        for step in &path {
+            *critical_by_category
+                .entry(step.category)
+                .or_insert(SimTime::ZERO) += step.end - step.start;
+        }
+
+        RunReport {
+            elapsed,
+            engines,
+            h2d_compute_overlap,
+            d2h_compute_overlap,
+            critical_by_category,
+            critical_len: path.len(),
+        }
+    }
+
+    /// The chain of operations that determined the makespan (see
+    /// [`desim::Scheduler::critical_path`]). Drains outstanding work.
+    pub fn critical_path(&mut self) -> Vec<CriticalStep> {
+        self.device_synchronize();
+        self.scheduler_critical_path()
+    }
+
+    /// Fraction of critical-path time attributed to waiting on engines
+    /// rather than dependencies — a contention measure.
+    pub fn contention_share(&mut self) -> f64 {
+        let path = self.critical_path();
+        if path.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = path.iter().map(|s| (s.end - s.start).as_secs_f64()).sum();
+        let contended: f64 = path
+            .iter()
+            .filter(|s| matches!(s.bound, Bound::Engine(_)))
+            .map(|s| (s.end - s.start).as_secs_f64())
+            .sum();
+        contended / total.max(1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{GpuSystem, HostMemKind, KernelCost, KernelLaunch, MachineConfig};
+    use desim::SimTime;
+
+    fn transfer_bound_run() -> GpuSystem {
+        let mut g = GpuSystem::new(MachineConfig::k40m());
+        g.set_tracing(true);
+        let len = (256 << 20) / 8;
+        let h = g.malloc_host(len, HostMemKind::Pinned);
+        let d = g.malloc_device(len).unwrap();
+        let s = g.create_stream();
+        g.memcpy_h2d_async(d, 0, h, 0, len, s);
+        g.launch_kernel(s, KernelLaunch::new("k", KernelCost::Fixed(SimTime::from_us(100))));
+        g.memcpy_d2h_async(h, 0, d, 0, len, s);
+        g
+    }
+
+    #[test]
+    fn report_identifies_transfer_bound_run() {
+        let mut g = transfer_bound_run();
+        let r = g.report();
+        let (cat, _) = r.dominant_category().unwrap();
+        assert!(
+            cat == "h2d" || cat == "d2h",
+            "256 MiB each way vs a 100us kernel must be transfer-bound, got {cat}"
+        );
+        assert!(r.critical_len >= 3);
+        let text = r.to_string();
+        assert!(text.contains("critical path"));
+        assert!(text.contains("compute"));
+    }
+
+    #[test]
+    fn report_identifies_compute_bound_run() {
+        let mut g = GpuSystem::new(MachineConfig::k40m());
+        g.set_tracing(true);
+        let s = g.create_stream();
+        for _ in 0..4 {
+            g.launch_kernel(s, KernelLaunch::new("k", KernelCost::Fixed(SimTime::from_ms(50))));
+        }
+        let r = g.report();
+        assert_eq!(r.dominant_category().unwrap().0, "kernel");
+        // Compute engine near 100% utilized.
+        let (_, _, util) = r.engines.iter().find(|(n, _, _)| n == "compute").unwrap().clone();
+        assert!(util > 0.95, "utilization {util}");
+    }
+
+    #[test]
+    fn contention_share_detects_serialized_copies() {
+        let mut g = GpuSystem::new(MachineConfig::k40m());
+        g.set_tracing(true);
+        let len = (64 << 20) / 8;
+        let h = g.malloc_host(4 * len, HostMemKind::Pinned);
+        let devs: Vec<_> = (0..4).map(|_| g.malloc_device(len).unwrap()).collect();
+        // Four independent streams all issuing H2D at t=0: three of the four
+        // copies wait on the single H2D engine.
+        for (i, d) in devs.iter().enumerate() {
+            let s = g.create_stream();
+            g.memcpy_h2d_async(*d, 0, h, i * len, len, s);
+        }
+        let share = g.contention_share();
+        assert!(share > 0.5, "copies should be contention-bound: {share}");
+    }
+
+    #[test]
+    fn overlap_fields_populated_for_pipelined_run() {
+        let mut g = GpuSystem::new(MachineConfig::k40m());
+        g.set_tracing(true);
+        let len = (64 << 20) / 8;
+        let h = g.malloc_host(2 * len, HostMemKind::Pinned);
+        let d0 = g.malloc_device(len).unwrap();
+        let d1 = g.malloc_device(len).unwrap();
+        let s0 = g.create_stream();
+        let s1 = g.create_stream();
+        g.memcpy_h2d_async(d0, 0, h, 0, len, s0);
+        g.launch_kernel(s0, KernelLaunch::new("k", KernelCost::Bytes(1 << 30)));
+        g.memcpy_h2d_async(d1, 0, h, len, len, s1);
+        let r = g.report();
+        assert!(r.h2d_compute_overlap > SimTime::ZERO);
+    }
+}

@@ -1,0 +1,92 @@
+//! Kernel launch descriptors.
+//!
+//! A [`KernelLaunch`] is what the host submits to a stream: a label, a cost
+//! declaration for the scheduler, an optional *executor* closure that
+//! performs the kernel's data effect on the (simulated) device buffers, and
+//! the buffer access lists used by the hazard checker.
+//!
+//! The executor captures [`memslab::Slab`] handles directly; it runs at the
+//! kernel's scheduled position, so it observes exactly the data a real device
+//! would (including the effects of earlier copies into a reused buffer).
+
+use crate::config::KernelCost;
+use crate::system::BufKey;
+use std::borrow::Cow;
+
+/// Description of one kernel launch. Build with [`KernelLaunch::new`].
+pub struct KernelLaunch {
+    pub(crate) label: Cow<'static, str>,
+    pub(crate) cost: KernelCost,
+    pub(crate) efficiency: f64,
+    pub(crate) exec: Option<Box<dyn FnOnce()>>,
+    pub(crate) reads: Vec<BufKey>,
+    pub(crate) writes: Vec<BufKey>,
+}
+
+impl KernelLaunch {
+    /// A kernel with the given trace label and cost.
+    pub fn new(label: impl Into<Cow<'static, str>>, cost: KernelCost) -> Self {
+        KernelLaunch {
+            label: label.into(),
+            cost,
+            efficiency: 1.0,
+            exec: None,
+            reads: Vec::new(),
+            writes: Vec::new(),
+        }
+    }
+
+    /// Kernel efficiency in (0, 1]; models untuned launch geometry
+    /// (the paper lets the OpenACC compiler pick grid/block shapes, §II-C).
+    pub fn efficiency(mut self, e: f64) -> Self {
+        self.efficiency = e;
+        self
+    }
+
+    /// The data effect: runs when the kernel executes in simulated time.
+    pub fn exec(mut self, f: impl FnOnce() + 'static) -> Self {
+        self.exec = Some(Box::new(f));
+        self
+    }
+
+    /// Declare a buffer the kernel reads (hazard checking + managed-memory
+    /// migration).
+    pub fn reads(mut self, key: BufKey) -> Self {
+        self.reads.push(key);
+        self
+    }
+
+    /// Declare a buffer the kernel writes.
+    pub fn writes(mut self, key: BufKey) -> Self {
+        self.writes.push(key);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{KernelCost, MachineConfig};
+    use desim::SimTime;
+
+    #[test]
+    fn builder_sets_fields() {
+        let k = KernelLaunch::new("k", KernelCost::Fixed(SimTime::from_us(1)))
+            .efficiency(0.5)
+            .reads(BufKey::Device(0))
+            .writes(BufKey::Device(1));
+        assert_eq!(k.label, "k");
+        assert_eq!(k.efficiency, 0.5);
+        assert_eq!(k.reads, vec![BufKey::Device(0)]);
+        assert_eq!(k.writes, vec![BufKey::Device(1)]);
+        assert!(k.exec.is_none());
+    }
+
+    #[test]
+    fn cost_duration_matches_config() {
+        let cfg = MachineConfig::k40m();
+        let k = KernelLaunch::new("k", KernelCost::Bytes(1 << 20));
+        let d = k.cost.duration(&cfg, k.efficiency);
+        assert!(d > cfg.kernel_launch_overhead);
+    }
+}

@@ -1,0 +1,489 @@
+//! `gpu-sim` — a deterministic simulator of a host + GPU platform.
+//!
+//! The paper evaluates TiDA-acc on a Xeon host driving a Tesla K40m over
+//! PCIe Gen3 with CUDA streams. This machine has no GPU, so per the
+//! reproduction's substitution policy (see `DESIGN.md` §2) the platform is
+//! replaced with a discrete-event model exposing the same API surface and,
+//! crucially, the same *concurrency semantics*: in-order streams, one DMA
+//! engine per direction, pageable-vs-pinned-vs-managed host memory, and
+//! microsecond-scale launch/copy latencies.
+//!
+//! Buffers can be *backed* (kernels and copies move real `f64` data — used
+//! by the correctness tests) or *virtual* (timing only — used to run the
+//! paper's 512³ workloads cheaply). The schedule is identical either way.
+
+mod analysis;
+mod config;
+mod kernel;
+mod memory;
+mod system;
+
+pub use analysis::RunReport;
+pub use config::{HostMemKind, KernelCost, MachineConfig};
+pub use kernel::KernelLaunch;
+pub use memory::{DeviceAllocator, OutOfDeviceMemory};
+pub use system::{
+    BufKey, DeviceBuffer, Event, GpuSystem, Hazard, HostBuffer, ManagedBuffer, StreamId,
+};
+
+pub use desim::{Bound, CriticalStep, OpId, SimTime, Trace};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> GpuSystem {
+        GpuSystem::new(MachineConfig::k40m())
+    }
+
+    const MB64: usize = (64 << 20) / 8; // 64 MiB of doubles
+
+    #[test]
+    fn pinned_h2d_roundtrip_moves_data() {
+        let mut g = sys();
+        let h = g.malloc_host(16, HostMemKind::Pinned);
+        let d = g.malloc_device(16).unwrap();
+        let h2 = g.malloc_host(16, HostMemKind::Pinned);
+        g.host_slab(h).fill_with(|i| i as f64);
+        let s = g.create_stream();
+        g.memcpy_h2d_async(d, 0, h, 0, 16, s);
+        g.memcpy_d2h_async(h2, 0, d, 0, 16, s);
+        g.stream_synchronize(s);
+        assert_eq!(
+            g.host_slab(h2).snapshot().unwrap(),
+            (0..16).map(|i| i as f64).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn stream_order_is_fifo() {
+        let mut g = sys();
+        g.set_tracing(true);
+        let h = g.malloc_host(MB64, HostMemKind::Pinned);
+        let d = g.malloc_device(MB64).unwrap();
+        let s = g.create_stream();
+        let c1 = g.memcpy_h2d_async(d, 0, h, 0, MB64, s);
+        let k = g.launch_kernel(
+            s,
+            KernelLaunch::new("k", KernelCost::Bytes(64 << 20)).reads(BufKey::Device(0)),
+        );
+        let c2 = g.memcpy_d2h_async(h, 0, d, 0, MB64, s);
+        g.finish();
+        let t1 = g.trace();
+        let _ = (c1, k, c2);
+        // h2d ends before kernel starts; kernel ends before d2h starts.
+        let spans = t1.spans;
+        let h2d = spans.iter().find(|s| s.category == "h2d").unwrap();
+        let ker = spans.iter().find(|s| s.category == "kernel").unwrap();
+        let d2h = spans.iter().find(|s| s.category == "d2h").unwrap();
+        assert!(h2d.end <= ker.start);
+        assert!(ker.end <= d2h.start);
+    }
+
+    #[test]
+    fn two_streams_overlap_copy_and_compute() {
+        let mut g = sys();
+        g.set_tracing(true);
+        let h = g.malloc_host(2 * MB64, HostMemKind::Pinned);
+        let d0 = g.malloc_device(MB64).unwrap();
+        let d1 = g.malloc_device(MB64).unwrap();
+        let s0 = g.create_stream();
+        let s1 = g.create_stream();
+        g.memcpy_h2d_async(d0, 0, h, 0, MB64, s0);
+        g.launch_kernel(s0, KernelLaunch::new("k0", KernelCost::Bytes(256 << 20)));
+        g.memcpy_h2d_async(d1, 0, h, MB64, MB64, s1);
+        g.launch_kernel(s1, KernelLaunch::new("k1", KernelCost::Bytes(256 << 20)));
+        g.finish();
+        let tr = g.trace();
+        // The H2D engine (0) and compute engine (2) must overlap: stream 1's
+        // copy proceeds while stream 0's kernel runs.
+        assert!(tr.overlap_time(0, 2) > SimTime::ZERO);
+    }
+
+    #[test]
+    fn pinned_async_does_not_block_host_but_pageable_does() {
+        let cfg = MachineConfig::k40m();
+        let mut g = GpuSystem::new(cfg.clone());
+        let hp = g.malloc_host(MB64, HostMemKind::Pinned);
+        let d = g.malloc_device(MB64).unwrap();
+        let s = g.create_stream();
+        g.memcpy_h2d_async(d, 0, hp, 0, MB64, s);
+        // Pinned async: only enqueue overhead on the host clock.
+        assert_eq!(g.host_now(), cfg.host_enqueue_overhead);
+
+        let mut g2 = GpuSystem::new(cfg.clone());
+        let hq = g2.malloc_host(MB64, HostMemKind::Pageable);
+        let d2 = g2.malloc_device(MB64).unwrap();
+        let s2 = g2.create_stream();
+        g2.memcpy_h2d_async(d2, 0, hq, 0, MB64, s2);
+        // Pageable async degenerates to synchronous: staging + DMA on the
+        // host clock.
+        assert!(g2.host_now() >= cfg.stage_time(64 << 20) + cfg.h2d_time(64 << 20));
+    }
+
+    #[test]
+    fn pageable_transfer_slower_than_pinned() {
+        let run = |kind: HostMemKind| {
+            let mut g = sys();
+            let h = g.malloc_host(MB64, kind);
+            let d = g.malloc_device(MB64).unwrap();
+            let s = g.create_stream();
+            g.memcpy_h2d(d, 0, h, 0, MB64, s);
+            g.memcpy_d2h(h, 0, d, 0, MB64, s);
+            g.finish()
+        };
+        assert!(run(HostMemKind::Pageable) > run(HostMemKind::Pinned));
+    }
+
+    #[test]
+    fn managed_migrates_on_kernel_launch_and_host_access() {
+        let mut g = sys();
+        let m = g.malloc_managed(MB64).unwrap();
+        assert!(!g.managed_on_device(m));
+        let s = g.create_stream();
+        g.launch_kernel(
+            s,
+            KernelLaunch::new("k", KernelCost::Bytes(1 << 20)).writes(BufKey::Managed(0)),
+        );
+        assert!(g.managed_on_device(m));
+        let before = g.finish();
+        g.managed_host_access(m);
+        assert!(!g.managed_on_device(m));
+        assert!(g.host_now() > before, "migration back costs time");
+        // Second kernel launch must migrate again.
+        g.launch_kernel(
+            s,
+            KernelLaunch::new("k2", KernelCost::Bytes(1 << 20)).reads(BufKey::Managed(0)),
+        );
+        assert!(g.managed_on_device(m));
+    }
+
+    #[test]
+    fn managed_slower_than_pinned_roundtrip() {
+        let pinned = {
+            let mut g = sys();
+            let h = g.malloc_host(MB64, HostMemKind::Pinned);
+            let d = g.malloc_device(MB64).unwrap();
+            let s = g.create_stream();
+            g.memcpy_h2d(d, 0, h, 0, MB64, s);
+            g.launch_kernel(s, KernelLaunch::new("k", KernelCost::Bytes(64 << 20)));
+            g.memcpy_d2h(h, 0, d, 0, MB64, s);
+            g.finish()
+        };
+        let managed = {
+            let mut g = sys();
+            let m = g.malloc_managed(MB64).unwrap();
+            let s = g.create_stream();
+            g.launch_kernel(
+                s,
+                KernelLaunch::new("k", KernelCost::Bytes(64 << 20)).writes(BufKey::Managed(0)),
+            );
+            g.managed_host_access(m);
+            g.finish()
+        };
+        assert!(managed > pinned);
+    }
+
+    #[test]
+    fn events_order_across_streams() {
+        let mut g = sys();
+        g.set_tracing(true);
+        let s0 = g.create_stream();
+        let s1 = g.create_stream();
+        g.launch_kernel(s0, KernelLaunch::new("a", KernelCost::Fixed(SimTime::from_us(100))));
+        let ev = g.record_event(s0);
+        g.stream_wait_event(s1, ev);
+        g.launch_kernel(s1, KernelLaunch::new("b", KernelCost::Fixed(SimTime::from_us(10))));
+        g.finish();
+        let tr = g.trace();
+        let spans = tr.spans_of(2); // compute engine
+        assert_eq!(spans.len(), 2);
+        assert!(spans[0].label == "a" && spans[1].label == "b");
+        assert!(spans[0].end <= spans[1].start);
+    }
+
+    #[test]
+    fn kernel_exec_effect_runs_with_scheduled_data() {
+        let mut g = sys();
+        let h = g.malloc_host(4, HostMemKind::Pinned);
+        let d = g.malloc_device(4).unwrap();
+        g.host_slab(h).fill(2.0);
+        let s = g.create_stream();
+        g.memcpy_h2d_async(d, 0, h, 0, 4, s);
+        let slab = g.device_slab(d);
+        g.launch_kernel(
+            s,
+            KernelLaunch::new("square", KernelCost::Fixed(SimTime::from_us(1))).exec(move || {
+                slab.with_mut(|data| {
+                    for x in data.unwrap() {
+                        *x = *x * *x;
+                    }
+                })
+            }),
+        );
+        g.memcpy_d2h_async(h, 0, d, 0, 4, s);
+        g.stream_synchronize(s);
+        assert_eq!(g.host_slab(h).snapshot().unwrap(), vec![4.0; 4]);
+    }
+
+    #[test]
+    fn device_allocator_exposed_through_mem_get_info() {
+        let mut g = GpuSystem::new(MachineConfig::k40m().with_device_mem(1 << 20));
+        let (free0, total) = g.mem_get_info();
+        assert_eq!(free0, 1 << 20);
+        assert_eq!(total, 1 << 20);
+        let d = g.malloc_device(1024).unwrap(); // 8 KiB
+        assert_eq!(g.mem_get_info().0, (1 << 20) - 8192);
+        assert!(g.malloc_device(1 << 20).is_err());
+        g.free_device(d);
+        assert_eq!(g.mem_get_info().0, 1 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "use after free")]
+    fn use_after_free_panics() {
+        let mut g = sys();
+        let d = g.malloc_device(8).unwrap();
+        g.free_device(d);
+        let _ = g.device_slab(d);
+    }
+
+    #[test]
+    fn virtual_backing_same_timing_no_data() {
+        let run = |backed: bool| {
+            let mut g = GpuSystem::with_backing(MachineConfig::k40m(), backed);
+            let h = g.malloc_host(MB64, HostMemKind::Pinned);
+            let d = g.malloc_device(MB64).unwrap();
+            let s = g.create_stream();
+            g.memcpy_h2d_async(d, 0, h, 0, MB64, s);
+            g.launch_kernel(s, KernelLaunch::new("k", KernelCost::Bytes(64 << 20)));
+            g.memcpy_d2h_async(h, 0, d, 0, MB64, s);
+            (g.finish(), g.host_slab(h).is_virtual())
+        };
+        let (t_real, v_real) = run(true);
+        let (t_virt, v_virt) = run(false);
+        assert_eq!(t_real, t_virt, "backing must not change the schedule");
+        assert!(!v_real);
+        assert!(v_virt);
+    }
+
+    #[test]
+    fn hazard_checker_finds_cross_stream_race() {
+        let mut g = sys();
+        g.set_hazard_checking(true);
+        let d = g.malloc_device(MB64).unwrap();
+        let s0 = g.create_stream();
+        let s1 = g.create_stream();
+        // Two kernels writing the same buffer from different streams with no
+        // event ordering: a race. (Needs concurrent_kernels >= 2 to overlap
+        // in time; with 1 compute engine they serialize and there is no
+        // overlap, which is also what real hardware would do.)
+        let mut cfg = MachineConfig::k40m();
+        cfg.concurrent_kernels = 2;
+        let mut g2 = GpuSystem::new(cfg);
+        g2.set_hazard_checking(true);
+        let d2 = g2.malloc_device(MB64).unwrap();
+        let t0 = g2.create_stream();
+        let t1 = g2.create_stream();
+        g2.launch_kernel(
+            t0,
+            KernelLaunch::new("w0", KernelCost::Fixed(SimTime::from_us(100)))
+                .writes(BufKey::Device(d2.index())),
+        );
+        g2.launch_kernel(
+            t1,
+            KernelLaunch::new("w1", KernelCost::Fixed(SimTime::from_us(100)))
+                .writes(BufKey::Device(d2.index())),
+        );
+        g2.finish();
+        assert!(!g2.check_hazards().is_empty());
+
+        // Properly ordered: no hazard.
+        g.launch_kernel(
+            s0,
+            KernelLaunch::new("w0", KernelCost::Fixed(SimTime::from_us(100)))
+                .writes(BufKey::Device(d.index())),
+        );
+        let ev = g.record_event(s0);
+        g.stream_wait_event(s1, ev);
+        g.launch_kernel(
+            s1,
+            KernelLaunch::new("w1", KernelCost::Fixed(SimTime::from_us(100)))
+                .writes(BufKey::Device(d.index())),
+        );
+        g.finish();
+        assert!(g.check_hazards().is_empty());
+    }
+
+    #[test]
+    fn stats_account_transfers_and_kernels() {
+        let mut g = sys();
+        let h = g.malloc_host(1024, HostMemKind::Pinned);
+        let d = g.malloc_device(1024).unwrap();
+        let s = g.create_stream();
+        g.memcpy_h2d_async(d, 0, h, 0, 1024, s);
+        g.memcpy_d2h_async(h, 0, d, 0, 512, s);
+        g.launch_kernel(s, KernelLaunch::new("k", KernelCost::Flops(1.0)));
+        assert_eq!(g.stats_bytes_h2d(), 8192);
+        assert_eq!(g.stats_bytes_d2h(), 4096);
+        assert_eq!(g.stats_kernels(), 1);
+    }
+
+    #[test]
+    fn multi_device_engines_run_in_parallel() {
+        let mut g = GpuSystem::multi(MachineConfig::k40m(), 2, false);
+        g.set_tracing(true);
+        assert_eq!(g.num_devices(), 2);
+        let s0 = g.create_stream_on(0);
+        let s1 = g.create_stream_on(1);
+        g.launch_kernel(s0, KernelLaunch::new("k0", KernelCost::Fixed(SimTime::from_ms(10))));
+        g.launch_kernel(s1, KernelLaunch::new("k1", KernelCost::Fixed(SimTime::from_ms(10))));
+        let elapsed = g.finish();
+        // Two devices compute concurrently: total ≈ one kernel, not two.
+        assert!(elapsed < SimTime::from_ms(15), "{elapsed}");
+    }
+
+    #[test]
+    fn per_device_memory_is_independent() {
+        let cfg = MachineConfig::k40m().with_device_mem(1 << 20);
+        let mut g = GpuSystem::multi(cfg, 2, false);
+        let len = (1 << 20) / 8;
+        let _d0 = g.malloc_device_on(0, len).unwrap(); // fills device 0
+        assert!(g.malloc_device_on(0, 8).is_err());
+        // Device 1 is untouched.
+        let d1 = g.malloc_device_on(1, len).unwrap();
+        assert_eq!(g.device_of(d1), 1);
+        assert_eq!(g.mem_get_info_on(1).0, 0);
+        assert_eq!(g.mem_get_info_on(0).0, 0);
+    }
+
+    #[test]
+    fn p2p_copy_moves_data_between_devices() {
+        let mut g = GpuSystem::multi(MachineConfig::k40m(), 2, true);
+        let h = g.malloc_host(8, HostMemKind::Pinned);
+        g.host_slab(h).fill_with(|i| i as f64);
+        let d0 = g.malloc_device_on(0, 8).unwrap();
+        let d1 = g.malloc_device_on(1, 8).unwrap();
+        let s0 = g.create_stream_on(0);
+        let s1 = g.create_stream_on(1);
+        g.memcpy_h2d_async(d0, 0, h, 0, 8, s0);
+        // Order the peer copy after device 0's upload.
+        let ev = g.record_event(s0);
+        g.stream_wait_event(s1, ev);
+        g.memcpy_p2p_async(d1, 0, d0, 0, 8, s1);
+        let h2 = g.malloc_host(8, HostMemKind::Pinned);
+        g.memcpy_d2h_async(h2, 0, d1, 0, 8, s1);
+        g.stream_synchronize(s1);
+        assert_eq!(
+            g.host_slab(h2).snapshot().unwrap(),
+            (0..8).map(|i| i as f64).collect::<Vec<_>>()
+        );
+        assert_eq!(g.stats_bytes_p2p(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "different devices")]
+    fn cross_device_stream_misuse_panics() {
+        let mut g = GpuSystem::multi(MachineConfig::k40m(), 2, false);
+        let h = g.malloc_host(8, HostMemKind::Pinned);
+        let d1 = g.malloc_device_on(1, 8).unwrap();
+        let s0 = g.create_stream_on(0);
+        g.memcpy_h2d_async(d1, 0, h, 0, 8, s0);
+    }
+
+    #[test]
+    fn d2d_copy_same_device() {
+        let mut g = sys();
+        let h = g.malloc_host(8, HostMemKind::Pinned);
+        g.host_slab(h).fill_with(|i| (i * i) as f64);
+        let d0 = g.malloc_device(8).unwrap();
+        let d1 = g.malloc_device(8).unwrap();
+        let s = g.create_stream();
+        g.memcpy_h2d_async(d0, 0, h, 0, 8, s);
+        g.memcpy_d2d_async(d1, 0, d0, 0, 8, s);
+        let h2 = g.malloc_host(8, HostMemKind::Pinned);
+        g.memcpy_d2h_async(h2, 0, d1, 0, 8, s);
+        g.stream_synchronize(s);
+        assert_eq!(
+            g.host_slab(h2).snapshot().unwrap(),
+            (0..8).map(|i| (i * i) as f64).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "same-device")]
+    fn d2d_across_devices_panics() {
+        let mut g = GpuSystem::multi(MachineConfig::k40m(), 2, false);
+        let d0 = g.malloc_device_on(0, 8).unwrap();
+        let d1 = g.malloc_device_on(1, 8).unwrap();
+        let s = g.create_stream_on(0);
+        g.memcpy_d2d_async(d0, 0, d1, 0, 8, s);
+    }
+
+    #[test]
+    fn nvlink_config_transfers_faster() {
+        let k40 = MachineConfig::k40m();
+        let p100 = MachineConfig::p100_nvlink();
+        let bytes = 1u64 << 30;
+        assert!(p100.h2d_time(bytes) < k40.h2d_time(bytes));
+        // §I: "at least 5 times faster" — our constants honour that for
+        // payload-dominated transfers.
+        let ratio = (k40.h2d_time(bytes).as_ns() as f64) / (p100.h2d_time(bytes).as_ns() as f64);
+        assert!(ratio > 3.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn host_func_is_stream_ordered_and_non_blocking() {
+        let mut g = sys();
+        g.set_tracing(true);
+        let h = g.malloc_host(4, HostMemKind::Pinned);
+        let d = g.malloc_device(4).unwrap();
+        g.host_slab(h).fill(1.0);
+        let s = g.create_stream();
+        g.memcpy_h2d_async(d, 0, h, 0, 4, s);
+        let slab = g.device_slab(d);
+        g.launch_kernel(
+            s,
+            KernelLaunch::new("double", KernelCost::Fixed(SimTime::from_us(50))).exec(move || {
+                slab.with_mut(|v| {
+                    for x in v.unwrap() {
+                        *x *= 2.0;
+                    }
+                })
+            }),
+        );
+        g.memcpy_d2h_async(h, 0, d, 0, 4, s);
+        // Host callback runs after the D2H, sees the result, and does not
+        // block the submitting thread.
+        let host_slab = g.host_slab(h);
+        let witness = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let w = witness.clone();
+        g.launch_host_func(s, SimTime::from_us(10), "postprocess", move || {
+            let v = host_slab.get(0).unwrap();
+            w.store(v as u64, std::sync::atomic::Ordering::Relaxed);
+        });
+        let before = g.host_now();
+        assert!(before < SimTime::from_us(30), "submission must not block: {before}");
+        g.stream_synchronize(s);
+        assert_eq!(witness.load(std::sync::atomic::Ordering::Relaxed), 2);
+        // Later stream work waits for the callback.
+        g.launch_kernel(s, KernelLaunch::new("after", KernelCost::Fixed(SimTime::from_us(1))));
+        g.finish();
+        let tr = g.trace();
+        let hostfn = tr.spans.iter().find(|sp| sp.category == "hostfn").unwrap();
+        let after = tr.spans.iter().find(|sp| sp.label == "after").unwrap();
+        assert!(hostfn.end <= after.start);
+        let d2h = tr.spans.iter().find(|sp| sp.category == "d2h").unwrap();
+        assert!(d2h.end <= hostfn.start);
+    }
+
+    #[test]
+    fn host_work_occupies_host_lane() {
+        let mut g = sys();
+        g.set_tracing(true);
+        g.host_work(SimTime::from_us(50), "index-calc");
+        assert_eq!(g.host_now(), SimTime::from_us(50));
+        let tr = g.trace();
+        assert_eq!(tr.spans_of(3).len(), 1); // host engine is index 3
+    }
+}

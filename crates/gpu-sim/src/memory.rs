@@ -1,0 +1,237 @@
+//! Device memory allocator.
+//!
+//! A first-fit free-list allocator over the simulated device address space,
+//! with coalescing on free — the behaviour behind `malloc_device` /
+//! `free_device` / `mem_get_info`. The accounting is what matters: TiDA-acc
+//! sizes its device slot pool by querying free memory exactly as the paper's
+//! `TileAcc` calls `cudaMemGetInfo`.
+
+use std::fmt;
+
+/// Why a device allocation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfDeviceMemory {
+    pub requested: u64,
+    pub largest_free_block: u64,
+    pub free_total: u64,
+}
+
+impl fmt::Display for OutOfDeviceMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of device memory: requested {} bytes, largest free block {} bytes, {} bytes free in total",
+            self.requested, self.largest_free_block, self.free_total
+        )
+    }
+}
+
+impl std::error::Error for OutOfDeviceMemory {}
+
+/// First-fit free-list allocator with coalescing.
+#[derive(Debug, Clone)]
+pub struct DeviceAllocator {
+    total: u64,
+    /// Free extents as (addr, size), sorted by address, non-adjacent.
+    free: Vec<(u64, u64)>,
+}
+
+impl DeviceAllocator {
+    pub fn new(total: u64) -> Self {
+        DeviceAllocator {
+            total,
+            free: if total > 0 { vec![(0, total)] } else { vec![] },
+        }
+    }
+
+    /// Total device memory in bytes.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Free device memory in bytes (sum over all free extents).
+    pub fn free_bytes(&self) -> u64 {
+        self.free.iter().map(|&(_, s)| s).sum()
+    }
+
+    /// Largest single allocatable block.
+    pub fn largest_free_block(&self) -> u64 {
+        self.free.iter().map(|&(_, s)| s).max().unwrap_or(0)
+    }
+
+    /// Allocate `size` bytes; returns the base address.
+    pub fn alloc(&mut self, size: u64) -> Result<u64, OutOfDeviceMemory> {
+        assert!(size > 0, "zero-sized device allocation");
+        for i in 0..self.free.len() {
+            let (addr, avail) = self.free[i];
+            if avail >= size {
+                if avail == size {
+                    self.free.remove(i);
+                } else {
+                    self.free[i] = (addr + size, avail - size);
+                }
+                return Ok(addr);
+            }
+        }
+        Err(OutOfDeviceMemory {
+            requested: size,
+            largest_free_block: self.largest_free_block(),
+            free_total: self.free_bytes(),
+        })
+    }
+
+    /// Return an extent to the free list, coalescing with neighbours.
+    ///
+    /// Panics on double-free or overlap with an existing free extent.
+    pub fn free(&mut self, addr: u64, size: u64) {
+        assert!(size > 0, "zero-sized device free");
+        assert!(
+            addr + size <= self.total,
+            "free of [{addr}, {}) beyond device memory of {} bytes",
+            addr + size,
+            self.total
+        );
+        let pos = self.free.partition_point(|&(a, _)| a < addr);
+        if let Some(&(next_addr, _)) = self.free.get(pos) {
+            assert!(
+                addr + size <= next_addr,
+                "double free / overlap with free extent at {next_addr}"
+            );
+        }
+        if pos > 0 {
+            let (prev_addr, prev_size) = self.free[pos - 1];
+            assert!(
+                prev_addr + prev_size <= addr,
+                "double free / overlap with free extent at {prev_addr}"
+            );
+        }
+        self.free.insert(pos, (addr, size));
+        // Coalesce with the successor, then the predecessor.
+        if pos + 1 < self.free.len() && self.free[pos].0 + self.free[pos].1 == self.free[pos + 1].0
+        {
+            self.free[pos].1 += self.free[pos + 1].1;
+            self.free.remove(pos + 1);
+        }
+        if pos > 0 && self.free[pos - 1].0 + self.free[pos - 1].1 == self.free[pos].0 {
+            self.free[pos - 1].1 += self.free[pos].1;
+            self.free.remove(pos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn alloc_and_free_roundtrip() {
+        let mut a = DeviceAllocator::new(1000);
+        let p = a.alloc(400).unwrap();
+        assert_eq!(p, 0);
+        assert_eq!(a.free_bytes(), 600);
+        a.free(p, 400);
+        assert_eq!(a.free_bytes(), 1000);
+        assert_eq!(a.largest_free_block(), 1000);
+    }
+
+    #[test]
+    fn first_fit_reuses_earliest_gap() {
+        let mut a = DeviceAllocator::new(1000);
+        let p0 = a.alloc(100).unwrap();
+        let _p1 = a.alloc(100).unwrap();
+        a.free(p0, 100);
+        let p2 = a.alloc(50).unwrap();
+        assert_eq!(p2, 0, "first fit should reuse the hole at 0");
+    }
+
+    #[test]
+    fn oom_reports_fragmentation() {
+        let mut a = DeviceAllocator::new(300);
+        let p0 = a.alloc(100).unwrap();
+        let _p1 = a.alloc(100).unwrap();
+        let _p2 = a.alloc(100).unwrap();
+        a.free(p0, 100);
+        let err = a.alloc(150).unwrap_err();
+        assert_eq!(err.free_total, 100);
+        assert_eq!(err.largest_free_block, 100);
+        assert_eq!(err.requested, 150);
+        assert!(err.to_string().contains("out of device memory"));
+    }
+
+    #[test]
+    fn coalescing_merges_adjacent_extents() {
+        let mut a = DeviceAllocator::new(300);
+        let p0 = a.alloc(100).unwrap();
+        let p1 = a.alloc(100).unwrap();
+        let p2 = a.alloc(100).unwrap();
+        a.free(p0, 100);
+        a.free(p2, 100);
+        a.free(p1, 100); // merges everything back
+        assert_eq!(a.largest_free_block(), 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut a = DeviceAllocator::new(100);
+        let p = a.alloc(50).unwrap();
+        a.free(p, 50);
+        a.free(p, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond device memory")]
+    fn free_out_of_range_panics() {
+        let mut a = DeviceAllocator::new(100);
+        a.free(90, 20);
+    }
+
+    #[test]
+    fn exhausts_exactly() {
+        let mut a = DeviceAllocator::new(100);
+        a.alloc(60).unwrap();
+        a.alloc(40).unwrap();
+        assert_eq!(a.free_bytes(), 0);
+        assert!(a.alloc(1).is_err());
+    }
+
+    #[test]
+    fn zero_capacity_allocator() {
+        let mut a = DeviceAllocator::new(0);
+        assert_eq!(a.free_bytes(), 0);
+        assert!(a.alloc(1).is_err());
+    }
+
+    proptest! {
+        /// Random alloc/free sequences: allocations never overlap, and the
+        /// free-byte accounting is conserved.
+        #[test]
+        fn prop_no_overlap_and_conservation(ops in proptest::collection::vec((any::<bool>(), 1u64..128), 1..60)) {
+            let total = 1024u64;
+            let mut a = DeviceAllocator::new(total);
+            let mut live: Vec<(u64, u64)> = Vec::new();
+            for (do_alloc, size) in ops {
+                if do_alloc || live.is_empty() {
+                    if let Ok(addr) = a.alloc(size) {
+                        for &(la, ls) in &live {
+                            prop_assert!(addr + size <= la || la + ls <= addr,
+                                "allocation [{addr},{}) overlaps live [{la},{})", addr+size, la+ls);
+                        }
+                        live.push((addr, size));
+                    }
+                } else {
+                    let (addr, sz) = live.swap_remove(size as usize % live.len());
+                    a.free(addr, sz);
+                }
+                let live_bytes: u64 = live.iter().map(|&(_, s)| s).sum();
+                prop_assert_eq!(a.free_bytes() + live_bytes, total);
+            }
+            // Releasing everything restores one maximal block.
+            for (addr, sz) in live.drain(..) {
+                a.free(addr, sz);
+            }
+            prop_assert_eq!(a.largest_free_block(), total);
+        }
+    }
+}

@@ -1,0 +1,983 @@
+//! The simulated platform: one host, one device, a CUDA-style API.
+//!
+//! [`GpuSystem`] owns the discrete-event scheduler and exposes the operations
+//! the paper's library is written against:
+//!
+//! | CUDA                       | here                                    |
+//! |----------------------------|-----------------------------------------|
+//! | `cudaMalloc`               | [`GpuSystem::malloc_device`]             |
+//! | `cudaMallocHost`           | [`GpuSystem::malloc_host`] (`Pinned`)    |
+//! | `malloc`                   | [`GpuSystem::malloc_host`] (`Pageable`)  |
+//! | `cudaMallocManaged`        | [`GpuSystem::malloc_managed`]            |
+//! | `cudaMemGetInfo`           | [`GpuSystem::mem_get_info`]              |
+//! | `cudaStreamCreate`         | [`GpuSystem::create_stream`]             |
+//! | `cudaMemcpyAsync` H2D/D2H  | [`GpuSystem::memcpy_h2d_async`] / [`GpuSystem::memcpy_d2h_async`] |
+//! | kernel `<<<...,stream>>>`  | [`GpuSystem::launch_kernel`]             |
+//! | `cudaStreamSynchronize`    | [`GpuSystem::stream_synchronize`]        |
+//! | `cudaDeviceSynchronize`    | [`GpuSystem::device_synchronize`]        |
+//! | `cudaEventRecord` / `cudaStreamWaitEvent` | [`GpuSystem::record_event`] / [`GpuSystem::stream_wait_event`] |
+//!
+//! Semantics preserved from the real runtime, because the paper's results
+//! hinge on them:
+//!
+//! * operations in one stream execute in FIFO order; operations in different
+//!   streams may overlap when engines are free;
+//! * there is one DMA engine per direction, so H2D, D2H and compute can all
+//!   proceed concurrently — but two H2D copies serialize;
+//! * `memcpy_*_async` on **pageable** memory stages through a host bounce
+//!   buffer and blocks the host (CUDA degrades exactly this way), so genuine
+//!   overlap requires pinned memory;
+//! * managed (unified) memory migrates on demand at kernel launch and at
+//!   host access, at a lower bandwidth plus a fault overhead.
+//!
+//! The host has its own clock: asynchronous submissions cost
+//! `host_enqueue_overhead`, blocking calls advance the clock to the awaited
+//! completion, and host-side work (ghost-cell index computation, host
+//! staging) occupies the `host` trace lane.
+
+use crate::config::{HostMemKind, MachineConfig};
+use crate::kernel::KernelLaunch;
+use crate::memory::{DeviceAllocator, OutOfDeviceMemory};
+use desim::{EngineId, Op, OpId, Scheduler, SimTime, Trace};
+use memslab::Slab;
+use std::borrow::Cow;
+
+/// Handle to a device allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeviceBuffer(pub(crate) usize);
+
+impl DeviceBuffer {
+    /// Stable index for [`BufKey::Device`].
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Handle to a host allocation (pageable or pinned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HostBuffer(pub(crate) usize);
+
+impl HostBuffer {
+    /// Stable index for [`BufKey::Host`].
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Handle to a managed (unified-memory) allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ManagedBuffer(pub(crate) usize);
+
+impl ManagedBuffer {
+    /// Stable index for [`BufKey::Managed`].
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<DeviceBuffer> for BufKey {
+    fn from(b: DeviceBuffer) -> BufKey {
+        BufKey::Device(b.0)
+    }
+}
+
+impl From<HostBuffer> for BufKey {
+    fn from(b: HostBuffer) -> BufKey {
+        BufKey::Host(b.0)
+    }
+}
+
+impl From<ManagedBuffer> for BufKey {
+    fn from(b: ManagedBuffer) -> BufKey {
+        BufKey::Managed(b.0)
+    }
+}
+
+/// Handle to a stream (an in-order activity queue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamId(pub(crate) usize);
+
+/// A recorded event; created by [`GpuSystem::record_event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event(OpId);
+
+/// Identity of a buffer for access tracking (hazard checking, managed
+/// migration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BufKey {
+    Device(usize),
+    Host(usize),
+    Managed(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Access {
+    Read,
+    Write,
+}
+
+/// A potential data race found by [`GpuSystem::check_hazards`].
+#[derive(Debug, Clone)]
+pub struct Hazard {
+    pub buffer: BufKey,
+    pub first_label: String,
+    pub second_label: String,
+    pub overlap_start: SimTime,
+    pub overlap_end: SimTime,
+}
+
+struct DevEntry {
+    addr: u64,
+    slab: Slab,
+    alive: bool,
+    device: usize,
+}
+
+struct HostEntry {
+    kind: HostMemKind,
+    slab: Slab,
+}
+
+struct ManagedEntry {
+    addr: u64,
+    slab: Slab,
+    on_device: bool,
+    device: usize,
+}
+
+struct StreamState {
+    last: Option<OpId>,
+    /// Cross-stream dependencies injected by `stream_wait_event`.
+    pending: Vec<OpId>,
+    device: usize,
+}
+
+/// Per-device engines and memory (each simulated GPU has its own DMA
+/// engines, compute engine and allocator).
+struct DeviceState {
+    eng_h2d: EngineId,
+    eng_d2h: EngineId,
+    eng_compute: EngineId,
+    alloc: DeviceAllocator,
+}
+
+/// The simulated host + device platform. See the module docs.
+pub struct GpuSystem {
+    cfg: MachineConfig,
+    sched: Scheduler,
+    devices: Vec<DeviceState>,
+    eng_host: EngineId,
+    host_clock: SimTime,
+    /// The operation the host most recently blocked on (critical-path
+    /// attribution of host stalls).
+    last_block: Option<OpId>,
+    dev: Vec<DevEntry>,
+    host: Vec<HostEntry>,
+    managed: Vec<ManagedEntry>,
+    streams: Vec<StreamState>,
+    backed: bool,
+    hazard_checking: bool,
+    accesses: Vec<(OpId, BufKey, Access, String)>,
+    bytes_h2d: u64,
+    bytes_d2h: u64,
+    bytes_p2p: u64,
+    kernels_launched: u64,
+}
+
+impl GpuSystem {
+    /// A platform with real (backed) data; kernels and copies move bytes.
+    pub fn new(cfg: MachineConfig) -> Self {
+        Self::with_backing(cfg, true)
+    }
+
+    /// `backed = false` builds every buffer as a virtual slab: the schedule
+    /// (and therefore all timing) is identical, but no data is allocated or
+    /// moved — this is how the harness runs the paper's 512³ workloads.
+    pub fn with_backing(cfg: MachineConfig, backed: bool) -> Self {
+        Self::multi(cfg, 1, backed)
+    }
+
+    /// A platform with `num_devices` identical GPUs, each with its own DMA
+    /// engines, compute engine and memory, driven by one host. Device 0's
+    /// engines keep the single-device lane layout (h2d, d2h, compute, host);
+    /// additional devices' engines follow.
+    pub fn multi(cfg: MachineConfig, num_devices: usize, backed: bool) -> Self {
+        assert!(num_devices >= 1, "need at least one device");
+        let mut sched = Scheduler::new();
+        let mut devices = Vec::with_capacity(num_devices);
+        let mut eng_host = EngineId(0);
+        for d in 0..num_devices {
+            let prefix = if num_devices == 1 {
+                String::new()
+            } else {
+                format!("d{d}.")
+            };
+            let eng_h2d =
+                sched.add_engine(format!("{prefix}h2d"), cfg.copy_engines_per_direction.max(1));
+            let eng_d2h =
+                sched.add_engine(format!("{prefix}d2h"), cfg.copy_engines_per_direction.max(1));
+            let eng_compute =
+                sched.add_engine(format!("{prefix}compute"), cfg.concurrent_kernels.max(1));
+            devices.push(DeviceState {
+                eng_h2d,
+                eng_d2h,
+                eng_compute,
+                alloc: DeviceAllocator::new(cfg.device_mem_bytes),
+            });
+            if d == 0 {
+                eng_host = sched.add_engine("host", 1);
+            }
+        }
+        GpuSystem {
+            cfg,
+            sched,
+            devices,
+            eng_host,
+            host_clock: SimTime::ZERO,
+            last_block: None,
+            dev: Vec::new(),
+            host: Vec::new(),
+            managed: Vec::new(),
+            streams: Vec::new(),
+            backed,
+            hazard_checking: false,
+            accesses: Vec::new(),
+            bytes_h2d: 0,
+            bytes_d2h: 0,
+            bytes_p2p: 0,
+            kernels_launched: 0,
+        }
+    }
+
+    /// Number of simulated devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Whether buffers carry real data.
+    pub fn backed(&self) -> bool {
+        self.backed
+    }
+
+    /// Enable span recording (for Gantt charts / Chrome traces).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.sched.set_tracing(on);
+    }
+
+    /// Enable access recording for [`GpuSystem::check_hazards`].
+    pub fn set_hazard_checking(&mut self, on: bool) {
+        self.hazard_checking = on;
+    }
+
+    // ------------------------------------------------------------------
+    // Memory management
+    // ------------------------------------------------------------------
+
+    /// Allocate `len` doubles of host memory of the given kind.
+    pub fn malloc_host(&mut self, len: usize, kind: HostMemKind) -> HostBuffer {
+        self.host.push(HostEntry {
+            kind,
+            slab: Slab::new(len, self.backed),
+        });
+        HostBuffer(self.host.len() - 1)
+    }
+
+    /// Register an externally allocated slab as host memory of the given
+    /// kind — how TiDA-acc's `tileArray` hands its pinned region buffers
+    /// (allocated with `cudaMallocHost` in the paper, §IV-A) to the runtime.
+    pub fn adopt_host_slab(&mut self, slab: Slab, kind: HostMemKind) -> HostBuffer {
+        self.host.push(HostEntry { kind, slab });
+        HostBuffer(self.host.len() - 1)
+    }
+
+    /// Allocate `len` doubles of device memory on device 0 (`cudaMalloc`).
+    pub fn malloc_device(&mut self, len: usize) -> Result<DeviceBuffer, OutOfDeviceMemory> {
+        self.malloc_device_on(0, len)
+    }
+
+    /// Allocate `len` doubles of device memory on a specific device
+    /// (`cudaSetDevice` + `cudaMalloc`).
+    pub fn malloc_device_on(
+        &mut self,
+        device: usize,
+        len: usize,
+    ) -> Result<DeviceBuffer, OutOfDeviceMemory> {
+        let bytes = (len * std::mem::size_of::<f64>()) as u64;
+        let addr = self.devices[device].alloc.alloc(bytes)?;
+        self.dev.push(DevEntry {
+            addr,
+            slab: Slab::new(len, self.backed),
+            alive: true,
+            device,
+        });
+        Ok(DeviceBuffer(self.dev.len() - 1))
+    }
+
+    /// The device a buffer lives on.
+    pub fn device_of(&self, buf: DeviceBuffer) -> usize {
+        self.dev[buf.0].device
+    }
+
+    /// Release a device allocation (`cudaFree`).
+    pub fn free_device(&mut self, buf: DeviceBuffer) {
+        let entry = &mut self.dev[buf.0];
+        assert!(entry.alive, "double free of device buffer {:?}", buf);
+        entry.alive = false;
+        let (addr, bytes, device) = (entry.addr, entry.slab.bytes(), entry.device);
+        self.devices[device].alloc.free(addr, bytes);
+    }
+
+    /// Allocate `len` doubles of managed memory (`cudaMallocManaged`). On
+    /// this (pre-Pascal) device model, managed allocations reserve device
+    /// memory eagerly, as the K40 generation did.
+    pub fn malloc_managed(&mut self, len: usize) -> Result<ManagedBuffer, OutOfDeviceMemory> {
+        let bytes = (len * std::mem::size_of::<f64>()) as u64;
+        let addr = self.devices[0].alloc.alloc(bytes)?;
+        self.managed.push(ManagedEntry {
+            addr,
+            slab: Slab::new(len, self.backed),
+            on_device: false,
+            device: 0,
+        });
+        Ok(ManagedBuffer(self.managed.len() - 1))
+    }
+
+    /// Release a managed allocation's device reservation.
+    pub fn free_managed(&mut self, buf: ManagedBuffer) {
+        let entry = &self.managed[buf.0];
+        let (addr, bytes, device) = (entry.addr, entry.slab.bytes(), entry.device);
+        self.devices[device].alloc.free(addr, bytes);
+    }
+
+    /// `(free, total)` device-0 memory in bytes (`cudaMemGetInfo`).
+    pub fn mem_get_info(&self) -> (u64, u64) {
+        self.mem_get_info_on(0)
+    }
+
+    /// `(free, total)` memory of a specific device.
+    pub fn mem_get_info_on(&self, device: usize) -> (u64, u64) {
+        let a = &self.devices[device].alloc;
+        (a.free_bytes(), a.total())
+    }
+
+    /// The backing slab of a host buffer (a cheap shared handle).
+    pub fn host_slab(&self, h: HostBuffer) -> Slab {
+        self.host[h.0].slab.clone()
+    }
+
+    /// The backing slab of a device buffer.
+    pub fn device_slab(&self, d: DeviceBuffer) -> Slab {
+        assert!(self.dev[d.0].alive, "use after free of device buffer {d:?}");
+        self.dev[d.0].slab.clone()
+    }
+
+    /// The backing slab of a managed buffer.
+    pub fn managed_slab(&self, m: ManagedBuffer) -> Slab {
+        self.managed[m.0].slab.clone()
+    }
+
+    /// Host memory kind of a host buffer.
+    pub fn host_kind(&self, h: HostBuffer) -> HostMemKind {
+        self.host[h.0].kind
+    }
+
+    // ------------------------------------------------------------------
+    // Streams and events
+    // ------------------------------------------------------------------
+
+    /// Create a stream on device 0 (an in-order activity queue).
+    pub fn create_stream(&mut self) -> StreamId {
+        self.create_stream_on(0)
+    }
+
+    /// Create a stream on a specific device.
+    pub fn create_stream_on(&mut self, device: usize) -> StreamId {
+        assert!(device < self.devices.len(), "unknown device {device}");
+        self.streams.push(StreamState {
+            last: None,
+            pending: Vec::new(),
+            device,
+        });
+        StreamId(self.streams.len() - 1)
+    }
+
+    /// The device a stream issues to.
+    pub fn device_of_stream(&self, stream: StreamId) -> usize {
+        self.streams[stream.0].device
+    }
+
+    /// Number of created streams.
+    pub fn num_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Record an event capturing all work submitted to `stream` so far.
+    pub fn record_event(&mut self, stream: StreamId) -> Event {
+        let mut op = Op::marker().label("event").category("event");
+        if let Some(last) = self.streams[stream.0].last {
+            op = op.after(last);
+        }
+        let id = self.sched.submit(op.not_before(self.host_clock));
+        Event(id)
+    }
+
+    /// Make future work on `stream` wait for `event`.
+    pub fn stream_wait_event(&mut self, stream: StreamId, event: Event) {
+        self.streams[stream.0].pending.push(event.0);
+    }
+
+    /// Make future work on `stream` wait for a specific operation — the
+    /// runtime-internal form of `stream_wait_event` used when the awaited
+    /// operation's id is already at hand (e.g. an eviction write-back).
+    pub fn stream_wait_op(&mut self, stream: StreamId, op: OpId) {
+        self.streams[stream.0].pending.push(op);
+    }
+
+    /// Block the host until all work submitted to `stream` completes.
+    pub fn stream_synchronize(&mut self, stream: StreamId) {
+        if let Some(last) = self.streams[stream.0].last {
+            let t = self.sched.run_until(last);
+            if t >= self.host_clock {
+                self.last_block = Some(last);
+            }
+            self.host_clock = self.host_clock.max(t);
+        }
+    }
+
+    /// Block the host until one specific operation completes (the runtime's
+    /// internal fine-grained wait; CUDA exposes the equivalent through
+    /// `cudaEventSynchronize`).
+    pub fn sync_op(&mut self, op: desim::OpId) {
+        let t = self.sched.run_until(op);
+        if t >= self.host_clock {
+            self.last_block = Some(op);
+        }
+        self.host_clock = self.host_clock.max(t);
+    }
+
+    /// Block the host until all submitted device work completes.
+    pub fn device_synchronize(&mut self) {
+        self.sched.run_all();
+        if self.sched.max_end() >= self.host_clock {
+            self.last_block = self.sched.last_finished();
+        }
+        self.host_clock = self.host_clock.max(self.sched.max_end());
+    }
+
+    /// Gather the dependencies for the next op on `stream` and charge the
+    /// host the asynchronous-submission overhead.
+    fn stream_deps(&mut self, stream: StreamId) -> Vec<OpId> {
+        let st = &mut self.streams[stream.0];
+        let mut deps = std::mem::take(&mut st.pending);
+        if let Some(last) = st.last {
+            deps.push(last);
+        }
+        deps
+    }
+
+    fn push_stream_op(&mut self, stream: StreamId, op: OpId) {
+        self.streams[stream.0].last = Some(op);
+    }
+
+    fn record_access(&mut self, op: OpId, key: BufKey, access: Access, label: &str) {
+        if self.hazard_checking {
+            self.accesses.push((op, key, access, label.to_string()));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transfers
+    // ------------------------------------------------------------------
+
+    /// Asynchronous host→device copy of `len` doubles
+    /// (`cudaMemcpyAsync(..., cudaMemcpyHostToDevice, stream)`).
+    ///
+    /// On pinned memory this returns immediately (the host pays only the
+    /// enqueue overhead). On pageable memory CUDA stages the data through a
+    /// pinned bounce buffer and the call is effectively synchronous; the
+    /// model reproduces both the extra staging cost and the blocking.
+    pub fn memcpy_h2d_async(
+        &mut self,
+        dst: DeviceBuffer,
+        dst_off: usize,
+        src: HostBuffer,
+        src_off: usize,
+        len: usize,
+        stream: StreamId,
+    ) -> OpId {
+        assert!(self.dev[dst.0].alive, "copy into freed device buffer");
+        let device = self.dev[dst.0].device;
+        assert_eq!(
+            device, self.streams[stream.0].device,
+            "stream and destination buffer live on different devices"
+        );
+        let eng_h2d = self.devices[device].eng_h2d;
+        let bytes = (len * std::mem::size_of::<f64>()) as u64;
+        self.bytes_h2d += bytes;
+        let kind = self.host[src.0].kind;
+        let dst_slab = self.dev[dst.0].slab.clone();
+        let src_slab = self.host[src.0].slab.clone();
+        let mut deps = self.stream_deps(stream);
+
+        if kind == HostMemKind::Pageable {
+            // Host-side staging bounce, then DMA; the host blocks.
+            let stage = self.sched.submit(
+                Op::on(self.eng_host, self.cfg.stage_time(bytes))
+                    .not_before(self.host_clock)
+                    .label("stage-h2d")
+                    .category("host"),
+            );
+            deps.push(stage);
+        } else {
+            self.host_clock += self.cfg.host_enqueue_overhead;
+        }
+
+        let op = self.sched.submit(
+            Op::on(eng_h2d, self.cfg.h2d_time(bytes))
+                .not_before(self.host_clock)
+                .host_cause(self.last_block)
+                .after_all(deps)
+                .label(format!("H2D[{bytes}B]"))
+                .category("h2d")
+                .effect(move || memslab::copy(&dst_slab, dst_off, &src_slab, src_off, len)),
+        );
+        self.push_stream_op(stream, op);
+        self.record_access(op, BufKey::Host(src.0), Access::Read, "h2d");
+        self.record_access(op, BufKey::Device(dst.0), Access::Write, "h2d");
+
+        if kind == HostMemKind::Pageable {
+            let t = self.sched.run_until(op);
+            self.host_clock = self.host_clock.max(t);
+        }
+        op
+    }
+
+    /// Asynchronous device→host copy of `len` doubles.
+    pub fn memcpy_d2h_async(
+        &mut self,
+        dst: HostBuffer,
+        dst_off: usize,
+        src: DeviceBuffer,
+        src_off: usize,
+        len: usize,
+        stream: StreamId,
+    ) -> OpId {
+        assert!(self.dev[src.0].alive, "copy from freed device buffer");
+        let device = self.dev[src.0].device;
+        assert_eq!(
+            device, self.streams[stream.0].device,
+            "stream and source buffer live on different devices"
+        );
+        let eng_d2h = self.devices[device].eng_d2h;
+        let bytes = (len * std::mem::size_of::<f64>()) as u64;
+        self.bytes_d2h += bytes;
+        let kind = self.host[dst.0].kind;
+        let dst_slab = self.host[dst.0].slab.clone();
+        let src_slab = self.dev[src.0].slab.clone();
+        let deps = self.stream_deps(stream);
+
+        if kind == HostMemKind::Pinned {
+            self.host_clock += self.cfg.host_enqueue_overhead;
+        }
+
+        let op = self.sched.submit(
+            Op::on(eng_d2h, self.cfg.d2h_time(bytes))
+                .not_before(self.host_clock)
+                .host_cause(self.last_block)
+                .after_all(deps)
+                .label(format!("D2H[{bytes}B]"))
+                .category("d2h")
+                .effect(move || memslab::copy(&dst_slab, dst_off, &src_slab, src_off, len)),
+        );
+        self.push_stream_op(stream, op);
+        self.record_access(op, BufKey::Device(src.0), Access::Read, "d2h");
+        self.record_access(op, BufKey::Host(dst.0), Access::Write, "d2h");
+
+        if kind == HostMemKind::Pageable {
+            // DMA into the bounce buffer, then a host-side unstage copy;
+            // the host blocks through both.
+            let unstage = self.sched.submit(
+                Op::on(self.eng_host, self.cfg.stage_time(bytes))
+                    .after(op)
+                    .label("stage-d2h")
+                    .category("host"),
+            );
+            let t = self.sched.run_until(unstage);
+            self.host_clock = self.host_clock.max(t);
+        }
+        op
+    }
+
+    /// Asynchronous same-device copy (`cudaMemcpyAsync` device→device):
+    /// runs on the device's memory system (modelled on its compute engine's
+    /// bandwidth) without touching the interconnect.
+    pub fn memcpy_d2d_async(
+        &mut self,
+        dst: DeviceBuffer,
+        dst_off: usize,
+        src: DeviceBuffer,
+        src_off: usize,
+        len: usize,
+        stream: StreamId,
+    ) -> OpId {
+        assert!(self.dev[dst.0].alive, "copy into freed device buffer");
+        assert!(self.dev[src.0].alive, "copy from freed device buffer");
+        let device = self.dev[dst.0].device;
+        assert_eq!(
+            device,
+            self.dev[src.0].device,
+            "memcpy_d2d_async is same-device; use memcpy_p2p_async across devices"
+        );
+        assert_eq!(
+            device, self.streams[stream.0].device,
+            "stream and buffers live on different devices"
+        );
+        let bytes = (len * std::mem::size_of::<f64>()) as u64;
+        let dst_slab = self.dev[dst.0].slab.clone();
+        let src_slab = self.dev[src.0].slab.clone();
+        let deps = self.stream_deps(stream);
+        self.host_clock += self.cfg.host_enqueue_overhead;
+        // Read + write of the payload at device memory bandwidth.
+        let duration = self.cfg.copy_latency
+            + SimTime::from_secs_f64(2.0 * bytes as f64 / self.cfg.device_mem_bw);
+        let op = self.sched.submit(
+            Op::on(self.devices[device].eng_compute, duration)
+                .not_before(self.host_clock)
+                .host_cause(self.last_block)
+                .after_all(deps)
+                .label(format!("D2D[{bytes}B]"))
+                .category("d2d")
+                .effect(move || memslab::copy(&dst_slab, dst_off, &src_slab, src_off, len)),
+        );
+        self.push_stream_op(stream, op);
+        self.record_access(op, BufKey::Device(src.0), Access::Read, "d2d");
+        self.record_access(op, BufKey::Device(dst.0), Access::Write, "d2d");
+        op
+    }
+
+    /// Asynchronous device→device peer copy (`cudaMemcpyPeerAsync`).
+    ///
+    /// The transfer is modelled on the destination device's ingress DMA
+    /// engine at the peer-link bandwidth (PCIe through the switch on the
+    /// K40m platform; NVLink on newer configs). `stream` must live on the
+    /// destination device.
+    pub fn memcpy_p2p_async(
+        &mut self,
+        dst: DeviceBuffer,
+        dst_off: usize,
+        src: DeviceBuffer,
+        src_off: usize,
+        len: usize,
+        stream: StreamId,
+    ) -> OpId {
+        assert!(self.dev[dst.0].alive, "peer copy into freed device buffer");
+        assert!(self.dev[src.0].alive, "peer copy from freed device buffer");
+        let dst_device = self.dev[dst.0].device;
+        assert_eq!(
+            dst_device, self.streams[stream.0].device,
+            "peer-copy stream must live on the destination device"
+        );
+        let bytes = (len * std::mem::size_of::<f64>()) as u64;
+        self.bytes_p2p += bytes;
+        let dst_slab = self.dev[dst.0].slab.clone();
+        let src_slab = self.dev[src.0].slab.clone();
+        let deps = self.stream_deps(stream);
+        self.host_clock += self.cfg.host_enqueue_overhead;
+        let duration =
+            self.cfg.copy_latency + SimTime::from_secs_f64(bytes as f64 / self.cfg.p2p_bw);
+        let op = self.sched.submit(
+            Op::on(self.devices[dst_device].eng_h2d, duration)
+                .not_before(self.host_clock)
+                .host_cause(self.last_block)
+                .after_all(deps)
+                .label(format!("P2P[{bytes}B]"))
+                .category("p2p")
+                .effect(move || memslab::copy(&dst_slab, dst_off, &src_slab, src_off, len)),
+        );
+        self.push_stream_op(stream, op);
+        self.record_access(op, BufKey::Device(src.0), Access::Read, "p2p");
+        self.record_access(op, BufKey::Device(dst.0), Access::Write, "p2p");
+        op
+    }
+
+    /// Synchronous host→device copy (`cudaMemcpy`).
+    pub fn memcpy_h2d(
+        &mut self,
+        dst: DeviceBuffer,
+        dst_off: usize,
+        src: HostBuffer,
+        src_off: usize,
+        len: usize,
+        stream: StreamId,
+    ) {
+        let op = self.memcpy_h2d_async(dst, dst_off, src, src_off, len, stream);
+        let t = self.sched.run_until(op);
+        self.host_clock = self.host_clock.max(t);
+    }
+
+    /// Synchronous device→host copy (`cudaMemcpy`).
+    pub fn memcpy_d2h(
+        &mut self,
+        dst: HostBuffer,
+        dst_off: usize,
+        src: DeviceBuffer,
+        src_off: usize,
+        len: usize,
+        stream: StreamId,
+    ) {
+        let op = self.memcpy_d2h_async(dst, dst_off, src, src_off, len, stream);
+        let t = self.sched.run_until(op);
+        self.host_clock = self.host_clock.max(t);
+    }
+
+    // ------------------------------------------------------------------
+    // Kernels
+    // ------------------------------------------------------------------
+
+    /// Launch a kernel into `stream`.
+    ///
+    /// Managed buffers named in the launch's access lists are migrated to
+    /// the device first (in the same stream) if they are not resident,
+    /// reproducing unified memory's on-demand behaviour.
+    pub fn launch_kernel(&mut self, stream: StreamId, k: KernelLaunch) -> OpId {
+        self.kernels_launched += 1;
+        let mut deps = self.stream_deps(stream);
+        self.host_clock += self.cfg.host_enqueue_overhead;
+
+        // On-demand managed migration.
+        let managed_keys: Vec<usize> = k
+            .reads
+            .iter()
+            .chain(k.writes.iter())
+            .filter_map(|key| match key {
+                BufKey::Managed(i) => Some(*i),
+                _ => None,
+            })
+            .collect();
+        let device = self.streams[stream.0].device;
+        for i in managed_keys {
+            if !self.managed[i].on_device {
+                assert_eq!(
+                    self.managed[i].device, device,
+                    "managed buffer touched from a stream on another device"
+                );
+                let bytes = self.managed[i].slab.bytes();
+                let mig = self.sched.submit(
+                    Op::on(self.devices[device].eng_h2d, self.cfg.managed_migration_time(bytes))
+                        .not_before(self.host_clock)
+                        .after_all(deps.iter().copied())
+                        .label(format!("UVM-mig[{bytes}B]"))
+                        .category("uvm"),
+                );
+                deps.push(mig);
+                self.managed[i].on_device = true;
+            }
+        }
+
+        let duration = k.cost.duration(&self.cfg, k.efficiency);
+        let mut op = Op::on(self.devices[device].eng_compute, duration)
+            .not_before(self.host_clock)
+            .host_cause(self.last_block)
+            .after_all(deps)
+            .label(k.label.clone())
+            .category("kernel");
+        if let Some(exec) = k.exec {
+            op = op.effect(exec);
+        }
+        let id = self.sched.submit(op);
+        self.push_stream_op(stream, id);
+        for key in &k.reads {
+            self.record_access(id, *key, Access::Read, &k.label);
+        }
+        for key in &k.writes {
+            self.record_access(id, *key, Access::Write, &k.label);
+        }
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Managed-memory coherence
+    // ------------------------------------------------------------------
+
+    /// Host access to a managed buffer: synchronizes the device and migrates
+    /// the data back if it is device-resident (the page-fault path).
+    pub fn managed_host_access(&mut self, m: ManagedBuffer) {
+        if self.managed[m.0].on_device {
+            self.device_synchronize();
+            let bytes = self.managed[m.0].slab.bytes();
+            let device = self.managed[m.0].device;
+            let mig = self.sched.submit(
+                Op::on(self.devices[device].eng_d2h, self.cfg.managed_migration_time(bytes))
+                    .not_before(self.host_clock)
+                    .label(format!("UVM-mig-back[{bytes}B]"))
+                    .category("uvm"),
+            );
+            let t = self.sched.run_until(mig);
+            self.host_clock = self.host_clock.max(t);
+            self.managed[m.0].on_device = false;
+        }
+    }
+
+    /// Whether a managed buffer is currently device-resident.
+    pub fn managed_on_device(&self, m: ManagedBuffer) -> bool {
+        self.managed[m.0].on_device
+    }
+
+    // ------------------------------------------------------------------
+    // Host-side work
+    // ------------------------------------------------------------------
+
+    /// Enqueue a host callback into a stream (`cudaLaunchHostFunc`): it
+    /// runs on the host engine after all prior work in the stream, without
+    /// blocking the submitting thread, and later stream work waits for it.
+    /// Used for stream-ordered host-side post-processing of staged regions.
+    pub fn launch_host_func(
+        &mut self,
+        stream: StreamId,
+        duration: SimTime,
+        label: impl Into<Cow<'static, str>>,
+        f: impl FnOnce() + 'static,
+    ) -> OpId {
+        let deps = self.stream_deps(stream);
+        self.host_clock += self.cfg.host_enqueue_overhead;
+        let op = self.sched.submit(
+            Op::on(self.eng_host, duration)
+                .not_before(self.host_clock)
+                .host_cause(self.last_block)
+                .after_all(deps)
+                .label(label.into())
+                .category("hostfn")
+                .effect(f),
+        );
+        self.push_stream_op(stream, op);
+        op
+    }
+
+    /// Perform `duration` of host CPU work (occupies the `host` trace lane
+    /// and advances the host clock).
+    pub fn host_work(&mut self, duration: SimTime, label: impl Into<Cow<'static, str>>) {
+        let op = Op::on(self.eng_host, duration)
+            .not_before(self.host_clock)
+            .host_cause(self.last_block)
+            .label(label.into())
+            .category("host");
+        let op = self.sched.submit(op);
+        let t = self.sched.run_until(op);
+        self.last_block = Some(op);
+        self.host_clock = self.host_clock.max(t);
+    }
+
+    /// Host-side memcpy of `bytes` (ghost-cell exchange on the host).
+    pub fn host_copy_work(&mut self, bytes: u64, label: impl Into<Cow<'static, str>>) {
+        self.host_work(self.cfg.host_copy_time(bytes), label);
+    }
+
+    /// Current host clock.
+    pub fn host_now(&self) -> SimTime {
+        self.host_clock
+    }
+
+    // ------------------------------------------------------------------
+    // Run completion, traces, statistics
+    // ------------------------------------------------------------------
+
+    /// Drain all outstanding work and return the total elapsed time
+    /// (max of host clock and last device completion).
+    pub fn finish(&mut self) -> SimTime {
+        self.device_synchronize();
+        self.host_clock
+    }
+
+    /// The recorded trace (empty unless tracing was enabled).
+    pub fn trace(&self) -> Trace {
+        self.sched.trace()
+    }
+
+    /// Scheduler critical path (internal; use
+    /// [`GpuSystem::critical_path`][crate::GpuSystem::critical_path], which
+    /// drains outstanding work first).
+    pub(crate) fn scheduler_critical_path(&self) -> Vec<desim::CriticalStep> {
+        self.sched.critical_path()
+    }
+
+    /// Total bytes moved host→device so far (excluding managed migrations).
+    pub fn stats_bytes_h2d(&self) -> u64 {
+        self.bytes_h2d
+    }
+
+    /// Total bytes moved device→host so far (excluding managed migrations).
+    pub fn stats_bytes_d2h(&self) -> u64 {
+        self.bytes_d2h
+    }
+
+    /// Total bytes moved device→device over the peer link so far.
+    pub fn stats_bytes_p2p(&self) -> u64 {
+        self.bytes_p2p
+    }
+
+    /// Kernels launched so far.
+    pub fn stats_kernels(&self) -> u64 {
+        self.kernels_launched
+    }
+
+    /// Scan recorded accesses for time-overlapping conflicting pairs.
+    ///
+    /// Two operations conflict when they touch the same buffer, at least one
+    /// writes, and their executions overlap in simulated time — on real
+    /// hardware that is a data race between streams. Requires
+    /// [`GpuSystem::set_hazard_checking`] and completed work (call after
+    /// [`GpuSystem::finish`]).
+    pub fn check_hazards(&mut self) -> Vec<Hazard> {
+        self.sched.run_all();
+        let mut by_buf: Vec<(BufKey, SimTime, SimTime, Access, &str, OpId)> = self
+            .accesses
+            .iter()
+            .map(|(op, key, acc, label)| {
+                let start = self.sched.start_of(*op).expect("op ran");
+                let end = self.sched.completion(*op).expect("op ran");
+                (*key, start, end, *acc, label.as_str(), *op)
+            })
+            .collect();
+        by_buf.sort_by_key(|a| (a.0, a.1, a.2));
+
+        let mut hazards = Vec::new();
+        let mut i = 0;
+        while i < by_buf.len() {
+            let mut j = i + 1;
+            // Sweep within one buffer's access list.
+            while j < by_buf.len() && by_buf[j].0 == by_buf[i].0 {
+                j += 1;
+            }
+            let group = &by_buf[i..j];
+            // Active-set sweep over start-sorted intervals.
+            let mut active: Vec<usize> = Vec::new();
+            for (gi, a) in group.iter().enumerate() {
+                active.retain(|&k| group[k].2 > a.1);
+                for &k in &active {
+                    let b = &group[k];
+                    // An op touching one buffer as both read and write (e.g.
+                    // a self-periodic ghost gather) is not a race with itself.
+                    if a.5 == b.5 {
+                        continue;
+                    }
+                    if a.3 == Access::Write || b.3 == Access::Write {
+                        hazards.push(Hazard {
+                            buffer: a.0,
+                            first_label: b.4.to_string(),
+                            second_label: a.4.to_string(),
+                            overlap_start: a.1.max(b.1),
+                            overlap_end: a.2.min(b.2),
+                        });
+                    }
+                }
+                active.push(gi);
+            }
+            i = j;
+        }
+        hazards
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests over random stream programs: the CUDA semantics the
+//! paper's overlap argument rests on must hold for *any* program, not just
+//! the library's.
+
+use gpu_sim::{GpuSystem, HostMemKind, KernelCost, KernelLaunch, MachineConfig, SimTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Cmd {
+    H2d { buf: usize, stream: usize },
+    D2h { buf: usize, stream: usize },
+    Kernel { buf: usize, stream: usize, us: u64 },
+    EventChain { from: usize, to: usize },
+    StreamSync { stream: usize },
+}
+
+fn arb_cmd(nbufs: usize, nstreams: usize) -> impl Strategy<Value = Cmd> {
+    prop_oneof![
+        (0..nbufs, 0..nstreams).prop_map(|(buf, stream)| Cmd::H2d { buf, stream }),
+        (0..nbufs, 0..nstreams).prop_map(|(buf, stream)| Cmd::D2h { buf, stream }),
+        (0..nbufs, 0..nstreams, 1u64..200)
+            .prop_map(|(buf, stream, us)| Cmd::Kernel { buf, stream, us }),
+        (0..nstreams, 0..nstreams).prop_map(|(from, to)| Cmd::EventChain { from, to }),
+        (0..nstreams).prop_map(|stream| Cmd::StreamSync { stream }),
+    ]
+}
+
+/// Run a program; returns (elapsed, per-op (stream, start, end) list).
+fn run_program(cmds: &[Cmd], backed: bool, trace: bool) -> (SimTime, GpuSystem) {
+    let nbufs = 3;
+    let nstreams = 3;
+    let len = 1 << 12;
+    let mut g = GpuSystem::with_backing(MachineConfig::k40m(), backed);
+    g.set_tracing(trace);
+    let host: Vec<_> = (0..nbufs)
+        .map(|_| g.malloc_host(len, HostMemKind::Pinned))
+        .collect();
+    let dev: Vec<_> = (0..nbufs).map(|_| g.malloc_device(len).unwrap()).collect();
+    let streams: Vec<_> = (0..nstreams).map(|_| g.create_stream()).collect();
+
+    for cmd in cmds {
+        match *cmd {
+            Cmd::H2d { buf, stream } => {
+                g.memcpy_h2d_async(dev[buf], 0, host[buf], 0, len, streams[stream]);
+            }
+            Cmd::D2h { buf, stream } => {
+                g.memcpy_d2h_async(host[buf], 0, dev[buf], 0, len, streams[stream]);
+            }
+            Cmd::Kernel { buf, stream, us } => {
+                let slab = g.device_slab(dev[buf]);
+                g.launch_kernel(
+                    streams[stream],
+                    KernelLaunch::new("k", KernelCost::Fixed(SimTime::from_us(us)))
+                        .writes(dev[buf].into())
+                        .exec(move || slab.set(0, 1.0)),
+                );
+            }
+            Cmd::EventChain { from, to } => {
+                let ev = g.record_event(streams[from]);
+                g.stream_wait_event(streams[to], ev);
+            }
+            Cmd::StreamSync { stream } => g.stream_synchronize(streams[stream]),
+        }
+    }
+    let elapsed = g.finish();
+    (elapsed, g)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The schedule never depends on whether data is real or virtual.
+    #[test]
+    fn prop_backing_never_changes_timing(cmds in proptest::collection::vec(arb_cmd(3, 3), 1..25)) {
+        let (t_real, _) = run_program(&cmds, true, false);
+        let (t_virt, _) = run_program(&cmds, false, false);
+        prop_assert_eq!(t_real, t_virt);
+    }
+
+    /// Per-engine spans never overlap beyond the engine's capacity (the
+    /// copy engines and compute engine are capacity-1 on the K40m model).
+    #[test]
+    fn prop_engines_are_exclusive(cmds in proptest::collection::vec(arb_cmd(3, 3), 1..25)) {
+        let (_, g) = run_program(&cmds, false, true);
+        let tr = g.trace();
+        for engine in 0..3 {
+            let spans = tr.spans_of(engine);
+            for w in spans.windows(2) {
+                prop_assert!(
+                    w[0].end <= w[1].start,
+                    "engine {engine}: [{},{}) overlaps [{},{})",
+                    w[0].start, w[0].end, w[1].start, w[1].end
+                );
+            }
+        }
+    }
+
+    /// Work submitted to one stream completes in submission order: after a
+    /// stream_synchronize, re-submitting to the same stream can never start
+    /// before everything earlier finished.
+    #[test]
+    fn prop_stream_fifo(kernels in proptest::collection::vec(1u64..100, 2..8)) {
+        let mut g = GpuSystem::with_backing(MachineConfig::k40m(), false);
+        g.set_tracing(true);
+        let s = g.create_stream();
+        for &us in &kernels {
+            g.launch_kernel(s, KernelLaunch::new("k", KernelCost::Fixed(SimTime::from_us(us))));
+        }
+        g.finish();
+        let tr = g.trace();
+        let spans = tr.spans_of(2); // compute engine
+        prop_assert_eq!(spans.len(), kernels.len());
+        for w in spans.windows(2) {
+            prop_assert!(w[0].end <= w[1].start, "stream order violated");
+        }
+    }
+
+    /// Elapsed time is monotone: appending work never makes a program
+    /// finish earlier.
+    #[test]
+    fn prop_elapsed_monotone_in_program_prefix(cmds in proptest::collection::vec(arb_cmd(3, 3), 2..20)) {
+        let (full, _) = run_program(&cmds, false, false);
+        let (prefix, _) = run_program(&cmds[..cmds.len() - 1], false, false);
+        prop_assert!(prefix <= full, "prefix {prefix} > full {full}");
+    }
+
+    /// Single-stream programs are race-free by construction: the hazard
+    /// checker must stay quiet.
+    #[test]
+    fn prop_single_stream_hazard_free(cmds in proptest::collection::vec(arb_cmd(3, 1), 1..20)) {
+        let nbufs = 3;
+        let len = 1 << 12;
+        let mut g = GpuSystem::with_backing(MachineConfig::k40m(), false);
+        g.set_hazard_checking(true);
+        let host: Vec<_> = (0..nbufs).map(|_| g.malloc_host(len, HostMemKind::Pinned)).collect();
+        let dev: Vec<_> = (0..nbufs).map(|_| g.malloc_device(len).unwrap()).collect();
+        let s = g.create_stream();
+        for cmd in &cmds {
+            match *cmd {
+                Cmd::H2d { buf, .. } => { g.memcpy_h2d_async(dev[buf], 0, host[buf], 0, len, s); }
+                Cmd::D2h { buf, .. } => { g.memcpy_d2h_async(host[buf], 0, dev[buf], 0, len, s); }
+                Cmd::Kernel { buf, us, .. } => {
+                    g.launch_kernel(s, KernelLaunch::new("k", KernelCost::Fixed(SimTime::from_us(us)))
+                        .writes(dev[buf].into()));
+                }
+                Cmd::EventChain { .. } | Cmd::StreamSync { .. } => g.stream_synchronize(s),
+            }
+        }
+        g.finish();
+        prop_assert!(g.check_hazards().is_empty());
+    }
+}

@@ -1,0 +1,176 @@
+//! 2-D image processing: 3×3 Gaussian blur.
+//!
+//! The paper's introduction motivates the model with "structured grid
+//! problems ... as well as image processing applications". This kernel
+//! treats an `n × n` image as an `n × n × 1` domain: a separable
+//! (1 2 1)/4 ⊗ (1 2 1)/4 blur whose 3×3 support needs *corner* ghost cells —
+//! `ExchangeMode::Full` in two dimensions.
+
+use gpu_sim::KernelCost;
+use tida::{Box3, Domain, IntVect, View, ViewMut};
+
+/// Weight of offset `(dx, dy)`, each in {-1,0,1}: the normalized 3×3
+/// binomial kernel (sums to 1).
+#[inline]
+pub fn weight(dx: i64, dy: i64) -> f64 {
+    let w1 = |d: i64| if d == 0 { 0.5 } else { 0.25 };
+    w1(dx) * w1(dy)
+}
+
+/// Device traffic per pixel (read 3 rows once each in cache, write 1).
+pub const BYTES_PER_PIXEL: u64 = 24;
+
+/// FLOPs per pixel (9 multiply-adds).
+pub const FLOPS_PER_PIXEL: f64 = 18.0;
+
+/// Device cost of one blur pass over `pixels`.
+pub fn cost(pixels: u64) -> KernelCost {
+    KernelCost::Roofline {
+        bytes: pixels * BYTES_PER_PIXEL,
+        flops: pixels as f64 * FLOPS_PER_PIXEL,
+    }
+}
+
+/// A 2-D image domain: `n × n × 1`, periodic in x/y only (z is a dummy).
+pub fn image_domain(n: i64) -> Domain {
+    Domain {
+        bx: Box3::new(IntVect::ZERO, IntVect::new(n - 1, n - 1, 0)),
+        periodic: [true, true, false],
+    }
+}
+
+/// One blur pass over the pixels of `bx`: `dst <- blur(src)`.
+pub fn blur_tile(dst: &mut ViewMut<'_>, src: &View<'_>, bx: &Box3) {
+    for iv in bx.iter() {
+        let mut acc = 0.0;
+        for dy in -1..=1 {
+            for dx in -1..=1 {
+                acc += weight(dx, dy) * src.at(iv + IntVect::new(dx, dy, 0));
+            }
+        }
+        dst.set(iv, acc);
+    }
+}
+
+/// Golden reference: one pass on a dense periodic `n × n` image
+/// (row-major, `y * n + x`).
+pub fn golden_pass(dst: &mut [f64], src: &[f64], n: i64) {
+    assert_eq!(src.len(), (n * n) as usize);
+    assert_eq!(dst.len(), src.len());
+    for y in 0..n {
+        for x in 0..n {
+            let mut acc = 0.0;
+            for dy in -1..=1 {
+                for dx in -1..=1 {
+                    let sx = (x + dx).rem_euclid(n);
+                    let sy = (y + dy).rem_euclid(n);
+                    acc += weight(dx, dy) * src[(sy * n + sx) as usize];
+                }
+            }
+            dst[(y * n + x) as usize] = acc;
+        }
+    }
+}
+
+/// A synthetic test card: bright diagonal stripes plus a few point lights —
+/// enough structure that blurring visibly changes it.
+pub fn test_image(_n: i64) -> impl Fn(IntVect) -> f64 {
+    move |iv: IntVect| {
+        let stripes = if ((iv.x() + iv.y()) / 4) % 2 == 0 { 1.0 } else { 0.0 };
+        let light = if iv.x() % 11 == 5 && iv.y() % 13 == 7 { 4.0 } else { 0.0 };
+        stripes + light
+    }
+}
+
+/// Flatten a `TileArray` over [`image_domain`] into row-major pixels.
+pub fn to_pixels(dense_domain_order: &[f64], _n: i64) -> Vec<f64> {
+    // The domain layout for n x n x 1 is already row-major (x fastest).
+    dense_domain_order.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tida::{with_dst_src, Decomposition, ExchangeMode, Layout, RegionSpec, TileArray};
+
+    #[test]
+    fn weights_sum_to_one() {
+        let total: f64 = (-1..=1)
+            .flat_map(|dy| (-1..=1).map(move |dx| weight(dx, dy)))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn constant_image_unchanged() {
+        let n = 8;
+        let src = vec![0.5; 64];
+        let mut dst = vec![0.0; 64];
+        golden_pass(&mut dst, &src, n);
+        for &p in &dst {
+            assert!((p - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn blur_reduces_total_variation() {
+        let n = 16;
+        let l = Layout::new(image_domain(n).bx);
+        let f = test_image(n);
+        let src: Vec<f64> = (0..l.len()).map(|o| f(l.cell_at(o))).collect();
+        let mut dst = vec![0.0; src.len()];
+        golden_pass(&mut dst, &src, n);
+        let tv = |img: &[f64]| {
+            let mut t = 0.0;
+            for y in 0..n {
+                for x in 0..n - 1 {
+                    t += (img[(y * n + x + 1) as usize] - img[(y * n + x) as usize]).abs();
+                }
+            }
+            t
+        };
+        assert!(tv(&dst) < tv(&src));
+    }
+
+    #[test]
+    fn tiled_blur_matches_golden_with_strip_regions() {
+        let n = 12i64;
+        let dom = image_domain(n);
+        // Horizontal strips: regions split along y.
+        let d = Arc::new(Decomposition::new(dom, RegionSpec::Grid([1, 4, 1])));
+        let src = TileArray::new(d.clone(), 1, ExchangeMode::Full, true);
+        let dst = TileArray::new(d.clone(), 1, ExchangeMode::Full, true);
+        let f = test_image(n);
+        src.fill_grown(|_| f64::NAN);
+        src.fill_valid(&f);
+        src.fill_boundary();
+
+        for rid in 0..d.num_regions() {
+            let (dr, sr) = (dst.region(rid), src.region(rid));
+            with_dst_src((&dr.slab, dr.layout), (&sr.slab, sr.layout), |mut dv, sv| {
+                blur_tile(&mut dv, &sv, &dr.valid)
+            })
+            .unwrap();
+        }
+
+        let l = Layout::new(dom.bx);
+        let dense: Vec<f64> = (0..l.len()).map(|o| f(l.cell_at(o))).collect();
+        let mut golden = vec![0.0; dense.len()];
+        golden_pass(&mut golden, &dense, n);
+        assert_eq!(dst.to_dense().unwrap(), golden);
+    }
+
+    #[test]
+    fn mass_preserved_by_periodic_blur() {
+        let n = 10;
+        let l = Layout::new(image_domain(n).bx);
+        let f = test_image(n);
+        let src: Vec<f64> = (0..l.len()).map(|o| f(l.cell_at(o))).collect();
+        let mut dst = vec![0.0; src.len()];
+        golden_pass(&mut dst, &src, n);
+        let s0: f64 = src.iter().sum();
+        let s1: f64 = dst.iter().sum();
+        assert!((s0 - s1).abs() < 1e-9 * s0.abs());
+    }
+}

@@ -1,0 +1,161 @@
+//! The compute-intensive kernel (§VI-B).
+//!
+//! Adapted by the paper from an NVIDIA overlap benchmark: each cell
+//! repeatedly adds `sqrt(sin(x)² + cos(x)²)` to itself, with an inner
+//! `kernel_iteration` loop to scale the arithmetic intensity to the target
+//! device:
+//!
+//! ```text
+//! for i in 0..kernel_iteration {
+//!     s = sin(data[idx]); c = cos(data[idx]);
+//!     data[idx] += sqrt(s*s + c*c);   // == 1.0 up to rounding
+//! }
+//! ```
+//!
+//! Because the increment is 1.0 up to a few ulps, the expected result is
+//! `init + kernel_iteration` — a built-in correctness oracle.
+//!
+//! The cost model charges per-iteration FLOP counts that differ by math
+//! implementation, reproducing the paper's Fig. 6 observation that
+//! PGI-generated math outperformed CUDA's `math.h` and that `-use_fast_math`
+//! closes the gap.
+
+use gpu_sim::KernelCost;
+use tida::{Box3, ViewMut};
+
+/// Which math library the kernel was "compiled" against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MathImpl {
+    /// CUDA `math.h` double-precision sin/cos/sqrt (slowest; §VI-B).
+    CudaLibm,
+    /// PGI-generated math used by the OpenACC and TiDA-acc builds.
+    PgiLibm,
+    /// `nvcc -use_fast_math`.
+    FastMath,
+}
+
+impl MathImpl {
+    /// Modelled FLOPs per inner iteration per cell (sin + cos + sqrt + add,
+    /// software-expanded on the K40 generation).
+    pub fn flops_per_iteration(self) -> f64 {
+        match self {
+            MathImpl::CudaLibm => 230.0,
+            MathImpl::PgiLibm => 125.0,
+            MathImpl::FastMath => 115.0,
+        }
+    }
+}
+
+/// Default inner-loop count: tuned (as the paper did for its device) so one
+/// kernel pass over a region takes roughly twice the region's transfer
+/// time — firmly compute-intensive.
+pub const DEFAULT_KERNEL_ITERATION: u32 = 40;
+
+/// Device cost of the kernel over `cells` cells with the inner loop run
+/// `iters` times.
+pub fn cost(cells: u64, iters: u32, math: MathImpl) -> KernelCost {
+    KernelCost::Roofline {
+        bytes: cells * 16, // one read + one write of each cell
+        flops: cells as f64 * iters as f64 * math.flops_per_iteration(),
+    }
+}
+
+/// Host/simulated-device executor: apply the kernel to the cells of `bx`.
+pub fn apply_tile(v: &mut ViewMut<'_>, bx: &Box3, iters: u32) {
+    debug_assert!(v.layout.domain().contains_box(bx));
+    for iv in bx.iter() {
+        let o = v.layout.offset(iv);
+        let mut x = v.data[o];
+        for _ in 0..iters {
+            let s = x.sin();
+            let c = x.cos();
+            x += (s * s + c * c).sqrt();
+        }
+        v.data[o] = x;
+    }
+}
+
+/// Golden reference on a dense array.
+pub fn golden(data: &mut [f64], iters: u32) {
+    for x in data.iter_mut() {
+        let mut v = *x;
+        for _ in 0..iters {
+            let s = v.sin();
+            let c = v.cos();
+            v += (s * s + c * c).sqrt();
+        }
+        *x = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tida::{
+        with_view_mut, Decomposition, Domain, ExchangeMode, IntVect, RegionSpec, TileArray,
+    };
+
+    #[test]
+    fn increment_is_one_per_iteration() {
+        let mut data = vec![0.25, -3.5, 7.0];
+        golden(&mut data, 10);
+        for (i, &x) in data.iter().enumerate() {
+            let expect = [0.25, -3.5, 7.0][i] + 10.0;
+            assert!((x - expect).abs() < 1e-9, "{x} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn tile_executor_matches_golden_exactly() {
+        let n = 6;
+        let d = Arc::new(Decomposition::new(
+            Domain::periodic_cube(n),
+            RegionSpec::Count(3),
+        ));
+        let a = TileArray::new(d.clone(), 0, ExchangeMode::Faces, true);
+        let init = |iv: IntVect| (iv.x() + 2 * iv.y() - iv.z()) as f64 * 0.125;
+        a.fill_valid(init);
+
+        for r in a.regions() {
+            with_view_mut(&r.slab, r.layout, |mut v| {
+                apply_tile(&mut v, &r.valid, 7);
+            })
+            .unwrap();
+        }
+
+        let mut golden_data: Vec<f64> = {
+            let l = tida::Layout::new(tida::Box3::cube(n));
+            (0..l.len()).map(|o| init(l.cell_at(o))).collect()
+        };
+        golden(&mut golden_data, 7);
+        assert_eq!(a.to_dense().unwrap(), golden_data);
+    }
+
+    #[test]
+    fn math_impl_ordering_matches_paper() {
+        // CUDA libm is the slowest; PGI math and fast-math are faster.
+        assert!(MathImpl::CudaLibm.flops_per_iteration() > MathImpl::PgiLibm.flops_per_iteration());
+        assert!(MathImpl::PgiLibm.flops_per_iteration() > MathImpl::FastMath.flops_per_iteration());
+    }
+
+    #[test]
+    fn cost_is_compute_bound_at_default_iteration() {
+        let cfg = gpu_sim::MachineConfig::k40m();
+        let cells = 1u64 << 24;
+        let t = cost(cells, DEFAULT_KERNEL_ITERATION, MathImpl::PgiLibm).duration(&cfg, 1.0);
+        let mem_only = KernelCost::Bytes(cells * 16).duration(&cfg, 1.0);
+        assert!(t > mem_only, "busy kernel must be compute-bound");
+        // And compute time exceeds the region's PCIe transfer time, so
+        // TiDA-acc can hide transfers behind it.
+        let transfer = cfg.h2d_time(cells * 8);
+        assert!(t > transfer);
+    }
+
+    #[test]
+    fn zero_iterations_is_identity() {
+        let mut data = vec![1.0, 2.0];
+        golden(&mut data, 0);
+        assert_eq!(data, vec![1.0, 2.0]);
+    }
+}

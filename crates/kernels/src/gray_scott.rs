@@ -1,0 +1,235 @@
+//! Gray–Scott reaction-diffusion: a two-field coupled PDE system.
+//!
+//! The paper's introduction motivates the programming model with structured
+//! grid PDE solvers; Gray–Scott is the canonical multi-field one. Each step
+//! reads both fields `u, v` (with face ghosts) and writes both `u', v'`:
+//!
+//! ```text
+//! u' = u + dt (Du ∇²u − u v² + F (1 − u))
+//! v' = v + dt (Dv ∇²v + u v² − (F + k) v)
+//! ```
+//!
+//! This exercises the library's general multi-operand `compute` (two writes,
+//! two reads per tile) — the "multiple tiles as inputs" case of §V.
+
+use gpu_sim::KernelCost;
+use tida::{Box3, IntVect, Layout, View, ViewMut};
+
+/// Model parameters. The defaults sit in the "solitons" regime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrayScott {
+    pub du: f64,
+    pub dv: f64,
+    pub feed: f64,
+    pub kill: f64,
+    pub dt: f64,
+}
+
+impl Default for GrayScott {
+    fn default() -> Self {
+        GrayScott {
+            du: 0.16,
+            dv: 0.08,
+            feed: 0.035,
+            kill: 0.065,
+            dt: 1.0,
+        }
+    }
+}
+
+/// Per-cell FLOP count (two Laplacians + reaction terms).
+pub const FLOPS_PER_CELL: f64 = 30.0;
+
+/// Device-memory traffic per cell: read u, v (+ stencil reuse), write u', v'.
+pub const BYTES_PER_CELL: u64 = 48;
+
+/// Device cost for one step over `cells` cells.
+pub fn cost(cells: u64) -> KernelCost {
+    KernelCost::Roofline {
+        bytes: cells * BYTES_PER_CELL,
+        flops: cells as f64 * FLOPS_PER_CELL,
+    }
+}
+
+#[inline]
+fn laplacian(f: &View<'_>, iv: IntVect) -> f64 {
+    f.at(iv + IntVect::new(1, 0, 0))
+        + f.at(iv - IntVect::new(1, 0, 0))
+        + f.at(iv + IntVect::new(0, 1, 0))
+        + f.at(iv - IntVect::new(0, 1, 0))
+        + f.at(iv + IntVect::new(0, 0, 1))
+        + f.at(iv - IntVect::new(0, 0, 1))
+        - 6.0 * f.at(iv)
+}
+
+/// One step over the cells of `bx`: `(u', v') <- step(u, v)`.
+///
+/// Argument order matches the multi-operand compute convention:
+/// `writes = [u_new, v_new]`, `reads = [u, v]`.
+pub fn step_tile(
+    writes: &mut [ViewMut<'_>],
+    reads: &[View<'_>],
+    bx: &Box3,
+    p: GrayScott,
+) {
+    assert_eq!(writes.len(), 2, "Gray-Scott writes u' and v'");
+    assert_eq!(reads.len(), 2, "Gray-Scott reads u and v");
+    let (u, v) = (&reads[0], &reads[1]);
+    // Split so we can write both fields in one pass.
+    let (un, rest) = writes.split_first_mut().expect("two writes");
+    let vn = &mut rest[0];
+    for iv in bx.iter() {
+        let uc = u.at(iv);
+        let vc = v.at(iv);
+        let uvv = uc * vc * vc;
+        un.set(
+            iv,
+            uc + p.dt * (p.du * laplacian(u, iv) - uvv + p.feed * (1.0 - uc)),
+        );
+        vn.set(
+            iv,
+            vc + p.dt * (p.dv * laplacian(v, iv) + uvv - (p.feed + p.kill) * vc),
+        );
+    }
+}
+
+/// Golden reference: one step on dense periodic cubes of side `n`.
+pub fn golden_step(
+    un: &mut [f64],
+    vn: &mut [f64],
+    u: &[f64],
+    v: &[f64],
+    n: i64,
+    p: GrayScott,
+) {
+    let l = Layout::new(Box3::cube(n));
+    let wrap = |iv: IntVect| {
+        IntVect::new(
+            iv.x().rem_euclid(n),
+            iv.y().rem_euclid(n),
+            iv.z().rem_euclid(n),
+        )
+    };
+    let lap = |f: &[f64], iv: IntVect| {
+        f[l.offset(wrap(iv + IntVect::new(1, 0, 0)))]
+            + f[l.offset(wrap(iv - IntVect::new(1, 0, 0)))]
+            + f[l.offset(wrap(iv + IntVect::new(0, 1, 0)))]
+            + f[l.offset(wrap(iv - IntVect::new(0, 1, 0)))]
+            + f[l.offset(wrap(iv + IntVect::new(0, 0, 1)))]
+            + f[l.offset(wrap(iv - IntVect::new(0, 0, 1)))]
+            - 6.0 * f[l.offset(iv)]
+    };
+    for iv in Box3::cube(n).iter() {
+        let o = l.offset(iv);
+        let (uc, vc) = (u[o], v[o]);
+        let uvv = uc * vc * vc;
+        un[o] = uc + p.dt * (p.du * lap(u, iv) - uvv + p.feed * (1.0 - uc));
+        vn[o] = vc + p.dt * (p.dv * lap(v, iv) + uvv - (p.feed + p.kill) * vc);
+    }
+}
+
+/// Standard initial condition: `u = 1, v = 0` with a small seeded square of
+/// `u = 0.5, v = 0.25` in the centre.
+pub fn seed(n: i64) -> (impl Fn(IntVect) -> f64, impl Fn(IntVect) -> f64) {
+    let c = n / 2;
+    let r = (n / 8).max(1);
+    let inside = move |iv: IntVect| {
+        (iv.x() - c).abs() <= r && (iv.y() - c).abs() <= r && (iv.z() - c).abs() <= r
+    };
+    (
+        move |iv| if inside(iv) { 0.5 } else { 1.0 },
+        move |iv| if inside(iv) { 0.25 } else { 0.0 },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tida::with_many;
+    use tida::{Decomposition, Domain, ExchangeMode, RegionSpec, TileArray};
+    use std::sync::Arc;
+
+    fn dense_from(n: i64, f: impl Fn(IntVect) -> f64) -> Vec<f64> {
+        let l = Layout::new(Box3::cube(n));
+        (0..l.len()).map(|o| f(l.cell_at(o))).collect()
+    }
+
+    #[test]
+    fn homogeneous_steady_state_u1_v0() {
+        // u=1, v=0 is a fixed point of the reaction and of diffusion.
+        let n = 4;
+        let u = vec![1.0; 64];
+        let v = vec![0.0; 64];
+        let mut un = vec![0.0; 64];
+        let mut vn = vec![0.0; 64];
+        golden_step(&mut un, &mut vn, &u, &v, n, GrayScott::default());
+        assert_eq!(un, u);
+        assert_eq!(vn, v);
+    }
+
+    #[test]
+    fn tile_executor_matches_golden_exactly() {
+        let n = 6;
+        let p = GrayScott::default();
+        let d = Arc::new(Decomposition::new(
+            Domain::periodic_cube(n),
+            RegionSpec::Count(2),
+        ));
+        let mk = || TileArray::new(d.clone(), 1, ExchangeMode::Faces, true);
+        let (u, v, un, vn) = (mk(), mk(), mk(), mk());
+        let (fu, fv) = seed(n);
+        u.fill_valid(&fu);
+        v.fill_valid(&fv);
+        u.fill_boundary();
+        v.fill_boundary();
+
+        for rid in 0..d.num_regions() {
+            let (ur, vr, unr, vnr) = (u.region(rid), v.region(rid), un.region(rid), vn.region(rid));
+            with_many(
+                &[(&unr.slab, unr.layout), (&vnr.slab, vnr.layout)],
+                &[(&ur.slab, ur.layout), (&vr.slab, vr.layout)],
+                |ws, rs| step_tile(ws, rs, &unr.valid, p),
+            )
+            .unwrap();
+        }
+
+        let gu = dense_from(n, &fu);
+        let gv = dense_from(n, &fv);
+        let mut gun = vec![0.0; gu.len()];
+        let mut gvn = vec![0.0; gv.len()];
+        golden_step(&mut gun, &mut gvn, &gu, &gv, n, p);
+        assert_eq!(un.to_dense().unwrap(), gun);
+        assert_eq!(vn.to_dense().unwrap(), gvn);
+    }
+
+    #[test]
+    fn seed_shape() {
+        let (fu, fv) = seed(16);
+        assert_eq!(fu(IntVect::splat(8)), 0.5);
+        assert_eq!(fv(IntVect::splat(8)), 0.25);
+        assert_eq!(fu(IntVect::ZERO), 1.0);
+        assert_eq!(fv(IntVect::ZERO), 0.0);
+    }
+
+    #[test]
+    fn mass_stays_bounded() {
+        // A few steps keep u within [0, 1.2] and v within [0, 1] —
+        // stability of the explicit scheme at dt=1 for these parameters.
+        let n = 8;
+        let p = GrayScott::default();
+        let (fu, fv) = seed(n);
+        let mut u = dense_from(n, fu);
+        let mut v = dense_from(n, fv);
+        let mut un = vec![0.0; u.len()];
+        let mut vn = vec![0.0; v.len()];
+        for _ in 0..10 {
+            golden_step(&mut un, &mut vn, &u, &v, n, p);
+            std::mem::swap(&mut u, &mut un);
+            std::mem::swap(&mut v, &mut vn);
+        }
+        for (&x, &y) in u.iter().zip(&v) {
+            assert!((0.0..=1.2).contains(&x), "u out of range: {x}");
+            assert!((0.0..=1.0).contains(&y), "v out of range: {y}");
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! The data-transfer-intensive kernel: a 3-D heat solver (§VI-A).
+//!
+//! Each time step updates every cell from its 6 nearest neighbours:
+//!
+//! ```text
+//! u_new(i,j,k) = u(i,j,k) + fac * (u(i±1,j,k) + u(i,j±1,k) + u(i,j,k±1) - 6 u(i,j,k))
+//! ```
+//!
+//! The same cell formula backs three executors that must agree bit-for-bit:
+//! the golden dense reference, the per-tile host executor, and the simulated
+//! device kernel (which runs the host executor against device slabs).
+
+use gpu_sim::KernelCost;
+use tida::{Box3, IntVect, Layout, View, ViewMut};
+
+/// Effective device-memory traffic per cell for the tuned CUDA stencil:
+/// one 8-byte write, one streaming read, plus ~1/3 re-read of neighbour
+/// planes that fall out of cache.
+pub const BYTES_PER_CELL: u64 = 24;
+
+/// Floating-point work per cell (7 adds + 1 multiply, counted generously).
+pub const FLOPS_PER_CELL: f64 = 9.0;
+
+/// Default diffusion factor; stable for the explicit 7-point scheme
+/// (`fac <= 1/6`).
+pub const DEFAULT_FAC: f64 = 0.1;
+
+/// Device cost of a heat step over `cells` cells (roofline; the stencil is
+/// memory-bound on the modelled K40m).
+pub fn cost(cells: u64) -> KernelCost {
+    KernelCost::Roofline {
+        bytes: cells * BYTES_PER_CELL,
+        flops: cells as f64 * FLOPS_PER_CELL,
+    }
+}
+
+/// The cell update. Shared by every executor so results agree exactly.
+#[inline]
+pub fn stencil(src: &View<'_>, iv: IntVect, fac: f64) -> f64 {
+    let c = src.at(iv);
+    let sum = src.at(iv + IntVect::new(1, 0, 0))
+        + src.at(iv - IntVect::new(1, 0, 0))
+        + src.at(iv + IntVect::new(0, 1, 0))
+        + src.at(iv - IntVect::new(0, 1, 0))
+        + src.at(iv + IntVect::new(0, 0, 1))
+        + src.at(iv - IntVect::new(0, 0, 1))
+        - 6.0 * c;
+    c + fac * sum
+}
+
+/// One heat step over the cells of `bx`: `dst <- step(src)`.
+///
+/// `src`'s layout must cover `bx.grow(1)` (the ghost cells), `dst`'s must
+/// cover `bx`.
+pub fn step_tile(dst: &mut ViewMut<'_>, src: &View<'_>, bx: &Box3, fac: f64) {
+    debug_assert!(src.layout.domain().contains_box(&bx.grow(1)));
+    debug_assert!(dst.layout.domain().contains_box(bx));
+    for iv in bx.iter() {
+        dst.set(iv, stencil(src, iv, fac));
+    }
+}
+
+/// Golden reference: one step on a dense periodic cube of side `n`.
+pub fn golden_step(dst: &mut [f64], src: &[f64], n: i64, fac: f64) {
+    let l = Layout::new(Box3::cube(n));
+    assert_eq!(src.len(), l.len());
+    assert_eq!(dst.len(), l.len());
+    let wrap = |iv: IntVect| {
+        IntVect::new(
+            iv.x().rem_euclid(n),
+            iv.y().rem_euclid(n),
+            iv.z().rem_euclid(n),
+        )
+    };
+    for iv in Box3::cube(n).iter() {
+        let c = src[l.offset(iv)];
+        let sum = src[l.offset(wrap(iv + IntVect::new(1, 0, 0)))]
+            + src[l.offset(wrap(iv - IntVect::new(1, 0, 0)))]
+            + src[l.offset(wrap(iv + IntVect::new(0, 1, 0)))]
+            + src[l.offset(wrap(iv - IntVect::new(0, 1, 0)))]
+            + src[l.offset(wrap(iv + IntVect::new(0, 0, 1)))]
+            + src[l.offset(wrap(iv - IntVect::new(0, 0, 1)))]
+            - 6.0 * c;
+        dst[l.offset(iv)] = c + fac * sum;
+    }
+}
+
+/// Golden reference: run `steps` steps on a dense periodic cube, starting
+/// from `init(cell)`.
+pub fn golden_run(init: impl Fn(IntVect) -> f64, n: i64, steps: usize, fac: f64) -> Vec<f64> {
+    let l = Layout::new(Box3::cube(n));
+    let mut a: Vec<f64> = (0..l.len()).map(|o| init(l.cell_at(o))).collect();
+    let mut b = vec![0.0; l.len()];
+    for _ in 0..steps {
+        golden_step(&mut b, &a, n, fac);
+        std::mem::swap(&mut a, &mut b);
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tida::{with_dst_src, Decomposition, Domain, ExchangeMode, RegionSpec, TileArray};
+    use std::sync::Arc;
+
+    fn init(iv: IntVect) -> f64 {
+        ((iv.x() * 3 + iv.y() * 5 + iv.z() * 7) % 11) as f64
+    }
+
+    #[test]
+    fn uniform_field_is_fixed_point() {
+        let n = 4;
+        let src = vec![2.5; (n * n * n) as usize];
+        let mut dst = vec![0.0; src.len()];
+        golden_step(&mut dst, &src, n, DEFAULT_FAC);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn golden_step_conserves_total_heat() {
+        let n = 6;
+        let l = Layout::new(Box3::cube(n));
+        let src: Vec<f64> = (0..l.len()).map(|o| init(l.cell_at(o))).collect();
+        let mut dst = vec![0.0; src.len()];
+        golden_step(&mut dst, &src, n, DEFAULT_FAC);
+        let s0: f64 = src.iter().sum();
+        let s1: f64 = dst.iter().sum();
+        assert!((s0 - s1).abs() < 1e-9 * s0.abs().max(1.0));
+    }
+
+    #[test]
+    fn golden_run_smooths_towards_mean() {
+        let n = 8;
+        let out = golden_run(init, n, 200, DEFAULT_FAC);
+        let mean: f64 = out.iter().sum::<f64>() / out.len() as f64;
+        let spread = out
+            .iter()
+            .fold(0f64, |m, &x| m.max((x - mean).abs()));
+        assert!(spread < 0.3, "diffusion should flatten the field, spread={spread}");
+    }
+
+    #[test]
+    fn tile_executor_matches_golden_exactly() {
+        let n = 6;
+        let dom = Domain::periodic_cube(n);
+        let d = Arc::new(Decomposition::new(dom, RegionSpec::Grid([2, 1, 2])));
+        let src_arr = TileArray::new(d.clone(), 1, ExchangeMode::Faces, true);
+        let dst_arr = TileArray::new(d.clone(), 1, ExchangeMode::Faces, true);
+        src_arr.fill_valid(init);
+        src_arr.fill_boundary();
+
+        for rid in 0..d.num_regions() {
+            let dst_r = dst_arr.region(rid);
+            let src_r = src_arr.region(rid);
+            with_dst_src(
+                (&dst_r.slab, dst_r.layout),
+                (&src_r.slab, src_r.layout),
+                |mut dv, sv| step_tile(&mut dv, &sv, &dst_r.valid, DEFAULT_FAC),
+            )
+            .unwrap();
+        }
+
+        let golden = golden_run(init, n, 1, DEFAULT_FAC);
+        assert_eq!(dst_arr.to_dense().unwrap(), golden, "bitwise agreement");
+    }
+
+    #[test]
+    fn multi_step_tiled_matches_golden() {
+        let n = 8;
+        let steps = 5;
+        let dom = Domain::periodic_cube(n);
+        let d = Arc::new(Decomposition::new(dom, RegionSpec::Count(4)));
+        let mut a = TileArray::new(d.clone(), 1, ExchangeMode::Faces, true);
+        let mut b = TileArray::new(d.clone(), 1, ExchangeMode::Faces, true);
+        a.fill_valid(init);
+        for _ in 0..steps {
+            a.fill_boundary();
+            for rid in 0..d.num_regions() {
+                let dst_r = b.region(rid);
+                let src_r = a.region(rid);
+                with_dst_src(
+                    (&dst_r.slab, dst_r.layout),
+                    (&src_r.slab, src_r.layout),
+                    |mut dv, sv| step_tile(&mut dv, &sv, &dst_r.valid, DEFAULT_FAC),
+                )
+                .unwrap();
+            }
+            std::mem::swap(&mut a, &mut b);
+        }
+        assert_eq!(
+            a.to_dense().unwrap(),
+            golden_run(init, n, steps, DEFAULT_FAC)
+        );
+    }
+
+    #[test]
+    fn cost_is_memory_bound_on_k40m() {
+        let cfg = gpu_sim::MachineConfig::k40m();
+        let cells = 1u64 << 24;
+        let t = cost(cells).duration(&cfg, 1.0);
+        let mem_only = KernelCost::Bytes(cells * BYTES_PER_CELL).duration(&cfg, 1.0);
+        assert_eq!(t, mem_only, "heat stencil should hit the memory roof");
+    }
+}

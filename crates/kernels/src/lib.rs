@@ -1,0 +1,120 @@
+//! `kernels` — the paper's evaluation kernels and their oracles.
+//!
+//! * [`heat`] — the transfer-intensive 3-D heat solver (7-point stencil);
+//! * [`busy`] — the compute-intensive sin/cos/sqrt benchmark;
+//! * [`blur2d`] — 2-D image blur (the intro's image-processing motivation);
+//! * [`gray_scott`] — two-field reaction-diffusion (multi-operand compute);
+//! * [`stencil27`] — a 27-point smoother (needs full edge/corner exchange);
+//! * [`jacobi`] — Poisson solver with residual reductions;
+//! * [`multigrid`] — level-transfer operators + dense reference V-cycle;
+//! * [`wave`] — second-order acoustic wave equation (three time levels);
+//! * [`init`] — analytic initial conditions;
+//! * [`norms`] — error norms for validating decomposed runs against the
+//!   golden dense references.
+
+pub mod blur2d;
+pub mod busy;
+pub mod gray_scott;
+pub mod heat;
+pub mod jacobi;
+pub mod multigrid;
+pub mod stencil27;
+pub mod wave;
+
+/// Analytic initial conditions used across tests, examples and benches.
+pub mod init {
+    use tida::IntVect;
+
+    /// A smooth bump centred in a cube of side `n`.
+    pub fn gaussian(n: i64) -> impl Fn(IntVect) -> f64 {
+        let c = (n - 1) as f64 / 2.0;
+        let w = (n as f64 / 4.0).max(1.0);
+        move |iv: IntVect| {
+            let dx = (iv.x() as f64 - c) / w;
+            let dy = (iv.y() as f64 - c) / w;
+            let dz = (iv.z() as f64 - c) / w;
+            (-(dx * dx + dy * dy + dz * dz)).exp()
+        }
+    }
+
+    /// A deterministic pseudo-random field (no `rand` dependency; stable
+    /// across runs and platforms).
+    pub fn hash_field(seed: u64) -> impl Fn(IntVect) -> f64 {
+        move |iv: IntVect| {
+            let mut h = seed
+                ^ (iv.x() as u64).wrapping_mul(0x9E3779B97F4A7C15)
+                ^ (iv.y() as u64).wrapping_mul(0xC2B2AE3D27D4EB4F)
+                ^ (iv.z() as u64).wrapping_mul(0x165667B19E3779F9);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xFF51AFD7ED558CCD);
+            h ^= h >> 33;
+            (h % 1000) as f64 / 1000.0
+        }
+    }
+
+    /// A simple ramp, handy for eyeballing layouts.
+    pub fn ramp() -> impl Fn(IntVect) -> f64 {
+        |iv: IntVect| iv.x() as f64 + 1e3 * iv.y() as f64 + 1e6 * iv.z() as f64
+    }
+}
+
+/// Error norms between a candidate and a reference field.
+pub mod norms {
+    /// Maximum absolute difference.
+    pub fn linf(a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "norm over different-sized fields");
+        a.iter()
+            .zip(b)
+            .fold(0f64, |m, (&x, &y)| m.max((x - y).abs()))
+    }
+
+    /// Root-mean-square difference.
+    pub fn l2(a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "norm over different-sized fields");
+        let ss: f64 = a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum();
+        (ss / a.len() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tida::IntVect;
+
+    #[test]
+    fn gaussian_peaks_at_centre() {
+        let f = init::gaussian(9);
+        let centre = f(IntVect::splat(4));
+        let corner = f(IntVect::ZERO);
+        assert!(centre > corner);
+        assert!((centre - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hash_field_deterministic_and_bounded() {
+        let f = init::hash_field(42);
+        let g = init::hash_field(42);
+        let h = init::hash_field(43);
+        let iv = IntVect::new(3, 1, 4);
+        assert_eq!(f(iv), g(iv));
+        assert_ne!(f(iv), h(iv));
+        for x in [f(IntVect::ZERO), f(iv), f(IntVect::splat(100))] {
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn norms_basics() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 2.5, 2.0];
+        assert_eq!(norms::linf(&a, &a), 0.0);
+        assert_eq!(norms::linf(&a, &b), 1.0);
+        assert!((norms::l2(&a, &b) - ((0.25f64 + 1.0) / 3.0).sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "different-sized")]
+    fn norm_size_mismatch_panics() {
+        norms::linf(&[1.0], &[1.0, 2.0]);
+    }
+}

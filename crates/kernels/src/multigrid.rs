@@ -1,0 +1,247 @@
+//! Geometric multigrid for the periodic Poisson problem.
+//!
+//! The paper's lineage (TiDA → BoxLib) is adaptive/multilevel structured
+//! grids; this module provides the level-transfer operators and a dense
+//! reference V-cycle so the tiled GPU pipeline can run the finest level's
+//! smoothing (the bulk of the work) while coarse grids are solved on the
+//! host — the standard split for GPU multigrid of this era.
+//!
+//! All grids are periodic cubes with unit spacing at every level (the
+//! coarse-grid operator is the rediscretized 7-point Laplacian with spacing
+//! `2h`, folded into the right-hand side scaling).
+
+use tida::{Box3, IntVect, Layout};
+
+/// Full-weighting restriction: each coarse cell is the average of its 2³
+/// fine children. Requires `nf == 2 * nc`.
+pub fn restrict_full(coarse: &mut [f64], fine: &[f64], nc: i64) {
+    let nf = 2 * nc;
+    let lc = Layout::new(Box3::cube(nc));
+    let lf = Layout::new(Box3::cube(nf));
+    assert_eq!(coarse.len(), lc.len());
+    assert_eq!(fine.len(), lf.len());
+    for civ in Box3::cube(nc).iter() {
+        let base = IntVect::new(2 * civ.x(), 2 * civ.y(), 2 * civ.z());
+        let mut acc = 0.0;
+        for dz in 0..2 {
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    acc += fine[lf.offset(base + IntVect::new(dx, dy, dz))];
+                }
+            }
+        }
+        coarse[lc.offset(civ)] = acc / 8.0;
+    }
+}
+
+/// Piecewise-constant prolongation, added as a correction: every fine child
+/// receives its coarse parent's value.
+pub fn prolongate_add(fine: &mut [f64], coarse: &[f64], nc: i64) {
+    let nf = 2 * nc;
+    let lc = Layout::new(Box3::cube(nc));
+    let lf = Layout::new(Box3::cube(nf));
+    assert_eq!(coarse.len(), lc.len());
+    assert_eq!(fine.len(), lf.len());
+    for fiv in Box3::cube(nf).iter() {
+        let parent = IntVect::new(fiv.x() / 2, fiv.y() / 2, fiv.z() / 2);
+        fine[lf.offset(fiv)] += coarse[lc.offset(parent)];
+    }
+}
+
+/// `sweeps` in-place Jacobi sweeps on a dense periodic cube with grid
+/// spacing `h` (`u <- (Σ nbr u − h² f) / 6`).
+pub fn jacobi_sweeps(u: &mut Vec<f64>, f: &[f64], n: i64, h2: f64, sweeps: usize) {
+    let l = Layout::new(Box3::cube(n));
+    let wrap = |iv: IntVect| {
+        IntVect::new(
+            iv.x().rem_euclid(n),
+            iv.y().rem_euclid(n),
+            iv.z().rem_euclid(n),
+        )
+    };
+    let mut next = vec![0.0; u.len()];
+    for _ in 0..sweeps {
+        for iv in Box3::cube(n).iter() {
+            let sum = u[l.offset(wrap(iv + IntVect::new(1, 0, 0)))]
+                + u[l.offset(wrap(iv - IntVect::new(1, 0, 0)))]
+                + u[l.offset(wrap(iv + IntVect::new(0, 1, 0)))]
+                + u[l.offset(wrap(iv - IntVect::new(0, 1, 0)))]
+                + u[l.offset(wrap(iv + IntVect::new(0, 0, 1)))]
+                + u[l.offset(wrap(iv - IntVect::new(0, 0, 1)))];
+            next[l.offset(iv)] = (sum - h2 * f[l.offset(iv)]) / 6.0;
+        }
+        std::mem::swap(u, &mut next);
+    }
+}
+
+/// Residual `r = f − ∇²u / h²`... here with the Laplacian scaled by `1/h²`:
+/// `r = f − (Σ nbr u − 6u) / h²`.
+pub fn residual_dense(r: &mut [f64], u: &[f64], f: &[f64], n: i64, h2: f64) {
+    let l = Layout::new(Box3::cube(n));
+    let wrap = |iv: IntVect| {
+        IntVect::new(
+            iv.x().rem_euclid(n),
+            iv.y().rem_euclid(n),
+            iv.z().rem_euclid(n),
+        )
+    };
+    for iv in Box3::cube(n).iter() {
+        let o = l.offset(iv);
+        let lap = u[l.offset(wrap(iv + IntVect::new(1, 0, 0)))]
+            + u[l.offset(wrap(iv - IntVect::new(1, 0, 0)))]
+            + u[l.offset(wrap(iv + IntVect::new(0, 1, 0)))]
+            + u[l.offset(wrap(iv - IntVect::new(0, 1, 0)))]
+            + u[l.offset(wrap(iv + IntVect::new(0, 0, 1)))]
+            + u[l.offset(wrap(iv - IntVect::new(0, 0, 1)))]
+            - 6.0 * u[o];
+        r[o] = f[o] - lap / h2;
+    }
+}
+
+/// Remove the mean (periodic Poisson is defined up to a constant and only
+/// solvable for mean-free right-hand sides).
+pub fn project_mean_free(v: &mut [f64]) {
+    let mean: f64 = v.iter().sum::<f64>() / v.len() as f64;
+    for x in v.iter_mut() {
+        *x -= mean;
+    }
+}
+
+/// One dense V(pre, post)-cycle on level `n` with spacing `h`; coarsens by
+/// 2 until `min_n`, where it smooths hard instead of recursing.
+pub fn v_cycle_dense(
+    u: &mut Vec<f64>,
+    f: &[f64],
+    n: i64,
+    h2: f64,
+    pre: usize,
+    post: usize,
+    min_n: i64,
+) {
+    if n <= min_n || n % 2 != 0 {
+        jacobi_sweeps(u, f, n, h2, 40);
+        return;
+    }
+    jacobi_sweeps(u, f, n, h2, pre);
+
+    // Coarse-grid correction.
+    let mut r = vec![0.0; u.len()];
+    residual_dense(&mut r, u, f, n, h2);
+    let nc = n / 2;
+    let mut rc = vec![0.0; (nc * nc * nc) as usize];
+    restrict_full(&mut rc, &r, nc);
+    project_mean_free(&mut rc);
+    let mut ec = vec![0.0; rc.len()];
+    // Error equation on the coarse grid: A_{2h} e = r (A u = ∇²u / h², so
+    // the Jacobi form below takes f = r with spacing² = 4h²).
+    v_cycle_dense(&mut ec, &rc, nc, 4.0 * h2, pre, post, min_n);
+    let mut e_fine = vec![0.0; u.len()];
+    prolongate_add(&mut e_fine, &ec, nc);
+    for (x, e) in u.iter_mut().zip(&e_fine) {
+        *x += e;
+    }
+
+    jacobi_sweeps(u, f, n, h2, post);
+}
+
+/// Max-norm of the residual of `u` (convenience).
+pub fn residual_norm(u: &[f64], f: &[f64], n: i64, h2: f64) -> f64 {
+    let mut r = vec![0.0; u.len()];
+    residual_dense(&mut r, u, f, n, h2);
+    r.iter().fold(0f64, |m, &x| m.max(x.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jacobi::manufactured_rhs;
+
+    #[test]
+    fn restriction_preserves_constants_and_mean() {
+        let nc = 4;
+        let nf = 8;
+        let fine = vec![3.5; (nf * nf * nf) as usize];
+        let mut coarse = vec![0.0; (nc * nc * nc) as usize];
+        restrict_full(&mut coarse, &fine, nc);
+        assert!(coarse.iter().all(|&x| (x - 3.5).abs() < 1e-14));
+
+        // Mean preservation for arbitrary data.
+        let l = Layout::new(Box3::cube(nf));
+        let fine: Vec<f64> = (0..l.len()).map(|o| (o % 17) as f64).collect();
+        restrict_full(&mut coarse, &fine, nc);
+        let mf: f64 = fine.iter().sum::<f64>() / fine.len() as f64;
+        let mc: f64 = coarse.iter().sum::<f64>() / coarse.len() as f64;
+        assert!((mf - mc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prolongation_of_constant_adds_constant() {
+        let nc = 3;
+        let nf = 6;
+        let coarse = vec![2.0; (nc * nc * nc) as usize];
+        let mut fine = vec![1.0; (nf * nf * nf) as usize];
+        prolongate_add(&mut fine, &coarse, nc);
+        assert!(fine.iter().all(|&x| (x - 3.0).abs() < 1e-14));
+    }
+
+    #[test]
+    fn restrict_after_prolongate_is_identity() {
+        let nc = 4;
+        let lc = Layout::new(Box3::cube(nc));
+        let coarse: Vec<f64> = (0..lc.len()).map(|o| (o % 7) as f64 - 3.0).collect();
+        let mut fine = vec![0.0; (8 * nc * nc * nc) as usize];
+        prolongate_add(&mut fine, &coarse, nc);
+        let mut back = vec![0.0; coarse.len()];
+        restrict_full(&mut back, &fine, nc);
+        for (a, b) in coarse.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn v_cycle_beats_plain_jacobi_per_sweep() {
+        let n = 16i64;
+        let f = manufactured_rhs(n);
+        let cells = (n * n * n) as usize;
+
+        // One V(3,3)-cycle ~ 6 fine sweeps + cheap coarse work.
+        let mut u_mg = vec![0.0; cells];
+        v_cycle_dense(&mut u_mg, &f, n, 1.0, 3, 3, 4);
+        v_cycle_dense(&mut u_mg, &f, n, 1.0, 3, 3, 4);
+        let r_mg = residual_norm(&u_mg, &f, n, 1.0);
+
+        // Give plain Jacobi 3x the fine-level sweeps.
+        let mut u_j = vec![0.0; cells];
+        jacobi_sweeps(&mut u_j, &f, n, 1.0, 36);
+        let r_j = residual_norm(&u_j, &f, n, 1.0);
+
+        assert!(
+            r_mg < 0.5 * r_j,
+            "two V-cycles ({r_mg:.3e}) must beat 36 Jacobi sweeps ({r_j:.3e})"
+        );
+    }
+
+    #[test]
+    fn v_cycles_converge_monotonically() {
+        let n = 16i64;
+        let f = manufactured_rhs(n);
+        let mut u = vec![0.0; (n * n * n) as usize];
+        let mut last = residual_norm(&u, &f, n, 1.0);
+        for _ in 0..4 {
+            v_cycle_dense(&mut u, &f, n, 1.0, 2, 2, 4);
+            let r = residual_norm(&u, &f, n, 1.0);
+            assert!(r < last, "residual must fall each cycle: {r} !< {last}");
+            last = r;
+        }
+    }
+
+    #[test]
+    fn jacobi_sweeps_match_module_reference() {
+        // jacobi_sweeps with h2 = 1 equals jacobi::golden_run from zero.
+        let n = 8i64;
+        let f = manufactured_rhs(n);
+        let mut u = vec![0.0; (n * n * n) as usize];
+        jacobi_sweeps(&mut u, &f, n, 1.0, 7);
+        assert_eq!(u, crate::jacobi::golden_run(&f, n, 7));
+    }
+}

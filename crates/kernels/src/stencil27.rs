@@ -1,0 +1,155 @@
+//! A 27-point weighted box smoother.
+//!
+//! Unlike the 7-point heat stencil, this kernel reads the full 3×3×3
+//! neighbourhood of each cell, so its ghost exchange needs edge and corner
+//! patches — `ExchangeMode::Full` — exercising the 26-neighbour patch
+//! geometry on both the host and the device ghost paths.
+//!
+//! Weights are the separable (1/4, 1/2, 1/4)³ kernel: a proper smoother
+//! whose weights sum to 1 (constant fields are fixed points).
+
+use gpu_sim::KernelCost;
+use tida::{Box3, IntVect, Layout, View, ViewMut};
+
+/// Weight of the offset `(dx,dy,dz)`, each component in {-1,0,1}.
+#[inline]
+pub fn weight(dx: i64, dy: i64, dz: i64) -> f64 {
+    let w1 = |d: i64| if d == 0 { 0.5 } else { 0.25 };
+    w1(dx) * w1(dy) * w1(dz)
+}
+
+/// Bytes of device traffic per cell (read-heavy stencil).
+pub const BYTES_PER_CELL: u64 = 32;
+
+/// FLOPs per cell (27 multiply-adds).
+pub const FLOPS_PER_CELL: f64 = 54.0;
+
+/// Device cost over `cells` cells.
+pub fn cost(cells: u64) -> KernelCost {
+    KernelCost::Roofline {
+        bytes: cells * BYTES_PER_CELL,
+        flops: cells as f64 * FLOPS_PER_CELL,
+    }
+}
+
+/// The cell update shared by all executors.
+#[inline]
+pub fn smooth(src: &View<'_>, iv: IntVect) -> f64 {
+    let mut acc = 0.0;
+    for dz in -1..=1 {
+        for dy in -1..=1 {
+            for dx in -1..=1 {
+                acc += weight(dx, dy, dz) * src.at(iv + IntVect::new(dx, dy, dz));
+            }
+        }
+    }
+    acc
+}
+
+/// One smoothing pass over the cells of `bx`: `dst <- smooth(src)`.
+pub fn step_tile(dst: &mut ViewMut<'_>, src: &View<'_>, bx: &Box3) {
+    debug_assert!(src.layout.domain().contains_box(&bx.grow(1)));
+    for iv in bx.iter() {
+        dst.set(iv, smooth(src, iv));
+    }
+}
+
+/// Golden reference on a dense periodic cube.
+pub fn golden_step(dst: &mut [f64], src: &[f64], n: i64) {
+    let l = Layout::new(Box3::cube(n));
+    let wrap = |iv: IntVect| {
+        IntVect::new(
+            iv.x().rem_euclid(n),
+            iv.y().rem_euclid(n),
+            iv.z().rem_euclid(n),
+        )
+    };
+    for iv in Box3::cube(n).iter() {
+        let mut acc = 0.0;
+        for dz in -1..=1 {
+            for dy in -1..=1 {
+                for dx in -1..=1 {
+                    acc += weight(dx, dy, dz) * src[l.offset(wrap(iv + IntVect::new(dx, dy, dz)))];
+                }
+            }
+        }
+        dst[l.offset(iv)] = acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use std::sync::Arc;
+    use tida::{with_dst_src, Decomposition, Domain, ExchangeMode, RegionSpec, TileArray};
+
+    #[test]
+    fn weights_sum_to_one() {
+        let mut total = 0.0;
+        for dz in -1..=1 {
+            for dy in -1..=1 {
+                for dx in -1..=1 {
+                    total += weight(dx, dy, dz);
+                }
+            }
+        }
+        assert!((total - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn constant_field_is_fixed_point() {
+        let n = 4;
+        let src = vec![3.25; 64];
+        let mut dst = vec![0.0; 64];
+        golden_step(&mut dst, &src, n);
+        for &x in &dst {
+            assert!((x - 3.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tiled_full_exchange_matches_golden() {
+        // Requires edge/corner ghosts: Faces mode would read poison.
+        let n = 6;
+        let d = Arc::new(Decomposition::new(
+            Domain::periodic_cube(n),
+            RegionSpec::Grid([2, 1, 2]),
+        ));
+        let src = TileArray::new(d.clone(), 1, ExchangeMode::Full, true);
+        let dst = TileArray::new(d.clone(), 1, ExchangeMode::Full, true);
+        let f = init::hash_field(13);
+        src.fill_grown(|_| f64::NAN); // poison ghosts to catch missing patches
+        src.fill_valid(&f);
+        src.fill_boundary();
+
+        for rid in 0..d.num_regions() {
+            let (dr, sr) = (dst.region(rid), src.region(rid));
+            with_dst_src((&dr.slab, dr.layout), (&sr.slab, sr.layout), |mut dv, sv| {
+                step_tile(&mut dv, &sv, &dr.valid)
+            })
+            .unwrap();
+        }
+
+        let l = Layout::new(Box3::cube(n));
+        let dense: Vec<f64> = (0..l.len()).map(|o| f(l.cell_at(o))).collect();
+        let mut golden = vec![0.0; dense.len()];
+        golden_step(&mut golden, &dense, n);
+        assert_eq!(dst.to_dense().unwrap(), golden);
+    }
+
+    #[test]
+    fn smoothing_reduces_variance() {
+        let n = 8;
+        let l = Layout::new(Box3::cube(n));
+        let f = init::hash_field(3);
+        let src: Vec<f64> = (0..l.len()).map(|o| f(l.cell_at(o))).collect();
+        let mut dst = vec![0.0; src.len()];
+        golden_step(&mut dst, &src, n);
+        let var = |d: &[f64]| {
+            let m: f64 = d.iter().sum::<f64>() / d.len() as f64;
+            d.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / d.len() as f64
+        };
+        assert!(var(&dst) < var(&src));
+    }
+}

@@ -1,0 +1,436 @@
+//! Shared, optionally-backed `f64` buffers.
+//!
+//! Every memory object in the simulation stack — host arrays (pageable,
+//! pinned, managed) and device allocations — is a [`Slab`]: a reference-counted
+//! buffer of `f64` elements that is either *real* (backed by a `Vec<f64>`) or
+//! *virtual* (it has a length but no storage).
+//!
+//! Virtual slabs exist so that the benchmark harness can run the paper's
+//! full-scale workloads (512³ doubles ≈ 1 GiB per array) through the
+//! discrete-event scheduler without allocating the data: the cost model only
+//! needs byte counts. Correctness tests run the very same code paths with
+//! real slabs at small sizes, where kernels and copies actually move data.
+//!
+//! All data-moving helpers are no-ops when either side is virtual, so a
+//! program is oblivious to which mode it runs in.
+
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::Arc;
+
+/// A shared, optionally-backed buffer of `f64`.
+///
+/// Cloning a `Slab` is cheap and yields another handle to the same storage.
+#[derive(Clone)]
+pub struct Slab {
+    len: usize,
+    inner: Arc<RwLock<Option<Vec<f64>>>>,
+}
+
+impl fmt::Debug for Slab {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Slab")
+            .field("len", &self.len)
+            .field("virtual", &self.is_virtual())
+            .finish()
+    }
+}
+
+impl Slab {
+    /// A real slab of `len` elements, zero-initialized.
+    pub fn real(len: usize) -> Self {
+        Slab {
+            len,
+            inner: Arc::new(RwLock::new(Some(vec![0.0; len]))),
+        }
+    }
+
+    /// A real slab taking ownership of `data`.
+    pub fn from_vec(data: Vec<f64>) -> Self {
+        Slab {
+            len: data.len(),
+            inner: Arc::new(RwLock::new(Some(data))),
+        }
+    }
+
+    /// A virtual slab: it has a length (and therefore a byte size for the
+    /// cost model) but no backing storage.
+    pub fn virtual_(len: usize) -> Self {
+        Slab {
+            len,
+            inner: Arc::new(RwLock::new(None)),
+        }
+    }
+
+    /// Real if `backed`, virtual otherwise. Convenience for harnesses that
+    /// switch between validated and timing-only runs with a flag.
+    pub fn new(len: usize, backed: bool) -> Self {
+        if backed {
+            Self::real(len)
+        } else {
+            Self::virtual_(len)
+        }
+    }
+
+    /// Number of `f64` elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when `len() == 0`.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Size in bytes (valid for both real and virtual slabs).
+    pub fn bytes(&self) -> u64 {
+        (self.len * std::mem::size_of::<f64>()) as u64
+    }
+
+    /// True when the slab has no backing storage.
+    pub fn is_virtual(&self) -> bool {
+        self.inner.read().is_none()
+    }
+
+    /// Two handles are aliases when they share storage.
+    pub fn same_storage(&self, other: &Slab) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Run `f` with a shared view of the data (`None` when virtual).
+    pub fn with<R>(&self, f: impl FnOnce(Option<&[f64]>) -> R) -> R {
+        let guard = self.inner.read();
+        f(guard.as_deref())
+    }
+
+    /// Run `f` with an exclusive view of the data (`None` when virtual).
+    pub fn with_mut<R>(&self, f: impl FnOnce(Option<&mut [f64]>) -> R) -> R {
+        let mut guard = self.inner.write();
+        f(guard.as_deref_mut())
+    }
+
+    /// Read one element. `None` when virtual. Panics when out of bounds.
+    pub fn get(&self, idx: usize) -> Option<f64> {
+        assert!(idx < self.len, "Slab::get: index {idx} out of bounds {}", self.len);
+        self.inner.read().as_ref().map(|v| v[idx])
+    }
+
+    /// Write one element. No-op when virtual. Panics when out of bounds.
+    pub fn set(&self, idx: usize, value: f64) {
+        assert!(idx < self.len, "Slab::set: index {idx} out of bounds {}", self.len);
+        if let Some(v) = self.inner.write().as_mut() {
+            v[idx] = value;
+        }
+    }
+
+    /// Fill every element with `value`. No-op when virtual.
+    pub fn fill(&self, value: f64) {
+        if let Some(v) = self.inner.write().as_mut() {
+            v.fill(value);
+        }
+    }
+
+    /// Initialize each element from `f(index)`. No-op when virtual.
+    pub fn fill_with(&self, mut f: impl FnMut(usize) -> f64) {
+        if let Some(v) = self.inner.write().as_mut() {
+            for (i, x) in v.iter_mut().enumerate() {
+                *x = f(i);
+            }
+        }
+    }
+
+    /// Copy the whole contents out (for assertions). `None` when virtual.
+    pub fn snapshot(&self) -> Option<Vec<f64>> {
+        self.inner.read().clone()
+    }
+
+    /// Give a virtual slab zeroed real storage; no-op when already real.
+    pub fn materialize(&self) {
+        let mut guard = self.inner.write();
+        if guard.is_none() {
+            *guard = Some(vec![0.0; self.len]);
+        }
+    }
+
+    /// Drop the backing storage, making the slab virtual again.
+    pub fn dematerialize(&self) {
+        *self.inner.write() = None;
+    }
+
+    /// Acquire a shared guard (for building multi-slab views; see
+    /// `tida::with_many`). Prefer [`Slab::with`] for single-slab access.
+    pub fn read_guard(&self) -> ReadGuard<'_> {
+        ReadGuard(self.inner.read())
+    }
+
+    /// Acquire an exclusive guard. Deadlocks if the same storage is already
+    /// guarded — callers must check [`Slab::same_storage`] first.
+    pub fn write_guard(&self) -> WriteGuard<'_> {
+        WriteGuard(self.inner.write())
+    }
+}
+
+/// Shared access guard over a slab's storage.
+pub struct ReadGuard<'a>(parking_lot::RwLockReadGuard<'a, Option<Vec<f64>>>);
+
+impl ReadGuard<'_> {
+    /// The data (`None` when the slab is virtual).
+    pub fn data(&self) -> Option<&[f64]> {
+        self.0.as_deref()
+    }
+}
+
+/// Exclusive access guard over a slab's storage.
+pub struct WriteGuard<'a>(parking_lot::RwLockWriteGuard<'a, Option<Vec<f64>>>);
+
+impl WriteGuard<'_> {
+    /// The data (`None` when the slab is virtual).
+    pub fn data_mut(&mut self) -> Option<&mut [f64]> {
+        self.0.as_deref_mut()
+    }
+}
+
+/// Copy `len` elements from `src[src_off..]` into `dst[dst_off..]`.
+///
+/// This is the simulator's "DMA": it is a no-op when either slab is virtual,
+/// so timing-only runs skip the data movement while validated runs perform it.
+/// Copying a slab onto itself with overlapping ranges uses `copy_within`.
+///
+/// Panics when a range is out of bounds.
+pub fn copy(dst: &Slab, dst_off: usize, src: &Slab, src_off: usize, len: usize) {
+    assert!(
+        src_off + len <= src.len,
+        "memslab::copy: source range {src_off}+{len} exceeds {}",
+        src.len
+    );
+    assert!(
+        dst_off + len <= dst.len,
+        "memslab::copy: destination range {dst_off}+{len} exceeds {}",
+        dst.len
+    );
+    if len == 0 {
+        return;
+    }
+    if dst.same_storage(src) {
+        if let Some(v) = dst.inner.write().as_mut() {
+            v.copy_within(src_off..src_off + len, dst_off);
+        }
+        return;
+    }
+    let src_guard = src.inner.read();
+    let Some(s) = src_guard.as_ref() else { return };
+    if let Some(d) = dst.inner.write().as_mut() {
+        d[dst_off..dst_off + len].copy_from_slice(&s[src_off..src_off + len]);
+    }
+}
+
+/// Gather `src[src_idx[i]]` into `dst[dst_idx[i]]` for every `i`.
+///
+/// Models the index-list ghost-cell update kernel of the paper (§IV-B-6):
+/// the host computes `(dst_idx, src_idx)` pairs and the device kernel applies
+/// them. No-op when either slab is virtual.
+pub fn gather(dst: &Slab, dst_idx: &[usize], src: &Slab, src_idx: &[usize]) {
+    assert_eq!(
+        dst_idx.len(),
+        src_idx.len(),
+        "memslab::gather: index lists differ in length"
+    );
+    if dst.same_storage(src) {
+        if let Some(v) = dst.inner.write().as_mut() {
+            for (&d, &s) in dst_idx.iter().zip(src_idx) {
+                v[d] = v[s];
+            }
+        }
+        return;
+    }
+    let src_guard = src.inner.read();
+    let Some(s) = src_guard.as_ref() else { return };
+    if let Some(d) = dst.inner.write().as_mut() {
+        for (&di, &si) in dst_idx.iter().zip(src_idx) {
+            d[di] = s[si];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn real_slab_roundtrip() {
+        let s = Slab::real(8);
+        assert_eq!(s.len(), 8);
+        assert!(!s.is_virtual());
+        s.set(3, 42.0);
+        assert_eq!(s.get(3), Some(42.0));
+        assert_eq!(s.get(0), Some(0.0));
+    }
+
+    #[test]
+    fn virtual_slab_ignores_writes() {
+        let s = Slab::virtual_(8);
+        assert!(s.is_virtual());
+        s.set(3, 42.0);
+        assert_eq!(s.get(3), None);
+        assert_eq!(s.snapshot(), None);
+        assert_eq!(s.bytes(), 64);
+    }
+
+    #[test]
+    fn from_vec_preserves_contents() {
+        let s = Slab::from_vec(vec![1.0, 2.0, 3.0]);
+        assert_eq!(s.snapshot().unwrap(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn clone_aliases_storage() {
+        let a = Slab::real(4);
+        let b = a.clone();
+        b.set(0, 7.0);
+        assert_eq!(a.get(0), Some(7.0));
+        assert!(a.same_storage(&b));
+        assert!(!a.same_storage(&Slab::real(4)));
+    }
+
+    #[test]
+    fn copy_moves_data_between_real_slabs() {
+        let src = Slab::from_vec(vec![1.0, 2.0, 3.0, 4.0]);
+        let dst = Slab::real(4);
+        copy(&dst, 1, &src, 2, 2);
+        assert_eq!(dst.snapshot().unwrap(), vec![0.0, 3.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn copy_with_virtual_side_is_noop() {
+        let src = Slab::virtual_(4);
+        let dst = Slab::from_vec(vec![9.0; 4]);
+        copy(&dst, 0, &src, 0, 4);
+        assert_eq!(dst.snapshot().unwrap(), vec![9.0; 4]);
+
+        let vdst = Slab::virtual_(4);
+        copy(&vdst, 0, &dst, 0, 4); // must not panic
+        assert!(vdst.is_virtual());
+    }
+
+    #[test]
+    fn copy_same_storage_overlapping() {
+        let s = Slab::from_vec(vec![1.0, 2.0, 3.0, 4.0]);
+        let alias = s.clone();
+        copy(&s, 1, &alias, 0, 3);
+        assert_eq!(s.snapshot().unwrap(), vec![1.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        Slab::real(2).get(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn copy_out_of_bounds_panics() {
+        let a = Slab::real(2);
+        let b = Slab::real(2);
+        copy(&a, 1, &b, 0, 2);
+    }
+
+    #[test]
+    fn gather_applies_index_lists() {
+        let src = Slab::from_vec(vec![10.0, 11.0, 12.0]);
+        let dst = Slab::real(3);
+        gather(&dst, &[0, 2], &src, &[2, 0]);
+        assert_eq!(dst.snapshot().unwrap(), vec![12.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn gather_same_storage() {
+        let s = Slab::from_vec(vec![1.0, 2.0, 3.0, 4.0]);
+        let alias = s.clone();
+        gather(&s, &[0], &alias, &[3]);
+        assert_eq!(s.snapshot().unwrap(), vec![4.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn materialize_and_dematerialize() {
+        let s = Slab::virtual_(3);
+        s.materialize();
+        assert!(!s.is_virtual());
+        s.set(1, 5.0);
+        assert_eq!(s.get(1), Some(5.0));
+        s.dematerialize();
+        assert!(s.is_virtual());
+    }
+
+    #[test]
+    fn fill_and_fill_with() {
+        let s = Slab::real(4);
+        s.fill(2.5);
+        assert_eq!(s.snapshot().unwrap(), vec![2.5; 4]);
+        s.fill_with(|i| i as f64);
+        assert_eq!(s.snapshot().unwrap(), vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn with_and_with_mut_views() {
+        let s = Slab::real(3);
+        s.with_mut(|d| d.unwrap()[1] = 9.0);
+        let sum: f64 = s.with(|d| d.unwrap().iter().sum());
+        assert_eq!(sum, 9.0);
+        let v = Slab::virtual_(3);
+        assert!(v.with(|d| d.is_none()));
+    }
+
+    proptest! {
+        /// copy() behaves exactly like slice copy_from_slice on real slabs.
+        #[test]
+        fn prop_copy_matches_reference(
+            src in proptest::collection::vec(-1e6f64..1e6, 1..64),
+            dst_len in 1usize..64,
+            seed in any::<u64>(),
+        ) {
+            use rand_pcg_like::*;
+            let mut rng = Lcg(seed | 1);
+            let dst_init: Vec<f64> = (0..dst_len).map(|_| rng.next_f64()).collect();
+            let len = (rng.next() as usize) % (src.len().min(dst_len)) ;
+            let src_off = if src.len() - len > 0 { (rng.next() as usize) % (src.len() - len + 1) } else { 0 };
+            let dst_off = if dst_len - len > 0 { (rng.next() as usize) % (dst_len - len + 1) } else { 0 };
+
+            let s = Slab::from_vec(src.clone());
+            let d = Slab::from_vec(dst_init.clone());
+            copy(&d, dst_off, &s, src_off, len);
+
+            let mut expect = dst_init;
+            expect[dst_off..dst_off + len].copy_from_slice(&src[src_off..src_off + len]);
+            prop_assert_eq!(d.snapshot().unwrap(), expect);
+        }
+
+        /// A virtual destination never materializes through any operation.
+        #[test]
+        fn prop_virtual_stays_virtual(len in 1usize..32, writes in proptest::collection::vec((0usize..32, any::<f64>()), 0..16)) {
+            let v = Slab::virtual_(32);
+            let r = Slab::real(32);
+            for (i, x) in writes {
+                v.set(i % len.max(1), x);
+            }
+            copy(&v, 0, &r, 0, len);
+            gather(&v, &[0], &r, &[0]);
+            prop_assert!(v.is_virtual());
+        }
+    }
+
+    /// Minimal deterministic generator for the proptest above (avoids pulling
+    /// `rand` into this leaf crate).
+    mod rand_pcg_like {
+        pub struct Lcg(pub u64);
+        impl Lcg {
+            pub fn next(&mut self) -> u64 {
+                self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                self.0 >> 16
+            }
+            pub fn next_f64(&mut self) -> f64 {
+                (self.next() % 1000) as f64
+            }
+        }
+    }
+}

@@ -1,0 +1,449 @@
+//! Inclusive 3-D index boxes.
+//!
+//! [`Box3`] is a rectangular set of cells `[lo, hi]` (both corners
+//! inclusive, BoxLib-style). Regions, tiles, ghost patches and iteration
+//! spaces are all `Box3`s.
+
+use crate::ivec::IntVect;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An inclusive rectangular index box `[lo, hi]`.
+///
+/// A box with any `lo[d] > hi[d]` is *empty*; empty boxes are normalized so
+/// that all empty boxes compare equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Box3 {
+    lo: IntVect,
+    hi: IntVect,
+}
+
+impl Box3 {
+    /// The canonical empty box.
+    pub const EMPTY: Box3 = Box3 {
+        lo: IntVect([0, 0, 0]),
+        hi: IntVect([-1, -1, -1]),
+    };
+
+    /// Box from inclusive corners; normalizes to [`Box3::EMPTY`] when
+    /// `lo > hi` in any dimension.
+    pub fn new(lo: IntVect, hi: IntVect) -> Box3 {
+        if lo.all_le(hi) {
+            Box3 { lo, hi }
+        } else {
+            Box3::EMPTY
+        }
+    }
+
+    /// Box of the given size with its low corner at the origin.
+    pub fn from_size(size: IntVect) -> Box3 {
+        assert!(
+            size.all_ge(IntVect::UNIT),
+            "box size must be positive, got {size}"
+        );
+        Box3::new(IntVect::ZERO, size - IntVect::UNIT)
+    }
+
+    /// Cube of side `n` at the origin — the paper's `384³` / `512³` domains.
+    pub fn cube(n: i64) -> Box3 {
+        Box3::from_size(IntVect::splat(n))
+    }
+
+    pub fn lo(&self) -> IntVect {
+        self.lo
+    }
+
+    pub fn hi(&self) -> IntVect {
+        self.hi
+    }
+
+    pub fn is_empty(&self) -> bool {
+        !self.lo.all_le(self.hi)
+    }
+
+    /// Extent in each dimension (0 for empty boxes).
+    pub fn size(&self) -> IntVect {
+        if self.is_empty() {
+            IntVect::ZERO
+        } else {
+            self.hi - self.lo + IntVect::UNIT
+        }
+    }
+
+    /// Number of cells.
+    pub fn num_cells(&self) -> u64 {
+        self.size().product() as u64
+    }
+
+    /// Grow by `n` cells on every face (shrink when negative).
+    pub fn grow(&self, n: i64) -> Box3 {
+        if self.is_empty() {
+            return Box3::EMPTY;
+        }
+        Box3::new(self.lo - IntVect::splat(n), self.hi + IntVect::splat(n))
+    }
+
+    /// Translate by `s`.
+    pub fn shift(&self, s: IntVect) -> Box3 {
+        if self.is_empty() {
+            return Box3::EMPTY;
+        }
+        Box3 {
+            lo: self.lo + s,
+            hi: self.hi + s,
+        }
+    }
+
+    /// Intersection (empty when disjoint).
+    pub fn intersect(&self, o: &Box3) -> Box3 {
+        if self.is_empty() || o.is_empty() {
+            return Box3::EMPTY;
+        }
+        Box3::new(self.lo.max(o.lo), self.hi.min(o.hi))
+    }
+
+    /// True when `iv` lies inside the box.
+    pub fn contains(&self, iv: IntVect) -> bool {
+        self.lo.all_le(iv) && iv.all_le(self.hi)
+    }
+
+    /// True when `o` lies entirely inside the box.
+    pub fn contains_box(&self, o: &Box3) -> bool {
+        o.is_empty() || (self.contains(o.lo) && self.contains(o.hi))
+    }
+
+    /// Iterate over cells in layout order (x fastest, then y, then z).
+    pub fn iter(&self) -> CellIter {
+        CellIter {
+            bx: *self,
+            next: if self.is_empty() { None } else { Some(self.lo) },
+        }
+    }
+
+    /// The low-side or high-side ghost face of width `g` in dimension `d`:
+    /// the slab of cells just *outside* the box on that side, with the
+    /// orthogonal extents of the grown box (so face patches of a 1-wide
+    /// stencil cover everything a face-neighbour must supply).
+    pub fn face_halo(&self, d: usize, high: bool, g: i64) -> Box3 {
+        assert!(g > 0, "halo width must be positive");
+        if self.is_empty() {
+            return Box3::EMPTY;
+        }
+        let mut lo = self.lo;
+        let mut hi = self.hi;
+        if high {
+            lo[d] = self.hi[d] + 1;
+            hi[d] = self.hi[d] + g;
+        } else {
+            hi[d] = self.lo[d] - 1;
+            lo[d] = self.lo[d] - g;
+        }
+        Box3::new(lo, hi)
+    }
+
+    /// Subtract `other`, returning up to 6 disjoint boxes that exactly
+    /// cover `self \ other` (the classic BoxLib box-calculus operation
+    /// behind AMR region arithmetic).
+    pub fn subtract(&self, other: &Box3) -> Vec<Box3> {
+        let inter = self.intersect(other);
+        if inter.is_empty() {
+            return vec![*self];
+        }
+        if inter == *self {
+            return Vec::new();
+        }
+        // Peel one dimension at a time: below-slab, above-slab, then recurse
+        // into the middle along the next dimension.
+        let mut out = Vec::new();
+        let mut core = *self;
+        for d in 0..3 {
+            if inter.lo()[d] > core.lo()[d] {
+                out.push(Box3::new(
+                    core.lo(),
+                    core.hi().with(d, inter.lo()[d] - 1),
+                ));
+            }
+            if inter.hi()[d] < core.hi()[d] {
+                out.push(Box3::new(
+                    core.lo().with(d, inter.hi()[d] + 1),
+                    core.hi(),
+                ));
+            }
+            core = Box3::new(
+                core.lo().with(d, inter.lo()[d]),
+                core.hi().with(d, inter.hi()[d]),
+            );
+        }
+        out
+    }
+
+    /// The smallest box containing both operands.
+    pub fn bounding_union(&self, other: &Box3) -> Box3 {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Box3::new(self.lo().min(other.lo()), self.hi().max(other.hi()))
+    }
+
+    /// Refine by `ratio`: every cell becomes a `ratio³` block of fine cells.
+    pub fn refine(&self, ratio: i64) -> Box3 {
+        assert!(ratio >= 1, "refinement ratio must be positive");
+        if self.is_empty() {
+            return Box3::EMPTY;
+        }
+        Box3::new(
+            self.lo * ratio,
+            IntVect::new(
+                (self.hi.x() + 1) * ratio - 1,
+                (self.hi.y() + 1) * ratio - 1,
+                (self.hi.z() + 1) * ratio - 1,
+            ),
+        )
+    }
+
+    /// Coarsen by `ratio` (floor division; the coarse box covers every fine
+    /// cell's parent).
+    pub fn coarsen(&self, ratio: i64) -> Box3 {
+        assert!(ratio >= 1, "coarsening ratio must be positive");
+        if self.is_empty() {
+            return Box3::EMPTY;
+        }
+        let div = |v: i64| v.div_euclid(ratio);
+        Box3::new(
+            IntVect::new(div(self.lo.x()), div(self.lo.y()), div(self.lo.z())),
+            IntVect::new(div(self.hi.x()), div(self.hi.y()), div(self.hi.z())),
+        )
+    }
+
+    /// Split into chunks of at most `chunk` cells per dimension, low corner
+    /// aligned to `self.lo`. Chunks tile the box exactly (partition).
+    pub fn split(&self, chunk: IntVect) -> Vec<Box3> {
+        assert!(
+            chunk.all_ge(IntVect::UNIT),
+            "chunk size must be positive, got {chunk}"
+        );
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut z = self.lo.z();
+        while z <= self.hi.z() {
+            let mut y = self.lo.y();
+            while y <= self.hi.y() {
+                let mut x = self.lo.x();
+                while x <= self.hi.x() {
+                    let lo = IntVect::new(x, y, z);
+                    let hi = IntVect::new(
+                        (x + chunk.x() - 1).min(self.hi.x()),
+                        (y + chunk.y() - 1).min(self.hi.y()),
+                        (z + chunk.z() - 1).min(self.hi.z()),
+                    );
+                    out.push(Box3::new(lo, hi));
+                    x += chunk.x();
+                }
+                y += chunk.y();
+            }
+            z += chunk.z();
+        }
+        out
+    }
+}
+
+impl fmt::Display for Box3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            write!(f, "[empty]")
+        } else {
+            write!(f, "[{}..{}]", self.lo, self.hi)
+        }
+    }
+}
+
+/// Cell iterator in layout order (x fastest).
+pub struct CellIter {
+    bx: Box3,
+    next: Option<IntVect>,
+}
+
+impl Iterator for CellIter {
+    type Item = IntVect;
+
+    fn next(&mut self) -> Option<IntVect> {
+        let cur = self.next?;
+        let mut n = cur;
+        n[0] += 1;
+        if n[0] > self.bx.hi()[0] {
+            n[0] = self.bx.lo()[0];
+            n[1] += 1;
+            if n[1] > self.bx.hi()[1] {
+                n[1] = self.bx.lo()[1];
+                n[2] += 1;
+            }
+        }
+        self.next = if n[2] > self.bx.hi()[2] { None } else { Some(n) };
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(lo: (i64, i64, i64), hi: (i64, i64, i64)) -> Box3 {
+        Box3::new(IntVect::new(lo.0, lo.1, lo.2), IntVect::new(hi.0, hi.1, hi.2))
+    }
+
+    #[test]
+    fn size_and_cells() {
+        let bx = b((0, 0, 0), (3, 1, 0));
+        assert_eq!(bx.size(), IntVect::new(4, 2, 1));
+        assert_eq!(bx.num_cells(), 8);
+        assert_eq!(Box3::cube(4).num_cells(), 64);
+    }
+
+    #[test]
+    fn empty_box_normalization() {
+        let e = b((1, 0, 0), (0, 5, 5));
+        assert!(e.is_empty());
+        assert_eq!(e, Box3::EMPTY);
+        assert_eq!(e.num_cells(), 0);
+        assert_eq!(e.size(), IntVect::ZERO);
+    }
+
+    #[test]
+    fn grow_and_shrink() {
+        let bx = b((0, 0, 0), (3, 3, 3));
+        assert_eq!(bx.grow(1), b((-1, -1, -1), (4, 4, 4)));
+        assert_eq!(bx.grow(1).grow(-1), bx);
+        assert!(b((0, 0, 0), (0, 0, 0)).grow(-1).is_empty());
+    }
+
+    #[test]
+    fn shift_roundtrip() {
+        let bx = b((0, 0, 0), (2, 2, 2));
+        let s = IntVect::new(5, -3, 1);
+        assert_eq!(bx.shift(s).shift(-s), bx);
+    }
+
+    #[test]
+    fn intersection() {
+        let a = b((0, 0, 0), (4, 4, 4));
+        let c = b((3, 3, 3), (8, 8, 8));
+        assert_eq!(a.intersect(&c), b((3, 3, 3), (4, 4, 4)));
+        let d = b((10, 10, 10), (12, 12, 12));
+        assert!(a.intersect(&d).is_empty());
+        assert!(a.intersect(&Box3::EMPTY).is_empty());
+    }
+
+    #[test]
+    fn contains() {
+        let a = b((0, 0, 0), (4, 4, 4));
+        assert!(a.contains(IntVect::new(0, 4, 2)));
+        assert!(!a.contains(IntVect::new(5, 0, 0)));
+        assert!(a.contains_box(&b((1, 1, 1), (2, 2, 2))));
+        assert!(!a.contains_box(&b((1, 1, 1), (5, 2, 2))));
+        assert!(a.contains_box(&Box3::EMPTY));
+    }
+
+    #[test]
+    fn cell_iter_order_and_count() {
+        let bx = b((0, 0, 0), (1, 1, 1));
+        let cells: Vec<IntVect> = bx.iter().collect();
+        assert_eq!(cells.len(), 8);
+        assert_eq!(cells[0], IntVect::new(0, 0, 0));
+        assert_eq!(cells[1], IntVect::new(1, 0, 0)); // x fastest
+        assert_eq!(cells[2], IntVect::new(0, 1, 0));
+        assert_eq!(cells[7], IntVect::new(1, 1, 1));
+        assert_eq!(Box3::EMPTY.iter().count(), 0);
+    }
+
+    #[test]
+    fn face_halo_low_and_high() {
+        let bx = b((0, 0, 0), (3, 3, 3));
+        let low_x = bx.face_halo(0, false, 1);
+        assert_eq!(low_x, b((-1, 0, 0), (-1, 3, 3)));
+        let high_z = bx.face_halo(2, true, 2);
+        assert_eq!(high_z, b((0, 0, 4), (3, 3, 5)));
+    }
+
+    #[test]
+    fn split_partitions_box() {
+        let bx = b((0, 0, 0), (4, 3, 1));
+        let chunks = bx.split(IntVect::new(2, 2, 2));
+        // 3 x 2 x 1 chunks.
+        assert_eq!(chunks.len(), 6);
+        let total: u64 = chunks.iter().map(|c| c.num_cells()).sum();
+        assert_eq!(total, bx.num_cells());
+        // Chunks are disjoint.
+        for (i, a) in chunks.iter().enumerate() {
+            for b in &chunks[i + 1..] {
+                assert!(a.intersect(b).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn split_chunk_larger_than_box() {
+        let bx = b((0, 0, 0), (2, 2, 2));
+        let chunks = bx.split(IntVect::splat(100));
+        assert_eq!(chunks, vec![bx]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(b((0, 0, 0), (1, 1, 1)).to_string(), "[(0,0,0)..(1,1,1)]");
+        assert_eq!(Box3::EMPTY.to_string(), "[empty]");
+    }
+
+    #[test]
+    fn subtract_disjoint_and_containing() {
+        let a = b((0, 0, 0), (3, 3, 3));
+        let far = b((10, 10, 10), (12, 12, 12));
+        assert_eq!(a.subtract(&far), vec![a]);
+        assert!(a.subtract(&b((-1, -1, -1), (4, 4, 4))).is_empty());
+    }
+
+    #[test]
+    fn subtract_center_hole_covers_exactly() {
+        let a = b((0, 0, 0), (4, 4, 4));
+        let hole = b((1, 1, 1), (3, 3, 3));
+        let parts = a.subtract(&hole);
+        let total: u64 = parts.iter().map(|p| p.num_cells()).sum();
+        assert_eq!(total, a.num_cells() - hole.num_cells());
+        for (i, p) in parts.iter().enumerate() {
+            assert!(a.contains_box(p));
+            assert!(p.intersect(&hole).is_empty());
+            for q in &parts[i + 1..] {
+                assert!(p.intersect(q).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn bounding_union_basics() {
+        let a = b((0, 0, 0), (1, 1, 1));
+        let c = b((3, 3, 3), (4, 4, 4));
+        assert_eq!(a.bounding_union(&c), b((0, 0, 0), (4, 4, 4)));
+        assert_eq!(a.bounding_union(&Box3::EMPTY), a);
+        assert_eq!(Box3::EMPTY.bounding_union(&c), c);
+    }
+
+    #[test]
+    fn refine_coarsen_roundtrip() {
+        let a = b((-2, 0, 1), (3, 5, 2));
+        let fine = a.refine(2);
+        assert_eq!(fine.num_cells(), a.num_cells() * 8);
+        assert_eq!(fine.coarsen(2), a);
+        assert_eq!(a.refine(1), a);
+        assert_eq!(a.coarsen(1), a);
+    }
+
+    #[test]
+    fn coarsen_floors_toward_negative() {
+        let a = b((-3, -3, -3), (-1, -1, -1));
+        assert_eq!(a.coarsen(2), b((-2, -2, -2), (-1, -1, -1)));
+    }
+}

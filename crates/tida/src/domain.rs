@@ -1,0 +1,530 @@
+//! Problem domains and their decomposition into regions.
+//!
+//! A [`Domain`] is a box of cells plus per-dimension periodicity. A
+//! [`Decomposition`] partitions it into a regular grid of *regions* — the
+//! paper's physically-separated data partitions and its unit of host<->device
+//! transfer. [`Decomposition::ghost_patches`] computes, once, the geometry of
+//! every ghost-cell update: which cells of which region are filled from
+//! which neighbour (possibly across a periodic boundary), which is exactly
+//! the index information the paper's `TileAcc` computes on the host while
+//! the device updates other ghost sets (§IV-B-6).
+
+use crate::box3::Box3;
+use crate::ivec::IntVect;
+use serde::{Deserialize, Serialize};
+
+/// A problem domain: the index box plus periodicity flags per dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Domain {
+    pub bx: Box3,
+    pub periodic: [bool; 3],
+}
+
+impl Domain {
+    /// Fully periodic domain over `bx` (the evaluation kernels' setting).
+    pub fn periodic(bx: Box3) -> Domain {
+        Domain {
+            bx,
+            periodic: [true; 3],
+        }
+    }
+
+    /// Non-periodic domain over `bx`.
+    pub fn closed(bx: Box3) -> Domain {
+        Domain {
+            bx,
+            periodic: [false; 3],
+        }
+    }
+
+    /// Periodic cube of side `n` — the paper's `384³` / `512³` setups.
+    pub fn periodic_cube(n: i64) -> Domain {
+        Domain::periodic(Box3::cube(n))
+    }
+}
+
+/// How to partition a domain into regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegionSpec {
+    /// Regions of (at most) this size per dimension.
+    Size(IntVect),
+    /// This many regions, as contiguous slabs along z — the natural shape
+    /// for transfer pipelining (the paper's "16 regions").
+    Count(usize),
+    /// An explicit regions-per-dimension grid.
+    Grid([usize; 3]),
+    /// As many z-slabs as needed so that no region's *grown* buffer (with
+    /// the given ghost width) exceeds this many bytes — the out-of-core
+    /// sizing helper: pick a budget of, say, a third of device memory and
+    /// the decomposition fits the staging pipeline automatically.
+    MaxBytes { bytes: u64, ghost: i64 },
+}
+
+/// Which ghost cells an exchange fills.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExchangeMode {
+    /// Face neighbours only — sufficient for the paper's 7-point heat
+    /// stencil (each cell reads its 6 nearest neighbours).
+    Faces,
+    /// Faces, edges and corners (26 neighbours) — for wider stencils.
+    Full,
+}
+
+/// One ghost-cell update: fill `dst_box` (cells in `dst_region`'s grown box)
+/// from `src_region`, where the source cell of `c` is `c - shift`
+/// (`shift` is the periodic image translation; zero inside the domain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GhostPatch {
+    pub dst_region: usize,
+    pub src_region: usize,
+    pub dst_box: Box3,
+    pub shift: IntVect,
+}
+
+impl GhostPatch {
+    /// Number of ghost cells this patch fills.
+    pub fn num_cells(&self) -> u64 {
+        self.dst_box.num_cells()
+    }
+}
+
+/// A regular decomposition of a domain into regions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Decomposition {
+    domain: Domain,
+    /// Regions per dimension.
+    grid: [i64; 3],
+    /// Region valid boxes; id = cx + gx*(cy + gy*cz).
+    boxes: Vec<Box3>,
+}
+
+impl Decomposition {
+    pub fn new(domain: Domain, spec: RegionSpec) -> Decomposition {
+        let extent = domain.bx.size();
+        let grid: [i64; 3] = match spec {
+            RegionSpec::Size(size) => {
+                assert!(
+                    size.all_ge(IntVect::UNIT),
+                    "region size must be positive, got {size}"
+                );
+                [
+                    (extent.x() + size.x() - 1) / size.x(),
+                    (extent.y() + size.y() - 1) / size.y(),
+                    (extent.z() + size.z() - 1) / size.z(),
+                ]
+            }
+            RegionSpec::Count(n) => {
+                assert!(n >= 1, "region count must be at least 1");
+                assert!(
+                    n as i64 <= extent.z(),
+                    "cannot cut {} z-slabs out of a z-extent of {}",
+                    n,
+                    extent.z()
+                );
+                [1, 1, n as i64]
+            }
+            RegionSpec::MaxBytes { bytes, ghost } => {
+                assert!(bytes > 0, "byte budget must be positive");
+                assert!(ghost >= 0, "ghost width cannot be negative");
+                // Find the smallest z-slab count whose grown buffers fit.
+                let ez = extent.z();
+                let mut count = 1i64;
+                loop {
+                    // The largest slab has ceil(ez / count) z-cells.
+                    let zc = (ez + count - 1) / count;
+                    let grown = (extent.x() + 2 * ghost)
+                        * (extent.y() + 2 * ghost)
+                        * (zc + 2 * ghost);
+                    if (grown as u64) * 8 <= bytes {
+                        break;
+                    }
+                    assert!(
+                        count < ez,
+                        "even single-z-plane regions exceed the {bytes}-byte budget"
+                    );
+                    count += 1;
+                }
+                [1, 1, count]
+            }
+            RegionSpec::Grid(g) => {
+                let g = [g[0] as i64, g[1] as i64, g[2] as i64];
+                for d in 0..3 {
+                    assert!(g[d] >= 1, "grid must be positive in dim {d}");
+                    assert!(
+                        g[d] <= extent[d],
+                        "grid of {} exceeds extent {} in dim {d}",
+                        g[d],
+                        extent[d]
+                    );
+                }
+                g
+            }
+        };
+
+        // Balanced per-dimension boundaries: the first (extent % grid)
+        // regions get one extra cell.
+        let bounds: Vec<Vec<(i64, i64)>> = (0..3)
+            .map(|d| {
+                let e = extent[d];
+                let p = grid[d];
+                let base = e / p;
+                let rem = e % p;
+                let mut lo = domain.bx.lo()[d];
+                (0..p)
+                    .map(|i| {
+                        let len = base + if i < rem { 1 } else { 0 };
+                        let pair = (lo, lo + len - 1);
+                        lo += len;
+                        pair
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut boxes = Vec::with_capacity((grid[0] * grid[1] * grid[2]) as usize);
+        for cz in 0..grid[2] {
+            for cy in 0..grid[1] {
+                for cx in 0..grid[0] {
+                    let (x0, x1) = bounds[0][cx as usize];
+                    let (y0, y1) = bounds[1][cy as usize];
+                    let (z0, z1) = bounds[2][cz as usize];
+                    boxes.push(Box3::new(
+                        IntVect::new(x0, y0, z0),
+                        IntVect::new(x1, y1, z1),
+                    ));
+                }
+            }
+        }
+        Decomposition {
+            domain,
+            grid,
+            boxes,
+        }
+    }
+
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// Regions per dimension.
+    pub fn grid(&self) -> [i64; 3] {
+        self.grid
+    }
+
+    pub fn num_regions(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Valid box of region `id`.
+    pub fn region_box(&self, id: usize) -> Box3 {
+        self.boxes[id]
+    }
+
+    /// All region valid boxes, in id order.
+    pub fn region_boxes(&self) -> &[Box3] {
+        &self.boxes
+    }
+
+    /// Grid coordinate of region `id`.
+    pub fn grid_coord(&self, id: usize) -> IntVect {
+        let id = id as i64;
+        assert!(id < self.grid[0] * self.grid[1] * self.grid[2]);
+        IntVect::new(
+            id % self.grid[0],
+            (id / self.grid[0]) % self.grid[1],
+            id / (self.grid[0] * self.grid[1]),
+        )
+    }
+
+    /// Region id at a grid coordinate.
+    pub fn region_at(&self, coord: IntVect) -> usize {
+        for d in 0..3 {
+            assert!(
+                coord[d] >= 0 && coord[d] < self.grid[d],
+                "grid coordinate {coord} out of grid {:?}",
+                self.grid
+            );
+        }
+        (coord.x() + self.grid[0] * (coord.y() + self.grid[1] * coord.z())) as usize
+    }
+
+    /// Region whose valid box contains `iv`.
+    pub fn region_containing(&self, iv: IntVect) -> Option<usize> {
+        if !self.domain.bx.contains(iv) {
+            return None;
+        }
+        self.boxes.iter().position(|b| b.contains(iv))
+    }
+
+    /// Compute every ghost patch for ghost width `g`.
+    ///
+    /// For each region and each neighbour offset (6 in `Faces` mode, 26 in
+    /// `Full`), the patch is the intersection of the region's grown box with
+    /// the (possibly periodically shifted) image of the neighbour's valid
+    /// box. Non-periodic out-of-domain offsets produce no patch (physical
+    /// boundary cells are the application's responsibility).
+    pub fn ghost_patches(&self, g: i64, mode: ExchangeMode) -> Vec<GhostPatch> {
+        assert!(g > 0, "ghost width must be positive");
+        // Patches come from the 26 immediate neighbours, so a ghost shell
+        // deeper than the thinnest region cannot be filled (its far cells
+        // live in a neighbour's neighbour).
+        let min_extent = self
+            .boxes
+            .iter()
+            .flat_map(|b| (0..3).map(|d| b.size()[d]))
+            .min()
+            .expect("decomposition has regions");
+        assert!(
+            g <= min_extent,
+            "ghost width {g} exceeds the thinnest region extent {min_extent}; \
+             use fewer regions or a narrower halo"
+        );
+        let extent = self.domain.bx.size();
+        let mut patches = Vec::new();
+        for dst in 0..self.num_regions() {
+            let coord = self.grid_coord(dst);
+            let grown = self.boxes[dst].grow(g);
+            for dz in -1i64..=1 {
+                for dy in -1i64..=1 {
+                    for dx in -1i64..=1 {
+                        let nonzero = (dx != 0) as u32 + (dy != 0) as u32 + (dz != 0) as u32;
+                        let take = match mode {
+                            ExchangeMode::Faces => nonzero == 1,
+                            ExchangeMode::Full => nonzero >= 1,
+                        };
+                        if !take {
+                            continue;
+                        }
+                        let off = IntVect::new(dx, dy, dz);
+                        let mut wrapped = IntVect::ZERO;
+                        let mut shift = IntVect::ZERO;
+                        let mut ok = true;
+                        for d in 0..3 {
+                            let nc = coord[d] + off[d];
+                            if nc >= 0 && nc < self.grid[d] {
+                                wrapped[d] = nc;
+                            } else if self.domain.periodic[d] {
+                                let w = nc.rem_euclid(self.grid[d]);
+                                wrapped[d] = w;
+                                shift[d] = (nc - w) / self.grid[d] * extent[d];
+                            } else {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if !ok {
+                            continue;
+                        }
+                        let src = self.region_at(wrapped);
+                        let image = self.boxes[src].shift(shift);
+                        let patch = grown.intersect(&image);
+                        if !patch.is_empty() {
+                            patches.push(GhostPatch {
+                                dst_region: dst,
+                                src_region: src,
+                                dst_box: patch,
+                                shift,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        patches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_spec_cuts_z_slabs() {
+        let d = Decomposition::new(Domain::periodic_cube(16), RegionSpec::Count(4));
+        assert_eq!(d.grid(), [1, 1, 4]);
+        assert_eq!(d.num_regions(), 4);
+        for (i, b) in d.region_boxes().iter().enumerate() {
+            assert_eq!(b.size(), IntVect::new(16, 16, 4), "region {i}");
+        }
+        assert_eq!(d.region_box(1).lo().z(), 4);
+    }
+
+    #[test]
+    fn size_spec_covers_with_remainder() {
+        let d = Decomposition::new(
+            Domain::periodic_cube(10),
+            RegionSpec::Size(IntVect::new(4, 10, 10)),
+        );
+        assert_eq!(d.grid(), [3, 1, 1]);
+        // Balanced split: 4+3+3.
+        assert_eq!(d.region_box(0).size().x(), 4);
+        assert_eq!(d.region_box(1).size().x(), 3);
+        assert_eq!(d.region_box(2).size().x(), 3);
+    }
+
+    #[test]
+    fn grid_spec_and_coord_roundtrip() {
+        let d = Decomposition::new(Domain::periodic_cube(8), RegionSpec::Grid([2, 2, 2]));
+        assert_eq!(d.num_regions(), 8);
+        for id in 0..8 {
+            assert_eq!(d.region_at(d.grid_coord(id)), id);
+        }
+    }
+
+    #[test]
+    fn regions_partition_domain() {
+        let dom = Domain::periodic_cube(12);
+        let d = Decomposition::new(dom, RegionSpec::Grid([3, 2, 2]));
+        let total: u64 = d.region_boxes().iter().map(|b| b.num_cells()).sum();
+        assert_eq!(total, dom.bx.num_cells());
+        for (i, a) in d.region_boxes().iter().enumerate() {
+            assert!(dom.bx.contains_box(a));
+            for b in &d.region_boxes()[i + 1..] {
+                assert!(a.intersect(b).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn region_containing_finds_owner() {
+        let d = Decomposition::new(Domain::periodic_cube(8), RegionSpec::Grid([2, 2, 2]));
+        assert_eq!(d.region_containing(IntVect::new(0, 0, 0)), Some(0));
+        assert_eq!(d.region_containing(IntVect::new(7, 7, 7)), Some(7));
+        assert_eq!(d.region_containing(IntVect::new(8, 0, 0)), None);
+    }
+
+    #[test]
+    fn faces_mode_covers_face_ghosts_exactly() {
+        let d = Decomposition::new(Domain::periodic_cube(8), RegionSpec::Count(4));
+        let patches = d.ghost_patches(1, ExchangeMode::Faces);
+        // z-slabs in a z-periodic domain: every region has a low-z and a
+        // high-z neighbour; x/y faces are self-periodic images.
+        for r in 0..4 {
+            let mine: Vec<&GhostPatch> =
+                patches.iter().filter(|p| p.dst_region == r).collect();
+            assert_eq!(mine.len(), 6, "region {r} should have 6 face patches");
+            // Each face patch has the valid box's extent in the orthogonal dims.
+            let covered: u64 = mine.iter().map(|p| p.num_cells()).sum();
+            // 8x8 faces in z (2 of them) + 8x2x... compute expected:
+            // valid box is 8x8x2, ghost 1: face ghosts = 2*(8*8) + 2*(8*2) + 2*(8*2)
+            assert_eq!(covered, 2 * 64 + 4 * 16);
+        }
+    }
+
+    #[test]
+    fn full_mode_covers_entire_ghost_shell() {
+        let d = Decomposition::new(Domain::periodic_cube(8), RegionSpec::Grid([2, 2, 2]));
+        let g = 1;
+        let patches = d.ghost_patches(g, ExchangeMode::Full);
+        for r in 0..d.num_regions() {
+            let valid = d.region_box(r);
+            let grown = valid.grow(g);
+            let shell = grown.num_cells() - valid.num_cells();
+            let covered: u64 = patches
+                .iter()
+                .filter(|p| p.dst_region == r)
+                .map(|p| p.num_cells())
+                .sum();
+            assert_eq!(covered, shell, "region {r} ghost shell fully covered");
+            // Patches must be pairwise disjoint and inside the shell.
+            let mine: Vec<&GhostPatch> =
+                patches.iter().filter(|p| p.dst_region == r).collect();
+            for (i, a) in mine.iter().enumerate() {
+                assert!(grown.contains_box(&a.dst_box));
+                assert!(a.dst_box.intersect(&valid).is_empty());
+                for b in &mine[i + 1..] {
+                    assert!(a.dst_box.intersect(&b.dst_box).is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn patch_sources_map_into_source_valid_boxes() {
+        let d = Decomposition::new(Domain::periodic_cube(8), RegionSpec::Grid([2, 1, 2]));
+        for p in d.ghost_patches(1, ExchangeMode::Full) {
+            let src_box = d.region_box(p.src_region);
+            for c in p.dst_box.iter() {
+                assert!(
+                    src_box.contains(c - p.shift),
+                    "ghost {c} of region {} maps outside source {}",
+                    p.dst_region,
+                    p.src_region
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_periodic_boundaries_have_no_patches() {
+        let d = Decomposition::new(Domain::closed(Box3::cube(8)), RegionSpec::Count(2));
+        let patches = d.ghost_patches(1, ExchangeMode::Faces);
+        // Only the interior z face between the two slabs, in each direction.
+        assert_eq!(patches.len(), 2);
+        assert!(patches.iter().all(|p| p.shift == IntVect::ZERO));
+    }
+
+    #[test]
+    fn single_region_periodic_self_exchange() {
+        let d = Decomposition::new(Domain::periodic_cube(4), RegionSpec::Count(1));
+        let patches = d.ghost_patches(1, ExchangeMode::Faces);
+        assert_eq!(patches.len(), 6);
+        assert!(patches.iter().all(|p| p.src_region == 0 && p.dst_region == 0));
+        assert!(patches.iter().all(|p| p.shift != IntVect::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "z-slabs")]
+    fn count_beyond_extent_panics() {
+        Decomposition::new(Domain::periodic_cube(4), RegionSpec::Count(5));
+    }
+
+    #[test]
+    fn max_bytes_spec_respects_budget() {
+        let ghost = 1;
+        let budget = 100 * 1024u64; // 100 KiB
+        let d = Decomposition::new(
+            Domain::periodic_cube(32),
+            RegionSpec::MaxBytes { bytes: budget, ghost },
+        );
+        assert_eq!(d.grid()[0], 1);
+        assert_eq!(d.grid()[1], 1);
+        for b in d.region_boxes() {
+            let grown_cells = b.grow(ghost).num_cells();
+            assert!(grown_cells * 8 <= budget, "region over budget");
+        }
+        // And it is the *smallest* such count: one fewer slab must overflow.
+        let count = d.grid()[2];
+        if count > 1 {
+            let fewer = Decomposition::new(
+                Domain::periodic_cube(32),
+                RegionSpec::Count((count - 1) as usize),
+            );
+            let max_grown = fewer
+                .region_boxes()
+                .iter()
+                .map(|b| b.grow(ghost).num_cells())
+                .max()
+                .unwrap();
+            assert!(max_grown * 8 > budget);
+        }
+    }
+
+    #[test]
+    fn max_bytes_huge_budget_gives_one_region() {
+        let d = Decomposition::new(
+            Domain::periodic_cube(8),
+            RegionSpec::MaxBytes { bytes: u64::MAX, ghost: 1 },
+        );
+        assert_eq!(d.num_regions(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn max_bytes_impossible_budget_panics() {
+        Decomposition::new(
+            Domain::periodic_cube(8),
+            RegionSpec::MaxBytes { bytes: 64, ghost: 1 },
+        );
+    }
+}

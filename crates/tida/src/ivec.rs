@@ -1,0 +1,174 @@
+//! 3-D integer vectors.
+//!
+//! [`IntVect`] is the index type of the tiling substrate: cell coordinates,
+//! box corners, shifts and sizes are all `IntVect`s, following the TiDA /
+//! BoxLib convention the paper builds on. 2-D problems use a z-extent of 1.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A 3-component integer vector (cell index, box size, or shift).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct IntVect(pub [i64; 3]);
+
+impl IntVect {
+    pub const ZERO: IntVect = IntVect([0, 0, 0]);
+    pub const UNIT: IntVect = IntVect([1, 1, 1]);
+
+    pub const fn new(x: i64, y: i64, z: i64) -> Self {
+        IntVect([x, y, z])
+    }
+
+    /// The same value in every component.
+    pub const fn splat(v: i64) -> Self {
+        IntVect([v, v, v])
+    }
+
+    pub const fn x(self) -> i64 {
+        self.0[0]
+    }
+
+    pub const fn y(self) -> i64 {
+        self.0[1]
+    }
+
+    pub const fn z(self) -> i64 {
+        self.0[2]
+    }
+
+    /// Component-wise minimum.
+    pub fn min(self, o: IntVect) -> IntVect {
+        IntVect([
+            self.0[0].min(o.0[0]),
+            self.0[1].min(o.0[1]),
+            self.0[2].min(o.0[2]),
+        ])
+    }
+
+    /// Component-wise maximum.
+    pub fn max(self, o: IntVect) -> IntVect {
+        IntVect([
+            self.0[0].max(o.0[0]),
+            self.0[1].max(o.0[1]),
+            self.0[2].max(o.0[2]),
+        ])
+    }
+
+    /// Product of the components (cell count of a size vector).
+    pub fn product(self) -> i64 {
+        self.0[0] * self.0[1] * self.0[2]
+    }
+
+    /// True when every component of `self` is `<=` the matching one of `o`.
+    pub fn all_le(self, o: IntVect) -> bool {
+        (0..3).all(|d| self.0[d] <= o.0[d])
+    }
+
+    /// True when every component of `self` is `>=` the matching one of `o`.
+    pub fn all_ge(self, o: IntVect) -> bool {
+        (0..3).all(|d| self.0[d] >= o.0[d])
+    }
+
+    /// Replace component `d` with `v`.
+    pub fn with(self, d: usize, v: i64) -> IntVect {
+        let mut out = self;
+        out.0[d] = v;
+        out
+    }
+}
+
+impl Add for IntVect {
+    type Output = IntVect;
+    fn add(self, o: IntVect) -> IntVect {
+        IntVect([self.0[0] + o.0[0], self.0[1] + o.0[1], self.0[2] + o.0[2]])
+    }
+}
+
+impl Sub for IntVect {
+    type Output = IntVect;
+    fn sub(self, o: IntVect) -> IntVect {
+        IntVect([self.0[0] - o.0[0], self.0[1] - o.0[1], self.0[2] - o.0[2]])
+    }
+}
+
+impl Neg for IntVect {
+    type Output = IntVect;
+    fn neg(self) -> IntVect {
+        IntVect([-self.0[0], -self.0[1], -self.0[2]])
+    }
+}
+
+impl Mul<i64> for IntVect {
+    type Output = IntVect;
+    fn mul(self, s: i64) -> IntVect {
+        IntVect([self.0[0] * s, self.0[1] * s, self.0[2] * s])
+    }
+}
+
+impl Index<usize> for IntVect {
+    type Output = i64;
+    fn index(&self, d: usize) -> &i64 {
+        &self.0[d]
+    }
+}
+
+impl IndexMut<usize> for IntVect {
+    fn index_mut(&mut self, d: usize) -> &mut i64 {
+        &mut self.0[d]
+    }
+}
+
+impl fmt::Display for IntVect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{},{})", self.0[0], self.0[1], self.0[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let v = IntVect::new(1, 2, 3);
+        assert_eq!((v.x(), v.y(), v.z()), (1, 2, 3));
+        assert_eq!(IntVect::splat(4), IntVect::new(4, 4, 4));
+        assert_eq!(v[2], 3);
+        let mut w = v;
+        w[0] = 9;
+        assert_eq!(w, IntVect::new(9, 2, 3));
+        assert_eq!(v.with(1, 7), IntVect::new(1, 7, 3));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = IntVect::new(1, 2, 3);
+        let b = IntVect::new(10, 20, 30);
+        assert_eq!(a + b, IntVect::new(11, 22, 33));
+        assert_eq!(b - a, IntVect::new(9, 18, 27));
+        assert_eq!(-a, IntVect::new(-1, -2, -3));
+        assert_eq!(a * 3, IntVect::new(3, 6, 9));
+    }
+
+    #[test]
+    fn min_max_product() {
+        let a = IntVect::new(1, 20, 3);
+        let b = IntVect::new(10, 2, 30);
+        assert_eq!(a.min(b), IntVect::new(1, 2, 3));
+        assert_eq!(a.max(b), IntVect::new(10, 20, 30));
+        assert_eq!(IntVect::new(2, 3, 4).product(), 24);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(IntVect::new(1, 1, 1).all_le(IntVect::new(1, 2, 3)));
+        assert!(!IntVect::new(2, 1, 1).all_le(IntVect::new(1, 2, 3)));
+        assert!(IntVect::new(3, 3, 3).all_ge(IntVect::new(1, 2, 3)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(IntVect::new(1, -2, 3).to_string(), "(1,-2,3)");
+    }
+}

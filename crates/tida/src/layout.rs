@@ -1,0 +1,153 @@
+//! Linear memory layout of a box.
+//!
+//! [`Layout`] maps cells of a [`Box3`] to offsets in a region's slab,
+//! x-fastest (the BoxLib/TiDA convention). A region's layout covers its
+//! *grown* box, so ghost cells are addressable with the same mapping.
+
+use crate::box3::Box3;
+use crate::ivec::IntVect;
+use serde::{Deserialize, Serialize};
+
+/// Row-major (x fastest) layout over a box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Layout {
+    bx: Box3,
+    stride_y: i64,
+    stride_z: i64,
+}
+
+impl Layout {
+    pub fn new(bx: Box3) -> Layout {
+        assert!(!bx.is_empty(), "cannot lay out an empty box");
+        let size = bx.size();
+        Layout {
+            bx,
+            stride_y: size.x(),
+            stride_z: size.x() * size.y(),
+        }
+    }
+
+    /// The box this layout covers.
+    pub fn domain(&self) -> Box3 {
+        self.bx
+    }
+
+    /// Number of elements in the layout.
+    pub fn len(&self) -> usize {
+        self.bx.num_cells() as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // layouts always cover a non-empty box
+    }
+
+    /// Linear offset of cell `iv`. Panics (debug) when out of the box.
+    #[inline]
+    pub fn offset(&self, iv: IntVect) -> usize {
+        debug_assert!(
+            self.bx.contains(iv),
+            "cell {iv} outside layout box {}",
+            self.bx
+        );
+        let rel = iv - self.bx.lo();
+        (rel.x() + rel.y() * self.stride_y + rel.z() * self.stride_z) as usize
+    }
+
+    /// Inverse of [`Layout::offset`].
+    pub fn cell_at(&self, offset: usize) -> IntVect {
+        assert!(offset < self.len(), "offset {offset} out of layout");
+        let o = offset as i64;
+        let z = o / self.stride_z;
+        let y = (o % self.stride_z) / self.stride_y;
+        let x = o % self.stride_y;
+        self.bx.lo() + IntVect::new(x, y, z)
+    }
+
+    /// Offsets of every cell of `sub` (which must lie inside the layout
+    /// box), in layout order — the index lists of the paper's device-side
+    /// ghost update (§IV-B-6).
+    pub fn offsets_of(&self, sub: &Box3) -> Vec<usize> {
+        assert!(
+            self.bx.contains_box(sub),
+            "sub-box {sub} escapes layout box {}",
+            self.bx
+        );
+        sub.iter().map(|iv| self.offset(iv)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn offset_x_fastest() {
+        let l = Layout::new(Box3::from_size(IntVect::new(4, 3, 2)));
+        assert_eq!(l.offset(IntVect::new(0, 0, 0)), 0);
+        assert_eq!(l.offset(IntVect::new(1, 0, 0)), 1);
+        assert_eq!(l.offset(IntVect::new(0, 1, 0)), 4);
+        assert_eq!(l.offset(IntVect::new(0, 0, 1)), 12);
+        assert_eq!(l.offset(IntVect::new(3, 2, 1)), 23);
+        assert_eq!(l.len(), 24);
+    }
+
+    #[test]
+    fn offset_respects_nonzero_lo() {
+        let bx = Box3::new(IntVect::new(-1, -1, -1), IntVect::new(2, 2, 2));
+        let l = Layout::new(bx);
+        assert_eq!(l.offset(IntVect::new(-1, -1, -1)), 0);
+        assert_eq!(l.offset(IntVect::new(2, 2, 2)), l.len() - 1);
+    }
+
+    #[test]
+    fn cell_at_inverts_offset() {
+        let bx = Box3::new(IntVect::new(-2, 3, 1), IntVect::new(4, 7, 3));
+        let l = Layout::new(bx);
+        for iv in bx.iter() {
+            assert_eq!(l.cell_at(l.offset(iv)), iv);
+        }
+    }
+
+    #[test]
+    fn offsets_of_subbox_in_layout_order() {
+        let l = Layout::new(Box3::from_size(IntVect::new(4, 4, 1)));
+        let sub = Box3::new(IntVect::new(1, 1, 0), IntVect::new(2, 2, 0));
+        assert_eq!(l.offsets_of(&sub), vec![5, 6, 9, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "escapes")]
+    fn offsets_of_escaping_subbox_panics() {
+        let l = Layout::new(Box3::from_size(IntVect::splat(2)));
+        l.offsets_of(&Box3::from_size(IntVect::splat(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_box_layout_panics() {
+        Layout::new(Box3::EMPTY);
+    }
+
+    proptest! {
+        /// offset() is a bijection from cells to 0..len().
+        #[test]
+        fn prop_offset_bijective(
+            lo in proptest::array::uniform3(-8i64..8),
+            size in proptest::array::uniform3(1i64..6),
+        ) {
+            let lo = IntVect(lo);
+            let bx = Box3::new(lo, lo + IntVect(size) - IntVect::UNIT);
+            let l = Layout::new(bx);
+            let mut seen = vec![false; l.len()];
+            for iv in bx.iter() {
+                let o = l.offset(iv);
+                prop_assert!(o < l.len());
+                prop_assert!(!seen[o], "offset {o} hit twice");
+                seen[o] = true;
+                prop_assert_eq!(l.cell_at(o), iv);
+            }
+            prop_assert!(seen.into_iter().all(|b| b));
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Tiles and tile iteration.
+//!
+//! A [`Tile`] is a *logical* partition of a region's iteration space: unlike
+//! regions, tiles share the region's storage (§IV-A). The [`TileIter`]
+//! traverses all tiles of a decomposition; on the CPU small tiles enable
+//! cache reuse, while on the GPU the paper recommends one tile per region so
+//! each region launches a single kernel.
+
+use crate::box3::Box3;
+use crate::domain::Decomposition;
+use crate::ivec::IntVect;
+
+/// A logical tile: a sub-box of one region's valid box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile {
+    /// Region that owns the tile's storage.
+    pub region: usize,
+    /// The tile's iteration space (subset of the region's valid box).
+    pub bx: Box3,
+}
+
+impl Tile {
+    pub fn num_cells(&self) -> u64 {
+        self.bx.num_cells()
+    }
+
+    /// A tile over an explicit sub-range of a region — the paper's §V
+    /// "iterate over a specific range in a tile" form, where `compute`
+    /// takes lower and upper bounds.
+    pub fn sub_range(region: usize, lo: crate::IntVect, hi: crate::IntVect) -> Tile {
+        Tile {
+            region,
+            bx: Box3::new(lo, hi),
+        }
+    }
+}
+
+/// Tiling granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TileSpec {
+    /// One tile per region (the recommended GPU setting).
+    RegionSized,
+    /// Tiles of (at most) this size per dimension.
+    Size(IntVect),
+}
+
+/// Compute the tile list of a decomposition.
+pub fn tiles_of(decomp: &Decomposition, spec: TileSpec) -> Vec<Tile> {
+    let mut out = Vec::new();
+    for (rid, &valid) in decomp.region_boxes().iter().enumerate() {
+        match spec {
+            TileSpec::RegionSized => out.push(Tile {
+                region: rid,
+                bx: valid,
+            }),
+            TileSpec::Size(sz) => {
+                for bx in valid.split(sz) {
+                    out.push(Tile { region: rid, bx });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Iterator over the tiles of a decomposition, in region order.
+///
+/// Mirrors the paper's `tileItr` usage:
+/// `for (it.reset(); it.is_valid(); it.next()) { let tile = it.tile(); ... }`
+/// — the GPU flag lives in `tida-acc`'s wrapper, which decides where each
+/// tile executes.
+pub struct TileIter {
+    tiles: Vec<Tile>,
+    pos: usize,
+}
+
+impl TileIter {
+    pub fn new(decomp: &Decomposition, spec: TileSpec) -> TileIter {
+        TileIter {
+            tiles: tiles_of(decomp, spec),
+            pos: 0,
+        }
+    }
+
+    /// An iterator that visits the same tiles in a deterministic
+    /// out-of-order permutation (the paper's iterator traverses tiles "in
+    /// an out-of-order fashion", §IV-A).
+    pub fn new_out_of_order(decomp: &Decomposition, spec: TileSpec, seed: u64) -> TileIter {
+        let tiles = tiles_of(decomp, spec);
+        let perm = crate::out_of_order_permutation(tiles.len(), seed);
+        TileIter {
+            tiles: perm.into_iter().map(|i| tiles[i]).collect(),
+            pos: 0,
+        }
+    }
+
+    /// Restart the traversal.
+    pub fn reset(&mut self) {
+        self.pos = 0;
+    }
+
+    /// True while there is a current tile.
+    pub fn is_valid(&self) -> bool {
+        self.pos < self.tiles.len()
+    }
+
+    /// The current tile.
+    pub fn tile(&self) -> Tile {
+        assert!(self.is_valid(), "tile iterator exhausted");
+        self.tiles[self.pos]
+    }
+
+    /// Advance to the next tile.
+    pub fn next_tile(&mut self) {
+        self.pos += 1;
+    }
+
+    /// Total number of tiles.
+    pub fn len(&self) -> usize {
+        self.tiles.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tiles.is_empty()
+    }
+
+    /// All tiles (for harnesses that want a plain list).
+    pub fn as_slice(&self) -> &[Tile] {
+        &self.tiles
+    }
+}
+
+impl Iterator for TileIter {
+    type Item = Tile;
+
+    fn next(&mut self) -> Option<Tile> {
+        if self.is_valid() {
+            let t = self.tiles[self.pos];
+            self.pos += 1;
+            Some(t)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::{Domain, RegionSpec};
+
+    fn decomp() -> Decomposition {
+        Decomposition::new(Domain::periodic_cube(8), RegionSpec::Count(2))
+    }
+
+    #[test]
+    fn region_sized_tiles_one_per_region() {
+        let d = decomp();
+        let tiles = tiles_of(&d, TileSpec::RegionSized);
+        assert_eq!(tiles.len(), 2);
+        assert_eq!(tiles[0].bx, d.region_box(0));
+        assert_eq!(tiles[1].region, 1);
+    }
+
+    #[test]
+    fn sized_tiles_partition_each_region() {
+        let d = decomp();
+        let tiles = tiles_of(&d, TileSpec::Size(IntVect::new(4, 4, 4)));
+        // Each 8x8x4 region splits into 2x2x1 tiles.
+        assert_eq!(tiles.len(), 8);
+        for rid in 0..2 {
+            let sum: u64 = tiles
+                .iter()
+                .filter(|t| t.region == rid)
+                .map(Tile::num_cells)
+                .sum();
+            assert_eq!(sum, d.region_box(rid).num_cells());
+        }
+    }
+
+    #[test]
+    fn iterator_protocol_matches_paper_style() {
+        let d = decomp();
+        let mut it = TileIter::new(&d, TileSpec::RegionSized);
+        let mut seen = 0;
+        it.reset();
+        while it.is_valid() {
+            let _t = it.tile();
+            it.next_tile();
+            seen += 1;
+        }
+        assert_eq!(seen, 2);
+        assert!(!it.is_valid());
+        it.reset();
+        assert!(it.is_valid());
+    }
+
+    #[test]
+    fn rust_iterator_adapter() {
+        let d = decomp();
+        let tiles: Vec<Tile> = TileIter::new(&d, TileSpec::RegionSized).collect();
+        assert_eq!(tiles.len(), 2);
+    }
+
+    #[test]
+    fn out_of_order_iterator_visits_all_tiles() {
+        let d = Decomposition::new(Domain::periodic_cube(8), RegionSpec::Count(4));
+        let ordered: Vec<Tile> = TileIter::new(&d, TileSpec::RegionSized).collect();
+        let shuffled: Vec<Tile> = TileIter::new_out_of_order(&d, TileSpec::RegionSized, 7).collect();
+        assert_eq!(shuffled.len(), ordered.len());
+        for t in &ordered {
+            assert!(shuffled.contains(t));
+        }
+        assert_ne!(shuffled, ordered, "seed 7 must reorder 4 tiles");
+    }
+
+    #[test]
+    fn sub_range_tile() {
+        use crate::IntVect;
+        let t = Tile::sub_range(2, IntVect::new(1, 1, 1), IntVect::new(3, 3, 3));
+        assert_eq!(t.region, 2);
+        assert_eq!(t.num_cells(), 27);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn tile_after_end_panics() {
+        let d = decomp();
+        let mut it = TileIter::new(&d, TileSpec::RegionSized);
+        it.next_tile();
+        it.next_tile();
+        let _ = it.tile();
+    }
+}

@@ -1,0 +1,254 @@
+//! Borrowed views over region data.
+//!
+//! Kernels (on either the host path or the simulated device path) access a
+//! region's cells through [`View`] / [`ViewMut`]: a slice plus the region's
+//! grown-box [`Layout`]. Construction goes through the `with_*` helpers so
+//! that virtual (timing-only) slabs are skipped transparently.
+
+use crate::layout::Layout;
+use memslab::Slab;
+
+use crate::ivec::IntVect;
+
+/// Read-only view of a region's data.
+pub struct View<'a> {
+    pub data: &'a [f64],
+    pub layout: Layout,
+}
+
+impl View<'_> {
+    /// Value at cell `iv` (must lie in the layout box).
+    #[inline]
+    pub fn at(&self, iv: IntVect) -> f64 {
+        self.data[self.layout.offset(iv)]
+    }
+}
+
+/// Mutable view of a region's data.
+pub struct ViewMut<'a> {
+    pub data: &'a mut [f64],
+    pub layout: Layout,
+}
+
+impl ViewMut<'_> {
+    #[inline]
+    pub fn at(&self, iv: IntVect) -> f64 {
+        self.data[self.layout.offset(iv)]
+    }
+
+    #[inline]
+    pub fn set(&mut self, iv: IntVect, v: f64) {
+        let o = self.layout.offset(iv);
+        self.data[o] = v;
+    }
+
+    /// Read-modify-write one cell.
+    #[inline]
+    pub fn update(&mut self, iv: IntVect, f: impl FnOnce(f64) -> f64) {
+        let o = self.layout.offset(iv);
+        self.data[o] = f(self.data[o]);
+    }
+}
+
+/// Run `f` with a read view of `slab` laid out by `layout`.
+/// Returns `None` (without calling `f`) when the slab is virtual.
+pub fn with_view<R>(slab: &Slab, layout: Layout, f: impl FnOnce(View) -> R) -> Option<R> {
+    slab.with(|data| data.map(|data| f(View { data, layout })))
+}
+
+/// Run `f` with a mutable view of `slab` laid out by `layout`.
+pub fn with_view_mut<R>(slab: &Slab, layout: Layout, f: impl FnOnce(ViewMut) -> R) -> Option<R> {
+    slab.with_mut(|data| data.map(|data| f(ViewMut { data, layout })))
+}
+
+/// Run `f` with a mutable destination view and a read source view.
+///
+/// Panics if the two slabs share storage (a kernel writing its own input
+/// needs [`with_view_mut`] and explicit care).
+pub fn with_dst_src<R>(
+    dst: (&Slab, Layout),
+    src: (&Slab, Layout),
+    f: impl FnOnce(ViewMut, View) -> R,
+) -> Option<R> {
+    assert!(
+        !dst.0.same_storage(src.0),
+        "with_dst_src: destination and source alias"
+    );
+    dst.0.with_mut(|d| {
+        src.0.with(|s| match (d, s) {
+            (Some(d), Some(s)) => Some(f(
+                ViewMut {
+                    data: d,
+                    layout: dst.1,
+                },
+                View {
+                    data: s,
+                    layout: src.1,
+                },
+            )),
+            _ => None,
+        })
+    })
+}
+
+/// Run `f` with any number of mutable and shared views at once — the
+/// general form behind the paper's multi-tile `compute` (§V: "If
+/// computation involves multiple tiles as inputs, then the compute method
+/// takes these tiles and a lambda function").
+///
+/// Returns `None` (without calling `f`) when any slab is virtual. Panics if
+/// two write slabs alias, or a write slab aliases a read slab.
+pub fn with_many<R>(
+    writes: &[(&Slab, Layout)],
+    reads: &[(&Slab, Layout)],
+    f: impl FnOnce(&mut [ViewMut], &[View]) -> R,
+) -> Option<R> {
+    for (i, (w, _)) in writes.iter().enumerate() {
+        for (w2, _) in &writes[i + 1..] {
+            assert!(!w.same_storage(w2), "with_many: two write slabs alias");
+        }
+        for (r, _) in reads {
+            assert!(
+                !w.same_storage(r),
+                "with_many: a write slab aliases a read slab"
+            );
+        }
+    }
+    let mut wguards: Vec<memslab::WriteGuard<'_>> =
+        writes.iter().map(|(s, _)| s.write_guard()).collect();
+    let rguards: Vec<memslab::ReadGuard<'_>> =
+        reads.iter().map(|(s, _)| s.read_guard()).collect();
+
+    let mut wviews: Vec<ViewMut<'_>> = Vec::with_capacity(writes.len());
+    for (g, (_, layout)) in wguards.iter_mut().zip(writes) {
+        wviews.push(ViewMut {
+            data: g.data_mut()?,
+            layout: *layout,
+        });
+    }
+    let mut rviews: Vec<View<'_>> = Vec::with_capacity(reads.len());
+    for (g, (_, layout)) in rguards.iter().zip(reads) {
+        rviews.push(View {
+            data: g.data()?,
+            layout: *layout,
+        });
+    }
+    Some(f(&mut wviews, &rviews))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::box3::Box3;
+
+    fn layout4() -> Layout {
+        Layout::new(Box3::from_size(IntVect::new(4, 1, 1)))
+    }
+
+    #[test]
+    fn view_reads_through_layout() {
+        let s = Slab::from_vec(vec![1.0, 2.0, 3.0, 4.0]);
+        let got = with_view(&s, layout4(), |v| v.at(IntVect::new(2, 0, 0))).unwrap();
+        assert_eq!(got, 3.0);
+    }
+
+    #[test]
+    fn view_mut_writes_through_layout() {
+        let s = Slab::real(4);
+        with_view_mut(&s, layout4(), |mut v| {
+            v.set(IntVect::new(1, 0, 0), 5.0);
+            v.update(IntVect::new(1, 0, 0), |x| x + 1.0);
+        })
+        .unwrap();
+        assert_eq!(s.get(1), Some(6.0));
+    }
+
+    #[test]
+    fn virtual_slab_skips_closure() {
+        let s = Slab::virtual_(4);
+        let ran = with_view(&s, layout4(), |_| true);
+        assert_eq!(ran, None);
+        assert_eq!(with_view_mut(&s, layout4(), |_| true), None);
+    }
+
+    #[test]
+    fn dst_src_pair() {
+        let d = Slab::real(4);
+        let s = Slab::from_vec(vec![1.0, 2.0, 3.0, 4.0]);
+        with_dst_src((&d, layout4()), (&s, layout4()), |mut dv, sv| {
+            for i in 0..4 {
+                let iv = IntVect::new(i, 0, 0);
+                dv.set(iv, sv.at(iv) * 10.0);
+            }
+        })
+        .unwrap();
+        assert_eq!(d.snapshot().unwrap(), vec![10.0, 20.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn dst_src_with_one_virtual_side_is_none() {
+        let d = Slab::real(4);
+        let s = Slab::virtual_(4);
+        assert!(with_dst_src((&d, layout4()), (&s, layout4()), |_, _| ()).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "alias")]
+    fn dst_src_aliasing_panics() {
+        let d = Slab::real(4);
+        let alias = d.clone();
+        with_dst_src((&d, layout4()), (&alias, layout4()), |_, _| ());
+    }
+
+    #[test]
+    fn with_many_two_writes_two_reads() {
+        let w0 = Slab::real(4);
+        let w1 = Slab::real(4);
+        let r0 = Slab::from_vec(vec![1.0; 4]);
+        let r1 = Slab::from_vec(vec![2.0; 4]);
+        let l = layout4();
+        with_many(&[(&w0, l), (&w1, l)], &[(&r0, l), (&r1, l)], |ws, rs| {
+            for i in 0..4 {
+                let iv = IntVect::new(i, 0, 0);
+                let sum = rs[0].at(iv) + rs[1].at(iv);
+                ws[0].set(iv, sum);
+                ws[1].set(iv, sum * 10.0);
+            }
+        })
+        .unwrap();
+        assert_eq!(w0.snapshot().unwrap(), vec![3.0; 4]);
+        assert_eq!(w1.snapshot().unwrap(), vec![30.0; 4]);
+    }
+
+    #[test]
+    fn with_many_shared_read_slab_is_allowed() {
+        let w = Slab::real(4);
+        let r = Slab::from_vec(vec![5.0; 4]);
+        let l = layout4();
+        // The same read slab twice: read-read aliasing is fine.
+        with_many(&[(&w, l)], &[(&r, l), (&r, l)], |ws, rs| {
+            ws[0].set(IntVect::ZERO, rs[0].at(IntVect::ZERO) + rs[1].at(IntVect::ZERO));
+        })
+        .unwrap();
+        assert_eq!(w.get(0), Some(10.0));
+    }
+
+    #[test]
+    fn with_many_virtual_any_side_skips() {
+        let w = Slab::real(4);
+        let v = Slab::virtual_(4);
+        let l = layout4();
+        assert!(with_many(&[(&w, l)], &[(&v, l)], |_, _| ()).is_none());
+        assert!(with_many(&[(&v, l)], &[(&w, l)], |_, _| ()).is_none());
+        assert!(with_many(&[(&w, l)], &[], |_, _| ()).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "write slabs alias")]
+    fn with_many_write_aliasing_panics() {
+        let w = Slab::real(4);
+        let alias = w.clone();
+        let l = layout4();
+        with_many(&[(&w, l), (&alias, l)], &[], |_, _| ());
+    }
+}

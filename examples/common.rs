@@ -1,0 +1,46 @@
+//! Shared helpers for the example binaries.
+
+use tida::{Box3, IntVect, Layout};
+
+/// Render a z-slice of a dense field as an ASCII heat map.
+pub fn render_slice(data: &[f64], n: i64, z: i64, width: usize) -> String {
+    let l = Layout::new(Box3::cube(n));
+    let glyphs: &[u8] = b" .:-=+*#%@";
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for v in data {
+        lo = lo.min(*v);
+        hi = hi.max(*v);
+    }
+    let span = (hi - lo).max(1e-12);
+    let step = ((n as usize) / width.max(1)).max(1);
+    let mut out = String::new();
+    let mut y = 0;
+    while y < n {
+        let mut x = 0;
+        while x < n {
+            let v = data[l.offset(IntVect::new(x, y, z))];
+            let g = (((v - lo) / span) * (glyphs.len() - 1) as f64).round() as usize;
+            out.push(glyphs[g.min(glyphs.len() - 1)] as char);
+            x += step as i64;
+        }
+        out.push('\n');
+        y += step as i64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_renders_expected_shape() {
+        let n = 8;
+        let l = Layout::new(Box3::cube(n));
+        let mut data = vec![0.0; l.len()];
+        data[l.offset(IntVect::new(4, 4, 0))] = 1.0;
+        let art = render_slice(&data, n, 0, 8);
+        assert_eq!(art.lines().count(), 8);
+        assert!(art.contains('@'));
+    }
+}

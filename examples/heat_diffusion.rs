@@ -1,0 +1,80 @@
+//! The paper's transfer-intensive application: a 3-D heat solver, run
+//! through TiDA-acc and validated against the dense golden reference, then
+//! timed at paper scale against the CUDA/OpenACC baselines (Fig. 5).
+//!
+//! ```text
+//! cargo run --release -p examples --bin heat_diffusion
+//! ```
+
+use baselines::{heat as bheat, tida_heat, MemMode, RunOpts, TidaOpts};
+use examples_common::render_slice;
+use gpu_sim::MachineConfig;
+use kernels::{heat, init, norms};
+use std::sync::Arc;
+use tida::{tiles_of, Decomposition, Domain, ExchangeMode, RegionSpec, TileArray, TileSpec};
+use tida_acc::{AccOptions, TileAcc};
+
+fn main() {
+    let cfg = MachineConfig::k40m();
+
+    // --- Part 1: validated run at small scale -------------------------
+    let n = 24i64;
+    let steps = 50;
+    println!("validated run: {n}^3, {steps} steps, 4 regions, real data");
+    let decomp = Arc::new(Decomposition::new(
+        Domain::periodic_cube(n),
+        RegionSpec::Count(4),
+    ));
+    let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+    let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+    ua.fill_valid(init::gaussian(n));
+
+    let mut acc = TileAcc::new(
+        gpu_sim::GpuSystem::new(cfg.clone()),
+        AccOptions::paper(),
+    );
+    let a = acc.register(&ua);
+    let b = acc.register(&ub);
+    let tiles = tiles_of(&decomp, TileSpec::RegionSized);
+    let (mut src, mut dst) = (a, b);
+    for _ in 0..steps {
+        acc.fill_boundary(src);
+        for &t in &tiles {
+            acc.compute2(t, dst, src, heat::cost(t.num_cells()), "heat", |d, s, bx| {
+                heat::step_tile(d, s, &bx, heat::DEFAULT_FAC)
+            });
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    acc.sync_to_host(src);
+    acc.finish();
+
+    let result = if src == a { &ua } else { &ub };
+    let dense = result.to_dense().expect("backed run");
+    let golden = heat::golden_run(init::gaussian(n), n, steps, heat::DEFAULT_FAC);
+    println!("  L-inf error vs golden: {:.3e}", norms::linf(&dense, &golden));
+    assert_eq!(dense, golden, "TiDA-acc must match the dense reference bitwise");
+    println!("  bitwise identical to the dense reference ✓");
+    println!("  runtime stats: {}", acc.stats());
+
+    println!("\ncentre slice after diffusion:");
+    print!("{}", render_slice(&dense, n, n / 2, 24));
+
+    // --- Part 2: paper-scale timing comparison ------------------------
+    println!("\ntiming at paper scale (512^3, timing-only buffers):");
+    let n = 512;
+    for iters in [1usize, 100] {
+        let base = bheat::cuda_heat(&cfg, n, iters, RunOpts::timing(MemMode::Pageable));
+        let pinned = bheat::cuda_heat(&cfg, n, iters, RunOpts::timing(MemMode::Pinned));
+        let tida = tida_heat(&cfg, n, iters, &TidaOpts::timing(16));
+        println!(
+            "  {iters:>4} iters: CUDA-pageable {:>10.2} ms | CUDA-pinned {:>10.2} ms ({:.2}x) | TiDA-acc(16r) {:>10.2} ms ({:.2}x)",
+            base.ms(),
+            pinned.ms(),
+            pinned.speedup_over(&base),
+            tida.ms(),
+            tida.speedup_over(&base),
+        );
+    }
+    println!("\nTiDA-acc hides the transfer latency where transfers dominate (few iterations).");
+}

@@ -1,0 +1,78 @@
+//! Multi-GPU heat solver: regions distributed across simulated GPUs with
+//! pack → peer-copy → unpack halo exchange (the `MultiAcc` extension).
+//!
+//! ```text
+//! cargo run --release -p examples --bin multi_gpu
+//! ```
+
+use gpu_sim::{GpuSystem, MachineConfig};
+use kernels::{heat, init, norms};
+use std::sync::Arc;
+use tida::{tiles_of, Decomposition, Domain, ExchangeMode, RegionSpec, TileArray, TileSpec};
+use tida_acc::MultiAcc;
+
+fn main() {
+    // --- Part 1: validated 2-GPU run ----------------------------------
+    let n = 16i64;
+    let steps = 10;
+    let decomp = Arc::new(Decomposition::new(
+        Domain::periodic_cube(n),
+        RegionSpec::Count(4),
+    ));
+    let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+    let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+    ua.fill_valid(init::gaussian(n));
+
+    let mut acc = MultiAcc::new(GpuSystem::multi(MachineConfig::k40m(), 2, true));
+    let a = acc.register(&ua);
+    let b = acc.register(&ub);
+    let tiles = tiles_of(&decomp, TileSpec::RegionSized);
+    let (mut src, mut dst) = (a, b);
+    for _ in 0..steps {
+        acc.fill_boundary(src);
+        for &t in &tiles {
+            acc.compute2(t, dst, src, heat::cost(t.num_cells()), "heat", |d, s, bx| {
+                heat::step_tile(d, s, &bx, heat::DEFAULT_FAC)
+            });
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    acc.sync_to_host(src);
+    acc.finish();
+
+    println!("region ownership:");
+    for r in 0..decomp.num_regions() {
+        println!("  region {r} -> GPU {}", acc.owner(r));
+    }
+    println!(
+        "peer-link traffic: {} KiB across {} steps",
+        acc.gpu().stats_bytes_p2p() >> 10,
+        steps
+    );
+
+    let result = if src == a { &ua } else { &ub };
+    let dense = result.to_dense().unwrap();
+    let golden = heat::golden_run(init::gaussian(n), n, steps, heat::DEFAULT_FAC);
+    println!(
+        "L-inf error vs dense golden: {:.3e}",
+        norms::linf(&dense, &golden)
+    );
+    assert_eq!(dense, golden);
+    println!("2-GPU result is bitwise identical to the dense reference ✓");
+
+    // --- Part 2: strong scaling at paper scale ------------------------
+    println!("\nstrong scaling (512^3, 100 steps, 16 regions, timing-only):");
+    let cfg = MachineConfig::k40m();
+    let base = baselines::tida_heat_multi(&cfg, 512, 100, 16, 1, false);
+    println!("  1 GPU : {:>10.2} ms", base.ms());
+    for devices in [2usize, 4, 8] {
+        let r = baselines::tida_heat_multi(&cfg, 512, 100, 16, devices, false);
+        println!(
+            "  {devices} GPUs: {:>10.2} ms  ({:.2}x)",
+            r.ms(),
+            r.speedup_over(&base),
+        );
+    }
+    println!("\nSpeedup saturates where the per-step halo exchange (host index work +");
+    println!("peer-link transfers + the acc-wait barrier) stops shrinking with devices.");
+}

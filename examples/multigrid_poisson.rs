@@ -1,0 +1,56 @@
+//! Geometric multigrid with the fine level on the (simulated) GPU: the
+//! BoxLib-style application the TiDA lineage was built for. Compares
+//! V-cycle convergence against plain device Jacobi at equal fine-sweep
+//! counts.
+//!
+//! ```text
+//! cargo run --release -p examples --bin multigrid_poisson
+//! ```
+
+use baselines::multigrid::tida_multigrid;
+use gpu_sim::MachineConfig;
+use kernels::jacobi;
+
+fn main() {
+    let cfg = MachineConfig::k40m();
+    let n = 16i64;
+    let (pre, post) = (3, 3);
+
+    println!("Poisson ∇²u = f on a periodic {n}^3 grid (manufactured mean-free f)");
+    println!("fine-level smoothing and residuals on the simulated K40m; coarse grids on the host\n");
+
+    let cycles = 4;
+    let mg = tida_multigrid(&cfg, n, cycles, pre, post, 4, true);
+    println!("V({pre},{post})-cycle convergence:");
+    for (i, r) in mg.residuals.iter().enumerate() {
+        let rate = if i > 0 { mg.residuals[i] / mg.residuals[i - 1] } else { f64::NAN };
+        if i == 0 {
+            println!("  cycle {i}: max|r| = {r:.6e}");
+        } else {
+            println!("  cycle {i}: max|r| = {r:.6e}   (x{rate:.3} per cycle)");
+        }
+    }
+    println!("  simulated time: {}\n", mg.run.elapsed);
+
+    // Plain Jacobi given the same number of fine sweeps.
+    let fine_sweeps = cycles * (pre + post);
+    let f = jacobi::manufactured_rhs(n);
+    let plain = jacobi::golden_run(&f, n, fine_sweeps);
+    let plain_res = jacobi::golden_residual(&plain, &f, n);
+    println!("plain Jacobi after the same {fine_sweeps} fine sweeps: max|r| = {plain_res:.6e}");
+    println!(
+        "multigrid is {:.0}x more accurate for the same fine-level work",
+        plain_res / mg.residuals.last().unwrap()
+    );
+
+    // Paper-scale timing, virtual buffers.
+    println!("\npaper-scale timing (128^3, 3 cycles, timing-only):");
+    let big = tida_multigrid(&cfg, 128, 3, pre, post, 8, false);
+    println!(
+        "  elapsed {}; {} kernels, {} MiB H2D, {} MiB D2H",
+        big.run.elapsed,
+        big.run.kernels,
+        big.run.bytes_h2d >> 20,
+        big.run.bytes_d2h >> 20
+    );
+}

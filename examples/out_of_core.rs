@@ -1,0 +1,99 @@
+//! Oversubscribed device memory: the application data does not fit on the
+//! GPU, and TiDA-acc stages regions through a small slot pool (Figs. 7/8).
+//!
+//! The device is configured with memory for only two regions; a CUDA-style
+//! whole-array allocation fails outright, while the tiled run completes with
+//! bit-exact results and almost no slowdown.
+//!
+//! ```text
+//! cargo run --release -p examples --bin out_of_core
+//! ```
+
+use baselines::{tida_busy, TidaOpts};
+use gpu_sim::{GpuSystem, MachineConfig};
+use kernels::busy;
+use std::sync::Arc;
+use tida::{tiles_of, Decomposition, Domain, ExchangeMode, RegionSpec, TileArray, TileSpec};
+use tida_acc::{AccOptions, TileAcc};
+
+fn main() {
+    // --- Part 1: demonstrate correctness with real data ----------------
+    let n = 32i64;
+    let regions = 8usize;
+    let iters = 10u32;
+    let steps = 3usize;
+
+    // Device memory sized to hold ~2.5 region buffers — the whole array
+    // cannot fit.
+    let region_bytes = {
+        let decomp = Decomposition::new(Domain::periodic_cube(n), RegionSpec::Count(regions));
+        let ta = TileArray::new(Arc::new(decomp), 0, ExchangeMode::Faces, false);
+        ta.max_region_bytes()
+    };
+    let small_cfg = MachineConfig::k40m().with_device_mem(region_bytes * 5 / 2);
+
+    // A CUDA-style whole-array allocation fails on this device.
+    let mut plain = GpuSystem::new(small_cfg.clone());
+    let whole = plain.malloc_device((n * n * n) as usize);
+    println!(
+        "whole-array cudaMalloc on the small device: {}",
+        match whole {
+            Err(e) => format!("FAILS as expected ({e})"),
+            Ok(_) => "unexpectedly succeeded?!".to_string(),
+        }
+    );
+
+    // TiDA-acc stages regions through the slots that do fit.
+    let decomp = Arc::new(Decomposition::new(
+        Domain::periodic_cube(n),
+        RegionSpec::Count(regions),
+    ));
+    let u = TileArray::new(decomp.clone(), 0, ExchangeMode::Faces, true);
+    u.fill_valid(|_| 0.5);
+
+    let mut acc = TileAcc::new(GpuSystem::new(small_cfg), AccOptions::paper());
+    let a = acc.register(&u);
+    let tiles = tiles_of(&decomp, TileSpec::RegionSized);
+    for _ in 0..steps {
+        for &t in &tiles {
+            acc.compute1(
+                t,
+                a,
+                busy::cost(t.num_cells(), iters, busy::MathImpl::PgiLibm),
+                "busy",
+                move |v, bx| busy::apply_tile(v, &bx, iters),
+            );
+        }
+    }
+    acc.sync_to_host(a);
+    let elapsed = acc.finish();
+    println!(
+        "tiled run on the same device: completed in {elapsed}, slots = {}, {}",
+        acc.num_slots(),
+        acc.stats()
+    );
+    let expect = 0.5 + (steps as u32 * iters) as f64;
+    let got = u.value(tida::IntVect::new(1, 1, 1)).unwrap();
+    assert!((got - expect).abs() < 1e-9);
+    println!("result check: cell value {got:.6} == init + steps*iters = {expect:.6} ✓");
+    assert!(acc.stats().evictions > 0, "staging must have evicted regions");
+
+    // --- Part 2: the Fig. 8 claim at paper scale ----------------------
+    println!("\nFig. 8 regime (512^3, 100 steps, timing-only):");
+    let cfg = MachineConfig::k40m();
+    let full = tida_busy(&cfg, 512, 100, busy::DEFAULT_KERNEL_ITERATION, &TidaOpts::timing(16));
+    let limited = tida_busy(
+        &cfg,
+        512,
+        100,
+        busy::DEFAULT_KERNEL_ITERATION,
+        &TidaOpts::timing(16).with_max_slots(2),
+    );
+    println!("  all regions resident: {:>12.2} ms", full.ms());
+    println!(
+        "  2-slot device limit:  {:>12.2} ms  ({:+.2}% overhead)",
+        limited.ms(),
+        (limited.ms() / full.ms() - 1.0) * 100.0
+    );
+    println!("\nThe staging traffic hides completely behind the compute-intensive kernel.");
+}

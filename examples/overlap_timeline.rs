@@ -1,0 +1,49 @@
+//! Visualize the overlap that is the paper's core claim (Figs. 3 and 7):
+//! while some regions execute on the GPU, others are in flight over the
+//! interconnect in both directions.
+//!
+//! Prints an ASCII Gantt chart of the engine lanes and writes a Chrome
+//! trace-event file loadable in `chrome://tracing` / Perfetto.
+//!
+//! ```text
+//! cargo run --release -p examples --bin overlap_timeline [out.json]
+//! ```
+
+use baselines::{tida_busy, TidaOpts};
+use gpu_sim::MachineConfig;
+use kernels::busy::DEFAULT_KERNEL_ITERATION;
+
+fn main() {
+    let cfg = MachineConfig::k40m();
+
+    // Six regions, two device slots: the steady state constantly stages
+    // regions in and out while kernels run — the paper's Fig. 7 scenario.
+    let opts = TidaOpts::timing(6).with_max_slots(2).with_tracing();
+    let r = tida_busy(&cfg, 64, 2, DEFAULT_KERNEL_ITERATION, &opts);
+    let trace = r.trace.expect("tracing was enabled");
+
+    println!("TiDA-acc, 6 regions, 2 device slots, 2 time steps — elapsed {}", r.elapsed);
+    println!(
+        "moved {} MiB up / {} MiB down across {} kernels\n",
+        r.bytes_h2d >> 20,
+        r.bytes_d2h >> 20,
+        r.kernels
+    );
+    print!("{}", trace.render_gantt(110));
+
+    let h2d = trace.overlap_time(0, 2);
+    let d2h = trace.overlap_time(1, 2);
+    let compute_busy = trace.busy_time(2);
+    println!("\ncompute engine busy: {compute_busy}");
+    println!("h2d overlapped with compute: {h2d}");
+    println!("d2h overlapped with compute: {d2h}");
+    let h2d_total = trace.busy_time(0);
+    println!(
+        "fraction of H2D hidden behind kernels: {:.0}%",
+        100.0 * h2d.as_secs_f64() / h2d_total.as_secs_f64().max(1e-12)
+    );
+
+    let path = std::env::args().nth(1).unwrap_or_else(|| "overlap_trace.json".to_string());
+    std::fs::write(&path, trace.to_chrome_json()).expect("write trace file");
+    println!("\nwrote Chrome trace to {path} (open in chrome://tracing or Perfetto)");
+}

@@ -1,0 +1,2 @@
+//! Cross-crate integration tests live in `tests/tests/`; this library
+//! target exists only to anchor the package.

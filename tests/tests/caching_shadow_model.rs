@@ -1,0 +1,121 @@
+//! Shadow-model test of the caching protocol (§IV-B-4).
+//!
+//! A random sequence of operations — GPU kernels, host kernels, host reads,
+//! execution-mode flips — is applied both through `TileAcc` (with random
+//! slot budgets and policies) and to a plain in-memory model. Whatever the
+//! staging, eviction and write-back traffic, the observable data must match
+//! the model exactly.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tida::{tiles_of, Decomposition, Domain, ExchangeMode, RegionSpec, TileArray, TileSpec};
+use tida_acc::{AccOptions, SlotPolicy, TileAcc, WritebackPolicy};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Run `x += k` over one region, in the current execution mode.
+    AddKernel { region: usize, k: f64 },
+    /// Flip between GPU and CPU execution.
+    SetGpu(bool),
+    /// Read one region's data on the host mid-run (forces residency sync).
+    HostProbe { region: usize },
+    /// Bring everything home.
+    SyncAll,
+}
+
+fn arb_op(regions: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0..regions, 1i32..5).prop_map(|(r, k)| Op::AddKernel { region: r, k: k as f64 }),
+        1 => any::<bool>().prop_map(Op::SetGpu),
+        2 => (0..regions).prop_map(|r| Op::HostProbe { region: r }),
+        1 => Just(Op::SyncAll),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_acc_matches_shadow_model(
+        ops in proptest::collection::vec(arb_op(4), 1..30),
+        max_slots in proptest::option::of(1usize..5),
+        lru in any::<bool>(),
+        dirty_only in any::<bool>(),
+    ) {
+        let n = 8i64;
+        let regions = 4usize;
+        let decomp = Arc::new(Decomposition::new(
+            Domain::periodic_cube(n),
+            RegionSpec::Count(regions),
+        ));
+        let u = TileArray::new(decomp.clone(), 0, ExchangeMode::Faces, true);
+        u.fill_valid(|iv| (iv.x() + 10 * iv.y() + 100 * iv.z()) as f64);
+
+        let mut opts = AccOptions::paper();
+        opts.max_slots = max_slots;
+        opts.policy = if lru { SlotPolicy::Lru } else { SlotPolicy::StaticInterleaved };
+        opts.writeback = if dirty_only { WritebackPolicy::DirtyOnly } else { WritebackPolicy::Always };
+        let mut acc = TileAcc::new(
+            gpu_sim::GpuSystem::new(gpu_sim::MachineConfig::k40m()),
+            opts,
+        );
+        let a = acc.register(&u);
+        let tiles = tiles_of(&decomp, TileSpec::RegionSized);
+
+        // Shadow model: one f64 offset per region (the kernel adds a
+        // constant, so the whole region shifts uniformly).
+        let mut shadow = vec![0.0f64; regions];
+
+        for op in &ops {
+            match *op {
+                Op::AddKernel { region, k } => {
+                    acc.compute1(
+                        tiles[region],
+                        a,
+                        gpu_sim::KernelCost::Bytes(tiles[region].num_cells() * 16),
+                        "add",
+                        move |v, bx| {
+                            for iv in bx.iter() {
+                                v.update(iv, |x| x + k);
+                            }
+                        },
+                    );
+                    shadow[region] += k;
+                }
+                Op::SetGpu(on) => acc.set_gpu(on),
+                Op::HostProbe { region } => {
+                    // acquire through the public path: a host-mode no-op
+                    // kernel forces the region back.
+                    let was = acc.gpu_enabled();
+                    acc.set_gpu(false);
+                    acc.compute1(
+                        tiles[region],
+                        a,
+                        gpu_sim::KernelCost::Flops(1.0),
+                        "probe",
+                        |_, _| {},
+                    );
+                    acc.set_gpu(was);
+                    let lo = decomp.region_box(region).lo();
+                    let got = u.value(lo).unwrap();
+                    let expect = (lo.x() + 10 * lo.y() + 100 * lo.z()) as f64 + shadow[region];
+                    prop_assert!((got - expect).abs() < 1e-9,
+                        "probe region {region}: got {got}, expected {expect}");
+                }
+                Op::SyncAll => acc.sync_to_host(a),
+            }
+        }
+
+        acc.sync_to_host(a);
+        acc.finish();
+        for (region, &offset) in shadow.iter().enumerate() {
+            let bx = decomp.region_box(region);
+            for iv in bx.iter() {
+                let got = u.value(iv).unwrap();
+                let expect = (iv.x() + 10 * iv.y() + 100 * iv.z()) as f64 + offset;
+                prop_assert!((got - expect).abs() < 1e-9,
+                    "region {region} cell {iv}: got {got}, expected {expect}");
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! The ghost-engine extensions (batched gathers, barrier-free exchange)
+//! must be invisible to the physics — bitwise-identical results in every
+//! combination, under full and limited memory — while changing the
+//! schedule in the expected direction.
+
+use kernels::{heat, init};
+use proptest::prelude::*;
+use std::sync::Arc;
+use tida::{tiles_of, Decomposition, Domain, ExchangeMode, RegionSpec, TileArray, TileSpec};
+use tida_acc::{AccOptions, ArrayId, TileAcc};
+
+fn heat_run(
+    n: i64,
+    regions: usize,
+    steps: usize,
+    opts: AccOptions,
+    backed: bool,
+) -> (Option<Vec<f64>>, gpu_sim::SimTime, u64) {
+    let decomp = Arc::new(Decomposition::new(
+        Domain::periodic_cube(n),
+        RegionSpec::Count(regions),
+    ));
+    let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, backed);
+    let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, backed);
+    ua.fill_valid(init::hash_field(17));
+    let mut acc = TileAcc::new(
+        gpu_sim::GpuSystem::with_backing(gpu_sim::MachineConfig::k40m(), backed),
+        opts,
+    );
+    let a = acc.register(&ua);
+    let b = acc.register(&ub);
+    let tiles = tiles_of(&decomp, TileSpec::RegionSized);
+    let (mut src, mut dst): (ArrayId, ArrayId) = (a, b);
+    for _ in 0..steps {
+        acc.fill_boundary(src);
+        for &t in &tiles {
+            acc.compute2(t, dst, src, heat::cost(t.num_cells()), "heat", |d, s, bx| {
+                heat::step_tile(d, s, &bx, heat::DEFAULT_FAC)
+            });
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    acc.sync_to_host(src);
+    let elapsed = acc.finish();
+    let kernels = acc.gpu().stats_kernels();
+    let arr = if src == a { &ua } else { &ub };
+    (arr.to_dense(), elapsed, kernels)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every combination of {barrier, batching} × slot budget is bitwise
+    /// identical to the golden dense run.
+    #[test]
+    fn prop_ghost_options_bitwise_identical(
+        barrier in any::<bool>(),
+        batching in any::<bool>(),
+        max_slots in proptest::option::of(2usize..6),
+        steps in 1usize..4,
+    ) {
+        let n = 8i64;
+        let mut opts = AccOptions::paper();
+        opts.ghost_barrier = barrier;
+        opts.ghost_batching = batching;
+        opts.max_slots = max_slots;
+        let (got, _, _) = heat_run(n, 4, steps, opts, true);
+        let golden = heat::golden_run(init::hash_field(17), n, steps, heat::DEFAULT_FAC);
+        prop_assert_eq!(got.unwrap(), golden);
+    }
+}
+
+#[test]
+fn batching_launches_fewer_kernels() {
+    let mut batched = AccOptions::paper();
+    batched.ghost_batching = true;
+    let (_, _, k_batched) = heat_run(32, 8, 3, batched, false);
+    let (_, _, k_plain) = heat_run(32, 8, 3, AccOptions::paper(), false);
+    assert!(
+        k_batched < k_plain,
+        "batching must reduce launches: {k_batched} vs {k_plain}"
+    );
+}
+
+#[test]
+fn barrier_free_is_not_slower() {
+    let mut free = AccOptions::paper();
+    free.ghost_barrier = false;
+    let (_, t_free, _) = heat_run(128, 16, 10, free, false);
+    let (_, t_barrier, _) = heat_run(128, 16, 10, AccOptions::paper(), false);
+    assert!(
+        t_free <= t_barrier,
+        "removing the barrier cannot slow the run: {t_free} vs {t_barrier}"
+    );
+}
+
+#[test]
+fn combined_extensions_fastest_ghost_engine() {
+    let run = |barrier: bool, batching: bool| {
+        let mut o = AccOptions::paper();
+        o.ghost_barrier = barrier;
+        o.ghost_batching = batching;
+        heat_run(128, 16, 10, o, false).1
+    };
+    let paper = run(true, false);
+    let both = run(false, true);
+    assert!(
+        both <= paper,
+        "batched + barrier-free must not lose to the paper config: {both} vs {paper}"
+    );
+}
+
+#[test]
+fn barrier_free_hazard_free_under_eviction() {
+    // The strongest safety claim: without the global barrier, under slot
+    // pressure, no staging transfer may overlap a kernel on the same buffer.
+    let n = 16i64;
+    let decomp = Arc::new(Decomposition::new(
+        Domain::periodic_cube(n),
+        RegionSpec::Count(4),
+    ));
+    let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+    let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+    ua.fill_valid(init::hash_field(3));
+    let mut gpu = gpu_sim::GpuSystem::new(gpu_sim::MachineConfig::k40m());
+    gpu.set_hazard_checking(true);
+    let mut opts = AccOptions::paper().with_max_slots(3);
+    opts.ghost_barrier = false;
+    opts.ghost_batching = true;
+    let mut acc = TileAcc::new(gpu, opts);
+    let a = acc.register(&ua);
+    let b = acc.register(&ub);
+    let tiles = tiles_of(&decomp, TileSpec::RegionSized);
+    let (mut src, mut dst) = (a, b);
+    for _ in 0..3 {
+        acc.fill_boundary(src);
+        for &t in &tiles {
+            acc.compute2(t, dst, src, heat::cost(t.num_cells()), "heat", |d, s, bx| {
+                heat::step_tile(d, s, &bx, heat::DEFAULT_FAC)
+            });
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    acc.sync_to_host(src);
+    acc.finish();
+
+    let hazards = acc.gpu_mut().check_hazards();
+    let is_transfer = |l: &str| l == "h2d" || l == "d2h";
+    let real: Vec<_> = hazards
+        .iter()
+        .filter(|h| is_transfer(&h.first_label) || is_transfer(&h.second_label))
+        .collect();
+    assert!(real.is_empty(), "transfer/kernel overlap: {real:?}");
+}

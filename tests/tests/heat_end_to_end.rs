@@ -1,0 +1,225 @@
+//! End-to-end validation: the full TiDA-acc protocol (ghost exchange +
+//! compute + residency management) must reproduce the dense golden heat
+//! solution bitwise under every configuration — decomposition shape, slot
+//! budget, slot policy, write-back policy, and execution mode.
+
+use kernels::{heat, init};
+use proptest::prelude::*;
+use std::sync::Arc;
+use tida::{tiles_of, Decomposition, Domain, ExchangeMode, RegionSpec, TileArray, TileSpec};
+use tida_acc::{AccOptions, ArrayId, SlotPolicy, TileAcc, WritebackPolicy};
+
+fn drive_heat(
+    acc: &mut TileAcc,
+    decomp: &Arc<Decomposition>,
+    mut src: ArrayId,
+    mut dst: ArrayId,
+    steps: usize,
+) -> ArrayId {
+    let tiles = tiles_of(decomp, TileSpec::RegionSized);
+    for _ in 0..steps {
+        acc.fill_boundary(src);
+        for &t in &tiles {
+            acc.compute2(t, dst, src, heat::cost(t.num_cells()), "heat", |d, s, bx| {
+                heat::step_tile(d, s, &bx, heat::DEFAULT_FAC)
+            });
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    acc.sync_to_host(src);
+    src
+}
+
+fn run_config(
+    n: i64,
+    spec: RegionSpec,
+    steps: usize,
+    opts: AccOptions,
+    seed: u64,
+) -> Vec<f64> {
+    let decomp = Arc::new(Decomposition::new(Domain::periodic_cube(n), spec));
+    let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+    let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+    ua.fill_valid(init::hash_field(seed));
+    let mut acc = TileAcc::new(
+        gpu_sim::GpuSystem::new(gpu_sim::MachineConfig::k40m()),
+        opts,
+    );
+    let a = acc.register(&ua);
+    let b = acc.register(&ub);
+    let last = drive_heat(&mut acc, &decomp, a, b, steps);
+    acc.finish();
+    let arr = if last == a { &ua } else { &ub };
+    arr.to_dense().expect("backed run")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random decomposition, slot budget and policies: always bitwise golden.
+    #[test]
+    fn prop_heat_always_matches_golden(
+        grid in proptest::array::uniform3(1usize..3),
+        steps in 1usize..4,
+        max_slots in proptest::option::of(1usize..6),
+        lru in any::<bool>(),
+        dirty_only in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let n = 8i64;
+        let mut opts = AccOptions::paper();
+        opts.max_slots = max_slots.map(|s| s.max(2)); // >= num_arrays for GPU path
+        opts.policy = if lru { SlotPolicy::Lru } else { SlotPolicy::StaticInterleaved };
+        opts.writeback = if dirty_only { WritebackPolicy::DirtyOnly } else { WritebackPolicy::Always };
+        let got = run_config(n, RegionSpec::Grid(grid), steps, opts, seed);
+        let golden = heat::golden_run(init::hash_field(seed), n, steps, heat::DEFAULT_FAC);
+        prop_assert_eq!(got, golden);
+    }
+
+    /// The schedule is a function of the program, not of the data: any two
+    /// runs of the same configuration take identical simulated time.
+    #[test]
+    fn prop_simulated_time_deterministic(
+        regions in 1usize..5,
+        steps in 1usize..4,
+        max_slots in proptest::option::of(2usize..5),
+    ) {
+        let run = || {
+            let decomp = Arc::new(Decomposition::new(
+                Domain::periodic_cube(8),
+                RegionSpec::Count(regions),
+            ));
+            let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, false);
+            let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, false);
+            let mut opts = AccOptions::paper();
+            opts.max_slots = max_slots;
+            let mut acc = TileAcc::new(
+                gpu_sim::GpuSystem::with_backing(gpu_sim::MachineConfig::k40m(), false),
+                opts,
+            );
+            let a = acc.register(&ua);
+            let b = acc.register(&ub);
+            drive_heat(&mut acc, &decomp, a, b, steps);
+            acc.finish()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+#[test]
+fn single_region_exchange_and_compute() {
+    // Degenerate decomposition: one region, self-periodic ghosts.
+    let got = run_config(6, RegionSpec::Count(1), 3, AccOptions::paper(), 3);
+    let golden = heat::golden_run(init::hash_field(3), 6, 3, heat::DEFAULT_FAC);
+    assert_eq!(got, golden);
+}
+
+#[test]
+fn tight_memory_two_slots() {
+    // 2 slots for 2 arrays x 4 regions: every step stages everything.
+    let opts = AccOptions::paper().with_max_slots(2);
+    let got = run_config(8, RegionSpec::Count(4), 3, opts, 9);
+    let golden = heat::golden_run(init::hash_field(9), 8, 3, heat::DEFAULT_FAC);
+    assert_eq!(got, golden);
+}
+
+#[test]
+fn many_steps_accumulate_correctly() {
+    let got = run_config(6, RegionSpec::Grid([2, 1, 2]), 25, AccOptions::paper(), 4);
+    let golden = heat::golden_run(init::hash_field(4), 6, 25, heat::DEFAULT_FAC);
+    assert_eq!(got, golden);
+}
+
+#[test]
+fn full_exchange_mode_also_correct() {
+    // Full (26-neighbour) exchange is a superset of what the 7-point stencil
+    // needs; results must be identical.
+    let n = 6i64;
+    let steps = 3;
+    let decomp = Arc::new(Decomposition::new(
+        Domain::periodic_cube(n),
+        RegionSpec::Grid([2, 2, 1]),
+    ));
+    let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Full, true);
+    let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Full, true);
+    ua.fill_valid(init::hash_field(5));
+    let mut acc = TileAcc::new(
+        gpu_sim::GpuSystem::new(gpu_sim::MachineConfig::k40m()),
+        AccOptions::paper(),
+    );
+    let a = acc.register(&ua);
+    let b = acc.register(&ub);
+    let last = drive_heat(&mut acc, &decomp, a, b, steps);
+    acc.finish();
+    let arr = if last == a { &ua } else { &ub };
+    assert_eq!(
+        arr.to_dense().unwrap(),
+        heat::golden_run(init::hash_field(5), n, steps, heat::DEFAULT_FAC)
+    );
+}
+
+#[test]
+fn regression_lru_dirtyonly_tight_slots() {
+    // Found by prop_heat_always_matches_golden: with LRU + dirty-only
+    // write-back and two slots, a region could be evicted *clean* (no
+    // write-back, hence no sync point) while its upload was still pending
+    // in simulated time; a host-side ghost update then wrote the host
+    // buffer eagerly and the pending upload observed data from its future.
+    // acquire_host now waits for the last transfer touching the host
+    // buffer. See TileAcc::host_slab_op.
+    let mut opts = AccOptions::paper();
+    opts.max_slots = Some(2);
+    opts.policy = SlotPolicy::Lru;
+    opts.writeback = WritebackPolicy::DirtyOnly;
+    let got = run_config(8, RegionSpec::Grid([2, 2, 1]), 2, opts, 0);
+    let golden = heat::golden_run(init::hash_field(0), 8, 2, heat::DEFAULT_FAC);
+    assert_eq!(got, golden);
+}
+
+#[test]
+fn out_of_order_tile_traversal_is_bitwise_identical() {
+    // The caching/ordering protocol must make results independent of the
+    // order tiles are submitted in (the paper's iterator is out-of-order).
+    let n = 8i64;
+    let steps = 3;
+    let decomp = Arc::new(Decomposition::new(
+        Domain::periodic_cube(n),
+        RegionSpec::Count(4),
+    ));
+    let run = |seed: Option<u64>| {
+        let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+        let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+        ua.fill_valid(init::hash_field(2));
+        let mut acc = TileAcc::new(
+            gpu_sim::GpuSystem::new(gpu_sim::MachineConfig::k40m()),
+            AccOptions::paper().with_max_slots(3),
+        );
+        let a = acc.register(&ua);
+        let b = acc.register(&ub);
+        let tiles: Vec<tida::Tile> = match seed {
+            None => tida::TileIter::new(&decomp, TileSpec::RegionSized).collect(),
+            Some(s) => {
+                tida::TileIter::new_out_of_order(&decomp, TileSpec::RegionSized, s).collect()
+            }
+        };
+        let (mut src, mut dst) = (a, b);
+        for _ in 0..steps {
+            acc.fill_boundary(src);
+            for &t in &tiles {
+                acc.compute2(t, dst, src, heat::cost(t.num_cells()), "heat", |d, s, bx| {
+                    heat::step_tile(d, s, &bx, heat::DEFAULT_FAC)
+                });
+            }
+            std::mem::swap(&mut src, &mut dst);
+        }
+        acc.sync_to_host(src);
+        acc.finish();
+        let arr = if src == a { &ua } else { &ub };
+        arr.to_dense().unwrap()
+    };
+    let golden = heat::golden_run(init::hash_field(2), n, steps, heat::DEFAULT_FAC);
+    assert_eq!(run(None), golden);
+    for seed in [1u64, 5, 9] {
+        assert_eq!(run(Some(seed)), golden, "seed {seed}");
+    }
+}

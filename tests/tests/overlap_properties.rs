@@ -1,0 +1,164 @@
+//! Performance-property tests: the paper's qualitative claims, asserted on
+//! the simulated clock. These run timing-only (virtual buffers) so paper
+//! scale is cheap.
+
+use baselines::{busy as bbusy, heat as bheat, tida_busy, tida_heat, MemMode, RunOpts, TidaOpts};
+use gpu_sim::{MachineConfig, SimTime};
+use kernels::busy::{DEFAULT_KERNEL_ITERATION, MathImpl};
+
+fn cfg() -> MachineConfig {
+    MachineConfig::k40m()
+}
+
+#[test]
+fn overlap_beats_serial_transfers_when_transfer_bound() {
+    // One heat step at 512^3: CUDA moves everything, computes, moves back;
+    // TiDA-acc pipelines. The paper's headline.
+    let tida = tida_heat(&cfg(), 512, 1, &TidaOpts::timing(16));
+    let pinned = bheat::cuda_heat(&cfg(), 512, 1, RunOpts::timing(MemMode::Pinned));
+    assert!(
+        tida.elapsed.as_secs_f64() < 0.75 * pinned.elapsed.as_secs_f64(),
+        "pipelined {} vs serial {}",
+        tida.elapsed,
+        pinned.elapsed
+    );
+}
+
+#[test]
+fn transfer_volume_matches_between_models() {
+    // TiDA-acc must not move more payload than the whole-array version for
+    // the busy kernel when everything fits (same bytes, different timing).
+    let n = 256i64;
+    let bytes = (n * n * n) as u64 * 8;
+    let tida = tida_busy(&cfg(), n, 3, 10, &TidaOpts::timing(8));
+    assert_eq!(tida.bytes_h2d, bytes, "one upload per region, no re-uploads");
+    assert_eq!(tida.bytes_d2h, bytes, "one download per region at drain");
+}
+
+#[test]
+fn oversubscription_moves_more_bytes_but_not_more_time() {
+    let n = 256i64;
+    let steps = 6;
+    let full = tida_busy(&cfg(), n, steps, DEFAULT_KERNEL_ITERATION, &TidaOpts::timing(8));
+    let tight = tida_busy(
+        &cfg(),
+        n,
+        steps,
+        DEFAULT_KERNEL_ITERATION,
+        &TidaOpts::timing(8).with_max_slots(2),
+    );
+    assert!(
+        tight.bytes_h2d > full.bytes_h2d,
+        "staging re-uploads regions"
+    );
+    let ratio = tight.elapsed.as_secs_f64() / full.elapsed.as_secs_f64();
+    assert!(ratio < 1.05, "but the time overhead stays tiny: {ratio}");
+}
+
+#[test]
+fn pageable_async_cannot_overlap() {
+    // The §II-C observation that motivates pinned memory: with pageable
+    // buffers the "async" copies serialize against the host.
+    let pageable = bbusy::cuda_busy(
+        &cfg(),
+        256,
+        2,
+        4,
+        MathImpl::CudaLibm,
+        RunOpts::timing(MemMode::Pageable),
+    );
+    let pinned = bbusy::cuda_busy(
+        &cfg(),
+        256,
+        2,
+        4,
+        MathImpl::CudaLibm,
+        RunOpts::timing(MemMode::Pinned),
+    );
+    assert!(pageable.elapsed > pinned.elapsed);
+}
+
+#[test]
+fn managed_memory_slowest_transfer_path() {
+    let n = 256i64;
+    let t = |mem| bheat::cuda_heat(&cfg(), n, 1, RunOpts::timing(mem)).elapsed;
+    assert!(t(MemMode::Managed) > t(MemMode::Pageable));
+    assert!(t(MemMode::Pageable) > t(MemMode::Pinned));
+}
+
+#[test]
+fn region_pipeline_depth_improves_low_iteration_heat() {
+    // More regions -> finer pipelining -> better transfer hiding at 1 step
+    // (up to overhead limits).
+    let one = tida_heat(&cfg(), 512, 1, &TidaOpts::timing(1)).elapsed;
+    let sixteen = tida_heat(&cfg(), 512, 1, &TidaOpts::timing(16)).elapsed;
+    assert!(
+        sixteen.as_secs_f64() < 0.7 * one.as_secs_f64(),
+        "16 regions {sixteen} vs 1 region {one}"
+    );
+}
+
+#[test]
+fn trace_shows_both_directions_overlapping_compute() {
+    // Three slots: while one slot's kernel runs, a second slot can be
+    // writing back (D2H) and a third loading (H2D) at the same instant.
+    let opts = TidaOpts::timing(8).with_max_slots(3).with_tracing();
+    let r = tida_busy(&cfg(), 128, 3, DEFAULT_KERNEL_ITERATION, &opts);
+    let tr = r.trace.unwrap();
+    // Engines: 0 = h2d, 1 = d2h, 2 = compute.
+    assert!(tr.overlap_time(0, 2) > SimTime::ZERO, "H2D under compute");
+    assert!(tr.overlap_time(1, 2) > SimTime::ZERO, "D2H under compute");
+    assert!(tr.overlap_time(0, 1) > SimTime::ZERO, "both DMA engines concurrently");
+}
+
+#[test]
+fn hazard_free_schedule_under_eviction_pressure() {
+    // The foreign-consumer protection: staging into a slot must never
+    // overlap a kernel still reading it. Run a tight-memory heat workload
+    // with hazard checking enabled.
+    use kernels::{heat, init};
+    use std::sync::Arc;
+    use tida::{tiles_of, Decomposition, Domain, ExchangeMode, RegionSpec, TileArray, TileSpec};
+    use tida_acc::{AccOptions, TileAcc};
+
+    let n = 16i64;
+    let decomp = Arc::new(Decomposition::new(
+        Domain::periodic_cube(n),
+        RegionSpec::Count(4),
+    ));
+    let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+    let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+    ua.fill_valid(init::hash_field(1));
+    let mut gpu = gpu_sim::GpuSystem::new(cfg());
+    gpu.set_hazard_checking(true);
+    let mut acc = TileAcc::new(gpu, AccOptions::paper().with_max_slots(3));
+    let a = acc.register(&ua);
+    let b = acc.register(&ub);
+    let tiles = tiles_of(&decomp, TileSpec::RegionSized);
+    let (mut src, mut dst) = (a, b);
+    for _ in 0..3 {
+        acc.fill_boundary(src);
+        for &t in &tiles {
+            acc.compute2(t, dst, src, heat::cost(t.num_cells()), "heat", |d, s, bx| {
+                heat::step_tile(d, s, &bx, heat::DEFAULT_FAC)
+            });
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    acc.sync_to_host(src);
+    acc.finish();
+
+    // Buffer-granularity hazards between *disjoint-cell* accesses (ghost
+    // gathers touching different patches of one region buffer) are false
+    // positives; true races involve a transfer overlapping a kernel.
+    let hazards = acc.gpu_mut().check_hazards();
+    let is_transfer = |l: &str| l == "h2d" || l == "d2h";
+    let real: Vec<_> = hazards
+        .iter()
+        .filter(|h| is_transfer(&h.first_label) || is_transfer(&h.second_label))
+        .collect();
+    assert!(
+        real.is_empty(),
+        "transfer overlapping kernel on one buffer: {real:?}"
+    );
+}

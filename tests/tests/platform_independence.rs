@@ -1,0 +1,109 @@
+//! Results are physics; times are the machine's. Changing the machine
+//! model (PCIe K40m → NVLink P100, 1 GPU → 4 GPUs, tiny device memory)
+//! must never change a single bit of the computed fields — only the clock.
+
+use baselines::{tida_heat, tida_heat_multi, tuning, TidaOpts};
+use gpu_sim::MachineConfig;
+use kernels::{heat, init};
+
+#[test]
+fn machine_config_never_changes_results() {
+    let n = 8i64;
+    let steps = 3;
+    let golden = heat::golden_run(init::hash_field(11), n, steps, heat::DEFAULT_FAC);
+
+    let k40 = tida_heat(&MachineConfig::k40m(), n, steps, &TidaOpts::validated(4));
+    let p100 = tida_heat(&MachineConfig::p100_nvlink(), n, steps, &TidaOpts::validated(4));
+    assert_eq!(k40.result.as_ref().unwrap(), &golden);
+    assert_eq!(p100.result.as_ref().unwrap(), &golden);
+    assert_ne!(
+        k40.elapsed, p100.elapsed,
+        "different machines should take different simulated time"
+    );
+    assert!(p100.elapsed < k40.elapsed, "NVLink platform is faster");
+}
+
+#[test]
+fn device_count_never_changes_results() {
+    let n = 8i64;
+    let steps = 3;
+    let golden = heat::golden_run(init::hash_field(11), n, steps, heat::DEFAULT_FAC);
+    for devices in [1usize, 2, 4] {
+        let r = tida_heat_multi(&MachineConfig::k40m(), n, steps, 4, devices, true);
+        assert_eq!(r.result.as_ref().unwrap(), &golden, "{devices} devices");
+    }
+}
+
+#[test]
+fn slot_budget_never_changes_results() {
+    let n = 8i64;
+    let steps = 3;
+    let golden = heat::golden_run(init::hash_field(11), n, steps, heat::DEFAULT_FAC);
+    for slots in [2usize, 3, 5, 8] {
+        let r = tida_heat(
+            &MachineConfig::k40m(),
+            n,
+            steps,
+            &TidaOpts::validated(4).with_max_slots(slots),
+        );
+        assert_eq!(r.result.as_ref().unwrap(), &golden, "{slots} slots");
+    }
+}
+
+#[test]
+fn autotuner_agrees_with_exhaustive_sweep() {
+    // The tuner's choice must be the argmin of per-candidate timings
+    // measured independently.
+    let cfg = MachineConfig::k40m();
+    let candidates = [1usize, 2, 4, 8];
+    let t = tuning::autotune_heat_regions(&cfg, 64, 1, &candidates);
+    let mut best = (0usize, gpu_sim::SimTime::from_secs_f64(1e9));
+    for &r in &candidates {
+        let e = tida_heat(&cfg, 64, 1, &TidaOpts::timing(r)).elapsed;
+        if e < best.1 {
+            best = (r, e);
+        }
+    }
+    assert_eq!(t.best_regions, best.0);
+    assert_eq!(t.best_time, best.1);
+}
+
+#[test]
+fn prefetch_overlaps_unrelated_host_work() {
+    // Prefetch all regions, then do host-side work: the uploads hide under
+    // it. Without prefetch, the same uploads serialize after the host work.
+    use std::sync::Arc;
+    use tida::{tiles_of, Decomposition, Domain, ExchangeMode, RegionSpec, TileArray, TileSpec};
+    use tida_acc::{AccOptions, TileAcc};
+
+    let run = |prefetch: bool| {
+        let n = 128i64;
+        let decomp = Arc::new(Decomposition::new(
+            Domain::periodic_cube(n),
+            RegionSpec::Count(8),
+        ));
+        let u = TileArray::new(decomp.clone(), 0, ExchangeMode::Faces, false);
+        let mut acc = TileAcc::new(
+            gpu_sim::GpuSystem::with_backing(MachineConfig::k40m(), false),
+            AccOptions::paper(),
+        );
+        let a = acc.register(&u);
+        if prefetch {
+            acc.prefetch_all(a);
+        }
+        // Unrelated host-side preparation (e.g. building the next phase's
+        // work lists).
+        acc.gpu_mut().host_work(gpu_sim::SimTime::from_ms(2), "prep");
+        for t in tiles_of(&decomp, TileSpec::RegionSized) {
+            acc.compute1(t, a, gpu_sim::KernelCost::Bytes(t.num_cells() * 16), "k", |_, _| {});
+        }
+        acc.sync_to_host(a);
+        acc.finish()
+    };
+    let with = run(true);
+    let without = run(false);
+    assert!(
+        with < without,
+        "prefetch should hide uploads under host work: {with} !< {without}"
+    );
+}
