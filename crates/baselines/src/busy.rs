@@ -121,7 +121,7 @@ fn run(
             fill_dense(&gpu.host_slab(h), n);
             let d = gpu.malloc_device(len).expect("device alloc");
             let stream = gpu.create_stream();
-            gpu.memcpy_h2d_async(d, 0, h, 0, len, stream);
+            crate::common::h2d_retrying(&mut gpu, d, h, len, stream);
             for _ in 0..steps {
                 let slab = gpu.device_slab(d);
                 gpu.launch_kernel(
@@ -139,7 +139,7 @@ fn run(
                         }),
                 );
             }
-            gpu.memcpy_d2h_async(h, 0, d, 0, len, stream);
+            crate::common::d2h_retrying(&mut gpu, h, d, len, stream);
             gpu.stream_synchronize(stream);
             gpu.host_slab(h)
         }
@@ -153,7 +153,11 @@ fn run(
         bytes_d2h: gpu.stats_bytes_d2h(),
         kernels: gpu.stats_kernels(),
         result: result_slab.snapshot(),
-        trace: if opts.tracing { Some(gpu.trace()) } else { None },
+        trace: if opts.tracing {
+            Some(gpu.trace())
+        } else {
+            None
+        },
     }
 }
 
@@ -190,9 +194,26 @@ mod tests {
     fn fig6_ordering_cuda_slowest_fastmath_fastest() {
         let n = 32;
         let (steps, iters) = (10, busy::DEFAULT_KERNEL_ITERATION);
-        let t_cuda = cuda_busy(&cfg(), n, steps, iters, MathImpl::CudaLibm, RunOpts::timing(MemMode::Pinned)).elapsed;
-        let t_fast = cuda_busy(&cfg(), n, steps, iters, MathImpl::FastMath, RunOpts::timing(MemMode::Pinned)).elapsed;
-        let t_acc = openacc_busy(&cfg(), n, steps, iters, RunOpts::timing(MemMode::Pageable)).elapsed;
+        let t_cuda = cuda_busy(
+            &cfg(),
+            n,
+            steps,
+            iters,
+            MathImpl::CudaLibm,
+            RunOpts::timing(MemMode::Pinned),
+        )
+        .elapsed;
+        let t_fast = cuda_busy(
+            &cfg(),
+            n,
+            steps,
+            iters,
+            MathImpl::FastMath,
+            RunOpts::timing(MemMode::Pinned),
+        )
+        .elapsed;
+        let t_acc =
+            openacc_busy(&cfg(), n, steps, iters, RunOpts::timing(MemMode::Pageable)).elapsed;
         assert!(t_cuda > t_acc, "CUDA libm slower than OpenACC/PGI math");
         assert!(t_cuda > t_fast, "fast math beats libm");
     }

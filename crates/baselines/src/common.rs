@@ -1,6 +1,63 @@
 //! Shared configuration and result types for all execution-model variants.
 
-use gpu_sim::{SimTime, Trace};
+use gpu_sim::{DeviceBuffer, GpuSystem, HostBuffer, SimTime, StreamId, Trace};
+
+/// Retry budget the baselines give an injected transient transfer fault.
+/// A plain CUDA program has no host fallback: a persistent H2D fault past
+/// this budget is unrecoverable (the H2D helper panics); a persistent D2H
+/// fault degrades to the fault-exempt salvage path.
+pub const MAX_TRANSFER_RETRIES: u32 = 8;
+
+/// `memcpy_h2d_async` with bounded retry-with-backoff on injected transient
+/// faults — what a robust CUDA program does around `cudaMemcpyAsync`.
+pub fn h2d_retrying(
+    gpu: &mut GpuSystem,
+    dst: DeviceBuffer,
+    src: HostBuffer,
+    len: usize,
+    stream: StreamId,
+) {
+    let mut op = gpu.memcpy_h2d_async(dst, 0, src, 0, len, stream);
+    let mut attempt: u32 = 0;
+    while gpu.op_faulted(op) {
+        assert!(
+            attempt < MAX_TRANSFER_RETRIES,
+            "baseline cannot degrade past a persistent H2D fault"
+        );
+        gpu.backoff_work(
+            SimTime::from_us(20u64 << attempt.min(10)),
+            "h2d-retry-backoff",
+        );
+        op = gpu.memcpy_h2d_async(dst, 0, src, 0, len, stream);
+        attempt += 1;
+    }
+}
+
+/// `memcpy_d2h_async` with bounded retry-with-backoff; a persistently dead
+/// D2H lane falls back to the fault-exempt salvage copy so results still
+/// reach the host.
+pub fn d2h_retrying(
+    gpu: &mut GpuSystem,
+    dst: HostBuffer,
+    src: DeviceBuffer,
+    len: usize,
+    stream: StreamId,
+) {
+    let mut op = gpu.memcpy_d2h_async(dst, 0, src, 0, len, stream);
+    let mut attempt: u32 = 0;
+    while gpu.op_faulted(op) {
+        if attempt >= MAX_TRANSFER_RETRIES {
+            gpu.memcpy_d2h_salvage(dst, 0, src, 0, len, stream);
+            break;
+        }
+        gpu.backoff_work(
+            SimTime::from_us(20u64 << attempt.min(10)),
+            "d2h-retry-backoff",
+        );
+        op = gpu.memcpy_d2h_async(dst, 0, src, 0, len, stream);
+        attempt += 1;
+    }
+}
 
 /// Host memory / transfer discipline of a whole-array baseline.
 ///

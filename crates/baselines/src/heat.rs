@@ -44,7 +44,14 @@ const OPENACC_GEN: KernelGen = KernelGen {
 
 /// Tuned CUDA implementation (one fused kernel per step).
 pub fn cuda_heat(cfg: &MachineConfig, n: i64, steps: usize, opts: RunOpts) -> RunResult {
-    run(cfg, n, steps, opts, CUDA_GEN, format!("CUDA-{}", opts.mem.label()))
+    run(
+        cfg,
+        n,
+        steps,
+        opts,
+        CUDA_GEN,
+        format!("CUDA-{}", opts.mem.label()),
+    )
 }
 
 /// OpenACC implementation: compiler-generated kernels (untuned geometry,
@@ -152,7 +159,7 @@ fn run(
             let d_u = gpu.malloc_device(len).expect("device alloc");
             let d_v = gpu.malloc_device(len).expect("device alloc");
             let stream = gpu.create_stream();
-            gpu.memcpy_h2d_async(d_u, 0, h, 0, len, stream);
+            crate::common::h2d_retrying(&mut gpu, d_u, h, len, stream);
             let (mut cur, mut next) = (d_u, d_v);
             for _ in 0..steps {
                 if gen.runtime_overhead > gpu_sim::SimTime::ZERO {
@@ -186,7 +193,7 @@ fn run(
                 }
                 std::mem::swap(&mut cur, &mut next);
             }
-            gpu.memcpy_d2h_async(h, 0, cur, 0, len, stream);
+            crate::common::d2h_retrying(&mut gpu, h, cur, len, stream);
             gpu.stream_synchronize(stream);
             gpu.host_slab(h)
         }
@@ -200,7 +207,11 @@ fn run(
         bytes_d2h: gpu.stats_bytes_d2h(),
         kernels: gpu.stats_kernels(),
         result: result_slab.snapshot(),
-        trace: if opts.tracing { Some(gpu.trace()) } else { None },
+        trace: if opts.tracing {
+            Some(gpu.trace())
+        } else {
+            None
+        },
     }
 }
 
@@ -286,10 +297,22 @@ mod tests {
         let steps = 2;
         let golden = heat::golden_run(heat_init(), n, steps, heat::DEFAULT_FAC);
         for (name, r) in [
-            ("cuda-pageable", cuda_heat(&cfg(), n, steps, RunOpts::validated(MemMode::Pageable))),
-            ("openacc-pinned", openacc_heat(&cfg(), n, steps, RunOpts::validated(MemMode::Pinned))),
-            ("hybrid-pinned", hybrid_heat(&cfg(), n, steps, RunOpts::validated(MemMode::Pinned))),
-            ("openacc-managed", openacc_heat(&cfg(), n, steps, RunOpts::validated(MemMode::Managed))),
+            (
+                "cuda-pageable",
+                cuda_heat(&cfg(), n, steps, RunOpts::validated(MemMode::Pageable)),
+            ),
+            (
+                "openacc-pinned",
+                openacc_heat(&cfg(), n, steps, RunOpts::validated(MemMode::Pinned)),
+            ),
+            (
+                "hybrid-pinned",
+                hybrid_heat(&cfg(), n, steps, RunOpts::validated(MemMode::Pinned)),
+            ),
+            (
+                "openacc-managed",
+                openacc_heat(&cfg(), n, steps, RunOpts::validated(MemMode::Managed)),
+            ),
         ] {
             assert_eq!(r.result.unwrap(), golden, "{name}");
         }

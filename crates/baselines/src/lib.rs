@@ -16,11 +16,11 @@
 pub mod busy;
 mod common;
 pub mod heat;
-mod tida_impl;
 pub mod multigrid;
+mod tida_impl;
 pub mod tuning;
 
-pub use common::{MemMode, RunOpts, RunResult};
+pub use common::{d2h_retrying, h2d_retrying, MemMode, RunOpts, RunResult};
 pub use tida_impl::{tida_busy, tida_heat, tida_heat_multi, tida_heat_timetiled, TidaOpts};
 
 #[cfg(test)]
@@ -66,11 +66,31 @@ mod cross_validation {
         .result
         .unwrap();
         let variants = [
-            busy::cuda_busy(&cfg, n, steps, iters, MathImpl::FastMath, RunOpts::validated(MemMode::Pageable)),
+            busy::cuda_busy(
+                &cfg,
+                n,
+                steps,
+                iters,
+                MathImpl::FastMath,
+                RunOpts::validated(MemMode::Pageable),
+            ),
             busy::openacc_busy(&cfg, n, steps, iters, RunOpts::validated(MemMode::Pageable)),
-            busy::cuda_busy(&cfg, n, steps, iters, MathImpl::CudaLibm, RunOpts::validated(MemMode::Managed)),
+            busy::cuda_busy(
+                &cfg,
+                n,
+                steps,
+                iters,
+                MathImpl::CudaLibm,
+                RunOpts::validated(MemMode::Managed),
+            ),
             tida_busy(&cfg, n, steps, iters, &TidaOpts::validated(3)),
-            tida_busy(&cfg, n, steps, iters, &TidaOpts::validated(3).with_max_slots(1)),
+            tida_busy(
+                &cfg,
+                n,
+                steps,
+                iters,
+                &TidaOpts::validated(3).with_max_slots(1),
+            ),
         ];
         for v in variants {
             assert_eq!(v.result.as_ref().unwrap(), &reference, "{}", v.label);

@@ -13,7 +13,10 @@ use crate::common::RunResult;
 use gpu_sim::{GpuSystem, KernelCost, MachineConfig, SimTime};
 use kernels::{jacobi, multigrid};
 use std::sync::Arc;
-use tida::{tiles_of, Box3, Decomposition, Domain, ExchangeMode, IntVect, RegionSpec, TileArray, TileSpec, View, ViewMut};
+use tida::{
+    tiles_of, Box3, Decomposition, Domain, ExchangeMode, IntVect, RegionSpec, TileArray, TileSpec,
+    View, ViewMut,
+};
 use tida_acc::{AccOptions, ArrayId, TileAcc};
 
 /// Result of a multigrid run: per-cycle residual norms plus timing.

@@ -92,9 +92,14 @@ pub fn tida_heat(cfg: &MachineConfig, n: i64, steps: usize, opts: &TidaOpts) -> 
     for _ in 0..steps {
         acc.fill_boundary(src);
         for &t in &tiles {
-            acc.compute2(t, dst, src, heat::cost(t.num_cells()), "heat", move |d, s, bx| {
-                heat::step_tile(d, s, &bx, fac)
-            });
+            acc.compute2(
+                t,
+                dst,
+                src,
+                heat::cost(t.num_cells()),
+                "heat",
+                move |d, s, bx| heat::step_tile(d, s, &bx, fac),
+            );
         }
         std::mem::swap(&mut src, &mut dst);
     }
@@ -163,7 +168,7 @@ pub fn tida_heat_timetiled(
 ) -> RunResult {
     assert!(block >= 1, "block must be positive");
     assert!(
-        steps % block == 0,
+        steps.is_multiple_of(block),
         "steps ({steps}) must be a multiple of the block ({block})"
     );
     let decomp = Arc::new(Decomposition::new(
@@ -173,7 +178,11 @@ pub fn tida_heat_timetiled(
     let ghost = block as i64;
     // The recursively applied 7-point stencil widens into a diamond: inner
     // steps read edge/corner ghosts, so blocks > 1 need the full exchange.
-    let mode = if block == 1 { ExchangeMode::Faces } else { ExchangeMode::Full };
+    let mode = if block == 1 {
+        ExchangeMode::Faces
+    } else {
+        ExchangeMode::Full
+    };
     let ua = TileArray::new(decomp.clone(), ghost, mode, backed);
     let ub = TileArray::new(decomp.clone(), ghost, mode, backed);
     ua.fill_valid(crate::heat::heat_init());
@@ -255,9 +264,14 @@ pub fn tida_heat_multi(
     for _ in 0..steps {
         acc.fill_boundary(src);
         for &t in &tiles {
-            acc.compute2(t, dst, src, heat::cost(t.num_cells()), "heat", move |d, s, bx| {
-                heat::step_tile(d, s, &bx, fac)
-            });
+            acc.compute2(
+                t,
+                dst,
+                src,
+                heat::cost(t.num_cells()),
+                "heat",
+                move |d, s, bx| heat::step_tile(d, s, &bx, fac),
+            );
         }
         std::mem::swap(&mut src, &mut dst);
     }
@@ -374,8 +388,14 @@ mod tests {
         let n = 64;
         let (steps, iters) = (4, busy::DEFAULT_KERNEL_ITERATION);
         let full = tida_busy(&cfg(), n, steps, iters, &TidaOpts::timing(8)).elapsed;
-        let limited =
-            tida_busy(&cfg(), n, steps, iters, &TidaOpts::timing(8).with_max_slots(2)).elapsed;
+        let limited = tida_busy(
+            &cfg(),
+            n,
+            steps,
+            iters,
+            &TidaOpts::timing(8).with_max_slots(2),
+        )
+        .elapsed;
         let ratio = limited.as_secs_f64() / full.as_secs_f64();
         assert!(ratio < 1.10, "limited-memory overhead too high: {ratio}");
     }

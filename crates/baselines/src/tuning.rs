@@ -76,7 +76,12 @@ pub fn autotune_busy_regions(
     assert!(!candidates.is_empty(), "no candidates to tune over");
     let tried = candidates
         .iter()
-        .map(|&r| (r, tida_busy(cfg, n, steps, iters, &TidaOpts::timing(r)).elapsed))
+        .map(|&r| {
+            (
+                r,
+                tida_busy(cfg, n, steps, iters, &TidaOpts::timing(r)).elapsed,
+            )
+        })
         .collect();
     TuneResult::from_runs(tried)
 }
@@ -108,7 +113,10 @@ mod tests {
         assert_eq!(t.tried.len(), 3);
         let min = t.tried.iter().map(|&(_, d)| d).min().unwrap();
         assert_eq!(t.best_time, min);
-        assert!(t.tried.iter().any(|&(r, d)| r == t.best_regions && d == min));
+        assert!(t
+            .tried
+            .iter()
+            .any(|&(r, d)| r == t.best_regions && d == min));
     }
 
     #[test]

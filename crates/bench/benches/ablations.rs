@@ -11,11 +11,17 @@ use tida_bench::experiments::{self, Scale};
 fn bench_slot_policy(c: &mut Criterion) {
     let cfg = MachineConfig::k40m();
     let (n, steps) = (128, 5);
-    eprintln!("{}", experiments::ablation_slots(Scale::Quick).render_table());
+    eprintln!(
+        "{}",
+        experiments::ablation_slots(Scale::Quick).render_table()
+    );
 
     let mut g = c.benchmark_group("ablation_slot_policy");
     g.sample_size(10);
-    for (name, policy) in [("static", SlotPolicy::StaticInterleaved), ("lru", SlotPolicy::Lru)] {
+    for (name, policy) in [
+        ("static", SlotPolicy::StaticInterleaved),
+        ("lru", SlotPolicy::Lru),
+    ] {
         g.bench_with_input(BenchmarkId::new("policy", name), &policy, |b, &policy| {
             b.iter(|| {
                 let mut o = TidaOpts::timing(8).with_max_slots(6);
@@ -30,7 +36,10 @@ fn bench_slot_policy(c: &mut Criterion) {
 fn bench_region_count(c: &mut Criterion) {
     let cfg = MachineConfig::k40m();
     let (n, steps) = (128, 4);
-    eprintln!("{}", experiments::ablation_regions(Scale::Quick).render_table());
+    eprintln!(
+        "{}",
+        experiments::ablation_regions(Scale::Quick).render_table()
+    );
 
     let mut g = c.benchmark_group("ablation_region_count");
     g.sample_size(10);
@@ -45,7 +54,10 @@ fn bench_region_count(c: &mut Criterion) {
 fn bench_ghost_location(c: &mut Criterion) {
     let cfg = MachineConfig::k40m();
     let (n, steps) = (128, 5);
-    eprintln!("{}", experiments::ablation_ghost(Scale::Quick).render_table());
+    eprintln!(
+        "{}",
+        experiments::ablation_ghost(Scale::Quick).render_table()
+    );
 
     let mut g = c.benchmark_group("ablation_ghost_location");
     g.sample_size(10);
@@ -65,7 +77,10 @@ fn bench_ghost_location(c: &mut Criterion) {
 fn bench_transfer_options(c: &mut Criterion) {
     let cfg = MachineConfig::k40m();
     let (n, steps) = (128, 4);
-    eprintln!("{}", experiments::ablation_transfers(Scale::Quick).render_table());
+    eprintln!(
+        "{}",
+        experiments::ablation_transfers(Scale::Quick).render_table()
+    );
 
     let mut g = c.benchmark_group("ablation_transfer_options");
     g.sample_size(10);

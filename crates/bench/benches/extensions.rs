@@ -9,7 +9,10 @@ use tida_bench::experiments::{self, Scale};
 fn bench_multi_gpu(c: &mut Criterion) {
     let cfg = MachineConfig::k40m();
     let (n, steps, regions) = (128, 5, 16);
-    eprintln!("{}", experiments::multi_gpu_scaling(Scale::Quick).render_table());
+    eprintln!(
+        "{}",
+        experiments::multi_gpu_scaling(Scale::Quick).render_table()
+    );
 
     let mut g = c.benchmark_group("ext_multi_gpu");
     g.sample_size(10);
@@ -23,7 +26,10 @@ fn bench_multi_gpu(c: &mut Criterion) {
 
 fn bench_nvlink(c: &mut Criterion) {
     let (n, steps) = (128, 5);
-    eprintln!("{}", experiments::nvlink_whatif(Scale::Quick).render_table());
+    eprintln!(
+        "{}",
+        experiments::nvlink_whatif(Scale::Quick).render_table()
+    );
 
     let mut g = c.benchmark_group("ext_nvlink");
     g.sample_size(10);
@@ -31,7 +37,15 @@ fn bench_nvlink(c: &mut Criterion) {
         b.iter(|| tida_heat(&MachineConfig::k40m(), n, steps, &TidaOpts::timing(16)).elapsed)
     });
     g.bench_function("p100_nvlink", |b| {
-        b.iter(|| tida_heat(&MachineConfig::p100_nvlink(), n, steps, &TidaOpts::timing(16)).elapsed)
+        b.iter(|| {
+            tida_heat(
+                &MachineConfig::p100_nvlink(),
+                n,
+                steps,
+                &TidaOpts::timing(16),
+            )
+            .elapsed
+        })
     });
     g.finish();
 }
@@ -56,7 +70,10 @@ fn bench_autotune(c: &mut Criterion) {
 fn bench_temporal_blocking(c: &mut Criterion) {
     let cfg = MachineConfig::k40m();
     let (n, steps, regions) = (128, 8, 8);
-    eprintln!("{}", experiments::temporal_blocking(Scale::Quick).render_table());
+    eprintln!(
+        "{}",
+        experiments::temporal_blocking(Scale::Quick).render_table()
+    );
 
     let mut g = c.benchmark_group("ext_temporal_blocking");
     g.sample_size(10);

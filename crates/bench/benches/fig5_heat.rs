@@ -18,7 +18,9 @@ fn bench_fig5(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("cuda_pageable", iters),
             &iters,
-            |b, &it| b.iter(|| heat::cuda_heat(&cfg, n, it, RunOpts::timing(MemMode::Pageable)).elapsed),
+            |b, &it| {
+                b.iter(|| heat::cuda_heat(&cfg, n, it, RunOpts::timing(MemMode::Pageable)).elapsed)
+            },
         );
         g.bench_with_input(BenchmarkId::new("cuda_pinned", iters), &iters, |b, &it| {
             b.iter(|| heat::cuda_heat(&cfg, n, it, RunOpts::timing(MemMode::Pinned)).elapsed)

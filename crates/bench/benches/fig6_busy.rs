@@ -17,21 +17,47 @@ fn bench_fig6(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("cuda_pageable_libm", |b| {
         b.iter(|| {
-            busy::cuda_busy(&cfg, n, steps, iters, MathImpl::CudaLibm, RunOpts::timing(MemMode::Pageable)).elapsed
+            busy::cuda_busy(
+                &cfg,
+                n,
+                steps,
+                iters,
+                MathImpl::CudaLibm,
+                RunOpts::timing(MemMode::Pageable),
+            )
+            .elapsed
         })
     });
     g.bench_function("cuda_pinned_libm", |b| {
         b.iter(|| {
-            busy::cuda_busy(&cfg, n, steps, iters, MathImpl::CudaLibm, RunOpts::timing(MemMode::Pinned)).elapsed
+            busy::cuda_busy(
+                &cfg,
+                n,
+                steps,
+                iters,
+                MathImpl::CudaLibm,
+                RunOpts::timing(MemMode::Pinned),
+            )
+            .elapsed
         })
     });
     g.bench_function("cuda_pinned_fastmath", |b| {
         b.iter(|| {
-            busy::cuda_busy(&cfg, n, steps, iters, MathImpl::FastMath, RunOpts::timing(MemMode::Pinned)).elapsed
+            busy::cuda_busy(
+                &cfg,
+                n,
+                steps,
+                iters,
+                MathImpl::FastMath,
+                RunOpts::timing(MemMode::Pinned),
+            )
+            .elapsed
         })
     });
     g.bench_function("openacc_pageable", |b| {
-        b.iter(|| busy::openacc_busy(&cfg, n, steps, iters, RunOpts::timing(MemMode::Pageable)).elapsed)
+        b.iter(|| {
+            busy::openacc_busy(&cfg, n, steps, iters, RunOpts::timing(MemMode::Pageable)).elapsed
+        })
     });
     g.bench_function("tida_acc_16r", |b| {
         b.iter(|| tida_busy(&cfg, n, steps, iters, &TidaOpts::timing(16)).elapsed)

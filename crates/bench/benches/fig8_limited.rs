@@ -19,7 +19,16 @@ fn bench_fig8(c: &mut Criterion) {
         b.iter(|| tida_busy(&cfg, n, steps, iters, &TidaOpts::timing(16)).elapsed)
     });
     g.bench_function("tida_acc_16r_2slots", |b| {
-        b.iter(|| tida_busy(&cfg, n, steps, iters, &TidaOpts::timing(16).with_max_slots(2)).elapsed)
+        b.iter(|| {
+            tida_busy(
+                &cfg,
+                n,
+                steps,
+                iters,
+                &TidaOpts::timing(16).with_max_slots(2),
+            )
+            .elapsed
+        })
     });
     g.bench_function("tida_acc_1region", |b| {
         b.iter(|| tida_busy(&cfg, n, steps, iters, &TidaOpts::timing(1)).elapsed)

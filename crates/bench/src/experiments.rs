@@ -9,7 +9,7 @@
 use crate::report::{FigData, Series};
 use baselines::{busy as bbusy, heat as bheat, tida_busy, tida_heat, MemMode, RunOpts, TidaOpts};
 use gpu_sim::MachineConfig;
-use kernels::busy::{DEFAULT_KERNEL_ITERATION, MathImpl};
+use kernels::busy::{MathImpl, DEFAULT_KERNEL_ITERATION};
 use tida_acc::{AccOptions, SlotPolicy, WritebackPolicy};
 
 /// Workload size selection.
@@ -91,9 +91,18 @@ pub fn fig1(scale: Scale) -> FigData {
     let mut acc = Series::new("OpenACC");
     let mut hybrid = Series::new("CUDAmem+OpenACCkern");
     for mem in mems {
-        cuda.push(mem.label(), bheat::cuda_heat(&c, n, steps, RunOpts::timing(mem)).ms());
-        acc.push(mem.label(), bheat::openacc_heat(&c, n, steps, RunOpts::timing(mem)).ms());
-        hybrid.push(mem.label(), bheat::hybrid_heat(&c, n, steps, RunOpts::timing(mem)).ms());
+        cuda.push(
+            mem.label(),
+            bheat::cuda_heat(&c, n, steps, RunOpts::timing(mem)).ms(),
+        );
+        acc.push(
+            mem.label(),
+            bheat::openacc_heat(&c, n, steps, RunOpts::timing(mem)).ms(),
+        );
+        hybrid.push(
+            mem.label(),
+            bheat::hybrid_heat(&c, n, steps, RunOpts::timing(mem)).ms(),
+        );
     }
     fig.series.extend([cuda, acc, hybrid]);
     fig.notes.push(
@@ -155,15 +164,39 @@ pub fn fig6(scale: Scale) -> FigData {
     let mut s = Series::new("time");
     s.push(
         "CUDA",
-        bbusy::cuda_busy(&c, n, steps, iters, MathImpl::CudaLibm, RunOpts::timing(MemMode::Pageable)).ms(),
+        bbusy::cuda_busy(
+            &c,
+            n,
+            steps,
+            iters,
+            MathImpl::CudaLibm,
+            RunOpts::timing(MemMode::Pageable),
+        )
+        .ms(),
     );
     s.push(
         "CUDA-pinned",
-        bbusy::cuda_busy(&c, n, steps, iters, MathImpl::CudaLibm, RunOpts::timing(MemMode::Pinned)).ms(),
+        bbusy::cuda_busy(
+            &c,
+            n,
+            steps,
+            iters,
+            MathImpl::CudaLibm,
+            RunOpts::timing(MemMode::Pinned),
+        )
+        .ms(),
     );
     s.push(
         "CUDA-pinned-fastmath",
-        bbusy::cuda_busy(&c, n, steps, iters, MathImpl::FastMath, RunOpts::timing(MemMode::Pinned)).ms(),
+        bbusy::cuda_busy(
+            &c,
+            n,
+            steps,
+            iters,
+            MathImpl::FastMath,
+            RunOpts::timing(MemMode::Pinned),
+        )
+        .ms(),
     );
     s.push(
         "OpenACC-pageable",
@@ -220,12 +253,18 @@ pub fn fig8(scale: Scale) -> FigData {
         "time [ms]",
     );
     let mut s = Series::new("time");
-    s.push("TiDA-acc(16r)", tida_busy(&c, n, steps, iters, &TidaOpts::timing(16)).ms());
+    s.push(
+        "TiDA-acc(16r)",
+        tida_busy(&c, n, steps, iters, &TidaOpts::timing(16)).ms(),
+    );
     s.push(
         "TiDA-acc(16r,2slots)",
         tida_busy(&c, n, steps, iters, &TidaOpts::timing(16).with_max_slots(2)).ms(),
     );
-    s.push("TiDA-acc(1r)", tida_busy(&c, n, steps, iters, &TidaOpts::timing(1)).ms());
+    s.push(
+        "TiDA-acc(1r)",
+        tida_busy(&c, n, steps, iters, &TidaOpts::timing(1)).ms(),
+    );
     fig.series.push(s);
     fig.notes.push(
         "paper: the 2-slot limit costs almost nothing (staging hides behind compute); \
@@ -250,7 +289,10 @@ pub fn ablation_slots(scale: Scale) -> FigData {
     );
     for slots in [3usize, 8, 16] {
         let mut s = Series::new(format!("{slots} slots"));
-        for (name, policy) in [("static", SlotPolicy::StaticInterleaved), ("lru", SlotPolicy::Lru)] {
+        for (name, policy) in [
+            ("static", SlotPolicy::StaticInterleaved),
+            ("lru", SlotPolicy::Lru),
+        ] {
             let mut o = TidaOpts::timing(8).with_max_slots(slots);
             o.acc = o.acc.with_policy(policy);
             s.push(name, tida_heat(&c, n, steps, &o).ms());
@@ -593,7 +635,13 @@ mod tests {
     fn fig6_shape_math_ordering() {
         let f = fig6(Scale::Quick);
         let s = &f.series[0];
-        let get = |x: &str| s.points.iter().find(|(l, _)| l == x).map(|&(_, v)| v).unwrap();
+        let get = |x: &str| {
+            s.points
+                .iter()
+                .find(|(l, _)| l == x)
+                .map(|&(_, v)| v)
+                .unwrap()
+        };
         assert!(get("CUDA") > get("OpenACC-pageable"));
         assert!(get("CUDA") > get("CUDA-pinned-fastmath"));
         assert!(get("CUDA") > get("TiDA-acc(16r)"));
@@ -611,7 +659,13 @@ mod tests {
     fn fig8_shape_limited_close_to_full() {
         let f = fig8(Scale::Quick);
         let s = &f.series[0];
-        let get = |x: &str| s.points.iter().find(|(l, _)| l == x).map(|&(_, v)| v).unwrap();
+        let get = |x: &str| {
+            s.points
+                .iter()
+                .find(|(l, _)| l == x)
+                .map(|&(_, v)| v)
+                .unwrap()
+        };
         let full = get("TiDA-acc(16r)");
         let limited = get("TiDA-acc(16r,2slots)");
         let single = get("TiDA-acc(1r)");
@@ -638,7 +692,13 @@ mod tests {
     fn extension_multi_gpu_two_devices_beat_one() {
         let f = multi_gpu_scaling(Scale::Paper);
         let s = &f.series[0];
-        let get = |x: &str| s.points.iter().find(|(l, _)| l == x).map(|&(_, v)| v).unwrap();
+        let get = |x: &str| {
+            s.points
+                .iter()
+                .find(|(l, _)| l == x)
+                .map(|&(_, v)| v)
+                .unwrap()
+        };
         assert!(get("2gpu") < get("1gpu"));
     }
 
@@ -649,7 +709,10 @@ mod tests {
         let f = interconnect_sweep(Scale::Paper);
         let vals: Vec<f64> = f.series[0].points.iter().map(|&(_, v)| v).collect();
         for w in vals.windows(2) {
-            assert!(w[0] >= w[1] * 0.98, "speedup should fall as links speed up: {vals:?}");
+            assert!(
+                w[0] >= w[1] * 0.98,
+                "speedup should fall as links speed up: {vals:?}"
+            );
         }
         // At 0.25x bandwidth, overlap is decisive.
         assert!(vals[0] > 1.3, "slow-link speedup {vals:?}");
@@ -674,7 +737,13 @@ mod tests {
     fn extension_temporal_blocking_wins_when_staging() {
         let f = temporal_blocking(Scale::Paper);
         let s = &f.series[0];
-        let get = |x: &str| s.points.iter().find(|(l, _)| l == x).map(|&(_, v)| v).unwrap();
+        let get = |x: &str| {
+            s.points
+                .iter()
+                .find(|(l, _)| l == x)
+                .map(|&(_, v)| v)
+                .unwrap()
+        };
         assert!(get("block 4") < get("block 2"));
         assert!(get("block 2") < get("block 1"));
     }
@@ -683,7 +752,13 @@ mod tests {
     fn ablation_ghost_device_wins() {
         let f = ablation_ghost(Scale::Quick);
         let s = &f.series[0];
-        let get = |x: &str| s.points.iter().find(|(l, _)| l == x).map(|&(_, v)| v).unwrap();
+        let get = |x: &str| {
+            s.points
+                .iter()
+                .find(|(l, _)| l == x)
+                .map(|&(_, v)| v)
+                .unwrap()
+        };
         assert!(get("device-ghosts") < get("host-ghosts"));
     }
 
@@ -691,7 +766,13 @@ mod tests {
     fn ablation_transfers_paper_defaults_fastest() {
         let f = ablation_transfers(Scale::Quick);
         let s = &f.series[0];
-        let get = |x: &str| s.points.iter().find(|(l, _)| l == x).map(|&(_, v)| v).unwrap();
+        let get = |x: &str| {
+            s.points
+                .iter()
+                .find(|(l, _)| l == x)
+                .map(|&(_, v)| v)
+                .unwrap()
+        };
         assert!(get("paper-defaults") <= get("upload-written"));
     }
 }

@@ -72,10 +72,7 @@ mod tests {
     #[test]
     fn reset_switches_acc_mode_and_restarts() {
         let decomp = Decomposition::new(Domain::periodic_cube(8), RegionSpec::Count(2));
-        let mut acc = TileAcc::new(
-            GpuSystem::new(MachineConfig::k40m()),
-            AccOptions::default(),
-        );
+        let mut acc = TileAcc::new(GpuSystem::new(MachineConfig::k40m()), AccOptions::default());
         let mut it = AccIter::new(&decomp, TileSpec::RegionSized);
         assert_eq!(it.len(), 2);
 

@@ -94,9 +94,14 @@ mod tests {
         for _ in 0..steps {
             acc.fill_boundary(src);
             for &t in &tiles {
-                acc.compute2(t, dst, src, heat::cost(t.num_cells()), "heat", move |d, s, bx| {
-                    heat::step_tile(d, s, &bx, fac)
-                });
+                acc.compute2(
+                    t,
+                    dst,
+                    src,
+                    heat::cost(t.num_cells()),
+                    "heat",
+                    move |d, s, bx| heat::step_tile(d, s, &bx, fac),
+                );
             }
             std::mem::swap(&mut src, &mut dst);
         }
@@ -104,10 +109,7 @@ mod tests {
         src
     }
 
-    fn heat_setup(
-        n: i64,
-        spec: RegionSpec,
-    ) -> (Arc<Decomposition>, TileArray, TileArray) {
+    fn heat_setup(n: i64, spec: RegionSpec) -> (Arc<Decomposition>, TileArray, TileArray) {
         let decomp = Arc::new(Decomposition::new(Domain::periodic_cube(n), spec));
         let a = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
         let b = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
@@ -201,7 +203,10 @@ mod tests {
         let golden = heat::golden_run(init::hash_field(7), n, steps, heat::DEFAULT_FAC);
         let result = if last == a { &ua } else { &ub };
         assert_eq!(result.to_dense().unwrap(), golden);
-        assert!(acc.stats().writebacks_skipped > 0, "clean slots skip write-back");
+        assert!(
+            acc.stats().writebacks_skipped > 0,
+            "clean slots skip write-back"
+        );
     }
 
     #[test]
@@ -237,9 +242,14 @@ mod tests {
             acc.set_gpu(step % 2 == 0);
             acc.fill_boundary(src);
             for &t in &tiles {
-                acc.compute2(t, dst, src, heat::cost(t.num_cells()), "heat", move |d, s, bx| {
-                    heat::step_tile(d, s, &bx, heat::DEFAULT_FAC)
-                });
+                acc.compute2(
+                    t,
+                    dst,
+                    src,
+                    heat::cost(t.num_cells()),
+                    "heat",
+                    move |d, s, bx| heat::step_tile(d, s, &bx, heat::DEFAULT_FAC),
+                );
             }
             std::mem::swap(&mut src, &mut dst);
         }
@@ -282,7 +292,9 @@ mod tests {
 
         let mut golden: Vec<f64> = {
             let l = tida::Layout::new(tida::Box3::cube(n));
-            (0..l.len()).map(|o| init::gaussian(n)(l.cell_at(o))).collect()
+            (0..l.len())
+                .map(|o| init::gaussian(n)(l.cell_at(o)))
+                .collect()
         };
         for _ in 0..steps {
             busy::golden(&mut golden, iters);
@@ -394,11 +406,17 @@ mod tests {
         let mut acc = mk_acc(None);
         let a = acc.register(&u);
         let tiles = tiles_of(&decomp, TileSpec::RegionSized);
-        acc.compute1(tiles[0], a, gpu_sim::KernelCost::Flops(1e6), "inc", |v, bx| {
-            for iv in bx.iter() {
-                v.update(iv, |x| x + 1.0);
-            }
-        });
+        acc.compute1(
+            tiles[0],
+            a,
+            gpu_sim::KernelCost::Flops(1e6),
+            "inc",
+            |v, bx| {
+                for iv in bx.iter() {
+                    v.update(iv, |x| x + 1.0);
+                }
+            },
+        );
         // Host copy is stale until sync.
         assert_eq!(u.value(IntVect::ZERO), Some(1.0));
         acc.sync_to_host(a);

@@ -58,6 +58,11 @@ pub struct MultiAcc {
     staging: Vec<PatchStaging>,
 }
 
+/// Retry budget for injected transient transfer faults. `MultiAcc` keeps
+/// every region device-resident, so it has no host-fallback path: past this
+/// many retries a persistent fault is unrecoverable and the run panics.
+const MAX_TRANSFER_RETRIES: u32 = 8;
+
 impl MultiAcc {
     /// Wrap a multi-device platform (see [`GpuSystem::multi`]).
     pub fn new(gpu: GpuSystem) -> Self {
@@ -87,7 +92,10 @@ impl MultiAcc {
         let host: Vec<HostBuffer> = array
             .regions()
             .iter()
-            .map(|r| self.gpu.adopt_host_slab(r.slab.clone(), HostMemKind::Pinned))
+            .map(|r| {
+                self.gpu
+                    .adopt_host_slab(r.slab.clone(), HostMemKind::Pinned)
+            })
             .collect();
         self.arrays.push(MArray {
             array: array.clone(),
@@ -159,8 +167,24 @@ impl MultiAcc {
         if !write_all {
             let len = self.arrays[a.0].array.region(r).slab.len();
             let (dev, host) = (self.arrays[a.0].dev[r], self.arrays[a.0].host[r]);
-            self.gpu
+            let mut op = self
+                .gpu
                 .memcpy_h2d_async(dev, 0, host, 0, len, self.streams[r]);
+            let mut attempt: u32 = 0;
+            while self.gpu.op_faulted(op) {
+                assert!(
+                    attempt < MAX_TRANSFER_RETRIES,
+                    "MultiAcc cannot degrade past a persistent H2D fault on region {r}"
+                );
+                self.gpu.backoff_work(
+                    SimTime::from_us(20u64 << attempt.min(10)),
+                    "h2d-retry-backoff",
+                );
+                op = self
+                    .gpu
+                    .memcpy_h2d_async(dev, 0, host, 0, len, self.streams[r]);
+                attempt += 1;
+            }
         }
         self.arrays[a.0].resident[r] = true;
         self.arrays[a.0].dirty[r] = write_all;
@@ -174,8 +198,27 @@ impl MultiAcc {
         if self.arrays[a.0].dirty[r] {
             let len = self.arrays[a.0].array.region(r).slab.len();
             let (dev, host) = (self.arrays[a.0].dev[r], self.arrays[a.0].host[r]);
-            self.gpu
+            let mut op = self
+                .gpu
                 .memcpy_d2h_async(host, 0, dev, 0, len, self.streams[r]);
+            let mut attempt: u32 = 0;
+            while self.gpu.op_faulted(op) {
+                if attempt >= MAX_TRANSFER_RETRIES {
+                    // Last resort: the fault-exempt salvage path still gets
+                    // the data home (slowly) before we give up retrying.
+                    self.gpu
+                        .memcpy_d2h_salvage(host, 0, dev, 0, len, self.streams[r]);
+                    break;
+                }
+                self.gpu.backoff_work(
+                    SimTime::from_us(20u64 << attempt.min(10)),
+                    "d2h-retry-backoff",
+                );
+                op = self
+                    .gpu
+                    .memcpy_d2h_async(host, 0, dev, 0, len, self.streams[r]);
+                attempt += 1;
+            }
         }
         self.gpu.stream_synchronize(self.streams[r]);
         self.arrays[a.0].resident[r] = false;
@@ -582,9 +625,14 @@ mod tests {
         for _ in 0..steps {
             acc.fill_boundary(src);
             for &t in &tiles {
-                acc.compute2(t, dst, src, heat::cost(t.num_cells()), "heat", |d, s, bx| {
-                    heat::step_tile(d, s, &bx, heat::DEFAULT_FAC)
-                });
+                acc.compute2(
+                    t,
+                    dst,
+                    src,
+                    heat::cost(t.num_cells()),
+                    "heat",
+                    |d, s, bx| heat::step_tile(d, s, &bx, heat::DEFAULT_FAC),
+                );
             }
             std::mem::swap(&mut src, &mut dst);
         }
@@ -613,7 +661,10 @@ mod tests {
         // Regions 0-1 on device 0, regions 2-3 on device 1.
         assert_eq!(acc.owner(0), 0);
         assert_eq!(acc.owner(3), 1);
-        assert!(acc.gpu().stats_bytes_p2p() > 0, "cross-device halos used P2P");
+        assert!(
+            acc.gpu().stats_bytes_p2p() > 0,
+            "cross-device halos used P2P"
+        );
 
         let golden = heat::golden_run(init::hash_field(31), n, steps, heat::DEFAULT_FAC);
         let arr = if last == a { &ua } else { &ub };
@@ -657,7 +708,11 @@ mod tests {
         let b = acc.register(&ub);
         let last = heat_drive(&mut acc, &decomp, a, b, 3);
         acc.finish();
-        assert_eq!(acc.gpu().stats_bytes_p2p(), 0, "one device, no peer traffic");
+        assert_eq!(
+            acc.gpu().stats_bytes_p2p(),
+            0,
+            "one device, no peer traffic"
+        );
         let golden = heat::golden_run(init::hash_field(33), n, 3, heat::DEFAULT_FAC);
         let arr = if last == a { &ua } else { &ub };
         assert_eq!(arr.to_dense().unwrap(), golden);
@@ -678,7 +733,11 @@ mod tests {
                     acc.compute1(
                         t,
                         a,
-                        busy::cost(t.num_cells(), busy::DEFAULT_KERNEL_ITERATION, busy::MathImpl::PgiLibm),
+                        busy::cost(
+                            t.num_cells(),
+                            busy::DEFAULT_KERNEL_ITERATION,
+                            busy::MathImpl::PgiLibm,
+                        ),
                         "busy",
                         |_, _| {},
                     );

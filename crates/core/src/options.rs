@@ -1,5 +1,7 @@
 //! Runtime configuration of the accelerator layer.
 
+use gpu_sim::SimTime;
+
 /// How regions are mapped to device memory slots.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SlotPolicy {
@@ -62,6 +64,12 @@ pub struct AccOptions {
     /// one kernel per patch (extension): same traffic, ~6× fewer launches
     /// for face exchanges.
     pub ghost_batching: bool,
+    /// How many times a transient transfer fault is retried before the
+    /// runtime declares the device path dead and degrades to the host.
+    pub max_transfer_retries: u32,
+    /// Host-side backoff charged before the first retry; doubles on each
+    /// further attempt.
+    pub retry_backoff: SimTime,
 }
 
 impl Default for AccOptions {
@@ -77,6 +85,8 @@ impl Default for AccOptions {
             ghost_on_device: true,
             ghost_barrier: true,
             ghost_batching: false,
+            max_transfer_retries: 3,
+            retry_backoff: SimTime::from_us(20),
         }
     }
 }
@@ -99,6 +109,11 @@ impl AccOptions {
 
     pub fn with_writeback(mut self, w: WritebackPolicy) -> Self {
         self.writeback = w;
+        self
+    }
+
+    pub fn with_transfer_retries(mut self, n: u32) -> Self {
+        self.max_transfer_retries = n;
         self
     }
 }
@@ -125,5 +140,13 @@ mod tests {
         assert_eq!(o.max_slots, Some(2));
         assert_eq!(o.policy, SlotPolicy::Lru);
         assert_eq!(o.writeback, WritebackPolicy::DirtyOnly);
+    }
+
+    #[test]
+    fn retry_defaults_are_bounded() {
+        let o = AccOptions::default();
+        assert_eq!(o.max_transfer_retries, 3);
+        assert!(o.retry_backoff > SimTime::ZERO);
+        assert_eq!(o.with_transfer_retries(9).max_transfer_retries, 9);
     }
 }

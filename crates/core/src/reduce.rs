@@ -63,13 +63,13 @@ impl TileAcc {
                             }),
                     );
                     // The partial comes back as a scalar copy (modelled as a
-                    // one-element transfer; latency dominated).
-                    let host_scratch = self
-                        .gpu_mut()
-                        .malloc_host(1, gpu_sim::HostMemKind::Pinned);
+                    // one-element transfer; latency dominated). Routed
+                    // through the retrying path: on a dead D2H lane the
+                    // salvage copy carries the timing and the device is
+                    // declared failed, so later regions take the host arm.
+                    let host_scratch = self.gpu_mut().malloc_host(1, gpu_sim::HostMemKind::Pinned);
                     let dev = self.slot_dev(s);
-                    self.gpu_mut()
-                        .memcpy_d2h_async(host_scratch, 0, dev, 0, 1, stream);
+                    self.d2h_retrying(host_scratch, dev, 1, stream);
                 }
                 _ => {
                     // Host partial: the region's authoritative copy is on

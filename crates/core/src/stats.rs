@@ -32,6 +32,15 @@ pub struct AccStats {
     pub ghost_gpu: u64,
     /// Ghost patches applied on the host.
     pub ghost_host: u64,
+    /// Transfer attempts re-issued after an injected transient fault.
+    pub transfer_retries: u64,
+    /// Tiles routed to the host because the device path was declared dead
+    /// (persistent transfer failure).
+    pub fault_fallbacks: u64,
+    /// Device slots the pool gave up on because `cudaMalloc` failed mid-run.
+    pub slot_shrinks: u64,
+    /// Dirty regions rescued through the fault-exempt salvage copy path.
+    pub salvaged_regions: u64,
 }
 
 impl fmt::Display for AccStats {
@@ -48,7 +57,20 @@ impl fmt::Display for AccStats {
             self.ghost_gpu,
             self.ghost_host,
             self.conflict_fallbacks,
-        )
+        )?;
+        if self.transfer_retries + self.fault_fallbacks + self.slot_shrinks + self.salvaged_regions
+            > 0
+        {
+            write!(
+                f,
+                " retries={} fault_fallbacks={} slot_shrinks={} salvaged={}",
+                self.transfer_retries,
+                self.fault_fallbacks,
+                self.slot_shrinks,
+                self.salvaged_regions,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -79,5 +101,22 @@ mod tests {
         assert!(text.contains("hits=3"));
         assert!(text.contains("loads=2"));
         assert!(text.contains("kernels(gpu/host)=7/0"));
+    }
+
+    #[test]
+    fn display_adds_fault_suffix_only_when_nonzero() {
+        assert!(!AccStats::default().to_string().contains("retries="));
+        let s = AccStats {
+            transfer_retries: 2,
+            fault_fallbacks: 4,
+            slot_shrinks: 1,
+            salvaged_regions: 1,
+            ..AccStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("retries=2"));
+        assert!(text.contains("fault_fallbacks=4"));
+        assert!(text.contains("slot_shrinks=1"));
+        assert!(text.contains("salvaged=1"));
     }
 }

@@ -98,6 +98,10 @@ pub struct TileAcc {
     stats: AccStats,
     /// Bytes of one device slot.
     slot_len: usize,
+    /// Set when the device path is declared dead (persistent transfer
+    /// failure, or a slot pool that could not allocate a single slot). All
+    /// later tiles run on the host; dirty device state was salvaged.
+    device_failed: bool,
 }
 
 impl TileAcc {
@@ -120,6 +124,7 @@ impl TileAcc {
             gpu_mode,
             stats: AccStats::default(),
             slot_len: 0,
+            device_failed: false,
         }
     }
 
@@ -141,7 +146,10 @@ impl TileAcc {
         let host: Vec<HostBuffer> = array
             .regions()
             .iter()
-            .map(|r| self.gpu.adopt_host_slab(r.slab.clone(), HostMemKind::Pinned))
+            .map(|r| {
+                self.gpu
+                    .adopt_host_slab(r.slab.clone(), HostMemKind::Pinned)
+            })
             .collect();
         self.arrays.push(ArrayEntry {
             array: array.clone(),
@@ -158,6 +166,12 @@ impl TileAcc {
 
     pub fn gpu_enabled(&self) -> bool {
         self.gpu_mode
+    }
+
+    /// Whether the runtime has abandoned the device path after a persistent
+    /// fault (graceful degradation: all tiles run on the host from then on).
+    pub fn device_failed(&self) -> bool {
+        self.device_failed
     }
 
     pub fn stats(&self) -> AccStats {
@@ -218,7 +232,7 @@ impl TileAcc {
     /// memory and fit as many region-sized buffers as possible, capped by
     /// the total region count and by `opts.max_slots`.
     fn ensure_slots(&mut self) {
-        if !self.slots.is_empty() {
+        if !self.slots.is_empty() || self.device_failed {
             return;
         }
         assert!(!self.arrays.is_empty(), "no arrays registered");
@@ -241,21 +255,32 @@ impl TileAcc {
             "device memory ({free} bytes free) cannot hold a single region ({bytes} bytes)"
         );
         for _ in 0..n {
-            let dev = self
-                .gpu
-                .malloc_device(self.slot_len)
-                .expect("slot pool sizing guaranteed the allocation fits");
-            let stream = self.gpu.create_stream();
-            self.slots.push(Slot {
-                dev,
-                dirty: false,
-                foreign_consumers: Vec::new(),
-                lru_stamp: 0,
-            });
-            self.streams.push(stream);
+            match self.gpu.malloc_device(self.slot_len) {
+                Ok(dev) => {
+                    let stream = self.gpu.create_stream();
+                    self.slots.push(Slot {
+                        dev,
+                        dirty: false,
+                        foreign_consumers: Vec::new(),
+                        lru_stamp: 0,
+                    });
+                    self.streams.push(stream);
+                }
+                Err(_) => {
+                    // A mid-run `cudaMalloc` failure (sizing said it fits, so
+                    // this is a fault): run with a smaller pool — the normal
+                    // eviction/staging machinery absorbs the shrink.
+                    self.stats.slot_shrinks += 1;
+                }
+            }
         }
-        self.cache = vec![None; n];
+        self.cache = vec![None; self.slots.len()];
         self.loc = vec![None; total];
+        if self.slots.is_empty() {
+            // Not a single slot could be allocated: the device is unusable;
+            // every tile runs on the host from here.
+            self.device_failed = true;
+        }
     }
 
     fn touch(&mut self, slot: usize) {
@@ -307,6 +332,9 @@ impl TileAcc {
         write_all: bool,
     ) -> Result<usize, SlotConflict> {
         self.ensure_slots();
+        if self.device_failed {
+            return Err(SlotConflict);
+        }
         let g = self.gidx(array, region);
         if let Some(s) = self.loc[g] {
             self.stats.hits += 1;
@@ -323,15 +351,17 @@ impl TileAcc {
         // "second possibility").
         if let Some(g2) = self.cache[s] {
             self.stats.evictions += 1;
-            let write_back =
-                self.opts.writeback == WritebackPolicy::Always || self.slots[s].dirty;
+            let write_back = self.opts.writeback == WritebackPolicy::Always || self.slots[s].dirty;
             if write_back {
                 let (a2, r2) = self.gsplit(g2);
                 let host = self.arrays[a2].host[r2];
                 let len = self.arrays[a2].array.region(r2).slab.len();
-                let op = self
-                    .gpu
-                    .memcpy_d2h_async(host, 0, self.slots[s].dev, 0, len, self.streams[s]);
+                let op = self.flush_d2h(s, host, len);
+                if self.device_failed {
+                    // The write-back exhausted its retries: fail_device
+                    // already salvaged and released everything.
+                    return Err(SlotConflict);
+                }
                 self.inflight_writeback.insert(g2, op);
                 self.host_slab_op.insert(g2, op);
             } else {
@@ -358,9 +388,7 @@ impl TileAcc {
             let (a, r) = self.gsplit(g);
             let host = self.arrays[a].host[r];
             let len = self.arrays[a].array.region(r).slab.len();
-            let op = self
-                .gpu
-                .memcpy_h2d_async(self.slots[s].dev, 0, host, 0, len, self.streams[s]);
+            let op = self.load_h2d(s, host, len)?;
             self.host_slab_op.insert(g, op);
             self.stats.loads += 1;
             self.slots[s].dirty = false;
@@ -369,6 +397,112 @@ impl TileAcc {
         self.loc[g] = Some(s);
         self.touch(s);
         Ok(s)
+    }
+
+    /// Host→device region load with bounded retry-with-backoff on injected
+    /// transient faults. Exhausting the retries declares the device dead and
+    /// returns `SlotConflict` so the caller degrades to the host path.
+    fn load_h2d(&mut self, s: usize, host: HostBuffer, len: usize) -> Result<OpId, SlotConflict> {
+        let dev = self.slots[s].dev;
+        let stream = self.streams[s];
+        let mut op = self.gpu.memcpy_h2d_async(dev, 0, host, 0, len, stream);
+        let mut attempt: u32 = 0;
+        while self.gpu.op_faulted(op) {
+            if attempt >= self.opts.max_transfer_retries {
+                self.fail_device();
+                return Err(SlotConflict);
+            }
+            self.stats.transfer_retries += 1;
+            let backoff = SimTime::from_ns(self.opts.retry_backoff.as_ns() << attempt.min(16));
+            self.gpu.backoff_work(backoff, "h2d-retry-backoff");
+            op = self.gpu.memcpy_h2d_async(dev, 0, host, 0, len, stream);
+            attempt += 1;
+        }
+        Ok(op)
+    }
+
+    /// Device→host copy with bounded retry-with-backoff. When the retries
+    /// are exhausted the region is rescued through the fault-exempt salvage
+    /// path (host data stays authoritative even on a dead link) and the
+    /// device is declared failed. Returns the op that carries the data.
+    pub(crate) fn d2h_retrying(
+        &mut self,
+        dst: HostBuffer,
+        dev: DeviceBuffer,
+        len: usize,
+        stream: StreamId,
+    ) -> OpId {
+        let mut op = self.gpu.memcpy_d2h_async(dst, 0, dev, 0, len, stream);
+        let mut attempt: u32 = 0;
+        while self.gpu.op_faulted(op) {
+            if attempt >= self.opts.max_transfer_retries {
+                self.stats.salvaged_regions += 1;
+                let op = self.gpu.memcpy_d2h_salvage(dst, 0, dev, 0, len, stream);
+                self.fail_device();
+                return op;
+            }
+            self.stats.transfer_retries += 1;
+            let backoff = SimTime::from_ns(self.opts.retry_backoff.as_ns() << attempt.min(16));
+            self.gpu.backoff_work(backoff, "d2h-retry-backoff");
+            op = self.gpu.memcpy_d2h_async(dst, 0, dev, 0, len, stream);
+            attempt += 1;
+        }
+        op
+    }
+
+    /// Write a slot's region back to the host with retry/salvage. Clears the
+    /// dirty bit first so a `fail_device` triggered by this very flush does
+    /// not salvage the same slot a second time.
+    fn flush_d2h(&mut self, s: usize, host: HostBuffer, len: usize) -> OpId {
+        self.slots[s].dirty = false;
+        let dev = self.slots[s].dev;
+        let stream = self.streams[s];
+        self.d2h_retrying(host, dev, len, stream)
+    }
+
+    /// Declare the device path dead (idempotent): salvage every dirty
+    /// resident region through the fault-exempt path, release all slots, and
+    /// drain the device. Later acquisitions return `SlotConflict` and all
+    /// tiles run on the host.
+    fn fail_device(&mut self) {
+        if self.device_failed {
+            return;
+        }
+        self.device_failed = true;
+        for s in 0..self.slots.len() {
+            if let Some(g) = self.cache[s] {
+                if self.slots[s].dirty {
+                    let (a, r) = self.gsplit(g);
+                    let host = self.arrays[a].host[r];
+                    let len = self.arrays[a].array.region(r).slab.len();
+                    self.drain_consumers_into(s, s);
+                    self.gpu.memcpy_d2h_salvage(
+                        host,
+                        0,
+                        self.slots[s].dev,
+                        0,
+                        len,
+                        self.streams[s],
+                    );
+                    self.stats.salvaged_regions += 1;
+                    self.slots[s].dirty = false;
+                }
+                self.cache[s] = None;
+                self.loc[g] = None;
+            }
+        }
+        self.gpu.device_synchronize();
+        self.inflight_writeback.clear();
+        self.host_slab_op.clear();
+    }
+
+    /// Count a host fallback under the right reason.
+    fn note_fallback(&mut self) {
+        if self.device_failed {
+            self.stats.fault_fallbacks += 1;
+        } else {
+            self.stats.conflict_fallbacks += 1;
+        }
     }
 
     /// Host access to a region (§IV-B-4, "GPU disabled iteration"): if it is
@@ -381,16 +515,19 @@ impl TileAcc {
         }
         let g = self.gidx(array, region);
         if let Some(s) = self.loc[g] {
-            let need_copy =
-                self.opts.writeback == WritebackPolicy::Always || self.slots[s].dirty;
+            let need_copy = self.opts.writeback == WritebackPolicy::Always || self.slots[s].dirty;
             if need_copy {
                 self.drain_consumers_into(s, s);
                 let (a, r) = self.gsplit(g);
                 let host = self.arrays[a].host[r];
                 let len = self.arrays[a].array.region(r).slab.len();
-                self.gpu
-                    .memcpy_d2h_async(host, 0, self.slots[s].dev, 0, len, self.streams[s]);
+                self.flush_d2h(s, host, len);
                 self.stats.host_syncs += 1;
+                if self.device_failed {
+                    // fail_device already drained the device and released
+                    // every slot; the host buffer is authoritative.
+                    return;
+                }
             }
             self.gpu.stream_synchronize(self.streams[s]);
             self.cache[s] = None;
@@ -482,9 +619,9 @@ impl TileAcc {
         let s = match self.acquire_device(array, tile.region, &[]) {
             Ok(s) => s,
             Err(SlotConflict) => {
-                // A single operand cannot conflict under either policy, but
-                // keep the fallback for robustness.
-                self.stats.conflict_fallbacks += 1;
+                // A single operand cannot statically conflict, but the
+                // acquire fails this way when the device path is dead.
+                self.note_fallback();
                 self.compute1_host(tile, array, cost, label, f);
                 return;
             }
@@ -592,7 +729,7 @@ impl TileAcc {
                     read_slots.push(s);
                 }
                 Err(SlotConflict) => {
-                    self.stats.conflict_fallbacks += 1;
+                    self.note_fallback();
                     self.compute_host(tile, writes, reads, cost, label, f);
                     return;
                 }
@@ -606,7 +743,7 @@ impl TileAcc {
                     write_slots.push(s);
                 }
                 Err(SlotConflict) => {
-                    self.stats.conflict_fallbacks += 1;
+                    self.note_fallback();
                     self.compute_host(tile, writes, reads, cost, label, f);
                     return;
                 }
@@ -730,7 +867,7 @@ impl TileAcc {
     }
 
     pub(crate) fn ghost_on_device(&self) -> bool {
-        self.opts.ghost_on_device
+        self.opts.ghost_on_device && !self.device_failed
     }
 
     pub(crate) fn ghost_barrier(&self) -> bool {

@@ -21,13 +21,20 @@ mod proptests {
     use super::*;
     use proptest::prelude::*;
 
+    /// One op as (engine, duration, not_before, deps-as-earlier-indices).
+    type ArbOp = (usize, u64, u64, Vec<usize>);
+
     /// Random op DAGs: every schedule must satisfy the three invariants
     /// (capacity-1 engine exclusivity, dependency order, not_before).
-    fn arb_program() -> impl Strategy<Value = (usize, Vec<(usize, u64, u64, Vec<usize>)>)> {
-        // (num_engines, ops as (engine, duration, not_before, deps-as-earlier-indices))
+    fn arb_program() -> impl Strategy<Value = (usize, Vec<ArbOp>)> {
         (1usize..4).prop_flat_map(|nengines| {
             let ops = proptest::collection::vec(
-                (0usize..nengines, 0u64..100, 0u64..50, proptest::collection::vec(any::<prop::sample::Index>(), 0..3)),
+                (
+                    0usize..nengines,
+                    0u64..100,
+                    0u64..50,
+                    proptest::collection::vec(any::<prop::sample::Index>(), 0..3),
+                ),
                 1..40,
             )
             .prop_map(move |raw| {

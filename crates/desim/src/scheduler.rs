@@ -402,9 +402,9 @@ impl Scheduler {
             });
             cur = match o.bound {
                 Bound::Host => None,
-                Bound::HostAfter(OpId(d))
-                | Bound::Dependency(OpId(d))
-                | Bound::Engine(OpId(d)) => Some(d),
+                Bound::HostAfter(OpId(d)) | Bound::Dependency(OpId(d)) | Bound::Engine(OpId(d)) => {
+                    Some(d)
+                }
             };
         }
         path

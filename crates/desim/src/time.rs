@@ -13,7 +13,9 @@ use std::ops::{Add, AddAssign, Sub};
 /// A point in simulated time (nanoseconds since the start of the run).
 ///
 /// Durations are represented with the same type; the distinction is by use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(pub u64);
 
 impl SimTime {

@@ -34,7 +34,11 @@ pub struct Trace {
 impl Trace {
     /// Latest end time over all spans.
     pub fn makespan(&self) -> SimTime {
-        self.spans.iter().map(|s| s.end).max().unwrap_or(SimTime::ZERO)
+        self.spans
+            .iter()
+            .map(|s| s.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Total busy time of one engine (sum of its span durations).
@@ -84,11 +88,8 @@ impl Trace {
         let ns_per_col = (makespan.as_ns() as f64 / width as f64).max(1.0);
 
         // Collect lanes in (engine, server) order.
-        let mut lanes: Vec<(usize, usize)> = self
-            .spans
-            .iter()
-            .map(|s| (s.engine, s.server))
-            .collect();
+        let mut lanes: Vec<(usize, usize)> =
+            self.spans.iter().map(|s| (s.engine, s.server)).collect();
         lanes.sort_unstable();
         lanes.dedup();
 
@@ -107,7 +108,11 @@ impl Trace {
         );
         for &(e, srv) in &lanes {
             let mut row = vec![' '; width];
-            for span in self.spans.iter().filter(|s| s.engine == e && s.server == srv) {
+            for span in self
+                .spans
+                .iter()
+                .filter(|s| s.engine == e && s.server == srv)
+            {
                 let c0 = (span.start.as_ns() as f64 / ns_per_col) as usize;
                 let c1 = ((span.end.as_ns() as f64 / ns_per_col).ceil() as usize).min(width);
                 let glyph = span
@@ -116,7 +121,11 @@ impl Trace {
                     .next()
                     .filter(|c| c.is_ascii_graphic())
                     .unwrap_or('#');
-                for cell in row.iter_mut().take(c1).skip(c0.min(width.saturating_sub(1))) {
+                for cell in row
+                    .iter_mut()
+                    .take(c1)
+                    .skip(c0.min(width.saturating_sub(1)))
+                {
                     *cell = glyph;
                 }
             }

@@ -5,6 +5,7 @@
 //! critical-path breakdown by category (is the run bound by kernels, by the
 //! interconnect, or by host-side work?).
 
+use crate::fault::FaultStats;
 use crate::system::GpuSystem;
 use desim::{Bound, CriticalStep, SimTime};
 use std::collections::BTreeMap;
@@ -24,6 +25,13 @@ pub struct RunReport {
     pub critical_by_category: BTreeMap<&'static str, SimTime>,
     /// Number of steps on the critical path.
     pub critical_len: usize,
+    /// Injected fault events (transfer faults, refused allocations, stalls).
+    pub fault_events: u64,
+    /// Engine time consumed by faulted attempts and injected stalls — the
+    /// recovery cost a resilient runtime pays on top of useful work.
+    pub fault_time: SimTime,
+    /// Full fault-layer counters for the run.
+    pub fault_stats: FaultStats,
 }
 
 impl RunReport {
@@ -40,7 +48,11 @@ impl fmt::Display for RunReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "elapsed {}", self.elapsed)?;
         for (name, busy, util) in &self.engines {
-            writeln!(f, "  {name:<12} busy {busy:<12} ({:.0}% utilized)", util * 100.0)?;
+            writeln!(
+                f,
+                "  {name:<12} busy {busy:<12} ({:.0}% utilized)",
+                util * 100.0
+            )?;
         }
         writeln!(
             f,
@@ -51,6 +63,13 @@ impl fmt::Display for RunReport {
         for (cat, t) in &self.critical_by_category {
             let share = t.as_secs_f64() / self.elapsed.as_secs_f64().max(1e-12) * 100.0;
             writeln!(f, "    {cat:<8} {t:<12} ({share:.0}%)")?;
+        }
+        if self.fault_events > 0 || self.fault_stats.salvages > 0 {
+            writeln!(
+                f,
+                "  faults: {} events, {} lost to faulted attempts/stalls, {} salvage copies",
+                self.fault_events, self.fault_time, self.fault_stats.salvages
+            )?;
         }
         Ok(())
     }
@@ -101,6 +120,7 @@ impl GpuSystem {
                 .or_insert(SimTime::ZERO) += step.end - step.start;
         }
 
+        let fault_stats = self.fault_stats();
         RunReport {
             elapsed,
             engines,
@@ -108,6 +128,9 @@ impl GpuSystem {
             d2h_compute_overlap,
             critical_by_category,
             critical_len: path.len(),
+            fault_events: fault_stats.events(),
+            fault_time: fault_stats.lost_time,
+            fault_stats,
         }
     }
 
@@ -148,7 +171,10 @@ mod tests {
         let d = g.malloc_device(len).unwrap();
         let s = g.create_stream();
         g.memcpy_h2d_async(d, 0, h, 0, len, s);
-        g.launch_kernel(s, KernelLaunch::new("k", KernelCost::Fixed(SimTime::from_us(100))));
+        g.launch_kernel(
+            s,
+            KernelLaunch::new("k", KernelCost::Fixed(SimTime::from_us(100))),
+        );
         g.memcpy_d2h_async(h, 0, d, 0, len, s);
         g
     }
@@ -174,12 +200,20 @@ mod tests {
         g.set_tracing(true);
         let s = g.create_stream();
         for _ in 0..4 {
-            g.launch_kernel(s, KernelLaunch::new("k", KernelCost::Fixed(SimTime::from_ms(50))));
+            g.launch_kernel(
+                s,
+                KernelLaunch::new("k", KernelCost::Fixed(SimTime::from_ms(50))),
+            );
         }
         let r = g.report();
         assert_eq!(r.dominant_category().unwrap().0, "kernel");
         // Compute engine near 100% utilized.
-        let (_, _, util) = r.engines.iter().find(|(n, _, _)| n == "compute").unwrap().clone();
+        let (_, _, util) = r
+            .engines
+            .iter()
+            .find(|(n, _, _)| n == "compute")
+            .unwrap()
+            .clone();
         assert!(util > 0.95, "utilization {util}");
     }
 

@@ -11,6 +11,7 @@
 //! paper's results: which variant wins, where transfer cost crosses over
 //! compute cost, and how much overlap buys.
 
+use crate::fault::FaultPlan;
 use desim::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -71,6 +72,10 @@ pub struct MachineConfig {
     /// Number of kernels the compute engine can run concurrently. Large
     /// grid-sized kernels saturate the device, so the default is 1.
     pub concurrent_kernels: usize,
+    /// Deterministic fault-injection plan. Defaults to [`FaultPlan::none`],
+    /// which is guaranteed to leave every simulated run bit-identical to a
+    /// build without the fault layer.
+    pub faults: FaultPlan,
 }
 
 impl MachineConfig {
@@ -96,6 +101,7 @@ impl MachineConfig {
             p2p_bw: 10.0e9,
             copy_engines_per_direction: 1,
             concurrent_kernels: 1,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -125,6 +131,7 @@ impl MachineConfig {
             p2p_bw: 40.0e9,
             copy_engines_per_direction: 1,
             concurrent_kernels: 1,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -132,6 +139,12 @@ impl MachineConfig {
     /// the paper's limited-memory experiments (Fig. 7/8).
     pub fn with_device_mem(mut self, bytes: u64) -> Self {
         self.device_mem_bytes = bytes;
+        self
+    }
+
+    /// Same platform with a fault-injection plan attached.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
         self
     }
 
@@ -153,8 +166,7 @@ impl MachineConfig {
 
     /// Bulk managed-memory migration time for `bytes`.
     pub fn managed_migration_time(&self, bytes: u64) -> SimTime {
-        self.managed_fault_overhead
-            + SimTime::from_secs_f64(bytes as f64 / self.managed_bw)
+        self.managed_fault_overhead + SimTime::from_secs_f64(bytes as f64 / self.managed_bw)
     }
 
     /// Host-side memcpy time for `bytes` (ghost-cell copies on the host).
@@ -332,7 +344,10 @@ mod tests {
         assert_eq!(back.device_mem_bytes, cfg.device_mem_bytes);
         assert_eq!(back.h2d_pinned_bw, cfg.h2d_pinned_bw);
         assert_eq!(back.copy_latency, cfg.copy_latency);
-        let kc = KernelCost::Roofline { bytes: 7, flops: 3.5 };
+        let kc = KernelCost::Roofline {
+            bytes: 7,
+            flops: 3.5,
+        };
         let kj = serde_json::to_string(&kc).unwrap();
         assert_eq!(serde_json::from_str::<KernelCost>(&kj).unwrap(), kc);
     }

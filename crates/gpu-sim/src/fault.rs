@@ -1,0 +1,412 @@
+//! Deterministic fault injection for the simulated platform.
+//!
+//! A [`FaultPlan`] describes — from a single seed — which transfer attempts
+//! fail, which device allocations are refused, when streams stall, and when
+//! the interconnect degrades. Every decision is a pure function of the plan
+//! and a per-lane attempt ordinal, so a faulty run is exactly as
+//! reproducible as a fault-free one: same plan, same program, same schedule.
+//!
+//! The plan is carried by [`crate::MachineConfig`] (so experiment configs
+//! serialize it alongside the cost model) and evaluated by
+//! [`crate::GpuSystem`] at enqueue time:
+//!
+//! * a **transient** transfer fault makes one attempt occupy its DMA engine
+//!   for a fraction of the nominal time, move no data, and be reported
+//!   through [`crate::GpuSystem::op_faulted`] — the caller retries;
+//! * a **persistent** fault (`fail_after`) makes every later attempt on that
+//!   lane fail — callers must degrade (the TiDA-acc runtime falls back to
+//!   the host path, salvaging dirty regions through the fault-exempt
+//!   [`crate::GpuSystem::memcpy_d2h_salvage`]);
+//! * an **allocation** fault makes the n-th `malloc_device` return
+//!   `OutOfDeviceMemory` (a `cudaMalloc` failure mid-run);
+//! * a **stall** occupies a stream's DMA engine before a transfer starts
+//!   (driver hiccup, ECC scrub);
+//! * a **degrade window** multiplies the duration of transfers enqueued
+//!   while the window is open (link retraining, neighbour traffic).
+//!
+//! `FaultPlan::none()` disables everything; the simulator's fast paths are
+//! bit-identical with the layer present but disabled.
+
+use desim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Map a hash to a uniform `f64` in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Transfer lanes a fault decision can apply to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Lane {
+    H2d,
+    D2h,
+}
+
+impl Lane {
+    fn tag(self) -> u64 {
+        match self {
+            Lane::H2d => 0x4832_4400,
+            Lane::D2h => 0x4432_4800,
+        }
+    }
+}
+
+/// Fault settings for one transfer direction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferFaults {
+    /// Probability in `[0, 1]` that any single attempt fails transiently.
+    pub transient_rate: f64,
+    /// Attempts with ordinal `>= fail_after` fail persistently (dead link).
+    pub fail_after: Option<u64>,
+    /// Fraction of the nominal transfer time a failed attempt occupies the
+    /// engine before the error surfaces.
+    pub fail_fraction: f64,
+}
+
+impl Default for TransferFaults {
+    fn default() -> Self {
+        TransferFaults {
+            transient_rate: 0.0,
+            fail_after: None,
+            fail_fraction: 0.5,
+        }
+    }
+}
+
+impl TransferFaults {
+    pub fn enabled(&self) -> bool {
+        self.transient_rate > 0.0 || self.fail_after.is_some()
+    }
+
+    /// Deterministic verdict for the attempt with this ordinal.
+    fn faulty(&self, seed: u64, lane: Lane, ordinal: u64) -> bool {
+        if self.fail_after.is_some_and(|n| ordinal >= n) {
+            return true;
+        }
+        self.transient_rate > 0.0
+            && unit(splitmix64(splitmix64(seed ^ lane.tag()) ^ ordinal)) < self.transient_rate
+    }
+}
+
+/// A periodic stall on one stream's transfers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamStall {
+    /// Stream index (creation order) the stall applies to.
+    pub stream: usize,
+    /// Every `every`-th transfer enqueued on the stream stalls (1-based).
+    pub every: u64,
+    /// Time the stall occupies the transfer engine.
+    pub stall: SimTime,
+}
+
+/// A window of reduced link bandwidth, evaluated against the host clock at
+/// enqueue time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradeWindow {
+    pub from: SimTime,
+    pub until: SimTime,
+    /// Duration multiplier for transfers enqueued inside the window (`> 1`).
+    pub factor: f64,
+}
+
+/// The full seeded fault schedule. See the module docs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    pub seed: u64,
+    pub h2d: TransferFaults,
+    pub d2h: TransferFaults,
+    /// 0-based ordinals of `malloc_device` calls that fail.
+    pub alloc_fail_nth: Vec<u64>,
+    pub stalls: Vec<StreamStall>,
+    pub degrade: Vec<DegradeWindow>,
+    /// Slowdown factor of the fault-exempt salvage D2H path.
+    pub salvage_slowdown: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing; all simulator paths stay bit-identical
+    /// to a build without the fault layer.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            h2d: TransferFaults::default(),
+            d2h: TransferFaults::default(),
+            alloc_fail_nth: Vec::new(),
+            stalls: Vec::new(),
+            degrade: Vec::new(),
+            salvage_slowdown: 4.0,
+        }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Transient faults on both transfer directions at the given rate.
+    pub fn with_transient(mut self, rate: f64) -> Self {
+        self.h2d.transient_rate = rate;
+        self.d2h.transient_rate = rate;
+        self
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.h2d.enabled()
+            || self.d2h.enabled()
+            || !self.alloc_fail_nth.is_empty()
+            || !self.stalls.is_empty()
+            || !self.degrade.is_empty()
+    }
+
+    /// Largest degrade factor of any window open at `now` (1.0 when none).
+    fn degrade_factor(&self, now: SimTime) -> f64 {
+        self.degrade
+            .iter()
+            .filter(|w| w.from <= now && now < w.until)
+            .map(|w| w.factor)
+            .fold(1.0, f64::max)
+    }
+
+    /// Stall due before the `count`-th (1-based) transfer on `stream`.
+    fn stall_for(&self, stream: usize, count: u64) -> Option<SimTime> {
+        self.stalls
+            .iter()
+            .find(|s| s.stream == stream && s.every > 0 && count.is_multiple_of(s.every))
+            .map(|s| s.stall)
+    }
+}
+
+/// Counters accumulated by the fault layer over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Transfer attempts per lane (counted only while a plan is active).
+    pub h2d_attempts: u64,
+    pub d2h_attempts: u64,
+    /// Faulted attempts per lane.
+    pub h2d_faults: u64,
+    pub d2h_faults: u64,
+    /// `malloc_device` calls refused by the plan.
+    pub alloc_faults: u64,
+    /// Stalls injected ahead of transfers.
+    pub stalls: u64,
+    /// Transfers enqueued inside a degrade window.
+    pub degraded: u64,
+    /// Fault-exempt salvage copies issued.
+    pub salvages: u64,
+    /// Engine time consumed by faulted attempts and injected stalls — the
+    /// raw material of the recovery time a run report accounts for.
+    pub lost_time: SimTime,
+}
+
+impl FaultStats {
+    /// Total injected fault events (transfer faults, refused allocations,
+    /// stalls).
+    pub fn events(&self) -> u64 {
+        self.h2d_faults + self.d2h_faults + self.alloc_faults + self.stalls
+    }
+}
+
+/// Runtime state of the fault layer inside a [`crate::GpuSystem`].
+pub(crate) struct FaultState {
+    pub(crate) plan: FaultPlan,
+    pub(crate) stats: FaultStats,
+    /// `malloc_device` ordinal counter.
+    allocs: u64,
+    /// Per-stream transfer enqueue counters (for stalls).
+    stream_xfers: HashMap<usize, u64>,
+    /// Ops that represent failed attempts.
+    faulted: HashSet<desim::OpId>,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        FaultState {
+            plan,
+            stats: FaultStats::default(),
+            allocs: 0,
+            stream_xfers: HashMap::new(),
+            faulted: HashSet::new(),
+        }
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.plan.enabled()
+    }
+
+    /// Whether the next `malloc_device` call is refused by the plan.
+    pub(crate) fn alloc_refused(&mut self) -> bool {
+        if !self.enabled() {
+            return false;
+        }
+        let n = self.allocs;
+        self.allocs += 1;
+        if self.plan.alloc_fail_nth.contains(&n) {
+            self.stats.alloc_faults += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Fault verdict and adjusted duration for one transfer attempt.
+    /// Returns `(duration, faulted, stall)`; the caller submits the stall op
+    /// (if any) ahead of the transfer.
+    pub(crate) fn transfer_enqueue(
+        &mut self,
+        lane: Lane,
+        stream: usize,
+        now: SimTime,
+        nominal: SimTime,
+    ) -> (SimTime, bool, Option<SimTime>) {
+        if !self.enabled() {
+            return (nominal, false, None);
+        }
+        let mut duration = nominal;
+        let factor = self.plan.degrade_factor(now);
+        if factor > 1.0 {
+            duration = SimTime::from_ns((duration.as_ns() as f64 * factor).round() as u64);
+            self.stats.degraded += 1;
+        }
+        let count = {
+            let c = self.stream_xfers.entry(stream).or_insert(0);
+            *c += 1;
+            *c
+        };
+        let stall = self.plan.stall_for(stream, count);
+        if let Some(s) = stall {
+            self.stats.stalls += 1;
+            self.stats.lost_time += s;
+        }
+        let (faults, ordinal) = match lane {
+            Lane::H2d => {
+                self.stats.h2d_attempts += 1;
+                (&self.plan.h2d, self.stats.h2d_attempts - 1)
+            }
+            Lane::D2h => {
+                self.stats.d2h_attempts += 1;
+                (&self.plan.d2h, self.stats.d2h_attempts - 1)
+            }
+        };
+        let faulted = faults.faulty(self.plan.seed, lane, ordinal);
+        if faulted {
+            let frac = faults.fail_fraction.clamp(0.0, 1.0);
+            duration = SimTime::from_ns((duration.as_ns() as f64 * frac).round() as u64);
+            match lane {
+                Lane::H2d => self.stats.h2d_faults += 1,
+                Lane::D2h => self.stats.d2h_faults += 1,
+            }
+            self.stats.lost_time += duration;
+        }
+        (duration, faulted, stall)
+    }
+
+    pub(crate) fn mark_faulted(&mut self, op: desim::OpId) {
+        self.faulted.insert(op);
+    }
+
+    pub(crate) fn is_faulted(&self, op: desim::OpId) -> bool {
+        self.faulted.contains(&op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_is_disabled_and_neutral() {
+        let mut st = FaultState::new(FaultPlan::none());
+        assert!(!st.enabled());
+        assert!(!st.alloc_refused());
+        let (d, faulted, stall) =
+            st.transfer_enqueue(Lane::H2d, 0, SimTime::ZERO, SimTime::from_us(10));
+        assert_eq!(d, SimTime::from_us(10));
+        assert!(!faulted);
+        assert!(stall.is_none());
+        assert_eq!(
+            st.stats,
+            FaultStats::default(),
+            "disabled plan counts nothing"
+        );
+    }
+
+    #[test]
+    fn transient_decisions_are_deterministic_and_seeded() {
+        let plan = FaultPlan::none().with_seed(7).with_transient(0.3);
+        let verdicts: Vec<bool> = (0..64).map(|i| plan.h2d.faulty(7, Lane::H2d, i)).collect();
+        let again: Vec<bool> = (0..64).map(|i| plan.h2d.faulty(7, Lane::H2d, i)).collect();
+        assert_eq!(verdicts, again, "same seed, same verdicts");
+        assert!(
+            verdicts.iter().any(|&v| v),
+            "rate 0.3 over 64 attempts faults"
+        );
+        assert!(
+            verdicts.iter().any(|&v| !v),
+            "rate 0.3 over 64 attempts passes"
+        );
+        let other: Vec<bool> = (0..64).map(|i| plan.h2d.faulty(8, Lane::H2d, i)).collect();
+        assert_ne!(verdicts, other, "different seed, different schedule");
+    }
+
+    #[test]
+    fn persistent_fails_every_attempt_past_threshold() {
+        let tf = TransferFaults {
+            fail_after: Some(3),
+            ..TransferFaults::default()
+        };
+        assert!(!tf.faulty(0, Lane::D2h, 2));
+        assert!(tf.faulty(0, Lane::D2h, 3));
+        assert!(tf.faulty(0, Lane::D2h, 1000));
+    }
+
+    #[test]
+    fn degrade_window_and_stall_apply() {
+        let mut plan = FaultPlan::none();
+        plan.degrade.push(DegradeWindow {
+            from: SimTime::from_us(10),
+            until: SimTime::from_us(20),
+            factor: 3.0,
+        });
+        plan.stalls.push(StreamStall {
+            stream: 1,
+            every: 2,
+            stall: SimTime::from_us(5),
+        });
+        let mut st = FaultState::new(plan);
+        // Outside the window, stream 1, first transfer: nothing.
+        let (d, _, stall) = st.transfer_enqueue(Lane::H2d, 1, SimTime::ZERO, SimTime::from_us(4));
+        assert_eq!(d, SimTime::from_us(4));
+        assert!(stall.is_none());
+        // Inside the window, second transfer on stream 1: degraded + stalled.
+        let (d, _, stall) =
+            st.transfer_enqueue(Lane::H2d, 1, SimTime::from_us(15), SimTime::from_us(4));
+        assert_eq!(d, SimTime::from_us(12));
+        assert_eq!(stall, Some(SimTime::from_us(5)));
+        assert_eq!(st.stats.degraded, 1);
+        assert_eq!(st.stats.stalls, 1);
+    }
+
+    #[test]
+    fn alloc_refusal_targets_exact_ordinals() {
+        let mut plan = FaultPlan::none();
+        plan.alloc_fail_nth = vec![1, 3];
+        let mut st = FaultState::new(plan);
+        let refusals: Vec<bool> = (0..5).map(|_| st.alloc_refused()).collect();
+        assert_eq!(refusals, vec![false, true, false, true, false]);
+        assert_eq!(st.stats.alloc_faults, 2);
+    }
+}

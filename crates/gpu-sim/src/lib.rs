@@ -14,12 +14,14 @@
 
 mod analysis;
 mod config;
+mod fault;
 mod kernel;
 mod memory;
 mod system;
 
 pub use analysis::RunReport;
 pub use config::{HostMemKind, KernelCost, MachineConfig};
+pub use fault::{DegradeWindow, FaultPlan, FaultStats, StreamStall, TransferFaults};
 pub use kernel::KernelLaunch;
 pub use memory::{DeviceAllocator, OutOfDeviceMemory};
 pub use system::{
@@ -190,10 +192,16 @@ mod tests {
         g.set_tracing(true);
         let s0 = g.create_stream();
         let s1 = g.create_stream();
-        g.launch_kernel(s0, KernelLaunch::new("a", KernelCost::Fixed(SimTime::from_us(100))));
+        g.launch_kernel(
+            s0,
+            KernelLaunch::new("a", KernelCost::Fixed(SimTime::from_us(100))),
+        );
         let ev = g.record_event(s0);
         g.stream_wait_event(s1, ev);
-        g.launch_kernel(s1, KernelLaunch::new("b", KernelCost::Fixed(SimTime::from_us(10))));
+        g.launch_kernel(
+            s1,
+            KernelLaunch::new("b", KernelCost::Fixed(SimTime::from_us(10))),
+        );
         g.finish();
         let tr = g.trace();
         let spans = tr.spans_of(2); // compute engine
@@ -336,8 +344,14 @@ mod tests {
         assert_eq!(g.num_devices(), 2);
         let s0 = g.create_stream_on(0);
         let s1 = g.create_stream_on(1);
-        g.launch_kernel(s0, KernelLaunch::new("k0", KernelCost::Fixed(SimTime::from_ms(10))));
-        g.launch_kernel(s1, KernelLaunch::new("k1", KernelCost::Fixed(SimTime::from_ms(10))));
+        g.launch_kernel(
+            s0,
+            KernelLaunch::new("k0", KernelCost::Fixed(SimTime::from_ms(10))),
+        );
+        g.launch_kernel(
+            s1,
+            KernelLaunch::new("k1", KernelCost::Fixed(SimTime::from_ms(10))),
+        );
         let elapsed = g.finish();
         // Two devices compute concurrently: total ≈ one kernel, not two.
         assert!(elapsed < SimTime::from_ms(15), "{elapsed}");
@@ -463,11 +477,17 @@ mod tests {
             w.store(v as u64, std::sync::atomic::Ordering::Relaxed);
         });
         let before = g.host_now();
-        assert!(before < SimTime::from_us(30), "submission must not block: {before}");
+        assert!(
+            before < SimTime::from_us(30),
+            "submission must not block: {before}"
+        );
         g.stream_synchronize(s);
         assert_eq!(witness.load(std::sync::atomic::Ordering::Relaxed), 2);
         // Later stream work waits for the callback.
-        g.launch_kernel(s, KernelLaunch::new("after", KernelCost::Fixed(SimTime::from_us(1))));
+        g.launch_kernel(
+            s,
+            KernelLaunch::new("after", KernelCost::Fixed(SimTime::from_us(1))),
+        );
         g.finish();
         let tr = g.trace();
         let hostfn = tr.spans.iter().find(|sp| sp.category == "hostfn").unwrap();
@@ -485,5 +505,223 @@ mod tests {
         assert_eq!(g.host_now(), SimTime::from_us(50));
         let tr = g.trace();
         assert_eq!(tr.spans_of(3).len(), 1); // host engine is index 3
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn disabled_fault_plan_changes_nothing() {
+        let run = |cfg: MachineConfig| {
+            let mut g = GpuSystem::new(cfg);
+            let h = g.malloc_host(MB64, HostMemKind::Pinned);
+            let d = g.malloc_device(MB64).unwrap();
+            let s = g.create_stream();
+            g.memcpy_h2d_async(d, 0, h, 0, MB64, s);
+            g.launch_kernel(s, KernelLaunch::new("k", KernelCost::Bytes(64 << 20)));
+            g.memcpy_d2h_async(h, 0, d, 0, MB64, s);
+            (g.finish(), g.stats_bytes_h2d(), g.stats_bytes_d2h())
+        };
+        let base = run(MachineConfig::k40m());
+        let with_plan = run(MachineConfig::k40m().with_faults(FaultPlan::none().with_seed(42)));
+        assert_eq!(base, with_plan, "a disabled plan must be invisible");
+    }
+
+    #[test]
+    fn faulted_transfer_moves_no_data_and_retry_succeeds() {
+        // Persistent-from-zero H2D plan, lifted after one attempt via
+        // set_fault_plan: the first attempt faults, the second moves data.
+        let plan = FaultPlan {
+            h2d: TransferFaults {
+                fail_after: Some(0),
+                ..TransferFaults::default()
+            },
+            ..FaultPlan::none()
+        };
+        let mut g = GpuSystem::new(MachineConfig::k40m().with_faults(plan));
+        let h = g.malloc_host(16, HostMemKind::Pinned);
+        let d = g.malloc_device(16).unwrap();
+        g.host_slab(h).fill_with(|i| i as f64);
+        let s = g.create_stream();
+        let op = g.memcpy_h2d_async(d, 0, h, 0, 16, s);
+        g.stream_synchronize(s);
+        assert!(g.op_faulted(op));
+        assert_eq!(g.fault_stats().h2d_faults, 1);
+        assert_eq!(g.stats_bytes_h2d(), 0, "faulted attempt moves no bytes");
+        assert_eq!(g.device_slab(d).snapshot().unwrap(), vec![0.0; 16]);
+
+        g.set_fault_plan(FaultPlan::none());
+        let op2 = g.memcpy_h2d_async(d, 0, h, 0, 16, s);
+        g.stream_synchronize(s);
+        assert!(!g.op_faulted(op2));
+        assert_eq!(
+            g.device_slab(d).snapshot().unwrap(),
+            (0..16).map(|i| i as f64).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn faulted_attempt_costs_engine_time_and_is_traced() {
+        let plan = FaultPlan {
+            h2d: TransferFaults {
+                fail_after: Some(0),
+                fail_fraction: 0.5,
+                ..TransferFaults::default()
+            },
+            ..FaultPlan::none()
+        };
+        let mut g = GpuSystem::new(MachineConfig::k40m().with_faults(plan));
+        g.set_tracing(true);
+        let h = g.malloc_host(MB64, HostMemKind::Pinned);
+        let d = g.malloc_device(MB64).unwrap();
+        let s = g.create_stream();
+        g.memcpy_h2d_async(d, 0, h, 0, MB64, s);
+        g.finish();
+        let tr = g.trace();
+        let span = tr
+            .spans
+            .iter()
+            .find(|sp| sp.category == "h2d-fault")
+            .unwrap();
+        let nominal = g.config().h2d_time(64 << 20);
+        let took = span.end - span.start;
+        assert!(
+            took > SimTime::ZERO && took < nominal,
+            "{took} vs {nominal}"
+        );
+        assert_eq!(g.fault_stats().lost_time, took);
+    }
+
+    #[test]
+    fn alloc_fault_surfaces_as_out_of_memory() {
+        let plan = FaultPlan {
+            alloc_fail_nth: vec![1],
+            ..FaultPlan::none()
+        };
+        let mut g = GpuSystem::new(MachineConfig::k40m().with_faults(plan));
+        assert!(g.malloc_device(16).is_ok());
+        let err = g.malloc_device(16).unwrap_err();
+        assert_eq!(err.requested, 128);
+        assert!(g.malloc_device(16).is_ok(), "only the 2nd alloc is refused");
+        assert_eq!(g.fault_stats().alloc_faults, 1);
+    }
+
+    #[test]
+    fn stall_and_degrade_window_slow_the_run() {
+        let base = {
+            let mut g = sys();
+            let h = g.malloc_host(MB64, HostMemKind::Pinned);
+            let d = g.malloc_device(MB64).unwrap();
+            let s = g.create_stream();
+            g.memcpy_h2d_async(d, 0, h, 0, MB64, s);
+            g.finish()
+        };
+        let plan = FaultPlan {
+            stalls: vec![StreamStall {
+                stream: 0,
+                every: 1,
+                stall: SimTime::from_ms(1),
+            }],
+            degrade: vec![DegradeWindow {
+                from: SimTime::ZERO,
+                until: SimTime::from_secs_f64(1.0),
+                factor: 2.0,
+            }],
+            ..FaultPlan::none()
+        };
+        let mut g = GpuSystem::new(MachineConfig::k40m().with_faults(plan));
+        g.set_tracing(true);
+        let h = g.malloc_host(MB64, HostMemKind::Pinned);
+        let d = g.malloc_device(MB64).unwrap();
+        let s = g.create_stream();
+        g.memcpy_h2d_async(d, 0, h, 0, MB64, s);
+        let slowed = g.finish();
+        assert!(slowed > base + SimTime::from_ms(1), "{slowed} vs {base}");
+        let st = g.fault_stats();
+        assert_eq!((st.stalls, st.degraded), (1, 1));
+        assert!(g.trace().spans.iter().any(|sp| sp.category == "stall"));
+    }
+
+    #[test]
+    fn salvage_copy_is_fault_exempt_and_slower() {
+        let plan = FaultPlan {
+            d2h: TransferFaults {
+                fail_after: Some(0),
+                ..TransferFaults::default()
+            },
+            ..FaultPlan::none()
+        };
+        let mut g = GpuSystem::new(MachineConfig::k40m().with_faults(plan));
+        g.set_tracing(true);
+        let h = g.malloc_host(16, HostMemKind::Pinned);
+        let d = g.malloc_device(16).unwrap();
+        g.host_slab(h).fill(3.0);
+        let s = g.create_stream();
+        g.memcpy_h2d_async(d, 0, h, 0, 16, s);
+        let h2 = g.malloc_host(16, HostMemKind::Pinned);
+        let dead = g.memcpy_d2h_async(h2, 0, d, 0, 16, s);
+        g.stream_synchronize(s);
+        assert!(g.op_faulted(dead), "the plan kills the normal D2H path");
+        assert_eq!(g.host_slab(h2).snapshot().unwrap(), vec![0.0; 16]);
+        g.memcpy_d2h_salvage(h2, 0, d, 0, 16, s);
+        g.stream_synchronize(s);
+        assert_eq!(g.host_slab(h2).snapshot().unwrap(), vec![3.0; 16]);
+        assert_eq!(g.fault_stats().salvages, 1);
+        let tr = g.trace();
+        let salvage = tr.spans.iter().find(|sp| sp.category == "salvage").unwrap();
+        let healthy_d2h = g.config().d2h_time(128);
+        assert!(salvage.end - salvage.start > healthy_d2h);
+    }
+
+    #[test]
+    fn report_accounts_fault_recovery_time() {
+        let plan = FaultPlan {
+            h2d: TransferFaults {
+                fail_after: Some(0),
+                ..TransferFaults::default()
+            },
+            ..FaultPlan::none()
+        };
+        let mut g = GpuSystem::new(MachineConfig::k40m().with_faults(plan));
+        g.set_tracing(true);
+        let h = g.malloc_host(MB64, HostMemKind::Pinned);
+        let d = g.malloc_device(MB64).unwrap();
+        let s = g.create_stream();
+        g.memcpy_h2d_async(d, 0, h, 0, MB64, s);
+        g.backoff_work(SimTime::from_us(100), "retry-backoff");
+        let r = g.report();
+        assert_eq!(r.fault_events, 1);
+        assert!(r.fault_time > SimTime::ZERO);
+        assert!(r.to_string().contains("faults: 1 events"));
+        assert!(g.trace().spans.iter().any(|sp| sp.category == "backoff"));
+    }
+
+    #[test]
+    fn fault_plan_serde_roundtrip_via_machine_config() {
+        let plan = FaultPlan {
+            seed: 99,
+            h2d: TransferFaults {
+                transient_rate: 0.1,
+                fail_after: Some(7),
+                fail_fraction: 0.25,
+            },
+            alloc_fail_nth: vec![2, 5],
+            stalls: vec![StreamStall {
+                stream: 1,
+                every: 4,
+                stall: SimTime::from_us(50),
+            }],
+            degrade: vec![DegradeWindow {
+                from: SimTime::from_ms(1),
+                until: SimTime::from_ms(2),
+                factor: 1.5,
+            }],
+            ..FaultPlan::none()
+        };
+        let cfg = MachineConfig::k40m().with_faults(plan.clone());
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: MachineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.faults, plan);
     }
 }

@@ -36,6 +36,7 @@
 //! staging) occupies the `host` trace lane.
 
 use crate::config::{HostMemKind, MachineConfig};
+use crate::fault::{FaultPlan, FaultState, FaultStats, Lane};
 use crate::kernel::KernelLaunch;
 use crate::memory::{DeviceAllocator, OutOfDeviceMemory};
 use desim::{EngineId, Op, OpId, Scheduler, SimTime, Trace};
@@ -182,6 +183,7 @@ pub struct GpuSystem {
     bytes_d2h: u64,
     bytes_p2p: u64,
     kernels_launched: u64,
+    fault: FaultState,
 }
 
 impl GpuSystem {
@@ -212,10 +214,14 @@ impl GpuSystem {
             } else {
                 format!("d{d}.")
             };
-            let eng_h2d =
-                sched.add_engine(format!("{prefix}h2d"), cfg.copy_engines_per_direction.max(1));
-            let eng_d2h =
-                sched.add_engine(format!("{prefix}d2h"), cfg.copy_engines_per_direction.max(1));
+            let eng_h2d = sched.add_engine(
+                format!("{prefix}h2d"),
+                cfg.copy_engines_per_direction.max(1),
+            );
+            let eng_d2h = sched.add_engine(
+                format!("{prefix}d2h"),
+                cfg.copy_engines_per_direction.max(1),
+            );
             let eng_compute =
                 sched.add_engine(format!("{prefix}compute"), cfg.concurrent_kernels.max(1));
             devices.push(DeviceState {
@@ -228,6 +234,7 @@ impl GpuSystem {
                 eng_host = sched.add_engine("host", 1);
             }
         }
+        let fault = FaultState::new(cfg.faults.clone());
         GpuSystem {
             cfg,
             sched,
@@ -246,6 +253,7 @@ impl GpuSystem {
             bytes_d2h: 0,
             bytes_p2p: 0,
             kernels_launched: 0,
+            fault,
         }
     }
 
@@ -307,6 +315,16 @@ impl GpuSystem {
         len: usize,
     ) -> Result<DeviceBuffer, OutOfDeviceMemory> {
         let bytes = (len * std::mem::size_of::<f64>()) as u64;
+        if self.fault.alloc_refused() {
+            // An injected `cudaMalloc` failure: report the allocator's real
+            // state so callers that size pools from the error stay honest.
+            let a = &self.devices[device].alloc;
+            return Err(OutOfDeviceMemory {
+                requested: bytes,
+                largest_free_block: a.largest_free_block(),
+                free_total: a.free_bytes(),
+            });
+        }
         let addr = self.devices[device].alloc.alloc(bytes)?;
         self.dev.push(DevEntry {
             addr,
@@ -517,7 +535,6 @@ impl GpuSystem {
         );
         let eng_h2d = self.devices[device].eng_h2d;
         let bytes = (len * std::mem::size_of::<f64>()) as u64;
-        self.bytes_h2d += bytes;
         let kind = self.host[src.0].kind;
         let dst_slab = self.dev[dst.0].slab.clone();
         let src_slab = self.host[src.0].slab.clone();
@@ -536,18 +553,47 @@ impl GpuSystem {
             self.host_clock += self.cfg.host_enqueue_overhead;
         }
 
-        let op = self.sched.submit(
-            Op::on(eng_h2d, self.cfg.h2d_time(bytes))
-                .not_before(self.host_clock)
-                .host_cause(self.last_block)
-                .after_all(deps)
-                .label(format!("H2D[{bytes}B]"))
-                .category("h2d")
-                .effect(move || memslab::copy(&dst_slab, dst_off, &src_slab, src_off, len)),
+        let (duration, faulted, stall) = self.fault.transfer_enqueue(
+            Lane::H2d,
+            stream.0,
+            self.host_clock,
+            self.cfg.h2d_time(bytes),
         );
+        if let Some(stall) = stall {
+            let sop = self.sched.submit(
+                Op::on(eng_h2d, stall)
+                    .not_before(self.host_clock)
+                    .after_all(deps.iter().copied())
+                    .label("xfer-stall")
+                    .category("stall"),
+            );
+            deps.push(sop);
+        }
+
+        let mut builder = Op::on(eng_h2d, duration)
+            .not_before(self.host_clock)
+            .host_cause(self.last_block)
+            .after_all(deps)
+            .label(if faulted {
+                format!("H2D-fault[{bytes}B]")
+            } else {
+                format!("H2D[{bytes}B]")
+            })
+            .category(if faulted { "h2d-fault" } else { "h2d" });
+        if !faulted {
+            // A faulted attempt occupies the engine but moves no data.
+            builder =
+                builder.effect(move || memslab::copy(&dst_slab, dst_off, &src_slab, src_off, len));
+        }
+        let op = self.sched.submit(builder);
         self.push_stream_op(stream, op);
-        self.record_access(op, BufKey::Host(src.0), Access::Read, "h2d");
-        self.record_access(op, BufKey::Device(dst.0), Access::Write, "h2d");
+        if faulted {
+            self.fault.mark_faulted(op);
+        } else {
+            self.bytes_h2d += bytes;
+            self.record_access(op, BufKey::Host(src.0), Access::Read, "h2d");
+            self.record_access(op, BufKey::Device(dst.0), Access::Write, "h2d");
+        }
 
         if kind == HostMemKind::Pageable {
             let t = self.sched.run_until(op);
@@ -574,28 +620,55 @@ impl GpuSystem {
         );
         let eng_d2h = self.devices[device].eng_d2h;
         let bytes = (len * std::mem::size_of::<f64>()) as u64;
-        self.bytes_d2h += bytes;
         let kind = self.host[dst.0].kind;
         let dst_slab = self.host[dst.0].slab.clone();
         let src_slab = self.dev[src.0].slab.clone();
-        let deps = self.stream_deps(stream);
+        let mut deps = self.stream_deps(stream);
 
         if kind == HostMemKind::Pinned {
             self.host_clock += self.cfg.host_enqueue_overhead;
         }
 
-        let op = self.sched.submit(
-            Op::on(eng_d2h, self.cfg.d2h_time(bytes))
-                .not_before(self.host_clock)
-                .host_cause(self.last_block)
-                .after_all(deps)
-                .label(format!("D2H[{bytes}B]"))
-                .category("d2h")
-                .effect(move || memslab::copy(&dst_slab, dst_off, &src_slab, src_off, len)),
+        let (duration, faulted, stall) = self.fault.transfer_enqueue(
+            Lane::D2h,
+            stream.0,
+            self.host_clock,
+            self.cfg.d2h_time(bytes),
         );
+        if let Some(stall) = stall {
+            let sop = self.sched.submit(
+                Op::on(eng_d2h, stall)
+                    .not_before(self.host_clock)
+                    .after_all(deps.iter().copied())
+                    .label("xfer-stall")
+                    .category("stall"),
+            );
+            deps.push(sop);
+        }
+
+        let mut builder = Op::on(eng_d2h, duration)
+            .not_before(self.host_clock)
+            .host_cause(self.last_block)
+            .after_all(deps)
+            .label(if faulted {
+                format!("D2H-fault[{bytes}B]")
+            } else {
+                format!("D2H[{bytes}B]")
+            })
+            .category(if faulted { "d2h-fault" } else { "d2h" });
+        if !faulted {
+            builder =
+                builder.effect(move || memslab::copy(&dst_slab, dst_off, &src_slab, src_off, len));
+        }
+        let op = self.sched.submit(builder);
         self.push_stream_op(stream, op);
-        self.record_access(op, BufKey::Device(src.0), Access::Read, "d2h");
-        self.record_access(op, BufKey::Host(dst.0), Access::Write, "d2h");
+        if faulted {
+            self.fault.mark_faulted(op);
+        } else {
+            self.bytes_d2h += bytes;
+            self.record_access(op, BufKey::Device(src.0), Access::Read, "d2h");
+            self.record_access(op, BufKey::Host(dst.0), Access::Write, "d2h");
+        }
 
         if kind == HostMemKind::Pageable {
             // DMA into the bounce buffer, then a host-side unstage copy;
@@ -628,8 +701,7 @@ impl GpuSystem {
         assert!(self.dev[src.0].alive, "copy from freed device buffer");
         let device = self.dev[dst.0].device;
         assert_eq!(
-            device,
-            self.dev[src.0].device,
+            device, self.dev[src.0].device,
             "memcpy_d2d_async is same-device; use memcpy_p2p_async across devices"
         );
         assert_eq!(
@@ -735,6 +807,94 @@ impl GpuSystem {
     }
 
     // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// The active fault-injection plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault.plan
+    }
+
+    /// Replace the fault plan, resetting all fault bookkeeping (attempt
+    /// ordinals, counters, faulted-op registry).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = FaultState::new(plan);
+    }
+
+    /// Whether a transfer op returned by `memcpy_*_async` was injected as a
+    /// fault: it occupied its engine but moved no data. The caller must
+    /// retry the transfer or fall back.
+    pub fn op_faulted(&self, op: OpId) -> bool {
+        self.fault.is_faulted(op)
+    }
+
+    /// Counters of injected faults and the engine time they consumed.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault.stats
+    }
+
+    /// Host-side retry backoff: occupies the host lane like
+    /// [`GpuSystem::host_work`] but categorised as `backoff` so traces and
+    /// reports attribute recovery time separately from useful work.
+    pub fn backoff_work(&mut self, duration: SimTime, label: impl Into<Cow<'static, str>>) {
+        let op = Op::on(self.eng_host, duration)
+            .not_before(self.host_clock)
+            .host_cause(self.last_block)
+            .label(label.into())
+            .category("backoff");
+        let op = self.sched.submit(op);
+        let t = self.sched.run_until(op);
+        self.last_block = Some(op);
+        self.host_clock = self.host_clock.max(t);
+    }
+
+    /// Device→host copy over the maintenance path: exempt from fault
+    /// injection but `salvage_slowdown`× slower than a healthy DMA
+    /// (modelling chunked synchronous reads through the driver's reliable
+    /// path). Runtimes use it to rescue dirty device state after a
+    /// persistent transfer failure.
+    pub fn memcpy_d2h_salvage(
+        &mut self,
+        dst: HostBuffer,
+        dst_off: usize,
+        src: DeviceBuffer,
+        src_off: usize,
+        len: usize,
+        stream: StreamId,
+    ) -> OpId {
+        assert!(self.dev[src.0].alive, "salvage from freed device buffer");
+        let device = self.dev[src.0].device;
+        assert_eq!(
+            device, self.streams[stream.0].device,
+            "stream and source buffer live on different devices"
+        );
+        let eng_d2h = self.devices[device].eng_d2h;
+        let bytes = (len * std::mem::size_of::<f64>()) as u64;
+        self.bytes_d2h += bytes;
+        let slowdown = self.fault.plan.salvage_slowdown.max(1.0);
+        let nominal = self.cfg.d2h_time(bytes);
+        let duration = SimTime::from_ns((nominal.as_ns() as f64 * slowdown).round() as u64);
+        let dst_slab = self.host[dst.0].slab.clone();
+        let src_slab = self.dev[src.0].slab.clone();
+        let deps = self.stream_deps(stream);
+        self.host_clock += self.cfg.host_enqueue_overhead;
+        let op = self.sched.submit(
+            Op::on(eng_d2h, duration)
+                .not_before(self.host_clock)
+                .host_cause(self.last_block)
+                .after_all(deps)
+                .label(format!("D2H-salvage[{bytes}B]"))
+                .category("salvage")
+                .effect(move || memslab::copy(&dst_slab, dst_off, &src_slab, src_off, len)),
+        );
+        self.push_stream_op(stream, op);
+        self.record_access(op, BufKey::Device(src.0), Access::Read, "salvage");
+        self.record_access(op, BufKey::Host(dst.0), Access::Write, "salvage");
+        self.fault.stats.salvages += 1;
+        op
+    }
+
+    // ------------------------------------------------------------------
     // Kernels
     // ------------------------------------------------------------------
 
@@ -767,11 +927,14 @@ impl GpuSystem {
                 );
                 let bytes = self.managed[i].slab.bytes();
                 let mig = self.sched.submit(
-                    Op::on(self.devices[device].eng_h2d, self.cfg.managed_migration_time(bytes))
-                        .not_before(self.host_clock)
-                        .after_all(deps.iter().copied())
-                        .label(format!("UVM-mig[{bytes}B]"))
-                        .category("uvm"),
+                    Op::on(
+                        self.devices[device].eng_h2d,
+                        self.cfg.managed_migration_time(bytes),
+                    )
+                    .not_before(self.host_clock)
+                    .after_all(deps.iter().copied())
+                    .label(format!("UVM-mig[{bytes}B]"))
+                    .category("uvm"),
                 );
                 deps.push(mig);
                 self.managed[i].on_device = true;
@@ -811,10 +974,13 @@ impl GpuSystem {
             let bytes = self.managed[m.0].slab.bytes();
             let device = self.managed[m.0].device;
             let mig = self.sched.submit(
-                Op::on(self.devices[device].eng_d2h, self.cfg.managed_migration_time(bytes))
-                    .not_before(self.host_clock)
-                    .label(format!("UVM-mig-back[{bytes}B]"))
-                    .category("uvm"),
+                Op::on(
+                    self.devices[device].eng_d2h,
+                    self.cfg.managed_migration_time(bytes),
+                )
+                .not_before(self.host_clock)
+                .label(format!("UVM-mig-back[{bytes}B]"))
+                .category("uvm"),
             );
             let t = self.sched.run_until(mig);
             self.host_clock = self.host_clock.max(t);

@@ -18,8 +18,11 @@ fn arb_cmd(nbufs: usize, nstreams: usize) -> impl Strategy<Value = Cmd> {
     prop_oneof![
         (0..nbufs, 0..nstreams).prop_map(|(buf, stream)| Cmd::H2d { buf, stream }),
         (0..nbufs, 0..nstreams).prop_map(|(buf, stream)| Cmd::D2h { buf, stream }),
-        (0..nbufs, 0..nstreams, 1u64..200)
-            .prop_map(|(buf, stream, us)| Cmd::Kernel { buf, stream, us }),
+        (0..nbufs, 0..nstreams, 1u64..200).prop_map(|(buf, stream, us)| Cmd::Kernel {
+            buf,
+            stream,
+            us
+        }),
         (0..nstreams, 0..nstreams).prop_map(|(from, to)| Cmd::EventChain { from, to }),
         (0..nstreams).prop_map(|stream| Cmd::StreamSync { stream }),
     ]

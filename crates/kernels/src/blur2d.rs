@@ -76,8 +76,16 @@ pub fn golden_pass(dst: &mut [f64], src: &[f64], n: i64) {
 /// enough structure that blurring visibly changes it.
 pub fn test_image(_n: i64) -> impl Fn(IntVect) -> f64 {
     move |iv: IntVect| {
-        let stripes = if ((iv.x() + iv.y()) / 4) % 2 == 0 { 1.0 } else { 0.0 };
-        let light = if iv.x() % 11 == 5 && iv.y() % 13 == 7 { 4.0 } else { 0.0 };
+        let stripes = if ((iv.x() + iv.y()) / 4) % 2 == 0 {
+            1.0
+        } else {
+            0.0
+        };
+        let light = if iv.x() % 11 == 5 && iv.y() % 13 == 7 {
+            4.0
+        } else {
+            0.0
+        };
         stripes + light
     }
 }
@@ -148,9 +156,11 @@ mod tests {
 
         for rid in 0..d.num_regions() {
             let (dr, sr) = (dst.region(rid), src.region(rid));
-            with_dst_src((&dr.slab, dr.layout), (&sr.slab, sr.layout), |mut dv, sv| {
-                blur_tile(&mut dv, &sv, &dr.valid)
-            })
+            with_dst_src(
+                (&dr.slab, dr.layout),
+                (&sr.slab, sr.layout),
+                |mut dv, sv| blur_tile(&mut dv, &sv, &dr.valid),
+            )
             .unwrap();
         }
 

@@ -66,12 +66,7 @@ fn laplacian(f: &View<'_>, iv: IntVect) -> f64 {
 ///
 /// Argument order matches the multi-operand compute convention:
 /// `writes = [u_new, v_new]`, `reads = [u, v]`.
-pub fn step_tile(
-    writes: &mut [ViewMut<'_>],
-    reads: &[View<'_>],
-    bx: &Box3,
-    p: GrayScott,
-) {
+pub fn step_tile(writes: &mut [ViewMut<'_>], reads: &[View<'_>], bx: &Box3, p: GrayScott) {
     assert_eq!(writes.len(), 2, "Gray-Scott writes u' and v'");
     assert_eq!(reads.len(), 2, "Gray-Scott reads u and v");
     let (u, v) = (&reads[0], &reads[1]);
@@ -94,14 +89,7 @@ pub fn step_tile(
 }
 
 /// Golden reference: one step on dense periodic cubes of side `n`.
-pub fn golden_step(
-    un: &mut [f64],
-    vn: &mut [f64],
-    u: &[f64],
-    v: &[f64],
-    n: i64,
-    p: GrayScott,
-) {
+pub fn golden_step(un: &mut [f64], vn: &mut [f64], u: &[f64], v: &[f64], n: i64, p: GrayScott) {
     let l = Layout::new(Box3::cube(n));
     let wrap = |iv: IntVect| {
         IntVect::new(
@@ -145,9 +133,9 @@ pub fn seed(n: i64) -> (impl Fn(IntVect) -> f64, impl Fn(IntVect) -> f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
     use tida::with_many;
     use tida::{Decomposition, Domain, ExchangeMode, RegionSpec, TileArray};
-    use std::sync::Arc;
 
     fn dense_from(n: i64, f: impl Fn(IntVect) -> f64) -> Vec<f64> {
         let l = Layout::new(Box3::cube(n));

@@ -101,8 +101,8 @@ pub fn golden_run(init: impl Fn(IntVect) -> f64, n: i64, steps: usize, fac: f64)
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tida::{with_dst_src, Decomposition, Domain, ExchangeMode, RegionSpec, TileArray};
     use std::sync::Arc;
+    use tida::{with_dst_src, Decomposition, Domain, ExchangeMode, RegionSpec, TileArray};
 
     fn init(iv: IntVect) -> f64 {
         ((iv.x() * 3 + iv.y() * 5 + iv.z() * 7) % 11) as f64
@@ -134,10 +134,11 @@ mod tests {
         let n = 8;
         let out = golden_run(init, n, 200, DEFAULT_FAC);
         let mean: f64 = out.iter().sum::<f64>() / out.len() as f64;
-        let spread = out
-            .iter()
-            .fold(0f64, |m, &x| m.max((x - mean).abs()));
-        assert!(spread < 0.3, "diffusion should flatten the field, spread={spread}");
+        let spread = out.iter().fold(0f64, |m, &x| m.max((x - mean).abs()));
+        assert!(
+            spread < 0.3,
+            "diffusion should flatten the field, spread={spread}"
+        );
     }
 
     #[test]

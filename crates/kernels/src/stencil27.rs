@@ -125,9 +125,11 @@ mod tests {
 
         for rid in 0..d.num_regions() {
             let (dr, sr) = (dst.region(rid), src.region(rid));
-            with_dst_src((&dr.slab, dr.layout), (&sr.slab, sr.layout), |mut dv, sv| {
-                step_tile(&mut dv, &sv, &dr.valid)
-            })
+            with_dst_src(
+                (&dr.slab, dr.layout),
+                (&sr.slab, sr.layout),
+                |mut dv, sv| step_tile(&mut dv, &sv, &dr.valid),
+            )
             .unwrap();
         }
 

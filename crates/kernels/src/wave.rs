@@ -48,10 +48,7 @@ fn laplacian(u: &View<'_>, iv: IntVect) -> f64 {
 /// Multi-operand convention: `writes = [next]`, `reads = [cur, prev]`.
 pub fn step_tile(next: &mut ViewMut<'_>, cur: &View<'_>, prev: &View<'_>, bx: &Box3, c2: f64) {
     for iv in bx.iter() {
-        next.set(
-            iv,
-            2.0 * cur.at(iv) - prev.at(iv) + c2 * laplacian(cur, iv),
-        );
+        next.set(iv, 2.0 * cur.at(iv) - prev.at(iv) + c2 * laplacian(cur, iv));
     }
 }
 

@@ -111,13 +111,21 @@ impl Slab {
 
     /// Read one element. `None` when virtual. Panics when out of bounds.
     pub fn get(&self, idx: usize) -> Option<f64> {
-        assert!(idx < self.len, "Slab::get: index {idx} out of bounds {}", self.len);
+        assert!(
+            idx < self.len,
+            "Slab::get: index {idx} out of bounds {}",
+            self.len
+        );
         self.inner.read().as_ref().map(|v| v[idx])
     }
 
     /// Write one element. No-op when virtual. Panics when out of bounds.
     pub fn set(&self, idx: usize, value: f64) {
-        assert!(idx < self.len, "Slab::set: index {idx} out of bounds {}", self.len);
+        assert!(
+            idx < self.len,
+            "Slab::set: index {idx} out of bounds {}",
+            self.len
+        );
         if let Some(v) = self.inner.write().as_mut() {
             v[idx] = value;
         }
@@ -425,7 +433,10 @@ mod tests {
         pub struct Lcg(pub u64);
         impl Lcg {
             pub fn next(&mut self) -> u64 {
-                self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                self.0 = self
+                    .0
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 self.0 >> 16
             }
             pub fn next_f64(&mut self) -> f64 {

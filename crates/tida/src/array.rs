@@ -229,7 +229,12 @@ mod tests {
 
     #[test]
     fn regions_are_ghost_grown() {
-        let a = TileArray::new(decomp(8, RegionSpec::Count(2)), 1, ExchangeMode::Faces, true);
+        let a = TileArray::new(
+            decomp(8, RegionSpec::Count(2)),
+            1,
+            ExchangeMode::Faces,
+            true,
+        );
         assert_eq!(a.num_regions(), 2);
         let r = a.region(0);
         assert_eq!(r.valid.size(), IntVect::new(8, 8, 4));
@@ -240,7 +245,12 @@ mod tests {
 
     #[test]
     fn fill_and_read_back() {
-        let a = TileArray::new(decomp(4, RegionSpec::Grid([2, 1, 1])), 1, ExchangeMode::Faces, true);
+        let a = TileArray::new(
+            decomp(4, RegionSpec::Grid([2, 1, 1])),
+            1,
+            ExchangeMode::Faces,
+            true,
+        );
         a.fill_valid(|iv| (iv.x() * 100 + iv.y() * 10 + iv.z()) as f64);
         assert_eq!(a.value(IntVect::new(3, 2, 1)), Some(321.0));
         a.set_value(IntVect::new(3, 2, 1), -1.0);
@@ -250,7 +260,12 @@ mod tests {
 
     #[test]
     fn dense_roundtrip() {
-        let a = TileArray::new(decomp(6, RegionSpec::Grid([2, 3, 1])), 1, ExchangeMode::Full, true);
+        let a = TileArray::new(
+            decomp(6, RegionSpec::Grid([2, 3, 1])),
+            1,
+            ExchangeMode::Full,
+            true,
+        );
         let data: Vec<f64> = (0..216).map(|i| i as f64).collect();
         a.from_dense(&data);
         assert_eq!(a.to_dense().unwrap(), data);
@@ -258,7 +273,12 @@ mod tests {
 
     #[test]
     fn fill_boundary_matches_periodic_neighbors() {
-        let a = TileArray::new(decomp(4, RegionSpec::Grid([2, 2, 1])), 1, ExchangeMode::Full, true);
+        let a = TileArray::new(
+            decomp(4, RegionSpec::Grid([2, 2, 1])),
+            1,
+            ExchangeMode::Full,
+            true,
+        );
         a.fill_valid(|iv| (iv.x() + 10 * iv.y() + 100 * iv.z()) as f64);
         a.fill_boundary();
         let n = 4i64;
@@ -281,7 +301,12 @@ mod tests {
 
     #[test]
     fn faces_mode_fills_face_ghosts_only() {
-        let a = TileArray::new(decomp(4, RegionSpec::Count(2)), 1, ExchangeMode::Faces, true);
+        let a = TileArray::new(
+            decomp(4, RegionSpec::Count(2)),
+            1,
+            ExchangeMode::Faces,
+            true,
+        );
         a.fill_grown(|_| f64::NAN); // poison
         a.fill_valid(|_| 1.0);
         a.fill_boundary();
@@ -298,7 +323,12 @@ mod tests {
 
     #[test]
     fn virtual_array_reports_and_skips() {
-        let a = TileArray::new(decomp(4, RegionSpec::Count(2)), 1, ExchangeMode::Faces, false);
+        let a = TileArray::new(
+            decomp(4, RegionSpec::Count(2)),
+            1,
+            ExchangeMode::Faces,
+            false,
+        );
         assert!(a.is_virtual());
         a.fill_valid(|_| 1.0);
         a.fill_boundary();
@@ -308,14 +338,24 @@ mod tests {
 
     #[test]
     fn max_region_bytes_uniform_slabs() {
-        let a = TileArray::new(decomp(8, RegionSpec::Count(4)), 1, ExchangeMode::Faces, false);
+        let a = TileArray::new(
+            decomp(8, RegionSpec::Count(4)),
+            1,
+            ExchangeMode::Faces,
+            false,
+        );
         assert_eq!(a.max_region_bytes(), a.region(0).bytes());
         assert_eq!(a.total_bytes(), 4 * a.region(0).bytes());
     }
 
     #[test]
     fn zero_ghost_array_has_no_patches() {
-        let a = TileArray::new(decomp(4, RegionSpec::Count(2)), 0, ExchangeMode::Faces, true);
+        let a = TileArray::new(
+            decomp(4, RegionSpec::Count(2)),
+            0,
+            ExchangeMode::Faces,
+            true,
+        );
         assert!(a.patches().is_empty());
         assert_eq!(a.region(0).grown, a.region(0).valid);
     }

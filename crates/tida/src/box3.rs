@@ -158,16 +158,10 @@ impl Box3 {
         let mut core = *self;
         for d in 0..3 {
             if inter.lo()[d] > core.lo()[d] {
-                out.push(Box3::new(
-                    core.lo(),
-                    core.hi().with(d, inter.lo()[d] - 1),
-                ));
+                out.push(Box3::new(core.lo(), core.hi().with(d, inter.lo()[d] - 1)));
             }
             if inter.hi()[d] < core.hi()[d] {
-                out.push(Box3::new(
-                    core.lo().with(d, inter.hi()[d] + 1),
-                    core.hi(),
-                ));
+                out.push(Box3::new(core.lo().with(d, inter.hi()[d] + 1), core.hi()));
             }
             core = Box3::new(
                 core.lo().with(d, inter.lo()[d]),
@@ -283,7 +277,11 @@ impl Iterator for CellIter {
                 n[2] += 1;
             }
         }
-        self.next = if n[2] > self.bx.hi()[2] { None } else { Some(n) };
+        self.next = if n[2] > self.bx.hi()[2] {
+            None
+        } else {
+            Some(n)
+        };
         Some(cur)
     }
 }
@@ -293,7 +291,10 @@ mod tests {
     use super::*;
 
     fn b(lo: (i64, i64, i64), hi: (i64, i64, i64)) -> Box3 {
-        Box3::new(IntVect::new(lo.0, lo.1, lo.2), IntVect::new(hi.0, hi.1, hi.2))
+        Box3::new(
+            IntVect::new(lo.0, lo.1, lo.2),
+            IntVect::new(hi.0, hi.1, hi.2),
+        )
     }
 
     #[test]

@@ -132,9 +132,8 @@ impl Decomposition {
                 loop {
                     // The largest slab has ceil(ez / count) z-cells.
                     let zc = (ez + count - 1) / count;
-                    let grown = (extent.x() + 2 * ghost)
-                        * (extent.y() + 2 * ghost)
-                        * (zc + 2 * ghost);
+                    let grown =
+                        (extent.x() + 2 * ghost) * (extent.y() + 2 * ghost) * (zc + 2 * ghost);
                     if (grown as u64) * 8 <= bytes {
                         break;
                     }
@@ -400,8 +399,7 @@ mod tests {
         // z-slabs in a z-periodic domain: every region has a low-z and a
         // high-z neighbour; x/y faces are self-periodic images.
         for r in 0..4 {
-            let mine: Vec<&GhostPatch> =
-                patches.iter().filter(|p| p.dst_region == r).collect();
+            let mine: Vec<&GhostPatch> = patches.iter().filter(|p| p.dst_region == r).collect();
             assert_eq!(mine.len(), 6, "region {r} should have 6 face patches");
             // Each face patch has the valid box's extent in the orthogonal dims.
             let covered: u64 = mine.iter().map(|p| p.num_cells()).sum();
@@ -427,8 +425,7 @@ mod tests {
                 .sum();
             assert_eq!(covered, shell, "region {r} ghost shell fully covered");
             // Patches must be pairwise disjoint and inside the shell.
-            let mine: Vec<&GhostPatch> =
-                patches.iter().filter(|p| p.dst_region == r).collect();
+            let mine: Vec<&GhostPatch> = patches.iter().filter(|p| p.dst_region == r).collect();
             for (i, a) in mine.iter().enumerate() {
                 assert!(grown.contains_box(&a.dst_box));
                 assert!(a.dst_box.intersect(&valid).is_empty());
@@ -469,7 +466,9 @@ mod tests {
         let d = Decomposition::new(Domain::periodic_cube(4), RegionSpec::Count(1));
         let patches = d.ghost_patches(1, ExchangeMode::Faces);
         assert_eq!(patches.len(), 6);
-        assert!(patches.iter().all(|p| p.src_region == 0 && p.dst_region == 0));
+        assert!(patches
+            .iter()
+            .all(|p| p.src_region == 0 && p.dst_region == 0));
         assert!(patches.iter().all(|p| p.shift != IntVect::ZERO));
     }
 
@@ -485,7 +484,10 @@ mod tests {
         let budget = 100 * 1024u64; // 100 KiB
         let d = Decomposition::new(
             Domain::periodic_cube(32),
-            RegionSpec::MaxBytes { bytes: budget, ghost },
+            RegionSpec::MaxBytes {
+                bytes: budget,
+                ghost,
+            },
         );
         assert_eq!(d.grid()[0], 1);
         assert_eq!(d.grid()[1], 1);
@@ -514,7 +516,10 @@ mod tests {
     fn max_bytes_huge_budget_gives_one_region() {
         let d = Decomposition::new(
             Domain::periodic_cube(8),
-            RegionSpec::MaxBytes { bytes: u64::MAX, ghost: 1 },
+            RegionSpec::MaxBytes {
+                bytes: u64::MAX,
+                ghost: 1,
+            },
         );
         assert_eq!(d.num_regions(), 1);
     }
@@ -524,7 +529,10 @@ mod tests {
     fn max_bytes_impossible_budget_panics() {
         Decomposition::new(
             Domain::periodic_cube(8),
-            RegionSpec::MaxBytes { bytes: 64, ghost: 1 },
+            RegionSpec::MaxBytes {
+                bytes: 64,
+                ghost: 1,
+            },
         );
     }
 }

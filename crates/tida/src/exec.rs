@@ -60,8 +60,8 @@ pub fn out_of_order_permutation(len: usize, seed: u64) -> Vec<usize> {
         }
         a
     };
-    let mut step = ((len as u64).wrapping_mul(seed.wrapping_mul(2654435761) | 1) % len as u64)
-        .max(1) as usize;
+    let mut step =
+        ((len as u64).wrapping_mul(seed.wrapping_mul(2654435761) | 1) % len as u64).max(1) as usize;
     while gcd(step, len) != 1 {
         step += 1;
         if step >= len {

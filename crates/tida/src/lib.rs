@@ -19,8 +19,8 @@
 
 mod array;
 mod box3;
-mod exec;
 mod domain;
+mod exec;
 mod ivec;
 mod layout;
 mod tile;

@@ -206,7 +206,8 @@ mod tests {
     fn out_of_order_iterator_visits_all_tiles() {
         let d = Decomposition::new(Domain::periodic_cube(8), RegionSpec::Count(4));
         let ordered: Vec<Tile> = TileIter::new(&d, TileSpec::RegionSized).collect();
-        let shuffled: Vec<Tile> = TileIter::new_out_of_order(&d, TileSpec::RegionSized, 7).collect();
+        let shuffled: Vec<Tile> =
+            TileIter::new_out_of_order(&d, TileSpec::RegionSized, 7).collect();
         assert_eq!(shuffled.len(), ordered.len());
         for t in &ordered {
             assert!(shuffled.contains(t));

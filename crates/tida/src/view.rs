@@ -116,8 +116,7 @@ pub fn with_many<R>(
     }
     let mut wguards: Vec<memslab::WriteGuard<'_>> =
         writes.iter().map(|(s, _)| s.write_guard()).collect();
-    let rguards: Vec<memslab::ReadGuard<'_>> =
-        reads.iter().map(|(s, _)| s.read_guard()).collect();
+    let rguards: Vec<memslab::ReadGuard<'_>> = reads.iter().map(|(s, _)| s.read_guard()).collect();
 
     let mut wviews: Vec<ViewMut<'_>> = Vec::with_capacity(writes.len());
     for (g, (_, layout)) in wguards.iter_mut().zip(writes) {
@@ -227,7 +226,10 @@ mod tests {
         let l = layout4();
         // The same read slab twice: read-read aliasing is fine.
         with_many(&[(&w, l)], &[(&r, l), (&r, l)], |ws, rs| {
-            ws[0].set(IntVect::ZERO, rs[0].at(IntVect::ZERO) + rs[1].at(IntVect::ZERO));
+            ws[0].set(
+                IntVect::ZERO,
+                rs[0].at(IntVect::ZERO) + rs[1].at(IntVect::ZERO),
+            );
         })
         .unwrap();
         assert_eq!(w.get(0), Some(10.0));

@@ -1,0 +1,121 @@
+//! Fault injection and graceful degradation, end to end.
+//!
+//! Runs the same tiled heat problem three times against a simulated PCIe
+//! link that misbehaves on purpose:
+//!
+//! 1. fault-free, as the reference;
+//! 2. with seeded *transient* transfer faults — every failed attempt is
+//!    retried with exponential backoff and the numerics are unchanged;
+//! 3. with a *persistently* dead D2H lane — the runtime salvages dirty
+//!    device regions and degrades to the host path, still finishing with
+//!    the correct answer.
+//!
+//! The faulted attempts, backoff waits and salvage copies all show up as
+//! their own lanes in the trace, so the recovery cost is visible in the
+//! Gantt chart and the run report.
+//!
+//! ```text
+//! cargo run --release -p examples --bin fault_tolerance
+//! ```
+
+use gpu_sim::{FaultPlan, GpuSystem, MachineConfig, TransferFaults};
+use kernels::{heat, init};
+use std::sync::Arc;
+use tida::{tiles_of, Decomposition, Domain, ExchangeMode, RegionSpec, TileArray, TileSpec};
+use tida_acc::{AccOptions, TileAcc};
+
+const N: i64 = 16;
+const STEPS: usize = 4;
+
+fn run(label: &str, plan: FaultPlan, tracing: bool) -> (Vec<f64>, Option<gpu_sim::Trace>) {
+    let decomp = Arc::new(Decomposition::new(
+        Domain::periodic_cube(N),
+        RegionSpec::Grid([2, 2, 1]),
+    ));
+    let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+    let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+    ua.fill_valid(init::hash_field(7));
+    let mut gpu = GpuSystem::new(MachineConfig::k40m().with_faults(plan));
+    gpu.set_tracing(tracing);
+    let mut acc = TileAcc::new(gpu, AccOptions::paper().with_transfer_retries(6));
+    let a = acc.register(&ua);
+    let b = acc.register(&ub);
+    let tiles = tiles_of(&decomp, TileSpec::RegionSized);
+    let (mut src, mut dst) = (a, b);
+    for _ in 0..STEPS {
+        acc.fill_boundary(src);
+        for &t in &tiles {
+            acc.compute2(
+                t,
+                dst,
+                src,
+                heat::cost(t.num_cells()),
+                "heat",
+                |d, s, bx| heat::step_tile(d, s, &bx, heat::DEFAULT_FAC),
+            );
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    acc.sync_to_host(src);
+    let elapsed = acc.finish();
+
+    let st = acc.stats();
+    let fs = acc.gpu().fault_stats();
+    println!("== {label}");
+    println!(
+        "   elapsed {elapsed}, device_failed={}",
+        acc.device_failed()
+    );
+    println!(
+        "   transfers: {} H2D / {} D2H attempts, {} faulted, {} retries, {} salvaged",
+        fs.h2d_attempts,
+        fs.d2h_attempts,
+        fs.h2d_faults + fs.d2h_faults,
+        st.transfer_retries,
+        st.salvaged_regions,
+    );
+    println!(
+        "   {}",
+        acc.gpu_mut().report().to_string().replace('\n', "\n   ")
+    );
+    let trace = tracing.then(|| acc.gpu().trace());
+    let arr = if src == a { &ua } else { &ub };
+    (arr.to_dense().expect("backed run"), trace)
+}
+
+fn main() {
+    let (reference, _) = run("fault-free reference", FaultPlan::none(), false);
+
+    let flaky = FaultPlan {
+        h2d: TransferFaults {
+            transient_rate: 0.35,
+            ..TransferFaults::default()
+        },
+        d2h: TransferFaults {
+            transient_rate: 0.35,
+            ..TransferFaults::default()
+        },
+        ..FaultPlan::none().with_seed(2017)
+    };
+    let (transient, trace) = run("transient PCIe faults (35% per transfer)", flaky, true);
+    assert_eq!(transient, reference, "retries must preserve the numerics");
+    println!("   result identical to the fault-free run\n");
+    if let Some(t) = trace {
+        print!("{}", t.render_gantt(100));
+        println!();
+    }
+
+    let dead_d2h = FaultPlan {
+        d2h: TransferFaults {
+            fail_after: Some(2),
+            ..TransferFaults::default()
+        },
+        ..FaultPlan::none().with_seed(2017)
+    };
+    let (degraded, _) = run("persistently dead D2H lane", dead_d2h, false);
+    assert_eq!(
+        degraded, reference,
+        "host fallback must preserve the numerics"
+    );
+    println!("   result identical to the fault-free run — finished on the host path");
+}

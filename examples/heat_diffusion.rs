@@ -29,10 +29,7 @@ fn main() {
     let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
     ua.fill_valid(init::gaussian(n));
 
-    let mut acc = TileAcc::new(
-        gpu_sim::GpuSystem::new(cfg.clone()),
-        AccOptions::paper(),
-    );
+    let mut acc = TileAcc::new(gpu_sim::GpuSystem::new(cfg.clone()), AccOptions::paper());
     let a = acc.register(&ua);
     let b = acc.register(&ub);
     let tiles = tiles_of(&decomp, TileSpec::RegionSized);
@@ -40,9 +37,14 @@ fn main() {
     for _ in 0..steps {
         acc.fill_boundary(src);
         for &t in &tiles {
-            acc.compute2(t, dst, src, heat::cost(t.num_cells()), "heat", |d, s, bx| {
-                heat::step_tile(d, s, &bx, heat::DEFAULT_FAC)
-            });
+            acc.compute2(
+                t,
+                dst,
+                src,
+                heat::cost(t.num_cells()),
+                "heat",
+                |d, s, bx| heat::step_tile(d, s, &bx, heat::DEFAULT_FAC),
+            );
         }
         std::mem::swap(&mut src, &mut dst);
     }
@@ -52,8 +54,14 @@ fn main() {
     let result = if src == a { &ua } else { &ub };
     let dense = result.to_dense().expect("backed run");
     let golden = heat::golden_run(init::gaussian(n), n, steps, heat::DEFAULT_FAC);
-    println!("  L-inf error vs golden: {:.3e}", norms::linf(&dense, &golden));
-    assert_eq!(dense, golden, "TiDA-acc must match the dense reference bitwise");
+    println!(
+        "  L-inf error vs golden: {:.3e}",
+        norms::linf(&dense, &golden)
+    );
+    assert_eq!(
+        dense, golden,
+        "TiDA-acc must match the dense reference bitwise"
+    );
     println!("  bitwise identical to the dense reference ✓");
     println!("  runtime stats: {}", acc.stats());
 

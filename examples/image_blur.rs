@@ -68,9 +68,14 @@ fn main() {
     for _ in 0..passes {
         acc.fill_boundary(cur);
         for &t in &tiles {
-            acc.compute2(t, next, cur, blur2d::cost(t.num_cells()), "blur", |dv, sv, bx| {
-                blur2d::blur_tile(dv, sv, &bx)
-            });
+            acc.compute2(
+                t,
+                next,
+                cur,
+                blur2d::cost(t.num_cells()),
+                "blur",
+                |dv, sv, bx| blur2d::blur_tile(dv, sv, &bx),
+            );
         }
         std::mem::swap(&mut cur, &mut next);
     }
@@ -96,7 +101,10 @@ fn main() {
         blur2d::golden_pass(&mut tmp, &golden, n);
         std::mem::swap(&mut golden, &mut tmp);
     }
-    assert_eq!(after, golden, "out-of-core blur must match the dense blur bitwise");
+    assert_eq!(
+        after, golden,
+        "out-of-core blur must match the dense blur bitwise"
+    );
     println!("\nbitwise identical to the dense reference ✓");
     println!(
         "simulated time {elapsed}; {} (strips staged through {} slots)",

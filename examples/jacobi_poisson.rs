@@ -90,6 +90,9 @@ fn main() {
     println!("runtime stats: {}", acc.stats());
 
     let golden = jacobi::golden_run(&f, n, sweeps);
-    assert_eq!(dense, golden, "solver must match the dense reference bitwise");
+    assert_eq!(
+        dense, golden,
+        "solver must match the dense reference bitwise"
+    );
     println!("\nbitwise identical to {sweeps} dense Jacobi sweeps ✓");
 }

@@ -17,13 +17,19 @@ fn main() {
     let (pre, post) = (3, 3);
 
     println!("Poisson ∇²u = f on a periodic {n}^3 grid (manufactured mean-free f)");
-    println!("fine-level smoothing and residuals on the simulated K40m; coarse grids on the host\n");
+    println!(
+        "fine-level smoothing and residuals on the simulated K40m; coarse grids on the host\n"
+    );
 
     let cycles = 4;
     let mg = tida_multigrid(&cfg, n, cycles, pre, post, 4, true);
     println!("V({pre},{post})-cycle convergence:");
     for (i, r) in mg.residuals.iter().enumerate() {
-        let rate = if i > 0 { mg.residuals[i] / mg.residuals[i - 1] } else { f64::NAN };
+        let rate = if i > 0 {
+            mg.residuals[i] / mg.residuals[i - 1]
+        } else {
+            f64::NAN
+        };
         if i == 0 {
             println!("  cycle {i}: max|r| = {r:.6e}");
         } else {

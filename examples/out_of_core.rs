@@ -76,12 +76,21 @@ fn main() {
     let got = u.value(tida::IntVect::new(1, 1, 1)).unwrap();
     assert!((got - expect).abs() < 1e-9);
     println!("result check: cell value {got:.6} == init + steps*iters = {expect:.6} ✓");
-    assert!(acc.stats().evictions > 0, "staging must have evicted regions");
+    assert!(
+        acc.stats().evictions > 0,
+        "staging must have evicted regions"
+    );
 
     // --- Part 2: the Fig. 8 claim at paper scale ----------------------
     println!("\nFig. 8 regime (512^3, 100 steps, timing-only):");
     let cfg = MachineConfig::k40m();
-    let full = tida_busy(&cfg, 512, 100, busy::DEFAULT_KERNEL_ITERATION, &TidaOpts::timing(16));
+    let full = tida_busy(
+        &cfg,
+        512,
+        100,
+        busy::DEFAULT_KERNEL_ITERATION,
+        &TidaOpts::timing(16),
+    );
     let limited = tida_busy(
         &cfg,
         512,

@@ -22,7 +22,10 @@ fn main() {
     let r = tida_busy(&cfg, 64, 2, DEFAULT_KERNEL_ITERATION, &opts);
     let trace = r.trace.expect("tracing was enabled");
 
-    println!("TiDA-acc, 6 regions, 2 device slots, 2 time steps — elapsed {}", r.elapsed);
+    println!(
+        "TiDA-acc, 6 regions, 2 device slots, 2 time steps — elapsed {}",
+        r.elapsed
+    );
     println!(
         "moved {} MiB up / {} MiB down across {} kernels\n",
         r.bytes_h2d >> 20,
@@ -43,7 +46,9 @@ fn main() {
         100.0 * h2d.as_secs_f64() / h2d_total.as_secs_f64().max(1e-12)
     );
 
-    let path = std::env::args().nth(1).unwrap_or_else(|| "overlap_trace.json".to_string());
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "overlap_trace.json".to_string());
     std::fs::write(&path, trace.to_chrome_json()).expect("write trace file");
     println!("\nwrote Chrome trace to {path} (open in chrome://tracing or Perfetto)");
 }

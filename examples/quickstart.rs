@@ -17,7 +17,10 @@ fn main() {
         Domain::periodic_cube(n),
         RegionSpec::Count(4),
     ));
-    println!("domain {n}^3 decomposed into {} regions:", decomp.num_regions());
+    println!(
+        "domain {n}^3 decomposed into {} regions:",
+        decomp.num_regions()
+    );
     for (id, bx) in decomp.region_boxes().iter().enumerate() {
         println!("  region {id}: {bx}  ({} cells)", bx.num_cells());
     }
@@ -54,7 +57,11 @@ fn main() {
     acc.sync_to_host(a);
     let elapsed = acc.finish();
     let sample = tida::IntVect::new(1, 2, 3);
-    println!("\nu{sample} = {} (expected {})", u.value(sample).unwrap(), 3 * (1 + 2 + 3));
+    println!(
+        "\nu{sample} = {} (expected {})",
+        u.value(sample).unwrap(),
+        3 * (1 + 2 + 3)
+    );
     assert_eq!(u.value(sample), Some(18.0));
 
     println!("simulated time: {elapsed}");

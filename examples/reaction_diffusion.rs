@@ -42,7 +42,10 @@ fn main() {
     let tiles = tiles_of(&decomp, TileSpec::RegionSized);
     let (mut cur, mut next) = ([ids[0], ids[1]], [ids[2], ids[3]]);
 
-    println!("Gray-Scott on {n}^3 (F={}, k={}), v-field mid-slice:", p.feed, p.kill);
+    println!(
+        "Gray-Scott on {n}^3 (F={}, k={}), v-field mid-slice:",
+        p.feed, p.kill
+    );
     for frame in 0..frames {
         for _ in 0..steps_per_frame {
             acc.fill_boundary(cur[0]);

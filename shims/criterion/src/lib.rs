@@ -1,0 +1,169 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the `criterion_group!`/`criterion_main!` bench-target API compiling
+//! and runnable without the real statistics machinery: each benchmark runs a
+//! small fixed number of timed iterations and prints the per-iteration
+//! wall-clock median. Good enough for smoke-running `cargo bench` offline;
+//! not a measurement tool.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+pub struct Criterion {
+    /// Iterations per benchmark (overridable via `sample_size`, floored at 1).
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 3 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let sample_size = self.sample_size;
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            _c: self,
+            name,
+            sample_size,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let n = self.sample_size;
+        run_bench(&id.into(), n, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    _c: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.clamp(1, 10);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_bench(&label, self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_bench(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), param))
+    }
+
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        black_box(f());
+        self.samples.push(t0.elapsed());
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+    };
+    for _ in 0..samples.max(1) {
+        f(&mut b);
+    }
+    if b.samples.is_empty() {
+        eprintln!("  {label}: no samples");
+        return;
+    }
+    b.samples.sort();
+    let median = b.samples[b.samples.len() / 2];
+    eprintln!(
+        "  {label}: median {median:?} over {} samples",
+        b.samples.len()
+    );
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("plain", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,60 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the surface this workspace uses: `crossbeam::thread::scope` with
+//! spawn closures that receive the scope, implemented over
+//! `std::thread::scope`. Child panics surface as the `Err` variant of the
+//! returned result, matching crossbeam's contract.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::thread as stdthread;
+
+    /// A scope handle; spawned threads may borrow from the enclosing stack
+    /// frame and are joined before `scope` returns.
+    pub struct Scope<'scope, 'env: 'scope>(&'scope stdthread::Scope<'scope, 'env>);
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> stdthread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.0;
+            inner.spawn(move || f(&Scope(inner)))
+        }
+    }
+
+    /// Run `f` with a scope in which threads can be spawned; joins them all
+    /// and returns `Err` if any child (or `f` itself) panicked.
+    #[allow(clippy::type_complexity)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| stdthread::scope(|s| f(&Scope(s)))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let mut parts = vec![0u64; 4];
+        super::thread::scope(|scope| {
+            for (i, p) in parts.iter_mut().enumerate() {
+                scope.spawn(move |_| *p = i as u64 + 1);
+            }
+        })
+        .expect("no panics");
+        assert_eq!(parts, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn child_panic_is_err() {
+        let r = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("child dies"));
+        });
+        assert!(r.is_err());
+    }
+}

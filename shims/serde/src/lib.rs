@@ -1,0 +1,298 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Real serde pivots on visitor-based `Serializer`/`Deserializer` traits; this
+//! workspace only ever derives `Serialize`/`Deserialize` and round-trips
+//! through `serde_json`, so the shim collapses the data model to a concrete
+//! [`Content`] tree. The derive macros (re-exported from `serde_derive`)
+//! generate `to_content`/`from_content`, and the `serde_json` shim renders and
+//! parses that tree. Field names, externally-tagged enums and transparent
+//! newtypes follow serde's defaults, so the JSON produced is byte-compatible
+//! with what real serde would emit for these types.
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing value tree both shim traits speak.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Insertion-ordered map (JSON object); keys are field/variant names.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a human-readable mismatch description.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn expected(what: &str, ty: &str) -> Self {
+        DeError(format!("expected {what} while deserializing {ty}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+pub trait Deserialize: Sized {
+    fn from_content(c: &Content) -> Result<Self, DeError>;
+}
+
+/// Look up a struct field in a [`Content::Map`] (derive-generated code).
+pub fn field<'c>(
+    map: &'c [(String, Content)],
+    name: &str,
+    ty: &str,
+) -> Result<&'c Content, DeError> {
+    map.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError(format!("missing field `{name}` while deserializing {ty}")))
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::U64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError::expected("in-range integer", stringify!($t))),
+                    Content::I64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError::expected("in-range integer", stringify!($t))),
+                    _ => Err(DeError::expected("unsigned integer", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::U64(v) => i64::try_from(*v)
+                        .ok()
+                        .and_then(|v| <$t>::try_from(v).ok())
+                        .ok_or_else(|| DeError::expected("in-range integer", stringify!($t))),
+                    Content::I64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError::expected("in-range integer", stringify!($t))),
+                    _ => Err(DeError::expected("signed integer", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::F64(v) => Ok(*v as $t),
+                    Content::U64(v) => Ok(*v as $t),
+                    Content::I64(v) => Ok(*v as $t),
+                    _ => Err(DeError::expected("number", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", "bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(s) => s.iter().map(T::from_content).collect(),
+            _ => Err(DeError::expected("sequence", "Vec")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let v: Vec<T> = Deserialize::from_content(c)?;
+        <[T; N]>::try_from(v).map_err(|_| DeError::expected("fixed-length sequence", "array"))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let s = c.as_seq().ok_or_else(|| DeError::expected("tuple sequence", "tuple"))?;
+                let mut it = s.iter();
+                let out = ($(
+                    $name::from_content(
+                        it.next().ok_or_else(|| DeError::expected("tuple element", "tuple"))?,
+                    )?,
+                )+);
+                Ok(out)
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(42u64.to_content(), Content::U64(42));
+        assert_eq!((-3i64).to_content(), Content::I64(-3));
+        assert_eq!(u64::from_content(&Content::U64(7)).unwrap(), 7);
+        assert!(u32::from_content(&Content::U64(u64::MAX)).is_err());
+        assert_eq!(f64::from_content(&Content::U64(2)).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(String::from("x"), 1.5f64)];
+        let c = v.to_content();
+        let back: Vec<(String, f64)> = Deserialize::from_content(&c).unwrap();
+        assert_eq!(back, v);
+
+        let opt: Option<u32> = None;
+        assert_eq!(opt.to_content(), Content::Null);
+        assert_eq!(Option::<u32>::from_content(&Content::Null).unwrap(), None);
+    }
+}

@@ -1,0 +1,504 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls against the shim
+//! serde's concrete [`Content`] tree. The item is parsed directly from the
+//! proc-macro token stream (no `syn`/`quote`, which are unavailable offline):
+//! named/tuple/unit structs, enums with unit/tuple/named variants, and
+//! lifetime-generic `Serialize` types. Layout follows serde's defaults —
+//! structs as maps, newtypes transparent, enums externally tagged — so the
+//! JSON emitted matches what real serde would produce for these types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+struct Parsed {
+    name: String,
+    /// Generic parameter list with bounds, e.g. `<'a>` (empty if none).
+    generics_decl: String,
+    /// Generic arguments for the impl target, e.g. `<'a>` (empty if none).
+    generics_use: String,
+    kind: Kind,
+}
+
+enum Kind {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VFields,
+}
+
+enum VFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let p = parse_item(input);
+    gen_serialize(&p)
+        .parse()
+        .expect("derive(Serialize) generated invalid code")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let p = parse_item(input);
+    if !p.generics_decl.is_empty() {
+        return "compile_error!(\"shim derive(Deserialize) does not support generic types\");"
+            .parse()
+            .unwrap();
+    }
+    gen_deserialize(&p)
+        .parse()
+        .expect("derive(Deserialize) generated invalid code")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn skip_attrs(it: &mut TokenIter) {
+    while let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        it.next();
+        if let Some(TokenTree::Group(_)) = it.peek() {
+            it.next();
+        }
+    }
+}
+
+fn skip_vis(it: &mut TokenIter) {
+    if let Some(TokenTree::Ident(id)) = it.peek() {
+        if id.to_string() == "pub" {
+            it.next();
+            if let Some(TokenTree::Group(g)) = it.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    it.next();
+                }
+            }
+        }
+    }
+}
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Consume a leading `<...>` group (balanced), returning its tokens.
+fn read_generics(it: &mut TokenIter) -> Vec<TokenTree> {
+    let mut out = Vec::new();
+    match it.peek() {
+        Some(tt) if is_punct(tt, '<') => {}
+        _ => return out,
+    }
+    let mut depth = 0i32;
+    for tt in it.by_ref() {
+        if is_punct(&tt, '<') {
+            depth += 1;
+        } else if is_punct(&tt, '>') {
+            depth -= 1;
+        }
+        out.push(tt);
+        if depth == 0 {
+            break;
+        }
+    }
+    out
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    tokens.iter().cloned().collect::<TokenStream>().to_string()
+}
+
+/// `<'a, T: Bound>` → `<'a, T>`: strip bounds, keep parameter names.
+fn generics_use_string(generics: &[TokenTree]) -> String {
+    if generics.is_empty() {
+        return String::new();
+    }
+    let inner = &generics[1..generics.len() - 1];
+    let mut params: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut depth = 0i32;
+    let mut in_bound = false;
+    for tt in inner {
+        if is_punct(tt, '<') {
+            depth += 1;
+        } else if is_punct(tt, '>') {
+            depth -= 1;
+        } else if depth == 0 && is_punct(tt, ',') {
+            params.push(Vec::new());
+            in_bound = false;
+            continue;
+        } else if depth == 0 && (is_punct(tt, ':') || is_punct(tt, '=')) {
+            in_bound = true;
+            continue;
+        }
+        if !in_bound {
+            params.last_mut().unwrap().push(tt.clone());
+        }
+    }
+    let names: Vec<String> = params
+        .iter()
+        .filter(|p| !p.is_empty())
+        .map(|p| tokens_to_string(p))
+        .collect();
+    format!("<{}>", names.join(", "))
+}
+
+/// Field names of a `{ ... }` fields group.
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    let mut it: TokenIter = stream.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attrs(&mut it);
+        skip_vis(&mut it);
+        match it.next() {
+            Some(TokenTree::Ident(id)) => {
+                names.push(id.to_string());
+                let mut depth = 0i32;
+                for tt in it.by_ref() {
+                    if is_punct(&tt, '<') {
+                        depth += 1;
+                    } else if is_punct(&tt, '>') {
+                        depth -= 1;
+                    } else if depth == 0 && is_punct(&tt, ',') {
+                        break;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    names
+}
+
+/// Number of fields in a `( ... )` fields group.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut last_was_comma = false;
+    for tt in stream {
+        if is_punct(&tt, '<') {
+            depth += 1;
+            last_was_comma = false;
+        } else if is_punct(&tt, '>') {
+            depth -= 1;
+            last_was_comma = false;
+        } else if depth == 0 && is_punct(&tt, ',') {
+            commas += 1;
+            last_was_comma = true;
+        } else {
+            last_was_comma = false;
+        }
+        any = true;
+    }
+    if !any {
+        0
+    } else if last_was_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn enum_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut it: TokenIter = stream.into_iter().peekable();
+    let mut vars = Vec::new();
+    loop {
+        skip_attrs(&mut it);
+        match it.next() {
+            Some(TokenTree::Ident(id)) => {
+                let name = id.to_string();
+                let fields = match it.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let n = tuple_arity(g.stream());
+                        it.next();
+                        VFields::Tuple(n)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let f = named_fields(g.stream());
+                        it.next();
+                        VFields::Named(f)
+                    }
+                    _ => VFields::Unit,
+                };
+                // Skip an optional discriminant up to the separating comma.
+                for tt in it.by_ref() {
+                    if is_punct(&tt, ',') {
+                        break;
+                    }
+                }
+                vars.push(Variant { name, fields });
+            }
+            _ => break,
+        }
+    }
+    vars
+}
+
+fn parse_item(input: TokenStream) -> Parsed {
+    let mut it: TokenIter = input.into_iter().peekable();
+    skip_attrs(&mut it);
+    skip_vis(&mut it);
+    let item_kind = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("shim serde derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("shim serde derive: expected item name, got {other:?}"),
+    };
+    let generics = read_generics(&mut it);
+    let generics_decl = tokens_to_string(&generics);
+    let generics_use = generics_use_string(&generics);
+
+    let kind = match item_kind.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(tuple_arity(g.stream()))
+            }
+            Some(tt) if is_punct(&tt, ';') => Kind::UnitStruct,
+            other => panic!("shim serde derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(enum_variants(g.stream()))
+            }
+            other => panic!("shim serde derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("shim serde derive: cannot derive for `{other}` items"),
+    };
+
+    Parsed {
+        name,
+        generics_decl,
+        generics_use,
+        kind,
+    }
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.kind {
+        Kind::UnitStruct => "::serde::Content::Null".to_string(),
+        Kind::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", elems.join(", "))
+        }
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Kind::Enum(vars) => {
+            let arms: Vec<String> = vars
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VFields::Unit => format!(
+                            "{name}::{vn} => ::serde::Content::Str(\
+                             ::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VFields::Tuple(1) => format!(
+                            "{name}::{vn}(_f0) => ::serde::Content::Map(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Serialize::to_content(_f0))]),"
+                        ),
+                        VFields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("_f{i}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_content(_f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Content::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Content::Seq(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        VFields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_content({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Content::Map(\
+                                 ::std::vec![(::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Content::Map(::std::vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl {decl} ::serde::Serialize for {name} {useargs} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}",
+        decl = p.generics_decl,
+        useargs = p.generics_use,
+    )
+}
+
+fn gen_deserialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.kind {
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_content(_c)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&_s[{i}])?"))
+                .collect();
+            format!(
+                "let _s = _c.as_seq().ok_or_else(|| \
+                 ::serde::DeError::expected(\"sequence\", \"{name}\"))?;\n\
+                 if _s.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"{n}-element sequence\", \"{name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(\
+                         ::serde::field(_m, \"{f}\", \"{name}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "let _m = _c.as_map().ok_or_else(|| \
+                 ::serde::DeError::expected(\"map\", \"{name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join("\n")
+            )
+        }
+        Kind::Enum(vars) => {
+            let unit_arms: Vec<String> = vars
+                .iter()
+                .filter(|v| matches!(v.fields, VFields::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = vars
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VFields::Unit => None,
+                        VFields::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_content(_v)?)),"
+                        )),
+                        VFields::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_content(&_s[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let _s = _v.as_seq().ok_or_else(|| \
+                                 ::serde::DeError::expected(\"sequence\", \"{name}\"))?;\n\
+                                 if _s.len() != {n} {{ return ::std::result::Result::Err(\
+                                 ::serde::DeError::expected(\"{n}-element sequence\", \
+                                 \"{name}\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({}))\n}},",
+                                elems.join(", ")
+                            ))
+                        }
+                        VFields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_content(\
+                                         ::serde::field(_fm, \"{f}\", \"{name}\")?)?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let _fm = _v.as_map().ok_or_else(|| \
+                                 ::serde::DeError::expected(\"map\", \"{name}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vn} {{ {} }})\n}},",
+                                inits.join("\n")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match _c {{\n\
+                 ::serde::Content::Str(_s) => match _s.as_str() {{\n\
+                 {units}\n\
+                 _other => ::std::result::Result::Err(::serde::DeError::expected(\
+                 \"known unit variant\", \"{name}\")),\n\
+                 }},\n\
+                 ::serde::Content::Map(_m) if _m.len() == 1 => {{\n\
+                 let (_k, _v) = &_m[0];\n\
+                 match _k.as_str() {{\n\
+                 {datas}\n\
+                 _other => ::std::result::Result::Err(::serde::DeError::expected(\
+                 \"known variant\", \"{name}\")),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::expected(\
+                 \"enum representation\", \"{name}\")),\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                datas = data_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, unused_variables)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(_c: &::serde::Content) -> \
+             ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}

@@ -79,7 +79,11 @@ fn gray_scott_multi_operand_compute_matches_golden() {
         std::mem::swap(&mut gv, &mut tv);
     }
 
-    let (ru, rv) = if cur[0] == ids[0] { (&au, &av) } else { (&bu, &bv) };
+    let (ru, rv) = if cur[0] == ids[0] {
+        (&au, &av)
+    } else {
+        (&bu, &bv)
+    };
     assert_eq!(ru.to_dense().unwrap(), gu);
     assert_eq!(rv.to_dense().unwrap(), gv);
     assert!(acc.stats().kernels_gpu > 0);
@@ -138,7 +142,11 @@ fn gray_scott_limited_memory_still_exact() {
         std::mem::swap(&mut gu, &mut tu);
         std::mem::swap(&mut gv, &mut tv);
     }
-    let (ru, rv) = if cur[0] == ids[0] { (&au, &av) } else { (&bu, &bv) };
+    let (ru, rv) = if cur[0] == ids[0] {
+        (&au, &av)
+    } else {
+        (&bu, &bv)
+    };
     assert_eq!(ru.to_dense().unwrap(), gu);
     assert_eq!(rv.to_dense().unwrap(), gv);
 }
@@ -167,9 +175,14 @@ fn stencil27_full_exchange_on_device() {
     for _ in 0..steps {
         acc.fill_boundary(src);
         for &t in &tiles {
-            acc.compute2(t, dst, src, stencil27::cost(t.num_cells()), "s27", |dv, sv, bx| {
-                stencil27::step_tile(dv, sv, &bx)
-            });
+            acc.compute2(
+                t,
+                dst,
+                src,
+                stencil27::cost(t.num_cells()),
+                "s27",
+                |dv, sv, bx| stencil27::step_tile(dv, sv, &bx),
+            );
         }
         std::mem::swap(&mut src, &mut dst);
     }
@@ -299,7 +312,8 @@ fn sub_region_tiles_on_gpu_path() {
     acc.sync_to_host(src);
     acc.finish();
 
-    let golden = kernels::heat::golden_run(init::hash_field(8), n, steps, kernels::heat::DEFAULT_FAC);
+    let golden =
+        kernels::heat::golden_run(init::hash_field(8), n, steps, kernels::heat::DEFAULT_FAC);
     let arr = if src == a { &ua } else { &ub };
     assert_eq!(arr.to_dense().unwrap(), golden);
     assert_eq!(acc.stats().write_allocs, 0, "partial tiles must upload dst");

@@ -1,0 +1,409 @@
+//! Fault-matrix integration suite: the deterministic fault-injection layer
+//! in `gpu-sim` crossed with TiDA-acc's graceful degradation.
+//!
+//! The contract under test, per fault class:
+//!
+//! * **disabled** — a `FaultPlan` that is present but disabled changes
+//!   nothing: results, simulated time and accelerator statistics are
+//!   bit-identical to a run without the layer;
+//! * **transient** — transfers retry with backoff and the run produces
+//!   numerically identical results (time and retry counters differ);
+//! * **persistent** — the device is declared failed, dirty regions are
+//!   salvaged, and the run completes correctly on the host path;
+//! * **alloc** — `cudaMalloc`-style failures shrink the slot pool and the
+//!   run still matches the golden solution;
+//! * **stall / degrade** — scheduling perturbations cost time only.
+
+use gpu_sim::{
+    DegradeWindow, FaultPlan, FaultStats, GpuSystem, MachineConfig, SimTime, StreamStall,
+    TransferFaults,
+};
+use kernels::{heat, init};
+use proptest::prelude::*;
+use std::sync::Arc;
+use tida::{tiles_of, Decomposition, Domain, ExchangeMode, RegionSpec, TileArray, TileSpec};
+use tida_acc::{AccOptions, AccStats, ArrayId, Residency, TileAcc};
+
+const N: i64 = 8;
+const STEPS: usize = 3;
+
+/// Everything one faulted run produces, for comparison against a clean run.
+struct FaultRun {
+    result: Vec<f64>,
+    elapsed: SimTime,
+    stats: AccStats,
+    fault_stats: FaultStats,
+    num_slots: usize,
+    device_failed: bool,
+    residency: Vec<Residency>,
+    trace: Option<gpu_sim::Trace>,
+    report: String,
+}
+
+fn drive_heat(
+    acc: &mut TileAcc,
+    decomp: &Arc<Decomposition>,
+    mut src: ArrayId,
+    mut dst: ArrayId,
+    steps: usize,
+) -> ArrayId {
+    let tiles = tiles_of(decomp, TileSpec::RegionSized);
+    for _ in 0..steps {
+        acc.fill_boundary(src);
+        for &t in &tiles {
+            acc.compute2(
+                t,
+                dst,
+                src,
+                heat::cost(t.num_cells()),
+                "heat",
+                |d, s, bx| heat::step_tile(d, s, &bx, heat::DEFAULT_FAC),
+            );
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    acc.sync_to_host(src);
+    src
+}
+
+fn run_faulted(plan: FaultPlan, opts: AccOptions, tracing: bool) -> FaultRun {
+    let decomp = Arc::new(Decomposition::new(
+        Domain::periodic_cube(N),
+        RegionSpec::Grid([2, 2, 1]),
+    ));
+    let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+    let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+    ua.fill_valid(init::hash_field(7));
+    let mut gpu = GpuSystem::new(MachineConfig::k40m().with_faults(plan));
+    gpu.set_tracing(tracing);
+    let mut acc = TileAcc::new(gpu, opts);
+    let a = acc.register(&ua);
+    let b = acc.register(&ub);
+    let last = drive_heat(&mut acc, &decomp, a, b, STEPS);
+    let elapsed = acc.finish();
+    let residency = (0..decomp.num_regions())
+        .map(|r| acc.residency(last, r))
+        .collect();
+    let report = acc.gpu_mut().report().to_string();
+    FaultRun {
+        result: if last == a { &ua } else { &ub }
+            .to_dense()
+            .expect("backed run"),
+        elapsed,
+        stats: acc.stats(),
+        fault_stats: acc.gpu().fault_stats(),
+        num_slots: acc.num_slots(),
+        device_failed: acc.device_failed(),
+        residency,
+        trace: tracing.then(|| acc.gpu().trace()),
+        report,
+    }
+}
+
+fn golden() -> Vec<f64> {
+    heat::golden_run(init::hash_field(7), N, STEPS, heat::DEFAULT_FAC)
+}
+
+/// CI's scheduled sweep sets `FAULT_SEED_OFFSET` to displace the seed window
+/// the property tests explore; local and push/PR runs use offset 0.
+fn seed_offset() -> u64 {
+    std::env::var("FAULT_SEED_OFFSET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+fn transient(rate: f64) -> TransferFaults {
+    TransferFaults {
+        transient_rate: rate,
+        ..TransferFaults::default()
+    }
+}
+
+fn dead_after(n: u64) -> TransferFaults {
+    TransferFaults {
+        fail_after: Some(n),
+        ..TransferFaults::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// (a) present-but-disabled layer is bit-identical
+// ---------------------------------------------------------------------------
+
+#[test]
+fn disabled_plan_is_bit_identical() {
+    let clean = run_faulted(FaultPlan::none(), AccOptions::paper(), false);
+    let gated = run_faulted(
+        FaultPlan::none().with_seed(0xDEAD_BEEF),
+        AccOptions::paper(),
+        false,
+    );
+    assert_eq!(clean.result, golden());
+    assert_eq!(clean.result, gated.result);
+    assert_eq!(clean.elapsed, gated.elapsed);
+    assert_eq!(clean.stats, gated.stats);
+    assert_eq!(clean.fault_stats, FaultStats::default());
+    assert_eq!(gated.fault_stats, FaultStats::default());
+    assert_eq!(clean.residency, gated.residency);
+}
+
+// ---------------------------------------------------------------------------
+// (b) transient faults: retried, numerically identical
+// ---------------------------------------------------------------------------
+
+#[test]
+fn transient_faults_retry_to_identical_results() {
+    let clean = run_faulted(FaultPlan::none(), AccOptions::paper(), false);
+    let plan = FaultPlan {
+        h2d: transient(0.3),
+        d2h: transient(0.3),
+        ..FaultPlan::none().with_seed(11)
+    };
+    let faulted = run_faulted(plan, AccOptions::paper().with_transfer_retries(10), false);
+    assert_eq!(faulted.result, golden());
+    assert!(
+        faulted.fault_stats.h2d_faults + faulted.fault_stats.d2h_faults > 0,
+        "fault plan injected nothing: {:?}",
+        faulted.fault_stats
+    );
+    assert!(faulted.stats.transfer_retries > 0);
+    assert!(
+        !faulted.device_failed,
+        "transient faults must not kill the device"
+    );
+    assert_eq!(faulted.stats.fault_fallbacks, 0);
+    assert!(
+        faulted.elapsed > clean.elapsed,
+        "recovery must cost simulated time: {} !> {}",
+        faulted.elapsed,
+        clean.elapsed
+    );
+    assert!(faulted.fault_stats.lost_time > SimTime::ZERO);
+}
+
+// ---------------------------------------------------------------------------
+// (c) persistent faults: complete correctly via the host path
+// ---------------------------------------------------------------------------
+
+#[test]
+fn persistent_h2d_fault_falls_back_to_host() {
+    let plan = FaultPlan {
+        h2d: dead_after(0),
+        ..FaultPlan::none().with_seed(3)
+    };
+    let run = run_faulted(plan, AccOptions::paper(), false);
+    assert_eq!(run.result, golden());
+    assert!(run.device_failed, "dead H2D lane must fail the device");
+    assert!(run.stats.fault_fallbacks > 0, "{:?}", run.stats);
+    assert!(run.stats.transfer_retries > 0, "retries precede giving up");
+    assert!(run.residency.iter().all(|r| *r == Residency::Host));
+}
+
+#[test]
+fn persistent_d2h_fault_salvages_and_falls_back() {
+    // H2D works, so regions go up and turn dirty on the device before the
+    // dead D2H lane is discovered; recovery must salvage them.
+    let plan = FaultPlan {
+        d2h: dead_after(0),
+        ..FaultPlan::none().with_seed(3)
+    };
+    let run = run_faulted(plan, AccOptions::paper(), false);
+    assert_eq!(run.result, golden());
+    assert!(run.device_failed);
+    assert!(run.stats.salvaged_regions > 0, "{:?}", run.stats);
+    assert!(run.fault_stats.salvages > 0, "{:?}", run.fault_stats);
+    assert!(run.residency.iter().all(|r| *r == Residency::Host));
+}
+
+#[test]
+fn mid_run_d2h_death_still_correct() {
+    // The lane dies only after some successful downloads: the device holds
+    // live, dirty state at the moment of failure.
+    let plan = FaultPlan {
+        d2h: dead_after(2),
+        ..FaultPlan::none().with_seed(5)
+    };
+    let run = run_faulted(plan, AccOptions::paper(), false);
+    assert_eq!(run.result, golden());
+    assert!(run.device_failed);
+}
+
+// ---------------------------------------------------------------------------
+// (d) allocation faults: slot pool shrinks, run still golden
+// ---------------------------------------------------------------------------
+
+#[test]
+fn alloc_faults_shrink_slot_pool() {
+    let clean = run_faulted(FaultPlan::none(), AccOptions::paper(), false);
+    let plan = FaultPlan {
+        alloc_fail_nth: vec![1, 3], // 0-based malloc ordinals
+        ..FaultPlan::none().with_seed(3)
+    };
+    let run = run_faulted(plan, AccOptions::paper(), false);
+    assert_eq!(run.result, golden());
+    assert_eq!(run.stats.slot_shrinks, 2);
+    assert_eq!(run.num_slots, clean.num_slots - 2);
+    assert!(!run.device_failed, "a shrunken pool is degraded, not dead");
+}
+
+#[test]
+fn all_allocs_failing_means_host_only_run() {
+    let plan = FaultPlan {
+        alloc_fail_nth: (0..64).collect(),
+        ..FaultPlan::none().with_seed(3)
+    };
+    let run = run_faulted(plan, AccOptions::paper(), false);
+    assert_eq!(run.result, golden());
+    assert_eq!(run.num_slots, 0);
+    assert!(run.device_failed);
+    assert_eq!(run.stats.kernels_gpu, 0);
+    assert!(run.stats.kernels_host > 0);
+}
+
+// ---------------------------------------------------------------------------
+// (e) stalls and bandwidth-degrade windows cost time only
+// ---------------------------------------------------------------------------
+
+#[test]
+fn stalls_and_degrade_windows_only_cost_time() {
+    let clean = run_faulted(FaultPlan::none(), AccOptions::paper(), false);
+    let plan = FaultPlan {
+        // One slot per stream means few transfers each: stall every transfer
+        // on every stream the run could use.
+        stalls: (0..16)
+            .map(|stream| StreamStall {
+                stream,
+                every: 1,
+                stall: SimTime::from_us(500),
+            })
+            .collect(),
+        degrade: vec![DegradeWindow {
+            from: SimTime::ZERO,
+            until: SimTime::from_us(u64::MAX / 2_000),
+            factor: 3.0,
+        }],
+        ..FaultPlan::none().with_seed(3)
+    };
+    let run = run_faulted(plan, AccOptions::paper(), false);
+    assert_eq!(run.result, clean.result);
+    assert_eq!(run.result, golden());
+    assert!(run.fault_stats.stalls > 0, "{:?}", run.fault_stats);
+    assert!(run.fault_stats.degraded > 0, "{:?}", run.fault_stats);
+    assert!(
+        run.elapsed > clean.elapsed,
+        "{} !> {}",
+        run.elapsed,
+        clean.elapsed
+    );
+    assert!(!run.device_failed);
+    assert_eq!(run.stats.transfer_retries, 0, "stalls are not faults");
+}
+
+// ---------------------------------------------------------------------------
+// (f) recovery is visible: trace categories and run report
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fault_recovery_is_visible_in_trace_and_report() {
+    let plan = FaultPlan {
+        h2d: transient(0.4),
+        d2h: transient(0.4),
+        ..FaultPlan::none().with_seed(21)
+    };
+    let run = run_faulted(plan, AccOptions::paper().with_transfer_retries(12), true);
+    assert_eq!(run.result, golden());
+    let trace = run.trace.expect("tracing run");
+    let has = |cat: &str| trace.spans.iter().any(|s| s.category == cat);
+    assert!(
+        has("h2d-fault") || has("d2h-fault"),
+        "faulted attempts must appear as their own span category"
+    );
+    assert!(has("backoff"), "retry backoff must appear in the trace");
+    assert!(run.report.contains("faults:"), "report:\n{}", run.report);
+    assert!(run.fault_stats.events() > 0);
+    // Chrome export is category-generic: the new categories survive it.
+    let json = trace.to_chrome_json();
+    assert!(json.contains("backoff"));
+}
+
+// ---------------------------------------------------------------------------
+// (g) property: any transient-only plan is result-identical to fault-free
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_transient_only_plans_are_result_identical(
+        seed in 0u64..10_000,
+        h2d_rate in 0.0f64..0.25,
+        d2h_rate in 0.0f64..0.25,
+        max_slots in proptest::option::of(2usize..6),
+    ) {
+        let plan = FaultPlan {
+            h2d: transient(h2d_rate),
+            d2h: transient(d2h_rate),
+            ..FaultPlan::none().with_seed(seed + seed_offset())
+        };
+        let mut opts = AccOptions::paper().with_transfer_retries(10);
+        opts.max_slots = max_slots;
+        let clean = run_faulted(FaultPlan::none(), opts.clone(), false);
+        let faulted = run_faulted(plan, opts, false);
+        prop_assert_eq!(&faulted.result, &clean.result);
+        prop_assert_eq!(faulted.result, golden());
+        prop_assert!(!faulted.device_failed);
+        prop_assert_eq!(&faulted.residency, &clean.residency);
+        // Every injected fault is answered by exactly one retry (no fallback
+        // or salvage happened, so the books must balance).
+        prop_assert_eq!(
+            faulted.stats.transfer_retries,
+            faulted.fault_stats.h2d_faults + faulted.fault_stats.d2h_faults
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// (h) regression: retry/backoff accounting pinned for one seeded plan
+// ---------------------------------------------------------------------------
+
+#[test]
+fn regression_pinned_fault_accounting() {
+    // Deterministic by construction: same plan, same program, same counters.
+    // These numbers pin the splitmix64 fault-decision stream and the retry
+    // accounting; an unintended change to either shows up here first.
+    let plan = FaultPlan {
+        h2d: transient(0.25),
+        d2h: transient(0.25),
+        ..FaultPlan::none().with_seed(42)
+    };
+    let run = run_faulted(
+        plan.clone(),
+        AccOptions::paper().with_transfer_retries(10),
+        false,
+    );
+    assert_eq!(run.result, golden());
+    let fs = run.fault_stats;
+    let again = run_faulted(plan, AccOptions::paper().with_transfer_retries(10), false);
+    assert_eq!(fs, again.fault_stats, "fault stream must be deterministic");
+    assert_eq!(run.elapsed, again.elapsed);
+    assert_eq!(run.stats, again.stats);
+    assert_eq!(
+        run.stats.transfer_retries,
+        fs.h2d_faults + fs.d2h_faults,
+        "every transient fault answered by exactly one retry"
+    );
+    assert_eq!(
+        fs.h2d_attempts,
+        fs.h2d_faults + 4,
+        "pinned: 4 clean H2D transfers"
+    );
+    assert_eq!(
+        fs.d2h_attempts,
+        fs.d2h_faults + 4,
+        "pinned: 4 clean D2H transfers"
+    );
+    assert_eq!(fs.h2d_faults, 1, "pinned fault stream (seed 42)");
+    assert_eq!(fs.d2h_faults, 3, "pinned fault stream (seed 42)");
+    assert_eq!(fs.lost_time, SimTime::from_ns(16_530), "pinned lost time");
+}

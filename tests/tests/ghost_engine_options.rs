@@ -34,9 +34,14 @@ fn heat_run(
     for _ in 0..steps {
         acc.fill_boundary(src);
         for &t in &tiles {
-            acc.compute2(t, dst, src, heat::cost(t.num_cells()), "heat", |d, s, bx| {
-                heat::step_tile(d, s, &bx, heat::DEFAULT_FAC)
-            });
+            acc.compute2(
+                t,
+                dst,
+                src,
+                heat::cost(t.num_cells()),
+                "heat",
+                |d, s, bx| heat::step_tile(d, s, &bx, heat::DEFAULT_FAC),
+            );
         }
         std::mem::swap(&mut src, &mut dst);
     }
@@ -135,9 +140,14 @@ fn barrier_free_hazard_free_under_eviction() {
     for _ in 0..3 {
         acc.fill_boundary(src);
         for &t in &tiles {
-            acc.compute2(t, dst, src, heat::cost(t.num_cells()), "heat", |d, s, bx| {
-                heat::step_tile(d, s, &bx, heat::DEFAULT_FAC)
-            });
+            acc.compute2(
+                t,
+                dst,
+                src,
+                heat::cost(t.num_cells()),
+                "heat",
+                |d, s, bx| heat::step_tile(d, s, &bx, heat::DEFAULT_FAC),
+            );
         }
         std::mem::swap(&mut src, &mut dst);
     }

@@ -20,9 +20,14 @@ fn drive_heat(
     for _ in 0..steps {
         acc.fill_boundary(src);
         for &t in &tiles {
-            acc.compute2(t, dst, src, heat::cost(t.num_cells()), "heat", |d, s, bx| {
-                heat::step_tile(d, s, &bx, heat::DEFAULT_FAC)
-            });
+            acc.compute2(
+                t,
+                dst,
+                src,
+                heat::cost(t.num_cells()),
+                "heat",
+                |d, s, bx| heat::step_tile(d, s, &bx, heat::DEFAULT_FAC),
+            );
         }
         std::mem::swap(&mut src, &mut dst);
     }
@@ -30,13 +35,7 @@ fn drive_heat(
     src
 }
 
-fn run_config(
-    n: i64,
-    spec: RegionSpec,
-    steps: usize,
-    opts: AccOptions,
-    seed: u64,
-) -> Vec<f64> {
+fn run_config(n: i64, spec: RegionSpec, steps: usize, opts: AccOptions, seed: u64) -> Vec<f64> {
     let decomp = Arc::new(Decomposition::new(Domain::periodic_cube(n), spec));
     let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
     let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
@@ -206,9 +205,14 @@ fn out_of_order_tile_traversal_is_bitwise_identical() {
         for _ in 0..steps {
             acc.fill_boundary(src);
             for &t in &tiles {
-                acc.compute2(t, dst, src, heat::cost(t.num_cells()), "heat", |d, s, bx| {
-                    heat::step_tile(d, s, &bx, heat::DEFAULT_FAC)
-                });
+                acc.compute2(
+                    t,
+                    dst,
+                    src,
+                    heat::cost(t.num_cells()),
+                    "heat",
+                    |d, s, bx| heat::step_tile(d, s, &bx, heat::DEFAULT_FAC),
+                );
             }
             std::mem::swap(&mut src, &mut dst);
         }

@@ -4,7 +4,7 @@
 
 use baselines::{busy as bbusy, heat as bheat, tida_busy, tida_heat, MemMode, RunOpts, TidaOpts};
 use gpu_sim::{MachineConfig, SimTime};
-use kernels::busy::{DEFAULT_KERNEL_ITERATION, MathImpl};
+use kernels::busy::{MathImpl, DEFAULT_KERNEL_ITERATION};
 
 fn cfg() -> MachineConfig {
     MachineConfig::k40m()
@@ -31,7 +31,10 @@ fn transfer_volume_matches_between_models() {
     let n = 256i64;
     let bytes = (n * n * n) as u64 * 8;
     let tida = tida_busy(&cfg(), n, 3, 10, &TidaOpts::timing(8));
-    assert_eq!(tida.bytes_h2d, bytes, "one upload per region, no re-uploads");
+    assert_eq!(
+        tida.bytes_h2d, bytes,
+        "one upload per region, no re-uploads"
+    );
     assert_eq!(tida.bytes_d2h, bytes, "one download per region at drain");
 }
 
@@ -39,7 +42,13 @@ fn transfer_volume_matches_between_models() {
 fn oversubscription_moves_more_bytes_but_not_more_time() {
     let n = 256i64;
     let steps = 6;
-    let full = tida_busy(&cfg(), n, steps, DEFAULT_KERNEL_ITERATION, &TidaOpts::timing(8));
+    let full = tida_busy(
+        &cfg(),
+        n,
+        steps,
+        DEFAULT_KERNEL_ITERATION,
+        &TidaOpts::timing(8),
+    );
     let tight = tida_busy(
         &cfg(),
         n,
@@ -108,7 +117,10 @@ fn trace_shows_both_directions_overlapping_compute() {
     // Engines: 0 = h2d, 1 = d2h, 2 = compute.
     assert!(tr.overlap_time(0, 2) > SimTime::ZERO, "H2D under compute");
     assert!(tr.overlap_time(1, 2) > SimTime::ZERO, "D2H under compute");
-    assert!(tr.overlap_time(0, 1) > SimTime::ZERO, "both DMA engines concurrently");
+    assert!(
+        tr.overlap_time(0, 1) > SimTime::ZERO,
+        "both DMA engines concurrently"
+    );
 }
 
 #[test]
@@ -139,9 +151,14 @@ fn hazard_free_schedule_under_eviction_pressure() {
     for _ in 0..3 {
         acc.fill_boundary(src);
         for &t in &tiles {
-            acc.compute2(t, dst, src, heat::cost(t.num_cells()), "heat", |d, s, bx| {
-                heat::step_tile(d, s, &bx, heat::DEFAULT_FAC)
-            });
+            acc.compute2(
+                t,
+                dst,
+                src,
+                heat::cost(t.num_cells()),
+                "heat",
+                |d, s, bx| heat::step_tile(d, s, &bx, heat::DEFAULT_FAC),
+            );
         }
         std::mem::swap(&mut src, &mut dst);
     }

@@ -13,7 +13,12 @@ fn machine_config_never_changes_results() {
     let golden = heat::golden_run(init::hash_field(11), n, steps, heat::DEFAULT_FAC);
 
     let k40 = tida_heat(&MachineConfig::k40m(), n, steps, &TidaOpts::validated(4));
-    let p100 = tida_heat(&MachineConfig::p100_nvlink(), n, steps, &TidaOpts::validated(4));
+    let p100 = tida_heat(
+        &MachineConfig::p100_nvlink(),
+        n,
+        steps,
+        &TidaOpts::validated(4),
+    );
     assert_eq!(k40.result.as_ref().unwrap(), &golden);
     assert_eq!(p100.result.as_ref().unwrap(), &golden);
     assert_ne!(
@@ -93,9 +98,16 @@ fn prefetch_overlaps_unrelated_host_work() {
         }
         // Unrelated host-side preparation (e.g. building the next phase's
         // work lists).
-        acc.gpu_mut().host_work(gpu_sim::SimTime::from_ms(2), "prep");
+        acc.gpu_mut()
+            .host_work(gpu_sim::SimTime::from_ms(2), "prep");
         for t in tiles_of(&decomp, TileSpec::RegionSized) {
-            acc.compute1(t, a, gpu_sim::KernelCost::Bytes(t.num_cells() * 16), "k", |_, _| {});
+            acc.compute1(
+                t,
+                a,
+                gpu_sim::KernelCost::Bytes(t.num_cells() * 16),
+                "k",
+                |_, _| {},
+            );
         }
         acc.sync_to_host(a);
         acc.finish()
