@@ -89,7 +89,7 @@ pub fn tida_multigrid(
     let mut other = at;
     let smooth = |acc: &mut TileAcc, cur: &mut ArrayId, other: &mut ArrayId, sweeps: usize| {
         for _ in 0..sweeps {
-            acc.fill_boundary(*cur);
+            acc.fill_boundary(*cur).unwrap();
             for &t in &tiles {
                 let (c, _o) = (*cur, *other);
                 let _ = c;
@@ -100,7 +100,8 @@ pub fn tida_multigrid(
                     jacobi::cost(t.num_cells()),
                     "mg-smooth",
                     move |ws, rs, bx| sweep_tile_h2(&mut ws[0], &rs[0], &rs[1], &bx, h2),
-                );
+                )
+                .unwrap();
             }
             std::mem::swap(cur, other);
         }
@@ -112,7 +113,7 @@ pub fn tida_multigrid(
     // Helper closures can't borrow acc twice; inline the phases.
     for cycle in 0..=cycles {
         // Residual on the device (also gives the convergence history).
-        acc.fill_boundary(cur);
+        acc.fill_boundary(cur).unwrap();
         for &t in &tiles {
             acc.compute(
                 t,
@@ -121,9 +122,10 @@ pub fn tida_multigrid(
                 jacobi::cost(t.num_cells()),
                 "mg-residual",
                 move |ws, rs, bx| residual_tile_h2(&mut ws[0], &rs[0], &rs[1], &bx, h2),
-            );
+            )
+            .unwrap();
         }
-        residuals.push(acc.reduce_max_abs(ar).unwrap_or(f64::NAN));
+        residuals.push(acc.reduce_max_abs(ar).unwrap().unwrap_or(f64::NAN));
         if cycle == cycles {
             break;
         }
@@ -133,7 +135,7 @@ pub fn tida_multigrid(
 
         // Coarse-grid correction on the host: fresh residual, restrict,
         // recursive dense V-cycle, prolongate the correction into `u`.
-        acc.fill_boundary(cur);
+        acc.fill_boundary(cur).unwrap();
         for &t in &tiles {
             acc.compute(
                 t,
@@ -142,10 +144,11 @@ pub fn tida_multigrid(
                 jacobi::cost(t.num_cells()),
                 "mg-residual",
                 move |ws, rs, bx| residual_tile_h2(&mut ws[0], &rs[0], &rs[1], &bx, h2),
-            );
+            )
+            .unwrap();
         }
-        acc.sync_to_host(ar);
-        acc.sync_to_host(cur);
+        acc.sync_to_host(ar).unwrap();
+        acc.sync_to_host(cur).unwrap();
         // Host-side coarse solve, charged at the host's streaming rate: the
         // whole coarse hierarchy costs about one fine-grid pass.
         let coarse_cost =
@@ -174,7 +177,7 @@ pub fn tida_multigrid(
         smooth(&mut acc, &mut cur, &mut other, post);
     }
 
-    acc.sync_to_host(cur);
+    acc.sync_to_host(cur).unwrap();
     let elapsed = acc.finish();
     let cur_arr = [&u_arr, &tmp_arr][if cur == au { 0 } else { 1 }];
     MgResult {

@@ -90,7 +90,7 @@ pub fn tida_heat(cfg: &MachineConfig, n: i64, steps: usize, opts: &TidaOpts) -> 
     let (mut src, mut dst) = (a, b);
     let fac = heat::DEFAULT_FAC;
     for _ in 0..steps {
-        acc.fill_boundary(src);
+        acc.fill_boundary(src).unwrap();
         for &t in &tiles {
             acc.compute2(
                 t,
@@ -99,11 +99,12 @@ pub fn tida_heat(cfg: &MachineConfig, n: i64, steps: usize, opts: &TidaOpts) -> 
                 heat::cost(t.num_cells()),
                 "heat",
                 move |d, s, bx| heat::step_tile(d, s, &bx, fac),
-            );
+            )
+            .unwrap();
         }
         std::mem::swap(&mut src, &mut dst);
     }
-    acc.sync_to_host(src);
+    acc.sync_to_host(src).unwrap();
     let final_array = if src == a { &ua } else { &ub };
     let label = format!("TiDA-acc({}r)", opts.regions);
     result_of(&mut acc, final_array, label, opts.tracing)
@@ -139,10 +140,11 @@ pub fn tida_busy(
                 busy::cost(t.num_cells(), iters, busy::MathImpl::PgiLibm),
                 "busy",
                 move |v, bx| busy::apply_tile(v, &bx, iters),
-            );
+            )
+            .unwrap();
         }
     }
-    acc.sync_to_host(a);
+    acc.sync_to_host(a).unwrap();
     let label = match opts.acc.max_slots {
         Some(k) => format!("TiDA-acc({}r,{k}slots)", opts.regions),
         None => format!("TiDA-acc({}r)", opts.regions),
@@ -197,7 +199,7 @@ pub fn tida_heat_timetiled(
     let (mut src, mut dst) = (a, b);
     for _ in 0..steps / block {
         // One wide exchange feeds `block` inner steps.
-        acc.fill_boundary(src);
+        acc.fill_boundary(src).unwrap();
         for r in 0..decomp.num_regions() {
             let valid = decomp.region_box(r);
             let (mut s_in, mut d_in) = (src, dst);
@@ -214,7 +216,8 @@ pub fn tida_heat_timetiled(
                     heat::cost(tile.num_cells()),
                     "heat-tt",
                     move |d, s, bx| heat::step_tile(d, s, &bx, fac),
-                );
+                )
+                .unwrap();
                 std::mem::swap(&mut s_in, &mut d_in);
             }
         }
@@ -223,7 +226,7 @@ pub fn tida_heat_timetiled(
         }
         // block even: the result landed back in `src`.
     }
-    acc.sync_to_host(src);
+    acc.sync_to_host(src).unwrap();
     let elapsed = acc.finish();
     let final_array = if src == a { &ua } else { &ub };
     RunResult {
@@ -262,7 +265,7 @@ pub fn tida_heat_multi(
     let (mut src, mut dst) = (a, b);
     let fac = heat::DEFAULT_FAC;
     for _ in 0..steps {
-        acc.fill_boundary(src);
+        acc.fill_boundary(src).unwrap();
         for &t in &tiles {
             acc.compute2(
                 t,
@@ -271,11 +274,12 @@ pub fn tida_heat_multi(
                 heat::cost(t.num_cells()),
                 "heat",
                 move |d, s, bx| heat::step_tile(d, s, &bx, fac),
-            );
+            )
+            .unwrap();
         }
         std::mem::swap(&mut src, &mut dst);
     }
-    acc.sync_to_host(src);
+    acc.sync_to_host(src).unwrap();
     let elapsed = acc.finish();
     let final_array = if src == a { &ua } else { &ub };
     RunResult {

@@ -7,7 +7,8 @@
 //! cargo run --release -p tida-bench --bin figures -- fig7 --quick
 //! ```
 //!
-//! Subcommands: `fig1 fig5 fig6 fig7 fig8 ablations all`. Pass `--quick`
+//! Subcommands: `fig1 fig5 fig6 fig7 fig8 ablations extensions recovery all`.
+//! Pass `--quick`
 //! for the reduced CI-sized workloads.
 
 use tida_bench::experiments::{self as exp, Scale};
@@ -79,6 +80,12 @@ fn main() {
         emit(&exp::cpu_gpu_crossover(scale), json, "ext_e4_crossover");
         emit(&exp::temporal_blocking(scale), json, "ext_e5_temporal");
     }
+    if wants("recovery") {
+        ran = true;
+        let f = exp::checkpoint_overhead(scale);
+        emit(&f, json, "r1_checkpoint_overhead");
+        println!("{}", f.render_bars(60));
+    }
     if wants("ablations") {
         ran = true;
         for (f, slug) in [
@@ -93,7 +100,7 @@ fn main() {
     }
 
     if !ran {
-        eprintln!("unknown figure '{what}'; use: fig1 fig5 fig6 fig7 fig8 ablations extensions all [--quick] [--json]");
+        eprintln!("unknown figure '{what}'; use: fig1 fig5 fig6 fig7 fig8 ablations extensions recovery all [--quick] [--json]");
         std::process::exit(2);
     }
 }

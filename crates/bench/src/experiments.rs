@@ -577,6 +577,110 @@ pub fn temporal_blocking(scale: Scale) -> FigData {
     fig
 }
 
+/// R1: checkpoint overhead vs. interval, with and without a mid-run crash.
+///
+/// A supervised heat run (timing-only buffers) at several snapshot cadences:
+/// the fault-free series prices the checkpoints themselves (each one drains
+/// dirty regions to the host), and the crashed series adds the replayed work
+/// — tighter intervals cost more up front but lose less on recovery.
+pub fn checkpoint_overhead(scale: Scale) -> FigData {
+    use gpu_sim::{CrashFault, FaultPlan, GpuSystem};
+    use std::cell::Cell;
+    use std::sync::Arc;
+    use tida::{tiles_of, Decomposition, Domain, ExchangeMode, RegionSpec, TileArray, TileSpec};
+    use tida_acc::{ArrayId, CheckpointPolicy, Supervisor, SupervisorConfig, TileAcc};
+
+    let (n, steps, regions) = match scale {
+        Scale::Paper => (128i64, 32u64, 16usize),
+        Scale::Quick => (32i64, 12u64, 8usize),
+    };
+    let mut fig = FigData::new(
+        format!(
+            "R1: checkpoint interval vs. run time, heat {n}^3, {steps} steps, {regions} regions"
+        ),
+        "time [ms]",
+    );
+
+    let run = |interval: u64, crash: bool| {
+        let decomp = Arc::new(Decomposition::new(
+            Domain::periodic_cube(n),
+            RegionSpec::Count(regions),
+        ));
+        let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, false);
+        let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, false);
+        let mut sup = Supervisor::new(SupervisorConfig {
+            policy: CheckpointPolicy::every(interval).keep(2),
+            ..SupervisorConfig::default()
+        });
+        let ids: Cell<Option<(ArrayId, ArrayId)>> = Cell::new(None);
+        let d = decomp.clone();
+        // Mid-run: every step launches one kernel per region (plus ghost
+        // gathers), so this ordinal lands about halfway through attempt 0.
+        let crash_at = steps / 2 * regions as u64;
+        sup.run(
+            steps,
+            |attempt| {
+                let plan = if crash && attempt == 0 {
+                    FaultPlan::none().with_crash(CrashFault::at_kernel(crash_at))
+                } else {
+                    FaultPlan::none()
+                };
+                let mut acc =
+                    TileAcc::new(GpuSystem::new(cfg().with_faults(plan)), AccOptions::paper());
+                ids.set(Some((acc.register(&ua), acc.register(&ub))));
+                acc
+            },
+            |acc, step| {
+                let (a, b) = ids.get().expect("build ran first");
+                let (src, dst) = if step % 2 == 0 { (a, b) } else { (b, a) };
+                acc.fill_boundary(src)?;
+                for t in tiles_of(&d, TileSpec::RegionSized) {
+                    acc.compute2(
+                        t,
+                        dst,
+                        src,
+                        kernels::heat::cost(t.num_cells()),
+                        "heat",
+                        |dv, sv, bx| {
+                            kernels::heat::step_tile(dv, sv, &bx, kernels::heat::DEFAULT_FAC)
+                        },
+                    )?;
+                }
+                Ok(())
+            },
+        )
+        .expect("supervised bench run completes")
+    };
+
+    let intervals = [0u64, 16, 8, 4, 2, 1];
+    let mut clean = Series::new("fault-free");
+    let mut crashed = Series::new("crash at midpoint");
+    let mut lost = String::from("lost virtual time after the crash:");
+    for iv in intervals {
+        let label = if iv == 0 {
+            "no ckpt".to_string()
+        } else {
+            format!("every {iv}")
+        };
+        clean.push(label.clone(), run(iv, false).elapsed.as_ms_f64());
+        let o = run(iv, true);
+        crashed.push(label, o.elapsed.as_ms_f64());
+        lost.push_str(&format!(
+            " [{iv}: {:.2}ms]",
+            o.counters.recovery_time.as_ms_f64()
+        ));
+    }
+    fig.series.extend([clean, crashed]);
+    fig.notes.push(
+        "each snapshot drains dirty regions to the host, so tight intervals tax the \
+         fault-free run; after a crash the un-checkpointed suffix is replayed, so loose \
+         intervals pay on recovery"
+            .into(),
+    );
+    fig.notes.push(lost);
+    fig
+}
+
 /// The options struct used across the harness (re-exported for benches).
 pub fn paper_acc_options() -> AccOptions {
     AccOptions::paper()
@@ -587,6 +691,25 @@ mod tests {
     use super::*;
 
     // Quick-scale smoke tests that also assert the headline shapes.
+
+    #[test]
+    fn checkpoint_overhead_shape_crash_costs_extra() {
+        let f = checkpoint_overhead(Scale::Quick);
+        let clean = f.series.iter().find(|s| s.name == "fault-free").unwrap();
+        let crashed = f
+            .series
+            .iter()
+            .find(|s| s.name == "crash at midpoint")
+            .unwrap();
+        assert_eq!(clean.points.len(), 6);
+        assert_eq!(crashed.points.len(), 6);
+        for ((l, c), (_, x)) in clean.points.iter().zip(&crashed.points) {
+            assert!(
+                x > c,
+                "crashed run must cost more than fault-free at interval {l}: {x} <= {c}"
+            );
+        }
+    }
 
     #[test]
     fn fig1_shape_pinned_fastest_managed_slowest() {

@@ -1,0 +1,617 @@
+//! Crash-consistent checkpoints: snapshot, versioned binary format, store.
+//!
+//! A [`Checkpoint`] captures everything a [`crate::TileAcc`] needs to resume
+//! a run bit-identically: the step cursor, the LRU clock, the accumulated
+//! [`AccStats`], every registered region's host slab, and the cache-list /
+//! dirty-bit state (which, because snapshots are taken *after* a full
+//! `sync_to_host`, must be empty/clean — the crash-consistency invariant
+//! validated on restore).
+//!
+//! # Binary format (version 1)
+//!
+//! ```text
+//! magic   b"TACK"
+//! version u16 LE
+//! section*  { tag u8, payload_len u64 LE, payload, fnv1a64(payload) u64 LE }
+//! ```
+//!
+//! Sections: `META` (1) — step, clock, shape, cache list, dirty bits;
+//! `STATS` (2) — the [`AccStats`] fields as u64 LE; `DATA` (3) — all region
+//! values as f64 LE, concatenated in registration order. Every section
+//! carries its own FNV-1a checksum, so a torn write (truncation) surfaces as
+//! [`CheckpointError::Torn`] and a bit flip as
+//! [`CheckpointError::ChecksumMismatch`] — a reader never trusts a partial
+//! or corrupt snapshot.
+//!
+//! [`CheckpointStore`] keeps the most recent `keep` encoded snapshots in an
+//! in-memory ring and, when a directory is configured, mirrors each one to
+//! disk via an atomic temp-file + rename so a crash mid-write can never
+//! replace a good snapshot with a torn one.
+
+use crate::stats::AccStats;
+use std::collections::VecDeque;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"TACK";
+const VERSION: u16 = 1;
+const TAG_META: u8 = 1;
+const TAG_STATS: u8 = 2;
+const TAG_DATA: u8 = 3;
+
+/// When and how many snapshots to retain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Take a checkpoint every `interval` steps (0 disables periodic
+    /// checkpoints; an initial step-0 snapshot is still taken by the
+    /// supervisor so recovery always has a floor).
+    pub interval: u64,
+    /// How many snapshots to retain (ring buffer; older ones are dropped).
+    pub keep: usize,
+    /// Mirror snapshots to this directory (atomic temp+rename writes).
+    pub dir: Option<PathBuf>,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy {
+            interval: 8,
+            keep: 2,
+            dir: None,
+        }
+    }
+}
+
+impl CheckpointPolicy {
+    pub fn every(interval: u64) -> Self {
+        CheckpointPolicy {
+            interval,
+            ..CheckpointPolicy::default()
+        }
+    }
+
+    pub fn keep(mut self, keep: usize) -> Self {
+        self.keep = keep.max(1);
+        self
+    }
+
+    pub fn on_disk(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.dir = Some(dir.into());
+        self
+    }
+}
+
+/// Why a snapshot could not be decoded or applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Filesystem failure while mirroring or loading a snapshot.
+    Io(String),
+    /// The blob does not start with the `TACK` magic.
+    BadMagic,
+    /// The format version is newer than this reader understands.
+    UnsupportedVersion(u16),
+    /// The blob ends mid-section: a torn (partial) write.
+    Torn,
+    /// A section's checksum does not match its payload: corruption.
+    ChecksumMismatch,
+    /// The snapshot decodes but does not fit this accelerator (different
+    /// array/region shape) or violates the crash-consistency invariant.
+    Incompatible,
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o failed: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a checkpoint (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v}")
+            }
+            CheckpointError::Torn => write!(f, "torn checkpoint (truncated section)"),
+            CheckpointError::ChecksumMismatch => {
+                write!(f, "checkpoint section failed its checksum")
+            }
+            CheckpointError::Incompatible => {
+                write!(f, "checkpoint does not match this accelerator")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// A crash-consistent snapshot of a [`crate::TileAcc`] /
+/// [`crate::MultiAcc`]. Produced by their `checkpoint` methods; applied with
+/// `restore`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Step cursor the snapshot was taken at; a restored run resumes here.
+    pub step: u64,
+    /// The runtime's LRU clock, so slot-victim choice replays identically.
+    pub clock: u64,
+    /// Runtime counters at snapshot time (rolled back on restore).
+    pub stats: AccStats,
+    /// `[array][region]` host-slab values; an empty region is virtual
+    /// (never materialized).
+    pub(crate) data: Vec<Vec<Vec<f64>>>,
+    /// Cache list at snapshot time (`-1` = empty slot). Post-sync this is
+    /// all `-1`; restore rejects anything else as inconsistent.
+    pub(crate) cache: Vec<i64>,
+    /// Dirty bits at snapshot time (must all be clear; see `cache`).
+    pub(crate) dirty: Vec<bool>,
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CheckpointError::Torn);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, CheckpointError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+}
+
+fn stats_to_words(s: &AccStats) -> [u64; 18] {
+    [
+        s.hits,
+        s.loads,
+        s.write_allocs,
+        s.evictions,
+        s.writebacks_skipped,
+        s.host_syncs,
+        s.kernels_gpu,
+        s.kernels_host,
+        s.conflict_fallbacks,
+        s.ghost_gpu,
+        s.ghost_host,
+        s.transfer_retries,
+        s.fault_fallbacks,
+        s.slot_shrinks,
+        s.salvaged_regions,
+        s.checkpoints_taken,
+        s.checkpoints_restored,
+        s.hang_detections,
+    ]
+}
+
+fn stats_from_words(w: &[u64; 18]) -> AccStats {
+    AccStats {
+        hits: w[0],
+        loads: w[1],
+        write_allocs: w[2],
+        evictions: w[3],
+        writebacks_skipped: w[4],
+        host_syncs: w[5],
+        kernels_gpu: w[6],
+        kernels_host: w[7],
+        conflict_fallbacks: w[8],
+        ghost_gpu: w[9],
+        ghost_host: w[10],
+        transfer_retries: w[11],
+        fault_fallbacks: w[12],
+        slot_shrinks: w[13],
+        salvaged_regions: w[14],
+        checkpoints_taken: w[15],
+        checkpoints_restored: w[16],
+        hang_detections: w[17],
+    }
+}
+
+impl Checkpoint {
+    /// Serialize to the versioned, per-section-checksummed binary format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut meta = Vec::new();
+        put_u64(&mut meta, self.step);
+        put_u64(&mut meta, self.clock);
+        put_u64(&mut meta, self.data.len() as u64);
+        for regions in &self.data {
+            put_u64(&mut meta, regions.len() as u64);
+            for r in regions {
+                put_u64(&mut meta, r.len() as u64);
+            }
+        }
+        put_u64(&mut meta, self.cache.len() as u64);
+        for &c in &self.cache {
+            put_u64(&mut meta, c as u64);
+        }
+        put_u64(&mut meta, self.dirty.len() as u64);
+        for &d in &self.dirty {
+            meta.push(d as u8);
+        }
+
+        let mut stats = Vec::new();
+        for w in stats_to_words(&self.stats) {
+            put_u64(&mut stats, w);
+        }
+
+        let mut data = Vec::new();
+        for regions in &self.data {
+            for r in regions {
+                for &v in r {
+                    data.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+
+        let mut out = Vec::with_capacity(data.len() + meta.len() + 128);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        for (tag, payload) in [(TAG_META, &meta), (TAG_STATS, &stats), (TAG_DATA, &data)] {
+            out.push(tag);
+            put_u64(&mut out, payload.len() as u64);
+            out.extend_from_slice(payload);
+            put_u64(&mut out, fnv1a64(payload));
+        }
+        out
+    }
+
+    /// Decode a blob, rejecting torn or corrupt snapshots. Inverse of
+    /// [`Checkpoint::encode`].
+    pub fn decode(blob: &[u8]) -> Result<Checkpoint, CheckpointError> {
+        let mut r = Reader { buf: blob, pos: 0 };
+        if r.take(4).map_err(|_| CheckpointError::Torn)? != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = r.u16()?;
+        if version != VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let (mut meta, mut stats, mut data) = (None, None, None);
+        while !r.done() {
+            let tag = r.u8()?;
+            let len = r.u64()? as usize;
+            let payload = r.take(len)?.to_vec();
+            let sum = r.u64()?;
+            if fnv1a64(&payload) != sum {
+                return Err(CheckpointError::ChecksumMismatch);
+            }
+            match tag {
+                TAG_META => meta = Some(payload),
+                TAG_STATS => stats = Some(payload),
+                TAG_DATA => data = Some(payload),
+                // Unknown sections from a future minor revision are skipped
+                // (their checksum was still verified above).
+                _ => {}
+            }
+        }
+        let (meta, stats, data) = match (meta, stats, data) {
+            (Some(m), Some(s), Some(d)) => (m, s, d),
+            _ => return Err(CheckpointError::Torn),
+        };
+
+        let mut m = Reader { buf: &meta, pos: 0 };
+        let step = m.u64()?;
+        let clock = m.u64()?;
+        let narrays = m.u64()? as usize;
+        let mut shape: Vec<Vec<usize>> = Vec::with_capacity(narrays);
+        for _ in 0..narrays {
+            let nregions = m.u64()? as usize;
+            let mut lens = Vec::with_capacity(nregions);
+            for _ in 0..nregions {
+                lens.push(m.u64()? as usize);
+            }
+            shape.push(lens);
+        }
+        let ncache = m.u64()? as usize;
+        let mut cache = Vec::with_capacity(ncache);
+        for _ in 0..ncache {
+            cache.push(m.u64()? as i64);
+        }
+        let ndirty = m.u64()? as usize;
+        let mut dirty = Vec::with_capacity(ndirty);
+        for _ in 0..ndirty {
+            dirty.push(m.u8()? != 0);
+        }
+
+        let mut s = Reader {
+            buf: &stats,
+            pos: 0,
+        };
+        let mut words = [0u64; 18];
+        for w in &mut words {
+            *w = s.u64()?;
+        }
+
+        let total: usize = shape.iter().flatten().sum();
+        if data.len() != total * 8 {
+            return Err(CheckpointError::Incompatible);
+        }
+        let mut d = Reader { buf: &data, pos: 0 };
+        let mut values: Vec<Vec<Vec<f64>>> = Vec::with_capacity(narrays);
+        for lens in &shape {
+            let mut regions = Vec::with_capacity(lens.len());
+            for &len in lens {
+                let mut r = Vec::with_capacity(len);
+                for _ in 0..len {
+                    r.push(f64::from_le_bytes(d.take(8)?.try_into().unwrap()));
+                }
+                regions.push(r);
+            }
+            values.push(regions);
+        }
+
+        Ok(Checkpoint {
+            step,
+            clock,
+            stats: stats_from_words(&words),
+            data: values,
+            cache,
+            dirty,
+        })
+    }
+}
+
+/// A bounded ring of encoded snapshots, optionally mirrored to disk.
+///
+/// The store keeps snapshots *encoded* — [`CheckpointStore::latest_valid`]
+/// decodes newest-first and skips (counting) anything torn or corrupt, so a
+/// failed or tampered latest snapshot transparently falls back to the one
+/// before it.
+pub struct CheckpointStore {
+    policy: CheckpointPolicy,
+    /// `(sequence number, encoded blob)`, oldest first.
+    ring: VecDeque<(u64, Vec<u8>)>,
+    next_seq: u64,
+}
+
+impl CheckpointStore {
+    pub fn new(policy: CheckpointPolicy) -> Self {
+        CheckpointStore {
+            policy,
+            ring: VecDeque::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Rebuild a store from the `ck_*.tack` files in a directory (for a
+    /// cross-process restart). Blobs are loaded verbatim; validation happens
+    /// in [`CheckpointStore::latest_valid`].
+    pub fn scan_dir(policy: CheckpointPolicy, dir: &Path) -> Result<Self, CheckpointError> {
+        let mut found: Vec<(u64, PathBuf)> = Vec::new();
+        let entries = std::fs::read_dir(dir).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| CheckpointError::Io(e.to_string()))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if let Some(seq) = name
+                .strip_prefix("ck_")
+                .and_then(|s| s.strip_suffix(".tack"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                found.push((seq, entry.path()));
+            }
+        }
+        found.sort();
+        let mut store = CheckpointStore::new(policy);
+        for (seq, path) in found {
+            let blob = std::fs::read(&path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+            store.ring.push_back((seq, blob));
+            store.next_seq = seq + 1;
+        }
+        while store.ring.len() > store.policy.keep.max(1) {
+            store.ring.pop_front();
+        }
+        Ok(store)
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Encode and retain a snapshot (dropping the oldest beyond `keep`);
+    /// mirror it to disk atomically when a directory is configured.
+    pub fn push(&mut self, ck: &Checkpoint) -> Result<(), CheckpointError> {
+        let blob = ck.encode();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if let Some(dir) = self.policy.dir.clone() {
+            self.write_atomic(&dir, seq, &blob)?;
+        }
+        self.ring.push_back((seq, blob));
+        while self.ring.len() > self.policy.keep.max(1) {
+            if let Some((old, _)) = self.ring.pop_front() {
+                if let Some(dir) = &self.policy.dir {
+                    let _ = std::fs::remove_file(dir.join(format!("ck_{old:08}.tack")));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn write_atomic(&self, dir: &Path, seq: u64, blob: &[u8]) -> Result<(), CheckpointError> {
+        std::fs::create_dir_all(dir).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        let tmp = dir.join(format!(".ck_{seq:08}.tmp"));
+        let fin = dir.join(format!("ck_{seq:08}.tack"));
+        std::fs::write(&tmp, blob).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        std::fs::rename(&tmp, &fin).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Decode the newest snapshot that passes validation, counting how many
+    /// newer ones were rejected as torn/corrupt. `(None, n)` means no valid
+    /// snapshot exists at all.
+    pub fn latest_valid(&self) -> (Option<Checkpoint>, u64) {
+        let mut rejected = 0;
+        for (_, blob) in self.ring.iter().rev() {
+            match Checkpoint::decode(blob) {
+                Ok(ck) => return (Some(ck), rejected),
+                Err(_) => rejected += 1,
+            }
+        }
+        (None, rejected)
+    }
+
+    /// Flip one bit of the `idx_from_latest`-newest blob (0 = newest) —
+    /// corruption injection for tests.
+    pub fn tamper(&mut self, idx_from_latest: usize, byte: usize) {
+        let n = self.ring.len();
+        if let Some((_, blob)) = self.ring.get_mut(n - 1 - idx_from_latest) {
+            let i = byte % blob.len();
+            blob[i] ^= 0x40;
+        }
+    }
+
+    /// Truncate the `idx_from_latest`-newest blob to `frac` of its length —
+    /// torn-write injection for tests.
+    pub fn truncate(&mut self, idx_from_latest: usize, frac: f64) {
+        let n = self.ring.len();
+        if let Some((_, blob)) = self.ring.get_mut(n - 1 - idx_from_latest) {
+            let keep = ((blob.len() as f64) * frac) as usize;
+            blob.truncate(keep);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            step: 42,
+            clock: 7,
+            stats: AccStats {
+                hits: 3,
+                loads: 5,
+                checkpoints_taken: 1,
+                ..AccStats::default()
+            },
+            data: vec![
+                vec![vec![1.0, 2.5, -3.0], vec![]],
+                vec![vec![0.125], vec![9.0, 10.0]],
+            ],
+            cache: vec![-1, -1],
+            dirty: vec![false, false],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let ck = sample();
+        let blob = ck.encode();
+        let back = Checkpoint::decode(&blob).unwrap();
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let mut blob = sample().encode();
+        blob[0] = b'X';
+        assert_eq!(Checkpoint::decode(&blob), Err(CheckpointError::BadMagic));
+        let mut blob = sample().encode();
+        blob[4] = 9;
+        assert_eq!(
+            Checkpoint::decode(&blob),
+            Err(CheckpointError::UnsupportedVersion(9))
+        );
+    }
+
+    #[test]
+    fn truncation_is_torn() {
+        let blob = sample().encode();
+        for cut in [3, 10, blob.len() / 2, blob.len() - 1] {
+            let e = Checkpoint::decode(&blob[..cut]).unwrap_err();
+            assert!(
+                matches!(e, CheckpointError::Torn | CheckpointError::BadMagic),
+                "cut at {cut} gave {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bitflip_is_checksum_mismatch() {
+        let blob = sample().encode();
+        // Flip a byte inside every section's payload.
+        for at in [20, blob.len() / 2, blob.len() - 12] {
+            let mut b = blob.clone();
+            b[at] ^= 0x01;
+            let e = Checkpoint::decode(&b).unwrap_err();
+            assert!(
+                matches!(e, CheckpointError::ChecksumMismatch | CheckpointError::Torn),
+                "flip at {at} gave {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn store_keeps_ring_and_falls_back_past_corruption() {
+        let mut store = CheckpointStore::new(CheckpointPolicy::every(4).keep(3));
+        for step in [4, 8, 12, 16] {
+            let mut ck = sample();
+            ck.step = step;
+            store.push(&ck).unwrap();
+        }
+        assert_eq!(store.len(), 3); // keep=3 dropped step 4
+        let (ck, rejected) = store.latest_valid();
+        assert_eq!(ck.unwrap().step, 16);
+        assert_eq!(rejected, 0);
+
+        store.tamper(0, 40); // corrupt newest
+        store.truncate(1, 0.5); // tear the one before it
+        let (ck, rejected) = store.latest_valid();
+        assert_eq!(ck.unwrap().step, 8);
+        assert_eq!(rejected, 2);
+    }
+
+    #[test]
+    fn disk_mirror_roundtrips_and_prunes() {
+        let dir = std::env::temp_dir().join(format!("tack-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let policy = CheckpointPolicy::every(1).keep(2).on_disk(&dir);
+        let mut store = CheckpointStore::new(policy.clone());
+        for step in [1, 2, 3] {
+            let mut ck = sample();
+            ck.step = step;
+            store.push(&ck).unwrap();
+        }
+        let files: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(files.len(), 2, "pruned to keep=2: {files:?}");
+
+        let store2 = CheckpointStore::scan_dir(policy, &dir).unwrap();
+        let (ck, rejected) = store2.latest_valid();
+        assert_eq!(ck.unwrap().step, 3);
+        assert_eq!(rejected, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

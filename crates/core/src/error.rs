@@ -1,0 +1,79 @@
+//! Typed runtime errors.
+//!
+//! The accelerator runtime distinguishes failures the caller can *degrade*
+//! around (a static slot conflict, a dead transfer lane — both handled
+//! internally by falling back to the host path) from failures that end the
+//! run: a crashed platform, device memory too small for a single region, or
+//! a working set that cannot be distributed. The latter surface as
+//! [`AccError`] so a supervisor (see [`crate::Supervisor`]) can decide
+//! whether to restore a checkpoint or give up.
+
+use std::fmt;
+
+/// A non-degradable runtime failure of [`crate::TileAcc`] / [`crate::MultiAcc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccError {
+    /// The simulated platform died (seeded crash fault): in-flight work was
+    /// lost and every later submission is refused. Recovery means discarding
+    /// this instance and restoring a checkpoint.
+    Crashed,
+    /// Free device memory cannot hold even one region, so the slot pool
+    /// cannot be sized.
+    Capacity { free_bytes: u64, region_bytes: u64 },
+    /// A device allocation the runtime cannot run without was refused
+    /// (distributed working set or cross-device staging on [`crate::MultiAcc`]).
+    DeviceAlloc { bytes: u64 },
+    /// A transfer failed persistently past the retry budget on a runtime
+    /// with no host-fallback path ([`crate::MultiAcc`] keeps every region
+    /// device-resident).
+    TransferExhausted { region: usize },
+}
+
+impl fmt::Display for AccError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccError::Crashed => write!(f, "simulated platform crashed; restore a checkpoint"),
+            AccError::Capacity {
+                free_bytes,
+                region_bytes,
+            } => write!(
+                f,
+                "device memory ({free_bytes} bytes free) cannot hold a single region ({region_bytes} bytes)"
+            ),
+            AccError::DeviceAlloc { bytes } => {
+                write!(f, "required device allocation of {bytes} bytes was refused")
+            }
+            AccError::TransferExhausted { region } => write!(
+                f,
+                "persistent transfer fault on region {region} exhausted the retry budget"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AccError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        assert!(AccError::Crashed.to_string().contains("crashed"));
+        let e = AccError::Capacity {
+            free_bytes: 1024,
+            region_bytes: 4096,
+        };
+        assert!(e.to_string().contains("1024"));
+        assert!(e.to_string().contains("4096"));
+        assert!(AccError::TransferExhausted { region: 3 }
+            .to_string()
+            .contains("region 3"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(AccError::Crashed);
+        assert!(e.source().is_none());
+    }
+}

@@ -12,25 +12,28 @@
 //! host copies (the paper's "update of ghost cells of a region takes place
 //! in CPU or GPU depending on the location of the region"), and a static
 //! slot conflict between the two regions of a patch falls back to the host
-//! path as well.
+//! path as well. Fatal failures (a crashed platform) propagate as
+//! [`AccError`] — an interrupted exchange leaves ghost cells stale, which is
+//! exactly what checkpoint restore repairs by replaying the exchange.
 
-use crate::tileacc::{ArrayId, Residency, TileAcc};
+use crate::error::AccError;
+use crate::tileacc::{AcquireFail, ArrayId, Residency, TileAcc};
 use gpu_sim::{KernelCost, KernelLaunch};
 use tida::GhostPatch;
 
 impl TileAcc {
     /// Update the ghost cells of every region of `array` from its
     /// neighbours, on the device when possible.
-    pub fn fill_boundary(&mut self, array: ArrayId) {
+    pub fn fill_boundary(&mut self, array: ArrayId) -> Result<(), AccError> {
         let patches: Vec<GhostPatch> = self.array(array).patches().to_vec();
         if patches.is_empty() {
-            return;
+            return Ok(());
         }
         if !self.gpu_enabled() || !self.ghost_on_device() {
             for p in &patches {
-                self.host_patch(array, p);
+                self.host_patch(array, p)?;
             }
-            return;
+            return Ok(());
         }
 
         // The paper synchronizes all streams before starting the update
@@ -42,24 +45,28 @@ impl TileAcc {
         }
 
         if self.ghost_batching() {
-            self.fill_boundary_batched(array, &patches);
-            return;
+            return self.fill_boundary_batched(array, &patches);
         }
         for p in &patches {
             let dst_res = self.residency(array, p.dst_region);
             let src_res = self.residency(array, p.src_region);
             if dst_res == Residency::Host && src_res == Residency::Host {
                 // Both host-resident: update in place, no transfers.
-                self.host_patch(array, p);
+                self.host_patch(array, p)?;
                 continue;
             }
-            self.device_patch(array, p);
+            self.device_patch(array, p)?;
         }
+        Ok(())
     }
 
     /// Batched exchange: one combined gather kernel per destination region
     /// covering all of its patches (same traffic, far fewer launches).
-    fn fill_boundary_batched(&mut self, array: ArrayId, patches: &[GhostPatch]) {
+    fn fill_boundary_batched(
+        &mut self,
+        array: ArrayId,
+        patches: &[GhostPatch],
+    ) -> Result<(), AccError> {
         let regions = self.array(array).num_regions();
         for dst in 0..regions {
             let mine: Vec<GhostPatch> = patches
@@ -76,33 +83,36 @@ impl TileAcc {
                     .all(|p| self.residency(array, p.src_region) == Residency::Host);
             if all_host {
                 for p in &mine {
-                    self.host_patch(array, p);
+                    self.host_patch(array, p)?;
                 }
                 continue;
             }
-            if self.batched_device_patches(array, dst, &mine).is_err() {
+            if !self.batched_device_patches(array, dst, &mine)? {
                 // Slot conflict among the operands: per-patch fallback.
                 self.bump_conflict();
                 for p in &mine {
                     let dst_res = self.residency(array, p.dst_region);
                     let src_res = self.residency(array, p.src_region);
                     if dst_res == Residency::Host && src_res == Residency::Host {
-                        self.host_patch(array, p);
+                        self.host_patch(array, p)?;
                     } else {
-                        self.device_patch(array, p);
+                        self.device_patch(array, p)?;
                     }
                 }
             }
         }
+        Ok(())
     }
 
     /// Launch one gather kernel updating all ghost patches of `dst`.
+    /// `Ok(false)` is a slot conflict among the operands (degradable);
+    /// fatal failures propagate.
     fn batched_device_patches(
         &mut self,
         array: ArrayId,
         dst: usize,
         mine: &[GhostPatch],
-    ) -> Result<(), ()> {
+    ) -> Result<bool, AccError> {
         // Acquire every distinct operand region, pinning as we go.
         let mut pinned: Vec<usize> = Vec::new();
         let mut src_slots: Vec<(usize, usize)> = Vec::new(); // (region, slot)
@@ -117,12 +127,14 @@ impl TileAcc {
                     }
                     src_slots.push((p.src_region, s));
                 }
-                Err(_) => return Err(()),
+                Err(AcquireFail::Fatal(e)) => return Err(e),
+                Err(AcquireFail::Fallback) => return Ok(false),
             }
         }
         let s_dst = match self.acquire_device(array, dst, &pinned) {
             Ok(s) => s,
-            Err(_) => return Err(()),
+            Err(AcquireFail::Fatal(e)) => return Err(e),
+            Err(AcquireFail::Fallback) => return Ok(false),
         };
 
         let total_cells: u64 = mine.iter().map(|p| p.num_cells()).sum();
@@ -191,38 +203,42 @@ impl TileAcc {
         for _ in mine {
             self.bump_ghost_gpu();
         }
-        Ok(())
+        // The crash trigger may have fired on one of this exchange's
+        // transfers or on the gather launch itself.
+        self.check_alive_pub()?;
+        Ok(true)
     }
 
     /// Apply one patch on the host copies (also draining any in-flight
     /// write-backs of the two regions).
-    fn host_patch(&mut self, array: ArrayId, p: &GhostPatch) {
-        self.acquire_host(array, p.src_region);
-        self.acquire_host(array, p.dst_region);
+    fn host_patch(&mut self, array: ArrayId, p: &GhostPatch) -> Result<(), AccError> {
+        self.acquire_host(array, p.src_region)?;
+        self.acquire_host(array, p.dst_region)?;
         let cells = p.num_cells();
         let cfg = self.gpu().config();
         let cost = cfg.host_index_time(cells) + cfg.host_copy_time(cells * 16);
         self.array(array).apply_patch(p);
         self.gpu_mut().host_work(cost, "ghost-host");
         self.bump_ghost_host();
+        Ok(())
     }
 
     /// Apply one patch with a device gather kernel.
-    fn device_patch(&mut self, array: ArrayId, p: &GhostPatch) {
+    fn device_patch(&mut self, array: ArrayId, p: &GhostPatch) -> Result<(), AccError> {
         let s_src = match self.acquire_device(array, p.src_region, &[]) {
             Ok(s) => s,
-            Err(_) => {
+            Err(AcquireFail::Fatal(e)) => return Err(e),
+            Err(AcquireFail::Fallback) => {
                 self.bump_conflict();
-                self.host_patch(array, p);
-                return;
+                return self.host_patch(array, p);
             }
         };
         let s_dst = match self.acquire_device(array, p.dst_region, &[s_src]) {
             Ok(s) => s,
-            Err(_) => {
+            Err(AcquireFail::Fatal(e)) => return Err(e),
+            Err(AcquireFail::Fallback) => {
                 self.bump_conflict();
-                self.host_patch(array, p);
-                return;
+                return self.host_patch(array, p);
             }
         };
 
@@ -275,5 +291,8 @@ impl TileAcc {
         self.mark_dirty(s_dst);
         self.note_foreign_read_pub(s_src, s_dst);
         self.bump_ghost_gpu();
+        // The crash trigger may have fired on this patch's transfers or on
+        // the gather launch itself.
+        self.check_alive_pub()
     }
 }

@@ -43,25 +43,31 @@
 //!     acc.compute1(tile, a, KernelCost::Bytes(tile.num_cells() * 16), "double",
 //!         move |v, bx| {
 //!             for iv in bx.iter() { v.update(iv, |x| 2.0 * x); }
-//!         });
+//!         }).unwrap();
 //! }
-//! acc.sync_to_host(a);
+//! acc.sync_to_host(a).unwrap();
 //! let elapsed = acc.finish();
 //! assert!(elapsed > gpu_sim::SimTime::ZERO);
 //! assert_eq!(u.value(tida::IntVect::new(3, 0, 0)), Some(6.0));
 //! ```
 
+mod checkpoint;
+mod error;
 mod ghost;
 mod iter;
 mod multi;
 mod options;
+mod recovery;
 mod reduce;
 mod stats;
 mod tileacc;
 
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy, CheckpointStore};
+pub use error::AccError;
 pub use iter::AccIter;
 pub use multi::MultiAcc;
 pub use options::{AccOptions, SlotPolicy, WritebackPolicy};
+pub use recovery::{restore_into, RecoveryError, RecoveryOutcome, Supervisor, SupervisorConfig};
 pub use stats::AccStats;
 pub use tileacc::{ArrayId, Residency, TileAcc};
 
@@ -92,7 +98,7 @@ mod tests {
     ) -> ArrayId {
         let tiles = tiles_of(decomp, TileSpec::RegionSized);
         for _ in 0..steps {
-            acc.fill_boundary(src);
+            acc.fill_boundary(src).unwrap();
             for &t in &tiles {
                 acc.compute2(
                     t,
@@ -101,11 +107,12 @@ mod tests {
                     heat::cost(t.num_cells()),
                     "heat",
                     move |d, s, bx| heat::step_tile(d, s, &bx, fac),
-                );
+                )
+                .unwrap();
             }
             std::mem::swap(&mut src, &mut dst);
         }
-        acc.sync_to_host(src);
+        acc.sync_to_host(src).unwrap();
         src
     }
 
@@ -240,7 +247,7 @@ mod tests {
         let (mut src, mut dst) = (a, b);
         for step in 0..4 {
             acc.set_gpu(step % 2 == 0);
-            acc.fill_boundary(src);
+            acc.fill_boundary(src).unwrap();
             for &t in &tiles {
                 acc.compute2(
                     t,
@@ -249,11 +256,12 @@ mod tests {
                     heat::cost(t.num_cells()),
                     "heat",
                     move |d, s, bx| heat::step_tile(d, s, &bx, heat::DEFAULT_FAC),
-                );
+                )
+                .unwrap();
             }
             std::mem::swap(&mut src, &mut dst);
         }
-        acc.sync_to_host(src);
+        acc.sync_to_host(src).unwrap();
         acc.finish();
         let golden = heat::golden_run(init::hash_field(7), n, 4, heat::DEFAULT_FAC);
         let result = if src == a { &ua } else { &ub };
@@ -284,10 +292,11 @@ mod tests {
                     busy::cost(t.num_cells(), iters, busy::MathImpl::PgiLibm),
                     "busy",
                     move |v, bx| busy::apply_tile(v, &bx, iters),
-                );
+                )
+                .unwrap();
             }
         }
-        acc.sync_to_host(a);
+        acc.sync_to_host(a).unwrap();
         acc.finish();
 
         let mut golden: Vec<f64> = {
@@ -315,7 +324,8 @@ mod tests {
         let tiles = tiles_of(&decomp, TileSpec::RegionSized);
         for _ in 0..5 {
             for &t in &tiles {
-                acc.compute1(t, a, gpu_sim::KernelCost::Flops(1e6), "noop", |_, _| {});
+                acc.compute1(t, a, gpu_sim::KernelCost::Flops(1e6), "noop", |_, _| {})
+                    .unwrap();
             }
         }
         acc.finish();
@@ -345,9 +355,10 @@ mod tests {
                 busy::cost(t.num_cells() * 100_000, 40, busy::MathImpl::PgiLibm),
                 "busy",
                 |_, _| {},
-            );
+            )
+            .unwrap();
         }
-        acc.sync_to_host(a);
+        acc.sync_to_host(a).unwrap();
         acc.finish();
         let tr = acc.gpu().trace();
         // Engines: 0 = h2d, 2 = compute.
@@ -380,10 +391,11 @@ mod tests {
                         busy::cost(t.num_cells() * 50_000, 40, busy::MathImpl::PgiLibm),
                         "busy",
                         |_, _| {},
-                    );
+                    )
+                    .unwrap();
                 }
             }
-            acc.sync_to_host(a);
+            acc.sync_to_host(a).unwrap();
             acc.finish()
         };
         let unlimited = run(None);
@@ -416,10 +428,11 @@ mod tests {
                     v.update(iv, |x| x + 1.0);
                 }
             },
-        );
+        )
+        .unwrap();
         // Host copy is stale until sync.
         assert_eq!(u.value(IntVect::ZERO), Some(1.0));
-        acc.sync_to_host(a);
+        acc.sync_to_host(a).unwrap();
         assert_eq!(u.value(IntVect::ZERO), Some(2.0));
         assert_eq!(acc.residency(a, 0), Residency::Host);
     }
@@ -443,8 +456,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot hold a single region")]
-    fn device_too_small_for_one_region_panics() {
+    fn device_too_small_for_one_region_is_a_typed_error() {
         let decomp = Arc::new(Decomposition::new(
             Domain::periodic_cube(16),
             RegionSpec::Count(1),
@@ -454,7 +466,19 @@ mod tests {
         let mut acc = TileAcc::new(gpu, AccOptions::paper());
         let a = acc.register(&u);
         let tiles = tiles_of(&decomp, TileSpec::RegionSized);
-        acc.compute1(tiles[0], a, gpu_sim::KernelCost::Flops(1.0), "k", |_, _| {});
+        let err = acc
+            .compute1(tiles[0], a, gpu_sim::KernelCost::Flops(1.0), "k", |_, _| {})
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                AccError::Capacity {
+                    free_bytes: 1024,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]

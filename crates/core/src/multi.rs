@@ -19,6 +19,9 @@
 //! (the point of multiple GPUs is aggregate memory); combining distribution
 //! with slot staging is future work.
 
+use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::error::AccError;
+use crate::stats::AccStats;
 use crate::tileacc::ArrayId;
 use gpu_sim::{
     DeviceBuffer, GpuSystem, HostBuffer, HostMemKind, KernelCost, KernelLaunch, SimTime, StreamId,
@@ -60,7 +63,8 @@ pub struct MultiAcc {
 
 /// Retry budget for injected transient transfer faults. `MultiAcc` keeps
 /// every region device-resident, so it has no host-fallback path: past this
-/// many retries a persistent fault is unrecoverable and the run panics.
+/// many retries a persistent fault surfaces as
+/// [`AccError::TransferExhausted`].
 const MAX_TRANSFER_RETRIES: u32 = 8;
 
 impl MultiAcc {
@@ -128,12 +132,23 @@ impl MultiAcc {
         self.decomp.as_ref().expect("no arrays").num_regions()
     }
 
+    /// Fail fast when the simulated platform has crashed (see
+    /// [`crate::TileAcc`]'s equivalent): everything submitted after a crash
+    /// is refused, and device-resident data is lost.
+    fn check_alive(&self) -> Result<(), AccError> {
+        if self.gpu.crashed() {
+            Err(AccError::Crashed)
+        } else {
+            Ok(())
+        }
+    }
+
     /// Allocate device buffers and streams: region `r` goes to device
     /// `r * D / R` (contiguous blocks minimize cross-device faces for slab
     /// decompositions).
-    fn ensure_init(&mut self) {
+    fn ensure_init(&mut self) -> Result<(), AccError> {
         if self.initialized {
-            return;
+            return Ok(());
         }
         let regions = self.num_regions();
         let devices = self.gpu.num_devices();
@@ -146,23 +161,25 @@ impl MultiAcc {
         for ai in 0..self.arrays.len() {
             for r in 0..regions {
                 let len = self.arrays[ai].array.region(r).slab.len();
-                let dev = self
-                    .gpu
-                    .malloc_device_on(self.owner[r], len)
-                    .expect("multi-GPU assumes the distributed working set fits");
+                let dev = self.gpu.malloc_device_on(self.owner[r], len).map_err(|_| {
+                    AccError::DeviceAlloc {
+                        bytes: (len * std::mem::size_of::<f64>()) as u64,
+                    }
+                })?;
                 self.arrays[ai].dev.push(dev);
             }
             self.arrays[ai].resident = vec![false; regions];
             self.arrays[ai].dirty = vec![false; regions];
         }
         self.initialized = true;
+        Ok(())
     }
 
     /// Upload a region to its owner if the host copy is authoritative.
-    fn ensure_resident(&mut self, a: ArrayId, r: usize, write_all: bool) {
-        self.ensure_init();
+    fn ensure_resident(&mut self, a: ArrayId, r: usize, write_all: bool) -> Result<(), AccError> {
+        self.ensure_init()?;
         if self.arrays[a.0].resident[r] {
-            return;
+            return Ok(());
         }
         if !write_all {
             let len = self.arrays[a.0].array.region(r).slab.len();
@@ -172,10 +189,16 @@ impl MultiAcc {
                 .memcpy_h2d_async(dev, 0, host, 0, len, self.streams[r]);
             let mut attempt: u32 = 0;
             while self.gpu.op_faulted(op) {
-                assert!(
-                    attempt < MAX_TRANSFER_RETRIES,
-                    "MultiAcc cannot degrade past a persistent H2D fault on region {r}"
-                );
+                if self.gpu.crashed() {
+                    // A crash is not a persistent transfer fault; retrying a
+                    // dead platform would misdiagnose it.
+                    return Err(AccError::Crashed);
+                }
+                if attempt >= MAX_TRANSFER_RETRIES {
+                    // MultiAcc cannot degrade past a persistent H2D fault:
+                    // it keeps every region device-resident.
+                    return Err(AccError::TransferExhausted { region: r });
+                }
                 self.gpu.backoff_work(
                     SimTime::from_us(20u64 << attempt.min(10)),
                     "h2d-retry-backoff",
@@ -188,12 +211,13 @@ impl MultiAcc {
         }
         self.arrays[a.0].resident[r] = true;
         self.arrays[a.0].dirty[r] = write_all;
+        Ok(())
     }
 
     /// Bring a region back to the host (blocking), releasing residency.
-    fn acquire_host(&mut self, a: ArrayId, r: usize) {
+    fn acquire_host(&mut self, a: ArrayId, r: usize) -> Result<(), AccError> {
         if !self.initialized || !self.arrays[a.0].resident[r] {
-            return;
+            return Ok(());
         }
         if self.arrays[a.0].dirty[r] {
             let len = self.arrays[a.0].array.region(r).slab.len();
@@ -203,6 +227,11 @@ impl MultiAcc {
                 .memcpy_d2h_async(host, 0, dev, 0, len, self.streams[r]);
             let mut attempt: u32 = 0;
             while self.gpu.op_faulted(op) {
+                if self.gpu.crashed() {
+                    // Device data died with the platform; not even the
+                    // salvage path can rescue it.
+                    return Err(AccError::Crashed);
+                }
                 if attempt >= MAX_TRANSFER_RETRIES {
                     // Last resort: the fault-exempt salvage path still gets
                     // the data home (slowly) before we give up retrying.
@@ -223,13 +252,15 @@ impl MultiAcc {
         self.gpu.stream_synchronize(self.streams[r]);
         self.arrays[a.0].resident[r] = false;
         self.arrays[a.0].dirty[r] = false;
+        Ok(())
     }
 
     /// Bring every region of `array` home (pipelined per-stream drain).
-    pub fn sync_to_host(&mut self, array: ArrayId) {
+    pub fn sync_to_host(&mut self, array: ArrayId) -> Result<(), AccError> {
         for r in 0..self.num_regions() {
-            self.acquire_host(array, r);
+            self.acquire_host(array, r)?;
         }
+        Ok(())
     }
 
     /// In-place kernel over one tile (distributed `compute1`).
@@ -240,9 +271,10 @@ impl MultiAcc {
         cost: KernelCost,
         label: &'static str,
         f: impl FnOnce(&mut tida::ViewMut<'_>, Box3) + 'static,
-    ) {
+    ) -> Result<(), AccError> {
+        self.check_alive()?;
         let r = tile.region;
-        self.ensure_resident(array, r, false);
+        self.ensure_resident(array, r, false)?;
         let slab = self.gpu.device_slab(self.arrays[array.0].dev[r]);
         let layout = self.arrays[array.0].array.region(r).layout;
         let bx = tile.bx;
@@ -257,6 +289,8 @@ impl MultiAcc {
                 }),
         );
         self.arrays[array.0].dirty[r] = true;
+        // The crash trigger may have fired on this very launch.
+        self.check_alive()
     }
 
     /// Two-operand kernel over matching regions (distributed `compute2`).
@@ -270,12 +304,13 @@ impl MultiAcc {
         cost: KernelCost,
         label: &'static str,
         f: impl FnOnce(&mut tida::ViewMut<'_>, &tida::View<'_>, Box3) + 'static,
-    ) {
+    ) -> Result<(), AccError> {
         assert_ne!(dst, src, "compute2 operands must be distinct arrays");
+        self.check_alive()?;
         let r = tile.region;
         let write_all = tile.bx == self.arrays[dst.0].array.region(r).valid;
-        self.ensure_resident(src, r, false);
-        self.ensure_resident(dst, r, write_all);
+        self.ensure_resident(src, r, false)?;
+        self.ensure_resident(dst, r, write_all)?;
         let dslab = self.gpu.device_slab(self.arrays[dst.0].dev[r]);
         let sslab = self.gpu.device_slab(self.arrays[src.0].dev[r]);
         let dl = self.arrays[dst.0].array.region(r).layout;
@@ -293,6 +328,8 @@ impl MultiAcc {
                 }),
         );
         self.arrays[dst.0].dirty[r] = true;
+        // The crash trigger may have fired on this very launch.
+        self.check_alive()
     }
 
     /// General multi-operand kernel over matching regions (distributed
@@ -306,17 +343,18 @@ impl MultiAcc {
         cost: KernelCost,
         label: &'static str,
         f: impl FnOnce(&mut [tida::ViewMut<'_>], &[tida::View<'_>], Box3) + 'static,
-    ) {
+    ) -> Result<(), AccError> {
         assert!(!writes.is_empty(), "compute needs at least one write array");
+        self.check_alive()?;
         let r = tile.region;
         let write_all = tile
             .bx
             .contains_box(&self.arrays[writes[0].0].array.region(r).valid);
         for &a in reads {
-            self.ensure_resident(a, r, false);
+            self.ensure_resident(a, r, false)?;
         }
         for (i, &a) in writes.iter().enumerate() {
-            self.ensure_resident(a, r, i == 0 && write_all && !reads.contains(&a));
+            self.ensure_resident(a, r, i == 0 && write_all && !reads.contains(&a))?;
         }
         let wpairs: Vec<(memslab::Slab, tida::Layout)> = writes
             .iter()
@@ -356,6 +394,8 @@ impl MultiAcc {
         for &a in writes {
             self.arrays[a.0].dirty[r] = true;
         }
+        // The crash trigger may have fired on this very launch.
+        self.check_alive()
     }
 
     /// Reduce `map(cell)` over every valid cell of `array` with `combine`
@@ -369,12 +409,13 @@ impl MultiAcc {
         identity: f64,
         map: M,
         combine: C,
-    ) -> Option<f64>
+    ) -> Result<Option<f64>, AccError>
     where
         M: Fn(f64) -> f64 + Clone + 'static,
         C: Fn(f64, f64) -> f64 + Clone + 'static,
     {
-        self.ensure_init();
+        self.check_alive()?;
+        self.ensure_init()?;
         let regions = self.num_regions();
         let partials = std::sync::Arc::new(parking_lot::Mutex::new(vec![identity; regions]));
         let virtual_run = self.array_ref(array).is_virtual();
@@ -416,19 +457,20 @@ impl MultiAcc {
         }
         self.gpu.device_synchronize();
         if virtual_run {
-            return None;
+            return Ok(None);
         }
         let partials = partials.lock();
-        Some(partials.iter().copied().fold(identity, combine))
+        Ok(Some(partials.iter().copied().fold(identity, combine)))
     }
 
     /// Ghost exchange across all regions, using device gathers within a
     /// device and pack → peer-copy → unpack across devices.
-    pub fn fill_boundary(&mut self, array: ArrayId) {
-        self.ensure_init();
+    pub fn fill_boundary(&mut self, array: ArrayId) -> Result<(), AccError> {
+        self.check_alive()?;
+        self.ensure_init()?;
         let patches: Vec<GhostPatch> = self.array_ref(array).patches().to_vec();
         if patches.is_empty() {
-            return;
+            return Ok(());
         }
         // The paper's `acc wait` before the update phase.
         self.gpu.device_synchronize();
@@ -438,34 +480,36 @@ impl MultiAcc {
             let src_res = self.arrays[array.0].resident[p.src_region];
             if !dst_res && !src_res {
                 // Both authoritative on the host: update in place.
-                self.host_patch(array, p);
+                self.host_patch(array, p)?;
                 continue;
             }
-            self.ensure_resident(array, p.src_region, false);
-            self.ensure_resident(array, p.dst_region, false);
+            self.ensure_resident(array, p.src_region, false)?;
+            self.ensure_resident(array, p.dst_region, false)?;
             if self.owner[p.src_region] == self.owner[p.dst_region] {
-                self.same_device_patch(array, p);
+                self.same_device_patch(array, p)?;
             } else {
-                self.cross_device_patch(array, p);
+                self.cross_device_patch(array, p)?;
             }
         }
+        Ok(())
     }
 
     fn array_ref(&self, a: ArrayId) -> &TileArray {
         &self.arrays[a.0].array
     }
 
-    fn host_patch(&mut self, array: ArrayId, p: &GhostPatch) {
-        self.acquire_host(array, p.src_region);
-        self.acquire_host(array, p.dst_region);
+    fn host_patch(&mut self, array: ArrayId, p: &GhostPatch) -> Result<(), AccError> {
+        self.acquire_host(array, p.src_region)?;
+        self.acquire_host(array, p.dst_region)?;
         let cells = p.num_cells();
         let cfg = self.gpu.config();
         let cost = cfg.host_index_time(cells) + cfg.host_copy_time(cells * 16);
         self.array_ref(array).apply_patch(p);
         self.gpu.host_work(cost, "ghost-host");
+        Ok(())
     }
 
-    fn same_device_patch(&mut self, array: ArrayId, p: &GhostPatch) {
+    fn same_device_patch(&mut self, array: ArrayId, p: &GhostPatch) -> Result<(), AccError> {
         let cells = p.num_cells();
         let idx_time = self.gpu.config().host_index_time(cells);
         self.gpu.host_work(idx_time, "ghost-idx");
@@ -502,15 +546,17 @@ impl MultiAcc {
                 }),
         );
         self.arrays[array.0].dirty[p.dst_region] = true;
+        // The crash trigger may have fired on this very launch.
+        self.check_alive()
     }
 
     /// Pack on the source device, peer-copy, unpack on the destination.
-    fn cross_device_patch(&mut self, array: ArrayId, p: &GhostPatch) {
+    fn cross_device_patch(&mut self, array: ArrayId, p: &GhostPatch) -> Result<(), AccError> {
         let cells = p.num_cells() as usize;
         let idx_time = self.gpu.config().host_index_time(cells as u64);
         self.gpu.host_work(idx_time, "ghost-idx");
 
-        let staging = self.patch_staging(p, cells);
+        let staging = self.patch_staging(p, cells)?;
         let src_layout = self.array_ref(array).region(p.src_region).layout;
         let dst_layout = self.array_ref(array).region(p.dst_region).layout;
         let patch = *p;
@@ -576,33 +622,114 @@ impl MultiAcc {
         // peer copy; serialize via an event back onto the source stream.
         let ev2 = self.gpu.record_event(self.streams[p.dst_region]);
         self.gpu.stream_wait_event(self.streams[p.src_region], ev2);
+        // The crash trigger may have fired on the pack/copy/unpack chain.
+        self.check_alive()
     }
 
     /// Get (allocating on first use) the staging pair for a patch. Staging
     /// buffers are keyed by (src_region, dst_region, box) — patch geometry
     /// is static, so each exchange reuses its pair.
-    fn patch_staging(&mut self, p: &GhostPatch, cells: usize) -> PatchStaging {
+    fn patch_staging(&mut self, p: &GhostPatch, cells: usize) -> Result<PatchStaging, AccError> {
         // Staging buffers are small; allocate fresh per call would leak
         // device memory across steps, so cache by key.
         let key = (p.src_region, p.dst_region, p.dst_box);
         if let Some(idx) = self.staging_keys.iter().position(|k| *k == key) {
-            return self.staging[idx];
+            return Ok(self.staging[idx]);
         }
+        let stage_err = || AccError::DeviceAlloc {
+            bytes: (cells * std::mem::size_of::<f64>()) as u64,
+        };
         let src_stage = self
             .gpu
             .malloc_device_on(self.owner[p.src_region], cells)
-            .expect("staging allocation");
+            .map_err(|_| stage_err())?;
         let dst_stage = self
             .gpu
             .malloc_device_on(self.owner[p.dst_region], cells)
-            .expect("staging allocation");
+            .map_err(|_| stage_err())?;
         let entry = PatchStaging {
             src_stage,
             dst_stage,
         };
         self.staging_keys.push(key);
         self.staging.push(entry);
-        entry
+        Ok(entry)
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint / restore (shared [`Checkpoint`] type with `TileAcc`).
+    // ------------------------------------------------------------------
+
+    /// Capture a crash-consistent snapshot: all regions are drained home
+    /// first, so host slabs are authoritative. `MultiAcc` carries no LRU
+    /// clock or stats, so those snapshot fields stay at their defaults.
+    pub fn checkpoint(&mut self, step: u64) -> Result<Checkpoint, AccError> {
+        self.check_alive()?;
+        for a in 0..self.arrays.len() {
+            self.sync_to_host(ArrayId(a))?;
+        }
+        self.check_alive()?;
+        let data: Vec<Vec<Vec<f64>>> = self
+            .arrays
+            .iter()
+            .map(|e| {
+                e.array
+                    .regions()
+                    .iter()
+                    .map(|r| r.slab.snapshot().unwrap_or_default())
+                    .collect()
+            })
+            .collect();
+        Ok(Checkpoint {
+            step,
+            clock: 0,
+            stats: AccStats::default(),
+            data,
+            cache: Vec::new(),
+            dirty: Vec::new(),
+        })
+    }
+
+    /// Rebuild this runtime's host state from a snapshot; all residency is
+    /// dropped (the host copies are authoritative afterwards).
+    pub fn restore(&mut self, ck: &Checkpoint) -> Result<(), CheckpointError> {
+        if ck.data.len() != self.arrays.len() {
+            return Err(CheckpointError::Incompatible);
+        }
+        for (e, regions) in self.arrays.iter().zip(&ck.data) {
+            if e.array.regions().len() != regions.len() {
+                return Err(CheckpointError::Incompatible);
+            }
+            for (r, saved) in e.array.regions().iter().zip(regions) {
+                if !saved.is_empty() && saved.len() != r.slab.len() {
+                    return Err(CheckpointError::Incompatible);
+                }
+            }
+        }
+        if ck.cache.iter().any(|&c| c != -1) || ck.dirty.iter().any(|&d| d) {
+            return Err(CheckpointError::Incompatible);
+        }
+        for (e, regions) in self.arrays.iter().zip(&ck.data) {
+            for (r, saved) in e.array.regions().iter().zip(regions) {
+                if !saved.is_empty() {
+                    r.slab.materialize();
+                    r.slab.with_mut(|dst| {
+                        if let Some(dst) = dst {
+                            dst.copy_from_slice(saved);
+                        }
+                    });
+                }
+            }
+        }
+        for a in self.arrays.iter_mut() {
+            for f in a.resident.iter_mut() {
+                *f = false;
+            }
+            for f in a.dirty.iter_mut() {
+                *f = false;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -623,7 +750,7 @@ mod tests {
     ) -> ArrayId {
         let tiles = tiles_of(decomp, TileSpec::RegionSized);
         for _ in 0..steps {
-            acc.fill_boundary(src);
+            acc.fill_boundary(src).unwrap();
             for &t in &tiles {
                 acc.compute2(
                     t,
@@ -632,11 +759,12 @@ mod tests {
                     heat::cost(t.num_cells()),
                     "heat",
                     |d, s, bx| heat::step_tile(d, s, &bx, heat::DEFAULT_FAC),
-                );
+                )
+                .unwrap();
             }
             std::mem::swap(&mut src, &mut dst);
         }
-        acc.sync_to_host(src);
+        acc.sync_to_host(src).unwrap();
         src
     }
 
@@ -740,10 +868,11 @@ mod tests {
                         ),
                         "busy",
                         |_, _| {},
-                    );
+                    )
+                    .unwrap();
                 }
             }
-            acc.sync_to_host(a);
+            acc.sync_to_host(a).unwrap();
             acc.finish()
         };
         let one = run(1);
@@ -806,13 +935,68 @@ mod tests {
         u.fill_valid(|iv| iv.z() as f64);
         let mut acc = MultiAcc::new(GpuSystem::multi(MachineConfig::k40m(), 2, true));
         let a = acc.register(&u);
-        acc.fill_boundary(a);
+        acc.fill_boundary(a).unwrap();
         for t in tiles_of(&decomp, TileSpec::RegionSized) {
-            acc.compute1(t, a, gpu_sim::KernelCost::Flops(1e3), "noop", |_, _| {});
+            acc.compute1(t, a, gpu_sim::KernelCost::Flops(1e3), "noop", |_, _| {})
+                .unwrap();
         }
-        acc.sync_to_host(a);
+        acc.sync_to_host(a).unwrap();
         let elapsed = acc.finish();
         assert!(elapsed > SimTime::ZERO);
         assert_eq!(u.value(tida::IntVect::new(0, 0, 5)), Some(5.0));
+    }
+
+    #[test]
+    fn multiacc_checkpoint_resume_is_bit_identical() {
+        let n = 8i64;
+        let mk = || {
+            let decomp = Arc::new(Decomposition::new(
+                Domain::periodic_cube(n),
+                RegionSpec::Count(4),
+            ));
+            let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+            let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+            ua.fill_valid(init::hash_field(55));
+            (decomp, ua, ub)
+        };
+
+        // Uninterrupted 4-step run.
+        let (decomp, ua, ub) = mk();
+        let mut acc = MultiAcc::new(GpuSystem::multi(MachineConfig::k40m(), 2, true));
+        let a = acc.register(&ua);
+        let b = acc.register(&ub);
+        let last = heat_drive(&mut acc, &decomp, a, b, 4);
+        acc.finish();
+        let golden = if last == a {
+            ua.to_dense().unwrap()
+        } else {
+            ub.to_dense().unwrap()
+        };
+
+        // 2 steps, snapshot, discard the accelerator, restore into a fresh
+        // one, 2 more steps: same devices, same grid.
+        let (decomp, ua, ub) = mk();
+        let mut acc = MultiAcc::new(GpuSystem::multi(MachineConfig::k40m(), 2, true));
+        let a = acc.register(&ua);
+        let b = acc.register(&ub);
+        let mid = heat_drive(&mut acc, &decomp, a, b, 2);
+        let ck = acc.checkpoint(2).unwrap();
+        acc.finish();
+        drop(acc);
+
+        let mut acc2 = MultiAcc::new(GpuSystem::multi(MachineConfig::k40m(), 2, true));
+        let a2 = acc2.register(&ua);
+        let b2 = acc2.register(&ub);
+        acc2.restore(&ck).unwrap();
+        // The snapshot was taken with `mid` holding the latest state.
+        let (src, dst) = if mid == a { (a2, b2) } else { (b2, a2) };
+        let last2 = heat_drive(&mut acc2, &decomp, src, dst, 2);
+        acc2.finish();
+        let resumed = if last2 == a2 {
+            ua.to_dense().unwrap()
+        } else {
+            ub.to_dense().unwrap()
+        };
+        assert_eq!(resumed, golden, "restored run must be bit-identical");
     }
 }

@@ -8,6 +8,7 @@
 //! device→host copy; host-resident regions reduce on the host clock. The
 //! call is blocking, like `cublas`-style reductions.
 
+use crate::error::AccError;
 use crate::tileacc::{ArrayId, Residency, TileAcc};
 use gpu_sim::{KernelCost, KernelLaunch};
 use parking_lot::Mutex;
@@ -18,7 +19,7 @@ impl TileAcc {
     /// Reduce `map(cell)` over every valid cell of `array` with the
     /// associative `combine`, starting from `identity`.
     ///
-    /// Returns `None` when the array is virtual (timing-only run) — the
+    /// Returns `Ok(None)` when the array is virtual (timing-only run) — the
     /// schedule cost is still charged, so harnesses can time reductions.
     pub fn reduce<M, C>(
         &mut self,
@@ -27,7 +28,7 @@ impl TileAcc {
         identity: f64,
         map: M,
         combine: C,
-    ) -> Option<f64>
+    ) -> Result<Option<f64>, AccError>
     where
         M: Fn(f64) -> f64 + Clone + 'static,
         C: Fn(f64, f64) -> f64 + Clone + 'static,
@@ -69,12 +70,12 @@ impl TileAcc {
                     // declared failed, so later regions take the host arm.
                     let host_scratch = self.gpu_mut().malloc_host(1, gpu_sim::HostMemKind::Pinned);
                     let dev = self.slot_dev(s);
-                    self.d2h_retrying(host_scratch, dev, 1, stream);
+                    self.d2h_retrying(host_scratch, dev, 1, stream)?;
                 }
                 _ => {
                     // Host partial: the region's authoritative copy is on
                     // the host (or we are in CPU mode — acquire it first).
-                    self.acquire_host(array, r);
+                    self.acquire_host(array, r)?;
                     let (m, c, out) = (map.clone(), combine.clone(), partials.clone());
                     with_view(&reg.slab, reg.layout, |v| {
                         let mut acc = identity;
@@ -92,19 +93,19 @@ impl TileAcc {
         // Blocking: wait for all partials, then combine on the host.
         self.gpu_mut().device_synchronize();
         if virtual_run {
-            return None;
+            return Ok(None);
         }
         let partials = partials.lock();
-        Some(partials.iter().copied().fold(identity, combine))
+        Ok(Some(partials.iter().copied().fold(identity, combine)))
     }
 
     /// Sum of all valid cells.
-    pub fn reduce_sum(&mut self, array: ArrayId) -> Option<f64> {
+    pub fn reduce_sum(&mut self, array: ArrayId) -> Result<Option<f64>, AccError> {
         self.reduce(array, "reduce-sum", 0.0, |x| x, |a, b| a + b)
     }
 
     /// Maximum absolute value over all valid cells.
-    pub fn reduce_max_abs(&mut self, array: ArrayId) -> Option<f64> {
+    pub fn reduce_max_abs(&mut self, array: ArrayId) -> Result<Option<f64>, AccError> {
         self.reduce(array, "reduce-max", 0.0, f64::abs, f64::max)
     }
 }
@@ -132,7 +133,7 @@ mod tests {
     fn sum_over_host_resident_regions() {
         let (mut acc, _u, a, _d) = setup(true);
         // x-3 over x in 0..8 sums to 4 per (y,z) line; 64 lines.
-        assert_eq!(acc.reduce_sum(a), Some(4.0 * 64.0));
+        assert_eq!(acc.reduce_sum(a).unwrap(), Some(4.0 * 64.0));
     }
 
     #[test]
@@ -143,24 +144,25 @@ mod tests {
                 for iv in bx.iter() {
                     v.update(iv, |x| x + 1.0);
                 }
-            });
+            })
+            .unwrap();
         }
         // Regions are device-resident now; the reduction must see the
         // incremented values without an explicit sync_to_host.
-        assert_eq!(acc.reduce_sum(a), Some(4.0 * 64.0 + 512.0));
+        assert_eq!(acc.reduce_sum(a).unwrap(), Some(4.0 * 64.0 + 512.0));
     }
 
     #[test]
     fn max_abs_reduction() {
         let (mut acc, _u, a, _d) = setup(true);
-        assert_eq!(acc.reduce_max_abs(a), Some(4.0)); // |7-3| = 4
+        assert_eq!(acc.reduce_max_abs(a).unwrap(), Some(4.0)); // |7-3| = 4
     }
 
     #[test]
     fn virtual_run_returns_none_but_costs_time() {
         let (mut acc, _u, a, _d) = setup(false);
         let before = acc.gpu().host_now();
-        assert_eq!(acc.reduce_sum(a), None);
+        assert_eq!(acc.reduce_sum(a).unwrap(), None);
         assert!(acc.gpu().host_now() > before, "reduction must cost time");
     }
 
@@ -168,6 +170,6 @@ mod tests {
     fn reduction_in_cpu_mode() {
         let (mut acc, _u, a, _d) = setup(true);
         acc.set_gpu(false);
-        assert_eq!(acc.reduce_sum(a), Some(4.0 * 64.0));
+        assert_eq!(acc.reduce_sum(a).unwrap(), Some(4.0 * 64.0));
     }
 }

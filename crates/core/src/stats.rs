@@ -41,6 +41,13 @@ pub struct AccStats {
     pub slot_shrinks: u64,
     /// Dirty regions rescued through the fault-exempt salvage copy path.
     pub salvaged_regions: u64,
+    /// Crash-consistent checkpoints captured from this runtime.
+    pub checkpoints_taken: u64,
+    /// Times this runtime's state was rebuilt from a checkpoint.
+    pub checkpoints_restored: u64,
+    /// Hangs a supervisor detected against this runtime (progress deadline
+    /// exceeded with no step retired).
+    pub hang_detections: u64,
 }
 
 impl fmt::Display for AccStats {
@@ -68,6 +75,13 @@ impl fmt::Display for AccStats {
                 self.fault_fallbacks,
                 self.slot_shrinks,
                 self.salvaged_regions,
+            )?;
+        }
+        if self.checkpoints_taken + self.checkpoints_restored + self.hang_detections > 0 {
+            write!(
+                f,
+                " ckpts(taken/restored)={}/{} hangs={}",
+                self.checkpoints_taken, self.checkpoints_restored, self.hang_detections,
             )?;
         }
         Ok(())
@@ -118,5 +132,19 @@ mod tests {
         assert!(text.contains("fault_fallbacks=4"));
         assert!(text.contains("slot_shrinks=1"));
         assert!(text.contains("salvaged=1"));
+    }
+
+    #[test]
+    fn display_adds_recovery_suffix_only_when_nonzero() {
+        assert!(!AccStats::default().to_string().contains("ckpts"));
+        let s = AccStats {
+            checkpoints_taken: 3,
+            checkpoints_restored: 1,
+            hang_detections: 2,
+            ..AccStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("ckpts(taken/restored)=3/1"));
+        assert!(text.contains("hangs=2"));
     }
 }

@@ -30,10 +30,13 @@
 //! paper does not spell out its cross-stream ordering; this is the standard
 //! CUDA idiom and preserves the paper's overlap behaviour.
 
+use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::error::AccError;
 use crate::options::{AccOptions, SlotPolicy, WritebackPolicy};
 use crate::stats::AccStats;
 use gpu_sim::{
-    DeviceBuffer, GpuSystem, HostBuffer, HostMemKind, KernelCost, OpId, SimTime, StreamId,
+    DeviceBuffer, GpuSystem, HostBuffer, HostMemKind, KernelCost, OpId, RecoveryCounters, SimTime,
+    StreamId,
 };
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -51,10 +54,15 @@ pub enum Residency {
     Device(usize),
 }
 
-/// A static slot conflict: the operation needed two regions that map to the
-/// same device slot. The caller falls back to the host path.
+/// Why a device acquisition produced no slot.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct SlotConflict;
+pub(crate) enum AcquireFail {
+    /// Degradable: a static slot conflict or a dead device path. The caller
+    /// falls back to the host path.
+    Fallback,
+    /// Fatal (e.g. the platform crashed): must propagate to the caller.
+    Fatal(AccError),
+}
 
 struct ArrayEntry {
     array: TileArray,
@@ -231,9 +239,9 @@ impl TileAcc {
     /// Lazily size and allocate the slot pool (§IV-B-1): query free device
     /// memory and fit as many region-sized buffers as possible, capped by
     /// the total region count and by `opts.max_slots`.
-    fn ensure_slots(&mut self) {
+    fn ensure_slots(&mut self) -> Result<(), AccError> {
         if !self.slots.is_empty() || self.device_failed {
-            return;
+            return Ok(());
         }
         assert!(!self.arrays.is_empty(), "no arrays registered");
         let total = self.num_regions() * self.arrays.len();
@@ -250,10 +258,12 @@ impl TileAcc {
         let n = total
             .min(fit)
             .min(self.opts.max_slots.unwrap_or(usize::MAX));
-        assert!(
-            n >= 1,
-            "device memory ({free} bytes free) cannot hold a single region ({bytes} bytes)"
-        );
+        if n < 1 {
+            return Err(AccError::Capacity {
+                free_bytes: free,
+                region_bytes: bytes,
+            });
+        }
         for _ in 0..n {
             match self.gpu.malloc_device(self.slot_len) {
                 Ok(dev) => {
@@ -281,6 +291,18 @@ impl TileAcc {
             // every tile runs on the host from here.
             self.device_failed = true;
         }
+        Ok(())
+    }
+
+    /// Fail fast when the simulated platform has crashed: everything
+    /// submitted after a crash is refused, so device-path work is futile and
+    /// any device-resident data is already lost.
+    fn check_alive(&self) -> Result<(), AccError> {
+        if self.gpu.crashed() {
+            Err(AccError::Crashed)
+        } else {
+            Ok(())
+        }
     }
 
     fn touch(&mut self, slot: usize) {
@@ -289,21 +311,21 @@ impl TileAcc {
     }
 
     /// Choose the slot for global region `g`, never one of `pinned`.
-    fn pick_slot(&self, g: usize, pinned: &[usize]) -> Result<usize, SlotConflict> {
+    /// `None` is a static slot conflict.
+    fn pick_slot(&self, g: usize, pinned: &[usize]) -> Option<usize> {
         let n = self.slots.len();
         match self.opts.policy {
             SlotPolicy::StaticInterleaved => {
                 let s = g % n;
                 if pinned.contains(&s) {
-                    Err(SlotConflict)
+                    None
                 } else {
-                    Ok(s)
+                    Some(s)
                 }
             }
             SlotPolicy::Lru => (0..n)
                 .filter(|s| !pinned.contains(s))
-                .min_by_key(|&s| (self.cache[s].is_some(), self.slots[s].lru_stamp))
-                .ok_or(SlotConflict),
+                .min_by_key(|&s| (self.cache[s].is_some(), self.slots[s].lru_stamp)),
         }
     }
 
@@ -316,7 +338,7 @@ impl TileAcc {
         array: ArrayId,
         region: usize,
         pinned: &[usize],
-    ) -> Result<usize, SlotConflict> {
+    ) -> Result<usize, AcquireFail> {
         self.acquire_device_intent(array, region, pinned, false)
     }
 
@@ -330,10 +352,10 @@ impl TileAcc {
         region: usize,
         pinned: &[usize],
         write_all: bool,
-    ) -> Result<usize, SlotConflict> {
-        self.ensure_slots();
+    ) -> Result<usize, AcquireFail> {
+        self.ensure_slots().map_err(AcquireFail::Fatal)?;
         if self.device_failed {
-            return Err(SlotConflict);
+            return Err(AcquireFail::Fallback);
         }
         let g = self.gidx(array, region);
         if let Some(s) = self.loc[g] {
@@ -341,7 +363,9 @@ impl TileAcc {
             self.touch(s);
             return Ok(s);
         }
-        let s = self.pick_slot(g, pinned)?;
+        let Some(s) = self.pick_slot(g, pinned) else {
+            return Err(AcquireFail::Fallback);
+        };
 
         // Everything that happens to this slot from here on must wait for
         // kernels in *other* streams still using it.
@@ -356,11 +380,11 @@ impl TileAcc {
                 let (a2, r2) = self.gsplit(g2);
                 let host = self.arrays[a2].host[r2];
                 let len = self.arrays[a2].array.region(r2).slab.len();
-                let op = self.flush_d2h(s, host, len);
+                let op = self.flush_d2h(s, host, len).map_err(AcquireFail::Fatal)?;
                 if self.device_failed {
                     // The write-back exhausted its retries: fail_device
                     // already salvaged and released everything.
-                    return Err(SlotConflict);
+                    return Err(AcquireFail::Fallback);
                 }
                 self.inflight_writeback.insert(g2, op);
                 self.host_slab_op.insert(g2, op);
@@ -401,16 +425,20 @@ impl TileAcc {
 
     /// Host→device region load with bounded retry-with-backoff on injected
     /// transient faults. Exhausting the retries declares the device dead and
-    /// returns `SlotConflict` so the caller degrades to the host path.
-    fn load_h2d(&mut self, s: usize, host: HostBuffer, len: usize) -> Result<OpId, SlotConflict> {
+    /// the caller degrades to the host path; a crash is fatal (retrying a
+    /// dead platform would misdiagnose the crash as a persistent fault).
+    fn load_h2d(&mut self, s: usize, host: HostBuffer, len: usize) -> Result<OpId, AcquireFail> {
         let dev = self.slots[s].dev;
         let stream = self.streams[s];
         let mut op = self.gpu.memcpy_h2d_async(dev, 0, host, 0, len, stream);
         let mut attempt: u32 = 0;
         while self.gpu.op_faulted(op) {
+            if self.gpu.crashed() {
+                return Err(AcquireFail::Fatal(AccError::Crashed));
+            }
             if attempt >= self.opts.max_transfer_retries {
                 self.fail_device();
-                return Err(SlotConflict);
+                return Err(AcquireFail::Fallback);
             }
             self.stats.transfer_retries += 1;
             let backoff = SimTime::from_ns(self.opts.retry_backoff.as_ns() << attempt.min(16));
@@ -431,15 +459,20 @@ impl TileAcc {
         dev: DeviceBuffer,
         len: usize,
         stream: StreamId,
-    ) -> OpId {
+    ) -> Result<OpId, AccError> {
         let mut op = self.gpu.memcpy_d2h_async(dst, 0, dev, 0, len, stream);
         let mut attempt: u32 = 0;
         while self.gpu.op_faulted(op) {
+            if self.gpu.crashed() {
+                // Device data died with the platform; not even the salvage
+                // path can rescue it. The caller restores a checkpoint.
+                return Err(AccError::Crashed);
+            }
             if attempt >= self.opts.max_transfer_retries {
                 self.stats.salvaged_regions += 1;
                 let op = self.gpu.memcpy_d2h_salvage(dst, 0, dev, 0, len, stream);
                 self.fail_device();
-                return op;
+                return Ok(op);
             }
             self.stats.transfer_retries += 1;
             let backoff = SimTime::from_ns(self.opts.retry_backoff.as_ns() << attempt.min(16));
@@ -447,13 +480,13 @@ impl TileAcc {
             op = self.gpu.memcpy_d2h_async(dst, 0, dev, 0, len, stream);
             attempt += 1;
         }
-        op
+        Ok(op)
     }
 
     /// Write a slot's region back to the host with retry/salvage. Clears the
     /// dirty bit first so a `fail_device` triggered by this very flush does
     /// not salvage the same slot a second time.
-    fn flush_d2h(&mut self, s: usize, host: HostBuffer, len: usize) -> OpId {
+    fn flush_d2h(&mut self, s: usize, host: HostBuffer, len: usize) -> Result<OpId, AccError> {
         self.slots[s].dirty = false;
         let dev = self.slots[s].dev;
         let stream = self.streams[s];
@@ -509,9 +542,9 @@ impl TileAcc {
     /// device-resident, queue the transfer back and block until it lands
     /// (the caller may touch the data immediately, §IV-B-3). The slot is
     /// released.
-    pub(crate) fn acquire_host(&mut self, array: ArrayId, region: usize) {
+    pub(crate) fn acquire_host(&mut self, array: ArrayId, region: usize) -> Result<(), AccError> {
         if self.slots.is_empty() {
-            return; // nothing was ever on the device
+            return Ok(()); // nothing was ever on the device
         }
         let g = self.gidx(array, region);
         if let Some(s) = self.loc[g] {
@@ -521,12 +554,12 @@ impl TileAcc {
                 let (a, r) = self.gsplit(g);
                 let host = self.arrays[a].host[r];
                 let len = self.arrays[a].array.region(r).slab.len();
-                self.flush_d2h(s, host, len);
+                self.flush_d2h(s, host, len)?;
                 self.stats.host_syncs += 1;
                 if self.device_failed {
                     // fail_device already drained the device and released
                     // every slot; the host buffer is authoritative.
-                    return;
+                    return Ok(());
                 }
             }
             self.gpu.stream_synchronize(self.streams[s]);
@@ -544,15 +577,17 @@ impl TileAcc {
         if let Some(op) = self.host_slab_op.remove(&g) {
             self.gpu.sync_op(op);
         }
+        Ok(())
     }
 
     /// Bring every region of `array` back to the host, region by region —
     /// the drain is pipelined because each region syncs only its own slot's
     /// stream.
-    pub fn sync_to_host(&mut self, array: ArrayId) {
+    pub fn sync_to_host(&mut self, array: ArrayId) -> Result<(), AccError> {
         for r in 0..self.num_regions() {
-            self.acquire_host(array, r);
+            self.acquire_host(array, r)?;
         }
+        Ok(())
     }
 
     /// Asynchronously stage a region onto the device ahead of use
@@ -560,19 +595,24 @@ impl TileAcc {
     /// region is already resident or when GPU execution is disabled; under
     /// the static policy a region whose slot is needed by later operands
     /// may still be evicted before use.
-    pub fn prefetch(&mut self, array: ArrayId, region: usize) {
+    pub fn prefetch(&mut self, array: ArrayId, region: usize) -> Result<(), AccError> {
         if !self.gpu_mode {
-            return;
+            return Ok(());
         }
-        self.ensure_slots();
-        let _ = self.acquire_device(array, region, &[]);
+        self.check_alive()?;
+        self.ensure_slots()?;
+        match self.acquire_device(array, region, &[]) {
+            Ok(_) | Err(AcquireFail::Fallback) => Ok(()),
+            Err(AcquireFail::Fatal(e)) => Err(e),
+        }
     }
 
     /// Prefetch every region of `array` (pipelined across slot streams).
-    pub fn prefetch_all(&mut self, array: ArrayId) {
+    pub fn prefetch_all(&mut self, array: ArrayId) -> Result<(), AccError> {
         for r in 0..self.num_regions() {
-            self.prefetch(array, r);
+            self.prefetch(array, r)?;
         }
+        Ok(())
     }
 
     /// Record that a kernel running in `consumer_stream_slot`'s stream reads
@@ -610,20 +650,20 @@ impl TileAcc {
         cost: KernelCost,
         label: &'static str,
         f: impl FnOnce(&mut tida::ViewMut<'_>, Box3) + 'static,
-    ) {
+    ) -> Result<(), AccError> {
         if !self.gpu_mode {
-            self.compute1_host(tile, array, cost, label, f);
-            return;
+            return self.compute1_host(tile, array, cost, label, f);
         }
-        self.ensure_slots();
+        self.check_alive()?;
+        self.ensure_slots()?;
         let s = match self.acquire_device(array, tile.region, &[]) {
             Ok(s) => s,
-            Err(SlotConflict) => {
+            Err(AcquireFail::Fatal(e)) => return Err(e),
+            Err(AcquireFail::Fallback) => {
                 // A single operand cannot statically conflict, but the
                 // acquire fails this way when the device path is dead.
                 self.note_fallback();
-                self.compute1_host(tile, array, cost, label, f);
-                return;
+                return self.compute1_host(tile, array, cost, label, f);
             }
         };
         let slab = self.gpu.device_slab(self.slots[s].dev);
@@ -641,6 +681,9 @@ impl TileAcc {
         );
         self.slots[s].dirty = true;
         self.stats.kernels_gpu += 1;
+        // The crash trigger may have fired on this very launch, in which
+        // case the kernel was submitted effect-less: surface that now.
+        self.check_alive()
     }
 
     fn compute1_host(
@@ -650,14 +693,15 @@ impl TileAcc {
         cost: KernelCost,
         label: &'static str,
         f: impl FnOnce(&mut tida::ViewMut<'_>, Box3),
-    ) {
-        self.acquire_host(array, tile.region);
+    ) -> Result<(), AccError> {
+        self.acquire_host(array, tile.region)?;
         let r = self.arrays[array.0].array.region(tile.region);
         let (slab, layout) = (r.slab.clone(), r.layout);
         with_view_mut(&slab, layout, |mut v| f(&mut v, tile.bx));
         let d = cost.duration_on_host(self.gpu.config());
         self.gpu.host_work(d, label);
         self.stats.kernels_host += 1;
+        Ok(())
     }
 
     /// Two-operand kernel over matching regions: `dst <- f(src)` on the
@@ -671,10 +715,10 @@ impl TileAcc {
         cost: KernelCost,
         label: &'static str,
         f: impl FnOnce(&mut tida::ViewMut<'_>, &tida::View<'_>, Box3) + 'static,
-    ) {
+    ) -> Result<(), AccError> {
         self.compute(tile, &[dst], &[src], cost, label, move |ws, rs, bx| {
             f(&mut ws[0], &rs[0], bx)
-        });
+        })
     }
 
     /// The general multi-operand kernel (§V: "If computation involves
@@ -695,7 +739,7 @@ impl TileAcc {
         cost: KernelCost,
         label: &'static str,
         f: impl FnOnce(&mut [tida::ViewMut<'_>], &[tida::View<'_>], Box3) + 'static,
-    ) {
+    ) -> Result<(), AccError> {
         assert!(!writes.is_empty(), "compute needs at least one write array");
         for (i, w) in writes.iter().enumerate() {
             assert!(
@@ -708,10 +752,10 @@ impl TileAcc {
             );
         }
         if !self.gpu_mode {
-            self.compute_host(tile, writes, reads, cost, label, f);
-            return;
+            return self.compute_host(tile, writes, reads, cost, label, f);
         }
-        self.ensure_slots();
+        self.check_alive()?;
+        self.ensure_slots()?;
         let r = tile.region;
         let write_all = tile.bx == self.arrays[writes[0].0].array.region(r).valid;
 
@@ -728,10 +772,10 @@ impl TileAcc {
                     }
                     read_slots.push(s);
                 }
-                Err(SlotConflict) => {
+                Err(AcquireFail::Fatal(e)) => return Err(e),
+                Err(AcquireFail::Fallback) => {
                     self.note_fallback();
-                    self.compute_host(tile, writes, reads, cost, label, f);
-                    return;
+                    return self.compute_host(tile, writes, reads, cost, label, f);
                 }
             }
         }
@@ -742,10 +786,10 @@ impl TileAcc {
                     pinned.push(s);
                     write_slots.push(s);
                 }
-                Err(SlotConflict) => {
+                Err(AcquireFail::Fatal(e)) => return Err(e),
+                Err(AcquireFail::Fallback) => {
                     self.note_fallback();
-                    self.compute_host(tile, writes, reads, cost, label, f);
-                    return;
+                    return self.compute_host(tile, writes, reads, cost, label, f);
                 }
             }
         }
@@ -811,6 +855,9 @@ impl TileAcc {
             self.note_foreign_read(s, ks);
         }
         self.stats.kernels_gpu += 1;
+        // The crash trigger may have fired on one of this operation's
+        // transfers or on the launch itself: surface that now.
+        self.check_alive()
     }
 
     fn compute_host(
@@ -821,9 +868,9 @@ impl TileAcc {
         cost: KernelCost,
         label: &'static str,
         f: impl FnOnce(&mut [tida::ViewMut<'_>], &[tida::View<'_>], Box3),
-    ) {
+    ) -> Result<(), AccError> {
         for &a in reads.iter().chain(writes) {
-            self.acquire_host(a, tile.region);
+            self.acquire_host(a, tile.region)?;
         }
         let wpairs: Vec<(memslab::Slab, tida::Layout)> = writes
             .iter()
@@ -847,6 +894,119 @@ impl TileAcc {
         let d = cost.duration_on_host(self.gpu.config());
         self.gpu.host_work(d, label);
         self.stats.kernels_host += 1;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint / restore (crash-consistent snapshots).
+    // ------------------------------------------------------------------
+
+    /// Capture a crash-consistent snapshot of every registered array.
+    ///
+    /// All arrays are first drained to the host (`sync_to_host`), so the
+    /// snapshot's invariant is: host slabs authoritative, device cache empty,
+    /// no dirty slots. `restore` validates exactly that invariant, which is
+    /// what makes a restored run bit-identical to an uninterrupted one —
+    /// the continued computation depends only on host data.
+    pub fn checkpoint(&mut self, step: u64) -> Result<Checkpoint, AccError> {
+        self.check_alive()?;
+        for a in 0..self.arrays.len() {
+            self.sync_to_host(ArrayId(a))?;
+        }
+        self.check_alive()?;
+        self.stats.checkpoints_taken += 1;
+        let data: Vec<Vec<Vec<f64>>> = self
+            .arrays
+            .iter()
+            .map(|e| {
+                e.array
+                    .regions()
+                    .iter()
+                    .map(|r| r.slab.snapshot().unwrap_or_default())
+                    .collect()
+            })
+            .collect();
+        let cache: Vec<i64> = self
+            .cache
+            .iter()
+            .map(|c| c.map(|g| g as i64).unwrap_or(-1))
+            .collect();
+        let dirty: Vec<bool> = self.slots.iter().map(|s| s.dirty).collect();
+        Ok(Checkpoint {
+            step,
+            clock: self.clock,
+            stats: self.stats,
+            data,
+            cache,
+            dirty,
+        })
+    }
+
+    /// Rebuild this runtime's state from a snapshot taken by
+    /// [`TileAcc::checkpoint`] (on this accelerator or an identically
+    /// configured one). Host slabs are overwritten, the device cache is
+    /// emptied, and counters are rolled back to the snapshot's values; the
+    /// continued run is bit-identical to one that never crashed.
+    pub fn restore(&mut self, ck: &Checkpoint) -> Result<(), CheckpointError> {
+        if ck.data.len() != self.arrays.len() {
+            return Err(CheckpointError::Incompatible);
+        }
+        for (e, regions) in self.arrays.iter().zip(&ck.data) {
+            if e.array.regions().len() != regions.len() {
+                return Err(CheckpointError::Incompatible);
+            }
+            for (r, saved) in e.array.regions().iter().zip(regions) {
+                // An empty saved slab means the region was never grown
+                // (virtual); a grown region must match its slab length.
+                if !saved.is_empty() && saved.len() != r.slab.len() {
+                    return Err(CheckpointError::Incompatible);
+                }
+            }
+        }
+        // The snapshot was captured post-sync: a torn writer could not have
+        // produced one with resident or dirty slots.
+        if ck.cache.iter().any(|&c| c != -1) || ck.dirty.iter().any(|&d| d) {
+            return Err(CheckpointError::Incompatible);
+        }
+        for (e, regions) in self.arrays.iter().zip(&ck.data) {
+            for (r, saved) in e.array.regions().iter().zip(regions) {
+                if !saved.is_empty() {
+                    r.slab.materialize();
+                    r.slab.with_mut(|dst| {
+                        if let Some(dst) = dst {
+                            dst.copy_from_slice(saved);
+                        }
+                    });
+                }
+            }
+        }
+        // Drop all device residency; the host copies are authoritative.
+        for c in self.cache.iter_mut() {
+            *c = None;
+        }
+        for l in self.loc.iter_mut() {
+            *l = None;
+        }
+        for s in self.slots.iter_mut() {
+            s.dirty = false;
+            s.foreign_consumers.clear();
+        }
+        self.inflight_writeback.clear();
+        self.host_slab_op.clear();
+        self.clock = ck.clock;
+        self.stats = ck.stats;
+        self.stats.checkpoints_restored += 1;
+        Ok(())
+    }
+
+    /// Mirror a supervisor's cumulative recovery counters into this
+    /// runtime's stats. `restore` rolls `stats` back to the snapshot's
+    /// values, so the freshly built accelerator cannot know how many times
+    /// the *run* has been restored — the supervisor re-applies its totals
+    /// after each restore.
+    pub(crate) fn sync_recovery_stats(&mut self, c: RecoveryCounters) {
+        self.stats.checkpoints_restored = c.checkpoints_restored;
+        self.stats.hang_detections = c.hang_detections;
     }
 
     // Internal accessors for ghost.rs.
@@ -880,6 +1040,10 @@ impl TileAcc {
 
     pub(crate) fn drain_consumers_pub(&mut self, slot: usize, stream_slot: usize) {
         self.drain_consumers_into(slot, stream_slot);
+    }
+
+    pub(crate) fn check_alive_pub(&self) -> Result<(), AccError> {
+        self.check_alive()
     }
 
     pub(crate) fn mark_dirty(&mut self, s: usize) {

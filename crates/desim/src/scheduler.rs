@@ -353,6 +353,7 @@ impl Scheduler {
                     category: self.ops[idx].category.to_string(),
                     start,
                     end,
+                    seq: idx as u64,
                 });
             }
         }

@@ -22,6 +22,9 @@ pub struct Span {
     pub category: String,
     pub start: SimTime,
     pub end: SimTime,
+    /// Submission index of the operation — a stable tiebreak so span order
+    /// is fully deterministic even at equal timestamps.
+    pub seq: u64,
 }
 
 /// A recorded schedule: engine names plus the spans that ran on them.
@@ -50,10 +53,13 @@ impl Trace {
             .sum()
     }
 
-    /// Spans of one engine, in start order.
+    /// Spans of one engine, in start order. Ties at equal timestamps are
+    /// broken by server slot and then submission sequence, so two runs that
+    /// produce the same schedule (e.g. a checkpoint-resumed run vs an
+    /// uninterrupted one) sort their spans identically.
     pub fn spans_of(&self, engine: usize) -> Vec<&Span> {
         let mut v: Vec<&Span> = self.spans.iter().filter(|s| s.engine == engine).collect();
-        v.sort_by_key(|s| (s.start, s.end));
+        v.sort_by_key(|s| (s.start, s.end, s.server, s.seq));
         v
     }
 
@@ -193,6 +199,7 @@ mod tests {
             category: "test".to_string(),
             start: SimTime::from_ns(start),
             end: SimTime::from_ns(end),
+            seq: start,
         }
     }
 
@@ -231,6 +238,22 @@ mod tests {
         let spans = t.spans_of(0);
         assert_eq!(spans[0].label, "H2D:R0");
         assert_eq!(spans[1].label, "H2D:R1");
+    }
+
+    #[test]
+    fn spans_of_breaks_timestamp_ties_by_server_then_seq() {
+        let mut a = span(0, 1, "late-slot", 0, 100);
+        a.seq = 0;
+        let mut b = span(0, 0, "early-slot", 0, 100);
+        b.seq = 9;
+        let mut c = span(0, 0, "first-submitted", 0, 100);
+        c.seq = 3;
+        let t = Trace {
+            engine_names: vec!["e".into()],
+            spans: vec![a, b, c],
+        };
+        let order: Vec<&str> = t.spans_of(0).iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(order, vec!["first-submitted", "early-slot", "late-slot"]);
     }
 
     #[test]

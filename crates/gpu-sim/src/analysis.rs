@@ -11,6 +11,32 @@ use desim::{Bound, CriticalStep, SimTime};
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// Checkpoint/restart accounting merged into a [`RunReport`] by a recovery
+/// supervisor (the simulator itself only observes faults; checkpointing
+/// lives a layer above, in the accelerator runtime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryCounters {
+    pub checkpoints_taken: u64,
+    pub checkpoints_restored: u64,
+    pub hang_detections: u64,
+    pub crash_detections: u64,
+    /// Torn or corrupt snapshots rejected during restore.
+    pub snapshots_rejected: u64,
+    /// Virtual time spent in attempts that were later discarded.
+    pub recovery_time: SimTime,
+}
+
+impl RecoveryCounters {
+    pub fn any(&self) -> bool {
+        self.checkpoints_taken
+            + self.checkpoints_restored
+            + self.hang_detections
+            + self.crash_detections
+            + self.snapshots_rejected
+            > 0
+    }
+}
+
 /// A condensed account of a finished run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -32,6 +58,9 @@ pub struct RunReport {
     pub fault_time: SimTime,
     /// Full fault-layer counters for the run.
     pub fault_stats: FaultStats,
+    /// Checkpoint/restart accounting (zero unless a supervisor merged its
+    /// counters via [`RunReport::with_recovery`]).
+    pub recovery: RecoveryCounters,
 }
 
 impl RunReport {
@@ -41,6 +70,12 @@ impl RunReport {
             .iter()
             .max_by_key(|(_, t)| **t)
             .map(|(c, t)| (*c, *t))
+    }
+
+    /// Merge a supervisor's checkpoint/restart counters into the report.
+    pub fn with_recovery(mut self, recovery: RecoveryCounters) -> Self {
+        self.recovery = recovery;
+        self
     }
 }
 
@@ -69,6 +104,18 @@ impl fmt::Display for RunReport {
                 f,
                 "  faults: {} events, {} lost to faulted attempts/stalls, {} salvage copies",
                 self.fault_events, self.fault_time, self.fault_stats.salvages
+            )?;
+        }
+        if self.recovery.any() {
+            writeln!(
+                f,
+                "  recovery: {} ckpts taken, {} restored, {} hangs, {} crashes, {} rejected, {} lost to discarded attempts",
+                self.recovery.checkpoints_taken,
+                self.recovery.checkpoints_restored,
+                self.recovery.hang_detections,
+                self.recovery.crash_detections,
+                self.recovery.snapshots_rejected,
+                self.recovery.recovery_time
             )?;
         }
         Ok(())
@@ -131,6 +178,7 @@ impl GpuSystem {
             fault_events: fault_stats.events(),
             fault_time: fault_stats.lost_time,
             fault_stats,
+            recovery: RecoveryCounters::default(),
         }
     }
 

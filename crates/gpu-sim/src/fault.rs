@@ -22,7 +22,16 @@
 //! * a **stall** occupies a stream's DMA engine before a transfer starts
 //!   (driver hiccup, ECC scrub);
 //! * a **degrade window** multiplies the duration of transfers enqueued
-//!   while the window is open (link retraining, neighbour traffic).
+//!   while the window is open (link retraining, neighbour traffic);
+//! * a **crash** kills the whole platform at a seeded point (the n-th
+//!   transfer or kernel, or a virtual-time threshold): the triggering
+//!   operation dies mid-flight, every later submission is refused, and
+//!   [`crate::GpuSystem::crashed`] reports the death — recovery means
+//!   discarding the instance and restoring a checkpoint;
+//! * a **livelock** wedges one stream: past a seeded point its transfers
+//!   are accepted and occupy the engine for an enormous horizon but never
+//!   move data — unlike a stall they never resolve, so only a watchdog
+//!   comparing virtual time against progress can catch them.
 //!
 //! `FaultPlan::none()` disables everything; the simulator's fast paths are
 //! bit-identical with the layer present but disabled.
@@ -117,6 +126,71 @@ pub struct DegradeWindow {
     pub factor: f64,
 }
 
+/// A seeded whole-platform abort. The first trigger to fire wins; the
+/// triggering operation dies mid-flight (engine occupied for
+/// [`CrashFault::fraction`] of its nominal time, no data moved) and every
+/// later submission is refused.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrashFault {
+    /// Die on the n-th (1-based) transfer enqueue across the run.
+    pub after_transfers: Option<u64>,
+    /// Die on the n-th (1-based) kernel launch across the run.
+    pub after_kernels: Option<u64>,
+    /// Die on the first submission at or past this host-clock time.
+    pub at_time: Option<SimTime>,
+    /// Fraction of the nominal duration the dying operation occupies its
+    /// engine before the platform goes silent.
+    pub fraction: f64,
+}
+
+impl CrashFault {
+    /// Crash on the n-th (1-based) transfer enqueue.
+    pub fn at_transfer(n: u64) -> Self {
+        CrashFault {
+            after_transfers: Some(n),
+            after_kernels: None,
+            at_time: None,
+            fraction: 0.5,
+        }
+    }
+
+    /// Crash on the n-th (1-based) kernel launch.
+    pub fn at_kernel(n: u64) -> Self {
+        CrashFault {
+            after_transfers: None,
+            after_kernels: None,
+            at_time: None,
+            fraction: 0.5,
+        }
+        .with_kernels(n)
+    }
+
+    fn with_kernels(mut self, n: u64) -> Self {
+        self.after_kernels = Some(n);
+        self
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.after_transfers.is_some() || self.after_kernels.is_some() || self.at_time.is_some()
+    }
+}
+
+/// A wedged stream: past `after_transfers` enqueues it accepts work but
+/// never completes it. Modelled as transfers that occupy the engine for
+/// `horizon` and move nothing — from the program's view the operation
+/// "finishes" (the scheduler stays live) but no progress was made, which is
+/// exactly what a supervisor's progress watchdog must detect.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LivelockFault {
+    /// Stream index (creation order) that wedges.
+    pub stream: usize,
+    /// The stream behaves for this many transfer enqueues, then wedges.
+    pub after_transfers: u64,
+    /// Virtual time each wedged transfer burns. Pick this far above any
+    /// supervisor progress deadline.
+    pub horizon: SimTime,
+}
+
 /// The full seeded fault schedule. See the module docs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
@@ -129,6 +203,10 @@ pub struct FaultPlan {
     pub degrade: Vec<DegradeWindow>,
     /// Slowdown factor of the fault-exempt salvage D2H path.
     pub salvage_slowdown: f64,
+    /// Seeded whole-platform abort (at most one per run).
+    pub crash: Option<CrashFault>,
+    /// Streams that wedge mid-run.
+    pub livelocks: Vec<LivelockFault>,
 }
 
 impl Default for FaultPlan {
@@ -149,7 +227,25 @@ impl FaultPlan {
             stalls: Vec::new(),
             degrade: Vec::new(),
             salvage_slowdown: 4.0,
+            crash: None,
+            livelocks: Vec::new(),
         }
+    }
+
+    /// Install a crash fault.
+    pub fn with_crash(mut self, crash: CrashFault) -> Self {
+        self.crash = Some(crash);
+        self
+    }
+
+    /// Wedge `stream` after `after_transfers` enqueues.
+    pub fn with_livelock(mut self, stream: usize, after_transfers: u64, horizon: SimTime) -> Self {
+        self.livelocks.push(LivelockFault {
+            stream,
+            after_transfers,
+            horizon,
+        });
+        self
     }
 
     pub fn with_seed(mut self, seed: u64) -> Self {
@@ -170,6 +266,8 @@ impl FaultPlan {
             || !self.alloc_fail_nth.is_empty()
             || !self.stalls.is_empty()
             || !self.degrade.is_empty()
+            || self.crash.as_ref().is_some_and(CrashFault::enabled)
+            || !self.livelocks.is_empty()
     }
 
     /// Largest degrade factor of any window open at `now` (1.0 when none).
@@ -207,6 +305,10 @@ pub struct FaultStats {
     pub degraded: u64,
     /// Fault-exempt salvage copies issued.
     pub salvages: u64,
+    /// Seeded platform crashes that fired (0 or 1).
+    pub crashes: u64,
+    /// Transfers swallowed by a wedged (livelocked) stream.
+    pub livelocked: u64,
     /// Engine time consumed by faulted attempts and injected stalls — the
     /// raw material of the recovery time a run report accounts for.
     pub lost_time: SimTime,
@@ -214,9 +316,36 @@ pub struct FaultStats {
 
 impl FaultStats {
     /// Total injected fault events (transfer faults, refused allocations,
-    /// stalls).
+    /// stalls, crashes, livelocked transfers).
     pub fn events(&self) -> u64 {
-        self.h2d_faults + self.d2h_faults + self.alloc_faults + self.stalls
+        self.h2d_faults
+            + self.d2h_faults
+            + self.alloc_faults
+            + self.stalls
+            + self.crashes
+            + self.livelocked
+    }
+}
+
+/// Verdict for one transfer enqueue: how long the op occupies its engine,
+/// whether it failed (retryable), whether it was swallowed by a wedged
+/// stream (not retryable — it "completes" without effect), and any stall
+/// the caller must submit ahead of it.
+pub(crate) struct XferVerdict {
+    pub(crate) duration: SimTime,
+    pub(crate) faulted: bool,
+    pub(crate) livelocked: bool,
+    pub(crate) stall: Option<SimTime>,
+}
+
+impl XferVerdict {
+    fn clean(duration: SimTime) -> Self {
+        XferVerdict {
+            duration,
+            faulted: false,
+            livelocked: false,
+            stall: None,
+        }
     }
 }
 
@@ -228,6 +357,11 @@ pub(crate) struct FaultState {
     allocs: u64,
     /// Per-stream transfer enqueue counters (for stalls).
     stream_xfers: HashMap<usize, u64>,
+    /// Global transfer / kernel enqueue counters (for crash triggers).
+    xfer_total: u64,
+    kernel_total: u64,
+    /// Set once a crash fault fires; the platform is dead afterwards.
+    crashed: bool,
     /// Ops that represent failed attempts.
     faulted: HashSet<desim::OpId>,
 }
@@ -239,12 +373,49 @@ impl FaultState {
             stats: FaultStats::default(),
             allocs: 0,
             stream_xfers: HashMap::new(),
+            xfer_total: 0,
+            kernel_total: 0,
+            crashed: false,
             faulted: HashSet::new(),
         }
     }
 
     pub(crate) fn enabled(&self) -> bool {
         self.plan.enabled()
+    }
+
+    pub(crate) fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Whether a crash trigger fires given the counters advanced so far.
+    fn crash_due(&self, now: SimTime) -> bool {
+        let Some(c) = &self.plan.crash else {
+            return false;
+        };
+        c.after_transfers.is_some_and(|n| self.xfer_total >= n)
+            || c.after_kernels.is_some_and(|n| self.kernel_total >= n)
+            || c.at_time.is_some_and(|t| now >= t)
+    }
+
+    fn note_crash(&mut self) {
+        self.crashed = true;
+        self.stats.crashes += 1;
+    }
+
+    /// Record a kernel launch; returns `true` when the crash fault fires on
+    /// exactly this launch (the kernel dies mid-flight: it occupies the
+    /// engine but its effect must be dropped).
+    pub(crate) fn kernel_enqueue(&mut self, now: SimTime) -> bool {
+        if !self.enabled() || self.crashed {
+            return false;
+        }
+        self.kernel_total += 1;
+        if self.crash_due(now) {
+            self.note_crash();
+            return true;
+        }
+        false
     }
 
     /// Whether the next `malloc_device` call is refused by the plan.
@@ -262,18 +433,47 @@ impl FaultState {
         }
     }
 
-    /// Fault verdict and adjusted duration for one transfer attempt.
-    /// Returns `(duration, faulted, stall)`; the caller submits the stall op
-    /// (if any) ahead of the transfer.
+    /// Fault verdict and adjusted duration for one transfer attempt. The
+    /// caller submits the stall op (if any) ahead of the transfer.
     pub(crate) fn transfer_enqueue(
         &mut self,
         lane: Lane,
         stream: usize,
         now: SimTime,
         nominal: SimTime,
-    ) -> (SimTime, bool, Option<SimTime>) {
+    ) -> XferVerdict {
         if !self.enabled() {
-            return (nominal, false, None);
+            return XferVerdict::clean(nominal);
+        }
+        if self.crashed {
+            // Dead platform: the submission is refused outright. Zero
+            // duration, no data; report it as faulted so callers notice.
+            return XferVerdict {
+                duration: SimTime::ZERO,
+                faulted: true,
+                livelocked: false,
+                stall: None,
+            };
+        }
+        self.xfer_total += 1;
+        if self.crash_due(now) {
+            // This transfer is the one that kills the platform: it dies
+            // mid-flight, holding the engine for a fraction of its time.
+            self.note_crash();
+            let frac = self
+                .plan
+                .crash
+                .as_ref()
+                .map(|c| c.fraction.clamp(0.0, 1.0))
+                .unwrap_or(0.5);
+            let duration = SimTime::from_ns((nominal.as_ns() as f64 * frac).round() as u64);
+            self.stats.lost_time += duration;
+            return XferVerdict {
+                duration,
+                faulted: true,
+                livelocked: false,
+                stall: None,
+            };
         }
         let mut duration = nominal;
         let factor = self.plan.degrade_factor(now);
@@ -286,6 +486,24 @@ impl FaultState {
             *c += 1;
             *c
         };
+        if let Some(l) = self
+            .plan
+            .livelocks
+            .iter()
+            .find(|l| l.stream == stream && count > l.after_transfers)
+        {
+            // Wedged stream: the transfer is accepted and occupies the
+            // engine for the horizon, but never moves data. It is NOT
+            // reported as faulted — from the program's view it completed.
+            self.stats.livelocked += 1;
+            self.stats.lost_time += l.horizon;
+            return XferVerdict {
+                duration: l.horizon,
+                faulted: false,
+                livelocked: true,
+                stall: None,
+            };
+        }
         let stall = self.plan.stall_for(stream, count);
         if let Some(s) = stall {
             self.stats.stalls += 1;
@@ -311,7 +529,12 @@ impl FaultState {
             }
             self.stats.lost_time += duration;
         }
-        (duration, faulted, stall)
+        XferVerdict {
+            duration,
+            faulted,
+            livelocked: false,
+            stall,
+        }
     }
 
     pub(crate) fn mark_faulted(&mut self, op: desim::OpId) {
@@ -332,11 +555,13 @@ mod tests {
         let mut st = FaultState::new(FaultPlan::none());
         assert!(!st.enabled());
         assert!(!st.alloc_refused());
-        let (d, faulted, stall) =
-            st.transfer_enqueue(Lane::H2d, 0, SimTime::ZERO, SimTime::from_us(10));
-        assert_eq!(d, SimTime::from_us(10));
-        assert!(!faulted);
-        assert!(stall.is_none());
+        assert!(!st.crashed());
+        assert!(!st.kernel_enqueue(SimTime::ZERO));
+        let v = st.transfer_enqueue(Lane::H2d, 0, SimTime::ZERO, SimTime::from_us(10));
+        assert_eq!(v.duration, SimTime::from_us(10));
+        assert!(!v.faulted);
+        assert!(!v.livelocked);
+        assert!(v.stall.is_none());
         assert_eq!(
             st.stats,
             FaultStats::default(),
@@ -388,16 +613,76 @@ mod tests {
         });
         let mut st = FaultState::new(plan);
         // Outside the window, stream 1, first transfer: nothing.
-        let (d, _, stall) = st.transfer_enqueue(Lane::H2d, 1, SimTime::ZERO, SimTime::from_us(4));
-        assert_eq!(d, SimTime::from_us(4));
-        assert!(stall.is_none());
+        let v = st.transfer_enqueue(Lane::H2d, 1, SimTime::ZERO, SimTime::from_us(4));
+        assert_eq!(v.duration, SimTime::from_us(4));
+        assert!(v.stall.is_none());
         // Inside the window, second transfer on stream 1: degraded + stalled.
-        let (d, _, stall) =
-            st.transfer_enqueue(Lane::H2d, 1, SimTime::from_us(15), SimTime::from_us(4));
-        assert_eq!(d, SimTime::from_us(12));
-        assert_eq!(stall, Some(SimTime::from_us(5)));
+        let v = st.transfer_enqueue(Lane::H2d, 1, SimTime::from_us(15), SimTime::from_us(4));
+        assert_eq!(v.duration, SimTime::from_us(12));
+        assert_eq!(v.stall, Some(SimTime::from_us(5)));
         assert_eq!(st.stats.degraded, 1);
         assert_eq!(st.stats.stalls, 1);
+    }
+
+    #[test]
+    fn crash_fires_on_exact_transfer_and_kills_later_work() {
+        let plan = FaultPlan::none().with_crash(CrashFault::at_transfer(3));
+        let mut st = FaultState::new(plan);
+        let nominal = SimTime::from_us(10);
+        for _ in 0..2 {
+            let v = st.transfer_enqueue(Lane::H2d, 0, SimTime::ZERO, nominal);
+            assert!(!v.faulted);
+        }
+        assert!(!st.crashed());
+        let v = st.transfer_enqueue(Lane::H2d, 0, SimTime::ZERO, nominal);
+        assert!(v.faulted, "crashing transfer dies mid-flight");
+        assert_eq!(v.duration, SimTime::from_us(5), "fraction 0.5 of nominal");
+        assert!(st.crashed());
+        assert_eq!(st.stats.crashes, 1);
+        // Everything after the crash is refused with zero duration.
+        let v = st.transfer_enqueue(Lane::D2h, 1, SimTime::ZERO, nominal);
+        assert!(v.faulted);
+        assert_eq!(v.duration, SimTime::ZERO);
+        assert!(!st.kernel_enqueue(SimTime::ZERO), "dead, not crashing anew");
+        assert_eq!(st.stats.crashes, 1, "a platform only dies once");
+    }
+
+    #[test]
+    fn crash_fires_on_kernel_or_time_trigger() {
+        let mut st = FaultState::new(FaultPlan::none().with_crash(CrashFault::at_kernel(2)));
+        assert!(!st.kernel_enqueue(SimTime::ZERO));
+        assert!(st.kernel_enqueue(SimTime::ZERO), "second launch crashes");
+        assert!(st.crashed());
+
+        let mut st = FaultState::new(FaultPlan::none().with_crash(CrashFault {
+            after_transfers: None,
+            after_kernels: None,
+            at_time: Some(SimTime::from_us(10)),
+            fraction: 0.5,
+        }));
+        let v = st.transfer_enqueue(Lane::H2d, 0, SimTime::from_us(5), SimTime::from_us(4));
+        assert!(!v.faulted, "before the deadline");
+        let v = st.transfer_enqueue(Lane::H2d, 0, SimTime::from_us(11), SimTime::from_us(4));
+        assert!(v.faulted, "first submission past the deadline dies");
+        assert!(st.crashed());
+    }
+
+    #[test]
+    fn livelocked_stream_swallows_transfers_without_fault_verdict() {
+        let horizon = SimTime::from_ms(100u64);
+        let plan = FaultPlan::none().with_livelock(2, 1, horizon);
+        let mut st = FaultState::new(plan);
+        let v = st.transfer_enqueue(Lane::H2d, 2, SimTime::ZERO, SimTime::from_us(4));
+        assert!(!v.livelocked, "first transfer passes");
+        let v = st.transfer_enqueue(Lane::H2d, 2, SimTime::ZERO, SimTime::from_us(4));
+        assert!(v.livelocked, "second transfer wedges");
+        assert!(!v.faulted, "livelock is not a retryable fault");
+        assert_eq!(v.duration, horizon);
+        // Other streams are unaffected.
+        let v = st.transfer_enqueue(Lane::H2d, 0, SimTime::ZERO, SimTime::from_us(4));
+        assert!(!v.livelocked);
+        assert_eq!(st.stats.livelocked, 1);
+        assert_eq!(st.stats.lost_time, horizon);
     }
 
     #[test]

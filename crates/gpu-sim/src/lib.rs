@@ -19,9 +19,11 @@ mod kernel;
 mod memory;
 mod system;
 
-pub use analysis::RunReport;
+pub use analysis::{RecoveryCounters, RunReport};
 pub use config::{HostMemKind, KernelCost, MachineConfig};
-pub use fault::{DegradeWindow, FaultPlan, FaultStats, StreamStall, TransferFaults};
+pub use fault::{
+    CrashFault, DegradeWindow, FaultPlan, FaultStats, LivelockFault, StreamStall, TransferFaults,
+};
 pub use kernel::KernelLaunch;
 pub use memory::{DeviceAllocator, OutOfDeviceMemory};
 pub use system::{

@@ -553,13 +553,13 @@ impl GpuSystem {
             self.host_clock += self.cfg.host_enqueue_overhead;
         }
 
-        let (duration, faulted, stall) = self.fault.transfer_enqueue(
+        let v = self.fault.transfer_enqueue(
             Lane::H2d,
             stream.0,
             self.host_clock,
             self.cfg.h2d_time(bytes),
         );
-        if let Some(stall) = stall {
+        if let Some(stall) = v.stall {
             let sop = self.sched.submit(
                 Op::on(eng_h2d, stall)
                     .not_before(self.host_clock)
@@ -570,26 +570,35 @@ impl GpuSystem {
             deps.push(sop);
         }
 
-        let mut builder = Op::on(eng_h2d, duration)
+        let mut builder = Op::on(eng_h2d, v.duration)
             .not_before(self.host_clock)
             .host_cause(self.last_block)
             .after_all(deps)
-            .label(if faulted {
+            .label(if v.faulted {
                 format!("H2D-fault[{bytes}B]")
+            } else if v.livelocked {
+                format!("H2D-wedged[{bytes}B]")
             } else {
                 format!("H2D[{bytes}B]")
             })
-            .category(if faulted { "h2d-fault" } else { "h2d" });
-        if !faulted {
-            // A faulted attempt occupies the engine but moves no data.
+            .category(if v.faulted {
+                "h2d-fault"
+            } else if v.livelocked {
+                "livelock"
+            } else {
+                "h2d"
+            });
+        if !v.faulted && !v.livelocked {
+            // A faulted or wedged attempt occupies the engine but moves no
+            // data.
             builder =
                 builder.effect(move || memslab::copy(&dst_slab, dst_off, &src_slab, src_off, len));
         }
         let op = self.sched.submit(builder);
         self.push_stream_op(stream, op);
-        if faulted {
+        if v.faulted {
             self.fault.mark_faulted(op);
-        } else {
+        } else if !v.livelocked {
             self.bytes_h2d += bytes;
             self.record_access(op, BufKey::Host(src.0), Access::Read, "h2d");
             self.record_access(op, BufKey::Device(dst.0), Access::Write, "h2d");
@@ -629,13 +638,13 @@ impl GpuSystem {
             self.host_clock += self.cfg.host_enqueue_overhead;
         }
 
-        let (duration, faulted, stall) = self.fault.transfer_enqueue(
+        let v = self.fault.transfer_enqueue(
             Lane::D2h,
             stream.0,
             self.host_clock,
             self.cfg.d2h_time(bytes),
         );
-        if let Some(stall) = stall {
+        if let Some(stall) = v.stall {
             let sop = self.sched.submit(
                 Op::on(eng_d2h, stall)
                     .not_before(self.host_clock)
@@ -646,25 +655,33 @@ impl GpuSystem {
             deps.push(sop);
         }
 
-        let mut builder = Op::on(eng_d2h, duration)
+        let mut builder = Op::on(eng_d2h, v.duration)
             .not_before(self.host_clock)
             .host_cause(self.last_block)
             .after_all(deps)
-            .label(if faulted {
+            .label(if v.faulted {
                 format!("D2H-fault[{bytes}B]")
+            } else if v.livelocked {
+                format!("D2H-wedged[{bytes}B]")
             } else {
                 format!("D2H[{bytes}B]")
             })
-            .category(if faulted { "d2h-fault" } else { "d2h" });
-        if !faulted {
+            .category(if v.faulted {
+                "d2h-fault"
+            } else if v.livelocked {
+                "livelock"
+            } else {
+                "d2h"
+            });
+        if !v.faulted && !v.livelocked {
             builder =
                 builder.effect(move || memslab::copy(&dst_slab, dst_off, &src_slab, src_off, len));
         }
         let op = self.sched.submit(builder);
         self.push_stream_op(stream, op);
-        if faulted {
+        if v.faulted {
             self.fault.mark_faulted(op);
-        } else {
+        } else if !v.livelocked {
             self.bytes_d2h += bytes;
             self.record_access(op, BufKey::Device(src.0), Access::Read, "d2h");
             self.record_access(op, BufKey::Host(dst.0), Access::Write, "d2h");
@@ -828,6 +845,14 @@ impl GpuSystem {
         self.fault.is_faulted(op)
     }
 
+    /// Whether the platform has died at a seeded crash point. Once true,
+    /// transfers are refused (reported faulted with zero duration) and
+    /// kernel launches carry no effect: the instance is torn and must be
+    /// discarded; recovery restores a checkpoint into a fresh system.
+    pub fn crashed(&self) -> bool {
+        self.fault.crashed()
+    }
+
     /// Counters of injected faults and the engine time they consumed.
     pub fn fault_stats(&self) -> FaultStats {
         self.fault.stats
@@ -904,9 +929,43 @@ impl GpuSystem {
     /// the device first (in the same stream) if they are not resident,
     /// reproducing unified memory's on-demand behaviour.
     pub fn launch_kernel(&mut self, stream: StreamId, k: KernelLaunch) -> OpId {
-        self.kernels_launched += 1;
+        let crash_now = self.fault.kernel_enqueue(self.host_clock);
+        let dead = self.fault.crashed();
+        if !dead {
+            self.kernels_launched += 1;
+        }
         let mut deps = self.stream_deps(stream);
         self.host_clock += self.cfg.host_enqueue_overhead;
+        if dead {
+            // The platform died: a crashing launch occupies the compute
+            // engine for a fraction of its nominal time and has no effect;
+            // launches on an already-dead platform are refused outright.
+            let duration = if crash_now {
+                let frac = self
+                    .fault
+                    .plan
+                    .crash
+                    .as_ref()
+                    .map(|c| c.fraction.clamp(0.0, 1.0))
+                    .unwrap_or(0.5);
+                let nominal = k.cost.duration(&self.cfg, k.efficiency);
+                SimTime::from_ns((nominal.as_ns() as f64 * frac).round() as u64)
+            } else {
+                SimTime::ZERO
+            };
+            let device = self.streams[stream.0].device;
+            let op = self.sched.submit(
+                Op::on(self.devices[device].eng_compute, duration)
+                    .not_before(self.host_clock)
+                    .host_cause(self.last_block)
+                    .after_all(deps)
+                    .label(format!("{}-crash", k.label))
+                    .category("crash"),
+            );
+            self.push_stream_op(stream, op);
+            self.fault.mark_faulted(op);
+            return op;
+        }
 
         // On-demand managed migration.
         let managed_keys: Vec<usize> = k

@@ -1,0 +1,183 @@
+//! Crash-consistent checkpoint/restart, end to end.
+//!
+//! Runs a tiled heat problem three ways:
+//!
+//! 1. fault-free, as the golden reference;
+//! 2. under the run supervisor with a seeded platform crash at step N —
+//!    the supervisor restores the latest snapshot and resumes, and the
+//!    final grid is bit-identical to the reference;
+//! 3. a "process restart": checkpoints mirrored to disk, the first
+//!    accelerator dropped mid-run, and a brand-new one rebuilt from
+//!    `CheckpointStore::scan_dir` — again bit-identical.
+//!
+//! Recovery accounting (checkpoints taken/restored, crash detections,
+//! lost virtual time) is printed from both the supervisor's counters and
+//! the accelerator's own stats line.
+//!
+//! ```text
+//! cargo run --release -p examples --bin checkpoint_restart
+//! ```
+
+use gpu_sim::{CrashFault, FaultPlan, GpuSystem, MachineConfig};
+use kernels::{heat, init};
+use std::sync::Arc;
+use tida::{tiles_of, Decomposition, Domain, ExchangeMode, RegionSpec, TileArray, TileSpec};
+use tida_acc::{
+    AccError, AccOptions, ArrayId, CheckpointPolicy, CheckpointStore, Supervisor, SupervisorConfig,
+    TileAcc,
+};
+
+const N: i64 = 16;
+const STEPS: u64 = 8;
+const SEED: u64 = 7;
+
+fn arrays(decomp: &Arc<Decomposition>) -> (TileArray, TileArray) {
+    let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+    let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+    ua.fill_valid(init::hash_field(SEED));
+    (ua, ub)
+}
+
+/// One heat step; step parity picks the source array so a replay from any
+/// snapshot's step recomputes exactly what the original run did.
+fn heat_step(
+    acc: &mut TileAcc,
+    decomp: &Arc<Decomposition>,
+    a: ArrayId,
+    b: ArrayId,
+    step: u64,
+) -> Result<(), AccError> {
+    let (src, dst) = if step.is_multiple_of(2) {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    acc.fill_boundary(src)?;
+    for t in tiles_of(decomp, TileSpec::RegionSized) {
+        acc.compute2(
+            t,
+            dst,
+            src,
+            heat::cost(t.num_cells()),
+            "heat",
+            |d, s, bx| heat::step_tile(d, s, &bx, heat::DEFAULT_FAC),
+        )?;
+    }
+    Ok(())
+}
+
+fn result_array(a: &TileArray, b: &TileArray, steps: u64) -> Vec<f64> {
+    if steps.is_multiple_of(2) { a } else { b }
+        .to_dense()
+        .expect("backed run")
+}
+
+fn main() {
+    let decomp = Arc::new(Decomposition::new(
+        Domain::periodic_cube(N),
+        RegionSpec::Grid([2, 2, 1]),
+    ));
+    let golden = heat::golden_run(init::hash_field(SEED), N, STEPS as usize, heat::DEFAULT_FAC);
+
+    // -- 2. supervised run killed at a seeded crash point -------------------
+    let (ua, ub) = arrays(&decomp);
+    let cfg = SupervisorConfig {
+        policy: CheckpointPolicy::every(2).keep(3),
+        ..SupervisorConfig::default()
+    };
+    let mut sup = Supervisor::new(cfg);
+    let ids: std::cell::Cell<Option<(ArrayId, ArrayId)>> = std::cell::Cell::new(None);
+    let d = decomp.clone();
+    let outcome = sup
+        .run(
+            STEPS,
+            |attempt| {
+                // Attempt 0 dies on its 18th transfer; rebuilds run clean.
+                let plan = if attempt == 0 {
+                    FaultPlan::none().with_crash(CrashFault::at_transfer(18))
+                } else {
+                    FaultPlan::none()
+                };
+                let mut acc = TileAcc::new(
+                    GpuSystem::new(MachineConfig::k40m().with_faults(plan)),
+                    AccOptions::paper(),
+                );
+                ids.set(Some((acc.register(&ua), acc.register(&ub))));
+                acc
+            },
+            |acc, step| {
+                let (a, b) = ids.get().expect("build ran first");
+                heat_step(acc, &d, a, b, step)
+            },
+        )
+        .expect("supervised run completes through the crash");
+
+    let grid = result_array(&ua, &ub, STEPS);
+    println!("== supervised crash/restart ==");
+    println!(
+        "bit-identical to fault-free golden: {}",
+        if grid == golden { "yes" } else { "NO" }
+    );
+    let c = outcome.counters;
+    println!(
+        "checkpoints taken/restored: {}/{}  crashes: {}  hangs: {}  lost virtual time: {}",
+        c.checkpoints_taken,
+        c.checkpoints_restored,
+        c.crash_detections,
+        c.hang_detections,
+        c.recovery_time,
+    );
+    println!("stats: {}", outcome.stats);
+    assert_eq!(grid, golden, "restored run diverged from golden");
+
+    // -- 3. cross-process restart from an on-disk snapshot ------------------
+    let dir = std::env::temp_dir().join(format!("tack-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let policy = CheckpointPolicy::every(2).keep(3).on_disk(&dir);
+
+    let (va, vb) = arrays(&decomp);
+    let mut acc = TileAcc::new(GpuSystem::new(MachineConfig::k40m()), AccOptions::paper());
+    let (a, b) = (acc.register(&va), acc.register(&vb));
+    let mut store = CheckpointStore::new(policy.clone());
+    let kill_at = 5; // "kill -9" the process after this step
+    for s in 0..kill_at {
+        if s % 2 == 0 {
+            store
+                .push(&acc.checkpoint(s).expect("alive"))
+                .expect("disk");
+        }
+        heat_step(&mut acc, &decomp, a, b, s).expect("clean run");
+    }
+    drop(acc); // the process dies here; only the on-disk files survive
+    drop(store);
+
+    let store = CheckpointStore::scan_dir(policy, &dir).expect("rescan");
+    let (ck, rejected) = store.latest_valid();
+    let ck = ck.expect("a valid snapshot on disk");
+    println!("\n== process restart from {} ==", dir.display());
+    println!(
+        "snapshots on disk: {}  rejected: {}  resuming from step {}",
+        store.len(),
+        rejected,
+        ck.step
+    );
+
+    let (wa, wb) = arrays(&decomp); // a new process's arrays: blank slate
+    wa.fill_valid(|_| 0.0);
+    let mut acc2 = TileAcc::new(GpuSystem::new(MachineConfig::k40m()), AccOptions::paper());
+    let (a2, b2) = (acc2.register(&wa), acc2.register(&wb));
+    tida_acc::restore_into(&mut acc2, &ck).expect("restore");
+    for s in ck.step..STEPS {
+        heat_step(&mut acc2, &decomp, a2, b2, s).expect("resumed run");
+    }
+    acc2.sync_to_host(if STEPS.is_multiple_of(2) { a2 } else { b2 })
+        .expect("final sync");
+    let grid2 = result_array(&wa, &wb, STEPS);
+    println!(
+        "bit-identical after restart: {}",
+        if grid2 == golden { "yes" } else { "NO" }
+    );
+    println!("stats: {}", acc2.stats());
+    assert_eq!(grid2, golden, "restarted run diverged from golden");
+    let _ = std::fs::remove_dir_all(&dir);
+}

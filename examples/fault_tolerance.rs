@@ -43,7 +43,7 @@ fn run(label: &str, plan: FaultPlan, tracing: bool) -> (Vec<f64>, Option<gpu_sim
     let tiles = tiles_of(&decomp, TileSpec::RegionSized);
     let (mut src, mut dst) = (a, b);
     for _ in 0..STEPS {
-        acc.fill_boundary(src);
+        acc.fill_boundary(src).unwrap();
         for &t in &tiles {
             acc.compute2(
                 t,
@@ -52,11 +52,12 @@ fn run(label: &str, plan: FaultPlan, tracing: bool) -> (Vec<f64>, Option<gpu_sim
                 heat::cost(t.num_cells()),
                 "heat",
                 |d, s, bx| heat::step_tile(d, s, &bx, heat::DEFAULT_FAC),
-            );
+            )
+            .unwrap();
         }
         std::mem::swap(&mut src, &mut dst);
     }
-    acc.sync_to_host(src);
+    acc.sync_to_host(src).unwrap();
     let elapsed = acc.finish();
 
     let st = acc.stats();

@@ -35,7 +35,7 @@ fn main() {
     let tiles = tiles_of(&decomp, TileSpec::RegionSized);
     let (mut src, mut dst) = (a, b);
     for _ in 0..steps {
-        acc.fill_boundary(src);
+        acc.fill_boundary(src).unwrap();
         for &t in &tiles {
             acc.compute2(
                 t,
@@ -44,11 +44,12 @@ fn main() {
                 heat::cost(t.num_cells()),
                 "heat",
                 |d, s, bx| heat::step_tile(d, s, &bx, heat::DEFAULT_FAC),
-            );
+            )
+            .unwrap();
         }
         std::mem::swap(&mut src, &mut dst);
     }
-    acc.sync_to_host(src);
+    acc.sync_to_host(src).unwrap();
     acc.finish();
 
     let result = if src == a { &ua } else { &ub };

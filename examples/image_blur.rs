@@ -66,7 +66,7 @@ fn main() {
     let tiles = tiles_of(&decomp, TileSpec::RegionSized);
     let (mut cur, mut next) = (a, b);
     for _ in 0..passes {
-        acc.fill_boundary(cur);
+        acc.fill_boundary(cur).unwrap();
         for &t in &tiles {
             acc.compute2(
                 t,
@@ -75,11 +75,12 @@ fn main() {
                 blur2d::cost(t.num_cells()),
                 "blur",
                 |dv, sv, bx| blur2d::blur_tile(dv, sv, &bx),
-            );
+            )
+            .unwrap();
         }
         std::mem::swap(&mut cur, &mut next);
     }
-    acc.sync_to_host(cur);
+    acc.sync_to_host(cur).unwrap();
     let elapsed = acc.finish();
 
     let after_arr = if cur == a { &src } else { &dst };

@@ -45,7 +45,7 @@ fn main() {
     let mut sweeps = 0;
     while sweeps < max_sweeps {
         for _ in 0..check_every {
-            acc.fill_boundary(cur);
+            acc.fill_boundary(cur).unwrap();
             for &t in &tiles {
                 acc.compute(
                     t,
@@ -54,13 +54,14 @@ fn main() {
                     jacobi::cost(t.num_cells()),
                     "jacobi",
                     |ws, rs, bx| jacobi::sweep_tile(&mut ws[0], &rs[0], &rs[1], &bx),
-                );
+                )
+                .unwrap();
             }
             std::mem::swap(&mut cur, &mut next);
             sweeps += 1;
         }
         // Residual through the reduction API (device-side partials).
-        acc.fill_boundary(cur);
+        acc.fill_boundary(cur).unwrap();
         for &t in &tiles {
             acc.compute(
                 t,
@@ -69,16 +70,17 @@ fn main() {
                 jacobi::cost(t.num_cells()),
                 "residual",
                 |ws, rs, bx| jacobi::residual_tile(&mut ws[0], &rs[0], &rs[1], &bx),
-            );
+            )
+            .unwrap();
         }
-        let r = acc.reduce_max_abs(ar).expect("backed run");
+        let r = acc.reduce_max_abs(ar).unwrap().expect("backed run");
         println!("{sweeps:>6}   {r:<14.6e} {}", acc.gpu().host_now());
         if r < tol {
             break;
         }
     }
 
-    acc.sync_to_host(cur);
+    acc.sync_to_host(cur).unwrap();
     let elapsed = acc.finish();
 
     // Cross-check the residual against the dense evaluation.

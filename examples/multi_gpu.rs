@@ -29,7 +29,7 @@ fn main() {
     let tiles = tiles_of(&decomp, TileSpec::RegionSized);
     let (mut src, mut dst) = (a, b);
     for _ in 0..steps {
-        acc.fill_boundary(src);
+        acc.fill_boundary(src).unwrap();
         for &t in &tiles {
             acc.compute2(
                 t,
@@ -38,11 +38,12 @@ fn main() {
                 heat::cost(t.num_cells()),
                 "heat",
                 |d, s, bx| heat::step_tile(d, s, &bx, heat::DEFAULT_FAC),
-            );
+            )
+            .unwrap();
         }
         std::mem::swap(&mut src, &mut dst);
     }
-    acc.sync_to_host(src);
+    acc.sync_to_host(src).unwrap();
     acc.finish();
 
     println!("region ownership:");

@@ -62,10 +62,11 @@ fn main() {
                 busy::cost(t.num_cells(), iters, busy::MathImpl::PgiLibm),
                 "busy",
                 move |v, bx| busy::apply_tile(v, &bx, iters),
-            );
+            )
+            .unwrap();
         }
     }
-    acc.sync_to_host(a);
+    acc.sync_to_host(a).unwrap();
     let elapsed = acc.finish();
     println!(
         "tiled run on the same device: completed in {elapsed}, slots = {}, {}",

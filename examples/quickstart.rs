@@ -49,12 +49,13 @@ fn main() {
                     v.update(iv, |x| 3.0 * x);
                 }
             },
-        );
+        )
+        .unwrap();
         it.next_tile();
     }
 
     // Bring the data home and look at it.
-    acc.sync_to_host(a);
+    acc.sync_to_host(a).unwrap();
     let elapsed = acc.finish();
     let sample = tida::IntVect::new(1, 2, 3);
     println!(

@@ -48,8 +48,8 @@ fn main() {
     );
     for frame in 0..frames {
         for _ in 0..steps_per_frame {
-            acc.fill_boundary(cur[0]);
-            acc.fill_boundary(cur[1]);
+            acc.fill_boundary(cur[0]).unwrap();
+            acc.fill_boundary(cur[1]).unwrap();
             for &t in &tiles {
                 acc.compute(
                     t,
@@ -58,13 +58,14 @@ fn main() {
                     gray_scott::cost(t.num_cells()),
                     "gray-scott",
                     move |ws, rs, bx| gray_scott::step_tile(ws, rs, &bx, p),
-                );
+                )
+                .unwrap();
             }
             std::mem::swap(&mut cur, &mut next);
         }
         // Pull the v field home for rendering (and push it back by simply
         // letting the next compute re-upload it).
-        acc.sync_to_host(cur[1]);
+        acc.sync_to_host(cur[1]).unwrap();
         let v_arr = if cur[1] == ids[1] { &av } else { &bv };
         let dense = v_arr.to_dense().unwrap();
         println!(
@@ -76,7 +77,7 @@ fn main() {
         print!("{}", render_slice(&dense, n, n / 2, 24));
     }
 
-    acc.sync_to_host(cur[0]);
+    acc.sync_to_host(cur[0]).unwrap();
     acc.finish();
     println!("\nruntime stats: {}", acc.stats());
 

@@ -50,8 +50,8 @@ fn gray_scott_multi_operand_compute_matches_golden() {
     let tiles = tiles_of(&d, TileSpec::RegionSized);
     let (mut cur, mut next) = ([ids[0], ids[1]], [ids[2], ids[3]]);
     for _ in 0..steps {
-        acc.fill_boundary(cur[0]);
-        acc.fill_boundary(cur[1]);
+        acc.fill_boundary(cur[0]).unwrap();
+        acc.fill_boundary(cur[1]).unwrap();
         for &t in &tiles {
             acc.compute(
                 t,
@@ -60,12 +60,13 @@ fn gray_scott_multi_operand_compute_matches_golden() {
                 gray_scott::cost(t.num_cells()),
                 "gray-scott",
                 move |ws, rs, bx| gray_scott::step_tile(ws, rs, &bx, p),
-            );
+            )
+            .unwrap();
         }
         std::mem::swap(&mut cur, &mut next);
     }
-    acc.sync_to_host(cur[0]);
-    acc.sync_to_host(cur[1]);
+    acc.sync_to_host(cur[0]).unwrap();
+    acc.sync_to_host(cur[1]).unwrap();
     acc.finish();
 
     // Golden dense run.
@@ -115,8 +116,8 @@ fn gray_scott_limited_memory_still_exact() {
     let tiles = tiles_of(&d, TileSpec::RegionSized);
     let (mut cur, mut next) = ([ids[0], ids[1]], [ids[2], ids[3]]);
     for _ in 0..steps {
-        acc.fill_boundary(cur[0]);
-        acc.fill_boundary(cur[1]);
+        acc.fill_boundary(cur[0]).unwrap();
+        acc.fill_boundary(cur[1]).unwrap();
         for &t in &tiles {
             acc.compute(
                 t,
@@ -125,12 +126,13 @@ fn gray_scott_limited_memory_still_exact() {
                 gray_scott::cost(t.num_cells()),
                 "gray-scott",
                 move |ws, rs, bx| gray_scott::step_tile(ws, rs, &bx, p),
-            );
+            )
+            .unwrap();
         }
         std::mem::swap(&mut cur, &mut next);
     }
-    acc.sync_to_host(cur[0]);
-    acc.sync_to_host(cur[1]);
+    acc.sync_to_host(cur[0]).unwrap();
+    acc.sync_to_host(cur[1]).unwrap();
     acc.finish();
 
     let mut gu = dense_from(n, &fu);
@@ -173,7 +175,7 @@ fn stencil27_full_exchange_on_device() {
     let tiles = tiles_of(&d, TileSpec::RegionSized);
     let (mut src, mut dst) = (a, b);
     for _ in 0..steps {
-        acc.fill_boundary(src);
+        acc.fill_boundary(src).unwrap();
         for &t in &tiles {
             acc.compute2(
                 t,
@@ -182,11 +184,12 @@ fn stencil27_full_exchange_on_device() {
                 stencil27::cost(t.num_cells()),
                 "s27",
                 |dv, sv, bx| stencil27::step_tile(dv, sv, &bx),
-            );
+            )
+            .unwrap();
         }
         std::mem::swap(&mut src, &mut dst);
     }
-    acc.sync_to_host(src);
+    acc.sync_to_host(src).unwrap();
     acc.finish();
 
     let mut golden = dense_from(n, &f);
@@ -225,7 +228,7 @@ fn jacobi_converges_with_device_reductions() {
     let mut residuals = Vec::new();
     let (mut cur, mut next) = (au, aun);
     for sweep in 0..60 {
-        acc.fill_boundary(cur);
+        acc.fill_boundary(cur).unwrap();
         for &t in &tiles {
             acc.compute(
                 t,
@@ -234,12 +237,13 @@ fn jacobi_converges_with_device_reductions() {
                 jacobi::cost(t.num_cells()),
                 "jacobi",
                 |ws, rs, bx| jacobi::sweep_tile(&mut ws[0], &rs[0], &rs[1], &bx),
-            );
+            )
+            .unwrap();
         }
         std::mem::swap(&mut cur, &mut next);
         if sweep % 20 == 19 {
             // Residual check through the reduction API.
-            acc.fill_boundary(cur);
+            acc.fill_boundary(cur).unwrap();
             for &t in &tiles {
                 acc.compute(
                     t,
@@ -248,12 +252,13 @@ fn jacobi_converges_with_device_reductions() {
                     jacobi::cost(t.num_cells()),
                     "residual",
                     |ws, rs, bx| jacobi::residual_tile(&mut ws[0], &rs[0], &rs[1], &bx),
-                );
+                )
+                .unwrap();
             }
-            residuals.push(acc.reduce_max_abs(ar).expect("backed run"));
+            residuals.push(acc.reduce_max_abs(ar).unwrap().expect("backed run"));
         }
     }
-    acc.sync_to_host(cur);
+    acc.sync_to_host(cur).unwrap();
     acc.finish();
 
     assert_eq!(residuals.len(), 3);
@@ -296,7 +301,7 @@ fn sub_region_tiles_on_gpu_path() {
 
     let (mut src, mut dst) = (a, b);
     for _ in 0..steps {
-        acc.fill_boundary(src);
+        acc.fill_boundary(src).unwrap();
         for &t in &tiles {
             acc.compute2(
                 t,
@@ -305,11 +310,12 @@ fn sub_region_tiles_on_gpu_path() {
                 kernels::heat::cost(t.num_cells()),
                 "heat",
                 |dv, sv, bx| kernels::heat::step_tile(dv, sv, &bx, kernels::heat::DEFAULT_FAC),
-            );
+            )
+            .unwrap();
         }
         std::mem::swap(&mut src, &mut dst);
     }
-    acc.sync_to_host(src);
+    acc.sync_to_host(src).unwrap();
     acc.finish();
 
     let golden =
@@ -345,7 +351,7 @@ fn wave_three_time_levels_matches_golden() {
     let tiles = tiles_of(&d, TileSpec::RegionSized);
     let (mut prev, mut cur, mut next) = (ids[0], ids[1], ids[2]);
     for _ in 0..steps {
-        acc.fill_boundary(cur);
+        acc.fill_boundary(cur).unwrap();
         for &t in &tiles {
             acc.compute(
                 t,
@@ -354,14 +360,15 @@ fn wave_three_time_levels_matches_golden() {
                 kernels::wave::cost(t.num_cells()),
                 "wave",
                 move |ws, rs, bx| kernels::wave::step_tile(&mut ws[0], &rs[0], &rs[1], &bx, c2),
-            );
+            )
+            .unwrap();
         }
         let old_prev = prev;
         prev = cur;
         cur = next;
         next = old_prev;
     }
-    acc.sync_to_host(cur);
+    acc.sync_to_host(cur).unwrap();
     acc.finish();
 
     let golden = kernels::wave::golden_run(&f, n, steps, c2);
@@ -395,7 +402,7 @@ fn wave_limited_memory_three_arrays() {
     let tiles = tiles_of(&d, TileSpec::RegionSized);
     let (mut prev, mut cur, mut next) = (ids[0], ids[1], ids[2]);
     for _ in 0..steps {
-        acc.fill_boundary(cur);
+        acc.fill_boundary(cur).unwrap();
         for &t in &tiles {
             acc.compute(
                 t,
@@ -404,14 +411,15 @@ fn wave_limited_memory_three_arrays() {
                 kernels::wave::cost(t.num_cells()),
                 "wave",
                 move |ws, rs, bx| kernels::wave::step_tile(&mut ws[0], &rs[0], &rs[1], &bx, c2),
-            );
+            )
+            .unwrap();
         }
         let old_prev = prev;
         prev = cur;
         cur = next;
         next = old_prev;
     }
-    acc.sync_to_host(cur);
+    acc.sync_to_host(cur).unwrap();
     acc.finish();
     assert!(acc.stats().evictions > 0);
 
@@ -451,7 +459,7 @@ fn wave_on_two_gpus_with_reductions() {
     let tiles = tiles_of(&d, TileSpec::RegionSized);
     let (mut prev, mut cur, mut next) = (ids[0], ids[1], ids[2]);
     for _ in 0..steps {
-        acc.fill_boundary(cur);
+        acc.fill_boundary(cur).unwrap();
         for &t in &tiles {
             acc.compute(
                 t,
@@ -460,7 +468,8 @@ fn wave_on_two_gpus_with_reductions() {
                 kernels::wave::cost(t.num_cells()),
                 "wave",
                 move |ws, rs, bx| kernels::wave::step_tile(&mut ws[0], &rs[0], &rs[1], &bx, c2),
-            );
+            )
+            .unwrap();
         }
         let old_prev = prev;
         prev = cur;
@@ -470,8 +479,9 @@ fn wave_on_two_gpus_with_reductions() {
     // Distributed max-abs reduction agrees with the dense field.
     let max_dev = acc
         .reduce(cur, "max-abs", 0.0, f64::abs, f64::max)
+        .unwrap()
         .expect("backed");
-    acc.sync_to_host(cur);
+    acc.sync_to_host(cur).unwrap();
     acc.finish();
 
     let golden = kernels::wave::golden_run(&f, n, steps, c2);

@@ -79,7 +79,8 @@ proptest! {
                                 v.update(iv, |x| x + k);
                             }
                         },
-                    );
+                    )
+                    .unwrap();
                     shadow[region] += k;
                 }
                 Op::SetGpu(on) => acc.set_gpu(on),
@@ -94,7 +95,8 @@ proptest! {
                         gpu_sim::KernelCost::Flops(1.0),
                         "probe",
                         |_, _| {},
-                    );
+                    )
+                    .unwrap();
                     acc.set_gpu(was);
                     let lo = decomp.region_box(region).lo();
                     let got = u.value(lo).unwrap();
@@ -102,11 +104,11 @@ proptest! {
                     prop_assert!((got - expect).abs() < 1e-9,
                         "probe region {region}: got {got}, expected {expect}");
                 }
-                Op::SyncAll => acc.sync_to_host(a),
+                Op::SyncAll => acc.sync_to_host(a).unwrap(),
             }
         }
 
-        acc.sync_to_host(a);
+        acc.sync_to_host(a).unwrap();
         acc.finish();
         for (region, &offset) in shadow.iter().enumerate() {
             let bx = decomp.region_box(region);

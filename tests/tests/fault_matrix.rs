@@ -49,7 +49,7 @@ fn drive_heat(
 ) -> ArrayId {
     let tiles = tiles_of(decomp, TileSpec::RegionSized);
     for _ in 0..steps {
-        acc.fill_boundary(src);
+        acc.fill_boundary(src).unwrap();
         for &t in &tiles {
             acc.compute2(
                 t,
@@ -58,11 +58,12 @@ fn drive_heat(
                 heat::cost(t.num_cells()),
                 "heat",
                 |d, s, bx| heat::step_tile(d, s, &bx, heat::DEFAULT_FAC),
-            );
+            )
+            .unwrap();
         }
         std::mem::swap(&mut src, &mut dst);
     }
-    acc.sync_to_host(src);
+    acc.sync_to_host(src).unwrap();
     src
 }
 

@@ -32,7 +32,7 @@ fn heat_run(
     let tiles = tiles_of(&decomp, TileSpec::RegionSized);
     let (mut src, mut dst): (ArrayId, ArrayId) = (a, b);
     for _ in 0..steps {
-        acc.fill_boundary(src);
+        acc.fill_boundary(src).unwrap();
         for &t in &tiles {
             acc.compute2(
                 t,
@@ -41,11 +41,12 @@ fn heat_run(
                 heat::cost(t.num_cells()),
                 "heat",
                 |d, s, bx| heat::step_tile(d, s, &bx, heat::DEFAULT_FAC),
-            );
+            )
+            .unwrap();
         }
         std::mem::swap(&mut src, &mut dst);
     }
-    acc.sync_to_host(src);
+    acc.sync_to_host(src).unwrap();
     let elapsed = acc.finish();
     let kernels = acc.gpu().stats_kernels();
     let arr = if src == a { &ua } else { &ub };
@@ -138,7 +139,7 @@ fn barrier_free_hazard_free_under_eviction() {
     let tiles = tiles_of(&decomp, TileSpec::RegionSized);
     let (mut src, mut dst) = (a, b);
     for _ in 0..3 {
-        acc.fill_boundary(src);
+        acc.fill_boundary(src).unwrap();
         for &t in &tiles {
             acc.compute2(
                 t,
@@ -147,11 +148,12 @@ fn barrier_free_hazard_free_under_eviction() {
                 heat::cost(t.num_cells()),
                 "heat",
                 |d, s, bx| heat::step_tile(d, s, &bx, heat::DEFAULT_FAC),
-            );
+            )
+            .unwrap();
         }
         std::mem::swap(&mut src, &mut dst);
     }
-    acc.sync_to_host(src);
+    acc.sync_to_host(src).unwrap();
     acc.finish();
 
     let hazards = acc.gpu_mut().check_hazards();

@@ -18,7 +18,7 @@ fn drive_heat(
 ) -> ArrayId {
     let tiles = tiles_of(decomp, TileSpec::RegionSized);
     for _ in 0..steps {
-        acc.fill_boundary(src);
+        acc.fill_boundary(src).unwrap();
         for &t in &tiles {
             acc.compute2(
                 t,
@@ -27,11 +27,12 @@ fn drive_heat(
                 heat::cost(t.num_cells()),
                 "heat",
                 |d, s, bx| heat::step_tile(d, s, &bx, heat::DEFAULT_FAC),
-            );
+            )
+            .unwrap();
         }
         std::mem::swap(&mut src, &mut dst);
     }
-    acc.sync_to_host(src);
+    acc.sync_to_host(src).unwrap();
     src
 }
 
@@ -203,7 +204,7 @@ fn out_of_order_tile_traversal_is_bitwise_identical() {
         };
         let (mut src, mut dst) = (a, b);
         for _ in 0..steps {
-            acc.fill_boundary(src);
+            acc.fill_boundary(src).unwrap();
             for &t in &tiles {
                 acc.compute2(
                     t,
@@ -212,11 +213,12 @@ fn out_of_order_tile_traversal_is_bitwise_identical() {
                     heat::cost(t.num_cells()),
                     "heat",
                     |d, s, bx| heat::step_tile(d, s, &bx, heat::DEFAULT_FAC),
-                );
+                )
+                .unwrap();
             }
             std::mem::swap(&mut src, &mut dst);
         }
-        acc.sync_to_host(src);
+        acc.sync_to_host(src).unwrap();
         acc.finish();
         let arr = if src == a { &ua } else { &ub };
         arr.to_dense().unwrap()

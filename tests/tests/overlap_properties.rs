@@ -149,7 +149,7 @@ fn hazard_free_schedule_under_eviction_pressure() {
     let tiles = tiles_of(&decomp, TileSpec::RegionSized);
     let (mut src, mut dst) = (a, b);
     for _ in 0..3 {
-        acc.fill_boundary(src);
+        acc.fill_boundary(src).unwrap();
         for &t in &tiles {
             acc.compute2(
                 t,
@@ -158,11 +158,12 @@ fn hazard_free_schedule_under_eviction_pressure() {
                 heat::cost(t.num_cells()),
                 "heat",
                 |d, s, bx| heat::step_tile(d, s, &bx, heat::DEFAULT_FAC),
-            );
+            )
+            .unwrap();
         }
         std::mem::swap(&mut src, &mut dst);
     }
-    acc.sync_to_host(src);
+    acc.sync_to_host(src).unwrap();
     acc.finish();
 
     // Buffer-granularity hazards between *disjoint-cell* accesses (ghost

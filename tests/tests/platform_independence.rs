@@ -94,7 +94,7 @@ fn prefetch_overlaps_unrelated_host_work() {
         );
         let a = acc.register(&u);
         if prefetch {
-            acc.prefetch_all(a);
+            acc.prefetch_all(a).unwrap();
         }
         // Unrelated host-side preparation (e.g. building the next phase's
         // work lists).
@@ -107,9 +107,10 @@ fn prefetch_overlaps_unrelated_host_work() {
                 gpu_sim::KernelCost::Bytes(t.num_cells() * 16),
                 "k",
                 |_, _| {},
-            );
+            )
+            .unwrap();
         }
-        acc.sync_to_host(a);
+        acc.sync_to_host(a).unwrap();
         acc.finish()
     };
     let with = run(true);

@@ -1,0 +1,555 @@
+//! Crash/hang recovery matrix: crash-consistent checkpoints crossed with
+//! seeded faults, driven by the run supervisor.
+//!
+//! The contract under test:
+//!
+//! * **round trip** — a checkpoint taken mid-run, encoded to the versioned
+//!   binary format and decoded back, restores into a fresh accelerator whose
+//!   continuation is bit-identical to an uninterrupted run;
+//! * **crash matrix** — for seeded (crash point × checkpoint interval)
+//!   pairs, a supervised run killed by the crash fault completes after
+//!   restore and the final grid is bit-identical to the fault-free golden
+//!   solution;
+//! * **torn / corrupt snapshots** — a snapshot with a flipped bit or a
+//!   truncated tail is rejected by its section checksums and recovery falls
+//!   back to the previous valid one;
+//! * **hang detection** — a livelock-faulted stream (work accepted, never
+//!   completed) is detected by the progress watchdog within one step and the
+//!   run still completes, bit-identical, via restore + resume;
+//! * **ghost exchange** — a crash landing *inside* `fill_boundary` leaves
+//!   ghost cells stale; restoring the pre-exchange checkpoint and replaying
+//!   the exchange reproduces the golden grid exactly.
+
+use gpu_sim::{CrashFault, FaultPlan, GpuSystem, MachineConfig, SimTime};
+use kernels::{heat, init};
+use proptest::prelude::*;
+use std::cell::Cell;
+use std::sync::Arc;
+use tida::{tiles_of, Decomposition, Domain, ExchangeMode, RegionSpec, TileArray, TileSpec};
+use tida_acc::{
+    AccError, AccOptions, ArrayId, Checkpoint, CheckpointPolicy, CheckpointStore, RecoveryError,
+    RecoveryOutcome, Supervisor, SupervisorConfig, TileAcc,
+};
+
+const N: i64 = 8;
+const SEED: u64 = 7;
+
+fn decomp() -> Arc<Decomposition> {
+    Arc::new(Decomposition::new(
+        Domain::periodic_cube(N),
+        RegionSpec::Grid([2, 2, 1]),
+    ))
+}
+
+fn arrays(d: &Arc<Decomposition>) -> (TileArray, TileArray) {
+    let ua = TileArray::new(d.clone(), 1, ExchangeMode::Faces, true);
+    let ub = TileArray::new(d.clone(), 1, ExchangeMode::Faces, true);
+    ua.fill_valid(init::hash_field(SEED));
+    (ua, ub)
+}
+
+/// One heat step: exchange ghosts of the source, then stencil into the
+/// destination. Step parity decides which array is the source, so a replay
+/// from any step index recomputes exactly what the original run did.
+fn heat_step(
+    acc: &mut TileAcc,
+    d: &Arc<Decomposition>,
+    a: ArrayId,
+    b: ArrayId,
+    step: u64,
+) -> Result<(), AccError> {
+    let (src, dst) = if step.is_multiple_of(2) {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    acc.fill_boundary(src)?;
+    for t in tiles_of(d, TileSpec::RegionSized) {
+        acc.compute2(
+            t,
+            dst,
+            src,
+            heat::cost(t.num_cells()),
+            "heat",
+            |d, s, bx| heat::step_tile(d, s, &bx, heat::DEFAULT_FAC),
+        )?;
+    }
+    Ok(())
+}
+
+/// After `steps` steps of the parity scheme the result lives in the first
+/// array iff the step count is even.
+fn result_in_first(steps: u64) -> bool {
+    steps.is_multiple_of(2)
+}
+
+fn golden(steps: u64) -> Vec<f64> {
+    heat::golden_run(init::hash_field(SEED), N, steps as usize, heat::DEFAULT_FAC)
+}
+
+/// Run `steps` under the supervisor with `plan` armed on attempt 0 only;
+/// return (final grid, outcome).
+fn supervised_run(
+    steps: u64,
+    cfg: SupervisorConfig,
+    plan: FaultPlan,
+) -> (Vec<f64>, RecoveryOutcome) {
+    let d = decomp();
+    let (ua, ub) = arrays(&d);
+    let mut sup = Supervisor::new(cfg);
+    let ids: Cell<Option<(ArrayId, ArrayId)>> = Cell::new(None);
+    let outcome = sup
+        .run(
+            steps,
+            |attempt| {
+                let p = if attempt == 0 {
+                    plan.clone()
+                } else {
+                    FaultPlan::none()
+                };
+                let gpu = GpuSystem::new(MachineConfig::k40m().with_faults(p));
+                let mut acc = TileAcc::new(gpu, AccOptions::paper());
+                let a = acc.register(&ua);
+                let b = acc.register(&ub);
+                ids.set(Some((a, b)));
+                acc
+            },
+            |acc, step| {
+                let (a, b) = ids.get().expect("build ran first");
+                heat_step(acc, &d, a, b, step)
+            },
+        )
+        .expect("supervised run must complete");
+    let grid = if result_in_first(steps) { &ua } else { &ub }
+        .to_dense()
+        .expect("backed run");
+    (grid, outcome)
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint round trip (main-lane smoke)
+// ---------------------------------------------------------------------------
+
+/// Encode → decode → restore into a *fresh* accelerator, continue, and the
+/// final grid matches an uninterrupted run bit for bit.
+#[test]
+fn checkpoint_round_trip_resumes_bit_identical() {
+    const STEPS: u64 = 6;
+    const MID: u64 = 3;
+    let d = decomp();
+
+    let (ua, ub) = arrays(&d);
+    let mut acc = TileAcc::new(GpuSystem::new(MachineConfig::k40m()), AccOptions::paper());
+    let (a, b) = (acc.register(&ua), acc.register(&ub));
+    for s in 0..MID {
+        heat_step(&mut acc, &d, a, b, s).unwrap();
+    }
+    let blob = acc.checkpoint(MID).unwrap().encode();
+
+    // A fresh accelerator over fresh arrays: nothing survives but the blob.
+    let (va, vb) = arrays(&d);
+    va.fill_valid(|_| f64::NAN); // restore must overwrite every cell
+    let mut acc2 = TileAcc::new(GpuSystem::new(MachineConfig::k40m()), AccOptions::paper());
+    let (a2, b2) = (acc2.register(&va), acc2.register(&vb));
+    let ck = Checkpoint::decode(&blob).unwrap();
+    assert_eq!(ck.step, MID);
+    tida_acc::restore_into(&mut acc2, &ck).unwrap();
+    for s in MID..STEPS {
+        heat_step(&mut acc2, &d, a2, b2, s).unwrap();
+    }
+    let last = if result_in_first(STEPS) { a2 } else { b2 };
+    acc2.sync_to_host(last).unwrap();
+    let got = if result_in_first(STEPS) { &va } else { &vb }
+        .to_dense()
+        .unwrap();
+    assert_eq!(got, golden(STEPS), "restored continuation diverged");
+    assert!(acc2.stats().checkpoints_restored >= 1);
+}
+
+// ---------------------------------------------------------------------------
+// Crash matrix: (crash point × checkpoint interval) — property test
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any seeded crash point, under any checkpoint cadence, yields a final
+    /// grid bit-identical to the fault-free golden run.
+    #[test]
+    fn crash_matrix_is_bit_identical_to_golden(
+        crash_at in 1u64..60,
+        interval in 1u64..5,
+    ) {
+        const STEPS: u64 = 6;
+        let cfg = SupervisorConfig {
+            policy: CheckpointPolicy::every(interval).keep(4),
+            ..SupervisorConfig::default()
+        };
+        let plan = FaultPlan::none().with_crash(CrashFault::at_transfer(crash_at));
+        let (grid, outcome) = supervised_run(STEPS, cfg, plan);
+        prop_assert_eq!(grid, golden(STEPS));
+        // A high ordinal may lie past the run's last transfer (the crash
+        // never fires); when it does fire, exactly one recovery happens.
+        let c = outcome.counters;
+        prop_assert!(c.crash_detections <= 1);
+        prop_assert_eq!(c.checkpoints_restored, c.crash_detections);
+        prop_assert_eq!(outcome.stats.checkpoints_restored, c.crash_detections);
+        if crash_at <= 4 {
+            // The first step alone enqueues four region uploads, so these
+            // ordinals are reached under every checkpoint interval.
+            prop_assert_eq!(c.crash_detections, 1);
+            prop_assert!(c.recovery_time > SimTime::ZERO);
+        }
+    }
+}
+
+/// Exhaustive (crash point × checkpoint interval) sweep for the nightly CI
+/// lane: every transfer ordinal a 6-step run can reach, under every
+/// cadence, must recover bit-identically. Run with `-- --ignored`.
+#[test]
+#[ignore = "nightly crash-matrix sweep; run with -- --ignored"]
+fn exhaustive_crash_matrix_is_bit_identical_to_golden() {
+    const STEPS: u64 = 6;
+    let mut fired = 0u32;
+    for interval in 1u64..6 {
+        for crash_at in 1u64..80 {
+            let cfg = SupervisorConfig {
+                policy: CheckpointPolicy::every(interval).keep(4),
+                ..SupervisorConfig::default()
+            };
+            let plan = FaultPlan::none().with_crash(CrashFault::at_transfer(crash_at));
+            let (grid, outcome) = supervised_run(STEPS, cfg, plan);
+            assert_eq!(
+                grid,
+                golden(STEPS),
+                "diverged at crash_at={crash_at} interval={interval}"
+            );
+            fired += outcome.counters.crash_detections as u32;
+        }
+    }
+    assert!(fired > 100, "the sweep must actually exercise crashes");
+}
+
+/// A crash on a kernel launch (not a transfer) recovers the same way.
+#[test]
+fn kernel_crash_recovers_bit_identical() {
+    const STEPS: u64 = 5;
+    let cfg = SupervisorConfig {
+        policy: CheckpointPolicy::every(2).keep(3),
+        ..SupervisorConfig::default()
+    };
+    let plan = FaultPlan::none().with_crash(CrashFault::at_kernel(9));
+    let (grid, outcome) = supervised_run(STEPS, cfg, plan);
+    assert_eq!(grid, golden(STEPS));
+    assert_eq!(outcome.counters.crash_detections, 1);
+    assert_eq!(outcome.counters.hang_detections, 0);
+}
+
+/// A crash budget of zero surfaces a typed error, not a panic.
+#[test]
+fn retries_exhausted_is_a_typed_error() {
+    let d = decomp();
+    let (ua, ub) = arrays(&d);
+    let mut sup = Supervisor::new(SupervisorConfig {
+        max_recoveries: 0,
+        ..SupervisorConfig::default()
+    });
+    let ids: Cell<Option<(ArrayId, ArrayId)>> = Cell::new(None);
+    let err = sup
+        .run(
+            4,
+            |_| {
+                let plan = FaultPlan::none().with_crash(CrashFault::at_transfer(1));
+                let mut acc = TileAcc::new(
+                    GpuSystem::new(MachineConfig::k40m().with_faults(plan)),
+                    AccOptions::paper(),
+                );
+                ids.set(Some((acc.register(&ua), acc.register(&ub))));
+                acc
+            },
+            |acc, step| {
+                let (a, b) = ids.get().unwrap();
+                heat_step(acc, &d, a, b, step)
+            },
+        )
+        .unwrap_err();
+    assert_eq!(err, RecoveryError::RetriesExhausted);
+    assert_eq!(sup.counters().crash_detections, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Torn / corrupt snapshots are rejected; recovery falls back
+// ---------------------------------------------------------------------------
+
+/// Run a clean prefix to stock the store, sabotage the newest snapshot, then
+/// crash: recovery must reject the sabotaged snapshot (checksum / torn) and
+/// fall back to the step-0 one — and still finish bit-identical to golden.
+fn sabotaged_run(sabotage: impl FnOnce(&mut Supervisor)) {
+    const STEPS: u64 = 6;
+    let d = decomp();
+    let (ua, ub) = arrays(&d);
+    let mut sup = Supervisor::new(SupervisorConfig {
+        policy: CheckpointPolicy::every(2).keep(4),
+        ..SupervisorConfig::default()
+    });
+    let ids: Cell<Option<(ArrayId, ArrayId)>> = Cell::new(None);
+
+    // Phase A: clean run of 3 steps leaves snapshots at steps 0 and 2.
+    sup.run(
+        3,
+        |_| {
+            let mut acc = TileAcc::new(GpuSystem::new(MachineConfig::k40m()), AccOptions::paper());
+            ids.set(Some((acc.register(&ua), acc.register(&ub))));
+            acc
+        },
+        |acc, step| {
+            let (a, b) = ids.get().unwrap();
+            heat_step(acc, &d, a, b, step)
+        },
+    )
+    .unwrap();
+    assert_eq!(sup.snapshots(), 2);
+    sabotage(&mut sup); // newest (step-2) snapshot is now invalid
+
+    // Phase B: crash early, before this run's first interval checkpoint.
+    // Recovery must skip the sabotaged step-2 snapshot, restore step 0
+    // (the initial grid), then replay the whole run.
+    let outcome = sup
+        .run(
+            STEPS,
+            |attempt| {
+                let plan = if attempt == 0 {
+                    FaultPlan::none().with_crash(CrashFault::at_transfer(2))
+                } else {
+                    FaultPlan::none()
+                };
+                let mut acc = TileAcc::new(
+                    GpuSystem::new(MachineConfig::k40m().with_faults(plan)),
+                    AccOptions::paper(),
+                );
+                ids.set(Some((acc.register(&ua), acc.register(&ub))));
+                acc
+            },
+            |acc, step| {
+                let (a, b) = ids.get().unwrap();
+                heat_step(acc, &d, a, b, step)
+            },
+        )
+        .unwrap();
+    assert!(
+        outcome.counters.snapshots_rejected >= 1,
+        "the sabotaged snapshot must be rejected, not restored"
+    );
+    assert_eq!(outcome.counters.checkpoints_restored, 1);
+    let got = if result_in_first(STEPS) { &ua } else { &ub }
+        .to_dense()
+        .unwrap();
+    assert_eq!(got, golden(STEPS));
+}
+
+#[test]
+fn bitflipped_snapshot_is_rejected_and_run_recovers() {
+    sabotaged_run(|sup| sup.corrupt_snapshot(0, 64));
+}
+
+#[test]
+fn torn_snapshot_is_rejected_and_run_recovers() {
+    sabotaged_run(|sup| sup.tear_snapshot(0, 0.6));
+}
+
+// ---------------------------------------------------------------------------
+// Hang detection (pinned seed)
+// ---------------------------------------------------------------------------
+
+/// A livelocked stream — work accepted, never completed — does not error,
+/// so only the progress watchdog can catch it. Pinned: exactly one hang is
+/// declared, one restore happens, and the grid still matches golden.
+#[test]
+fn livelock_is_detected_and_recovered_within_deadline() {
+    const STEPS: u64 = 5;
+    let horizon = SimTime::from_ms(10_000u64);
+    let cfg = SupervisorConfig {
+        policy: CheckpointPolicy::every(2).keep(3),
+        progress_deadline: SimTime::from_ms(100u64),
+        max_recoveries: 3,
+    };
+    // Stream 0 wedges after its 2nd transfer enqueue; each wedged transfer
+    // burns 10 s of virtual time against a 100 ms per-step deadline.
+    let plan = FaultPlan::none().with_seed(42).with_livelock(0, 2, horizon);
+    let (grid, outcome) = supervised_run(STEPS, cfg, plan);
+    assert_eq!(grid, golden(STEPS));
+    assert_eq!(outcome.counters.hang_detections, 1, "pinned for seed 42");
+    assert_eq!(outcome.counters.checkpoints_restored, 1);
+    assert_eq!(outcome.counters.crash_detections, 0);
+    assert!(
+        outcome.counters.recovery_time >= horizon,
+        "the wedged step's burnt horizon is lost work"
+    );
+    assert_eq!(outcome.stats.hang_detections, 1);
+    assert_eq!(outcome.stats.checkpoints_restored, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Ghost exchange across a checkpoint boundary
+// ---------------------------------------------------------------------------
+
+/// Crash *inside* a device-side `fill_boundary`: the interrupted exchange
+/// leaves ghost cells stale. Restoring the pre-exchange checkpoint and
+/// replaying from its step must be bit-identical to golden. Probes a window
+/// of kernel-launch ordinals (ghost gathers are kernels) and requires that
+/// at least one crash lands mid-exchange so the scenario is exercised.
+#[test]
+fn crash_during_ghost_exchange_replays_correctly() {
+    const STEPS: u64 = 5;
+    const MID: u64 = 2;
+    let mut hit_exchange = 0u32;
+
+    for crash_at in 1u64..60 {
+        let d = decomp();
+        let (ua, ub) = arrays(&d);
+        let plan = FaultPlan::none().with_crash(CrashFault::at_kernel(crash_at));
+        let mut acc = TileAcc::new(
+            GpuSystem::new(MachineConfig::k40m().with_faults(plan)),
+            AccOptions::paper(),
+        );
+        let (a, b) = (acc.register(&ua), acc.register(&ub));
+
+        // Run to the checkpoint; a crash in the prefix is out of scope for
+        // this probe (the crash matrix covers it).
+        let mut crashed = false;
+        for s in 0..MID {
+            if heat_step(&mut acc, &d, a, b, s).is_err() {
+                crashed = true;
+                break;
+            }
+        }
+        if crashed {
+            continue;
+        }
+        let blob = match acc.checkpoint(MID) {
+            Ok(ck) => ck.encode(),
+            Err(_) => continue,
+        };
+
+        // Continue with the exchange separated from the stencil so the probe
+        // can see exactly where the crash surfaced.
+        let mut in_exchange = false;
+        'run: for s in MID..STEPS {
+            let (src, dst) = if s % 2 == 0 { (a, b) } else { (b, a) };
+            match acc.fill_boundary(src) {
+                Ok(()) => {}
+                Err(_) => {
+                    crashed = true;
+                    in_exchange = true;
+                    break 'run;
+                }
+            }
+            for t in tiles_of(&d, TileSpec::RegionSized) {
+                let r = acc.compute2(
+                    t,
+                    dst,
+                    src,
+                    heat::cost(t.num_cells()),
+                    "heat",
+                    |d, s, bx| heat::step_tile(d, s, &bx, heat::DEFAULT_FAC),
+                );
+                if r.is_err() {
+                    crashed = true;
+                    break 'run;
+                }
+            }
+        }
+        if !crashed {
+            continue; // the ordinal was never reached post-checkpoint
+        }
+        if in_exchange {
+            hit_exchange += 1;
+        }
+
+        // Fresh accelerator, same arrays; the restore overwrites the torn
+        // mid-exchange state and the replay starts cleanly from step MID.
+        let mut acc2 = TileAcc::new(GpuSystem::new(MachineConfig::k40m()), AccOptions::paper());
+        let (a2, b2) = (acc2.register(&ua), acc2.register(&ub));
+        let ck = Checkpoint::decode(&blob).unwrap();
+        tida_acc::restore_into(&mut acc2, &ck).unwrap();
+        for s in MID..STEPS {
+            heat_step(&mut acc2, &d, a2, b2, s).unwrap();
+        }
+        let last = if result_in_first(STEPS) { a2 } else { b2 };
+        acc2.sync_to_host(last).unwrap();
+        let got = if result_in_first(STEPS) { &ua } else { &ub }
+            .to_dense()
+            .unwrap();
+        assert_eq!(
+            got,
+            golden(STEPS),
+            "replayed exchange diverged for crash_at={crash_at}"
+        );
+    }
+    assert!(
+        hit_exchange >= 1,
+        "no probed crash point landed inside fill_boundary"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// On-disk store: torn files are rejected on rescan (cross-process restart)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn disk_store_rescan_rejects_torn_file_and_falls_back() {
+    const STEPS: u64 = 6;
+    const MID: u64 = 4;
+    let dir = std::env::temp_dir().join(format!("tack-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let d = decomp();
+    let (ua, ub) = arrays(&d);
+    let mut acc = TileAcc::new(GpuSystem::new(MachineConfig::k40m()), AccOptions::paper());
+    let (a, b) = (acc.register(&ua), acc.register(&ub));
+    let policy = CheckpointPolicy::every(2).keep(3).on_disk(&dir);
+    let mut store = CheckpointStore::new(policy.clone());
+    for s in 0..MID {
+        if s % 2 == 0 {
+            store.push(&acc.checkpoint(s).unwrap()).unwrap();
+        }
+        heat_step(&mut acc, &d, a, b, s).unwrap();
+    }
+    store.push(&acc.checkpoint(MID).unwrap()).unwrap();
+    drop(store);
+    drop(acc);
+
+    // Simulate a torn write of the newest file, then a process restart.
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    assert_eq!(files.len(), 3);
+    let newest = files.last().unwrap();
+    let bytes = std::fs::read(newest).unwrap();
+    std::fs::write(newest, &bytes[..bytes.len() / 2]).unwrap();
+
+    let store = CheckpointStore::scan_dir(policy, &dir).unwrap();
+    assert_eq!(store.len(), 3);
+    let (ck, rejected) = store.latest_valid();
+    let ck = ck.expect("an older snapshot must survive");
+    assert_eq!(rejected, 1, "exactly the torn newest file is rejected");
+    assert_eq!(ck.step, 2, "fallback is the previous on-disk snapshot");
+
+    // Restore into a fresh process's accelerator and finish the run.
+    let (va, vb) = arrays(&d);
+    let mut acc2 = TileAcc::new(GpuSystem::new(MachineConfig::k40m()), AccOptions::paper());
+    let (a2, b2) = (acc2.register(&va), acc2.register(&vb));
+    tida_acc::restore_into(&mut acc2, &ck).unwrap();
+    for s in ck.step..STEPS {
+        heat_step(&mut acc2, &d, a2, b2, s).unwrap();
+    }
+    let last = if result_in_first(STEPS) { a2 } else { b2 };
+    acc2.sync_to_host(last).unwrap();
+    let got = if result_in_first(STEPS) { &va } else { &vb }
+        .to_dense()
+        .unwrap();
+    assert_eq!(got, golden(STEPS));
+    let _ = std::fs::remove_dir_all(&dir);
+}
