@@ -7,7 +7,7 @@
 //! cargo run --release -p tida-bench --bin figures -- fig7 --quick
 //! ```
 //!
-//! Subcommands: `fig1 fig5 fig6 fig7 fig8 ablations extensions recovery all`.
+//! Subcommands: `fig1 fig5 fig6 fig7 fig8 ablations extensions recovery integrity all`.
 //! Pass `--quick`
 //! for the reduced CI-sized workloads.
 
@@ -86,6 +86,12 @@ fn main() {
         emit(&f, json, "r1_checkpoint_overhead");
         println!("{}", f.render_bars(60));
     }
+    if wants("integrity") {
+        ran = true;
+        let f = exp::integrity_overhead(scale);
+        emit(&f, json, "r2_integrity_overhead");
+        println!("{}", f.render_bars(60));
+    }
     if wants("ablations") {
         ran = true;
         for (f, slug) in [
@@ -100,7 +106,7 @@ fn main() {
     }
 
     if !ran {
-        eprintln!("unknown figure '{what}'; use: fig1 fig5 fig6 fig7 fig8 ablations extensions recovery all [--quick] [--json]");
+        eprintln!("unknown figure '{what}'; use: fig1 fig5 fig6 fig7 fig8 ablations extensions recovery integrity all [--quick] [--json]");
         std::process::exit(2);
     }
 }

@@ -141,14 +141,7 @@ pub struct Checkpoint {
     pub(crate) dirty: Vec<bool>,
 }
 
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+use memslab::fnv1a64;
 
 fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -186,7 +179,7 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn stats_to_words(s: &AccStats) -> [u64; 18] {
+fn stats_to_words(s: &AccStats) -> [u64; 22] {
     [
         s.hits,
         s.loads,
@@ -206,10 +199,14 @@ fn stats_to_words(s: &AccStats) -> [u64; 18] {
         s.checkpoints_taken,
         s.checkpoints_restored,
         s.hang_detections,
+        s.integrity_detected,
+        s.integrity_repaired,
+        s.slots_quarantined,
+        s.hazards,
     ]
 }
 
-fn stats_from_words(w: &[u64; 18]) -> AccStats {
+fn stats_from_words(w: &[u64; 22]) -> AccStats {
     AccStats {
         hits: w[0],
         loads: w[1],
@@ -229,6 +226,10 @@ fn stats_from_words(w: &[u64; 18]) -> AccStats {
         checkpoints_taken: w[15],
         checkpoints_restored: w[16],
         hang_detections: w[17],
+        integrity_detected: w[18],
+        integrity_repaired: w[19],
+        slots_quarantined: w[20],
+        hazards: w[21],
     }
 }
 
@@ -342,7 +343,7 @@ impl Checkpoint {
             buf: &stats,
             pos: 0,
         };
-        let mut words = [0u64; 18];
+        let mut words = [0u64; 22];
         for w in &mut words {
             *w = s.u64()?;
         }

@@ -27,6 +27,31 @@ pub enum AccError {
     /// with no host-fallback path ([`crate::MultiAcc`] keeps every region
     /// device-resident).
     TransferExhausted { region: usize },
+    /// Silent data corruption the integrity layer could not repair in place:
+    /// the authoritative copy of a field region is gone (dirty device slot
+    /// struck, or the host mirror itself poisoned by a bad write-back).
+    /// Recovery means restoring a checkpoint taken before the strike.
+    Integrity { region: usize, kind: IntegrityKind },
+}
+
+/// Where an unrepairable corruption was pinned down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntegrityKind {
+    /// A device-resident slot failed digest verification and no valid host
+    /// origin existed to retransmit from (the slot was dirty).
+    DirtySlot,
+    /// The host mirror of a region is poisoned: a corrupted write-back (or
+    /// exhausted D2H retransmits) landed bad bytes in the authoritative copy.
+    HostMirror,
+}
+
+impl fmt::Display for IntegrityKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntegrityKind::DirtySlot => write!(f, "dirty device slot"),
+            IntegrityKind::HostMirror => write!(f, "host mirror"),
+        }
+    }
 }
 
 impl fmt::Display for AccError {
@@ -46,6 +71,10 @@ impl fmt::Display for AccError {
             AccError::TransferExhausted { region } => write!(
                 f,
                 "persistent transfer fault on region {region} exhausted the retry budget"
+            ),
+            AccError::Integrity { region, kind } => write!(
+                f,
+                "unrepairable corruption on region {region} ({kind}); restore a checkpoint"
             ),
         }
     }
@@ -69,6 +98,18 @@ mod tests {
         assert!(AccError::TransferExhausted { region: 3 }
             .to_string()
             .contains("region 3"));
+        let e = AccError::Integrity {
+            region: 5,
+            kind: IntegrityKind::DirtySlot,
+        };
+        assert!(e.to_string().contains("region 5"));
+        assert!(e.to_string().contains("dirty device slot"));
+        assert!(AccError::Integrity {
+            region: 0,
+            kind: IntegrityKind::HostMirror,
+        }
+        .to_string()
+        .contains("host mirror"));
     }
 
     #[test]

@@ -63,7 +63,7 @@ mod stats;
 mod tileacc;
 
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy, CheckpointStore};
-pub use error::AccError;
+pub use error::{AccError, IntegrityKind};
 pub use iter::AccIter;
 pub use multi::MultiAcc;
 pub use options::{AccOptions, SlotPolicy, WritebackPolicy};

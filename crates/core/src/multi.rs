@@ -20,7 +20,7 @@
 //! with slot staging is future work.
 
 use crate::checkpoint::{Checkpoint, CheckpointError};
-use crate::error::AccError;
+use crate::error::{AccError, IntegrityKind};
 use crate::stats::AccStats;
 use crate::tileacc::ArrayId;
 use gpu_sim::{
@@ -250,8 +250,23 @@ impl MultiAcc {
             }
         }
         self.gpu.stream_synchronize(self.streams[r]);
+        let dev_struck = self.gpu.device_poisoned(self.arrays[a.0].dev[r]);
         self.arrays[a.0].resident[r] = false;
         self.arrays[a.0].dirty[r] = false;
+        // The host copy is authoritative from here on: an unrepairable
+        // corruption that made it into the mirror has no degradation path
+        // (MultiAcc keeps no second copy) — surface it for checkpoint
+        // recovery.
+        if self.gpu.host_poisoned(self.arrays[a.0].host[r]) {
+            return Err(AccError::Integrity {
+                region: r,
+                kind: if dev_struck {
+                    IntegrityKind::DirtySlot
+                } else {
+                    IntegrityKind::HostMirror
+                },
+            });
+        }
         Ok(())
     }
 
@@ -727,6 +742,13 @@ impl MultiAcc {
             }
             for f in a.dirty.iter_mut() {
                 *f = false;
+            }
+        }
+        // The snapshot's host data just overwrote the mirrors, so any host
+        // poison recorded against them is cured.
+        for a in &self.arrays {
+            for &h in &a.host {
+                self.gpu.clear_host_poison(h);
             }
         }
         Ok(())

@@ -4,8 +4,10 @@
 //! watchdog. Around every step it drains the accelerator and reads the
 //! virtual clock; a step that advances virtual time past
 //! [`SupervisorConfig::progress_deadline`] is declared a **hang** (the
-//! signature of a livelocked stream — work accepted, never completed), and a
-//! step that surfaces [`AccError::Crashed`] is a **crash**. Either way the
+//! signature of a livelocked stream — work accepted, never completed), a
+//! step that surfaces [`AccError::Crashed`] is a **crash**, and a step that
+//! surfaces [`AccError::Integrity`] (unrepairable silent corruption — the
+//! authoritative copy of a region is gone) is a **corruption**. Either way the
 //! wedged instance is discarded, the latest *valid* snapshot is restored
 //! (torn/corrupt ones are rejected by their checksums and counted), and the
 //! run resumes from the snapshot's step — bounded by
@@ -115,6 +117,9 @@ pub struct Supervisor {
 enum StepFault {
     Crash,
     Hang,
+    /// Unrepairable silent corruption (typed [`AccError::Integrity`]): the
+    /// instance's data is untrustworthy, so it is discarded like a crash.
+    Corruption,
 }
 
 impl Supervisor {
@@ -163,12 +168,13 @@ impl Supervisor {
             if step >= steps {
                 // Drain everything to the host so the caller's arrays hold
                 // the final grid. A crash here is recoverable like any other.
-                match Self::final_sync(&mut acc) {
+                let fault = match Self::final_sync(&mut acc) {
                     Ok(()) => break,
-                    Err(AccError::Crashed) => {}
+                    Err(AccError::Crashed) => StepFault::Crash,
+                    Err(AccError::Integrity { .. }) => StepFault::Corruption,
                     Err(e) => return Err(RecoveryError::Fatal(e)),
-                }
-                self.note_fault(StepFault::Crash, &mut acc, last_ck_time);
+                };
+                self.note_fault(fault, &mut acc, last_ck_time);
                 (acc, step, attempt, last_ck_time) = self.recover(attempt, &mut build)?;
                 continue;
             }
@@ -184,6 +190,7 @@ impl Supervisor {
                     }
                 }
                 Err(AccError::Crashed) => Some(StepFault::Crash),
+                Err(AccError::Integrity { .. }) => Some(StepFault::Corruption),
                 Err(e) => return Err(RecoveryError::Fatal(e)),
             };
 
@@ -200,6 +207,10 @@ impl Supervisor {
                     Ok(()) => last_ck_time = acc.finish(),
                     Err(RecoveryError::Fatal(AccError::Crashed)) => {
                         self.note_fault(StepFault::Crash, &mut acc, last_ck_time);
+                        (acc, step, attempt, last_ck_time) = self.recover(attempt, &mut build)?;
+                    }
+                    Err(RecoveryError::Fatal(AccError::Integrity { .. })) => {
+                        self.note_fault(StepFault::Corruption, &mut acc, last_ck_time);
                         (acc, step, attempt, last_ck_time) = self.recover(attempt, &mut build)?;
                     }
                     Err(e) => return Err(e),
@@ -238,6 +249,7 @@ impl Supervisor {
         match fault {
             StepFault::Crash => self.counters.crash_detections += 1,
             StepFault::Hang => self.counters.hang_detections += 1,
+            StepFault::Corruption => self.counters.corruption_detections += 1,
         }
         let spent = acc.finish();
         self.discarded_time += spent;

@@ -48,6 +48,18 @@ pub struct AccStats {
     /// Hangs a supervisor detected against this runtime (progress deadline
     /// exceeded with no step retired).
     pub hang_detections: u64,
+    /// Digest mismatches the transfer-integrity layer detected (in-flight
+    /// corruption or a struck resident slot).
+    pub integrity_detected: u64,
+    /// Corruption events repaired in place: a bounded retransmit cleaned the
+    /// link, or a clean slot was refilled from its host origin.
+    pub integrity_repaired: u64,
+    /// Device slots quarantined because an unrepairable corruption poisoned
+    /// them (the runtime stops placing regions there).
+    pub slots_quarantined: u64,
+    /// Stream-ordering hazards the happens-before detector flagged
+    /// (any kind; a clean run must show zero).
+    pub hazards: u64,
 }
 
 impl fmt::Display for AccStats {
@@ -82,6 +94,18 @@ impl fmt::Display for AccStats {
                 f,
                 " ckpts(taken/restored)={}/{} hangs={}",
                 self.checkpoints_taken, self.checkpoints_restored, self.hang_detections,
+            )?;
+        }
+        if self.integrity_detected + self.integrity_repaired + self.slots_quarantined + self.hazards
+            > 0
+        {
+            write!(
+                f,
+                " integrity(detected/repaired)={}/{} quarantined={} hazards={}",
+                self.integrity_detected,
+                self.integrity_repaired,
+                self.slots_quarantined,
+                self.hazards,
             )?;
         }
         Ok(())
@@ -146,5 +170,21 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("ckpts(taken/restored)=3/1"));
         assert!(text.contains("hangs=2"));
+    }
+
+    #[test]
+    fn display_adds_integrity_suffix_only_when_nonzero() {
+        assert!(!AccStats::default().to_string().contains("integrity"));
+        let s = AccStats {
+            integrity_detected: 4,
+            integrity_repaired: 3,
+            slots_quarantined: 1,
+            hazards: 2,
+            ..AccStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("integrity(detected/repaired)=4/3"));
+        assert!(text.contains("quarantined=1"));
+        assert!(text.contains("hazards=2"));
     }
 }

@@ -31,7 +31,7 @@
 //! CUDA idiom and preserves the paper's overlap behaviour.
 
 use crate::checkpoint::{Checkpoint, CheckpointError};
-use crate::error::AccError;
+use crate::error::{AccError, IntegrityKind};
 use crate::options::{AccOptions, SlotPolicy, WritebackPolicy};
 use crate::stats::AccStats;
 use gpu_sim::{
@@ -77,6 +77,9 @@ struct Slot {
     /// the next transfer into the slot must wait for them.
     foreign_consumers: Vec<gpu_sim::Event>,
     lru_stamp: u64,
+    /// Set when an unrepairable corruption poisoned this slot's device
+    /// buffer (non-ECC DRAM model): the runtime stops placing regions here.
+    quarantined: bool,
 }
 
 /// The accelerator runtime. One `TileAcc` owns the simulated platform and
@@ -182,8 +185,18 @@ impl TileAcc {
         self.device_failed
     }
 
+    /// Counters so far. The integrity and hazard counters are composed live
+    /// from the platform's digest book and happens-before tracker (they are
+    /// monotone over this instance's lifetime and are not rolled back by
+    /// [`TileAcc::restore`], matching the supervisor-managed recovery
+    /// counters).
     pub fn stats(&self) -> AccStats {
-        self.stats
+        let mut s = self.stats;
+        let i = self.gpu.integrity_stats();
+        s.integrity_detected += i.detected;
+        s.integrity_repaired += i.repaired;
+        s.hazards += self.gpu.hazard_counters().total();
+        s
     }
 
     pub fn gpu(&self) -> &GpuSystem {
@@ -273,6 +286,7 @@ impl TileAcc {
                         dirty: false,
                         foreign_consumers: Vec::new(),
                         lru_stamp: 0,
+                        quarantined: false,
                     });
                     self.streams.push(stream);
                 }
@@ -310,21 +324,22 @@ impl TileAcc {
         self.slots[slot].lru_stamp = self.clock;
     }
 
-    /// Choose the slot for global region `g`, never one of `pinned`.
-    /// `None` is a static slot conflict.
+    /// Choose the slot for global region `g`, never one of `pinned` and
+    /// never a quarantined slot. `None` is a static slot conflict (or an
+    /// entirely quarantined pool) — the caller degrades to the host path.
     fn pick_slot(&self, g: usize, pinned: &[usize]) -> Option<usize> {
         let n = self.slots.len();
         match self.opts.policy {
             SlotPolicy::StaticInterleaved => {
                 let s = g % n;
-                if pinned.contains(&s) {
+                if pinned.contains(&s) || self.slots[s].quarantined {
                     None
                 } else {
                     Some(s)
                 }
             }
             SlotPolicy::Lru => (0..n)
-                .filter(|s| !pinned.contains(s))
+                .filter(|&s| !pinned.contains(&s) && !self.slots[s].quarantined)
                 .min_by_key(|&s| (self.cache[s].is_some(), self.slots[s].lru_stamp)),
         }
     }
@@ -359,9 +374,28 @@ impl TileAcc {
         }
         let g = self.gidx(array, region);
         if let Some(s) = self.loc[g] {
-            self.stats.hits += 1;
-            self.touch(s);
-            return Ok(s);
+            if self.gpu.device_poisoned(self.slots[s].dev) {
+                // The hit sits on a struck DRAM slot. A clean slot's host
+                // copy is still authoritative: quarantine the slot and fall
+                // through to reload the region elsewhere. A dirty slot's
+                // data exists nowhere valid — surface it for checkpoint
+                // recovery.
+                let dirty = self.slots[s].dirty;
+                self.quarantine(s);
+                self.cache[s] = None;
+                self.loc[g] = None;
+                self.slots[s].dirty = false;
+                if dirty {
+                    return Err(AcquireFail::Fatal(AccError::Integrity {
+                        region,
+                        kind: IntegrityKind::DirtySlot,
+                    }));
+                }
+            } else {
+                self.stats.hits += 1;
+                self.touch(s);
+                return Ok(s);
+            }
         }
         let Some(s) = self.pick_slot(g, pinned) else {
             return Err(AcquireFail::Fallback);
@@ -392,6 +426,12 @@ impl TileAcc {
                 self.stats.writebacks_skipped += 1;
             }
             self.loc[g2] = None;
+            // The cache-list entry is gone: any enqueued read of this slot
+            // that still assumed g2 was resident is a stale-cache-list read.
+            // The incoming load (or the claiming kernel's write) re-arms the
+            // buffer. The write-back above was enqueued first, so its own
+            // read is not flagged.
+            self.gpu.note_evicted(self.slots[s].dev, "evict");
         }
 
         // The incoming load must additionally wait for any in-flight
@@ -529,6 +569,17 @@ impl TileAcc {
         self.host_slab_op.clear();
     }
 
+    /// Quarantine a slot whose device buffer took an unrepairable strike
+    /// (idempotent). A quarantined slot is never picked again; with every
+    /// slot quarantined the runtime degrades to the host path via the
+    /// normal conflict-fallback machinery.
+    fn quarantine(&mut self, s: usize) {
+        if !self.slots[s].quarantined {
+            self.slots[s].quarantined = true;
+            self.stats.slots_quarantined += 1;
+        }
+    }
+
     /// Count a host fallback under the right reason.
     fn note_fallback(&mut self) {
         if self.device_failed {
@@ -547,6 +598,7 @@ impl TileAcc {
             return Ok(()); // nothing was ever on the device
         }
         let g = self.gidx(array, region);
+        let mut struck_slot: Option<usize> = None;
         if let Some(s) = self.loc[g] {
             let need_copy = self.opts.writeback == WritebackPolicy::Always || self.slots[s].dirty;
             if need_copy {
@@ -563,6 +615,9 @@ impl TileAcc {
                 }
             }
             self.gpu.stream_synchronize(self.streams[s]);
+            if self.gpu.device_poisoned(self.slots[s].dev) {
+                struck_slot = Some(s);
+            }
             self.cache[s] = None;
             self.loc[g] = None;
             self.slots[s].dirty = false;
@@ -576,6 +631,24 @@ impl TileAcc {
         // simulated future).
         if let Some(op) = self.host_slab_op.remove(&g) {
             self.gpu.sync_op(op);
+        }
+        // The slot took an unrepairable strike: never place a region there
+        // again. (The host copy may still be fine — a clean slot whose
+        // origin went stale poisons the slot, not the mirror.)
+        if let Some(s) = struck_slot {
+            self.quarantine(s);
+        }
+        // The host copy is authoritative from here on: verify nothing
+        // unrepairable landed in it. Poison here means a corrupted
+        // write-back (or a struck dirty slot) made it into the mirror — the
+        // only way back to valid data is a checkpoint.
+        if self.gpu.host_poisoned(self.arrays[array.0].host[region]) {
+            let kind = if struck_slot.is_some() {
+                IntegrityKind::DirtySlot
+            } else {
+                IntegrityKind::HostMirror
+            };
+            return Err(AccError::Integrity { region, kind });
         }
         Ok(())
     }
@@ -993,6 +1066,14 @@ impl TileAcc {
         }
         self.inflight_writeback.clear();
         self.host_slab_op.clear();
+        // The snapshot's host data just overwrote the mirrors, so any host
+        // poison recorded against them is cured. (Quarantined slots stay
+        // quarantined: a struck DRAM page does not heal on restore.)
+        for a in &self.arrays {
+            for &h in &a.host {
+                self.gpu.clear_host_poison(h);
+            }
+        }
         self.clock = ck.clock;
         self.stats = ck.stats;
         self.stats.checkpoints_restored += 1;

@@ -35,6 +35,21 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// An empty trace over the given lanes. Used by consumers that build
+    /// traces from their own observations (e.g. the gpu-sim hazard
+    /// detector's replayable hazard trace) rather than from a scheduler run.
+    pub fn new(engine_names: Vec<String>) -> Self {
+        Trace {
+            engine_names,
+            spans: Vec::new(),
+        }
+    }
+
+    /// Append one span.
+    pub fn push(&mut self, span: Span) {
+        self.spans.push(span);
+    }
+
     /// Latest end time over all spans.
     pub fn makespan(&self) -> SimTime {
         self.spans

@@ -6,6 +6,8 @@
 //! interconnect, or by host-side work?).
 
 use crate::fault::FaultStats;
+use crate::hazard::HazardCounters;
+use crate::memory::IntegrityStats;
 use crate::system::GpuSystem;
 use desim::{Bound, CriticalStep, SimTime};
 use std::collections::BTreeMap;
@@ -20,6 +22,8 @@ pub struct RecoveryCounters {
     pub checkpoints_restored: u64,
     pub hang_detections: u64,
     pub crash_detections: u64,
+    /// Unrepairable silent corruptions that triggered a checkpoint restore.
+    pub corruption_detections: u64,
     /// Torn or corrupt snapshots rejected during restore.
     pub snapshots_rejected: u64,
     /// Virtual time spent in attempts that were later discarded.
@@ -32,6 +36,7 @@ impl RecoveryCounters {
             + self.checkpoints_restored
             + self.hang_detections
             + self.crash_detections
+            + self.corruption_detections
             + self.snapshots_rejected
             > 0
     }
@@ -61,6 +66,11 @@ pub struct RunReport {
     /// Checkpoint/restart accounting (zero unless a supervisor merged its
     /// counters via [`RunReport::with_recovery`]).
     pub recovery: RecoveryCounters,
+    /// Transfer/resident digest verification counters for the run.
+    pub integrity: IntegrityStats,
+    /// Stream-ordering hazards flagged by the happens-before detector
+    /// (every field must be zero for a correctly ordered program).
+    pub hazards: HazardCounters,
 }
 
 impl RunReport {
@@ -109,13 +119,32 @@ impl fmt::Display for RunReport {
         if self.recovery.any() {
             writeln!(
                 f,
-                "  recovery: {} ckpts taken, {} restored, {} hangs, {} crashes, {} rejected, {} lost to discarded attempts",
+                "  recovery: {} ckpts taken, {} restored, {} hangs, {} crashes, {} corruptions, {} rejected, {} lost to discarded attempts",
                 self.recovery.checkpoints_taken,
                 self.recovery.checkpoints_restored,
                 self.recovery.hang_detections,
                 self.recovery.crash_detections,
+                self.recovery.corruption_detections,
                 self.recovery.snapshots_rejected,
                 self.recovery.recovery_time
+            )?;
+        }
+        if self.integrity.detected + self.integrity.unrepaired > 0 {
+            writeln!(
+                f,
+                "  integrity: {} verified, {} corrupted, {} repaired, {} unrepaired",
+                self.integrity.verified,
+                self.integrity.detected,
+                self.integrity.repaired,
+                self.integrity.unrepaired
+            )?;
+        }
+        if self.hazards.any() {
+            writeln!(
+                f,
+                "  hazards: {} ({:?})",
+                self.hazards.total(),
+                self.hazards
             )?;
         }
         Ok(())
@@ -179,6 +208,8 @@ impl GpuSystem {
             fault_time: fault_stats.lost_time,
             fault_stats,
             recovery: RecoveryCounters::default(),
+            integrity: self.integrity_stats(),
+            hazards: self.hazard_counters(),
         }
     }
 

@@ -68,6 +68,86 @@ impl Lane {
     }
 }
 
+/// Salt separating corruption draws from transfer-fault draws on the same
+/// (seed, lane, ordinal) stream.
+const CORRUPT_SALT: u64 = 0x434f_5252;
+
+/// Seeded silent-corruption injection (a non-ECC DRAM model).
+///
+/// Unlike [`TransferFaults`], a corrupted operation *completes normally* —
+/// no error surfaces, the engine reports success, and the data is simply
+/// wrong. Only end-to-end digest verification can catch it:
+///
+/// * an **in-flight** flip corrupts one bit of a H2D/D2H payload on the
+///   bus; the integrity layer detects the digest mismatch at completion
+///   and retransmits from the authoritative side, bounded by
+///   [`CorruptionFault::max_retransmits`] (each retransmit re-occupies the
+///   DMA engine for the nominal transfer time);
+/// * a **resident strike** flips a bit in data already sitting in device
+///   DRAM — after the n-th H2D lands (clean data; the host copy is still
+///   authoritative, so the next consumer repairs it) or after the n-th
+///   kernel writes (dirty data; the host copy is stale, so the poison can
+///   only be cured by a checkpoint restore).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorruptionFault {
+    /// Probability in `[0, 1]` that one H2D copy attempt is corrupted
+    /// in flight.
+    pub h2d_rate: f64,
+    /// Probability in `[0, 1]` that one D2H copy attempt is corrupted
+    /// in flight.
+    pub d2h_rate: f64,
+    /// 0-based H2D attempt ordinals whose *landed* device data is struck
+    /// after verification (clean resident corruption).
+    pub strike_after_h2d: Vec<u64>,
+    /// 0-based kernel-launch ordinals whose first written device buffer is
+    /// struck after execution (dirty resident corruption).
+    pub strike_after_kernel: Vec<u64>,
+    /// In-flight repair budget: how many times a corrupted transfer is
+    /// retransmitted before the destination is left poisoned.
+    pub max_retransmits: u32,
+}
+
+impl Default for CorruptionFault {
+    fn default() -> Self {
+        CorruptionFault {
+            h2d_rate: 0.0,
+            d2h_rate: 0.0,
+            strike_after_h2d: Vec::new(),
+            strike_after_kernel: Vec::new(),
+            max_retransmits: 2,
+        }
+    }
+}
+
+impl CorruptionFault {
+    pub fn enabled(&self) -> bool {
+        self.h2d_rate > 0.0
+            || self.d2h_rate > 0.0
+            || !self.strike_after_h2d.is_empty()
+            || !self.strike_after_kernel.is_empty()
+    }
+
+    /// Whether the `attempt`-th copy of the transfer with this ordinal is
+    /// corrupted in flight (attempt 0 is the original send; 1.. are
+    /// retransmits). Pure function of the plan seed.
+    fn attempt_corrupt(&self, seed: u64, lane: Lane, ordinal: u64, attempt: u32) -> bool {
+        let rate = match lane {
+            Lane::H2d => self.h2d_rate,
+            Lane::D2h => self.d2h_rate,
+        };
+        rate > 0.0
+            && unit(splitmix64(
+                splitmix64(seed ^ lane.tag() ^ CORRUPT_SALT) ^ ordinal ^ ((attempt as u64) << 48),
+            )) < rate
+    }
+
+    /// Deterministic strike value (bit + element selector) for an injection
+    /// site, fed to `memslab::Slab::flip_bit`.
+    fn strike_value(seed: u64, salt: u64, ordinal: u64) -> u64 {
+        splitmix64(splitmix64(seed ^ CORRUPT_SALT ^ salt) ^ ordinal)
+    }
+}
+
 /// Fault settings for one transfer direction.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TransferFaults {
@@ -207,6 +287,8 @@ pub struct FaultPlan {
     pub crash: Option<CrashFault>,
     /// Streams that wedge mid-run.
     pub livelocks: Vec<LivelockFault>,
+    /// Silent bit flips in flight and in device DRAM.
+    pub corruption: CorruptionFault,
 }
 
 impl Default for FaultPlan {
@@ -229,7 +311,14 @@ impl FaultPlan {
             salvage_slowdown: 4.0,
             crash: None,
             livelocks: Vec::new(),
+            corruption: CorruptionFault::default(),
         }
+    }
+
+    /// Install a silent-corruption schedule.
+    pub fn with_corruption(mut self, corruption: CorruptionFault) -> Self {
+        self.corruption = corruption;
+        self
     }
 
     /// Install a crash fault.
@@ -268,6 +357,7 @@ impl FaultPlan {
             || !self.degrade.is_empty()
             || self.crash.as_ref().is_some_and(CrashFault::enabled)
             || !self.livelocks.is_empty()
+            || self.corruption.enabled()
     }
 
     /// Largest degrade factor of any window open at `now` (1.0 when none).
@@ -309,6 +399,11 @@ pub struct FaultStats {
     pub crashes: u64,
     /// Transfers swallowed by a wedged (livelocked) stream.
     pub livelocked: u64,
+    /// In-flight transfer corruptions injected (counting each corrupted
+    /// retransmit separately).
+    pub corruptions: u64,
+    /// Resident device-DRAM strikes injected.
+    pub resident_strikes: u64,
     /// Engine time consumed by faulted attempts and injected stalls — the
     /// raw material of the recovery time a run report accounts for.
     pub lost_time: SimTime,
@@ -324,7 +419,28 @@ impl FaultStats {
             + self.stalls
             + self.crashes
             + self.livelocked
+            + self.corruptions
+            + self.resident_strikes
     }
+}
+
+/// Corruption verdict for one transfer, decided at enqueue time so the
+/// engine occupancy (original send + retransmits) is part of the
+/// deterministic schedule regardless of whether the run is backed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct CorruptVerdict {
+    /// How many leading copy attempts arrive corrupted (attempt 0 is the
+    /// original send). The effect layer flips/verifies/re-copies this many
+    /// times on real data.
+    pub(crate) corrupt_attempts: u32,
+    /// All `1 + max_retransmits` attempts were corrupted: the destination
+    /// is left poisoned.
+    pub(crate) unrepaired: bool,
+    /// Seeded bit/element selector for the injected flips.
+    pub(crate) strike: u64,
+    /// A clean resident strike lands on this transfer's destination after
+    /// it settles (`strike_after_h2d`).
+    pub(crate) resident_strike: Option<u64>,
 }
 
 /// Verdict for one transfer enqueue: how long the op occupies its engine,
@@ -336,6 +452,8 @@ pub(crate) struct XferVerdict {
     pub(crate) faulted: bool,
     pub(crate) livelocked: bool,
     pub(crate) stall: Option<SimTime>,
+    /// Silent-corruption verdict (`None` when this transfer is clean).
+    pub(crate) corrupt: Option<CorruptVerdict>,
 }
 
 impl XferVerdict {
@@ -345,6 +463,7 @@ impl XferVerdict {
             faulted: false,
             livelocked: false,
             stall: None,
+            corrupt: None,
         }
     }
 }
@@ -453,6 +572,7 @@ impl FaultState {
                 faulted: true,
                 livelocked: false,
                 stall: None,
+                corrupt: None,
             };
         }
         self.xfer_total += 1;
@@ -473,6 +593,7 @@ impl FaultState {
                 faulted: true,
                 livelocked: false,
                 stall: None,
+                corrupt: None,
             };
         }
         let mut duration = nominal;
@@ -502,6 +623,7 @@ impl FaultState {
                 faulted: false,
                 livelocked: true,
                 stall: None,
+                corrupt: None,
             };
         }
         let stall = self.plan.stall_for(stream, count);
@@ -528,12 +650,88 @@ impl FaultState {
                 Lane::D2h => self.stats.d2h_faults += 1,
             }
             self.stats.lost_time += duration;
+            return XferVerdict {
+                duration,
+                faulted,
+                livelocked: false,
+                stall,
+                corrupt: None,
+            };
         }
+        // A clean attempt can still be silently corrupted. The verdict is
+        // decided here so the retransmit engine time is part of the
+        // schedule; the effect layer performs the actual flips/repairs.
+        let corrupt = self.corruption_verdict(lane, ordinal, &mut duration);
         XferVerdict {
             duration,
-            faulted,
+            faulted: false,
             livelocked: false,
             stall,
+            corrupt,
+        }
+    }
+
+    /// Decide whether the transfer with this ordinal suffers in-flight
+    /// corruption and/or a post-landing resident strike, stretching
+    /// `duration` by one nominal transfer time per retransmit.
+    fn corruption_verdict(
+        &mut self,
+        lane: Lane,
+        ordinal: u64,
+        duration: &mut SimTime,
+    ) -> Option<CorruptVerdict> {
+        let c = &self.plan.corruption;
+        if !c.enabled() {
+            return None;
+        }
+        let attempts_budget = 1 + c.max_retransmits;
+        let mut corrupt_attempts = 0u32;
+        while corrupt_attempts < attempts_budget
+            && c.attempt_corrupt(self.plan.seed, lane, ordinal, corrupt_attempts)
+        {
+            corrupt_attempts += 1;
+        }
+        let unrepaired = corrupt_attempts == attempts_budget;
+        let retransmits = corrupt_attempts.min(c.max_retransmits);
+        let resident_strike = (lane == Lane::H2d && c.strike_after_h2d.contains(&ordinal))
+            .then(|| CorruptionFault::strike_value(self.plan.seed, 0x4452_414d, ordinal));
+        if corrupt_attempts == 0 && resident_strike.is_none() {
+            return None;
+        }
+        if retransmits > 0 {
+            let extra = SimTime::from_ns(duration.as_ns().saturating_mul(retransmits as u64));
+            *duration += extra;
+            self.stats.lost_time += extra;
+        }
+        self.stats.corruptions += corrupt_attempts as u64;
+        if resident_strike.is_some() {
+            self.stats.resident_strikes += 1;
+        }
+        Some(CorruptVerdict {
+            corrupt_attempts,
+            unrepaired,
+            strike: CorruptionFault::strike_value(self.plan.seed, lane.tag(), ordinal),
+            resident_strike,
+        })
+    }
+
+    /// Resident strike due after the most recent kernel launch (call after
+    /// [`FaultState::kernel_enqueue`] returned `false`). Targets the data
+    /// the kernel just wrote — dirty, so the host copy is stale.
+    pub(crate) fn kernel_strike(&mut self) -> Option<u64> {
+        if !self.enabled() || self.crashed || self.kernel_total == 0 {
+            return None;
+        }
+        let ordinal = self.kernel_total - 1;
+        if self.plan.corruption.strike_after_kernel.contains(&ordinal) {
+            self.stats.resident_strikes += 1;
+            Some(CorruptionFault::strike_value(
+                self.plan.seed,
+                0x4b52_4e4c,
+                ordinal,
+            ))
+        } else {
+            None
         }
     }
 
@@ -683,6 +881,94 @@ mod tests {
         assert!(!v.livelocked);
         assert_eq!(st.stats.livelocked, 1);
         assert_eq!(st.stats.lost_time, horizon);
+    }
+
+    #[test]
+    fn corruption_default_is_disabled_and_invisible() {
+        assert!(!CorruptionFault::default().enabled());
+        let mut st = FaultState::new(FaultPlan::none().with_seed(9));
+        let v = st.transfer_enqueue(Lane::H2d, 0, SimTime::ZERO, SimTime::from_us(10));
+        assert!(v.corrupt.is_none());
+        assert_eq!(v.duration, SimTime::from_us(10));
+        assert_eq!(st.stats.corruptions, 0);
+    }
+
+    #[test]
+    fn certain_corruption_exhausts_retransmits_and_poisons() {
+        let plan = FaultPlan::none()
+            .with_seed(3)
+            .with_corruption(CorruptionFault {
+                h2d_rate: 1.0,
+                max_retransmits: 2,
+                ..CorruptionFault::default()
+            });
+        let mut st = FaultState::new(plan);
+        let nominal = SimTime::from_us(10);
+        let v = st.transfer_enqueue(Lane::H2d, 0, SimTime::ZERO, nominal);
+        let c = v.corrupt.expect("rate 1.0 always corrupts");
+        assert_eq!(c.corrupt_attempts, 3, "original + 2 retransmits all flip");
+        assert!(c.unrepaired, "budget exhausted leaves the dst poisoned");
+        assert_eq!(
+            v.duration,
+            SimTime::from_us(30),
+            "each retransmit re-occupies the engine"
+        );
+        assert!(!v.faulted, "corruption is silent, never an error verdict");
+        assert_eq!(st.stats.corruptions, 3);
+        // D2H lane is untouched by an H2D-only schedule.
+        let v = st.transfer_enqueue(Lane::D2h, 0, SimTime::ZERO, nominal);
+        assert!(v.corrupt.is_none());
+    }
+
+    #[test]
+    fn corruption_verdicts_are_seeded_and_deterministic() {
+        let verdicts = |seed: u64| -> Vec<(u32, bool)> {
+            let plan = FaultPlan::none()
+                .with_seed(seed)
+                .with_corruption(CorruptionFault {
+                    d2h_rate: 0.3,
+                    ..CorruptionFault::default()
+                });
+            let mut st = FaultState::new(plan);
+            (0..64)
+                .map(|_| {
+                    let v = st.transfer_enqueue(Lane::D2h, 0, SimTime::ZERO, SimTime::from_us(10));
+                    v.corrupt
+                        .map(|c| (c.corrupt_attempts, c.unrepaired))
+                        .unwrap_or((0, false))
+                })
+                .collect()
+        };
+        assert_eq!(verdicts(5), verdicts(5), "same seed, same schedule");
+        assert_ne!(verdicts(5), verdicts(6), "different seed differs");
+        assert!(verdicts(5).iter().any(|&(n, _)| n > 0), "rate 0.3 strikes");
+        assert!(verdicts(5).iter().any(|&(n, _)| n == 0), "rate 0.3 passes");
+    }
+
+    #[test]
+    fn resident_strikes_fire_on_exact_ordinals() {
+        let plan = FaultPlan::none().with_corruption(CorruptionFault {
+            strike_after_h2d: vec![1],
+            strike_after_kernel: vec![2],
+            ..CorruptionFault::default()
+        });
+        let mut st = FaultState::new(plan);
+        let nominal = SimTime::from_us(10);
+        let v = st.transfer_enqueue(Lane::H2d, 0, SimTime::ZERO, nominal);
+        assert!(v.corrupt.is_none(), "ordinal 0 is clean");
+        let v = st.transfer_enqueue(Lane::H2d, 0, SimTime::ZERO, nominal);
+        let c = v.corrupt.expect("ordinal 1 is struck");
+        assert!(c.resident_strike.is_some());
+        assert_eq!(c.corrupt_attempts, 0, "a resident strike is not in-flight");
+        assert_eq!(v.duration, nominal, "no retransmit cost for a strike");
+
+        assert!(!st.kernel_enqueue(SimTime::ZERO));
+        assert!(st.kernel_strike().is_none(), "kernel ordinal 0");
+        assert!(!st.kernel_enqueue(SimTime::ZERO));
+        assert!(st.kernel_strike().is_none(), "kernel ordinal 1");
+        assert!(!st.kernel_enqueue(SimTime::ZERO));
+        assert!(st.kernel_strike().is_some(), "kernel ordinal 2 is struck");
+        assert_eq!(st.stats.resident_strikes, 2);
     }
 
     #[test]

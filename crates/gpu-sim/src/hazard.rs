@@ -1,0 +1,644 @@
+//! Stream-hazard detection: a vector-clock happens-before tracker.
+//!
+//! The interval checker in [`crate::GpuSystem::check_hazards`] flags
+//! conflicting accesses that *overlapped in simulated time* — but an
+//! engine with capacity 1 serializes everything, so a program whose
+//! correctness silently depends on engine serialization (instead of
+//! stream/event ordering) passes it. This module closes that gap: it
+//! tracks the *semantic* ordering the program actually established —
+//! stream FIFO edges, `record_event`/`stream_wait_event` edges, and
+//! host-blocking synchronization — as vector clocks, and flags every
+//! conflicting access pair the program left unordered, whether or not
+//! the schedule happened to separate them in time.
+//!
+//! The tracker observes every operation at enqueue (the edges are fully
+//! known then; the scheduler never adds ordering beyond them) and runs in
+//! two modes:
+//!
+//! * **cheap** (always on): per-kind counters, surfaced through
+//!   [`crate::GpuSystem::hazard_counters`] and the run report;
+//! * **deep**: every hazard is recorded with both operations' labels,
+//!   the buffer, and its position in enqueue order, and can be exported
+//!   as a replayable [`desim::Trace`] whose categories are the hazard
+//!   kinds — deterministic for a fixed program and seed.
+//!
+//! The runtime feeds one extra edge the scheduler cannot see: the cache
+//! list. [`crate::GpuSystem::note_evicted`] marks a device buffer whose
+//! slot was evicted; a later read without an intervening write is a
+//! stale-cache-list read even though no scheduler-level race exists.
+
+use crate::system::BufKey;
+use desim::{OpId, SimTime, Trace};
+use std::collections::HashMap;
+
+/// What kind of ordering violation a hazard is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HazardKind {
+    /// A read not ordered after the transfer that produces its data
+    /// (e.g. a kernel consuming a cache slot before its H2D landed).
+    UseBeforeTransfer,
+    /// A read not ordered after a kernel that writes the same buffer.
+    ReadWriteRace,
+    /// A write not ordered after earlier reads of the same buffer
+    /// (e.g. reloading a slot while a foreign consumer still reads it).
+    WriteAfterRead,
+    /// Two unordered writes to the same buffer.
+    WriteAfterWrite,
+    /// A read of a buffer whose slot the cache list already evicted,
+    /// with no reload in between.
+    StaleCacheRead,
+    /// An unordered conflict where either side is a ghost-exchange
+    /// operation (fill, pack, unpack, batched gather).
+    GhostOrdering,
+}
+
+impl HazardKind {
+    /// Stable name, used as the trace category in deep mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            HazardKind::UseBeforeTransfer => "use-before-transfer",
+            HazardKind::ReadWriteRace => "read-write-race",
+            HazardKind::WriteAfterRead => "write-after-read",
+            HazardKind::WriteAfterWrite => "write-after-write",
+            HazardKind::StaleCacheRead => "stale-cache-read",
+            HazardKind::GhostOrdering => "ghost-ordering",
+        }
+    }
+}
+
+/// Per-kind hazard counters (the always-on cheap mode).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HazardCounters {
+    pub use_before_transfer: u64,
+    pub read_write_race: u64,
+    pub write_after_read: u64,
+    pub write_after_write: u64,
+    pub stale_cache_read: u64,
+    pub ghost_ordering: u64,
+}
+
+impl HazardCounters {
+    pub fn total(&self) -> u64 {
+        self.use_before_transfer
+            + self.read_write_race
+            + self.write_after_read
+            + self.write_after_write
+            + self.stale_cache_read
+            + self.ghost_ordering
+    }
+
+    pub fn any(&self) -> bool {
+        self.total() > 0
+    }
+
+    fn bump(&mut self, kind: HazardKind) {
+        match kind {
+            HazardKind::UseBeforeTransfer => self.use_before_transfer += 1,
+            HazardKind::ReadWriteRace => self.read_write_race += 1,
+            HazardKind::WriteAfterRead => self.write_after_read += 1,
+            HazardKind::WriteAfterWrite => self.write_after_write += 1,
+            HazardKind::StaleCacheRead => self.stale_cache_read += 1,
+            HazardKind::GhostOrdering => self.ghost_ordering += 1,
+        }
+    }
+}
+
+/// One detected hazard (deep mode).
+#[derive(Debug, Clone)]
+pub struct HazardRecord {
+    pub kind: HazardKind,
+    pub buffer: BufKey,
+    /// Label of the earlier access (the one already on record).
+    pub first_label: String,
+    /// Label of the access that completed the unordered pair.
+    pub second_label: String,
+    pub first_op: OpId,
+    pub second_op: OpId,
+    /// Position of the detection in enqueue order (deterministic).
+    pub enqueue_seq: u64,
+    /// Host clock at the enqueue that completed the pair.
+    pub at: SimTime,
+}
+
+/// A buffer access direction, as the tracker sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    Read,
+    Write,
+}
+
+#[derive(Debug, Clone, Default, PartialEq)]
+struct VClock(Vec<u64>);
+
+impl VClock {
+    fn get(&self, comp: usize) -> u64 {
+        self.0.get(comp).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self, comp: usize) {
+        if self.0.len() <= comp {
+            self.0.resize(comp + 1, 0);
+        }
+        self.0[comp] += 1;
+    }
+
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            self.0[i] = self.0[i].max(v);
+        }
+    }
+}
+
+/// One recorded access: enough to decide happens-before against any later
+/// operation's clock.
+#[derive(Debug, Clone)]
+struct AccessInfo {
+    op: OpId,
+    /// Clock component the issuing stream owns.
+    comp: usize,
+    /// The issuing op's stamp in its own component.
+    stamp: u64,
+    label: String,
+    category: String,
+}
+
+impl AccessInfo {
+    /// Whether this access happens-before an op with `clock`.
+    fn ordered_before(&self, clock: &VClock) -> bool {
+        clock.get(self.comp) >= self.stamp
+    }
+}
+
+fn ghosty(label: &str) -> bool {
+    label.contains("ghost") || label.contains("pack")
+}
+
+const TRANSFER_CATEGORIES: [&str; 6] = ["h2d", "d2h", "d2d", "p2p", "salvage", "uvm"];
+
+/// The happens-before tracker. Owned by [`crate::GpuSystem`]; fed from
+/// every enqueue and host-synchronization point.
+pub(crate) struct HazardTracker {
+    deep: bool,
+    /// Per-op vector clocks (every submitted op that can appear as a
+    /// dependency must be here, or its edges are lost).
+    clocks: HashMap<OpId, VClock>,
+    /// What the host has observed complete; joined into every new op
+    /// (an enqueue happens-after everything the host synchronized on).
+    host: VClock,
+    /// Last writer per buffer.
+    writers: HashMap<BufKey, AccessInfo>,
+    /// Readers since the last write, per buffer.
+    readers: HashMap<BufKey, Vec<AccessInfo>>,
+    /// Buffers the runtime's cache list evicted with no reload since.
+    evicted: HashMap<BufKey, String>,
+    counters: HazardCounters,
+    records: Vec<HazardRecord>,
+    seq: u64,
+}
+
+impl HazardTracker {
+    pub(crate) fn new() -> Self {
+        HazardTracker {
+            deep: false,
+            clocks: HashMap::new(),
+            host: VClock::default(),
+            writers: HashMap::new(),
+            readers: HashMap::new(),
+            evicted: HashMap::new(),
+            counters: HazardCounters::default(),
+            records: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    pub(crate) fn set_deep(&mut self, on: bool) {
+        self.deep = on;
+    }
+
+    pub(crate) fn counters(&self) -> HazardCounters {
+        self.counters
+    }
+
+    pub(crate) fn records(&self) -> &[HazardRecord] {
+        &self.records
+    }
+
+    /// Observe one submitted operation: fold its dependency edges and the
+    /// host's knowledge into its clock, then check its accesses.
+    /// `comp` is the clock component of the issuing stream (stream index
+    /// + 1; component 0 belongs to the host).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn observe_op(
+        &mut self,
+        op: OpId,
+        comp: usize,
+        deps: &[OpId],
+        label: &str,
+        category: &str,
+        accesses: &[(BufKey, Dir)],
+        now: SimTime,
+    ) {
+        let mut clock = self.host.clone();
+        for d in deps {
+            if let Some(c) = self.clocks.get(d) {
+                clock.join(c);
+            }
+        }
+        clock.bump(comp);
+        let stamp = clock.get(comp);
+        for &(key, dir) in accesses {
+            let info = AccessInfo {
+                op,
+                comp,
+                stamp,
+                label: label.to_string(),
+                category: category.to_string(),
+            };
+            match dir {
+                Dir::Read => self.check_read(key, info, &clock, now),
+                Dir::Write => self.check_write(key, info, &clock, now),
+            }
+        }
+        self.clocks.insert(op, clock);
+    }
+
+    /// The host blocked until `op` completed: join its clock into the
+    /// host's, ordering every later enqueue after it.
+    pub(crate) fn host_joins(&mut self, op: OpId) {
+        if let Some(c) = self.clocks.get(&op) {
+            let c = c.clone();
+            self.host.join(&c);
+        }
+    }
+
+    /// The runtime's cache list dropped `key` from its slot; a read
+    /// before the next write is a stale-cache-list read.
+    pub(crate) fn note_evicted(&mut self, key: BufKey, label: &str) {
+        self.evicted.insert(key, label.to_string());
+    }
+
+    fn check_read(&mut self, key: BufKey, info: AccessInfo, clock: &VClock, now: SimTime) {
+        if let Some(evict_label) = self.evicted.get(&key) {
+            let evict_label = evict_label.clone();
+            self.report(
+                HazardKind::StaleCacheRead,
+                key,
+                &evict_label,
+                &info.label,
+                info.op,
+                info.op,
+                now,
+            );
+        }
+        if let Some(w) = self.writers.get(&key) {
+            if !w.ordered_before(clock) {
+                let kind = if ghosty(&w.label)
+                    || ghosty(&w.category)
+                    || ghosty(&info.label)
+                    || ghosty(&info.category)
+                {
+                    HazardKind::GhostOrdering
+                } else if TRANSFER_CATEGORIES.contains(&w.category.as_str()) {
+                    HazardKind::UseBeforeTransfer
+                } else {
+                    HazardKind::ReadWriteRace
+                };
+                let (first_label, first_op) = (w.label.clone(), w.op);
+                self.report(kind, key, &first_label, &info.label, first_op, info.op, now);
+            }
+        }
+        self.readers.entry(key).or_default().push(info);
+    }
+
+    fn check_write(&mut self, key: BufKey, info: AccessInfo, clock: &VClock, now: SimTime) {
+        if let Some(w) = self.writers.get(&key) {
+            if !w.ordered_before(clock) {
+                let kind = if ghosty(&w.label) || ghosty(&info.label) {
+                    HazardKind::GhostOrdering
+                } else {
+                    HazardKind::WriteAfterWrite
+                };
+                let (first_label, first_op) = (w.label.clone(), w.op);
+                self.report(kind, key, &first_label, &info.label, first_op, info.op, now);
+            }
+        }
+        let unordered: Vec<(String, OpId, String)> = self
+            .readers
+            .get(&key)
+            .map(|rs| {
+                rs.iter()
+                    .filter(|r| !r.ordered_before(clock))
+                    .map(|r| (r.label.clone(), r.op, r.category.clone()))
+                    .collect()
+            })
+            .unwrap_or_default();
+        for (first_label, first_op, first_category) in unordered {
+            let kind = if ghosty(&first_label)
+                || ghosty(&first_category)
+                || ghosty(&info.label)
+                || ghosty(&info.category)
+            {
+                HazardKind::GhostOrdering
+            } else {
+                HazardKind::WriteAfterRead
+            };
+            self.report(kind, key, &first_label, &info.label, first_op, info.op, now);
+        }
+        self.readers.remove(&key);
+        self.evicted.remove(&key);
+        self.writers.insert(key, info);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn report(
+        &mut self,
+        kind: HazardKind,
+        buffer: BufKey,
+        first_label: &str,
+        second_label: &str,
+        first_op: OpId,
+        second_op: OpId,
+        now: SimTime,
+    ) {
+        self.counters.bump(kind);
+        if self.deep {
+            self.records.push(HazardRecord {
+                kind,
+                buffer,
+                first_label: first_label.to_string(),
+                second_label: second_label.to_string(),
+                first_op,
+                second_op,
+                enqueue_seq: self.seq,
+                at: now,
+            });
+        }
+        self.seq += 1;
+    }
+
+    /// Export the deep-mode records as a replayable trace: one lane, one
+    /// span per hazard (ordered by detection), category = hazard kind.
+    /// Deterministic for a fixed program and seed.
+    pub(crate) fn trace(&self) -> Trace {
+        let mut trace = Trace::new(vec!["hazards".to_string()]);
+        for r in &self.records {
+            trace.push(desim::Span {
+                engine: 0,
+                server: 0,
+                label: format!("{} ⇢ {} @{:?}", r.first_label, r.second_label, r.buffer),
+                category: r.kind.name().to_string(),
+                start: r.at,
+                end: r.at + SimTime::from_us(1),
+                seq: r.enqueue_seq,
+            });
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Mint distinct OpIds through a real scheduler so the tracker sees
+    // the same id type production code uses.
+    fn mint(n: usize) -> Vec<OpId> {
+        let mut sched = desim::Scheduler::new();
+        let eng = sched.add_engine("x", 1);
+        (0..n)
+            .map(|_| sched.submit(desim::Op::on(eng, SimTime::from_us(1))))
+            .collect()
+    }
+
+    #[test]
+    fn ordered_stream_work_is_hazard_free() {
+        let ids = mint(3);
+        let mut t = HazardTracker::new();
+        let buf = BufKey::Device(0);
+        // h2d write -> kernel read -> d2h read, all chained by deps.
+        t.observe_op(
+            ids[0],
+            1,
+            &[],
+            "H2D",
+            "h2d",
+            &[(buf, Dir::Write)],
+            SimTime::ZERO,
+        );
+        t.observe_op(
+            ids[1],
+            1,
+            &[ids[0]],
+            "k",
+            "kernel",
+            &[(buf, Dir::Read)],
+            SimTime::ZERO,
+        );
+        t.observe_op(
+            ids[2],
+            1,
+            &[ids[1]],
+            "D2H",
+            "d2h",
+            &[(buf, Dir::Read)],
+            SimTime::ZERO,
+        );
+        assert!(!t.counters().any());
+    }
+
+    #[test]
+    fn unordered_read_after_transfer_is_use_before_transfer() {
+        let ids = mint(2);
+        let mut t = HazardTracker::new();
+        let buf = BufKey::Device(3);
+        t.observe_op(
+            ids[0],
+            1,
+            &[],
+            "H2D",
+            "h2d",
+            &[(buf, Dir::Write)],
+            SimTime::ZERO,
+        );
+        // Different stream, no dep edge: the read may run first.
+        t.observe_op(
+            ids[1],
+            2,
+            &[],
+            "k",
+            "kernel",
+            &[(buf, Dir::Read)],
+            SimTime::ZERO,
+        );
+        assert_eq!(t.counters().use_before_transfer, 1);
+        assert_eq!(t.counters().total(), 1);
+    }
+
+    #[test]
+    fn host_sync_orders_cross_stream_work() {
+        let ids = mint(2);
+        let mut t = HazardTracker::new();
+        let buf = BufKey::Device(1);
+        t.observe_op(
+            ids[0],
+            1,
+            &[],
+            "H2D",
+            "h2d",
+            &[(buf, Dir::Write)],
+            SimTime::ZERO,
+        );
+        // stream_synchronize: the host saw the write complete.
+        t.host_joins(ids[0]);
+        t.observe_op(
+            ids[1],
+            2,
+            &[],
+            "k",
+            "kernel",
+            &[(buf, Dir::Read)],
+            SimTime::ZERO,
+        );
+        assert!(!t.counters().any(), "host sync is a happens-before edge");
+    }
+
+    #[test]
+    fn unordered_write_after_read_and_write_write() {
+        let ids = mint(3);
+        let mut t = HazardTracker::new();
+        let buf = BufKey::Device(0);
+        t.observe_op(
+            ids[0],
+            1,
+            &[],
+            "w0",
+            "kernel",
+            &[(buf, Dir::Write)],
+            SimTime::ZERO,
+        );
+        t.observe_op(
+            ids[1],
+            1,
+            &[ids[0]],
+            "r",
+            "kernel",
+            &[(buf, Dir::Read)],
+            SimTime::ZERO,
+        );
+        // Unordered second write from another stream: WAW with w0 is
+        // cured by the read's dep? No — the write races BOTH the earlier
+        // write (unordered) and the reader.
+        t.observe_op(
+            ids[2],
+            2,
+            &[],
+            "w1",
+            "kernel",
+            &[(buf, Dir::Write)],
+            SimTime::ZERO,
+        );
+        assert_eq!(t.counters().write_after_write, 1);
+        assert_eq!(t.counters().write_after_read, 1);
+    }
+
+    #[test]
+    fn eviction_marks_stale_reads_until_rewrite() {
+        let ids = mint(3);
+        let mut t = HazardTracker::new();
+        let buf = BufKey::Device(7);
+        t.observe_op(
+            ids[0],
+            1,
+            &[],
+            "H2D",
+            "h2d",
+            &[(buf, Dir::Write)],
+            SimTime::ZERO,
+        );
+        t.note_evicted(buf, "evict");
+        t.observe_op(
+            ids[1],
+            1,
+            &[ids[0]],
+            "k",
+            "kernel",
+            &[(buf, Dir::Read)],
+            SimTime::ZERO,
+        );
+        assert_eq!(t.counters().stale_cache_read, 1, "read after eviction");
+        // A reload clears the mark.
+        t.observe_op(
+            ids[2],
+            1,
+            &[ids[1]],
+            "H2D",
+            "h2d",
+            &[(buf, Dir::Write)],
+            SimTime::ZERO,
+        );
+        assert_eq!(t.counters().stale_cache_read, 1);
+    }
+
+    #[test]
+    fn ghost_labels_classify_as_ghost_ordering() {
+        let ids = mint(2);
+        let mut t = HazardTracker::new();
+        let buf = BufKey::Device(2);
+        t.observe_op(
+            ids[0],
+            1,
+            &[],
+            "ghost-batch",
+            "kernel",
+            &[(buf, Dir::Write)],
+            SimTime::ZERO,
+        );
+        t.observe_op(
+            ids[1],
+            2,
+            &[],
+            "k",
+            "kernel",
+            &[(buf, Dir::Read)],
+            SimTime::ZERO,
+        );
+        assert_eq!(t.counters().ghost_ordering, 1);
+    }
+
+    #[test]
+    fn deep_mode_records_are_deterministic_and_traceable() {
+        let run = || {
+            let ids = mint(2);
+            let mut t = HazardTracker::new();
+            t.set_deep(true);
+            let buf = BufKey::Device(0);
+            t.observe_op(
+                ids[0],
+                1,
+                &[],
+                "H2D",
+                "h2d",
+                &[(buf, Dir::Write)],
+                SimTime::ZERO,
+            );
+            t.observe_op(
+                ids[1],
+                2,
+                &[],
+                "k",
+                "kernel",
+                &[(buf, Dir::Read)],
+                SimTime::from_us(5),
+            );
+            t.trace()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.spans.len(), 1);
+        assert_eq!(a.spans[0].category, "use-before-transfer");
+        assert_eq!(a.spans[0].label, b.spans[0].label);
+        assert_eq!(a.spans[0].start, b.spans[0].start);
+    }
+}

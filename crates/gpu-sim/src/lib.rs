@@ -15,6 +15,7 @@
 mod analysis;
 mod config;
 mod fault;
+mod hazard;
 mod kernel;
 mod memory;
 mod system;
@@ -22,10 +23,12 @@ mod system;
 pub use analysis::{RecoveryCounters, RunReport};
 pub use config::{HostMemKind, KernelCost, MachineConfig};
 pub use fault::{
-    CrashFault, DegradeWindow, FaultPlan, FaultStats, LivelockFault, StreamStall, TransferFaults,
+    CorruptionFault, CrashFault, DegradeWindow, FaultPlan, FaultStats, LivelockFault, StreamStall,
+    TransferFaults,
 };
+pub use hazard::{HazardCounters, HazardKind, HazardRecord};
 pub use kernel::KernelLaunch;
-pub use memory::{DeviceAllocator, OutOfDeviceMemory};
+pub use memory::{DeviceAllocator, IntegrityStats, OutOfDeviceMemory};
 pub use system::{
     BufKey, DeviceBuffer, Event, GpuSystem, Hazard, HostBuffer, ManagedBuffer, StreamId,
 };

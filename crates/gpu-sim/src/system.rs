@@ -37,11 +37,14 @@
 
 use crate::config::{HostMemKind, MachineConfig};
 use crate::fault::{FaultPlan, FaultState, FaultStats, Lane};
+use crate::hazard::{Dir, HazardCounters, HazardRecord, HazardTracker};
 use crate::kernel::KernelLaunch;
-use crate::memory::{DeviceAllocator, OutOfDeviceMemory};
+use crate::memory::{DeviceAllocator, IntegrityBook, IntegrityStats, OutOfDeviceMemory};
 use desim::{EngineId, Op, OpId, Scheduler, SimTime, Trace};
 use memslab::Slab;
 use std::borrow::Cow;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Handle to a device allocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -184,6 +187,12 @@ pub struct GpuSystem {
     bytes_p2p: u64,
     kernels_launched: u64,
     fault: FaultState,
+    /// Transfer-integrity bookkeeping, shared with the data effects that
+    /// perform copies (the scheduler is single-threaded, so a `RefCell`
+    /// behind an `Rc` is sound: effects run one at a time).
+    integrity: Rc<RefCell<IntegrityBook>>,
+    /// Always-on vector-clock happens-before tracker.
+    hazards: HazardTracker,
 }
 
 impl GpuSystem {
@@ -254,6 +263,8 @@ impl GpuSystem {
             bytes_p2p: 0,
             kernels_launched: 0,
             fault,
+            integrity: Rc::new(RefCell::new(IntegrityBook::new())),
+            hazards: HazardTracker::new(),
         }
     }
 
@@ -279,6 +290,84 @@ impl GpuSystem {
     /// Enable access recording for [`GpuSystem::check_hazards`].
     pub fn set_hazard_checking(&mut self, on: bool) {
         self.hazard_checking = on;
+    }
+
+    // ------------------------------------------------------------------
+    // Transfer integrity and happens-before hazard tracking
+    // ------------------------------------------------------------------
+
+    /// Digest verification on/off (on by default).
+    ///
+    /// Turning it off skips the FNV-1a computation inside every transfer and
+    /// kernel effect — the overhead the `figures -- integrity` benchmark
+    /// measures — but keeps the data outcome of injected corruption
+    /// identical (retransmits and poison bookkeeping are driven by the
+    /// seeded verdict), so a run never silently diverges based on this knob.
+    pub fn set_integrity_checking(&mut self, on: bool) {
+        self.integrity.borrow_mut().set_enabled(on);
+    }
+
+    /// Whether digest verification is active.
+    pub fn integrity_checking(&self) -> bool {
+        self.integrity.borrow().enabled()
+    }
+
+    /// Counters of the transfer-integrity layer. Detection happens inside
+    /// data effects, so the values are current after any host
+    /// synchronization point ([`GpuSystem::finish`],
+    /// [`GpuSystem::stream_synchronize`], …).
+    pub fn integrity_stats(&self) -> IntegrityStats {
+        self.integrity.borrow().stats()
+    }
+
+    /// Whether a device buffer holds data known corrupt beyond repair.
+    pub fn device_poisoned(&self, d: DeviceBuffer) -> bool {
+        self.integrity.borrow().device_poisoned(d.0)
+    }
+
+    /// Whether a host buffer received data from a poisoned source. A
+    /// runtime must never expose such a buffer's contents as results.
+    pub fn host_poisoned(&self, h: HostBuffer) -> bool {
+        self.integrity.borrow().host_poisoned(h.0)
+    }
+
+    /// The caller restored authoritative contents into `h` (e.g. from a
+    /// checkpoint): clear its poison mark.
+    pub fn clear_host_poison(&mut self, h: HostBuffer) {
+        self.integrity.borrow_mut().clear_host_poison(h.0);
+    }
+
+    /// Deep hazard tracking: in addition to the always-on counters, record
+    /// every hazard ([`GpuSystem::hazard_records`]) and make the replayable
+    /// trace ([`GpuSystem::hazard_trace`]) available.
+    pub fn set_deep_hazard_tracking(&mut self, on: bool) {
+        self.hazards.set_deep(on);
+    }
+
+    /// Per-kind counters from the always-on happens-before tracker. A
+    /// correctly ordered program reports zero everywhere, whatever the
+    /// schedule; any non-zero count is an ordering bug in the submitting
+    /// runtime, even if this particular schedule happened to get lucky.
+    pub fn hazard_counters(&self) -> HazardCounters {
+        self.hazards.counters()
+    }
+
+    /// Detailed hazard records (deep mode only; empty otherwise).
+    pub fn hazard_records(&self) -> &[HazardRecord] {
+        self.hazards.records()
+    }
+
+    /// The deep-mode hazard trace: one span per hazard in detection order,
+    /// category = hazard kind. Deterministic for a fixed program and seed.
+    pub fn hazard_trace(&self) -> Trace {
+        self.hazards.trace()
+    }
+
+    /// Runtime hook: the cache list evicted `d`'s slot. A subsequent read
+    /// of the buffer without a reload is flagged as a stale-cache-list read
+    /// even though no scheduler-level race exists.
+    pub fn note_evicted(&mut self, d: DeviceBuffer, label: &str) {
+        self.hazards.note_evicted(BufKey::Device(d.0), label);
     }
 
     // ------------------------------------------------------------------
@@ -436,10 +525,28 @@ impl GpuSystem {
     /// Record an event capturing all work submitted to `stream` so far.
     pub fn record_event(&mut self, stream: StreamId) -> Event {
         let mut op = Op::marker().label("event").category("event");
+        let deps: Vec<OpId> = self.streams[stream.0].last.into_iter().collect();
         if let Some(last) = self.streams[stream.0].last {
             op = op.after(last);
         }
         let id = self.sched.submit(op.not_before(self.host_clock));
+        // The marker is stream-ordered like any other op: it must become the
+        // stream's tail, both for CUDA semantics and because the hazard
+        // tracker stamps it — if the next op on this stream did not depend
+        // on it, the two would share a clock stamp and a waiter joining the
+        // event's clock would falsely appear ordered after that next op.
+        self.push_stream_op(stream, id);
+        // Events carry ordering across streams: the tracker must know their
+        // clocks or `stream_wait_event` edges would be lost.
+        self.hazards.observe_op(
+            id,
+            stream.0 + 1,
+            &deps,
+            "event",
+            "event",
+            &[],
+            self.host_clock,
+        );
         Event(id)
     }
 
@@ -463,6 +570,7 @@ impl GpuSystem {
                 self.last_block = Some(last);
             }
             self.host_clock = self.host_clock.max(t);
+            self.hazards.host_joins(last);
         }
     }
 
@@ -475,6 +583,7 @@ impl GpuSystem {
             self.last_block = Some(op);
         }
         self.host_clock = self.host_clock.max(t);
+        self.hazards.host_joins(op);
     }
 
     /// Block the host until all submitted device work completes.
@@ -484,6 +593,10 @@ impl GpuSystem {
             self.last_block = self.sched.last_finished();
         }
         self.host_clock = self.host_clock.max(self.sched.max_end());
+        let lasts: Vec<OpId> = self.streams.iter().filter_map(|s| s.last).collect();
+        for op in lasts {
+            self.hazards.host_joins(op);
+        }
     }
 
     /// Gather the dependencies for the next op on `stream` and charge the
@@ -570,43 +683,66 @@ impl GpuSystem {
             deps.push(sop);
         }
 
+        let label = if v.faulted {
+            format!("H2D-fault[{bytes}B]")
+        } else if v.livelocked {
+            format!("H2D-wedged[{bytes}B]")
+        } else {
+            format!("H2D[{bytes}B]")
+        };
+        let category = if v.faulted {
+            "h2d-fault"
+        } else if v.livelocked {
+            "livelock"
+        } else {
+            "h2d"
+        };
+        let deps_hb = deps.clone();
         let mut builder = Op::on(eng_h2d, v.duration)
             .not_before(self.host_clock)
             .host_cause(self.last_block)
             .after_all(deps)
-            .label(if v.faulted {
-                format!("H2D-fault[{bytes}B]")
-            } else if v.livelocked {
-                format!("H2D-wedged[{bytes}B]")
-            } else {
-                format!("H2D[{bytes}B]")
-            })
-            .category(if v.faulted {
-                "h2d-fault"
-            } else if v.livelocked {
-                "livelock"
-            } else {
-                "h2d"
-            });
+            .label(label.clone())
+            .category(category);
         if !v.faulted && !v.livelocked {
             // A faulted or wedged attempt occupies the engine but moves no
-            // data.
-            builder =
-                builder.effect(move || memslab::copy(&dst_slab, dst_off, &src_slab, src_off, len));
+            // data. A healthy one copies under the integrity layer: flips
+            // land, digests are verified, retransmits repair.
+            let integrity = Rc::clone(&self.integrity);
+            let corrupt = v.corrupt;
+            let (dst_idx, src_idx) = (dst.0, src.0);
+            builder = builder.effect(move || {
+                integrity.borrow_mut().h2d_effect(
+                    &dst_slab, dst_idx, dst_off, &src_slab, src_idx, src_off, len, corrupt,
+                )
+            });
         }
         let op = self.sched.submit(builder);
         self.push_stream_op(stream, op);
+        let mut hb_accesses: Vec<(BufKey, Dir)> = Vec::new();
         if v.faulted {
             self.fault.mark_faulted(op);
         } else if !v.livelocked {
             self.bytes_h2d += bytes;
             self.record_access(op, BufKey::Host(src.0), Access::Read, "h2d");
             self.record_access(op, BufKey::Device(dst.0), Access::Write, "h2d");
+            hb_accesses.push((BufKey::Host(src.0), Dir::Read));
+            hb_accesses.push((BufKey::Device(dst.0), Dir::Write));
         }
+        self.hazards.observe_op(
+            op,
+            stream.0 + 1,
+            &deps_hb,
+            &label,
+            category,
+            &hb_accesses,
+            self.host_clock,
+        );
 
         if kind == HostMemKind::Pageable {
             let t = self.sched.run_until(op);
             self.host_clock = self.host_clock.max(t);
+            self.hazards.host_joins(op);
         }
         op
     }
@@ -655,37 +791,58 @@ impl GpuSystem {
             deps.push(sop);
         }
 
+        let label = if v.faulted {
+            format!("D2H-fault[{bytes}B]")
+        } else if v.livelocked {
+            format!("D2H-wedged[{bytes}B]")
+        } else {
+            format!("D2H[{bytes}B]")
+        };
+        let category = if v.faulted {
+            "d2h-fault"
+        } else if v.livelocked {
+            "livelock"
+        } else {
+            "d2h"
+        };
+        let deps_hb = deps.clone();
         let mut builder = Op::on(eng_d2h, v.duration)
             .not_before(self.host_clock)
             .host_cause(self.last_block)
             .after_all(deps)
-            .label(if v.faulted {
-                format!("D2H-fault[{bytes}B]")
-            } else if v.livelocked {
-                format!("D2H-wedged[{bytes}B]")
-            } else {
-                format!("D2H[{bytes}B]")
-            })
-            .category(if v.faulted {
-                "d2h-fault"
-            } else if v.livelocked {
-                "livelock"
-            } else {
-                "d2h"
-            });
+            .label(label.clone())
+            .category(category);
         if !v.faulted && !v.livelocked {
-            builder =
-                builder.effect(move || memslab::copy(&dst_slab, dst_off, &src_slab, src_off, len));
+            let integrity = Rc::clone(&self.integrity);
+            let corrupt = v.corrupt;
+            let (dst_idx, src_idx) = (dst.0, src.0);
+            builder = builder.effect(move || {
+                integrity.borrow_mut().d2h_effect(
+                    &dst_slab, dst_idx, dst_off, &src_slab, src_idx, src_off, len, corrupt,
+                )
+            });
         }
         let op = self.sched.submit(builder);
         self.push_stream_op(stream, op);
+        let mut hb_accesses: Vec<(BufKey, Dir)> = Vec::new();
         if v.faulted {
             self.fault.mark_faulted(op);
         } else if !v.livelocked {
             self.bytes_d2h += bytes;
             self.record_access(op, BufKey::Device(src.0), Access::Read, "d2h");
             self.record_access(op, BufKey::Host(dst.0), Access::Write, "d2h");
+            hb_accesses.push((BufKey::Device(src.0), Dir::Read));
+            hb_accesses.push((BufKey::Host(dst.0), Dir::Write));
         }
+        self.hazards.observe_op(
+            op,
+            stream.0 + 1,
+            &deps_hb,
+            &label,
+            category,
+            &hb_accesses,
+            self.host_clock,
+        );
 
         if kind == HostMemKind::Pageable {
             // DMA into the bounce buffer, then a host-side unstage copy;
@@ -698,6 +855,7 @@ impl GpuSystem {
             );
             let t = self.sched.run_until(unstage);
             self.host_clock = self.host_clock.max(t);
+            self.hazards.host_joins(op);
         }
         op
     }
@@ -733,6 +891,9 @@ impl GpuSystem {
         // Read + write of the payload at device memory bandwidth.
         let duration = self.cfg.copy_latency
             + SimTime::from_secs_f64(2.0 * bytes as f64 / self.cfg.device_mem_bw);
+        let deps_hb = deps.clone();
+        let integrity = Rc::clone(&self.integrity);
+        let (dst_idx, src_idx) = (dst.0, src.0);
         let op = self.sched.submit(
             Op::on(self.devices[device].eng_compute, duration)
                 .not_before(self.host_clock)
@@ -740,11 +901,27 @@ impl GpuSystem {
                 .after_all(deps)
                 .label(format!("D2D[{bytes}B]"))
                 .category("d2d")
-                .effect(move || memslab::copy(&dst_slab, dst_off, &src_slab, src_off, len)),
+                .effect(move || {
+                    integrity.borrow_mut().dev_copy_effect(
+                        &dst_slab, dst_idx, dst_off, &src_slab, src_idx, src_off, len,
+                    )
+                }),
         );
         self.push_stream_op(stream, op);
         self.record_access(op, BufKey::Device(src.0), Access::Read, "d2d");
         self.record_access(op, BufKey::Device(dst.0), Access::Write, "d2d");
+        self.hazards.observe_op(
+            op,
+            stream.0 + 1,
+            &deps_hb,
+            &format!("D2D[{bytes}B]"),
+            "d2d",
+            &[
+                (BufKey::Device(src.0), Dir::Read),
+                (BufKey::Device(dst.0), Dir::Write),
+            ],
+            self.host_clock,
+        );
         op
     }
 
@@ -778,6 +955,9 @@ impl GpuSystem {
         self.host_clock += self.cfg.host_enqueue_overhead;
         let duration =
             self.cfg.copy_latency + SimTime::from_secs_f64(bytes as f64 / self.cfg.p2p_bw);
+        let deps_hb = deps.clone();
+        let integrity = Rc::clone(&self.integrity);
+        let (dst_idx, src_idx) = (dst.0, src.0);
         let op = self.sched.submit(
             Op::on(self.devices[dst_device].eng_h2d, duration)
                 .not_before(self.host_clock)
@@ -785,11 +965,27 @@ impl GpuSystem {
                 .after_all(deps)
                 .label(format!("P2P[{bytes}B]"))
                 .category("p2p")
-                .effect(move || memslab::copy(&dst_slab, dst_off, &src_slab, src_off, len)),
+                .effect(move || {
+                    integrity.borrow_mut().dev_copy_effect(
+                        &dst_slab, dst_idx, dst_off, &src_slab, src_idx, src_off, len,
+                    )
+                }),
         );
         self.push_stream_op(stream, op);
         self.record_access(op, BufKey::Device(src.0), Access::Read, "p2p");
         self.record_access(op, BufKey::Device(dst.0), Access::Write, "p2p");
+        self.hazards.observe_op(
+            op,
+            stream.0 + 1,
+            &deps_hb,
+            &format!("P2P[{bytes}B]"),
+            "p2p",
+            &[
+                (BufKey::Device(src.0), Dir::Read),
+                (BufKey::Device(dst.0), Dir::Write),
+            ],
+            self.host_clock,
+        );
         op
     }
 
@@ -806,6 +1002,7 @@ impl GpuSystem {
         let op = self.memcpy_h2d_async(dst, dst_off, src, src_off, len, stream);
         let t = self.sched.run_until(op);
         self.host_clock = self.host_clock.max(t);
+        self.hazards.host_joins(op);
     }
 
     /// Synchronous device→host copy (`cudaMemcpy`).
@@ -821,6 +1018,7 @@ impl GpuSystem {
         let op = self.memcpy_d2h_async(dst, dst_off, src, src_off, len, stream);
         let t = self.sched.run_until(op);
         self.host_clock = self.host_clock.max(t);
+        self.hazards.host_joins(op);
     }
 
     // ------------------------------------------------------------------
@@ -903,6 +1101,9 @@ impl GpuSystem {
         let src_slab = self.dev[src.0].slab.clone();
         let deps = self.stream_deps(stream);
         self.host_clock += self.cfg.host_enqueue_overhead;
+        let deps_hb = deps.clone();
+        let integrity = Rc::clone(&self.integrity);
+        let (dst_idx, src_idx) = (dst.0, src.0);
         let op = self.sched.submit(
             Op::on(eng_d2h, duration)
                 .not_before(self.host_clock)
@@ -910,11 +1111,30 @@ impl GpuSystem {
                 .after_all(deps)
                 .label(format!("D2H-salvage[{bytes}B]"))
                 .category("salvage")
-                .effect(move || memslab::copy(&dst_slab, dst_off, &src_slab, src_off, len)),
+                .effect(move || {
+                    // The maintenance path is exempt from injected link
+                    // corruption but still verifies the device source, so a
+                    // salvage of a struck slot cannot launder bad bytes.
+                    integrity.borrow_mut().d2h_effect(
+                        &dst_slab, dst_idx, dst_off, &src_slab, src_idx, src_off, len, None,
+                    )
+                }),
         );
         self.push_stream_op(stream, op);
         self.record_access(op, BufKey::Device(src.0), Access::Read, "salvage");
         self.record_access(op, BufKey::Host(dst.0), Access::Write, "salvage");
+        self.hazards.observe_op(
+            op,
+            stream.0 + 1,
+            &deps_hb,
+            &format!("D2H-salvage[{bytes}B]"),
+            "salvage",
+            &[
+                (BufKey::Device(src.0), Dir::Read),
+                (BufKey::Host(dst.0), Dir::Write),
+            ],
+            self.host_clock,
+        );
         self.fault.stats.salvages += 1;
         op
     }
@@ -954,6 +1174,7 @@ impl GpuSystem {
                 SimTime::ZERO
             };
             let device = self.streams[stream.0].device;
+            let deps_hb = deps.clone();
             let op = self.sched.submit(
                 Op::on(self.devices[device].eng_compute, duration)
                     .not_before(self.host_clock)
@@ -964,6 +1185,15 @@ impl GpuSystem {
             );
             self.push_stream_op(stream, op);
             self.fault.mark_faulted(op);
+            self.hazards.observe_op(
+                op,
+                stream.0 + 1,
+                &deps_hb,
+                &format!("{}-crash", k.label),
+                "crash",
+                &[],
+                self.host_clock,
+            );
             return op;
         }
 
@@ -1001,15 +1231,45 @@ impl GpuSystem {
         }
 
         let duration = k.cost.duration(&self.cfg, k.efficiency);
-        let mut op = Op::on(self.devices[device].eng_compute, duration)
+        let deps_hb = deps.clone();
+        // Integrity wrapper around the kernel's data effect: pre-verify the
+        // device buffers it reads (repairing resident strikes on clean slots
+        // from their host origin), run the kernel, record post-write digests
+        // and propagate poison, then land any scheduled dirty-DRAM strike.
+        let strike = self.fault.kernel_strike();
+        let dev_slabs = |keys: &[BufKey]| -> Vec<(usize, Slab)> {
+            keys.iter()
+                .filter_map(|key| match key {
+                    BufKey::Device(i) => Some((*i, self.dev[*i].slab.clone())),
+                    _ => None,
+                })
+                .collect()
+        };
+        let read_slabs = dev_slabs(&k.reads);
+        let write_slabs = dev_slabs(&k.writes);
+        let integrity = Rc::clone(&self.integrity);
+        let exec = k.exec;
+        // A kernel that runs a data effect without declaring its write set
+        // may have mutated any device buffer; all digests/origins are forfeit.
+        let undeclared = exec.is_some() && k.writes.is_empty();
+        let op = Op::on(self.devices[device].eng_compute, duration)
             .not_before(self.host_clock)
             .host_cause(self.last_block)
             .after_all(deps)
             .label(k.label.clone())
-            .category("kernel");
-        if let Some(exec) = k.exec {
-            op = op.effect(exec);
-        }
+            .category("kernel")
+            .effect(move || {
+                let inputs_poisoned = integrity.borrow_mut().kernel_pre(&read_slabs, &write_slabs);
+                if let Some(exec) = exec {
+                    exec();
+                }
+                integrity.borrow_mut().kernel_post(
+                    inputs_poisoned,
+                    &write_slabs,
+                    undeclared,
+                    strike,
+                );
+            });
         let id = self.sched.submit(op);
         self.push_stream_op(stream, id);
         for key in &k.reads {
@@ -1018,6 +1278,21 @@ impl GpuSystem {
         for key in &k.writes {
             self.record_access(id, *key, Access::Write, &k.label);
         }
+        let hb_accesses: Vec<(BufKey, Dir)> = k
+            .reads
+            .iter()
+            .map(|key| (*key, Dir::Read))
+            .chain(k.writes.iter().map(|key| (*key, Dir::Write)))
+            .collect();
+        self.hazards.observe_op(
+            id,
+            stream.0 + 1,
+            &deps_hb,
+            &k.label,
+            "kernel",
+            &hb_accesses,
+            self.host_clock,
+        );
         id
     }
 
@@ -1069,16 +1344,27 @@ impl GpuSystem {
     ) -> OpId {
         let deps = self.stream_deps(stream);
         self.host_clock += self.cfg.host_enqueue_overhead;
+        let deps_hb = deps.clone();
+        let label: Cow<'static, str> = label.into();
         let op = self.sched.submit(
             Op::on(self.eng_host, duration)
                 .not_before(self.host_clock)
                 .host_cause(self.last_block)
                 .after_all(deps)
-                .label(label.into())
+                .label(label.clone())
                 .category("hostfn")
                 .effect(f),
         );
         self.push_stream_op(stream, op);
+        self.hazards.observe_op(
+            op,
+            stream.0 + 1,
+            &deps_hb,
+            &label,
+            "hostfn",
+            &[],
+            self.host_clock,
+        );
         op
     }
 

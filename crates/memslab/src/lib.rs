@@ -18,6 +18,35 @@ use parking_lot::RwLock;
 use std::fmt;
 use std::sync::Arc;
 
+/// FNV-1a 64-bit hash — the workspace's one checksum.
+///
+/// Used by the checkpoint codec (per-section checksums in the `TACK`
+/// format) and by the transfer-integrity layer (per-region content
+/// digests). Keeping the single implementation here, in the leaf crate
+/// both sides already depend on, guarantees a digest recorded by one
+/// layer verifies under the other.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// [`fnv1a64`] over the little-endian byte image of an `f64` slice —
+/// the digest of a region's contents as the integrity layer sees them.
+pub fn fnv1a64_f64s(values: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
 /// A shared, optionally-backed buffer of `f64`.
 ///
 /// Cloning a `Slab` is cheap and yields another handle to the same storage.
@@ -163,6 +192,50 @@ impl Slab {
     /// Drop the backing storage, making the slab virtual again.
     pub fn dematerialize(&self) {
         *self.inner.write() = None;
+    }
+
+    /// Content digest of the whole slab ([`fnv1a64_f64s`]); `None` when
+    /// virtual — timing-only runs carry no data to checksum.
+    pub fn digest(&self) -> Option<u64> {
+        self.digest_range(0, self.len)
+    }
+
+    /// Content digest of `len` elements starting at `off`. `None` when
+    /// virtual. Panics when the range is out of bounds.
+    pub fn digest_range(&self, off: usize, len: usize) -> Option<u64> {
+        assert!(
+            off + len <= self.len,
+            "Slab::digest_range: range {off}+{len} exceeds {}",
+            self.len
+        );
+        self.inner
+            .read()
+            .as_ref()
+            .map(|v| fnv1a64_f64s(&v[off..off + len]))
+    }
+
+    /// Flip one bit of one element — the silent-corruption injection
+    /// primitive (a non-ECC DRAM upset or a bus bit-flip). The strike
+    /// site is derived from `strike` so a seeded fault plan lands on a
+    /// deterministic bit. No-op when virtual (returns `false`).
+    pub fn flip_bit(&self, strike: u64, off: usize, len: usize) -> bool {
+        assert!(
+            off + len <= self.len,
+            "Slab::flip_bit: range {off}+{len} exceeds {}",
+            self.len
+        );
+        if len == 0 {
+            return false;
+        }
+        if let Some(v) = self.inner.write().as_mut() {
+            let idx = off + (strike as usize) % len;
+            // Flip within the mantissa so the value stays finite but wrong.
+            let bit = (strike >> 32) % 52;
+            v[idx] = f64::from_bits(v[idx].to_bits() ^ (1u64 << bit));
+            true
+        } else {
+            false
+        }
     }
 
     /// Acquire a shared guard (for building multi-slab views; see
@@ -389,7 +462,69 @@ mod tests {
         assert!(v.with(|d| d.is_none()));
     }
 
+    #[test]
+    fn fnv1a64_matches_known_vectors() {
+        // Reference vectors from the FNV specification (draft-eastlake).
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn digest_is_none_for_virtual_and_stable_for_real() {
+        assert_eq!(Slab::virtual_(4).digest(), None);
+        let s = Slab::from_vec(vec![1.0, 2.0, 3.0, 4.0]);
+        let d0 = s.digest().unwrap();
+        assert_eq!(s.digest().unwrap(), d0, "digest is deterministic");
+        s.set(2, 3.5);
+        assert_ne!(s.digest().unwrap(), d0, "digest sees the change");
+        assert_eq!(
+            s.digest_range(0, 2),
+            Slab::from_vec(vec![1.0, 2.0]).digest()
+        );
+    }
+
+    #[test]
+    fn flip_bit_changes_exactly_one_element() {
+        let s = Slab::from_vec(vec![1.0, 2.0, 3.0, 4.0]);
+        let before = s.snapshot().unwrap();
+        assert!(s.flip_bit(0xdead_beef_cafe_f00d, 0, 4));
+        let after = s.snapshot().unwrap();
+        let diffs: Vec<usize> = (0..4).filter(|&i| before[i] != after[i]).collect();
+        assert_eq!(diffs.len(), 1, "exactly one element struck");
+        assert!(after[diffs[0]].is_finite(), "mantissa flip stays finite");
+        assert!(!Slab::virtual_(4).flip_bit(1, 0, 4), "virtual is exempt");
+    }
+
     proptest! {
+        /// The byte hash and the f64-slice hash agree on the same image,
+        /// pinning fnv1a64_f64s to the canonical byte-stream definition.
+        #[test]
+        fn prop_f64_digest_matches_byte_digest(
+            values in proptest::collection::vec(-1e9f64..1e9, 0..64),
+        ) {
+            let mut bytes = Vec::with_capacity(values.len() * 8);
+            for v in &values {
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+            prop_assert_eq!(fnv1a64_f64s(&values), fnv1a64(&bytes));
+        }
+
+        /// A flipped bit is always visible to the digest, and flipping it
+        /// back restores the original digest (the repair path's invariant).
+        #[test]
+        fn prop_flip_is_detected_and_reversible(
+            values in proptest::collection::vec(-1e6f64..1e6, 1..32),
+            strike in any::<u64>(),
+        ) {
+            let s = Slab::from_vec(values);
+            let clean = s.digest().unwrap();
+            prop_assert!(s.flip_bit(strike, 0, s.len()));
+            prop_assert_ne!(s.digest().unwrap(), clean);
+            prop_assert!(s.flip_bit(strike, 0, s.len()));
+            prop_assert_eq!(s.digest().unwrap(), clean);
+        }
+
         /// copy() behaves exactly like slice copy_from_slice on real slabs.
         #[test]
         fn prop_copy_matches_reference(
