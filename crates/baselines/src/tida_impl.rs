@@ -10,7 +10,7 @@ use gpu_sim::{GpuSystem, MachineConfig};
 use kernels::{busy, heat};
 use std::sync::Arc;
 use tida::{tiles_of, Decomposition, Domain, ExchangeMode, RegionSpec, TileArray, TileSpec};
-use tida_acc::{AccOptions, TileAcc};
+use tida_acc::{AccOptions, SlotPolicy, TileAcc};
 
 /// TiDA-acc specific knobs on top of [`crate::RunOpts`].
 #[derive(Debug, Clone)]
@@ -21,6 +21,11 @@ pub struct TidaOpts {
     pub acc: AccOptions,
     pub backed: bool,
     pub tracing: bool,
+    /// Call [`TileAcc::begin_step`] at the top of every solver step so the
+    /// automatic overlap scheduler can record the plan and prefetch. Off by
+    /// default: the begin-step marker changes nothing when the lookahead is
+    /// 0, but drivers that assert exact byte counts want it fully inert.
+    pub auto_step: bool,
 }
 
 impl TidaOpts {
@@ -30,6 +35,7 @@ impl TidaOpts {
             acc: AccOptions::paper(),
             backed: false,
             tracing: false,
+            auto_step: false,
         }
     }
 
@@ -39,6 +45,7 @@ impl TidaOpts {
             acc: AccOptions::paper(),
             backed: true,
             tracing: false,
+            auto_step: false,
         }
     }
 
@@ -49,6 +56,16 @@ impl TidaOpts {
 
     pub fn with_max_slots(mut self, n: usize) -> Self {
         self.acc.max_slots = Some(n);
+        self
+    }
+
+    /// Turn on the automatic lookahead-prefetch overlap scheduler: per-step
+    /// plan recording, `lookahead`-step prefetching and the given eviction
+    /// policy (normally [`SlotPolicy::ReuseDistance`]).
+    pub fn with_overlap(mut self, lookahead: usize, policy: SlotPolicy) -> Self {
+        self.acc.lookahead = lookahead;
+        self.acc.policy = policy;
+        self.auto_step = true;
         self
     }
 }
@@ -90,6 +107,9 @@ pub fn tida_heat(cfg: &MachineConfig, n: i64, steps: usize, opts: &TidaOpts) -> 
     let (mut src, mut dst) = (a, b);
     let fac = heat::DEFAULT_FAC;
     for _ in 0..steps {
+        if opts.auto_step {
+            acc.begin_step().unwrap();
+        }
         acc.fill_boundary(src).unwrap();
         for &t in &tiles {
             acc.compute2(
@@ -133,6 +153,9 @@ pub fn tida_busy(
 
     let tiles = tiles_of(&decomp, TileSpec::RegionSized);
     for _ in 0..steps {
+        if opts.auto_step {
+            acc.begin_step().unwrap();
+        }
         for &t in &tiles {
             acc.compute1(
                 t,

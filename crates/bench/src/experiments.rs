@@ -767,6 +767,233 @@ pub fn integrity_overhead(scale: Scale) -> FigData {
     fig
 }
 
+/// One run of the overlap-scheduler benchmark (see [`overlap_bench`]):
+/// makespan, how much transfer time was hidden behind compute, the
+/// critical-path split, and the runtime's caching/prefetch counters.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct OverlapRun {
+    pub label: String,
+    pub lookahead: usize,
+    pub makespan_ms: f64,
+    /// Fraction of H2D busy time concurrent with compute, in `[0,1]`.
+    pub h2d_overlap_fraction: f64,
+    /// Fraction of D2H busy time concurrent with compute, in `[0,1]`.
+    pub d2h_overlap_fraction: f64,
+    /// Critical-path milliseconds attributed to transfers (h2d + d2h).
+    pub transfer_critical_ms: f64,
+    /// Critical-path milliseconds attributed to kernels.
+    pub compute_critical_ms: f64,
+    /// Critical-path milliseconds attributed to host work.
+    pub host_critical_ms: f64,
+    pub loads: u64,
+    pub hits: u64,
+    pub prefetch_loads: u64,
+    pub prefetch_hits: u64,
+    pub prefetch_fallbacks: u64,
+    pub evictions: u64,
+    pub writebacks_deferred: u64,
+}
+
+/// The full `BENCH_overlap.json` payload: the no-prefetch LRU baseline, the
+/// automatic scheduler, the headline makespan reduction, and (optionally)
+/// a lookahead sweep.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct OverlapBench {
+    pub workload: String,
+    pub baseline: OverlapRun,
+    pub auto_sched: OverlapRun,
+    /// Makespan reduction of `auto_sched` over `baseline`, in percent.
+    pub reduction_pct: f64,
+    pub sweep: Vec<OverlapRun>,
+}
+
+/// Drive out-of-core heat through `TileAcc` directly (the figure drivers'
+/// [`baselines::RunResult`] carries no `AccStats`). Returns the run metrics
+/// plus the final field (backed runs only) for bit-identity checks.
+#[allow(clippy::too_many_arguments)]
+fn overlap_heat_run(
+    n: i64,
+    steps: usize,
+    regions: usize,
+    slots: usize,
+    lookahead: usize,
+    policy: SlotPolicy,
+    auto_step: bool,
+    backed: bool,
+    label: &str,
+) -> (OverlapRun, Option<Vec<f64>>) {
+    use gpu_sim::GpuSystem;
+    use std::sync::Arc;
+    use tida::{tiles_of, Decomposition, Domain, ExchangeMode, RegionSpec, TileArray, TileSpec};
+    use tida_acc::TileAcc;
+
+    let decomp = Arc::new(Decomposition::new(
+        Domain::periodic_cube(n),
+        RegionSpec::Count(regions),
+    ));
+    let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, backed);
+    let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, backed);
+    ua.fill_valid(baselines::heat::heat_init());
+
+    // The overlap scheduler targets the interconnect-starved regime (the
+    // paper's out-of-core motivation): a K40m behind a narrow PCIe link
+    // (Gen3 x4-class), where staging is the bottleneck and every byte the
+    // scheduler avoids moving — Belady keeps hot regions resident, clean
+    // write-backs are skipped — comes straight off the critical path. Both
+    // runs share this config, so the comparison stays apples-to-apples.
+    let mut machine = cfg();
+    machine.name = "Tesla K40m / PCIe Gen3 x4".to_string();
+    machine.h2d_pinned_bw = 3.3e9;
+    machine.d2h_pinned_bw = 3.5e9;
+    machine.host_stage_bw = 3.0e9;
+    let mut gpu = GpuSystem::with_backing(machine, backed);
+    gpu.set_tracing(true);
+    let mut opts = AccOptions::paper()
+        .with_policy(policy)
+        .with_lookahead(lookahead);
+    opts.max_slots = Some(slots);
+    let mut acc = TileAcc::new(gpu, opts);
+    let a = acc.register(&ua);
+    let b = acc.register(&ub);
+    let tiles = tiles_of(&decomp, TileSpec::RegionSized);
+    let fac = kernels::heat::DEFAULT_FAC;
+    let (mut src, mut dst) = (a, b);
+    for _ in 0..steps {
+        if auto_step {
+            acc.begin_step().unwrap();
+        }
+        acc.fill_boundary(src).unwrap();
+        for &t in &tiles {
+            acc.compute2(
+                t,
+                dst,
+                src,
+                kernels::heat::cost(t.num_cells()),
+                "heat",
+                move |d, s, bx| kernels::heat::step_tile(d, s, &bx, fac),
+            )
+            .unwrap();
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    acc.sync_to_host(src).unwrap();
+    let report = acc.report();
+    assert!(
+        !report.hazards.any(),
+        "overlap bench must be hazard-free: {:?}",
+        report.hazards
+    );
+    let trace = acc.gpu().trace();
+    let stats = acc.stats();
+    let crit_ms = |cat: &str| {
+        report
+            .critical_by_category
+            .get(cat)
+            .copied()
+            .unwrap_or(gpu_sim::SimTime::ZERO)
+            .as_ms_f64()
+    };
+    let run = OverlapRun {
+        label: label.to_string(),
+        lookahead,
+        makespan_ms: report.elapsed.as_ms_f64(),
+        // Single-device engine lanes: 0 = h2d, 1 = d2h, 2 = compute.
+        h2d_overlap_fraction: trace.overlap_fraction(0, 2),
+        d2h_overlap_fraction: trace.overlap_fraction(1, 2),
+        transfer_critical_ms: crit_ms("h2d") + crit_ms("d2h"),
+        compute_critical_ms: crit_ms("kernel"),
+        host_critical_ms: crit_ms("host") + crit_ms("hostfn"),
+        loads: stats.loads,
+        hits: stats.hits,
+        prefetch_loads: stats.prefetch_loads,
+        prefetch_hits: stats.prefetch_hits,
+        prefetch_fallbacks: stats.prefetch_fallbacks,
+        evictions: stats.evictions,
+        writebacks_deferred: stats.writebacks_deferred,
+    };
+    let data = if backed {
+        let arr = if src == a { &ua } else { &ub };
+        arr.to_dense()
+    } else {
+        None
+    };
+    (run, data)
+}
+
+/// R3 (PR 4): the automatic lookahead-prefetch overlap scheduler on
+/// out-of-core heat — more regions than device slots, so every step stages
+/// regions in and out. The baseline is the plain LRU pool with no
+/// prefetching; the automatic run records the step plan, prefetches
+/// `lookahead` steps ahead into idle slot streams, evicts by reuse
+/// distance, and defers clean write-backs. Backed at quick scale, so the
+/// two runs are also checked bit-identical.
+pub fn overlap_bench(scale: Scale, lookahead: usize, sweep: bool) -> OverlapBench {
+    let (n, steps, regions, slots, backed) = match scale {
+        Scale::Paper => (128i64, 24usize, 8usize, 7usize, false),
+        Scale::Quick => (64, 16, 8, 7, true),
+    };
+    let workload = format!(
+        "out-of-core heat {n}^3, {steps} steps, {regions} regions x 2 arrays, {slots} slots"
+    );
+    let (baseline, base_data) = overlap_heat_run(
+        n,
+        steps,
+        regions,
+        slots,
+        0,
+        SlotPolicy::Lru,
+        false,
+        backed,
+        "lru-no-prefetch",
+    );
+    let (auto_sched, auto_data) = overlap_heat_run(
+        n,
+        steps,
+        regions,
+        slots,
+        lookahead,
+        SlotPolicy::ReuseDistance,
+        true,
+        backed,
+        "auto-overlap",
+    );
+    if backed {
+        assert_eq!(
+            base_data, auto_data,
+            "the automatic scheduler must not change results"
+        );
+    }
+    let reduction_pct = (1.0 - auto_sched.makespan_ms / baseline.makespan_ms.max(1e-12)) * 100.0;
+    let sweep_runs = if sweep {
+        [0usize, 1, 2, 4]
+            .iter()
+            .map(|&l| {
+                overlap_heat_run(
+                    n,
+                    steps,
+                    regions,
+                    slots,
+                    l,
+                    SlotPolicy::ReuseDistance,
+                    true,
+                    backed,
+                    &format!("auto-overlap-L{l}"),
+                )
+                .0
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    OverlapBench {
+        workload,
+        baseline,
+        auto_sched,
+        reduction_pct,
+        sweep: sweep_runs,
+    }
+}
+
 /// The options struct used across the harness (re-exported for benches).
 pub fn paper_acc_options() -> AccOptions {
     AccOptions::paper()
@@ -777,6 +1004,33 @@ mod tests {
     use super::*;
 
     // Quick-scale smoke tests that also assert the headline shapes.
+
+    #[test]
+    fn overlap_bench_auto_scheduler_cuts_makespan() {
+        let b = overlap_bench(Scale::Quick, 2, false);
+        assert!(
+            b.reduction_pct >= 15.0,
+            "automatic scheduler must cut the out-of-core makespan by >= 15%: \
+             baseline {:.3}ms auto {:.3}ms ({:.1}%)",
+            b.baseline.makespan_ms,
+            b.auto_sched.makespan_ms,
+            b.reduction_pct
+        );
+        assert!(b.auto_sched.prefetch_loads > 0, "prefetches must be issued");
+        assert!(b.auto_sched.prefetch_hits > 0, "prefetches must be used");
+        assert!(
+            b.auto_sched.loads < b.baseline.loads,
+            "reuse-distance eviction must avoid reloads: {} vs {}",
+            b.auto_sched.loads,
+            b.baseline.loads
+        );
+        assert!(
+            b.auto_sched.transfer_critical_ms < b.baseline.transfer_critical_ms,
+            "the scheduler must take transfer time off the critical path: {} vs {}",
+            b.auto_sched.transfer_critical_ms,
+            b.baseline.transfer_critical_ms
+        );
+    }
 
     #[test]
     fn checkpoint_overhead_shape_crash_costs_extra() {

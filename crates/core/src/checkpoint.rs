@@ -7,7 +7,7 @@
 //! `sync_to_host`, must be empty/clean — the crash-consistency invariant
 //! validated on restore).
 //!
-//! # Binary format (version 1)
+//! # Binary format (version 2)
 //!
 //! ```text
 //! magic   b"TACK"
@@ -34,7 +34,10 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"TACK";
-const VERSION: u16 = 1;
+// v2: the stats section grew from 22 to 26 words (prefetch/deferral
+// counters). v1 blobs are rejected as UnsupportedVersion — nothing pins the
+// on-disk format across releases yet.
+const VERSION: u16 = 2;
 const TAG_META: u8 = 1;
 const TAG_STATS: u8 = 2;
 const TAG_DATA: u8 = 3;
@@ -179,7 +182,7 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn stats_to_words(s: &AccStats) -> [u64; 22] {
+fn stats_to_words(s: &AccStats) -> [u64; 26] {
     [
         s.hits,
         s.loads,
@@ -203,10 +206,14 @@ fn stats_to_words(s: &AccStats) -> [u64; 22] {
         s.integrity_repaired,
         s.slots_quarantined,
         s.hazards,
+        s.prefetch_loads,
+        s.prefetch_hits,
+        s.prefetch_fallbacks,
+        s.writebacks_deferred,
     ]
 }
 
-fn stats_from_words(w: &[u64; 22]) -> AccStats {
+fn stats_from_words(w: &[u64; 26]) -> AccStats {
     AccStats {
         hits: w[0],
         loads: w[1],
@@ -230,6 +237,10 @@ fn stats_from_words(w: &[u64; 22]) -> AccStats {
         integrity_repaired: w[19],
         slots_quarantined: w[20],
         hazards: w[21],
+        prefetch_loads: w[22],
+        prefetch_hits: w[23],
+        prefetch_fallbacks: w[24],
+        writebacks_deferred: w[25],
     }
 }
 
@@ -343,7 +354,7 @@ impl Checkpoint {
             buf: &stats,
             pos: 0,
         };
-        let mut words = [0u64; 22];
+        let mut words = [0u64; 26];
         for w in &mut words {
             *w = s.u64()?;
         }

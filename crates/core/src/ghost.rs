@@ -131,7 +131,10 @@ impl TileAcc {
                 Err(AcquireFail::Fallback) => return Ok(false),
             }
         }
-        let s_dst = match self.acquire_device(array, dst, &pinned) {
+        // The gather writes the destination's ghost cells: a read-write
+        // intent, so the plan recorder predicts the dirtying and never
+        // prefetches over a region a future exchange is about to write.
+        let s_dst = match self.acquire_device_rw(array, dst, &pinned) {
             Ok(s) => s,
             Err(AcquireFail::Fatal(e)) => return Err(e),
             Err(AcquireFail::Fallback) => return Ok(false),
@@ -233,7 +236,7 @@ impl TileAcc {
                 return self.host_patch(array, p);
             }
         };
-        let s_dst = match self.acquire_device(array, p.dst_region, &[s_src]) {
+        let s_dst = match self.acquire_device_rw(array, p.dst_region, &[s_src]) {
             Ok(s) => s,
             Err(AcquireFail::Fatal(e)) => return Err(e),
             Err(AcquireFail::Fallback) => {

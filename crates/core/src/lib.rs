@@ -57,6 +57,7 @@ mod ghost;
 mod iter;
 mod multi;
 mod options;
+mod plan;
 mod recovery;
 mod reduce;
 mod stats;
@@ -479,6 +480,154 @@ mod tests {
             ),
             "{err:?}"
         );
+    }
+
+    /// `heat_drive` with a `begin_step` boundary per step — the automatic
+    /// overlap scheduler's driver shape.
+    fn heat_drive_auto(
+        acc: &mut TileAcc,
+        decomp: &Arc<Decomposition>,
+        mut src: ArrayId,
+        mut dst: ArrayId,
+        steps: usize,
+        fac: f64,
+    ) -> ArrayId {
+        let tiles = tiles_of(decomp, TileSpec::RegionSized);
+        for _ in 0..steps {
+            acc.begin_step().unwrap();
+            acc.fill_boundary(src).unwrap();
+            for &t in &tiles {
+                acc.compute2(
+                    t,
+                    dst,
+                    src,
+                    heat::cost(t.num_cells()),
+                    "heat",
+                    move |d, s, bx| heat::step_tile(d, s, &bx, fac),
+                )
+                .unwrap();
+            }
+            std::mem::swap(&mut src, &mut dst);
+        }
+        acc.sync_to_host(src).unwrap();
+        src
+    }
+
+    #[test]
+    fn capped_prefetch_all_never_evicts() {
+        // 8 regions into 3 slots under LRU: prefetch_all used to thrash —
+        // each staged region evicted an earlier one, paying 8 transfers to
+        // end with only the last 3 resident. Staging is now capped at pool
+        // capacity.
+        let decomp = Arc::new(Decomposition::new(
+            Domain::periodic_cube(16),
+            RegionSpec::Count(8),
+        ));
+        let u = TileArray::new(decomp.clone(), 0, ExchangeMode::Faces, true);
+        let opts = AccOptions::paper()
+            .with_policy(SlotPolicy::Lru)
+            .with_max_slots(3);
+        let mut acc = TileAcc::new(GpuSystem::new(MachineConfig::k40m()), opts);
+        let a = acc.register(&u);
+        acc.prefetch_all(a).unwrap();
+        let st = acc.stats();
+        assert_eq!(st.evictions, 0, "capped prefetch must never evict");
+        assert_eq!(st.prefetch_loads, 3, "exactly the pool capacity staged");
+        assert_eq!(st.loads, 3);
+        assert_eq!(
+            st.prefetch_fallbacks, 0,
+            "a full pool is a cap, not a failure"
+        );
+        // The three staged regions are warm; their first uses are prefetch
+        // hits, not organic ones.
+        for t in tiles_of(&decomp, TileSpec::RegionSized) {
+            acc.compute1(t, a, gpu_sim::KernelCost::Flops(1e6), "noop", |_, _| {})
+                .unwrap();
+        }
+        let st = acc.stats();
+        assert_eq!(st.prefetch_hits, 3);
+        assert_eq!(st.hits, 0);
+        assert_eq!(st.loads, 8, "the other five regions demand-load");
+    }
+
+    #[test]
+    fn static_slot_conflict_during_prefetch_is_observable() {
+        // Two regions share the single static slot: the second prefetch
+        // cannot stage and must say so instead of silently no-opping.
+        let decomp = Arc::new(Decomposition::new(
+            Domain::periodic_cube(8),
+            RegionSpec::Count(2),
+        ));
+        let u = TileArray::new(decomp.clone(), 0, ExchangeMode::Faces, true);
+        let mut acc = mk_acc(Some(1));
+        acc.gpu_mut().set_tracing(true);
+        let a = acc.register(&u);
+        acc.prefetch(a, 0).unwrap();
+        acc.prefetch(a, 1).unwrap();
+        let st = acc.stats();
+        assert_eq!(st.prefetch_loads, 1);
+        assert_eq!(st.prefetch_fallbacks, 1);
+        assert_eq!(st.evictions, 0);
+        acc.finish();
+        let tr = acc.gpu().trace();
+        assert!(
+            tr.spans.iter().any(|s| s.category == "prefetch"),
+            "degraded prefetch must leave a trace marker"
+        );
+    }
+
+    #[test]
+    fn auto_overlap_heat_exact_with_prefetch_active() {
+        // Out-of-core heat (8 global regions, 3 slots) under the automatic
+        // scheduler: plan-aware eviction + lookahead prefetch, results
+        // bit-identical to golden, zero hazards, and the prefetcher
+        // actually fired once the period was detected.
+        let n = 8;
+        let steps = 8;
+        let (decomp, ua, ub) = heat_setup(n, RegionSpec::Count(4));
+        let opts = AccOptions::paper()
+            .with_policy(SlotPolicy::ReuseDistance)
+            .with_max_slots(3)
+            .with_lookahead(2);
+        let mut acc = TileAcc::new(GpuSystem::new(MachineConfig::k40m()), opts);
+        let a = acc.register(&ua);
+        let b = acc.register(&ub);
+        let last = heat_drive_auto(&mut acc, &decomp, a, b, steps, heat::DEFAULT_FAC);
+        acc.finish();
+        let golden = heat::golden_run(init::hash_field(7), n, steps, heat::DEFAULT_FAC);
+        let result = if last == a { &ua } else { &ub };
+        assert_eq!(result.to_dense().unwrap(), golden);
+        let st = acc.stats();
+        assert_eq!(st.hazards, 0, "prefetched schedule must be race-free");
+        assert_eq!(
+            acc.plan_period(),
+            Some(2),
+            "double buffering repeats every 2 steps"
+        );
+        assert!(
+            st.prefetch_loads > 0,
+            "the lookahead prefetcher must fire: {st}"
+        );
+        assert!(
+            st.prefetch_hits > 0,
+            "prefetched regions must get used: {st}"
+        );
+    }
+
+    #[test]
+    fn reuse_distance_without_plan_degenerates_to_lru() {
+        // No begin_step calls: ReuseDistance must schedule exactly like LRU.
+        let run = |policy: SlotPolicy| {
+            let n = 8;
+            let (decomp, ua, ub) = heat_setup(n, RegionSpec::Count(4));
+            let opts = AccOptions::paper().with_policy(policy).with_max_slots(3);
+            let mut acc = TileAcc::new(GpuSystem::new(MachineConfig::k40m()), opts);
+            let a = acc.register(&ua);
+            let b = acc.register(&ub);
+            heat_drive(&mut acc, &decomp, a, b, 3, heat::DEFAULT_FAC);
+            (acc.finish(), acc.stats())
+        };
+        assert_eq!(run(SlotPolicy::Lru), run(SlotPolicy::ReuseDistance));
     }
 
     #[test]

@@ -128,6 +128,13 @@ impl MultiAcc {
         self.gpu.finish()
     }
 
+    /// Post-run report (API parity with [`crate::TileAcc::report`]).
+    /// `MultiAcc` keeps every region resident on its owner, so the
+    /// prefetch/overlap-scheduler counters are always zero here.
+    pub fn report(&mut self) -> gpu_sim::RunReport {
+        self.gpu.report()
+    }
+
     fn num_regions(&self) -> usize {
         self.decomp.as_ref().expect("no arrays").num_regions()
     }

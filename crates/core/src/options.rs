@@ -13,6 +13,12 @@ pub enum SlotPolicy {
     /// Extension: any free slot, evicting the least-recently-used occupant
     /// when none is free. Avoids static collisions at the cost of a lookup.
     Lru,
+    /// Extension: plan-aware eviction. When the step-plan recorder has
+    /// detected a stable period (see `TileAcc::begin_step`), the victim is
+    /// the resident region with the farthest predicted next use — Belady's
+    /// algorithm over the predicted window. Falls back to LRU whenever no
+    /// plan exists.
+    ReuseDistance,
 }
 
 /// When an evicted region's device data is copied back to the host.
@@ -64,6 +70,13 @@ pub struct AccOptions {
     /// one kernel per patch (extension): same traffic, ~6× fewer launches
     /// for face exchanges.
     pub ghost_batching: bool,
+    /// Lookahead window (in steps) of the automatic overlap scheduler:
+    /// while step `k`'s kernels drain, `TileAcc::begin_step` issues the
+    /// predicted host→device loads for steps `k..k+lookahead` into idle
+    /// slot streams, capped at free-slot capacity. `0` (default) disables
+    /// automatic prefetching; the step-plan recorder still runs so
+    /// `SlotPolicy::ReuseDistance` can victimize by reuse distance.
+    pub lookahead: usize,
     /// How many times a transient transfer fault is retried before the
     /// runtime declares the device path dead and degrades to the host.
     pub max_transfer_retries: u32,
@@ -85,6 +98,7 @@ impl Default for AccOptions {
             ghost_on_device: true,
             ghost_barrier: true,
             ghost_batching: false,
+            lookahead: 0,
             max_transfer_retries: 3,
             retry_backoff: SimTime::from_us(20),
         }
@@ -116,6 +130,11 @@ impl AccOptions {
         self.max_transfer_retries = n;
         self
     }
+
+    pub fn with_lookahead(mut self, steps: usize) -> Self {
+        self.lookahead = steps;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -129,17 +148,20 @@ mod tests {
         assert_eq!(o.writeback, WritebackPolicy::Always);
         assert_eq!(o.max_slots, None);
         assert!(o.gpu);
+        assert_eq!(o.lookahead, 0, "automatic prefetch is opt-in");
     }
 
     #[test]
     fn builders_apply() {
         let o = AccOptions::default()
             .with_max_slots(2)
-            .with_policy(SlotPolicy::Lru)
-            .with_writeback(WritebackPolicy::DirtyOnly);
+            .with_policy(SlotPolicy::ReuseDistance)
+            .with_writeback(WritebackPolicy::DirtyOnly)
+            .with_lookahead(2);
         assert_eq!(o.max_slots, Some(2));
-        assert_eq!(o.policy, SlotPolicy::Lru);
+        assert_eq!(o.policy, SlotPolicy::ReuseDistance);
         assert_eq!(o.writeback, WritebackPolicy::DirtyOnly);
+        assert_eq!(o.lookahead, 2);
     }
 
     #[test]

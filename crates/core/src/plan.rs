@@ -1,0 +1,308 @@
+//! Step-plan recording and lookahead prediction — the brain of the
+//! automatic overlap scheduler (DESIGN.md §9).
+//!
+//! [`StepPlanner`] watches the per-step sequence of region acquisitions
+//! produced by the compute/ghost/reduce call stream. Stencil codes are
+//! periodic: the heat solver's double buffering repeats every two steps,
+//! an in-place sweep every step. Once the recorder has seen one full
+//! period repeat, the coming steps' accesses are predictable, which buys
+//! two schedulers:
+//!
+//! * the **lookahead prefetcher**: regions whose next predicted use is a
+//!   host→device load can be staged while the current step's kernels are
+//!   still draining (`TileAcc::begin_step`);
+//! * **reuse-distance eviction** (`SlotPolicy::ReuseDistance`): the victim
+//!   is the resident region with the farthest predicted next use — Belady's
+//!   algorithm over the predicted window, falling back to LRU when no plan
+//!   has been detected.
+//!
+//! Prediction is purely structural: it depends only on the acquisition call
+//! stream, never on data values, so a virtual (unbacked) run schedules
+//! identically to a backed one and a prefetched run stays bit-identical to
+//! the demand-fetched golden.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// One recorded acquisition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct StepAccess {
+    /// Global region index (`TileAcc::gidx`).
+    pub g: usize,
+    /// Whether the acquisition uploads host data on a miss (`false` for
+    /// write-intent claims, which skip the load).
+    pub needs_load: bool,
+    /// Whether the acquiring operation writes the region (dirties the slot).
+    pub dirties: bool,
+}
+
+/// A region the prefetcher may stage: `pos` is the global position of its
+/// first predicted needs-load access within the lookahead window.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PrefetchCandidate {
+    pub g: usize,
+    pub pos: u64,
+}
+
+/// Longest step period the detector considers.
+const MAX_PERIOD: usize = 4;
+/// Completed step plans kept for period detection (two full max periods).
+const MAX_HISTORY: usize = 2 * MAX_PERIOD;
+/// Per-step recording cap — bounds memory on aperiodic workloads.
+const MAX_RECORD: usize = 4096;
+
+/// Records per-step access plans, detects the repetition period, and
+/// maintains the predicted future-use table for the current step. See the
+/// module docs.
+#[derive(Debug, Default)]
+pub(crate) struct StepPlanner {
+    /// Set by the first `on_step` call — the application opted into step
+    /// boundaries; recording and prediction stay inert otherwise.
+    enabled: bool,
+    /// `on_step` has run at least once, so `cur` holds a complete step.
+    started: bool,
+    /// Accesses recorded since the last step boundary.
+    cur: Vec<StepAccess>,
+    /// Completed step plans, oldest first.
+    history: VecDeque<Vec<StepAccess>>,
+    /// Detected repetition period (in steps), if any.
+    period: Option<usize>,
+    /// Predicted future positions per global region over the horizon,
+    /// popped front-first as demand accesses consume them.
+    future: HashMap<usize, VecDeque<u64>>,
+    /// Prefetchable first loads in the window, in position order.
+    candidates: Vec<PrefetchCandidate>,
+    /// Step boundaries seen so far.
+    steps: u64,
+}
+
+impl StepPlanner {
+    /// Record one acquisition and consume its predicted position.
+    pub fn note_access(&mut self, g: usize, needs_load: bool, dirties: bool) {
+        if !self.enabled {
+            return;
+        }
+        if self.cur.len() < MAX_RECORD {
+            self.cur.push(StepAccess {
+                g,
+                needs_load,
+                dirties,
+            });
+        }
+        if let Some(q) = self.future.get_mut(&g) {
+            q.pop_front();
+        }
+    }
+
+    /// Declare a step boundary: archive the finished step's recording,
+    /// refresh the period estimate, and rebuild the future-use table and
+    /// prefetch candidates for a window of the current step plus
+    /// `lookahead` predicted steps.
+    pub fn on_step(&mut self, lookahead: usize) {
+        self.enabled = true;
+        let done = std::mem::take(&mut self.cur);
+        if self.started {
+            self.history.push_back(done);
+            if self.history.len() > MAX_HISTORY {
+                self.history.pop_front();
+            }
+        } else {
+            self.started = true;
+        }
+        self.steps += 1;
+        self.period = self.detect_period();
+        self.rebuild(lookahead);
+    }
+
+    /// Smallest period `p` such that the last `2p` completed steps repeat
+    /// pairwise (one full period verified against the one before it).
+    fn detect_period(&self) -> Option<usize> {
+        let len = self.history.len();
+        (1..=MAX_PERIOD).find(|&p| {
+            len >= 2 * p
+                && !self.history[len - p].is_empty()
+                && (0..p).all(|i| self.history[len - 1 - i] == self.history[len - 1 - p - i])
+        })
+    }
+
+    /// Rebuild `future` and `candidates` from the detected period. The
+    /// window covers the step about to run (position of every predicted
+    /// access is its submission order) plus `lookahead` further steps; a
+    /// region qualifies for prefetch only if its first needs-load access
+    /// falls in the window *before any predicted write to it* — staging a
+    /// region the window first writes would upload data the in-window
+    /// kernels are about to overwrite.
+    fn rebuild(&mut self, lookahead: usize) {
+        self.future.clear();
+        self.candidates.clear();
+        let Some(p) = self.period else { return };
+        let len = self.history.len();
+        // Keep distances meaningful for eviction even at small lookahead:
+        // always project at least two full periods ahead.
+        let horizon = (lookahead + 1).max(2 * p);
+        let mut pos: u64 = 0;
+        let mut written: HashSet<usize> = HashSet::new();
+        let mut first_load: HashSet<usize> = HashSet::new();
+        for j in 0..horizon {
+            let step = len - p + (j % p);
+            for i in 0..self.history[step].len() {
+                let a = self.history[step][i];
+                self.future.entry(a.g).or_default().push_back(pos);
+                if a.needs_load
+                    && first_load.insert(a.g)
+                    && j <= lookahead
+                    && !written.contains(&a.g)
+                {
+                    self.candidates.push(PrefetchCandidate { g: a.g, pos });
+                }
+                if a.dirties {
+                    written.insert(a.g);
+                }
+                pos += 1;
+            }
+        }
+    }
+
+    /// Predicted position of `g`'s next use, `u64::MAX` when the plan has
+    /// no further use for it (or no plan exists).
+    pub fn next_use(&self, g: usize) -> u64 {
+        self.future
+            .get(&g)
+            .and_then(|q| q.front())
+            .copied()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Prefetchable first loads of the current window, in position order.
+    pub fn candidates(&self) -> &[PrefetchCandidate] {
+        &self.candidates
+    }
+
+    /// Whether a stable period has been detected (prediction is live).
+    pub fn has_plan(&self) -> bool {
+        self.period.is_some()
+    }
+
+    /// Detected repetition period, if any.
+    pub fn period(&self) -> Option<usize> {
+        self.period
+    }
+
+    /// Drop every prediction (recording history included). Used by
+    /// `TileAcc::restore`: the replayed steps re-record from scratch, so a
+    /// restored run never acts on a plan from its discarded timeline.
+    pub fn reset_prediction(&mut self) {
+        self.cur.clear();
+        self.history.clear();
+        self.future.clear();
+        self.candidates.clear();
+        self.period = None;
+        self.started = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(g: usize) -> StepAccess {
+        StepAccess {
+            g,
+            needs_load: true,
+            dirties: false,
+        }
+    }
+
+    fn claim(g: usize) -> StepAccess {
+        StepAccess {
+            g,
+            needs_load: false,
+            dirties: true,
+        }
+    }
+
+    fn drive(p: &mut StepPlanner, steps: &[&[StepAccess]], lookahead: usize) {
+        for step in steps {
+            p.on_step(lookahead);
+            for a in *step {
+                p.note_access(a.g, a.needs_load, a.dirties);
+            }
+        }
+        p.on_step(lookahead);
+    }
+
+    #[test]
+    fn detects_period_one() {
+        let mut p = StepPlanner::default();
+        let s: &[StepAccess] = &[read(0), read(1)];
+        drive(&mut p, &[s, s], 1);
+        assert_eq!(p.period(), Some(1));
+        assert!(p.has_plan());
+    }
+
+    #[test]
+    fn detects_period_two_for_double_buffering() {
+        let mut p = StepPlanner::default();
+        let even: &[StepAccess] = &[read(0), claim(1)];
+        let odd: &[StepAccess] = &[read(1), claim(0)];
+        drive(&mut p, &[even, odd, even, odd], 1);
+        assert_eq!(p.period(), Some(2));
+    }
+
+    #[test]
+    fn no_plan_before_repetition() {
+        let mut p = StepPlanner::default();
+        let a: &[StepAccess] = &[read(0)];
+        let b: &[StepAccess] = &[read(1)];
+        drive(&mut p, &[a, b], 0);
+        // a, b share no repetition at any period the two steps can verify.
+        assert_eq!(p.period(), None);
+        assert_eq!(p.next_use(0), u64::MAX);
+        assert!(p.candidates().is_empty());
+    }
+
+    #[test]
+    fn next_use_pops_as_accesses_arrive() {
+        let mut p = StepPlanner::default();
+        let s: &[StepAccess] = &[read(0), read(1), read(0)];
+        drive(&mut p, &[s, s], 0);
+        // Window starts at the step about to run: 0 used at pos 0 and 2.
+        assert_eq!(p.next_use(0), 0);
+        p.note_access(0, true, false);
+        assert_eq!(p.next_use(0), 2);
+        assert_eq!(p.next_use(1), 1);
+    }
+
+    #[test]
+    fn writes_block_prefetch_candidates() {
+        let mut p = StepPlanner::default();
+        // Region 1 is write-claimed before it is read: its read must not be
+        // prefetched (the upload would race the predicted claim's kernel).
+        let s: &[StepAccess] = &[read(0), claim(1), read(1)];
+        drive(&mut p, &[s, s], 1);
+        let c: Vec<usize> = p.candidates().iter().map(|c| c.g).collect();
+        assert_eq!(c, vec![0]);
+    }
+
+    #[test]
+    fn candidates_sorted_by_first_use() {
+        let mut p = StepPlanner::default();
+        let s: &[StepAccess] = &[read(2), read(0), read(1)];
+        drive(&mut p, &[s, s], 0);
+        let c: Vec<usize> = p.candidates().iter().map(|c| c.g).collect();
+        assert_eq!(c, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn reset_prediction_clears_plan() {
+        let mut p = StepPlanner::default();
+        let s: &[StepAccess] = &[read(0)];
+        drive(&mut p, &[s, s], 1);
+        assert!(p.has_plan());
+        p.reset_prediction();
+        assert!(!p.has_plan());
+        assert_eq!(p.next_use(0), u64::MAX);
+        // Re-detection works after the reset.
+        drive(&mut p, &[s, s], 1);
+        assert!(p.has_plan());
+    }
+}

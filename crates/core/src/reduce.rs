@@ -42,6 +42,10 @@ impl TileAcc {
             let cells = reg.valid.num_cells();
             match self.residency(array, r) {
                 Residency::Device(s) if self.gpu_enabled() => {
+                    // This read bypasses the acquire path (the region is
+                    // known resident); tell the plan recorder so eviction
+                    // sees the true reuse distance.
+                    self.note_plan_read(array, r);
                     // Device partial reduction in the slot's stream.
                     let slab = self.gpu().device_slab(self.slot_dev(s));
                     let (m, c, out) = (map.clone(), combine.clone(), partials.clone());

@@ -60,6 +60,21 @@ pub struct AccStats {
     /// Stream-ordering hazards the happens-before detector flagged
     /// (any kind; a clean run must show zero).
     pub hazards: u64,
+    /// Host→device region loads issued by a prefetch (caller-driven or the
+    /// lookahead scheduler) rather than by a demand miss. Also counted in
+    /// `loads`, which covers every upload.
+    pub prefetch_loads: u64,
+    /// First organic uses that found their region resident only because a
+    /// prefetch warmed it. Kept separate from `hits` so figures don't
+    /// over-report organic cache efficiency.
+    pub prefetch_hits: u64,
+    /// Prefetches that could not stage a region (dead device path, static
+    /// slot conflict, quarantine-exhausted pool) and degraded to a no-op.
+    pub prefetch_fallbacks: u64,
+    /// Clean-slot evictions whose mandatory write-back was elided because a
+    /// detected step plan proves the host mirror is already current
+    /// (only under `WritebackPolicy::Always` with a live plan).
+    pub writebacks_deferred: u64,
 }
 
 impl fmt::Display for AccStats {
@@ -106,6 +121,21 @@ impl fmt::Display for AccStats {
                 self.integrity_repaired,
                 self.slots_quarantined,
                 self.hazards,
+            )?;
+        }
+        if self.prefetch_loads
+            + self.prefetch_hits
+            + self.prefetch_fallbacks
+            + self.writebacks_deferred
+            > 0
+        {
+            write!(
+                f,
+                " prefetch(loads/hits)={}/{} prefetch_fallbacks={} deferred_wb={}",
+                self.prefetch_loads,
+                self.prefetch_hits,
+                self.prefetch_fallbacks,
+                self.writebacks_deferred,
             )?;
         }
         Ok(())
@@ -186,5 +216,21 @@ mod tests {
         assert!(text.contains("integrity(detected/repaired)=4/3"));
         assert!(text.contains("quarantined=1"));
         assert!(text.contains("hazards=2"));
+    }
+
+    #[test]
+    fn display_adds_prefetch_suffix_only_when_nonzero() {
+        assert!(!AccStats::default().to_string().contains("prefetch"));
+        let s = AccStats {
+            prefetch_loads: 5,
+            prefetch_hits: 4,
+            prefetch_fallbacks: 1,
+            writebacks_deferred: 3,
+            ..AccStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("prefetch(loads/hits)=5/4"));
+        assert!(text.contains("prefetch_fallbacks=1"));
+        assert!(text.contains("deferred_wb=3"));
     }
 }

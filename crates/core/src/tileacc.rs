@@ -33,12 +33,13 @@
 use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::error::{AccError, IntegrityKind};
 use crate::options::{AccOptions, SlotPolicy, WritebackPolicy};
+use crate::plan::StepPlanner;
 use crate::stats::AccStats;
 use gpu_sim::{
-    DeviceBuffer, GpuSystem, HostBuffer, HostMemKind, KernelCost, OpId, RecoveryCounters, SimTime,
-    StreamId,
+    DeviceBuffer, GpuSystem, HostBuffer, HostMemKind, KernelCost, OpId, PrefetchCounters,
+    RecoveryCounters, RunReport, SimTime, StreamId,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use tida::{with_view_mut, Box3, Decomposition, Tile, TileArray};
 
@@ -62,6 +63,22 @@ pub(crate) enum AcquireFail {
     Fallback,
     /// Fatal (e.g. the platform crashed): must propagate to the caller.
     Fatal(AccError),
+}
+
+/// How an acquiring operation uses the region — recorded by the step-plan
+/// recorder (`plan.rs`). Intent affects only plan recording, never the
+/// staging behaviour itself (`WriteAll` maps onto the existing write-intent
+/// `skip_load` path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AccessIntent {
+    /// The operation only reads the region.
+    Read,
+    /// The operation reads and writes the region (in-place kernels, ghost
+    /// landings into a resident destination).
+    ReadWrite,
+    /// The operation overwrites the region's entire valid box, so the load
+    /// is skippable (write-intent allocation).
+    WriteAll,
 }
 
 struct ArrayEntry {
@@ -113,6 +130,13 @@ pub struct TileAcc {
     /// failure, or a slot pool that could not allocate a single slot). All
     /// later tiles run on the host; dirty device state was salvaged.
     device_failed: bool,
+    /// Step-plan recorder + lookahead predictor for the automatic overlap
+    /// scheduler (inert until [`TileAcc::begin_step`] is called).
+    planner: StepPlanner,
+    /// Global regions staged by a prefetch and not yet organically used —
+    /// their first hit is a `prefetch_hits`, not an organic `hits`. Only
+    /// membership is queried (never iterated), so determinism holds.
+    prefetched: HashSet<usize>,
 }
 
 impl TileAcc {
@@ -136,6 +160,8 @@ impl TileAcc {
             stats: AccStats::default(),
             slot_len: 0,
             device_failed: false,
+            planner: StepPlanner::default(),
+            prefetched: HashSet::new(),
         }
     }
 
@@ -201,6 +227,31 @@ impl TileAcc {
 
     pub fn gpu(&self) -> &GpuSystem {
         &self.gpu
+    }
+
+    /// The prefetch/overlap counters in report form, for merging into a
+    /// [`gpu_sim::RunReport`].
+    pub fn prefetch_counters(&self) -> PrefetchCounters {
+        PrefetchCounters {
+            loads: self.stats.prefetch_loads,
+            hits: self.stats.prefetch_hits,
+            fallbacks: self.stats.prefetch_fallbacks,
+            deferred_writebacks: self.stats.writebacks_deferred,
+        }
+    }
+
+    /// [`gpu_sim::GpuSystem::report`] with this runtime's prefetch counters
+    /// merged in (the simulator cannot tell a prefetch load from a demand
+    /// load; the runtime can). Drains outstanding work.
+    pub fn report(&mut self) -> RunReport {
+        let counters = self.prefetch_counters();
+        self.gpu.report().with_prefetch(counters)
+    }
+
+    /// Step period the plan recorder has detected, if any (`None` until
+    /// [`TileAcc::begin_step`] has seen two full matching periods).
+    pub fn plan_period(&self) -> Option<usize> {
+        self.planner.period()
     }
 
     pub fn gpu_mut(&mut self) -> &mut GpuSystem {
@@ -341,6 +392,20 @@ impl TileAcc {
             SlotPolicy::Lru => (0..n)
                 .filter(|&s| !pinned.contains(&s) && !self.slots[s].quarantined)
                 .min_by_key(|&s| (self.cache[s].is_some(), self.slots[s].lru_stamp)),
+            // Belady over the predicted window: victimize the occupant with
+            // the farthest next use. `next_use` is `u64::MAX` without a plan
+            // (or for a region the plan no longer needs), so the key
+            // degenerates to exactly the LRU ordering in that case.
+            SlotPolicy::ReuseDistance => (0..n)
+                .filter(|&s| !pinned.contains(&s) && !self.slots[s].quarantined)
+                .min_by_key(|&s| {
+                    let dist = self.cache[s].map_or(0, |g2| self.planner.next_use(g2));
+                    (
+                        self.cache[s].is_some(),
+                        std::cmp::Reverse(dist),
+                        self.slots[s].lru_stamp,
+                    )
+                }),
         }
     }
 
@@ -354,7 +419,18 @@ impl TileAcc {
         region: usize,
         pinned: &[usize],
     ) -> Result<usize, AcquireFail> {
-        self.acquire_device_intent(array, region, pinned, false)
+        self.acquire_with(array, region, pinned, AccessIntent::Read)
+    }
+
+    /// [`TileAcc::acquire_device`] for an operation that reads *and* writes
+    /// the region (in-place kernels, ghost landings).
+    pub(crate) fn acquire_device_rw(
+        &mut self,
+        array: ArrayId,
+        region: usize,
+        pinned: &[usize],
+    ) -> Result<usize, AcquireFail> {
+        self.acquire_with(array, region, pinned, AccessIntent::ReadWrite)
     }
 
     /// [`TileAcc::acquire_device`] with a write intent: when `write_all` is
@@ -368,11 +444,29 @@ impl TileAcc {
         pinned: &[usize],
         write_all: bool,
     ) -> Result<usize, AcquireFail> {
+        let intent = if write_all {
+            AccessIntent::WriteAll
+        } else {
+            AccessIntent::ReadWrite
+        };
+        self.acquire_with(array, region, pinned, intent)
+    }
+
+    fn acquire_with(
+        &mut self,
+        array: ArrayId,
+        region: usize,
+        pinned: &[usize],
+        intent: AccessIntent,
+    ) -> Result<usize, AcquireFail> {
         self.ensure_slots().map_err(AcquireFail::Fatal)?;
         if self.device_failed {
             return Err(AcquireFail::Fallback);
         }
         let g = self.gidx(array, region);
+        let skip_load = intent == AccessIntent::WriteAll && !self.opts.upload_written_regions;
+        self.planner
+            .note_access(g, !skip_load, intent != AccessIntent::Read);
         if let Some(s) = self.loc[g] {
             if self.gpu.device_poisoned(self.slots[s].dev) {
                 // The hit sits on a struck DRAM slot. A clean slot's host
@@ -385,6 +479,7 @@ impl TileAcc {
                 self.cache[s] = None;
                 self.loc[g] = None;
                 self.slots[s].dirty = false;
+                self.prefetched.remove(&g);
                 if dirty {
                     return Err(AcquireFail::Fatal(AccError::Integrity {
                         region,
@@ -392,7 +487,13 @@ impl TileAcc {
                     }));
                 }
             } else {
-                self.stats.hits += 1;
+                if self.prefetched.remove(&g) {
+                    // First organic use of a prefetch-warmed region: this is
+                    // transfer cost the prefetcher hid, not organic locality.
+                    self.stats.prefetch_hits += 1;
+                } else {
+                    self.stats.hits += 1;
+                }
                 self.touch(s);
                 return Ok(s);
             }
@@ -400,7 +501,14 @@ impl TileAcc {
         let Some(s) = self.pick_slot(g, pinned) else {
             return Err(AcquireFail::Fallback);
         };
+        self.stage_into(g, s, skip_load)?;
+        Ok(s)
+    }
 
+    /// Stage global region `g` into slot `s`: evict the occupant (with
+    /// write-back or deferral), then load `g` (or just claim the slot when
+    /// `skip_load`). Shared by demand acquisition and both prefetch paths.
+    fn stage_into(&mut self, g: usize, s: usize, skip_load: bool) -> Result<(), AcquireFail> {
         // Everything that happens to this slot from here on must wait for
         // kernels in *other* streams still using it.
         self.drain_consumers_into(s, s);
@@ -409,7 +517,17 @@ impl TileAcc {
         // "second possibility").
         if let Some(g2) = self.cache[s] {
             self.stats.evictions += 1;
-            let write_back = self.opts.writeback == WritebackPolicy::Always || self.slots[s].dirty;
+            self.prefetched.remove(&g2);
+            let dirty = self.slots[s].dirty;
+            let write_back = match self.opts.writeback {
+                // With a detected step plan a clean slot's host mirror is
+                // provably current, so the unconditional write-back
+                // coalesces to nothing: the D2H engine stays free for
+                // traffic that matters. Without a plan the paper's
+                // always-write-back behaviour is preserved bit for bit.
+                WritebackPolicy::Always => dirty || !self.planner.has_plan(),
+                WritebackPolicy::DirtyOnly => dirty,
+            };
             if write_back {
                 let (a2, r2) = self.gsplit(g2);
                 let host = self.arrays[a2].host[r2];
@@ -422,6 +540,8 @@ impl TileAcc {
                 }
                 self.inflight_writeback.insert(g2, op);
                 self.host_slab_op.insert(g2, op);
+            } else if self.opts.writeback == WritebackPolicy::Always {
+                self.stats.writebacks_deferred += 1;
             } else {
                 self.stats.writebacks_skipped += 1;
             }
@@ -440,7 +560,6 @@ impl TileAcc {
             self.gpu.stream_wait_op(self.streams[s], op);
         }
 
-        let skip_load = write_all && !self.opts.upload_written_regions;
         if skip_load {
             // The kernel overwrites the whole valid box; ghost cells are
             // refreshed by the next fill_boundary before anything reads
@@ -460,7 +579,7 @@ impl TileAcc {
         self.cache[s] = Some(g);
         self.loc[g] = Some(s);
         self.touch(s);
-        Ok(s)
+        Ok(())
     }
 
     /// Host→device region load with bounded retry-with-backoff on injected
@@ -567,6 +686,7 @@ impl TileAcc {
         self.gpu.device_synchronize();
         self.inflight_writeback.clear();
         self.host_slab_op.clear();
+        self.prefetched.clear();
     }
 
     /// Quarantine a slot whose device buffer took an unrepairable strike
@@ -621,6 +741,7 @@ impl TileAcc {
             self.cache[s] = None;
             self.loc[g] = None;
             self.slots[s].dirty = false;
+            self.prefetched.remove(&g);
         } else if let Some(op) = self.inflight_writeback.remove(&g) {
             // An eviction write-back is still in flight; wait for it.
             self.gpu.sync_op(op);
@@ -665,27 +786,186 @@ impl TileAcc {
 
     /// Asynchronously stage a region onto the device ahead of use
     /// (extension: `cudaMemPrefetchAsync`-style warm-up). A no-op when the
-    /// region is already resident or when GPU execution is disabled; under
-    /// the static policy a region whose slot is needed by later operands
-    /// may still be evicted before use.
+    /// region is already resident or when GPU execution is disabled.
+    ///
+    /// A prefetch never evicts: it stages into a free slot (under the
+    /// static policy, the region's own slot) and is silently capped when no
+    /// slot is free — an out-of-core `prefetch_all` warms exactly as many
+    /// regions as fit instead of thrashing the pool. Prefetches that
+    /// degrade for a *reason* (dead device path, static-slot conflict,
+    /// quarantine-exhausted pool) are counted in
+    /// `AccStats::prefetch_fallbacks` and leave a `prefetch` marker in the
+    /// trace, so a silently useless warm-up loop is observable.
     pub fn prefetch(&mut self, array: ArrayId, region: usize) -> Result<(), AccError> {
         if !self.gpu_mode {
             return Ok(());
         }
         self.check_alive()?;
         self.ensure_slots()?;
-        match self.acquire_device(array, region, &[]) {
-            Ok(_) | Err(AcquireFail::Fallback) => Ok(()),
+        if self.device_failed {
+            self.note_prefetch_fallback();
+            return Ok(());
+        }
+        let g = self.gidx(array, region);
+        if self.loc[g].is_some() {
+            return Ok(());
+        }
+        let n = self.slots.len();
+        let free = |me: &Self, s: usize| me.cache[s].is_none() && !me.slots[s].quarantined;
+        let slot = match self.opts.policy {
+            SlotPolicy::StaticInterleaved => {
+                let s = g % n;
+                if free(self, s) {
+                    Some(s)
+                } else {
+                    // The region's one static slot is occupied or
+                    // quarantined — the acquire-time conflict this prefetch
+                    // was meant to hide will happen anyway.
+                    self.note_prefetch_fallback();
+                    return Ok(());
+                }
+            }
+            SlotPolicy::Lru | SlotPolicy::ReuseDistance => (0..n)
+                .filter(|&s| free(self, s))
+                .min_by_key(|&s| self.slots[s].lru_stamp),
+        };
+        let Some(s) = slot else {
+            if self.slots.iter().all(|sl| sl.quarantined) {
+                // Quarantine exhausted the pool: every later acquire will
+                // degrade to the host. Surface it rather than no-op quietly.
+                self.note_prefetch_fallback();
+            }
+            return Ok(()); // pool full: staging is capped at capacity
+        };
+        match self.stage_into(g, s, false) {
+            Ok(()) => {
+                self.stats.prefetch_loads += 1;
+                self.prefetched.insert(g);
+                Ok(())
+            }
+            Err(AcquireFail::Fallback) => {
+                self.note_prefetch_fallback();
+                Ok(())
+            }
             Err(AcquireFail::Fatal(e)) => Err(e),
         }
     }
 
-    /// Prefetch every region of `array` (pipelined across slot streams).
+    /// Prefetch every region of `array` (pipelined across slot streams),
+    /// capped at free-slot capacity — see [`TileAcc::prefetch`].
     pub fn prefetch_all(&mut self, array: ArrayId) -> Result<(), AccError> {
         for r in 0..self.num_regions() {
             self.prefetch(array, r)?;
         }
         Ok(())
+    }
+
+    /// Count a prefetch that could not stage its region and leave a
+    /// zero-width marker on the trace's host lane so degraded prefetching
+    /// shows up on the timeline, not just in the counters.
+    fn note_prefetch_fallback(&mut self) {
+        self.stats.prefetch_fallbacks += 1;
+        self.gpu.note_marker("prefetch", "prefetch-fallback");
+    }
+
+    /// Declare a step boundary to the automatic overlap scheduler.
+    ///
+    /// Call once per iteration, *before* the step's operations. The step
+    /// plan recorder archives the finished step's access sequence and looks
+    /// for a repeating period (double-buffered stencils repeat every two
+    /// steps). Once one is found and `AccOptions::lookahead > 0`, the
+    /// lookahead prefetcher issues the predicted host→device loads for the
+    /// window `k..k+L` right here — while step `k-1`'s kernels are still
+    /// draining — into idle slot streams, capped at capacity the prefetcher
+    /// can claim without hurting the window (a slot is eligible only when
+    /// empty or when its occupant's next predicted use is farther away than
+    /// the staged region's). Harmless to call when prediction is cold or
+    /// `lookahead` is 0; never called by the runtime itself, so programs
+    /// that don't opt in keep their exact schedule.
+    pub fn begin_step(&mut self) -> Result<(), AccError> {
+        self.planner.on_step(self.opts.lookahead);
+        if self.opts.lookahead == 0
+            || !self.gpu_mode
+            || self.device_failed
+            || self.slots.is_empty()
+            || !self.planner.has_plan()
+        {
+            return Ok(());
+        }
+        self.check_alive()?;
+        let cands: Vec<crate::plan::PrefetchCandidate> = self.planner.candidates().to_vec();
+        // Stream idleness at the moment the window opens, queried once: a
+        // load routed to an idle lane starts immediately instead of queueing
+        // behind the previous step's kernel.
+        let idle: Vec<bool> = (0..self.streams.len())
+            .map(|s| {
+                let st = self.streams[s];
+                self.gpu.stream_query(st)
+            })
+            .collect();
+        for c in cands {
+            if self.device_failed {
+                break;
+            }
+            if self.loc[c.g].is_some() {
+                continue; // already resident
+            }
+            let Some(s) = self.pick_prefetch_slot(c.g, c.pos, &idle) else {
+                continue; // no slot the prefetcher may claim for this region
+            };
+            match self.stage_into(c.g, s, false) {
+                Ok(()) => {
+                    self.stats.prefetch_loads += 1;
+                    self.prefetched.insert(c.g);
+                }
+                Err(AcquireFail::Fallback) => {
+                    self.note_prefetch_fallback();
+                    break;
+                }
+                Err(AcquireFail::Fatal(e)) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Slot the lookahead prefetcher may claim for region `g`, whose first
+    /// predicted use is at window position `pos`: empty slots, or slots
+    /// whose occupant's next predicted use lies strictly beyond `pos` —
+    /// displacing only regions needed *later* than what is staged, so the
+    /// prefetcher can never evict anything the window needs first (it never
+    /// thrashes). Preference order: empty, then idle stream, then farthest
+    /// occupant, then LRU (deterministic).
+    fn pick_prefetch_slot(&self, g: usize, pos: u64, idle: &[bool]) -> Option<usize> {
+        let n = self.slots.len();
+        let eligible = |s: usize| -> Option<u64> {
+            if self.slots[s].quarantined {
+                return None;
+            }
+            match self.cache[s] {
+                None => Some(u64::MAX),
+                Some(g2) => {
+                    let d = self.planner.next_use(g2);
+                    (d > pos).then_some(d)
+                }
+            }
+        };
+        if self.opts.policy == SlotPolicy::StaticInterleaved {
+            // The demand acquire will use slot g % n and nothing else;
+            // staging anywhere else would be evicted unused.
+            let s = g % n;
+            return eligible(s).map(|_| s);
+        }
+        (0..n)
+            .filter_map(|s| eligible(s).map(|d| (s, d)))
+            .min_by_key(|&(s, d)| {
+                (
+                    self.cache[s].is_some(),
+                    !idle[s],
+                    std::cmp::Reverse(d),
+                    self.slots[s].lru_stamp,
+                )
+            })
+            .map(|(s, _)| s)
     }
 
     /// Record that a kernel running in `consumer_stream_slot`'s stream reads
@@ -729,7 +1009,7 @@ impl TileAcc {
         }
         self.check_alive()?;
         self.ensure_slots()?;
-        let s = match self.acquire_device(array, tile.region, &[]) {
+        let s = match self.acquire_device_rw(array, tile.region, &[]) {
             Ok(s) => s,
             Err(AcquireFail::Fatal(e)) => return Err(e),
             Err(AcquireFail::Fallback) => {
@@ -1066,6 +1346,11 @@ impl TileAcc {
         }
         self.inflight_writeback.clear();
         self.host_slab_op.clear();
+        self.prefetched.clear();
+        // The replayed steps re-record their plans from scratch; a restored
+        // run must never prefetch on a prediction from the timeline it just
+        // discarded.
+        self.planner.reset_prediction();
         // The snapshot's host data just overwrote the mirrors, so any host
         // poison recorded against them is cured. (Quarantined slots stay
         // quarantined: a struck DRAM page does not heal on restore.)
@@ -1145,5 +1430,16 @@ impl TileAcc {
 
     pub(crate) fn note_foreign_read_pub(&mut self, src_slot: usize, consumer_slot: usize) {
         self.note_foreign_read(src_slot, consumer_slot);
+    }
+
+    /// Record a device-resident read that bypasses the acquire path (the
+    /// reduction's device arm) with the step-plan recorder. `needs_load` is
+    /// false — a resident-only read is not a prefetch opportunity, but it
+    /// extends the region's predicted reuse distance for eviction.
+    pub(crate) fn note_plan_read(&mut self, array: ArrayId, region: usize) {
+        if !self.arrays.is_empty() {
+            let g = self.gidx(array, region);
+            self.planner.note_access(g, false, false);
+        }
     }
 }

@@ -96,6 +96,48 @@ impl Trace {
         SimTime::from_ns(total)
     }
 
+    /// Simulated time during which at least one of `engines` had a span in
+    /// flight — the union of their busy intervals, so double-busy time is
+    /// counted once (unlike summing [`Trace::busy_time`] per engine).
+    pub fn union_busy_time(&self, engines: &[usize]) -> SimTime {
+        let mut ivals: Vec<(SimTime, SimTime)> = self
+            .spans
+            .iter()
+            .filter(|s| engines.contains(&s.engine) && s.end > s.start)
+            .map(|s| (s.start, s.end))
+            .collect();
+        ivals.sort_unstable();
+        let mut total = 0u64;
+        let mut cur: Option<(SimTime, SimTime)> = None;
+        for (lo, hi) in ivals {
+            match &mut cur {
+                Some((_, end)) if lo <= *end => *end = (*end).max(hi),
+                _ => {
+                    if let Some((s, e)) = cur {
+                        total += (e - s).as_ns();
+                    }
+                    cur = Some((lo, hi));
+                }
+            }
+        }
+        if let Some((s, e)) = cur {
+            total += (e - s).as_ns();
+        }
+        SimTime::from_ns(total)
+    }
+
+    /// Fraction of engine `a`'s busy time spent concurrently busy with
+    /// engine `b`, in `[0, 1]`; `0.0` when `a` was never busy. With `a` a
+    /// copy engine and `b` the compute engine this is the paper's "overlap
+    /// fraction": how much of the transfer work was hidden behind kernels.
+    pub fn overlap_fraction(&self, a: usize, b: usize) -> f64 {
+        let busy = self.busy_time(a).as_ns();
+        if busy == 0 {
+            return 0.0;
+        }
+        self.overlap_time(a, b).as_ns() as f64 / busy as f64
+    }
+
     /// Render an ASCII Gantt chart, `width` characters wide, one lane per
     /// (engine, server) pair that has at least one span.
     pub fn render_gantt(&self, width: usize) -> String {
@@ -244,6 +286,29 @@ mod tests {
         // H2D:R1 [100,200) overlaps K:R0 [100,250) for 100ns.
         assert_eq!(t.overlap_time(0, 1), SimTime::from_ns(100));
         assert_eq!(t.overlap_time(1, 0), SimTime::from_ns(100));
+    }
+
+    #[test]
+    fn union_busy_time_merges_overlapping_intervals() {
+        let t = sample();
+        // Engine 0 busy [0,200), engine 1 busy [100,250): union [0,250).
+        assert_eq!(t.union_busy_time(&[0, 1]), SimTime::from_ns(250));
+        assert_eq!(t.union_busy_time(&[0]), SimTime::from_ns(200));
+        assert_eq!(t.union_busy_time(&[]), SimTime::ZERO);
+        // Disjoint spans don't merge.
+        let mut t2 = sample();
+        t2.spans.push(span(0, 0, "late", 500, 600));
+        assert_eq!(t2.union_busy_time(&[0]), SimTime::from_ns(300));
+    }
+
+    #[test]
+    fn overlap_fraction_is_normalized_overlap() {
+        let t = sample();
+        // Engine 0 busy 200ns, 100ns of it concurrent with engine 1.
+        assert!((t.overlap_fraction(0, 1) - 0.5).abs() < 1e-12);
+        // Engine 1 busy 150ns, 100ns concurrent with engine 0.
+        assert!((t.overlap_fraction(1, 0) - 100.0 / 150.0).abs() < 1e-12);
+        assert_eq!(t.overlap_fraction(7, 0), 0.0, "idle engine yields 0");
     }
 
     #[test]

@@ -42,6 +42,29 @@ impl RecoveryCounters {
     }
 }
 
+/// Prefetch/overlap-scheduler accounting merged into a [`RunReport`] by an
+/// accelerator runtime (the simulator never prefetches on its own; the
+/// lookahead scheduler lives a layer above, like checkpointing).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchCounters {
+    /// H2D loads issued ahead of first use (explicit or automatic).
+    pub loads: u64,
+    /// First uses that found their region already staged by a prefetch.
+    pub hits: u64,
+    /// Prefetch requests abandoned without staging (static-slot conflict,
+    /// quarantine-exhausted pool, failed device).
+    pub fallbacks: u64,
+    /// Clean evictions whose write-back was elided because the step plan
+    /// proved the host mirror current.
+    pub deferred_writebacks: u64,
+}
+
+impl PrefetchCounters {
+    pub fn any(&self) -> bool {
+        self.loads + self.hits + self.fallbacks + self.deferred_writebacks > 0
+    }
+}
+
 /// A condensed account of a finished run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -66,6 +89,9 @@ pub struct RunReport {
     /// Checkpoint/restart accounting (zero unless a supervisor merged its
     /// counters via [`RunReport::with_recovery`]).
     pub recovery: RecoveryCounters,
+    /// Lookahead-prefetch accounting (zero unless a runtime merged its
+    /// counters via [`RunReport::with_prefetch`]).
+    pub prefetch: PrefetchCounters,
     /// Transfer/resident digest verification counters for the run.
     pub integrity: IntegrityStats,
     /// Stream-ordering hazards flagged by the happens-before detector
@@ -85,6 +111,13 @@ impl RunReport {
     /// Merge a supervisor's checkpoint/restart counters into the report.
     pub fn with_recovery(mut self, recovery: RecoveryCounters) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// Merge a runtime's prefetch/overlap-scheduler counters into the
+    /// report.
+    pub fn with_prefetch(mut self, prefetch: PrefetchCounters) -> Self {
+        self.prefetch = prefetch;
         self
     }
 }
@@ -127,6 +160,16 @@ impl fmt::Display for RunReport {
                 self.recovery.corruption_detections,
                 self.recovery.snapshots_rejected,
                 self.recovery.recovery_time
+            )?;
+        }
+        if self.prefetch.any() {
+            writeln!(
+                f,
+                "  prefetch: {} loads, {} hits, {} fallbacks, {} deferred write-backs",
+                self.prefetch.loads,
+                self.prefetch.hits,
+                self.prefetch.fallbacks,
+                self.prefetch.deferred_writebacks
             )?;
         }
         if self.integrity.detected + self.integrity.unrepaired > 0 {
@@ -208,6 +251,7 @@ impl GpuSystem {
             fault_time: fault_stats.lost_time,
             fault_stats,
             recovery: RecoveryCounters::default(),
+            prefetch: PrefetchCounters::default(),
             integrity: self.integrity_stats(),
             hazards: self.hazard_counters(),
         }

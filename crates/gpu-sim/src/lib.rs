@@ -20,7 +20,7 @@ mod kernel;
 mod memory;
 mod system;
 
-pub use analysis::{RecoveryCounters, RunReport};
+pub use analysis::{PrefetchCounters, RecoveryCounters, RunReport};
 pub use config::{HostMemKind, KernelCost, MachineConfig};
 pub use fault::{
     CorruptionFault, CrashFault, DegradeWindow, FaultPlan, FaultStats, LivelockFault, StreamStall,

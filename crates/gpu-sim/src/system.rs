@@ -599,6 +599,38 @@ impl GpuSystem {
         }
     }
 
+    /// Non-blocking completion probe for `stream`
+    /// (`cudaStreamQuery() == cudaSuccess`): true when every operation
+    /// submitted to the stream has finished by the current host clock.
+    ///
+    /// The probe forces lazy execution of the stream's tail (the scheduler
+    /// otherwise runs ops on demand), which is schedule-neutral: op start
+    /// times are fixed at submission, so running them early changes no
+    /// timestamps. The host clock does not advance and no happens-before
+    /// edge is created — a query is not a synchronization point.
+    pub fn stream_query(&mut self, stream: StreamId) -> bool {
+        match self.streams[stream.0].last {
+            None => true,
+            Some(op) => self.sched.run_until(op) <= self.host_clock,
+        }
+    }
+
+    /// Drop a zero-width annotation span on the host lane — visible in
+    /// traces (category `category`) without perturbing the schedule: no
+    /// host-clock advance, no dependencies, no hazard-tracker stamp. Used
+    /// by runtimes to make silent degradations (e.g. a capped prefetch)
+    /// observable in the trace.
+    pub fn note_marker(&mut self, category: &'static str, label: impl Into<Cow<'static, str>>) {
+        if self.fault.crashed() {
+            return;
+        }
+        let op = Op::on(self.eng_host, SimTime::ZERO)
+            .not_before(self.host_clock)
+            .label(label.into())
+            .category(category);
+        let _ = self.sched.submit(op);
+    }
+
     /// Gather the dependencies for the next op on `stream` and charge the
     /// host the asynchronous-submission overhead.
     fn stream_deps(&mut self, stream: StreamId) -> Vec<OpId> {

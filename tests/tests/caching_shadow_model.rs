@@ -21,6 +21,13 @@ enum Op {
     HostProbe { region: usize },
     /// Bring everything home.
     SyncAll,
+    /// Warm one region onto the device (no data effect — the shadow model
+    /// ignores it; only the observable values must stay intact).
+    Prefetch { region: usize },
+    /// Warm every region, capped at free-slot capacity.
+    PrefetchAll,
+    /// Declare a step boundary to the automatic overlap scheduler.
+    BeginStep,
 }
 
 fn arb_op(regions: usize) -> impl Strategy<Value = Op> {
@@ -29,6 +36,9 @@ fn arb_op(regions: usize) -> impl Strategy<Value = Op> {
         1 => any::<bool>().prop_map(Op::SetGpu),
         2 => (0..regions).prop_map(|r| Op::HostProbe { region: r }),
         1 => Just(Op::SyncAll),
+        2 => (0..regions).prop_map(|r| Op::Prefetch { region: r }),
+        1 => Just(Op::PrefetchAll),
+        2 => Just(Op::BeginStep),
     ]
 }
 
@@ -39,7 +49,8 @@ proptest! {
     fn prop_acc_matches_shadow_model(
         ops in proptest::collection::vec(arb_op(4), 1..30),
         max_slots in proptest::option::of(1usize..5),
-        lru in any::<bool>(),
+        policy_idx in 0usize..3,
+        lookahead in 0usize..3,
         dirty_only in any::<bool>(),
     ) {
         let n = 8i64;
@@ -53,7 +64,12 @@ proptest! {
 
         let mut opts = AccOptions::paper();
         opts.max_slots = max_slots;
-        opts.policy = if lru { SlotPolicy::Lru } else { SlotPolicy::StaticInterleaved };
+        opts.policy = match policy_idx {
+            0 => SlotPolicy::StaticInterleaved,
+            1 => SlotPolicy::Lru,
+            _ => SlotPolicy::ReuseDistance,
+        };
+        opts.lookahead = lookahead;
         opts.writeback = if dirty_only { WritebackPolicy::DirtyOnly } else { WritebackPolicy::Always };
         let mut acc = TileAcc::new(
             gpu_sim::GpuSystem::new(gpu_sim::MachineConfig::k40m()),
@@ -105,11 +121,24 @@ proptest! {
                         "probe region {region}: got {got}, expected {expect}");
                 }
                 Op::SyncAll => acc.sync_to_host(a).unwrap(),
+                Op::Prefetch { region } => acc.prefetch(a, region).unwrap(),
+                Op::PrefetchAll => acc.prefetch_all(a).unwrap(),
+                Op::BeginStep => acc.begin_step().unwrap(),
             }
         }
 
         acc.sync_to_host(a).unwrap();
         acc.finish();
+
+        // Accounting invariants of the prefetch/hit split: a prefetched
+        // region can be claimed as a prefetch hit at most once per staging,
+        // and prefetch loads are a subset of all loads.
+        let stats = acc.stats();
+        prop_assert!(stats.prefetch_hits <= stats.prefetch_loads,
+            "{} prefetch hits from {} prefetch loads", stats.prefetch_hits, stats.prefetch_loads);
+        prop_assert!(stats.prefetch_loads <= stats.loads,
+            "{} prefetch loads of {} loads", stats.prefetch_loads, stats.loads);
+
         for (region, &offset) in shadow.iter().enumerate() {
             let bx = decomp.region_box(region);
             for iv in bx.iter() {
@@ -120,4 +149,69 @@ proptest! {
             }
         }
     }
+}
+
+/// Pin the hit-accounting split: a first use that finds its region resident
+/// only because a prefetch warmed it is a `prefetch_hits`, not an organic
+/// `hits` — and later uses of the same region count as ordinary hits again.
+#[test]
+fn prefetch_warmed_first_use_counts_separately_from_organic_hits() {
+    let n = 8i64;
+    let regions = 4usize;
+    let decomp = Arc::new(Decomposition::new(
+        Domain::periodic_cube(n),
+        RegionSpec::Count(regions),
+    ));
+    let u = TileArray::new(decomp.clone(), 0, ExchangeMode::Faces, true);
+    u.fill_valid(|iv| (iv.x() + 10 * iv.y() + 100 * iv.z()) as f64);
+
+    let mut acc = TileAcc::new(
+        gpu_sim::GpuSystem::new(gpu_sim::MachineConfig::k40m()),
+        AccOptions::paper(),
+    );
+    let a = acc.register(&u);
+    let tiles = tiles_of(&decomp, TileSpec::RegionSized);
+    let add = |acc: &mut TileAcc, region: usize| {
+        acc.compute1(
+            tiles[region],
+            a,
+            gpu_sim::KernelCost::Bytes(tiles[region].num_cells() * 16),
+            "add",
+            |v, bx| {
+                for iv in bx.iter() {
+                    v.update(iv, |x| x + 1.0);
+                }
+            },
+        )
+        .unwrap();
+    };
+
+    acc.prefetch(a, 0).unwrap();
+    let s = acc.stats();
+    assert_eq!(
+        (s.prefetch_loads, s.loads, s.hits),
+        (1, 1, 0),
+        "staged once"
+    );
+
+    add(&mut acc, 0); // warmed first use
+    let s = acc.stats();
+    assert_eq!(s.prefetch_hits, 1, "warm first use is a prefetch hit");
+    assert_eq!(s.hits, 0, "...and must not inflate organic hits");
+
+    add(&mut acc, 0); // second use: ordinary residency hit
+    let s = acc.stats();
+    assert_eq!((s.prefetch_hits, s.hits), (1, 1));
+
+    add(&mut acc, 1); // unprefetched region: demand load, no hit of any kind
+    let s = acc.stats();
+    assert_eq!((s.loads, s.prefetch_loads), (2, 1));
+    assert_eq!((s.prefetch_hits, s.hits), (1, 1));
+
+    acc.prefetch(a, 1).unwrap(); // already resident: a no-op, not a load
+    let s = acc.stats();
+    assert_eq!((s.loads, s.prefetch_loads, s.prefetch_fallbacks), (2, 1, 0));
+
+    acc.sync_to_host(a).unwrap();
+    acc.finish();
 }
