@@ -1,0 +1,210 @@
+//! Jacobi/Poisson baselines: the paper's other structured-grid solver
+//! pattern (stencil sweep + separate right-hand-side operand), as a
+//! whole-array CUDA program and a TiDA-acc driver. Used by the conformance
+//! suite to cross-check the execution models on a kernel whose compute
+//! reads *two* arrays.
+
+use crate::common::{MemMode, RunOpts, RunResult};
+use crate::TidaOpts;
+use gpu_sim::{GpuSystem, KernelLaunch, MachineConfig};
+use kernels::jacobi;
+use std::sync::Arc;
+use tida::{
+    tiles_of, Box3, Decomposition, Domain, ExchangeMode, IntVect, Layout, RegionSpec, TileArray,
+    TileSpec,
+};
+use tida_acc::TileAcc;
+
+/// One dense periodic Jacobi sweep: `unew = (Σ u(nbr) − f) / 6`.
+fn sweep_dense(unew: &mut [f64], u: &[f64], f: &[f64], n: i64) {
+    let l = Layout::new(Box3::cube(n));
+    let wrap = |iv: IntVect| {
+        IntVect::new(
+            iv.x().rem_euclid(n),
+            iv.y().rem_euclid(n),
+            iv.z().rem_euclid(n),
+        )
+    };
+    for iv in Box3::cube(n).iter() {
+        let sum = u[l.offset(wrap(iv + IntVect::new(1, 0, 0)))]
+            + u[l.offset(wrap(iv - IntVect::new(1, 0, 0)))]
+            + u[l.offset(wrap(iv + IntVect::new(0, 1, 0)))]
+            + u[l.offset(wrap(iv - IntVect::new(0, 1, 0)))]
+            + u[l.offset(wrap(iv + IntVect::new(0, 0, 1)))]
+            + u[l.offset(wrap(iv - IntVect::new(0, 0, 1)))];
+        unew[l.offset(iv)] = (sum - f[l.offset(iv)]) / 6.0;
+    }
+}
+
+/// Whole-array CUDA Jacobi: upload the right-hand side and the zero initial
+/// iterate once, one fused sweep kernel per iteration (reads `u` and `f`,
+/// writes `u'`), download the final iterate. Pageable or pinned host memory.
+pub fn cuda_jacobi(cfg: &MachineConfig, n: i64, sweeps: usize, opts: RunOpts) -> RunResult {
+    assert!(sweeps >= 1, "jacobi baseline needs at least one sweep");
+    assert!(
+        opts.mem != MemMode::Managed,
+        "jacobi baseline models pageable/pinned memory only"
+    );
+    let mut gpu = GpuSystem::with_backing(cfg.clone(), opts.backed);
+    gpu.set_tracing(opts.tracing);
+    let len = (n * n * n) as usize;
+    let cells = len as u64;
+    let kind = match opts.mem {
+        MemMode::Pageable => gpu_sim::HostMemKind::Pageable,
+        _ => gpu_sim::HostMemKind::Pinned,
+    };
+    let rhs = jacobi::manufactured_rhs(n);
+
+    let h_u = gpu.malloc_host(len, kind);
+    let h_f = gpu.malloc_host(len, kind);
+    gpu.host_slab(h_u).fill_with(|_| 0.0);
+    {
+        let f = rhs.clone();
+        gpu.host_slab(h_f).fill_with(move |o| f[o]);
+    }
+    let d_u = gpu.malloc_device(len).expect("device alloc");
+    let d_un = gpu.malloc_device(len).expect("device alloc");
+    let d_f = gpu.malloc_device(len).expect("device alloc");
+    let stream = gpu.create_stream();
+    crate::common::h2d_retrying(&mut gpu, d_u, h_u, len, stream);
+    crate::common::h2d_retrying(&mut gpu, d_f, h_f, len, stream);
+
+    let (mut cur, mut next) = (d_u, d_un);
+    for _ in 0..sweeps {
+        let (u_slab, f_slab, un_slab) = (
+            gpu.device_slab(cur),
+            gpu.device_slab(d_f),
+            gpu.device_slab(next),
+        );
+        gpu.launch_kernel(
+            stream,
+            KernelLaunch::new("jacobi", jacobi::cost(cells))
+                .reads(cur.into())
+                .reads(d_f.into())
+                .writes(next.into())
+                .exec(move || {
+                    u_slab.with(|u| {
+                        f_slab.with(|f| {
+                            un_slab.with_mut(|un| {
+                                if let (Some(u), Some(f), Some(un)) = (u, f, un) {
+                                    sweep_dense(un, u, f, n);
+                                }
+                            })
+                        })
+                    });
+                }),
+        );
+        std::mem::swap(&mut cur, &mut next);
+    }
+    crate::common::d2h_retrying(&mut gpu, h_u, cur, len, stream);
+    gpu.stream_synchronize(stream);
+    let result_slab = gpu.host_slab(h_u);
+
+    let elapsed = gpu.finish();
+    RunResult {
+        label: format!("CUDA-jacobi-{}", opts.mem.label()),
+        elapsed,
+        bytes_h2d: gpu.stats_bytes_h2d(),
+        bytes_d2h: gpu.stats_bytes_d2h(),
+        kernels: gpu.stats_kernels(),
+        result: result_slab.snapshot(),
+        trace: if opts.tracing {
+            Some(gpu.trace())
+        } else {
+            None
+        },
+    }
+}
+
+/// TiDA-acc Jacobi driver: the multi-operand `compute` path (`u'` from `u`
+/// and `f`), ghost exchange on the iterate only.
+pub fn tida_jacobi(cfg: &MachineConfig, n: i64, sweeps: usize, opts: &TidaOpts) -> RunResult {
+    let decomp = Arc::new(Decomposition::new(
+        Domain::periodic_cube(n),
+        RegionSpec::Count(opts.regions),
+    ));
+    let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, opts.backed);
+    let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, opts.backed);
+    let rhs = TileArray::new(decomp.clone(), 0, ExchangeMode::Faces, opts.backed);
+    ua.fill_valid(|_| 0.0);
+    if opts.backed {
+        rhs.from_dense(&jacobi::manufactured_rhs(n));
+    }
+
+    let mut gpu = GpuSystem::with_backing(cfg.clone(), opts.backed);
+    gpu.set_tracing(opts.tracing);
+    let mut acc = TileAcc::new(gpu, opts.acc.clone());
+    let a = acc.register(&ua);
+    let b = acc.register(&ub);
+    let f = acc.register(&rhs);
+
+    let tiles = tiles_of(&decomp, TileSpec::RegionSized);
+    let (mut src, mut dst) = (a, b);
+    for _ in 0..sweeps {
+        if opts.auto_step {
+            acc.begin_step().unwrap();
+        }
+        acc.fill_boundary(src).unwrap();
+        for &t in &tiles {
+            acc.compute(
+                t,
+                &[dst],
+                &[src, f],
+                jacobi::cost(t.num_cells()),
+                "jacobi",
+                |ws, rs, bx| jacobi::sweep_tile(&mut ws[0], &rs[0], &rs[1], &bx),
+            )
+            .unwrap();
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    acc.sync_to_host(src).unwrap();
+    let elapsed = acc.finish();
+    let final_array = if src == a { &ua } else { &ub };
+    RunResult {
+        label: format!("TiDA-jacobi({}r)", opts.regions),
+        elapsed,
+        bytes_h2d: acc.gpu().stats_bytes_h2d(),
+        bytes_d2h: acc.gpu().stats_bytes_d2h(),
+        kernels: acc.gpu().stats_kernels(),
+        result: final_array.to_dense(),
+        trace: if opts.tracing {
+            Some(acc.gpu().trace())
+        } else {
+            None
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::k40m()
+    }
+
+    #[test]
+    fn cuda_jacobi_matches_golden() {
+        let (n, sweeps) = (8, 3);
+        let r = cuda_jacobi(&cfg(), n, sweeps, RunOpts::validated(MemMode::Pinned));
+        let golden = jacobi::golden_run(&jacobi::manufactured_rhs(n), n, sweeps);
+        assert_eq!(r.result.unwrap(), golden);
+    }
+
+    #[test]
+    fn tida_jacobi_matches_golden() {
+        let (n, sweeps) = (8, 3);
+        let r = tida_jacobi(&cfg(), n, sweeps, &TidaOpts::validated(4));
+        let golden = jacobi::golden_run(&jacobi::manufactured_rhs(n), n, sweeps);
+        assert_eq!(r.result.unwrap(), golden);
+    }
+
+    #[test]
+    fn tida_jacobi_survives_staging() {
+        let (n, sweeps) = (8, 2);
+        let r = tida_jacobi(&cfg(), n, sweeps, &TidaOpts::validated(4).with_max_slots(3));
+        let golden = jacobi::golden_run(&jacobi::manufactured_rhs(n), n, sweeps);
+        assert_eq!(r.result.unwrap(), golden);
+    }
+}

@@ -1,0 +1,208 @@
+//! `schedcheck` — the schedule-space checking lane runner.
+//!
+//! Drives the model checker's three tiers over the standard program suite
+//! and emits a machine-readable summary plus, on failure, a replayable
+//! counterexample file for CI to upload as an artifact.
+//!
+//! ```text
+//! cargo run --release -p tida-bench --bin schedcheck -- --tier main --json OUT.json
+//! cargo run --release -p tida-bench --bin schedcheck -- --tier nightly --artifact-dir artifacts/
+//! ```
+//!
+//! * `--tier main` — exhaustive DFS on the small fixed programs; the whole
+//!   lane is budgeted to finish well under a minute so it rides in the
+//!   push/PR pipeline.
+//! * `--tier nightly` — sleep-set DPOR on the full heat step program plus
+//!   seeded random walks at paper scale (more steps, transient faults,
+//!   mid-step restore), for the scheduled lane.
+//!
+//! Exit status 1 on any schedule-dependent divergence; the counterexample
+//! render (forced vector + interleaving) is printed and, with
+//! `--artifact-dir`, written to `schedcheck-counterexample-<name>.txt`.
+
+use schedcheck::programs::{self, HeatConfig};
+use schedcheck::{CheckSpec, Checker, Program, Report, Strategy};
+use serde::Serialize;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+struct Lane {
+    name: &'static str,
+    strategy: Strategy,
+    program: Program,
+}
+
+/// One lane's result in the JSON summary.
+#[derive(Serialize)]
+struct LaneSummary {
+    lane: &'static str,
+    schedules: u64,
+    complete: bool,
+    max_decision_points: usize,
+    elapsed_s: f64,
+    failed: bool,
+    forced: Option<Vec<usize>>,
+    reason: Option<String>,
+}
+
+#[derive(Serialize)]
+struct TierSummary {
+    tier: String,
+    lanes: Vec<LaneSummary>,
+}
+
+fn main_tier() -> Vec<Lane> {
+    vec![
+        Lane {
+            name: "ghost-exchange-exhaustive",
+            strategy: Strategy::Exhaustive {
+                max_schedules: 1000,
+            },
+            program: programs::ghost_exchange(),
+        },
+        Lane {
+            name: "synchronised-ghost-exhaustive",
+            strategy: Strategy::Exhaustive {
+                max_schedules: 2000,
+            },
+            program: programs::racy_ghost(false),
+        },
+        Lane {
+            name: "heat-small-dpor",
+            strategy: Strategy::Dpor { max_schedules: 12 },
+            program: programs::heat_overlap(HeatConfig::default()),
+        },
+    ]
+}
+
+fn nightly_tier() -> Vec<Lane> {
+    vec![
+        Lane {
+            name: "heat-dpor",
+            strategy: Strategy::Dpor { max_schedules: 120 },
+            program: programs::heat_overlap(HeatConfig::default()),
+        },
+        Lane {
+            name: "heat-restore-dpor",
+            strategy: Strategy::Dpor { max_schedules: 60 },
+            program: programs::heat_overlap(HeatConfig {
+                restore_mid_step: Some(3),
+                ..HeatConfig::default()
+            }),
+        },
+        Lane {
+            name: "heat-paper-scale-walk",
+            strategy: Strategy::RandomWalk {
+                seed: 0x00C0_FFEE,
+                budget: 48,
+            },
+            program: programs::heat_overlap(HeatConfig {
+                steps: 10,
+                ..HeatConfig::default()
+            }),
+        },
+        Lane {
+            name: "heat-faulty-walk",
+            strategy: Strategy::RandomWalk {
+                seed: 0xDEC0_DE00,
+                budget: 32,
+            },
+            program: programs::heat_overlap(HeatConfig {
+                steps: 8,
+                transient_rate: 0.25,
+                ..HeatConfig::default()
+            }),
+        },
+    ]
+}
+
+fn run_lane(lane: Lane, artifact_dir: Option<&str>) -> (LaneSummary, bool) {
+    let start = std::time::Instant::now();
+    let checker = Checker::new(lane.program, CheckSpec::default());
+    let Report {
+        schedules,
+        complete,
+        max_decision_points,
+        failure,
+    } = checker.explore(lane.strategy);
+    let elapsed = start.elapsed().as_secs_f64();
+    let failed = failure.is_some();
+
+    if let Some(f) = &failure {
+        let render = f.render();
+        eprintln!("=== {} FAILED ===\n{render}", lane.name);
+        if let Some(dir) = artifact_dir {
+            let _ = std::fs::create_dir_all(dir);
+            let path = format!("{dir}/schedcheck-counterexample-{}.txt", lane.name);
+            if let Err(e) = std::fs::write(&path, &render) {
+                eprintln!("could not write {path}: {e}");
+            } else {
+                eprintln!("counterexample written to {path}");
+            }
+        }
+    }
+
+    let summary = LaneSummary {
+        lane: lane.name,
+        schedules,
+        complete,
+        max_decision_points,
+        elapsed_s: elapsed,
+        failed,
+        forced: failure.as_ref().map(|f| f.forced.clone()),
+        reason: failure.as_ref().map(|f| f.reason.clone()),
+    };
+    println!(
+        "{:<32} {:>5} schedules{} | {:>4} decision points | {:.2}s | {}",
+        lane.name,
+        schedules,
+        if complete { " (complete)" } else { "" },
+        max_decision_points,
+        elapsed,
+        if failed { "FAIL" } else { "ok" },
+    );
+    (summary, failed)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tier = flag_value(&args, "--tier").unwrap_or_else(|| "main".into());
+    let artifact_dir = flag_value(&args, "--artifact-dir");
+    let json_path = flag_value(&args, "--json");
+
+    let lanes = match tier.as_str() {
+        "main" => main_tier(),
+        "nightly" => nightly_tier(),
+        other => {
+            eprintln!("unknown tier {other:?} (use main|nightly)");
+            std::process::exit(2);
+        }
+    };
+
+    let mut summaries = Vec::new();
+    let mut any_failed = false;
+    for lane in lanes {
+        let (summary, failed) = run_lane(lane, artifact_dir.as_deref());
+        summaries.push(summary);
+        any_failed |= failed;
+    }
+
+    let doc = TierSummary {
+        tier,
+        lanes: summaries,
+    };
+    if let Some(path) = json_path {
+        let text = serde_json::to_string_pretty(&doc).expect("summary serializes");
+        std::fs::write(&path, text).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("summary written to {path}");
+    }
+
+    if any_failed {
+        std::process::exit(1);
+    }
+}

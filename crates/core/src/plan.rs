@@ -293,6 +293,87 @@ mod tests {
     }
 
     #[test]
+    fn irregular_warmup_prefix_does_not_block_detection() {
+        // Real apps often have a setup step (initial loads, one-off ghost
+        // fills) before settling into the periodic regime. The detector
+        // verifies only the trailing 2p steps, so the prefix must neither
+        // produce a bogus period nor prevent the real one from locking.
+        let mut p = StepPlanner::default();
+        let warm0: &[StepAccess] = &[read(0), read(1), read(2), read(3)];
+        let warm1: &[StepAccess] = &[claim(3), read(2)];
+        let even: &[StepAccess] = &[read(0), claim(1)];
+        let odd: &[StepAccess] = &[read(1), claim(0)];
+        // Not enough clean repetition yet: two trailing steps can't verify
+        // period 2, and warm1 != even blocks period 1 and 2 at this point.
+        drive(&mut p, &[warm0, warm1, even, odd], 1);
+        assert_eq!(p.period(), None);
+        // One more full period and the trailing window is pure: lock at 2.
+        let mut p = StepPlanner::default();
+        drive(&mut p, &[warm0, warm1, even, odd, even, odd], 1);
+        assert_eq!(p.period(), Some(2));
+        // The locked plan predicts the periodic regime, not the warm-up.
+        assert_eq!(p.next_use(3), u64::MAX, "warm-up-only region has no future");
+        assert_eq!(p.next_use(0), 0);
+    }
+
+    #[test]
+    fn plan_invalidates_when_sequence_changes_mid_run() {
+        // A locked plan must be dropped as soon as the access sequence
+        // diverges (e.g. the app switches kernels or decomposition): stale
+        // predictions would prefetch the wrong regions.
+        let mut p = StepPlanner::default();
+        let s: &[StepAccess] = &[read(0), read(1)];
+        drive(&mut p, &[s, s, s], 1);
+        assert_eq!(p.period(), Some(1));
+        assert!(!p.candidates().is_empty());
+        // The app changes shape: a different sequence for the next steps.
+        let t: &[StepAccess] = &[read(5), claim(6)];
+        for a in t {
+            p.note_access(a.g, a.needs_load, a.dirties);
+        }
+        p.on_step(1);
+        // History tail is now [s, s, t]... — no period verifies.
+        assert_eq!(p.period(), None, "divergent step must invalidate the plan");
+        assert!(p.candidates().is_empty());
+        assert_eq!(p.next_use(0), u64::MAX);
+        // And the NEW regime locks once it repeats.
+        for a in t {
+            p.note_access(a.g, a.needs_load, a.dirties);
+        }
+        p.on_step(1);
+        for a in t {
+            p.note_access(a.g, a.needs_load, a.dirties);
+        }
+        p.on_step(1);
+        assert_eq!(p.period(), Some(1), "new regime re-locks after repeating");
+        let c: Vec<usize> = p.candidates().iter().map(|c| c.g).collect();
+        assert_eq!(c, vec![5], "claims never become prefetch candidates");
+    }
+
+    #[test]
+    fn no_plan_degrades_reuse_distance_to_lru() {
+        // Before a period locks, `next_use` is u64::MAX for every region —
+        // which is exactly the contract SlotPolicy::ReuseDistance relies on
+        // to degrade to LRU (all distances tie at infinity, the LRU
+        // tiebreak decides). Pin the aperiodic case explicitly.
+        let mut p = StepPlanner::default();
+        let a: &[StepAccess] = &[read(0), read(1)];
+        let b: &[StepAccess] = &[read(2), read(0)];
+        let c: &[StepAccess] = &[read(1), read(3)];
+        drive(&mut p, &[a, b, c], 2);
+        assert!(!p.has_plan());
+        for g in 0..4 {
+            assert_eq!(p.next_use(g), u64::MAX, "region {g}: no plan, no distance");
+        }
+        assert!(p.candidates().is_empty(), "no plan must mean no prefetch");
+        // Recording stays live the whole time: once the tail DOES repeat,
+        // the degraded phase ends without any external reset.
+        drive(&mut p, &[a, a], 2);
+        assert_eq!(p.period(), Some(1));
+        assert_ne!(p.next_use(0), u64::MAX);
+    }
+
+    #[test]
     fn reset_prediction_clears_plan() {
         let mut p = StepPlanner::default();
         let s: &[StepAccess] = &[read(0)];

@@ -12,7 +12,9 @@ mod scheduler;
 mod time;
 mod trace;
 
-pub use scheduler::{Bound, CriticalStep, Effect, EngineId, Op, OpId, Scheduler};
+pub use scheduler::{
+    Bound, Candidate, CriticalStep, Effect, EngineId, Op, OpId, ScheduleOracle, Scheduler,
+};
 pub use time::SimTime;
 pub use trace::{Span, Trace};
 

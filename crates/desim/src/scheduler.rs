@@ -28,8 +28,10 @@
 use crate::time::SimTime;
 use crate::trace::{Span, Trace};
 use std::borrow::Cow;
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::rc::Rc;
 
 /// Handle to an engine registered with [`Scheduler::add_engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -42,6 +44,37 @@ pub struct OpId(pub usize);
 /// Closure applied when an operation executes.
 pub type Effect = Box<dyn FnOnce()>;
 
+/// One admissible operation at a scheduling decision point, as presented to
+/// a [`ScheduleOracle`]. Candidates are sorted by `(ready, submission
+/// index)`, so index 0 is always the op the default FIFO policy would admit.
+#[derive(Debug)]
+pub struct Candidate<'a> {
+    pub op: OpId,
+    /// When the op's dependencies allowed it to start.
+    pub ready: SimTime,
+    /// Engine the op occupies (`None` for markers).
+    pub engine: Option<EngineId>,
+    pub label: &'a str,
+    pub category: &'a str,
+    /// Resources touched, as `(resource, is_write)` pairs (see
+    /// [`Op::touches`]). Two candidates with no engine conflict and no
+    /// conflicting resource pair commute.
+    pub footprint: &'a [(u64, bool)],
+}
+
+/// Pluggable admission policy: whenever more than one submitted operation is
+/// simultaneously runnable (all dependencies satisfied), the oracle — not
+/// FIFO arrival order — picks which one the scheduler admits next.
+///
+/// `choose` receives the candidate set sorted by `(ready, submission index)`
+/// and returns an index into it; returning 0 everywhere reproduces the
+/// default deterministic schedule exactly. The oracle is *not* consulted
+/// when only a single op is ready, so a decision sequence indexes exactly
+/// the points where the schedule space branches.
+pub trait ScheduleOracle {
+    fn choose(&mut self, candidates: &[Candidate<'_>]) -> usize;
+}
+
 /// Description of one operation; build with [`Op::on`] / [`Op::marker`].
 pub struct Op {
     engine: Option<EngineId>,
@@ -52,6 +85,7 @@ pub struct Op {
     category: &'static str,
     effect: Option<Effect>,
     host_cause: Option<OpId>,
+    footprint: Vec<(u64, bool)>,
 }
 
 impl Op {
@@ -66,6 +100,7 @@ impl Op {
             category: "op",
             effect: None,
             host_cause: None,
+            footprint: Vec::new(),
         }
     }
 
@@ -81,6 +116,7 @@ impl Op {
             category: "marker",
             effect: None,
             host_cause: None,
+            footprint: Vec::new(),
         }
     }
 
@@ -127,6 +163,17 @@ impl Op {
         self.host_cause = op;
         self
     }
+
+    /// Declare that this op reads (`write == false`) or writes
+    /// (`write == true`) the abstract resource `resource`. Footprints feed
+    /// the [`ScheduleOracle`] independence relation (DPOR): two ops on
+    /// different engines whose footprints share no resource with a write on
+    /// either side commute, so explorers may prune one of their orders.
+    /// Footprints have no effect on scheduling itself.
+    pub fn touches(mut self, resource: u64, write: bool) -> Self {
+        self.footprint.push((resource, write));
+        self
+    }
 }
 
 struct Engine {
@@ -154,6 +201,7 @@ struct OpNode {
     host_cause: Option<OpId>,
     /// What delayed this op's start (filled at execution).
     bound: Bound,
+    footprint: Vec<(u64, bool)>,
 }
 
 /// Why an operation started when it did.
@@ -195,6 +243,8 @@ pub struct Scheduler {
     last_finished: Option<usize>,
     tracing: bool,
     spans: Vec<Span>,
+    /// Admission policy override; `None` keeps the deterministic FIFO order.
+    oracle: Option<Rc<RefCell<dyn ScheduleOracle>>>,
 }
 
 impl Scheduler {
@@ -220,6 +270,18 @@ impl Scheduler {
 
     pub fn tracing(&self) -> bool {
         self.tracing
+    }
+
+    /// Install (or clear) a [`ScheduleOracle`]. With `None` — the default —
+    /// ready ops are admitted in `(ready, submission)` order and the
+    /// schedule is fully deterministic.
+    pub fn set_oracle(&mut self, oracle: Option<Rc<RefCell<dyn ScheduleOracle>>>) {
+        self.oracle = oracle;
+    }
+
+    /// Whether an oracle is currently installed.
+    pub fn has_oracle(&self) -> bool {
+        self.oracle.is_some()
     }
 
     /// Submit an operation. Dependencies must refer to already-submitted ops.
@@ -260,6 +322,7 @@ impl Scheduler {
             effect: op.effect,
             host_cause: op.host_cause,
             bound: Bound::Host,
+            footprint: op.footprint,
         });
         if remaining == 0 {
             self.ready.push(Reverse((ready_time.as_ns(), id)));
@@ -297,9 +360,49 @@ impl Scheduler {
         self.last_finished.map(OpId)
     }
 
+    /// Pop the next op to admit. FIFO `(ready, submission)` order without an
+    /// oracle; otherwise the full ready set is presented to the oracle as a
+    /// decision point (skipped when it is a singleton — no branching there).
+    fn pop_next(&mut self) -> Option<usize> {
+        let oracle = match &self.oracle {
+            None => return self.ready.pop().map(|Reverse((_, idx))| idx),
+            Some(o) => Rc::clone(o),
+        };
+        let mut cands: Vec<(u64, usize)> = Vec::with_capacity(self.ready.len());
+        while let Some(Reverse(c)) = self.ready.pop() {
+            cands.push(c);
+        }
+        let choice = if cands.len() > 1 {
+            let view: Vec<Candidate<'_>> = cands
+                .iter()
+                .map(|&(ns, i)| Candidate {
+                    op: OpId(i),
+                    ready: SimTime::from_ns(ns),
+                    engine: self.ops[i].engine,
+                    label: &self.ops[i].label,
+                    category: self.ops[i].category,
+                    footprint: &self.ops[i].footprint,
+                })
+                .collect();
+            let c = oracle.borrow_mut().choose(&view);
+            assert!(c < cands.len(), "oracle chose {c} of {}", cands.len());
+            c
+        } else {
+            0
+        };
+        if cands.is_empty() {
+            return None;
+        }
+        let (_, idx) = cands.swap_remove(choice);
+        for c in cands {
+            self.ready.push(Reverse(c));
+        }
+        Some(idx)
+    }
+
     /// Execute one ready operation. Returns `false` when nothing is ready.
     fn step(&mut self) -> bool {
-        let Some(Reverse((_, idx))) = self.ready.pop() else {
+        let Some(idx) = self.pop_next() else {
             return false;
         };
         let (start, server) = match self.ops[idx].engine {
@@ -666,5 +769,126 @@ mod tests {
         assert_eq!(s.executed(), 0);
         s.run_all();
         assert_eq!(s.executed(), 2);
+    }
+
+    /// Oracle that always picks a fixed index (clamped) and logs the
+    /// candidate sets it saw.
+    struct Fixed {
+        pick: usize,
+        seen: Rc<RefCell<Vec<Vec<usize>>>>,
+    }
+
+    impl ScheduleOracle for Fixed {
+        fn choose(&mut self, candidates: &[Candidate<'_>]) -> usize {
+            self.seen
+                .borrow_mut()
+                .push(candidates.iter().map(|c| c.op.0).collect());
+            self.pick.min(candidates.len() - 1)
+        }
+    }
+
+    fn with_fixed(s: &mut Scheduler, pick: usize) -> Rc<RefCell<Vec<Vec<usize>>>> {
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        s.set_oracle(Some(Rc::new(RefCell::new(Fixed {
+            pick,
+            seen: seen.clone(),
+        }))));
+        seen
+    }
+
+    #[test]
+    fn oracle_choice_zero_reproduces_fifo() {
+        let run = |oracle: bool| {
+            let mut s = Scheduler::new();
+            let e = s.add_engine("e", 1);
+            if oracle {
+                with_fixed(&mut s, 0);
+            }
+            let a = s.submit(Op::on(e, ns(10)));
+            let b = s.submit(Op::on(e, ns(20)));
+            let c = s.submit(Op::on(e, ns(5)).after(a));
+            s.run_all();
+            (s.completion(a), s.completion(b), s.completion(c))
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn oracle_reorders_engine_admission() {
+        let mut s = Scheduler::new();
+        let e = s.add_engine("e", 1);
+        let seen = with_fixed(&mut s, 1);
+        let a = s.submit(Op::on(e, ns(10)).label("first"));
+        let b = s.submit(Op::on(e, ns(10)).label("second"));
+        s.run_all();
+        // The oracle admitted b first, so it completes first.
+        assert_eq!(s.completion(b), Some(ns(10)));
+        assert_eq!(s.completion(a), Some(ns(20)));
+        // Exactly one decision point: {a, b}; after removing b only a is
+        // ready, which is not a decision.
+        assert_eq!(*seen.borrow(), vec![vec![a.0, b.0]]);
+    }
+
+    #[test]
+    fn oracle_not_consulted_for_singletons() {
+        let mut s = Scheduler::new();
+        let e = s.add_engine("e", 1);
+        let seen = with_fixed(&mut s, 0);
+        let a = s.submit(Op::on(e, ns(10)));
+        let b = s.submit(Op::on(e, ns(10)).after(a));
+        s.run_all();
+        assert!(seen.borrow().is_empty());
+        assert_eq!(s.completion(b), Some(ns(20)));
+    }
+
+    #[test]
+    fn oracle_sees_footprints_sorted_fifo_first() {
+        struct Probe;
+        impl ScheduleOracle for Probe {
+            fn choose(&mut self, candidates: &[Candidate<'_>]) -> usize {
+                assert_eq!(candidates.len(), 2);
+                // Sorted by (ready, submission): the earlier submission is
+                // index 0, carrying its declared footprint.
+                assert!(candidates[0].op < candidates[1].op);
+                assert_eq!(candidates[0].footprint, &[(7, false)]);
+                assert_eq!(candidates[1].footprint, &[(7, true), (9, false)]);
+                assert_eq!(candidates[0].label, "rd");
+                0
+            }
+        }
+        let mut s = Scheduler::new();
+        let e = s.add_engine("e", 2);
+        s.set_oracle(Some(Rc::new(RefCell::new(Probe))));
+        s.submit(Op::on(e, ns(10)).label("rd").touches(7, false));
+        s.submit(Op::on(e, ns(10)).touches(7, true).touches(9, false));
+        s.run_all();
+    }
+
+    #[test]
+    fn oracle_may_admit_later_ready_op_first() {
+        // b becomes ready (not_before) later than a, but the oracle admits
+        // it first; the engine then serves a behind it.
+        let mut s = Scheduler::new();
+        let e = s.add_engine("e", 1);
+        with_fixed(&mut s, 1);
+        let a = s.submit(Op::on(e, ns(10)));
+        let b = s.submit(Op::on(e, ns(10)).not_before(ns(100)));
+        s.run_all();
+        assert_eq!(s.start_of(b), Some(ns(100)));
+        assert_eq!(s.completion(a), Some(ns(120)));
+    }
+
+    #[test]
+    fn clearing_oracle_restores_fifo() {
+        let mut s = Scheduler::new();
+        let e = s.add_engine("e", 1);
+        let seen = with_fixed(&mut s, 1);
+        s.set_oracle(None);
+        assert!(!s.has_oracle());
+        let a = s.submit(Op::on(e, ns(10)));
+        let b = s.submit(Op::on(e, ns(10)));
+        s.run_all();
+        assert!(seen.borrow().is_empty());
+        assert!(s.start_of(a).unwrap() < s.start_of(b).unwrap());
     }
 }

@@ -609,6 +609,180 @@ mod tests {
     }
 
     #[test]
+    fn record_event_stream_ordering_fixes_stamp_collision() {
+        // Regression for the `record_event` stamp-collision false negative:
+        // the event marker must become the stream's tail so the next op on
+        // the stream gets a *later* stamp than the event. If both shared a
+        // stamp, a waiter joining the event's clock would falsely appear
+        // ordered after work submitted *after* the event.
+        let ids = mint(4);
+        let (w0, ev, w1, r) = (ids[0], ids[1], ids[2], ids[3]);
+        let (buf_a, buf_b) = (BufKey::Device(0), BufKey::Device(1));
+        let mut t = HazardTracker::new();
+        // Stream 1: write A, record event, write B *after the event*.
+        t.observe_op(
+            w0,
+            1,
+            &[],
+            "wA",
+            "kernel",
+            &[(buf_a, Dir::Write)],
+            SimTime::ZERO,
+        );
+        t.observe_op(ev, 1, &[w0], "event", "event", &[], SimTime::ZERO);
+        t.observe_op(
+            w1,
+            1,
+            &[ev],
+            "wB",
+            "kernel",
+            &[(buf_b, Dir::Write)],
+            SimTime::ZERO,
+        );
+        // Stream 2 waits on the event, then reads BOTH buffers. The event
+        // covers the pre-event write only.
+        t.observe_op(
+            r,
+            2,
+            &[ev],
+            "k",
+            "kernel",
+            &[(buf_a, Dir::Read), (buf_b, Dir::Read)],
+            SimTime::ZERO,
+        );
+        assert_eq!(
+            t.counters().read_write_race,
+            1,
+            "the post-event write must stay unordered w.r.t. the waiter"
+        );
+
+        // The broken stamping (next op chained to w0, not the event):
+        // the waiter joins the event's clock and the post-event write now
+        // *shares* the event's stamp — silent false negative.
+        let ids = mint(4);
+        let (w0, ev, w1, r) = (ids[0], ids[1], ids[2], ids[3]);
+        let mut t = HazardTracker::new();
+        t.observe_op(
+            w0,
+            1,
+            &[],
+            "wA",
+            "kernel",
+            &[(buf_a, Dir::Write)],
+            SimTime::ZERO,
+        );
+        t.observe_op(ev, 1, &[w0], "event", "event", &[], SimTime::ZERO);
+        t.observe_op(
+            w1,
+            1,
+            &[w0],
+            "wB",
+            "kernel",
+            &[(buf_b, Dir::Write)],
+            SimTime::ZERO,
+        );
+        t.observe_op(
+            r,
+            2,
+            &[ev],
+            "k",
+            "kernel",
+            &[(buf_a, Dir::Read), (buf_b, Dir::Read)],
+            SimTime::ZERO,
+        );
+        assert!(
+            !t.counters().any(),
+            "documents the collision: without stream-ordering the race is missed"
+        );
+    }
+
+    #[test]
+    fn host_sync_on_earlier_event_does_not_cover_later_stream_work() {
+        // Two events on one stream racing a host sync: the host synchronizes
+        // on the FIRST event only. Work recorded between the two events —
+        // and the second event itself — stays unordered w.r.t. later
+        // host-issued accesses.
+        let ids = mint(5);
+        let (w0, ev1, w1, ev2, host_op) = (ids[0], ids[1], ids[2], ids[3], ids[4]);
+        let (buf_a, buf_b) = (BufKey::Device(0), BufKey::Device(1));
+        let mut t = HazardTracker::new();
+        t.observe_op(
+            w0,
+            1,
+            &[],
+            "wA",
+            "kernel",
+            &[(buf_a, Dir::Write)],
+            SimTime::ZERO,
+        );
+        t.observe_op(ev1, 1, &[w0], "event", "event", &[], SimTime::ZERO);
+        t.observe_op(
+            w1,
+            1,
+            &[ev1],
+            "wB",
+            "kernel",
+            &[(buf_b, Dir::Write)],
+            SimTime::ZERO,
+        );
+        t.observe_op(ev2, 1, &[w1], "event", "event", &[], SimTime::ZERO);
+        // cudaEventSynchronize(ev1): host joins the first event's clock.
+        t.host_joins(ev1);
+        // A host-issued op on another stream with no explicit deps: reading
+        // the pre-ev1 buffer is safe, reading the post-ev1 buffer races.
+        t.observe_op(
+            host_op,
+            2,
+            &[],
+            "k",
+            "kernel",
+            &[(buf_a, Dir::Read), (buf_b, Dir::Read)],
+            SimTime::ZERO,
+        );
+        assert_eq!(t.counters().total(), 1, "exactly the post-ev1 write races");
+        assert_eq!(t.counters().read_write_race, 1);
+
+        // Syncing the SECOND event instead covers everything.
+        let ids = mint(5);
+        let (w0, ev1, w1, ev2, host_op) = (ids[0], ids[1], ids[2], ids[3], ids[4]);
+        let mut t = HazardTracker::new();
+        t.observe_op(
+            w0,
+            1,
+            &[],
+            "wA",
+            "kernel",
+            &[(buf_a, Dir::Write)],
+            SimTime::ZERO,
+        );
+        t.observe_op(ev1, 1, &[w0], "event", "event", &[], SimTime::ZERO);
+        t.observe_op(
+            w1,
+            1,
+            &[ev1],
+            "wB",
+            "kernel",
+            &[(buf_b, Dir::Write)],
+            SimTime::ZERO,
+        );
+        t.observe_op(ev2, 1, &[w1], "event", "event", &[], SimTime::ZERO);
+        t.host_joins(ev2);
+        t.observe_op(
+            host_op,
+            2,
+            &[],
+            "k",
+            "kernel",
+            &[(buf_a, Dir::Read), (buf_b, Dir::Read)],
+            SimTime::ZERO,
+        );
+        assert!(
+            !t.counters().any(),
+            "the later event covers the whole stream"
+        );
+    }
+
+    #[test]
     fn deep_mode_records_are_deterministic_and_traceable() {
         let run = || {
             let ids = mint(2);

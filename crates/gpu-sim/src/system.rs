@@ -114,6 +114,20 @@ pub enum BufKey {
     Managed(usize),
 }
 
+impl BufKey {
+    /// Stable scalar encoding of this buffer's identity, used as the
+    /// abstract resource in desim op footprints ([`desim::Op::touches`]) so
+    /// schedule explorers can tell which enqueued ops commute. The variant
+    /// tag lives above bit 32; buffer indices never collide across kinds.
+    pub fn resource_id(self) -> u64 {
+        match self {
+            BufKey::Device(i) => (1u64 << 32) | i as u64,
+            BufKey::Host(i) => (2u64 << 32) | i as u64,
+            BufKey::Managed(i) => (3u64 << 32) | i as u64,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Access {
     Read,
@@ -285,6 +299,15 @@ impl GpuSystem {
     /// Enable span recording (for Gantt charts / Chrome traces).
     pub fn set_tracing(&mut self, on: bool) {
         self.sched.set_tracing(on);
+    }
+
+    /// Install (or clear) a [`desim::ScheduleOracle`] on the underlying
+    /// scheduler: at every point where more than one enqueued op is
+    /// simultaneously runnable (different streams, satisfied event deps),
+    /// the oracle — not FIFO arrival order — picks which op the hardware
+    /// admits next. With no oracle the simulation stays fully deterministic.
+    pub fn set_schedule_oracle(&mut self, oracle: Option<Rc<RefCell<dyn desim::ScheduleOracle>>>) {
+        self.sched.set_oracle(oracle);
     }
 
     /// Enable access recording for [`GpuSystem::check_hazards`].
@@ -735,7 +758,9 @@ impl GpuSystem {
             .host_cause(self.last_block)
             .after_all(deps)
             .label(label.clone())
-            .category(category);
+            .category(category)
+            .touches(BufKey::Host(src.0).resource_id(), false)
+            .touches(BufKey::Device(dst.0).resource_id(), true);
         if !v.faulted && !v.livelocked {
             // A faulted or wedged attempt occupies the engine but moves no
             // data. A healthy one copies under the integrity layer: flips
@@ -843,7 +868,9 @@ impl GpuSystem {
             .host_cause(self.last_block)
             .after_all(deps)
             .label(label.clone())
-            .category(category);
+            .category(category)
+            .touches(BufKey::Device(src.0).resource_id(), false)
+            .touches(BufKey::Host(dst.0).resource_id(), true);
         if !v.faulted && !v.livelocked {
             let integrity = Rc::clone(&self.integrity);
             let corrupt = v.corrupt;
@@ -933,6 +960,8 @@ impl GpuSystem {
                 .after_all(deps)
                 .label(format!("D2D[{bytes}B]"))
                 .category("d2d")
+                .touches(BufKey::Device(src.0).resource_id(), false)
+                .touches(BufKey::Device(dst.0).resource_id(), true)
                 .effect(move || {
                     integrity.borrow_mut().dev_copy_effect(
                         &dst_slab, dst_idx, dst_off, &src_slab, src_idx, src_off, len,
@@ -997,6 +1026,8 @@ impl GpuSystem {
                 .after_all(deps)
                 .label(format!("P2P[{bytes}B]"))
                 .category("p2p")
+                .touches(BufKey::Device(src.0).resource_id(), false)
+                .touches(BufKey::Device(dst.0).resource_id(), true)
                 .effect(move || {
                     integrity.borrow_mut().dev_copy_effect(
                         &dst_slab, dst_idx, dst_off, &src_slab, src_idx, src_off, len,
@@ -1143,6 +1174,8 @@ impl GpuSystem {
                 .after_all(deps)
                 .label(format!("D2H-salvage[{bytes}B]"))
                 .category("salvage")
+                .touches(BufKey::Device(src.0).resource_id(), false)
+                .touches(BufKey::Host(dst.0).resource_id(), true)
                 .effect(move || {
                     // The maintenance path is exempt from injected link
                     // corruption but still verifies the device source, so a
@@ -1255,7 +1288,8 @@ impl GpuSystem {
                     .not_before(self.host_clock)
                     .after_all(deps.iter().copied())
                     .label(format!("UVM-mig[{bytes}B]"))
-                    .category("uvm"),
+                    .category("uvm")
+                    .touches(BufKey::Managed(i).resource_id(), true),
                 );
                 deps.push(mig);
                 self.managed[i].on_device = true;
@@ -1284,24 +1318,27 @@ impl GpuSystem {
         // A kernel that runs a data effect without declaring its write set
         // may have mutated any device buffer; all digests/origins are forfeit.
         let undeclared = exec.is_some() && k.writes.is_empty();
-        let op = Op::on(self.devices[device].eng_compute, duration)
+        let mut op = Op::on(self.devices[device].eng_compute, duration)
             .not_before(self.host_clock)
             .host_cause(self.last_block)
             .after_all(deps)
             .label(k.label.clone())
-            .category("kernel")
-            .effect(move || {
-                let inputs_poisoned = integrity.borrow_mut().kernel_pre(&read_slabs, &write_slabs);
-                if let Some(exec) = exec {
-                    exec();
-                }
-                integrity.borrow_mut().kernel_post(
-                    inputs_poisoned,
-                    &write_slabs,
-                    undeclared,
-                    strike,
-                );
-            });
+            .category("kernel");
+        for key in &k.reads {
+            op = op.touches(key.resource_id(), false);
+        }
+        for key in &k.writes {
+            op = op.touches(key.resource_id(), true);
+        }
+        let op = op.effect(move || {
+            let inputs_poisoned = integrity.borrow_mut().kernel_pre(&read_slabs, &write_slabs);
+            if let Some(exec) = exec {
+                exec();
+            }
+            integrity
+                .borrow_mut()
+                .kernel_post(inputs_poisoned, &write_slabs, undeclared, strike);
+        });
         let id = self.sched.submit(op);
         self.push_stream_op(stream, id);
         for key in &k.reads {

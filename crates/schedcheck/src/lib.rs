@@ -1,0 +1,37 @@
+//! `schedcheck` — schedule-space model checking for the TiDA-acc stack.
+//!
+//! The desim list scheduler normally admits runnable ops in FIFO
+//! (ready-time, submission-order) order. That is *one* legal schedule out
+//! of many: any linearization of the dependency DAG that respects engine
+//! FIFO semantics is a behaviour real hardware could exhibit. This crate
+//! explores that space:
+//!
+//! - [`ControlOracle`] plugs into [`desim::ScheduleOracle`] and lets the
+//!   explorer dictate (and log) every admission decision where more than
+//!   one op is runnable;
+//! - [`Checker::explore`] walks the choice tree — exhaustively
+//!   ([`Strategy::Exhaustive`]), with sleep-set partial-order reduction
+//!   ([`Strategy::Dpor`], pruning commuting candidate pairs using engine
+//!   identity and declared resource footprints), or by seeded random walk
+//!   ([`Strategy::RandomWalk`]) when the space is too large;
+//! - every explored schedule is checked against the FIFO golden run:
+//!   bit-identical results, zero hazard/integrity findings, and
+//!   [`stats_violation`] conservation invariants over accelerator
+//!   counters;
+//! - a failing schedule is delta-debugged down to a minimal forced-choice
+//!   vector and rendered as a replayable counterexample
+//!   ([`Failure::render`]).
+//!
+//! [`programs`] packages the standard subjects: raw ghost-exchange stream
+//! programs, a deliberately racy variant for validating the checker
+//! itself, and the full out-of-core heat step program (prefetch +
+//! eviction + optional faults and mid-flight checkpoint/restore).
+
+mod control;
+mod explore;
+pub mod programs;
+
+pub use control::{ControlOracle, Decision, Fallback, OpSig, XorShift};
+pub use explore::{
+    fnv_digest, stats_violation, CheckSpec, Checker, Failure, Program, Report, RunOutcome, Strategy,
+};

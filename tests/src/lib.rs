@@ -1,2 +1,5 @@
 //! Cross-crate integration tests live in `tests/tests/`; this library
-//! target exists only to anchor the package.
+//! target carries the shared test-support module so the heat-workload
+//! drivers are written once, not per suite.
+
+pub mod support;

@@ -1,0 +1,110 @@
+//! Shared drivers for the integration suites.
+//!
+//! Every suite that steps the heat equation through TiDA-acc (integrity
+//! matrix, recovery matrix, overlap properties, conformance) used to carry
+//! its own copy of the decomposition / array / step helpers; they live here
+//! once, parameterized by grid size, seed and region spec.
+
+use gpu_sim::{Hazard, Trace};
+use kernels::{heat, init};
+use std::sync::Arc;
+use tida::{tiles_of, Decomposition, Domain, ExchangeMode, RegionSpec, TileArray, TileSpec};
+use tida_acc::{AccError, ArrayId, TileAcc};
+
+/// Periodic `n³` cube split by `spec` — the decomposition every heat suite
+/// runs on.
+pub fn heat_decomp(n: i64, spec: RegionSpec) -> Arc<Decomposition> {
+    Arc::new(Decomposition::new(Domain::periodic_cube(n), spec))
+}
+
+/// Backed double-buffer pair with one ghost layer; the first array holds
+/// the seeded initial condition.
+pub fn heat_arrays(d: &Arc<Decomposition>, seed: u64) -> (TileArray, TileArray) {
+    let ua = TileArray::new(d.clone(), 1, ExchangeMode::Faces, true);
+    let ub = TileArray::new(d.clone(), 1, ExchangeMode::Faces, true);
+    ua.fill_valid(init::hash_field(seed));
+    (ua, ub)
+}
+
+/// One heat step: exchange ghosts of the source, then stencil into the
+/// destination. Step parity decides which array is the source, so a replay
+/// from any step index recomputes exactly what the original run did.
+pub fn heat_step(
+    acc: &mut TileAcc,
+    d: &Arc<Decomposition>,
+    a: ArrayId,
+    b: ArrayId,
+    step: u64,
+) -> Result<(), AccError> {
+    let (src, dst) = if step.is_multiple_of(2) {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    acc.fill_boundary(src)?;
+    for t in tiles_of(d, TileSpec::RegionSized) {
+        acc.compute2(
+            t,
+            dst,
+            src,
+            heat::cost(t.num_cells()),
+            "heat",
+            |d, s, bx| heat::step_tile(d, s, &bx, heat::DEFAULT_FAC),
+        )?;
+    }
+    Ok(())
+}
+
+/// After `steps` steps of the parity scheme the result lives in the first
+/// array iff the step count is even.
+pub fn result_in_first(steps: u64) -> bool {
+    steps.is_multiple_of(2)
+}
+
+/// Dense final grid of the parity scheme after `steps` steps.
+pub fn result_array(a: &TileArray, b: &TileArray, steps: u64) -> Vec<f64> {
+    if result_in_first(steps) { a } else { b }
+        .to_dense()
+        .expect("backed run")
+}
+
+/// Analytic reference: the host-only solver on the same seeded field.
+pub fn heat_golden(seed: u64, n: i64, steps: u64) -> Vec<f64> {
+    heat::golden_run(init::hash_field(seed), n, steps as usize, heat::DEFAULT_FAC)
+}
+
+/// Sum the transfer payloads a trace actually scheduled, independently of
+/// the runtime's own byte counters. Clean transfer spans are labelled
+/// `H2D[{bytes}B]` / `D2H[{bytes}B]` under categories `h2d` / `d2h`;
+/// fault/livelock variants use different categories, so on a fault-free run
+/// these sums must equal `stats_bytes_h2d` / `stats_bytes_d2h` exactly.
+pub fn transfer_bytes_from_trace(trace: &Trace) -> (u64, u64) {
+    let payload = |label: &str, prefix: &str| -> u64 {
+        label
+            .strip_prefix(prefix)
+            .and_then(|r| r.strip_suffix("B]"))
+            .and_then(|digits| digits.parse().ok())
+            .unwrap_or_else(|| panic!("malformed transfer label {label:?}"))
+    };
+    let mut h2d = 0u64;
+    let mut d2h = 0u64;
+    for s in &trace.spans {
+        match s.category.as_str() {
+            "h2d" => h2d += payload(&s.label, "H2D["),
+            "d2h" => d2h += payload(&s.label, "D2H["),
+            _ => {}
+        }
+    }
+    (h2d, d2h)
+}
+
+/// Drop buffer-granularity false positives: ghost gathers touching
+/// disjoint patches of one region buffer alias at buffer granularity, so
+/// only hazards with a transfer on at least one side are real findings.
+pub fn real_transfer_hazards(hazards: &[Hazard]) -> Vec<&Hazard> {
+    let is_transfer = |l: &str| l == "h2d" || l == "d2h";
+    hazards
+        .iter()
+        .filter(|h| is_transfer(&h.first_label) || is_transfer(&h.second_label))
+        .collect()
+}

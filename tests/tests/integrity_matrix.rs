@@ -22,10 +22,10 @@
 //! configuration is hazard-free under the deep detector.
 
 use gpu_sim::{CorruptionFault, FaultPlan, GpuSystem, MachineConfig};
-use kernels::{heat, init};
+use integration_tests::support::{self, heat_step};
 use proptest::prelude::*;
 use std::sync::Arc;
-use tida::{tiles_of, Decomposition, Domain, ExchangeMode, RegionSpec, TileArray, TileSpec};
+use tida::{Decomposition, RegionSpec, TileArray};
 use tida_acc::{
     AccError, AccOptions, ArrayId, CheckpointPolicy, SlotPolicy, Supervisor, SupervisorConfig,
     TileAcc, WritebackPolicy,
@@ -45,53 +45,19 @@ fn seed_offset() -> u64 {
 }
 
 fn golden() -> Vec<f64> {
-    heat::golden_run(init::hash_field(SEED), N, STEPS as usize, heat::DEFAULT_FAC)
+    support::heat_golden(SEED, N, STEPS)
 }
 
 fn decomp() -> Arc<Decomposition> {
-    Arc::new(Decomposition::new(
-        Domain::periodic_cube(N),
-        RegionSpec::Grid([2, 2, 1]),
-    ))
+    support::heat_decomp(N, RegionSpec::Grid([2, 2, 1]))
 }
 
 fn arrays(decomp: &Arc<Decomposition>) -> (TileArray, TileArray) {
-    let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
-    let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
-    ua.fill_valid(init::hash_field(SEED));
-    (ua, ub)
-}
-
-fn heat_step(
-    acc: &mut TileAcc,
-    decomp: &Arc<Decomposition>,
-    a: ArrayId,
-    b: ArrayId,
-    step: u64,
-) -> Result<(), AccError> {
-    let (src, dst) = if step.is_multiple_of(2) {
-        (a, b)
-    } else {
-        (b, a)
-    };
-    acc.fill_boundary(src)?;
-    for t in tiles_of(decomp, TileSpec::RegionSized) {
-        acc.compute2(
-            t,
-            dst,
-            src,
-            heat::cost(t.num_cells()),
-            "heat",
-            |d, s, bx| heat::step_tile(d, s, &bx, heat::DEFAULT_FAC),
-        )?;
-    }
-    Ok(())
+    support::heat_arrays(decomp, SEED)
 }
 
 fn result_array(a: &TileArray, b: &TileArray) -> Vec<f64> {
-    if STEPS.is_multiple_of(2) { a } else { b }
-        .to_dense()
-        .expect("backed run")
+    support::result_array(a, b, STEPS)
 }
 
 /// One unsupervised run under `plan`. `Ok` carries the final grid and the

@@ -4,6 +4,7 @@
 
 use baselines::{busy as bbusy, heat as bheat, tida_busy, tida_heat, MemMode, RunOpts, TidaOpts};
 use gpu_sim::{MachineConfig, SimTime};
+use integration_tests::support;
 use kernels::busy::{MathImpl, DEFAULT_KERNEL_ITERATION};
 use proptest::prelude::*;
 
@@ -129,19 +130,13 @@ fn hazard_free_schedule_under_eviction_pressure() {
     // The foreign-consumer protection: staging into a slot must never
     // overlap a kernel still reading it. Run a tight-memory heat workload
     // with hazard checking enabled.
-    use kernels::{heat, init};
-    use std::sync::Arc;
-    use tida::{tiles_of, Decomposition, Domain, ExchangeMode, RegionSpec, TileArray, TileSpec};
+    use kernels::heat;
+    use tida::{tiles_of, RegionSpec, TileSpec};
     use tida_acc::{AccOptions, TileAcc};
 
     let n = 16i64;
-    let decomp = Arc::new(Decomposition::new(
-        Domain::periodic_cube(n),
-        RegionSpec::Count(4),
-    ));
-    let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
-    let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
-    ua.fill_valid(init::hash_field(1));
+    let decomp = support::heat_decomp(n, RegionSpec::Count(4));
+    let (ua, ub) = support::heat_arrays(&decomp, 1);
     let mut gpu = gpu_sim::GpuSystem::new(cfg());
     gpu.set_hazard_checking(true);
     let mut acc = TileAcc::new(gpu, AccOptions::paper().with_max_slots(3));
@@ -171,11 +166,7 @@ fn hazard_free_schedule_under_eviction_pressure() {
     // gathers touching different patches of one region buffer) are false
     // positives; true races involve a transfer overlapping a kernel.
     let hazards = acc.gpu_mut().check_hazards();
-    let is_transfer = |l: &str| l == "h2d" || l == "d2h";
-    let real: Vec<_> = hazards
-        .iter()
-        .filter(|h| is_transfer(&h.first_label) || is_transfer(&h.second_label))
-        .collect();
+    let real = support::real_transfer_hazards(&hazards);
     assert!(
         real.is_empty(),
         "transfer overlapping kernel on one buffer: {real:?}"
@@ -195,20 +186,14 @@ fn auto_overlap_heat(
     lookahead: usize,
     transient_rate: f64,
 ) -> (Vec<f64>, tida_acc::AccStats, Vec<gpu_sim::Hazard>) {
-    use kernels::{heat, init};
-    use std::sync::Arc;
-    use tida::{tiles_of, Decomposition, Domain, ExchangeMode, RegionSpec, TileArray, TileSpec};
+    use kernels::heat;
+    use tida::{tiles_of, RegionSpec, TileSpec};
     use tida_acc::{AccOptions, TileAcc};
 
     let n = 8i64;
     let steps = 6usize; // enough for the period detector to lock on
-    let decomp = Arc::new(Decomposition::new(
-        Domain::periodic_cube(n),
-        RegionSpec::Count(4),
-    ));
-    let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
-    let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
-    ua.fill_valid(init::hash_field(seed));
+    let decomp = support::heat_decomp(n, RegionSpec::Count(4));
+    let (ua, ub) = support::heat_arrays(&decomp, seed);
 
     let mut plan = gpu_sim::FaultPlan::none().with_seed(seed ^ 0xA5A5);
     if transient_rate > 0.0 {
@@ -274,14 +259,9 @@ proptest! {
         };
         let rate = if faulty { 0.25 } else { 0.0 };
         let (data, stats, hazards) = auto_overlap_heat(seed, policy, lookahead, rate);
-        let golden = kernels::heat::golden_run(
-            kernels::init::hash_field(seed), 8, 6, kernels::heat::DEFAULT_FAC);
+        let golden = support::heat_golden(seed, 8, 6);
         prop_assert_eq!(data, golden, "results must be bit-identical to golden");
-        let is_transfer = |l: &str| l == "h2d" || l == "d2h";
-        let real: Vec<_> = hazards
-            .iter()
-            .filter(|h| is_transfer(&h.first_label) || is_transfer(&h.second_label))
-            .collect();
+        let real = support::real_transfer_hazards(&hazards);
         prop_assert!(real.is_empty(), "prefetch must not race a kernel: {real:?}");
         prop_assert_eq!(stats.integrity_detected, 0, "no integrity findings");
         prop_assert!(stats.prefetch_hits <= stats.prefetch_loads);

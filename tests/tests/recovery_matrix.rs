@@ -21,13 +21,14 @@
 //!   the exchange reproduces the golden grid exactly.
 
 use gpu_sim::{CrashFault, FaultPlan, GpuSystem, MachineConfig, SimTime};
-use kernels::{heat, init};
+use integration_tests::support::{self, heat_step, result_in_first};
+use kernels::heat;
 use proptest::prelude::*;
 use std::cell::Cell;
 use std::sync::Arc;
-use tida::{tiles_of, Decomposition, Domain, ExchangeMode, RegionSpec, TileArray, TileSpec};
+use tida::{tiles_of, Decomposition, RegionSpec, TileArray, TileSpec};
 use tida_acc::{
-    AccError, AccOptions, ArrayId, Checkpoint, CheckpointPolicy, CheckpointStore, RecoveryError,
+    AccOptions, ArrayId, Checkpoint, CheckpointPolicy, CheckpointStore, RecoveryError,
     RecoveryOutcome, Supervisor, SupervisorConfig, TileAcc,
 };
 
@@ -35,56 +36,15 @@ const N: i64 = 8;
 const SEED: u64 = 7;
 
 fn decomp() -> Arc<Decomposition> {
-    Arc::new(Decomposition::new(
-        Domain::periodic_cube(N),
-        RegionSpec::Grid([2, 2, 1]),
-    ))
+    support::heat_decomp(N, RegionSpec::Grid([2, 2, 1]))
 }
 
 fn arrays(d: &Arc<Decomposition>) -> (TileArray, TileArray) {
-    let ua = TileArray::new(d.clone(), 1, ExchangeMode::Faces, true);
-    let ub = TileArray::new(d.clone(), 1, ExchangeMode::Faces, true);
-    ua.fill_valid(init::hash_field(SEED));
-    (ua, ub)
-}
-
-/// One heat step: exchange ghosts of the source, then stencil into the
-/// destination. Step parity decides which array is the source, so a replay
-/// from any step index recomputes exactly what the original run did.
-fn heat_step(
-    acc: &mut TileAcc,
-    d: &Arc<Decomposition>,
-    a: ArrayId,
-    b: ArrayId,
-    step: u64,
-) -> Result<(), AccError> {
-    let (src, dst) = if step.is_multiple_of(2) {
-        (a, b)
-    } else {
-        (b, a)
-    };
-    acc.fill_boundary(src)?;
-    for t in tiles_of(d, TileSpec::RegionSized) {
-        acc.compute2(
-            t,
-            dst,
-            src,
-            heat::cost(t.num_cells()),
-            "heat",
-            |d, s, bx| heat::step_tile(d, s, &bx, heat::DEFAULT_FAC),
-        )?;
-    }
-    Ok(())
-}
-
-/// After `steps` steps of the parity scheme the result lives in the first
-/// array iff the step count is even.
-fn result_in_first(steps: u64) -> bool {
-    steps.is_multiple_of(2)
+    support::heat_arrays(d, SEED)
 }
 
 fn golden(steps: u64) -> Vec<f64> {
-    heat::golden_run(init::hash_field(SEED), N, steps as usize, heat::DEFAULT_FAC)
+    support::heat_golden(SEED, N, steps)
 }
 
 /// Run `steps` under the supervisor with `plan` armed on attempt 0 only;
