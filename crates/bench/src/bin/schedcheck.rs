@@ -45,6 +45,9 @@ struct LaneSummary {
     complete: bool,
     max_decision_points: usize,
     elapsed_s: f64,
+    /// Exploration throughput — the number the simulator hot-path overhaul
+    /// moved; CI logs carry it so budget headroom stays visible.
+    schedules_per_sec: f64,
     failed: bool,
     forced: Option<Vec<usize>>,
     reason: Option<String>,
@@ -80,16 +83,21 @@ fn main_tier() -> Vec<Lane> {
     ]
 }
 
+/// Nightly budgets after the simulator hot-path overhaul: the same
+/// wall-clock that used to buy 120 DPOR schedules now buys several times
+/// more (the lane JSON's `schedules_per_sec` keeps the ratio visible), so
+/// every budget below was raised ~4x over the pre-overhaul numbers
+/// (120/60/48/32).
 fn nightly_tier() -> Vec<Lane> {
     vec![
         Lane {
             name: "heat-dpor",
-            strategy: Strategy::Dpor { max_schedules: 120 },
+            strategy: Strategy::Dpor { max_schedules: 500 },
             program: programs::heat_overlap(HeatConfig::default()),
         },
         Lane {
             name: "heat-restore-dpor",
-            strategy: Strategy::Dpor { max_schedules: 60 },
+            strategy: Strategy::Dpor { max_schedules: 250 },
             program: programs::heat_overlap(HeatConfig {
                 restore_mid_step: Some(3),
                 ..HeatConfig::default()
@@ -99,7 +107,7 @@ fn nightly_tier() -> Vec<Lane> {
             name: "heat-paper-scale-walk",
             strategy: Strategy::RandomWalk {
                 seed: 0x00C0_FFEE,
-                budget: 48,
+                budget: 200,
             },
             program: programs::heat_overlap(HeatConfig {
                 steps: 10,
@@ -110,7 +118,7 @@ fn nightly_tier() -> Vec<Lane> {
             name: "heat-faulty-walk",
             strategy: Strategy::RandomWalk {
                 seed: 0xDEC0_DE00,
-                budget: 32,
+                budget: 128,
             },
             program: programs::heat_overlap(HeatConfig {
                 steps: 8,
@@ -147,23 +155,26 @@ fn run_lane(lane: Lane, artifact_dir: Option<&str>) -> (LaneSummary, bool) {
         }
     }
 
+    let schedules_per_sec = schedules as f64 / elapsed.max(1e-9);
     let summary = LaneSummary {
         lane: lane.name,
         schedules,
         complete,
         max_decision_points,
         elapsed_s: elapsed,
+        schedules_per_sec,
         failed,
         forced: failure.as_ref().map(|f| f.forced.clone()),
         reason: failure.as_ref().map(|f| f.reason.clone()),
     };
     println!(
-        "{:<32} {:>5} schedules{} | {:>4} decision points | {:.2}s | {}",
+        "{:<32} {:>5} schedules{} | {:>4} decision points | {:.2}s ({:.0}/s) | {}",
         lane.name,
         schedules,
         if complete { " (complete)" } else { "" },
         max_decision_points,
         elapsed,
+        schedules_per_sec,
         if failed { "FAIL" } else { "ok" },
     );
     (summary, failed)

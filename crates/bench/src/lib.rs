@@ -8,3 +8,4 @@
 
 pub mod experiments;
 pub mod report;
+pub mod simspeed;

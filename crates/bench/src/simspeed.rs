@@ -1,0 +1,286 @@
+//! `simspeed` — simulator hot-path throughput harness.
+//!
+//! Everything above desim (fault matrices, schedcheck exploration, the
+//! overlap perf gate, any future serving bench) is bounded by how fast one
+//! deterministic [`GpuSystem`] run executes. This module measures that
+//! directly: repeated runs of the paper-scale out-of-core heat program
+//! (the same workload as `BENCH_overlap.json`'s `auto-overlap` row) at
+//! every [`TraceLevel`], single-threaded and fanned out over N OS threads
+//! with [`desim::ParallelDriver`], reporting runs/sec and ns per scheduler
+//! decision point.
+//!
+//! Every timed configuration is also checked against the reference run
+//! (TraceLevel::Full, sequential): makespan, AccStats counters and hazard
+//! counters must be bit-identical, so the bench doubles as a determinism
+//! test — a speedup that changes the simulation is a failure, not a win.
+
+use desim::ParallelDriver;
+use gpu_sim::{GpuSystem, TraceLevel};
+use std::sync::Arc;
+use std::time::Instant;
+use tida::{tiles_of, Decomposition, Domain, ExchangeMode, RegionSpec, TileArray, TileSpec};
+use tida_acc::{AccOptions, AccStats, SlotPolicy, TileAcc};
+
+use crate::experiments::Scale;
+
+/// Workload shape for one simspeed heat run.
+#[derive(Debug, Clone, Copy)]
+pub struct HeatParams {
+    pub n: i64,
+    pub steps: usize,
+    pub regions: usize,
+    pub slots: usize,
+    pub lookahead: usize,
+}
+
+impl HeatParams {
+    pub fn of(scale: Scale) -> Self {
+        match scale {
+            // The overlap bench's paper-scale configuration: out-of-core
+            // (more regions than slots), ReuseDistance + lookahead prefetch.
+            Scale::Paper => HeatParams {
+                n: 128,
+                steps: 24,
+                regions: 8,
+                slots: 7,
+                lookahead: 2,
+            },
+            Scale::Quick => HeatParams {
+                n: 64,
+                steps: 12,
+                regions: 8,
+                slots: 7,
+                lookahead: 2,
+            },
+        }
+    }
+}
+
+/// The observable outcome of one run — everything equivalence is judged on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    pub makespan_ns: u64,
+    pub stats: AccStats,
+    pub hazard_total: u64,
+    pub decision_points: u64,
+    pub ops_executed: u64,
+}
+
+/// One deterministic out-of-core heat run at the given trace level.
+///
+/// Timing-only (virtual slabs): the cost model needs byte counts, not data,
+/// which is exactly the regime schedcheck walks and fault sweeps run in.
+pub fn run_heat(p: HeatParams, level: TraceLevel) -> RunOutcome {
+    let decomp = Arc::new(Decomposition::new(
+        Domain::periodic_cube(p.n),
+        RegionSpec::Count(p.regions),
+    ));
+    let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, false);
+    let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, false);
+
+    // Same interconnect-starved machine as the overlap bench, so the two
+    // benches describe the same simulation.
+    let mut machine = gpu_sim::MachineConfig::k40m();
+    machine.name = "Tesla K40m / PCIe Gen3 x4".to_string();
+    machine.h2d_pinned_bw = 3.3e9;
+    machine.d2h_pinned_bw = 3.5e9;
+    machine.host_stage_bw = 3.0e9;
+
+    let mut gpu = GpuSystem::with_backing(machine, false);
+    gpu.set_trace_level(level);
+    let mut opts = AccOptions::paper()
+        .with_policy(SlotPolicy::ReuseDistance)
+        .with_lookahead(p.lookahead);
+    opts.max_slots = Some(p.slots);
+    let mut acc = TileAcc::new(gpu, opts);
+    let a = acc.register(&ua);
+    let b = acc.register(&ub);
+    let tiles = tiles_of(&decomp, TileSpec::RegionSized);
+    let fac = kernels::heat::DEFAULT_FAC;
+    let (mut src, mut dst) = (a, b);
+    for _ in 0..p.steps {
+        acc.begin_step().unwrap();
+        acc.fill_boundary(src).unwrap();
+        for &t in &tiles {
+            acc.compute2(
+                t,
+                dst,
+                src,
+                kernels::heat::cost(t.num_cells()),
+                "heat",
+                move |d, s, bx| kernels::heat::step_tile(d, s, &bx, fac),
+            )
+            .unwrap();
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    acc.sync_to_host(src).unwrap();
+    let makespan = acc.gpu_mut().finish();
+    let stats = acc.stats();
+    let hazard_total = acc.gpu().hazard_counters().total();
+    RunOutcome {
+        makespan_ns: makespan.as_ns(),
+        stats,
+        hazard_total,
+        decision_points: acc.gpu().decision_points(),
+        ops_executed: acc.gpu().ops_executed(),
+    }
+}
+
+/// One timed configuration of the bench.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SimspeedRun {
+    pub trace_level: String,
+    pub threads: usize,
+    pub runs: u64,
+    /// Total wall-clock across all measurement batches.
+    pub wall_ns: u64,
+    /// Best-batch throughput (runs are timed in up to 5 batches; transient
+    /// host load only ever slows a batch, so the fastest batch estimates
+    /// the simulator's actual cost).
+    pub runs_per_sec: f64,
+    pub decision_points_per_run: u64,
+    pub ns_per_decision_point: f64,
+    pub ops_per_run: u64,
+    /// Simulated makespan — identical across every configuration or the
+    /// bench panics.
+    pub makespan_ms: f64,
+}
+
+/// The `BENCH_simspeed.json` payload.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SimspeedBench {
+    pub workload: String,
+    /// OS threads the parallel configurations used.
+    pub fanout_threads: usize,
+    /// `available_parallelism()` of the measuring host — context for the
+    /// fanout rows (a 1-core container cannot show thread scaling).
+    pub host_parallelism: usize,
+    pub configs: Vec<SimspeedRun>,
+    /// runs/sec of the best configuration.
+    pub best_runs_per_sec: f64,
+    /// runs/sec of the sequential `TraceLevel::Off` configuration — the
+    /// number the CI gate compares.
+    pub gate_runs_per_sec: f64,
+    /// Committed pre-overhaul reference (PR 6 dev machine, sequential,
+    /// spans always on): lets the JSON carry its own before/after ratio.
+    pub pre_overhaul_runs_per_sec: f64,
+    /// `gate / pre_overhaul` — only meaningful at paper scale (the anchor
+    /// was measured there), so `None` for quick-scale runs.
+    pub speedup_vs_pre_overhaul: Option<f64>,
+}
+
+/// Sequential runs/sec of this exact bench (paper scale, tracing off)
+/// measured at the pre-overhaul parent commit — per-op label `String`s,
+/// per-node dependency `Vec`s, string-keyed hazard accesses, O(cells)
+/// virtual ghost patches — on the single-core dev container this PR was
+/// built in (release profile, best of several batches). The CI gate does
+/// NOT use this number — it compares against
+/// `results/BENCH_simspeed_baseline.json`, regenerated on deliberate perf
+/// changes — it only anchors `speedup_vs_pre_overhaul`.
+pub const PRE_OVERHAUL_RUNS_PER_SEC: f64 = 200.0;
+
+fn time_config(
+    p: HeatParams,
+    level: TraceLevel,
+    threads: usize,
+    runs: u64,
+    reference: &RunOutcome,
+) -> SimspeedRun {
+    // Wall-clock throughput on a shared host is noisy (co-tenant load can
+    // swing single measurements by ±30%), so measure in batches and report
+    // the best batch: transient load can only slow a batch down, never
+    // speed it up, so the fastest batch is the closest estimate of the
+    // simulator's actual cost.
+    let batches = (runs as usize).clamp(1, 5);
+    let per_batch = runs / batches as u64;
+    let mut wall_ns = 0u64;
+    let mut best_batch_ns_per_run = f64::INFINITY;
+    for b in 0..batches as u64 {
+        // Distribute the remainder so every run is timed exactly once.
+        let n = per_batch + u64::from(b < runs % batches as u64);
+        let start = Instant::now();
+        let outcomes: Vec<RunOutcome> = if threads <= 1 {
+            (0..n).map(|_| run_heat(p, level)).collect()
+        } else {
+            let driver = ParallelDriver::new(threads);
+            driver.run(
+                (0..n)
+                    .map(|_| move || run_heat(p, level))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let batch_ns = start.elapsed().as_nanos() as u64;
+        wall_ns += batch_ns;
+        best_batch_ns_per_run = best_batch_ns_per_run.min(batch_ns as f64 / n.max(1) as f64);
+        for o in &outcomes {
+            assert_eq!(
+                o, reference,
+                "simspeed run diverged from the Full/sequential reference \
+                 (level {level:?}, {threads} threads)"
+            );
+        }
+    }
+    let runs_per_sec = 1e9 / best_batch_ns_per_run;
+    let per_run_ns = best_batch_ns_per_run;
+    SimspeedRun {
+        trace_level: format!("{level:?}"),
+        threads,
+        runs,
+        wall_ns,
+        runs_per_sec,
+        decision_points_per_run: reference.decision_points,
+        ns_per_decision_point: per_run_ns / reference.decision_points.max(1) as f64,
+        ops_per_run: reference.ops_executed,
+        makespan_ms: reference.makespan_ns as f64 / 1e6,
+    }
+}
+
+/// Run the full bench: trace levels Off/Counters/Full at 1 thread, then
+/// Off/Full fanned out over `threads` OS threads.
+pub fn simspeed_bench(scale: Scale, threads: usize, runs: u64) -> SimspeedBench {
+    let p = HeatParams::of(scale);
+    let reference = run_heat(p, TraceLevel::Full);
+    // One warmup per level so lazy interning/allocator warmup is not billed
+    // to the first timed configuration.
+    let _ = run_heat(p, TraceLevel::Off);
+
+    let mut configs = Vec::new();
+    for level in [TraceLevel::Off, TraceLevel::Counters, TraceLevel::Full] {
+        configs.push(time_config(p, level, 1, runs, &reference));
+    }
+    for level in [TraceLevel::Off, TraceLevel::Full] {
+        configs.push(time_config(p, level, threads, runs, &reference));
+    }
+
+    let best = configs
+        .iter()
+        .map(|c| c.runs_per_sec)
+        .fold(0.0f64, f64::max);
+    let gate = configs
+        .iter()
+        .find(|c| c.threads == 1 && c.trace_level == "Off")
+        .map(|c| c.runs_per_sec)
+        .unwrap_or(best);
+    SimspeedBench {
+        workload: format!(
+            "out-of-core heat {n}^3, {steps} steps, {regions} regions x 2 arrays, {slots} slots, \
+             ReuseDistance + lookahead-{la} prefetch, timing-only buffers",
+            n = p.n,
+            steps = p.steps,
+            regions = p.regions,
+            slots = p.slots,
+            la = p.lookahead,
+        ),
+        fanout_threads: threads,
+        host_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        configs,
+        best_runs_per_sec: best,
+        gate_runs_per_sec: gate,
+        pre_overhaul_runs_per_sec: PRE_OVERHAUL_RUNS_PER_SEC,
+        speedup_vs_pre_overhaul: (scale == Scale::Paper)
+            .then_some(gate / PRE_OVERHAUL_RUNS_PER_SEC),
+    }
+}

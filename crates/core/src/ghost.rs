@@ -142,7 +142,7 @@ impl TileAcc {
 
         let total_cells: u64 = mine.iter().map(|p| p.num_cells()).sum();
         let idx_time = self.gpu().config().host_index_time(total_cells);
-        self.gpu_mut().host_work(idx_time, "ghost-idx");
+        self.gpu_mut().host_work(idx_time, desim::sym!("ghost-idx"));
 
         // Order the combined kernel after every source slot's stream and
         // after foreign uses of the destination slot it writes.
@@ -156,29 +156,33 @@ impl TileAcc {
         }
         self.drain_consumers_pub(s_dst, s_dst);
 
+        let backed = self.gpu().backed();
         let dst_slab = self.gpu().device_slab(self.slot_dev(s_dst));
         let dst_layout = self.array(array).region(dst).layout;
-        let srcs: Vec<(GhostPatch, memslab::Slab, tida::Layout)> = mine
-            .iter()
-            .map(|p| {
-                let slot = src_slots
-                    .iter()
-                    .find(|&&(r, _)| r == p.src_region)
-                    .expect("acquired above")
-                    .1;
-                (
-                    *p,
-                    self.gpu().device_slab(self.slot_dev(slot)),
-                    self.array(array).region(p.src_region).layout,
-                )
-            })
-            .collect();
+        let srcs: Vec<(GhostPatch, memslab::Slab, tida::Layout)> = if backed {
+            mine.iter()
+                .map(|p| {
+                    let slot = src_slots
+                        .iter()
+                        .find(|&&(r, _)| r == p.src_region)
+                        .expect("acquired above")
+                        .1;
+                    (
+                        *p,
+                        self.gpu().device_slab(self.slot_dev(slot)),
+                        self.array(array).region(p.src_region).layout,
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let eff = self.kernel_efficiency();
         let mut launch =
             gpu_sim::KernelLaunch::new("ghost-batch", KernelCost::Bytes(total_cells * 16))
                 .efficiency(eff)
                 .writes(self.slot_dev(s_dst).into())
-                .exec(move || {
+                .exec_if(backed, move || {
                     if dst_slab.is_virtual() {
                         return;
                     }
@@ -221,7 +225,7 @@ impl TileAcc {
         let cfg = self.gpu().config();
         let cost = cfg.host_index_time(cells) + cfg.host_copy_time(cells * 16);
         self.array(array).apply_patch(p);
-        self.gpu_mut().host_work(cost, "ghost-host");
+        self.gpu_mut().host_work(cost, desim::sym!("ghost-host"));
         self.bump_ghost_host();
         Ok(())
     }
@@ -249,7 +253,7 @@ impl TileAcc {
         // gather kernels because those were asynchronous).
         let cells = p.num_cells();
         let idx_time = self.gpu().config().host_index_time(cells);
-        self.gpu_mut().host_work(idx_time, "ghost-idx");
+        self.gpu_mut().host_work(idx_time, desim::sym!("ghost-idx"));
 
         if s_src != s_dst {
             let src_stream = self.slot_stream(s_src);
@@ -262,6 +266,7 @@ impl TileAcc {
         // wait for kernels in other streams still reading it.
         self.drain_consumers_pub(s_dst, s_dst);
 
+        let backed = self.gpu().backed();
         let dst_slab = self.gpu().device_slab(self.slot_dev(s_dst));
         let src_slab = self.gpu().device_slab(self.slot_dev(s_src));
         let dst_layout = self.array(array).region(p.dst_region).layout;
@@ -276,7 +281,7 @@ impl TileAcc {
                 .efficiency(eff)
                 .reads(sdev.into())
                 .writes(ddev.into())
-                .exec(move || {
+                .exec_if(backed, move || {
                     // Build the index lists only when data is real; virtual
                     // (timing-only) runs skip the work entirely.
                     if dst_slab.is_virtual() || src_slab.is_virtual() {

@@ -527,14 +527,14 @@ impl MultiAcc {
         let cfg = self.gpu.config();
         let cost = cfg.host_index_time(cells) + cfg.host_copy_time(cells * 16);
         self.array_ref(array).apply_patch(p);
-        self.gpu.host_work(cost, "ghost-host");
+        self.gpu.host_work(cost, desim::sym!("ghost-host"));
         Ok(())
     }
 
     fn same_device_patch(&mut self, array: ArrayId, p: &GhostPatch) -> Result<(), AccError> {
         let cells = p.num_cells();
         let idx_time = self.gpu.config().host_index_time(cells);
-        self.gpu.host_work(idx_time, "ghost-idx");
+        self.gpu.host_work(idx_time, desim::sym!("ghost-idx"));
         if p.src_region != p.dst_region {
             let ev = self.gpu.record_event(self.streams[p.src_region]);
             self.gpu.stream_wait_event(self.streams[p.dst_region], ev);
@@ -576,7 +576,7 @@ impl MultiAcc {
     fn cross_device_patch(&mut self, array: ArrayId, p: &GhostPatch) -> Result<(), AccError> {
         let cells = p.num_cells() as usize;
         let idx_time = self.gpu.config().host_index_time(cells as u64);
-        self.gpu.host_work(idx_time, "ghost-idx");
+        self.gpu.host_work(idx_time, desim::sym!("ghost-idx"));
 
         let staging = self.patch_staging(p, cells)?;
         let src_layout = self.array_ref(array).region(p.src_region).layout;

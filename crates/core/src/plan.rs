@@ -21,7 +21,7 @@
 //! identically to a backed one and a prefetched run stays bit-identical to
 //! the demand-fetched golden.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// One recorded acquisition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,8 +67,17 @@ pub(crate) struct StepPlanner {
     /// Detected repetition period (in steps), if any.
     period: Option<usize>,
     /// Predicted future positions per global region over the horizon,
-    /// popped front-first as demand accesses consume them.
-    future: HashMap<usize, VecDeque<u64>>,
+    /// dense-indexed by `g`: `future_pos[g][future_head[g]..]` are still
+    /// ahead; demand accesses consume by advancing the head. The position
+    /// vectors are pooled — a rebuild clears them without freeing — so the
+    /// per-step refresh allocates nothing in the steady state.
+    future_pos: Vec<Vec<u64>>,
+    future_head: Vec<usize>,
+    /// Rebuild scratch: a region was written / load-seen in the current
+    /// window iff its entry equals `epoch` (versioning beats clearing).
+    written: Vec<u64>,
+    first_load: Vec<u64>,
+    epoch: u64,
     /// Prefetchable first loads in the window, in position order.
     candidates: Vec<PrefetchCandidate>,
     /// Step boundaries seen so far.
@@ -88,8 +97,10 @@ impl StepPlanner {
                 dirties,
             });
         }
-        if let Some(q) = self.future.get_mut(&g) {
-            q.pop_front();
+        if let Some(h) = self.future_head.get_mut(g) {
+            if *h < self.future_pos[g].len() {
+                *h += 1;
+            }
         }
     }
 
@@ -132,42 +143,57 @@ impl StepPlanner {
     /// region the window first writes would upload data the in-window
     /// kernels are about to overwrite.
     fn rebuild(&mut self, lookahead: usize) {
-        self.future.clear();
+        for q in &mut self.future_pos {
+            q.clear();
+        }
+        for h in &mut self.future_head {
+            *h = 0;
+        }
         self.candidates.clear();
+        self.epoch += 1;
         let Some(p) = self.period else { return };
         let len = self.history.len();
         // Keep distances meaningful for eviction even at small lookahead:
         // always project at least two full periods ahead.
         let horizon = (lookahead + 1).max(2 * p);
         let mut pos: u64 = 0;
-        let mut written: HashSet<usize> = HashSet::new();
-        let mut first_load: HashSet<usize> = HashSet::new();
         for j in 0..horizon {
             let step = len - p + (j % p);
             for i in 0..self.history[step].len() {
                 let a = self.history[step][i];
-                self.future.entry(a.g).or_default().push_back(pos);
-                if a.needs_load
-                    && first_load.insert(a.g)
-                    && j <= lookahead
-                    && !written.contains(&a.g)
-                {
-                    self.candidates.push(PrefetchCandidate { g: a.g, pos });
+                self.grow(a.g);
+                self.future_pos[a.g].push(pos);
+                if a.needs_load {
+                    let first = self.first_load[a.g] != self.epoch;
+                    self.first_load[a.g] = self.epoch;
+                    if first && j <= lookahead && self.written[a.g] != self.epoch {
+                        self.candidates.push(PrefetchCandidate { g: a.g, pos });
+                    }
                 }
                 if a.dirties {
-                    written.insert(a.g);
+                    self.written[a.g] = self.epoch;
                 }
                 pos += 1;
             }
         }
     }
 
+    /// Size every dense table to hold region `g`.
+    fn grow(&mut self, g: usize) {
+        if self.future_pos.len() <= g {
+            self.future_pos.resize_with(g + 1, Vec::new);
+            self.future_head.resize(g + 1, 0);
+            self.written.resize(g + 1, 0);
+            self.first_load.resize(g + 1, 0);
+        }
+    }
+
     /// Predicted position of `g`'s next use, `u64::MAX` when the plan has
     /// no further use for it (or no plan exists).
     pub fn next_use(&self, g: usize) -> u64 {
-        self.future
-            .get(&g)
-            .and_then(|q| q.front())
+        self.future_pos
+            .get(g)
+            .and_then(|q| q.get(self.future_head[g]))
             .copied()
             .unwrap_or(u64::MAX)
     }
@@ -193,7 +219,12 @@ impl StepPlanner {
     pub fn reset_prediction(&mut self) {
         self.cur.clear();
         self.history.clear();
-        self.future.clear();
+        for q in &mut self.future_pos {
+            q.clear();
+        }
+        for h in &mut self.future_head {
+            *h = 0;
+        }
         self.candidates.clear();
         self.period = None;
         self.started = false;

@@ -39,7 +39,6 @@ use gpu_sim::{
     DeviceBuffer, GpuSystem, HostBuffer, HostMemKind, KernelCost, OpId, PrefetchCounters,
     RecoveryCounters, RunReport, SimTime, StreamId,
 };
-use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use tida::{with_view_mut, Box3, Decomposition, Tile, TileArray};
 
@@ -113,14 +112,15 @@ pub struct TileAcc {
     cache: Vec<Option<usize>>,
     /// Inverse map: slot holding each global region.
     loc: Vec<Option<usize>>,
-    /// In-flight eviction write-backs per global region.
-    inflight_writeback: HashMap<usize, OpId>,
+    /// In-flight eviction write-backs, dense-indexed by global region.
+    inflight_writeback: Vec<Option<OpId>>,
     /// Last enqueued device operation touching each global region's *host*
-    /// buffer (H2D reads it, D2H writes it). Host-side code must wait for
-    /// this op before touching the buffer eagerly, or a simulated transfer
-    /// scheduled in the past would observe data written by host code that
-    /// (in simulated time) runs after it.
-    host_slab_op: HashMap<usize, OpId>,
+    /// buffer (H2D reads it, D2H writes it), dense-indexed by global
+    /// region. Host-side code must wait for this op before touching the
+    /// buffer eagerly, or a simulated transfer scheduled in the past would
+    /// observe data written by host code that (in simulated time) runs
+    /// after it.
+    host_slab_op: Vec<Option<OpId>>,
     clock: u64,
     gpu_mode: bool,
     stats: AccStats,
@@ -134,9 +134,35 @@ pub struct TileAcc {
     /// scheduler (inert until [`TileAcc::begin_step`] is called).
     planner: StepPlanner,
     /// Global regions staged by a prefetch and not yet organically used —
-    /// their first hit is a `prefetch_hits`, not an organic `hits`. Only
-    /// membership is queried (never iterated), so determinism holds.
-    prefetched: HashSet<usize>,
+    /// their first hit is a `prefetch_hits`, not an organic `hits`.
+    /// Dense-indexed by global region.
+    prefetched: Vec<bool>,
+}
+
+/// Set a dense per-region flag, growing the table on first sight of `g`.
+fn flag_set(v: &mut Vec<bool>, g: usize) {
+    if v.len() <= g {
+        v.resize(g + 1, false);
+    }
+    v[g] = true;
+}
+
+/// Clear and return a dense per-region flag.
+fn flag_take(v: &mut [bool], g: usize) -> bool {
+    v.get_mut(g).map(std::mem::take).unwrap_or(false)
+}
+
+/// Record an op in a dense per-region op table, growing it on demand.
+fn op_set(v: &mut Vec<Option<OpId>>, g: usize, op: OpId) {
+    if v.len() <= g {
+        v.resize(g + 1, None);
+    }
+    v[g] = Some(op);
+}
+
+/// Remove and return the op recorded for region `g`, if any.
+fn op_take(v: &mut [Option<OpId>], g: usize) -> Option<OpId> {
+    v.get_mut(g).and_then(Option::take)
 }
 
 impl TileAcc {
@@ -153,15 +179,15 @@ impl TileAcc {
             streams: Vec::new(),
             cache: Vec::new(),
             loc: Vec::new(),
-            inflight_writeback: HashMap::new(),
-            host_slab_op: HashMap::new(),
+            inflight_writeback: Vec::new(),
+            host_slab_op: Vec::new(),
             clock: 0,
             gpu_mode,
             stats: AccStats::default(),
             slot_len: 0,
             device_failed: false,
             planner: StepPlanner::default(),
-            prefetched: HashSet::new(),
+            prefetched: Vec::new(),
         }
     }
 
@@ -479,7 +505,7 @@ impl TileAcc {
                 self.cache[s] = None;
                 self.loc[g] = None;
                 self.slots[s].dirty = false;
-                self.prefetched.remove(&g);
+                flag_take(&mut self.prefetched, g);
                 if dirty {
                     return Err(AcquireFail::Fatal(AccError::Integrity {
                         region,
@@ -487,7 +513,7 @@ impl TileAcc {
                     }));
                 }
             } else {
-                if self.prefetched.remove(&g) {
+                if flag_take(&mut self.prefetched, g) {
                     // First organic use of a prefetch-warmed region: this is
                     // transfer cost the prefetcher hid, not organic locality.
                     self.stats.prefetch_hits += 1;
@@ -517,7 +543,7 @@ impl TileAcc {
         // "second possibility").
         if let Some(g2) = self.cache[s] {
             self.stats.evictions += 1;
-            self.prefetched.remove(&g2);
+            flag_take(&mut self.prefetched, g2);
             let dirty = self.slots[s].dirty;
             let write_back = match self.opts.writeback {
                 // With a detected step plan a clean slot's host mirror is
@@ -538,8 +564,8 @@ impl TileAcc {
                     // already salvaged and released everything.
                     return Err(AcquireFail::Fallback);
                 }
-                self.inflight_writeback.insert(g2, op);
-                self.host_slab_op.insert(g2, op);
+                op_set(&mut self.inflight_writeback, g2, op);
+                op_set(&mut self.host_slab_op, g2, op);
             } else if self.opts.writeback == WritebackPolicy::Always {
                 self.stats.writebacks_deferred += 1;
             } else {
@@ -551,12 +577,13 @@ impl TileAcc {
             // The incoming load (or the claiming kernel's write) re-arms the
             // buffer. The write-back above was enqueued first, so its own
             // read is not flagged.
-            self.gpu.note_evicted(self.slots[s].dev, "evict");
+            self.gpu
+                .note_evicted(self.slots[s].dev, desim::sym!("evict"));
         }
 
         // The incoming load must additionally wait for any in-flight
         // write-back of this region's own host buffer.
-        if let Some(op) = self.inflight_writeback.remove(&g) {
+        if let Some(op) = op_take(&mut self.inflight_writeback, g) {
             self.gpu.stream_wait_op(self.streams[s], op);
         }
 
@@ -572,7 +599,7 @@ impl TileAcc {
             let host = self.arrays[a].host[r];
             let len = self.arrays[a].array.region(r).slab.len();
             let op = self.load_h2d(s, host, len)?;
-            self.host_slab_op.insert(g, op);
+            op_set(&mut self.host_slab_op, g, op);
             self.stats.loads += 1;
             self.slots[s].dirty = false;
         }
@@ -741,8 +768,8 @@ impl TileAcc {
             self.cache[s] = None;
             self.loc[g] = None;
             self.slots[s].dirty = false;
-            self.prefetched.remove(&g);
-        } else if let Some(op) = self.inflight_writeback.remove(&g) {
+            flag_take(&mut self.prefetched, g);
+        } else if let Some(op) = op_take(&mut self.inflight_writeback, g) {
             // An eviction write-back is still in flight; wait for it.
             self.gpu.sync_op(op);
         }
@@ -750,7 +777,7 @@ impl TileAcc {
         // transfer that reads or writes it must have executed first (a
         // pending upload could otherwise observe host writes from its
         // simulated future).
-        if let Some(op) = self.host_slab_op.remove(&g) {
+        if let Some(op) = op_take(&mut self.host_slab_op, g) {
             self.gpu.sync_op(op);
         }
         // The slot took an unrepairable strike: never place a region there
@@ -840,7 +867,7 @@ impl TileAcc {
         match self.stage_into(g, s, false) {
             Ok(()) => {
                 self.stats.prefetch_loads += 1;
-                self.prefetched.insert(g);
+                flag_set(&mut self.prefetched, g);
                 Ok(())
             }
             Err(AcquireFail::Fallback) => {
@@ -916,7 +943,7 @@ impl TileAcc {
             match self.stage_into(c.g, s, false) {
                 Ok(()) => {
                     self.stats.prefetch_loads += 1;
-                    self.prefetched.insert(c.g);
+                    flag_set(&mut self.prefetched, c.g);
                 }
                 Err(AcquireFail::Fallback) => {
                     self.note_prefetch_fallback();
@@ -1019,6 +1046,7 @@ impl TileAcc {
                 return self.compute1_host(tile, array, cost, label, f);
             }
         };
+        let backed = self.gpu.backed();
         let slab = self.gpu.device_slab(self.slots[s].dev);
         let layout = self.arrays[array.0].array.region(tile.region).layout;
         let bx = tile.bx;
@@ -1028,7 +1056,7 @@ impl TileAcc {
             gpu_sim::KernelLaunch::new(label, cost)
                 .efficiency(self.opts.kernel_efficiency)
                 .writes(dev.into())
-                .exec(move || {
+                .exec_if(backed, move || {
                     with_view_mut(&slab, layout, |mut v| f(&mut v, bx));
                 }),
         );
@@ -1163,30 +1191,30 @@ impl TileAcc {
             self.drain_consumers_into(s, ks);
         }
 
-        let wpairs: Vec<(memslab::Slab, tida::Layout)> = writes
-            .iter()
-            .zip(&write_slots)
-            .map(|(a, &s)| {
-                (
-                    self.gpu.device_slab(self.slots[s].dev),
-                    self.arrays[a.0].array.region(r).layout,
-                )
-            })
-            .collect();
-        let rpairs: Vec<(memslab::Slab, tida::Layout)> = reads
-            .iter()
-            .zip(&read_slots)
-            .map(|(a, &s)| {
-                (
-                    self.gpu.device_slab(self.slots[s].dev),
-                    self.arrays[a.0].array.region(r).layout,
-                )
-            })
-            .collect();
+        // Operand slab captures are only needed when the effect will run;
+        // timing-only systems skip both the capture vectors and the box.
+        let backed = self.gpu.backed();
+        let pairs_of = |slf: &Self, arrays: &[ArrayId], slots: &[usize]| {
+            if !backed {
+                return Vec::new();
+            }
+            arrays
+                .iter()
+                .zip(slots)
+                .map(|(a, &s)| {
+                    (
+                        slf.gpu.device_slab(slf.slots[s].dev),
+                        slf.arrays[a.0].array.region(r).layout,
+                    )
+                })
+                .collect::<Vec<(memslab::Slab, tida::Layout)>>()
+        };
+        let wpairs = pairs_of(self, writes, &write_slots);
+        let rpairs = pairs_of(self, reads, &read_slots);
         let bx = tile.bx;
         let mut launch = gpu_sim::KernelLaunch::new(label, cost)
             .efficiency(self.opts.kernel_efficiency)
-            .exec(move || {
+            .exec_if(backed, move || {
                 let wrefs: Vec<(&memslab::Slab, tida::Layout)> =
                     wpairs.iter().map(|(s, l)| (s, *l)).collect();
                 let rrefs: Vec<(&memslab::Slab, tida::Layout)> =

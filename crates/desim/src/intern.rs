@@ -1,0 +1,243 @@
+//! Global string interner for op labels and categories.
+//!
+//! The scheduler hot path must not allocate per op, but labels are part of
+//! the public surface: traces render them, the hazard tracker classifies by
+//! them, the conformance suite parses byte counts out of them. The
+//! compromise is a process-global leaky interner: every distinct label
+//! string is stored once (leaked to `'static`), and ops carry a [`Sym`] —
+//! a `Copy` `u32` handle that resolves back to `&'static str` at any time.
+//!
+//! Determinism rule: a `Sym`'s numeric id depends on interning order, which
+//! differs across thread interleavings (the [`crate::ParallelDriver`] runs
+//! simulations concurrently). Comparing symbols for *equality* is exact and
+//! safe; **never order by the numeric id** — sort by `as_str()` when an
+//! order is needed. Nothing in this crate orders by id.
+//!
+//! The table is append-only and leaked by design: the set of distinct
+//! labels a simulation produces is tiny (engine names, op kinds, one label
+//! per distinct transfer size), so "leaking" is a few kilobytes for the
+//! life of the process in exchange for `&'static str` resolution with no
+//! reference counting on the hot path.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string: a `Copy` handle into the global symbol table.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sym(u32);
+
+struct Interner {
+    /// Lookup by contents. Keys borrow the leaked `'static` strings.
+    by_str: HashMap<&'static str, u32>,
+    /// Resolution by id.
+    strings: Vec<&'static str>,
+}
+
+fn table() -> &'static RwLock<Interner> {
+    static TABLE: OnceLock<RwLock<Interner>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = Interner {
+            by_str: HashMap::new(),
+            strings: Vec::new(),
+        };
+        // Sym(0) is the empty string, so `Sym::default()` is cheap and
+        // resolvable without touching the map.
+        t.strings.push("");
+        t.by_str.insert("", 0);
+        RwLock::new(t)
+    })
+}
+
+/// Intern `s`, leaking a copy on first sight.
+pub fn intern(s: &str) -> Sym {
+    {
+        let t = table().read().unwrap();
+        if let Some(&id) = t.by_str.get(s) {
+            return Sym(id);
+        }
+    }
+    let mut t = table().write().unwrap();
+    // Double-check: another thread may have interned between the locks.
+    if let Some(&id) = t.by_str.get(s) {
+        return Sym(id);
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    let id = u32::try_from(t.strings.len()).expect("interner overflow");
+    t.strings.push(leaked);
+    t.by_str.insert(leaked, id);
+    Sym(id)
+}
+
+/// Intern a `'static` string without copying it on first sight.
+pub fn intern_static(s: &'static str) -> Sym {
+    {
+        let t = table().read().unwrap();
+        if let Some(&id) = t.by_str.get(s) {
+            return Sym(id);
+        }
+    }
+    let mut t = table().write().unwrap();
+    if let Some(&id) = t.by_str.get(s) {
+        return Sym(id);
+    }
+    let id = u32::try_from(t.strings.len()).expect("interner overflow");
+    t.strings.push(s);
+    t.by_str.insert(s, id);
+    Sym(id)
+}
+
+/// Intern formatted text without allocating a `String` in the steady state:
+/// the format is rendered into a thread-local scratch buffer, and only a
+/// first-seen label costs a copy (into the leaked table).
+pub fn intern_fmt(args: fmt::Arguments<'_>) -> Sym {
+    use fmt::Write;
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<String> = const { std::cell::RefCell::new(String::new()) };
+    }
+    SCRATCH.with(|s| {
+        let mut s = s.borrow_mut();
+        s.clear();
+        s.write_fmt(args).expect("formatting into a String");
+        intern(&s)
+    })
+}
+
+/// Intern a string literal with a per-call-site cache: the global table is
+/// consulted once, then every later pass through this call site is a single
+/// atomic load. Use for `&'static str` labels/categories on enqueue paths.
+#[macro_export]
+macro_rules! sym {
+    ($lit:literal) => {{
+        static CACHE: ::std::sync::OnceLock<$crate::Sym> = ::std::sync::OnceLock::new();
+        *CACHE.get_or_init(|| $crate::intern_static($lit))
+    }};
+}
+
+impl Sym {
+    /// The empty string.
+    pub const EMPTY: Sym = Sym(0);
+
+    /// Resolve to the interned contents.
+    pub fn as_str(self) -> &'static str {
+        table().read().unwrap().strings[self.0 as usize]
+    }
+
+    /// The raw table id. For diagnostics only — ids are not stable across
+    /// processes or thread interleavings; never order or persist by this.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl Default for Sym {
+    fn default() -> Self {
+        Sym::EMPTY
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Sym {
+        intern(s)
+    }
+}
+
+impl From<String> for Sym {
+    fn from(s: String) -> Sym {
+        intern(&s)
+    }
+}
+
+impl From<std::borrow::Cow<'static, str>> for Sym {
+    fn from(s: std::borrow::Cow<'static, str>) -> Sym {
+        match s {
+            std::borrow::Cow::Borrowed(b) => intern_static(b),
+            std::borrow::Cow::Owned(o) => intern(&o),
+        }
+    }
+}
+
+impl PartialEq<str> for Sym {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Sym {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_contents_same_sym() {
+        let a = intern("h2d");
+        let b = intern(&String::from("h2d"));
+        let c = intern_static("h2d");
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(a.as_str(), "h2d");
+    }
+
+    #[test]
+    fn distinct_contents_distinct_syms() {
+        assert_ne!(intern("alpha-x"), intern("beta-x"));
+    }
+
+    #[test]
+    fn empty_is_default() {
+        assert_eq!(Sym::default(), intern(""));
+        assert_eq!(Sym::EMPTY.as_str(), "");
+    }
+
+    #[test]
+    fn fmt_interning_matches_plain() {
+        let bytes = 4096u64;
+        let a = intern_fmt(format_args!("H2D[{bytes}B]"));
+        assert_eq!(a, intern("H2D[4096B]"));
+        assert_eq!(a.as_str(), "H2D[4096B]");
+    }
+
+    #[test]
+    fn str_equality_compares_contents() {
+        assert_eq!(intern("kernel"), "kernel");
+        assert_ne!(intern("kernel"), "host");
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    (0..100)
+                        .map(|j| intern_fmt(format_args!("t{}-{}", i % 2, j)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let all: Vec<Vec<Sym>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Threads with the same label stream got identical symbols.
+        assert_eq!(all[0], all[2]);
+        for syms in &all {
+            for (j, s) in syms.iter().enumerate() {
+                assert!(s.as_str().ends_with(&format!("-{j}")));
+            }
+        }
+    }
+}

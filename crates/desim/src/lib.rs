@@ -8,12 +8,17 @@
 //! It knows nothing about GPUs; `gpu-sim` maps CUDA-style streams, copy
 //! engines and kernels onto these primitives.
 
+mod intern;
+mod parallel;
 mod scheduler;
 mod time;
 mod trace;
 
+pub use intern::{intern, intern_fmt, intern_static, Sym};
+pub use parallel::ParallelDriver;
 pub use scheduler::{
-    Bound, Candidate, CriticalStep, Effect, EngineId, Op, OpId, ScheduleOracle, Scheduler,
+    Bound, Candidate, CriticalStep, Effect, EngineCounters, EngineId, Op, OpId, RawSpan,
+    ScheduleOracle, Scheduler, TraceLevel,
 };
 pub use time::SimTime;
 pub use trace::{Span, Trace};

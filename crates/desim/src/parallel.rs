@@ -1,0 +1,136 @@
+//! Embarrassingly-parallel multi-run driver.
+//!
+//! A [`crate::Scheduler`] (and everything layered on it) is self-contained
+//! and deterministic: two runs of the same program produce bit-identical
+//! results, and runs share no mutable state. Sweeps over seeds, schedules
+//! or configurations are therefore trivially parallel — each job builds,
+//! runs and consumes its own simulator on its own OS thread.
+//!
+//! The driver guarantees:
+//! - results come back in **job order**, regardless of which thread ran
+//!   which job or in what order they finished;
+//! - each job runs **exactly once**, on exactly one thread;
+//! - a panicking job propagates the panic to the caller (after the other
+//!   workers drain).
+//!
+//! Combined with the determinism of each job, output is bit-identical to
+//! running the jobs sequentially — the equivalence suite asserts this.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs batches of independent jobs across a fixed number of OS threads.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelDriver {
+    threads: usize,
+}
+
+impl ParallelDriver {
+    /// A driver fanning out over `threads` OS threads (minimum 1).
+    pub fn new(threads: usize) -> Self {
+        ParallelDriver {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A driver using the host's available parallelism.
+    pub fn host_parallel() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// Number of worker threads this driver uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run every job, returning results in job order.
+    ///
+    /// Jobs are claimed from a shared counter, so threads stay busy until
+    /// the batch drains regardless of per-job runtime variance.
+    pub fn run<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(n);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let job = slots[i]
+                        .lock()
+                        .unwrap()
+                        .take()
+                        .expect("job claimed exactly once");
+                    let out = job();
+                    *results[i].lock().unwrap() = Some(out);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("every job ran"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let driver = ParallelDriver::new(4);
+        let jobs: Vec<_> = (0..64)
+            .map(|i| {
+                move || {
+                    // Uneven job cost scrambles completion order.
+                    let mut acc = i as u64;
+                    for _ in 0..((i * 37) % 1000) {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    }
+                    (i, acc)
+                }
+            })
+            .collect();
+        let seq: Vec<_> = (0..64)
+            .map(|i| {
+                let mut acc = i as u64;
+                for _ in 0..((i * 37) % 1000) {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+                (i, acc)
+            })
+            .collect();
+        assert_eq!(driver.run(jobs), seq);
+    }
+
+    #[test]
+    fn single_thread_driver_matches() {
+        let mk = |i: usize| move || i * i;
+        let a = ParallelDriver::new(1).run((0..10).map(mk).collect::<Vec<_>>());
+        let b = ParallelDriver::new(3).run((0..10).map(mk).collect::<Vec<_>>());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let driver = ParallelDriver::new(2);
+        let out: Vec<u32> = driver.run(Vec::<fn() -> u32>::new());
+        assert!(out.is_empty());
+    }
+}

@@ -24,14 +24,35 @@
 //! accesses are ordered by dependencies (as any correct stream program is),
 //! this coincides with data order; see `gpu-sim`'s hazard checker for the
 //! racy case.
+//!
+//! # Hot-path design
+//!
+//! This scheduler is the inner loop of every bench, sweep and schedule-space
+//! walk in the workspace, so the per-op path is allocation-free in the
+//! steady state:
+//!
+//! * labels and categories are interned [`Sym`]s (`Copy`, u32) — no
+//!   per-op `String`;
+//! * dependency and footprint lists ride inline in the [`Op`] builder
+//!   (spilling to the heap only past 4 entries) and land in shared arenas
+//!   (`fp_arena`, the dependents edge list) instead of per-node `Vec`s;
+//! * the ready queue is a binary heap keyed `(ready_ns, submission idx)`;
+//!   with no oracle installed a pop is O(log n) with no allocation, and the
+//!   oracle candidate view is built lazily only at real decision points
+//!   (>1 runnable op) from a reused scratch buffer;
+//! * span recording sits behind a [`TraceLevel`]: `Off` records nothing,
+//!   `Counters` keeps per-engine busy/op tallies, `Full` records `Sym`-keyed
+//!   spans (still no string allocation; strings materialize only when a
+//!   [`Trace`] is exported).
 
+use crate::intern::{intern_static, Sym};
 use crate::time::SimTime;
 use crate::trace::{Span, Trace};
-use std::borrow::Cow;
 use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::rc::Rc;
+use std::sync::OnceLock;
 
 /// Handle to an engine registered with [`Scheduler::add_engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -44,6 +65,43 @@ pub struct OpId(pub usize);
 /// Closure applied when an operation executes.
 pub type Effect = Box<dyn FnOnce()>;
 
+/// How much execution history the scheduler records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum TraceLevel {
+    /// No spans, no counters: the fastest mode, for throughput sweeps.
+    #[default]
+    Off,
+    /// Per-engine busy-time and op-count tallies, no spans.
+    Counters,
+    /// Counters plus one span per executed op (Gantt/Chrome export,
+    /// overlap analysis, byte-accounting conformance checks).
+    Full,
+}
+
+/// Per-engine execution tallies, maintained at [`TraceLevel::Counters`] and
+/// above. Two runs of the same program agree exactly, whatever the level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Ops executed on this engine.
+    pub ops: u64,
+    /// Sum of op durations (busy time across all servers), in ns.
+    pub busy_ns: u64,
+}
+
+/// One recorded span, as stored on the hot path: `Sym` labels, no strings.
+/// [`Scheduler::trace`] materializes these into [`Span`]s.
+#[derive(Debug, Clone, Copy)]
+pub struct RawSpan {
+    pub engine: u32,
+    pub server: u32,
+    pub label: Sym,
+    pub category: Sym,
+    pub start: SimTime,
+    pub end: SimTime,
+    /// Submission index of the operation.
+    pub seq: u64,
+}
+
 /// One admissible operation at a scheduling decision point, as presented to
 /// a [`ScheduleOracle`]. Candidates are sorted by `(ready, submission
 /// index)`, so index 0 is always the op the default FIFO policy would admit.
@@ -54,8 +112,8 @@ pub struct Candidate<'a> {
     pub ready: SimTime,
     /// Engine the op occupies (`None` for markers).
     pub engine: Option<EngineId>,
-    pub label: &'a str,
-    pub category: &'a str,
+    pub label: Sym,
+    pub category: Sym,
     /// Resources touched, as `(resource, is_write)` pairs (see
     /// [`Op::touches`]). Two candidates with no engine conflict and no
     /// conflicting resource pair commute.
@@ -75,17 +133,62 @@ pub trait ScheduleOracle {
     fn choose(&mut self, candidates: &[Candidate<'_>]) -> usize;
 }
 
+/// Inline-first list: op dependency and footprint sets are almost always
+/// tiny, so the builder keeps the first `N` entries on the stack and spills
+/// to the heap only past that.
+struct SmallList<T: Copy + Default, const N: usize> {
+    inline: [T; N],
+    len: usize,
+    spill: Vec<T>,
+}
+
+impl<T: Copy + Default, const N: usize> SmallList<T, N> {
+    fn new() -> Self {
+        SmallList {
+            inline: [T::default(); N],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, v: T) {
+        if self.len < N {
+            self.inline[self.len] = v;
+        } else {
+            self.spill.push(v);
+        }
+        self.len += 1;
+    }
+
+    fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        self.inline[..self.len.min(N)]
+            .iter()
+            .copied()
+            .chain(self.spill.iter().copied())
+    }
+}
+
+fn default_label(marker: bool) -> Sym {
+    static OP: OnceLock<Sym> = OnceLock::new();
+    static MARKER: OnceLock<Sym> = OnceLock::new();
+    if marker {
+        *MARKER.get_or_init(|| intern_static("marker"))
+    } else {
+        *OP.get_or_init(|| intern_static("op"))
+    }
+}
+
 /// Description of one operation; build with [`Op::on`] / [`Op::marker`].
 pub struct Op {
     engine: Option<EngineId>,
     duration: SimTime,
     not_before: SimTime,
-    deps: Vec<OpId>,
-    label: Cow<'static, str>,
-    category: &'static str,
+    deps: SmallList<usize, 4>,
+    label: Option<Sym>,
+    category: Option<Sym>,
     effect: Option<Effect>,
     host_cause: Option<OpId>,
-    footprint: Vec<(u64, bool)>,
+    footprint: SmallList<(u64, bool), 4>,
 }
 
 impl Op {
@@ -95,12 +198,12 @@ impl Op {
             engine: Some(engine),
             duration,
             not_before: SimTime::ZERO,
-            deps: Vec::new(),
-            label: Cow::Borrowed("op"),
-            category: "op",
+            deps: SmallList::new(),
+            label: None,
+            category: None,
             effect: None,
             host_cause: None,
-            footprint: Vec::new(),
+            footprint: SmallList::new(),
         }
     }
 
@@ -111,12 +214,12 @@ impl Op {
             engine: None,
             duration: SimTime::ZERO,
             not_before: SimTime::ZERO,
-            deps: Vec::new(),
-            label: Cow::Borrowed("marker"),
-            category: "marker",
+            deps: SmallList::new(),
+            label: None,
+            category: None,
             effect: None,
             host_cause: None,
-            footprint: Vec::new(),
+            footprint: SmallList::new(),
         }
     }
 
@@ -128,25 +231,28 @@ impl Op {
 
     /// Add one dependency.
     pub fn after(mut self, dep: OpId) -> Self {
-        self.deps.push(dep);
+        self.deps.push(dep.0);
         self
     }
 
     /// Add dependencies.
     pub fn after_all(mut self, deps: impl IntoIterator<Item = OpId>) -> Self {
-        self.deps.extend(deps);
+        for d in deps {
+            self.deps.push(d.0);
+        }
         self
     }
 
-    /// Label shown in traces.
-    pub fn label(mut self, label: impl Into<Cow<'static, str>>) -> Self {
-        self.label = label.into();
+    /// Label shown in traces. Anything stringy converts ([`Sym`] itself is
+    /// the allocation-free fast path — see [`crate::intern`]).
+    pub fn label(mut self, label: impl Into<Sym>) -> Self {
+        self.label = Some(label.into());
         self
     }
 
     /// Trace category (e.g. `h2d`, `kernel`, `host`).
-    pub fn category(mut self, category: &'static str) -> Self {
-        self.category = category;
+    pub fn category(mut self, category: impl Into<Sym>) -> Self {
+        self.category = Some(category.into());
         self
     }
 
@@ -183,13 +289,17 @@ struct Engine {
     last_on_server: Vec<Option<usize>>,
 }
 
+/// Sentinel for "no edge" in the dependents edge arena.
+const NO_EDGE: u32 = u32::MAX;
+
 struct OpNode {
     engine: Option<EngineId>,
     duration: SimTime,
-    label: Cow<'static, str>,
-    category: &'static str,
-    remaining_deps: usize,
-    dependents: Vec<usize>,
+    label: Sym,
+    category: Sym,
+    remaining_deps: u32,
+    /// Head of this op's dependents chain in [`Scheduler::dep_edges`].
+    dependents_head: u32,
     /// max(not_before, ends of resolved deps so far).
     ready_time: SimTime,
     /// The dependency whose completion set `ready_time` (None when bound by
@@ -201,7 +311,9 @@ struct OpNode {
     host_cause: Option<OpId>,
     /// What delayed this op's start (filled at execution).
     bound: Bound,
-    footprint: Vec<(u64, bool)>,
+    /// Footprint slice in [`Scheduler::fp_arena`].
+    fp_start: u32,
+    fp_len: u32,
 }
 
 /// Why an operation started when it did.
@@ -219,11 +331,13 @@ pub enum Bound {
 }
 
 /// One step of a critical path: the op, its timing, and what it waited for.
+/// Labels are interned — compare with `==` against other syms or `&str`,
+/// resolve with [`Sym::as_str`].
 #[derive(Debug, Clone)]
 pub struct CriticalStep {
     pub op: OpId,
-    pub label: String,
-    pub category: &'static str,
+    pub label: Sym,
+    pub category: Sym,
     pub start: SimTime,
     pub end: SimTime,
     pub bound: Bound,
@@ -241,8 +355,20 @@ pub struct Scheduler {
     max_end: SimTime,
     /// Op with the latest completion so far.
     last_finished: Option<usize>,
-    tracing: bool,
-    spans: Vec<Span>,
+    level: TraceLevel,
+    spans: Vec<RawSpan>,
+    counters: Vec<EngineCounters>,
+    /// Decision points seen so far: pops where >1 op was simultaneously
+    /// runnable (the branching points a [`ScheduleOracle`] would be
+    /// consulted at), counted whether or not one is installed.
+    decision_points: u64,
+    /// Footprint arena; op nodes hold (start, len) slices into it.
+    fp_arena: Vec<(u64, bool)>,
+    /// Dependents adjacency as a linked edge arena:
+    /// `(dependent op, next edge)` chained from `OpNode::dependents_head`.
+    dep_edges: Vec<(u32, u32)>,
+    /// Reused buffer for draining the heap at oracle decision points.
+    cand_scratch: Vec<(u64, usize)>,
     /// Admission policy override; `None` keeps the deterministic FIFO order.
     oracle: Option<Rc<RefCell<dyn ScheduleOracle>>>,
 }
@@ -260,16 +386,34 @@ impl Scheduler {
             last_on_server: vec![None; capacity],
         });
         self.engine_names.push(name.into());
+        self.counters.push(EngineCounters::default());
         EngineId(self.engines.len() - 1)
     }
 
-    /// Enable or disable span recording (labels are kept either way).
+    /// Set how much execution history is recorded. Levels only change what
+    /// is *recorded* — timing, effects and schedule are identical at every
+    /// level.
+    pub fn set_trace_level(&mut self, level: TraceLevel) {
+        self.level = level;
+    }
+
+    /// Current trace level.
+    pub fn trace_level(&self) -> TraceLevel {
+        self.level
+    }
+
+    /// Enable or disable span recording. Compatibility wrapper:
+    /// `true` = [`TraceLevel::Full`], `false` = [`TraceLevel::Off`].
     pub fn set_tracing(&mut self, on: bool) {
-        self.tracing = on;
+        self.level = if on {
+            TraceLevel::Full
+        } else {
+            TraceLevel::Off
+        };
     }
 
     pub fn tracing(&self) -> bool {
-        self.tracing
+        self.level == TraceLevel::Full
     }
 
     /// Install (or clear) a [`ScheduleOracle`]. With `None` — the default —
@@ -292,8 +436,8 @@ impl Scheduler {
         }
         let mut ready_time = op.not_before;
         let mut binding_dep = None;
-        let mut remaining = 0usize;
-        for &OpId(d) in &op.deps {
+        let mut remaining = 0u32;
+        for d in op.deps.iter() {
             assert!(d < id, "op {id} depends on not-yet-submitted op {d}");
             match self.ops[d].end {
                 Some(end) => {
@@ -303,18 +447,29 @@ impl Scheduler {
                     }
                 }
                 None => {
-                    self.ops[d].dependents.push(id);
+                    self.dep_edges
+                        .push((id as u32, self.ops[d].dependents_head));
+                    self.ops[d].dependents_head = (self.dep_edges.len() - 1) as u32;
                     remaining += 1;
                 }
             }
         }
+        let fp_start = self.fp_arena.len() as u32;
+        for f in op.footprint.iter() {
+            self.fp_arena.push(f);
+        }
+        let fp_len = self.fp_arena.len() as u32 - fp_start;
         self.ops.push(OpNode {
             engine: op.engine,
             duration: op.duration,
-            label: op.label,
-            category: op.category,
+            label: op
+                .label
+                .unwrap_or_else(|| default_label(op.engine.is_none())),
+            category: op
+                .category
+                .unwrap_or_else(|| default_label(op.engine.is_none())),
             remaining_deps: remaining,
-            dependents: Vec::new(),
+            dependents_head: NO_EDGE,
             ready_time,
             binding_dep,
             start: None,
@@ -322,7 +477,8 @@ impl Scheduler {
             effect: op.effect,
             host_cause: op.host_cause,
             bound: Bound::Host,
-            footprint: op.footprint,
+            fp_start,
+            fp_len,
         });
         if remaining == 0 {
             self.ready.push(Reverse((ready_time.as_ns(), id)));
@@ -360,43 +516,73 @@ impl Scheduler {
         self.last_finished.map(OpId)
     }
 
+    /// Decision points encountered so far: pops at which more than one op
+    /// was simultaneously runnable. This is the denominator of the
+    /// `ns/decision-point` throughput metric and the length of a schedule
+    /// explorer's decision sequence.
+    pub fn decision_points(&self) -> u64 {
+        self.decision_points
+    }
+
+    /// Per-engine tallies (zeroed at [`TraceLevel::Off`]).
+    pub fn engine_counters(&self) -> &[EngineCounters] {
+        &self.counters
+    }
+
     /// Pop the next op to admit. FIFO `(ready, submission)` order without an
     /// oracle; otherwise the full ready set is presented to the oracle as a
     /// decision point (skipped when it is a singleton — no branching there).
     fn pop_next(&mut self) -> Option<usize> {
+        let runnable = self.ready.len();
+        if runnable == 0 {
+            return None;
+        }
+        if runnable > 1 {
+            self.decision_points += 1;
+        }
         let oracle = match &self.oracle {
+            // Fast path: no oracle, or no branching — a plain heap pop.
             None => return self.ready.pop().map(|Reverse((_, idx))| idx),
+            Some(_) if runnable == 1 => return self.ready.pop().map(|Reverse((_, idx))| idx),
             Some(o) => Rc::clone(o),
         };
-        let mut cands: Vec<(u64, usize)> = Vec::with_capacity(self.ready.len());
+        // Real decision point: materialize the sorted candidate view.
+        // Heap pops come out in exactly the (ready, submission) order the
+        // oracle contract promises. The drain buffer is reused across
+        // decisions; the `Candidate` view borrows ops/arena in place.
+        let mut cands = std::mem::take(&mut self.cand_scratch);
+        debug_assert!(cands.is_empty());
         while let Some(Reverse(c)) = self.ready.pop() {
             cands.push(c);
         }
-        let choice = if cands.len() > 1 {
-            let view: Vec<Candidate<'_>> = cands
-                .iter()
-                .map(|&(ns, i)| Candidate {
+        let view: Vec<Candidate<'_>> = cands
+            .iter()
+            .map(|&(ns, i)| {
+                let o = &self.ops[i];
+                Candidate {
                     op: OpId(i),
                     ready: SimTime::from_ns(ns),
-                    engine: self.ops[i].engine,
-                    label: &self.ops[i].label,
-                    category: self.ops[i].category,
-                    footprint: &self.ops[i].footprint,
-                })
-                .collect();
-            let c = oracle.borrow_mut().choose(&view);
-            assert!(c < cands.len(), "oracle chose {c} of {}", cands.len());
-            c
-        } else {
-            0
-        };
-        if cands.is_empty() {
-            return None;
-        }
+                    engine: o.engine,
+                    label: o.label,
+                    category: o.category,
+                    footprint: &self.fp_arena
+                        [o.fp_start as usize..(o.fp_start + o.fp_len) as usize],
+                }
+            })
+            .collect();
+        let choice = oracle.borrow_mut().choose(&view);
+        assert!(
+            choice < cands.len(),
+            "oracle chose {choice} of {}",
+            cands.len()
+        );
+        drop(view);
         let (_, idx) = cands.swap_remove(choice);
-        for c in cands {
+        for &c in &cands {
             self.ready.push(Reverse(c));
         }
+        cands.clear();
+        self.cand_scratch = cands;
         Some(idx)
     }
 
@@ -438,6 +624,21 @@ impl Scheduler {
         if let Some(EngineId(e)) = self.ops[idx].engine {
             self.engines[e].servers[server] = end;
             self.engines[e].last_on_server[server] = Some(idx);
+            if self.level >= TraceLevel::Counters {
+                self.counters[e].ops += 1;
+                self.counters[e].busy_ns += self.ops[idx].duration.as_ns();
+            }
+            if self.level == TraceLevel::Full {
+                self.spans.push(RawSpan {
+                    engine: e as u32,
+                    server: server as u32,
+                    label: self.ops[idx].label,
+                    category: self.ops[idx].category,
+                    start,
+                    end,
+                    seq: idx as u64,
+                });
+            }
         }
         self.ops[idx].start = Some(start);
         self.ops[idx].end = Some(end);
@@ -447,34 +648,28 @@ impl Scheduler {
         }
         self.executed += 1;
 
-        if self.tracing {
-            if let Some(EngineId(e)) = self.ops[idx].engine {
-                self.spans.push(Span {
-                    engine: e,
-                    server,
-                    label: self.ops[idx].label.to_string(),
-                    category: self.ops[idx].category.to_string(),
-                    start,
-                    end,
-                    seq: idx as u64,
-                });
-            }
-        }
         if let Some(effect) = self.ops[idx].effect.take() {
             effect();
         }
 
-        let dependents = std::mem::take(&mut self.ops[idx].dependents);
-        for dep in dependents {
-            let node = &mut self.ops[dep];
+        // Resolve dependents along the edge chain. Chain order is reverse
+        // submission order, which is irrelevant: each dependent's update is
+        // independent, and the ready heap orders by (ready, submission).
+        let mut edge = self.ops[idx].dependents_head;
+        self.ops[idx].dependents_head = NO_EDGE;
+        while edge != NO_EDGE {
+            let (dep, next) = self.dep_edges[edge as usize];
+            let node = &mut self.ops[dep as usize];
             if end > node.ready_time || (end == node.ready_time && node.binding_dep.is_none()) {
                 node.ready_time = end;
                 node.binding_dep = Some(idx);
             }
             node.remaining_deps -= 1;
             if node.remaining_deps == 0 {
-                self.ready.push(Reverse((node.ready_time.as_ns(), dep)));
+                self.ready
+                    .push(Reverse((node.ready_time.as_ns(), dep as usize)));
             }
+            edge = next;
         }
         true
     }
@@ -498,7 +693,7 @@ impl Scheduler {
             let o = &self.ops[i];
             path.push(CriticalStep {
                 op: OpId(i),
-                label: o.label.to_string(),
+                label: o.label,
                 category: o.category,
                 start: o.start.expect("on path"),
                 end: o.end.expect("on path"),
@@ -536,12 +731,33 @@ impl Scheduler {
         self.max_end
     }
 
-    /// The trace recorded so far (empty unless tracing was on).
+    /// The spans recorded so far as stored — interned labels, no string
+    /// materialization. Empty unless the level is [`TraceLevel::Full`].
+    pub fn raw_spans(&self) -> &[RawSpan] {
+        &self.spans
+    }
+
+    /// The trace recorded so far (empty unless the level is
+    /// [`TraceLevel::Full`]). Materializes label strings; use
+    /// [`Scheduler::raw_spans`] on hot paths.
     pub fn trace(&self) -> Trace {
         Trace {
             engine_names: self.engine_names.clone(),
-            spans: self.spans.clone(),
+            spans: self.spans.iter().map(span_of_raw).collect(),
         }
+    }
+}
+
+/// Materialize one stored span into the public string-labelled form.
+pub fn span_of_raw(r: &RawSpan) -> Span {
+    Span {
+        engine: r.engine as usize,
+        server: r.server as usize,
+        label: r.label.as_str().to_string(),
+        category: r.category.as_str().to_string(),
+        start: r.start,
+        end: r.end,
+        seq: r.seq,
     }
 }
 
@@ -695,6 +911,79 @@ mod tests {
     }
 
     #[test]
+    fn counters_level_tallies_without_spans() {
+        let mut s = Scheduler::new();
+        let e = s.add_engine("copy", 1);
+        s.set_trace_level(TraceLevel::Counters);
+        s.submit(Op::on(e, ns(10)));
+        s.submit(Op::on(e, ns(5)));
+        s.submit(Op::marker());
+        s.run_all();
+        assert!(s.raw_spans().is_empty());
+        assert_eq!(
+            s.engine_counters()[0],
+            EngineCounters {
+                ops: 2,
+                busy_ns: 15
+            }
+        );
+    }
+
+    #[test]
+    fn full_level_tallies_and_records() {
+        let mut s = Scheduler::new();
+        let e = s.add_engine("copy", 1);
+        s.set_trace_level(TraceLevel::Full);
+        s.submit(Op::on(e, ns(10)));
+        s.run_all();
+        assert_eq!(s.raw_spans().len(), 1);
+        assert_eq!(
+            s.engine_counters()[0],
+            EngineCounters {
+                ops: 1,
+                busy_ns: 10
+            }
+        );
+    }
+
+    #[test]
+    fn trace_levels_do_not_change_timing() {
+        let run = |level: TraceLevel| {
+            let mut s = Scheduler::new();
+            let e = s.add_engine("e", 2);
+            s.set_trace_level(level);
+            let a = s.submit(Op::on(e, ns(10)));
+            let b = s.submit(Op::on(e, ns(20)));
+            let c = s.submit(Op::on(e, ns(5)).after(a).after(b));
+            s.run_all();
+            (
+                s.completion(a),
+                s.completion(b),
+                s.completion(c),
+                s.max_end(),
+                s.decision_points(),
+            )
+        };
+        let full = run(TraceLevel::Full);
+        assert_eq!(run(TraceLevel::Off), full);
+        assert_eq!(run(TraceLevel::Counters), full);
+    }
+
+    #[test]
+    fn decision_points_count_branching_pops() {
+        let mut s = Scheduler::new();
+        let e = s.add_engine("e", 1);
+        // a and b ready together: one decision point; c waits on a, so its
+        // pop is a singleton.
+        let a = s.submit(Op::on(e, ns(10)));
+        let b = s.submit(Op::on(e, ns(10)));
+        let c = s.submit(Op::on(e, ns(10)).after(a).after(b));
+        s.run_all();
+        assert_eq!(s.decision_points(), 1);
+        let _ = (b, c);
+    }
+
+    #[test]
     #[should_panic(expected = "not-yet-submitted")]
     fn forward_dependency_panics() {
         let mut s = Scheduler::new();
@@ -717,6 +1006,24 @@ mod tests {
         let c = s.submit(Op::on(e, ns(30)).after(a));
         let d = s.submit(Op::on(e, ns(5)).after(b).after(c));
         assert_eq!(s.run_until(d), ns(45)); // 10 + 30 + 5
+    }
+
+    #[test]
+    fn many_deps_spill_past_inline_capacity() {
+        let mut s = Scheduler::new();
+        let e = s.add_engine("e", 8);
+        let pre: Vec<OpId> = (0..7).map(|i| s.submit(Op::on(e, ns(10 + i)))).collect();
+        let gather = s.submit(
+            Op::marker()
+                .after_all(pre.iter().copied())
+                .touches(1, false)
+                .touches(2, false)
+                .touches(3, false)
+                .touches(4, true)
+                .touches(5, true)
+                .touches(6, false),
+        );
+        assert_eq!(s.run_until(gather), ns(16));
     }
 
     #[test]
@@ -827,6 +1134,7 @@ mod tests {
         // Exactly one decision point: {a, b}; after removing b only a is
         // ready, which is not a decision.
         assert_eq!(*seen.borrow(), vec![vec![a.0, b.0]]);
+        assert_eq!(s.decision_points(), 1);
     }
 
     #[test]

@@ -235,7 +235,7 @@ impl GpuSystem {
         let mut critical_by_category: BTreeMap<&'static str, SimTime> = BTreeMap::new();
         for step in &path {
             *critical_by_category
-                .entry(step.category)
+                .entry(step.category.as_str())
                 .or_insert(SimTime::ZERO) += step.end - step.start;
         }
 

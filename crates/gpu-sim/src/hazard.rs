@@ -28,8 +28,7 @@
 //! stale-cache-list read even though no scheduler-level race exists.
 
 use crate::system::BufKey;
-use desim::{OpId, SimTime, Trace};
-use std::collections::HashMap;
+use desim::{OpId, SimTime, Sym, Trace};
 
 /// What kind of ordering violation a hazard is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -127,48 +126,26 @@ pub enum Dir {
     Write,
 }
 
-#[derive(Debug, Clone, Default, PartialEq)]
-struct VClock(Vec<u64>);
-
-impl VClock {
-    fn get(&self, comp: usize) -> u64 {
-        self.0.get(comp).copied().unwrap_or(0)
-    }
-
-    fn bump(&mut self, comp: usize) {
-        if self.0.len() <= comp {
-            self.0.resize(comp + 1, 0);
-        }
-        self.0[comp] += 1;
-    }
-
-    fn join(&mut self, other: &VClock) {
-        if self.0.len() < other.0.len() {
-            self.0.resize(other.0.len(), 0);
-        }
-        for (i, &v) in other.0.iter().enumerate() {
-            self.0[i] = self.0[i].max(v);
-        }
-    }
-}
-
 /// One recorded access: enough to decide happens-before against any later
-/// operation's clock.
-#[derive(Debug, Clone)]
+/// operation's clock. `Copy` — labels are interned, so recording an access
+/// allocates nothing.
+#[derive(Debug, Clone, Copy)]
 struct AccessInfo {
     op: OpId,
     /// Clock component the issuing stream owns.
     comp: usize,
     /// The issuing op's stamp in its own component.
     stamp: u64,
-    label: String,
-    category: String,
+    label: Sym,
+    category: Sym,
 }
 
 impl AccessInfo {
-    /// Whether this access happens-before an op with `clock`.
-    fn ordered_before(&self, clock: &VClock) -> bool {
-        clock.get(self.comp) >= self.stamp
+    /// Whether this access happens-before an op with clock `clock` (a
+    /// component slice of `stride` length; components past the slice are
+    /// implicitly zero).
+    fn ordered_before(&self, clock: &[u64]) -> bool {
+        clock.get(self.comp).copied().unwrap_or(0) >= self.stamp
     }
 }
 
@@ -182,36 +159,82 @@ const TRANSFER_CATEGORIES: [&str; 6] = ["h2d", "d2h", "d2d", "p2p", "salvage", "
 /// every enqueue and host-synchronization point.
 pub(crate) struct HazardTracker {
     deep: bool,
-    /// Per-op vector clocks (every submitted op that can appear as a
-    /// dependency must be here, or its edges are lost).
-    clocks: HashMap<OpId, VClock>,
+    /// Per-op vector clocks in one flat arena: op `i`'s clock is the
+    /// `stride`-long row at `i * stride` (scheduler ops are numbered
+    /// sequentially). Ops submitted without an `observe_op` call leave
+    /// all-zero rows, which join as no-ops — exactly "no edges known".
+    /// One arena beats per-op clock values: observing an op is a row copy
+    /// and a few row maxes, with no allocation and no pointer chasing.
+    clocks: Vec<u64>,
+    /// Components per clock row: max stream component seen + 1. Grows (and
+    /// re-strides the arena) when a new stream appears — setup-time only.
+    stride: usize,
     /// What the host has observed complete; joined into every new op
     /// (an enqueue happens-after everything the host synchronized on).
-    host: VClock,
-    /// Last writer per buffer.
-    writers: HashMap<BufKey, AccessInfo>,
-    /// Readers since the last write, per buffer.
-    readers: HashMap<BufKey, Vec<AccessInfo>>,
-    /// Buffers the runtime's cache list evicted with no reload since.
-    evicted: HashMap<BufKey, String>,
+    host: Vec<u64>,
+    /// Reusable row buffer for the op clock under construction.
+    scratch: Vec<u64>,
+    /// Per-buffer access state, dense-indexed by buffer kind and index —
+    /// buffer ids are small sequential allocator indices, so a direct
+    /// table beats hashing `BufKey`s on every access (several lookups per
+    /// enqueued op).
+    bufs: [Vec<BufState>; 3],
     counters: HazardCounters,
     records: Vec<HazardRecord>,
     seq: u64,
+}
+
+/// Access state of one buffer: last writer, readers since that write, and
+/// whether the runtime's cache list evicted it with no reload since.
+#[derive(Default)]
+struct BufState {
+    writer: Option<AccessInfo>,
+    /// Readers since the last write. Cleared — capacity kept — on write.
+    readers: Vec<AccessInfo>,
+    evicted: Option<Sym>,
+}
+
+/// Dense table coordinates of a `BufKey`.
+fn buf_coords(key: BufKey) -> (usize, usize) {
+    match key {
+        BufKey::Device(i) => (0, i),
+        BufKey::Host(i) => (1, i),
+        BufKey::Managed(i) => (2, i),
+    }
 }
 
 impl HazardTracker {
     pub(crate) fn new() -> Self {
         HazardTracker {
             deep: false,
-            clocks: HashMap::new(),
-            host: VClock::default(),
-            writers: HashMap::new(),
-            readers: HashMap::new(),
-            evicted: HashMap::new(),
+            clocks: Vec::new(),
+            stride: 1,
+            host: vec![0],
+            scratch: vec![0],
+            bufs: [Vec::new(), Vec::new(), Vec::new()],
             counters: HazardCounters::default(),
             records: Vec::new(),
             seq: 0,
         }
+    }
+
+    /// Ensure clock rows are wide enough for component `comp`, re-striding
+    /// the arena in place if a new stream appeared (setup-time rarity).
+    fn ensure_comp(&mut self, comp: usize) {
+        if comp < self.stride {
+            return;
+        }
+        let old = self.stride;
+        let new = comp + 1;
+        let rows = self.clocks.len() / old;
+        let mut widened = vec![0u64; rows * new];
+        for r in 0..rows {
+            widened[r * new..r * new + old].copy_from_slice(&self.clocks[r * old..(r + 1) * old]);
+        }
+        self.clocks = widened;
+        self.host.resize(new, 0);
+        self.scratch.resize(new, 0);
+        self.stride = new;
     }
 
     pub(crate) fn set_deep(&mut self, on: bool) {
@@ -236,69 +259,99 @@ impl HazardTracker {
         op: OpId,
         comp: usize,
         deps: &[OpId],
-        label: &str,
-        category: &str,
+        label: impl Into<Sym>,
+        category: impl Into<Sym>,
         accesses: &[(BufKey, Dir)],
         now: SimTime,
     ) {
-        let mut clock = self.host.clone();
+        let (label, category) = (label.into(), category.into());
+        self.ensure_comp(comp);
+        let stride = self.stride;
+        let mut clock = std::mem::take(&mut self.scratch);
+        clock.copy_from_slice(&self.host);
         for d in deps {
-            if let Some(c) = self.clocks.get(d) {
-                clock.join(c);
+            let row = d.0 * stride;
+            if row + stride <= self.clocks.len() {
+                for (c, &v) in clock.iter_mut().zip(&self.clocks[row..row + stride]) {
+                    *c = (*c).max(v);
+                }
             }
         }
-        clock.bump(comp);
-        let stamp = clock.get(comp);
+        clock[comp] += 1;
+        let stamp = clock[comp];
         for &(key, dir) in accesses {
             let info = AccessInfo {
                 op,
                 comp,
                 stamp,
-                label: label.to_string(),
-                category: category.to_string(),
+                label,
+                category,
             };
             match dir {
                 Dir::Read => self.check_read(key, info, &clock, now),
                 Dir::Write => self.check_write(key, info, &clock, now),
             }
         }
-        self.clocks.insert(op, clock);
+        if self.clocks.len() < (op.0 + 1) * stride {
+            self.clocks.resize((op.0 + 1) * stride, 0);
+        }
+        self.clocks[op.0 * stride..(op.0 + 1) * stride].copy_from_slice(&clock);
+        self.scratch = clock;
     }
 
     /// The host blocked until `op` completed: join its clock into the
     /// host's, ordering every later enqueue after it.
     pub(crate) fn host_joins(&mut self, op: OpId) {
-        if let Some(c) = self.clocks.get(&op) {
-            let c = c.clone();
-            self.host.join(&c);
+        let stride = self.stride;
+        let row = op.0 * stride;
+        if row + stride <= self.clocks.len() {
+            for (h, &v) in self.host.iter_mut().zip(&self.clocks[row..row + stride]) {
+                *h = (*h).max(v);
+            }
         }
     }
 
     /// The runtime's cache list dropped `key` from its slot; a read
     /// before the next write is a stale-cache-list read.
-    pub(crate) fn note_evicted(&mut self, key: BufKey, label: &str) {
-        self.evicted.insert(key, label.to_string());
+    pub(crate) fn note_evicted(&mut self, key: BufKey, label: impl Into<Sym>) {
+        self.buf_state(key).evicted = Some(label.into());
     }
 
-    fn check_read(&mut self, key: BufKey, info: AccessInfo, clock: &VClock, now: SimTime) {
-        if let Some(evict_label) = self.evicted.get(&key) {
-            let evict_label = evict_label.clone();
+    /// The dense state slot for `key`, growing its kind's table on first
+    /// sight of a new buffer index.
+    fn buf_state(&mut self, key: BufKey) -> &mut BufState {
+        let (t, i) = buf_coords(key);
+        let table = &mut self.bufs[t];
+        if table.len() <= i {
+            table.resize_with(i + 1, BufState::default);
+        }
+        &mut table[i]
+    }
+
+    fn check_read(&mut self, key: BufKey, info: AccessInfo, clock: &[u64], now: SimTime) {
+        let s = self.buf_state(key);
+        let evicted = s.evicted;
+        let writer = s.writer;
+        s.readers.push(info);
+        if let Some(evict_label) = evicted {
             self.report(
                 HazardKind::StaleCacheRead,
                 key,
-                &evict_label,
-                &info.label,
+                evict_label,
+                info.label,
                 info.op,
                 info.op,
                 now,
             );
         }
-        if let Some(w) = self.writers.get(&key) {
+        if let Some(w) = writer {
             if !w.ordered_before(clock) {
-                let kind = if ghosty(&w.label)
-                    || ghosty(&w.category)
-                    || ghosty(&info.label)
-                    || ghosty(&info.category)
+                // Conflict classification is off the hot path — resolving
+                // the interned labels here is fine.
+                let kind = if ghosty(w.label.as_str())
+                    || ghosty(w.category.as_str())
+                    || ghosty(info.label.as_str())
+                    || ghosty(info.category.as_str())
                 {
                     HazardKind::GhostOrdering
                 } else if TRANSFER_CATEGORIES.contains(&w.category.as_str()) {
@@ -306,50 +359,44 @@ impl HazardTracker {
                 } else {
                     HazardKind::ReadWriteRace
                 };
-                let (first_label, first_op) = (w.label.clone(), w.op);
-                self.report(kind, key, &first_label, &info.label, first_op, info.op, now);
+                self.report(kind, key, w.label, info.label, w.op, info.op, now);
             }
         }
-        self.readers.entry(key).or_default().push(info);
     }
 
-    fn check_write(&mut self, key: BufKey, info: AccessInfo, clock: &VClock, now: SimTime) {
-        if let Some(w) = self.writers.get(&key) {
+    fn check_write(&mut self, key: BufKey, info: AccessInfo, clock: &[u64], now: SimTime) {
+        let s = self.buf_state(key);
+        let prev = s.writer;
+        // Take the reader list out so conflicts can be reported while
+        // iterating; its capacity goes back afterwards, so steady-state
+        // writes allocate nothing.
+        let mut readers = std::mem::take(&mut s.readers);
+        s.writer = Some(info);
+        s.evicted = None;
+        if let Some(w) = prev {
             if !w.ordered_before(clock) {
-                let kind = if ghosty(&w.label) || ghosty(&info.label) {
+                let kind = if ghosty(w.label.as_str()) || ghosty(info.label.as_str()) {
                     HazardKind::GhostOrdering
                 } else {
                     HazardKind::WriteAfterWrite
                 };
-                let (first_label, first_op) = (w.label.clone(), w.op);
-                self.report(kind, key, &first_label, &info.label, first_op, info.op, now);
+                self.report(kind, key, w.label, info.label, w.op, info.op, now);
             }
         }
-        let unordered: Vec<(String, OpId, String)> = self
-            .readers
-            .get(&key)
-            .map(|rs| {
-                rs.iter()
-                    .filter(|r| !r.ordered_before(clock))
-                    .map(|r| (r.label.clone(), r.op, r.category.clone()))
-                    .collect()
-            })
-            .unwrap_or_default();
-        for (first_label, first_op, first_category) in unordered {
-            let kind = if ghosty(&first_label)
-                || ghosty(&first_category)
-                || ghosty(&info.label)
-                || ghosty(&info.category)
+        for r in readers.iter().filter(|r| !r.ordered_before(clock)) {
+            let kind = if ghosty(r.label.as_str())
+                || ghosty(r.category.as_str())
+                || ghosty(info.label.as_str())
+                || ghosty(info.category.as_str())
             {
                 HazardKind::GhostOrdering
             } else {
                 HazardKind::WriteAfterRead
             };
-            self.report(kind, key, &first_label, &info.label, first_op, info.op, now);
+            self.report(kind, key, r.label, info.label, r.op, info.op, now);
         }
-        self.readers.remove(&key);
-        self.evicted.remove(&key);
-        self.writers.insert(key, info);
+        readers.clear();
+        self.buf_state(key).readers = readers;
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -357,8 +404,8 @@ impl HazardTracker {
         &mut self,
         kind: HazardKind,
         buffer: BufKey,
-        first_label: &str,
-        second_label: &str,
+        first_label: Sym,
+        second_label: Sym,
         first_op: OpId,
         second_op: OpId,
         now: SimTime,
@@ -368,8 +415,8 @@ impl HazardTracker {
             self.records.push(HazardRecord {
                 kind,
                 buffer,
-                first_label: first_label.to_string(),
-                second_label: second_label.to_string(),
+                first_label: first_label.as_str().to_string(),
+                second_label: second_label.as_str().to_string(),
                 first_op,
                 second_op,
                 enqueue_seq: self.seq,

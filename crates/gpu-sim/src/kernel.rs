@@ -11,28 +11,68 @@
 
 use crate::config::KernelCost;
 use crate::system::BufKey;
-use std::borrow::Cow;
+use desim::Sym;
+
+/// Inline-first access list: kernels read and write a handful of buffers
+/// (stencils touch two or three), so the first four keys live on the stack
+/// and only longer declarations spill to the heap.
+pub(crate) struct KeyList {
+    inline: [BufKey; 4],
+    len: usize,
+    spill: Vec<BufKey>,
+}
+
+impl KeyList {
+    fn new() -> Self {
+        KeyList {
+            inline: [BufKey::Device(0); 4],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, key: BufKey) {
+        if self.len < self.inline.len() {
+            self.inline[self.len] = key;
+        } else {
+            self.spill.push(key);
+        }
+        self.len += 1;
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = BufKey> + '_ {
+        self.inline[..self.len.min(self.inline.len())]
+            .iter()
+            .copied()
+            .chain(self.spill.iter().copied())
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
 
 /// Description of one kernel launch. Build with [`KernelLaunch::new`].
 pub struct KernelLaunch {
-    pub(crate) label: Cow<'static, str>,
+    pub(crate) label: Sym,
     pub(crate) cost: KernelCost,
     pub(crate) efficiency: f64,
     pub(crate) exec: Option<Box<dyn FnOnce()>>,
-    pub(crate) reads: Vec<BufKey>,
-    pub(crate) writes: Vec<BufKey>,
+    pub(crate) reads: KeyList,
+    pub(crate) writes: KeyList,
 }
 
 impl KernelLaunch {
-    /// A kernel with the given trace label and cost.
-    pub fn new(label: impl Into<Cow<'static, str>>, cost: KernelCost) -> Self {
+    /// A kernel with the given trace label and cost. The label is interned
+    /// ([`Sym`]); pass a `Sym` directly on hot paths to skip the lookup.
+    pub fn new(label: impl Into<Sym>, cost: KernelCost) -> Self {
         KernelLaunch {
             label: label.into(),
             cost,
             efficiency: 1.0,
             exec: None,
-            reads: Vec::new(),
-            writes: Vec::new(),
+            reads: KeyList::new(),
+            writes: KeyList::new(),
         }
     }
 
@@ -47,6 +87,19 @@ impl KernelLaunch {
     pub fn exec(mut self, f: impl FnOnce() + 'static) -> Self {
         self.exec = Some(Box::new(f));
         self
+    }
+
+    /// Install the data effect only when `backed` is true. Timing-only
+    /// systems hand out virtual slabs, on which every effect provably
+    /// no-ops (views return `None` without calling the closure), so
+    /// skipping the box — and the closure's captures — is observationally
+    /// identical and keeps the launch hot path allocation-free.
+    pub fn exec_if(self, backed: bool, f: impl FnOnce() + 'static) -> Self {
+        if backed {
+            self.exec(f)
+        } else {
+            self
+        }
     }
 
     /// Declare a buffer the kernel reads (hazard checking + managed-memory
@@ -77,8 +130,8 @@ mod tests {
             .writes(BufKey::Device(1));
         assert_eq!(k.label, "k");
         assert_eq!(k.efficiency, 0.5);
-        assert_eq!(k.reads, vec![BufKey::Device(0)]);
-        assert_eq!(k.writes, vec![BufKey::Device(1)]);
+        assert_eq!(k.reads.iter().collect::<Vec<_>>(), vec![BufKey::Device(0)]);
+        assert_eq!(k.writes.iter().collect::<Vec<_>>(), vec![BufKey::Device(1)]);
         assert!(k.exec.is_none());
     }
 

@@ -33,7 +33,7 @@ pub use system::{
     BufKey, DeviceBuffer, Event, GpuSystem, Hazard, HostBuffer, ManagedBuffer, StreamId,
 };
 
-pub use desim::{Bound, CriticalStep, OpId, SimTime, Trace};
+pub use desim::{Bound, CriticalStep, OpId, SimTime, Sym, Trace, TraceLevel};
 
 #[cfg(test)]
 mod tests {

@@ -221,6 +221,17 @@ impl IntegrityBook {
         self.poisoned_host.remove(&idx);
     }
 
+    /// Account a copy whose data effect was elided: on an unbacked platform
+    /// with no corruption scheduled, every slab is virtual and every poison
+    /// set provably stays empty, so the only observable action a transfer
+    /// effect performs is this counter bump. Must mirror what
+    /// `transfer_with_retransmits` does on a clean verdict.
+    pub(crate) fn note_passive_copy(&mut self) {
+        if self.enabled {
+            self.stats.verified += 1;
+        }
+    }
+
     /// Run one transfer attempt plus the in-flight corruption / verify /
     /// retransmit loop the verdict prescribes. Returns `true` when the
     /// destination range ended poisoned (every attempt corrupted).

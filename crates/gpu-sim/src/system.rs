@@ -40,11 +40,20 @@ use crate::fault::{FaultPlan, FaultState, FaultStats, Lane};
 use crate::hazard::{Dir, HazardCounters, HazardRecord, HazardTracker};
 use crate::kernel::KernelLaunch;
 use crate::memory::{DeviceAllocator, IntegrityBook, IntegrityStats, OutOfDeviceMemory};
-use desim::{EngineId, Op, OpId, Scheduler, SimTime, Trace};
+use desim::{intern_fmt, EngineId, Op, OpId, Scheduler, SimTime, Sym, Trace, TraceLevel};
 use memslab::Slab;
-use std::borrow::Cow;
 use std::cell::RefCell;
 use std::rc::Rc;
+
+/// Interned symbol for a literal, resolved once per call site (an atomic
+/// load afterwards) — keeps constant labels/categories off the interner's
+/// hash path in per-op code.
+macro_rules! csym {
+    ($s:literal) => {{
+        static S: std::sync::OnceLock<Sym> = std::sync::OnceLock::new();
+        *S.get_or_init(|| desim::intern_static($s))
+    }};
+}
 
 /// Handle to a device allocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -195,7 +204,10 @@ pub struct GpuSystem {
     streams: Vec<StreamState>,
     backed: bool,
     hazard_checking: bool,
-    accesses: Vec<(OpId, BufKey, Access, String)>,
+    accesses: Vec<(OpId, BufKey, Access, Sym)>,
+    /// Reused dependency buffer for enqueue paths (capacity persists across
+    /// calls; taken/restored around each enqueue).
+    deps_scratch: Vec<OpId>,
     bytes_h2d: u64,
     bytes_d2h: u64,
     bytes_p2p: u64,
@@ -205,8 +217,29 @@ pub struct GpuSystem {
     /// perform copies (the scheduler is single-threaded, so a `RefCell`
     /// behind an `Rc` is sound: effects run one at a time).
     integrity: Rc<RefCell<IntegrityBook>>,
+    /// Whether enqueues must install data-effect closures. False only when
+    /// the platform is unbacked AND the fault plan schedules no corruption:
+    /// then every slab is virtual, no poison can ever arise, and the only
+    /// observable act of a copy effect is its verified-counter bump — which
+    /// [`IntegrityBook::note_passive_copy`] performs synchronously instead.
+    /// Recomputed by [`GpuSystem::set_fault_plan`].
+    data_effects: bool,
+    /// Interned labels for healthy transfers, keyed by
+    /// `(kind << 56) | bytes`. Distinct transfer sizes per run are few, so a
+    /// linear scan beats re-formatting and re-hashing the label every op.
+    xfer_labels: Vec<(u64, Sym)>,
     /// Always-on vector-clock happens-before tracker.
     hazards: HazardTracker,
+}
+
+/// Transfer-label kinds for [`GpuSystem::xfer_labels`].
+mod xk {
+    pub const H2D: u64 = 1;
+    pub const D2H: u64 = 2;
+    pub const D2D: u64 = 3;
+    pub const P2P: u64 = 4;
+    pub const SALVAGE: u64 = 5;
+    pub const UVM: u64 = 6;
 }
 
 impl GpuSystem {
@@ -258,6 +291,7 @@ impl GpuSystem {
             }
         }
         let fault = FaultState::new(cfg.faults.clone());
+        let data_effects = backed || cfg.faults.corruption.enabled();
         GpuSystem {
             cfg,
             sched,
@@ -272,14 +306,29 @@ impl GpuSystem {
             backed,
             hazard_checking: false,
             accesses: Vec::new(),
+            deps_scratch: Vec::new(),
             bytes_h2d: 0,
             bytes_d2h: 0,
             bytes_p2p: 0,
             kernels_launched: 0,
             fault,
             integrity: Rc::new(RefCell::new(IntegrityBook::new())),
+            data_effects,
+            xfer_labels: Vec::new(),
             hazards: HazardTracker::new(),
         }
+    }
+
+    /// Cached interned label for a healthy transfer of `bytes` (`kind` is a
+    /// [`xk`] constant); `make` renders it on first sight.
+    fn xfer_label(&mut self, kind: u64, bytes: u64, make: impl FnOnce() -> Sym) -> Sym {
+        let key = (kind << 56) | bytes;
+        if let Some(&(_, s)) = self.xfer_labels.iter().find(|&&(k, _)| k == key) {
+            return s;
+        }
+        let s = make();
+        self.xfer_labels.push((key, s));
+        s
     }
 
     /// Number of simulated devices.
@@ -297,8 +346,35 @@ impl GpuSystem {
     }
 
     /// Enable span recording (for Gantt charts / Chrome traces).
+    /// Compatibility wrapper over [`GpuSystem::set_trace_level`]:
+    /// `true` = [`TraceLevel::Full`], `false` = [`TraceLevel::Off`].
     pub fn set_tracing(&mut self, on: bool) {
         self.sched.set_tracing(on);
+    }
+
+    /// Set how much execution history the scheduler records
+    /// ([`TraceLevel::Off`] / `Counters` / `Full`). Levels change what is
+    /// *recorded*, never the schedule: timing, digests, statistics and
+    /// hazard counters are bit-identical across levels.
+    pub fn set_trace_level(&mut self, level: TraceLevel) {
+        self.sched.set_trace_level(level);
+    }
+
+    /// Current trace level.
+    pub fn trace_level(&self) -> TraceLevel {
+        self.sched.trace_level()
+    }
+
+    /// Scheduling decision points so far: admissions at which more than one
+    /// enqueued op was simultaneously runnable. The denominator of the
+    /// ns/decision-point simulator-throughput metric.
+    pub fn decision_points(&self) -> u64 {
+        self.sched.decision_points()
+    }
+
+    /// Operations executed by the scheduler so far.
+    pub fn ops_executed(&self) -> u64 {
+        self.sched.executed() as u64
     }
 
     /// Install (or clear) a [`desim::ScheduleOracle`] on the underlying
@@ -345,12 +421,20 @@ impl GpuSystem {
 
     /// Whether a device buffer holds data known corrupt beyond repair.
     pub fn device_poisoned(&self, d: DeviceBuffer) -> bool {
+        // Without backing data or injected corruption, poison provably
+        // cannot arise — skip the integrity-book borrow on the hot path.
+        if !self.data_effects {
+            return false;
+        }
         self.integrity.borrow().device_poisoned(d.0)
     }
 
     /// Whether a host buffer received data from a poisoned source. A
     /// runtime must never expose such a buffer's contents as results.
     pub fn host_poisoned(&self, h: HostBuffer) -> bool {
+        if !self.data_effects {
+            return false;
+        }
         self.integrity.borrow().host_poisoned(h.0)
     }
 
@@ -389,7 +473,7 @@ impl GpuSystem {
     /// Runtime hook: the cache list evicted `d`'s slot. A subsequent read
     /// of the buffer without a reload is flagged as a stale-cache-list read
     /// even though no scheduler-level race exists.
-    pub fn note_evicted(&mut self, d: DeviceBuffer, label: &str) {
+    pub fn note_evicted(&mut self, d: DeviceBuffer, label: impl Into<Sym>) {
         self.hazards.note_evicted(BufKey::Device(d.0), label);
     }
 
@@ -547,9 +631,10 @@ impl GpuSystem {
 
     /// Record an event capturing all work submitted to `stream` so far.
     pub fn record_event(&mut self, stream: StreamId) -> Event {
-        let mut op = Op::marker().label("event").category("event");
-        let deps: Vec<OpId> = self.streams[stream.0].last.into_iter().collect();
-        if let Some(last) = self.streams[stream.0].last {
+        let ev = csym!("event");
+        let mut op = Op::marker().label(ev).category(ev);
+        let last = self.streams[stream.0].last;
+        if let Some(last) = last {
             op = op.after(last);
         }
         let id = self.sched.submit(op.not_before(self.host_clock));
@@ -561,15 +646,10 @@ impl GpuSystem {
         self.push_stream_op(stream, id);
         // Events carry ordering across streams: the tracker must know their
         // clocks or `stream_wait_event` edges would be lost.
-        self.hazards.observe_op(
-            id,
-            stream.0 + 1,
-            &deps,
-            "event",
-            "event",
-            &[],
-            self.host_clock,
-        );
+        let deps_buf = last.map(|l| [l]);
+        let deps: &[OpId] = deps_buf.as_ref().map(|a| &a[..]).unwrap_or(&[]);
+        self.hazards
+            .observe_op(id, stream.0 + 1, deps, ev, ev, &[], self.host_clock);
         Event(id)
     }
 
@@ -643,7 +723,7 @@ impl GpuSystem {
     /// host-clock advance, no dependencies, no hazard-tracker stamp. Used
     /// by runtimes to make silent degradations (e.g. a capped prefetch)
     /// observable in the trace.
-    pub fn note_marker(&mut self, category: &'static str, label: impl Into<Cow<'static, str>>) {
+    pub fn note_marker(&mut self, category: &'static str, label: impl Into<Sym>) {
         if self.fault.crashed() {
             return;
         }
@@ -654,24 +734,33 @@ impl GpuSystem {
         let _ = self.sched.submit(op);
     }
 
-    /// Gather the dependencies for the next op on `stream` and charge the
-    /// host the asynchronous-submission overhead.
+    /// Gather the dependencies for the next op on `stream` into the reused
+    /// scratch buffer (take it back with [`GpuSystem::put_deps`] when the
+    /// enqueue path is done, so its capacity survives to the next call).
     fn stream_deps(&mut self, stream: StreamId) -> Vec<OpId> {
+        let mut deps = std::mem::take(&mut self.deps_scratch);
+        deps.clear();
         let st = &mut self.streams[stream.0];
-        let mut deps = std::mem::take(&mut st.pending);
+        deps.extend_from_slice(&st.pending);
+        st.pending.clear();
         if let Some(last) = st.last {
             deps.push(last);
         }
         deps
     }
 
+    /// Return the scratch buffer taken by [`GpuSystem::stream_deps`].
+    fn put_deps(&mut self, deps: Vec<OpId>) {
+        self.deps_scratch = deps;
+    }
+
     fn push_stream_op(&mut self, stream: StreamId, op: OpId) {
         self.streams[stream.0].last = Some(op);
     }
 
-    fn record_access(&mut self, op: OpId, key: BufKey, access: Access, label: &str) {
+    fn record_access(&mut self, op: OpId, key: BufKey, access: Access, label: Sym) {
         if self.hazard_checking {
-            self.accesses.push((op, key, access, label.to_string()));
+            self.accesses.push((op, key, access, label));
         }
     }
 
@@ -704,8 +793,6 @@ impl GpuSystem {
         let eng_h2d = self.devices[device].eng_h2d;
         let bytes = (len * std::mem::size_of::<f64>()) as u64;
         let kind = self.host[src.0].kind;
-        let dst_slab = self.dev[dst.0].slab.clone();
-        let src_slab = self.host[src.0].slab.clone();
         let mut deps = self.stream_deps(stream);
 
         if kind == HostMemKind::Pageable {
@@ -714,7 +801,7 @@ impl GpuSystem {
                 Op::on(self.eng_host, self.cfg.stage_time(bytes))
                     .not_before(self.host_clock)
                     .label("stage-h2d")
-                    .category("host"),
+                    .category(csym!("host")),
             );
             deps.push(stage);
         } else {
@@ -733,31 +820,30 @@ impl GpuSystem {
                     .not_before(self.host_clock)
                     .after_all(deps.iter().copied())
                     .label("xfer-stall")
-                    .category("stall"),
+                    .category(csym!("stall")),
             );
             deps.push(sop);
         }
 
         let label = if v.faulted {
-            format!("H2D-fault[{bytes}B]")
+            intern_fmt(format_args!("H2D-fault[{bytes}B]"))
         } else if v.livelocked {
-            format!("H2D-wedged[{bytes}B]")
+            intern_fmt(format_args!("H2D-wedged[{bytes}B]"))
         } else {
-            format!("H2D[{bytes}B]")
+            self.xfer_label(xk::H2D, bytes, || intern_fmt(format_args!("H2D[{bytes}B]")))
         };
         let category = if v.faulted {
-            "h2d-fault"
+            csym!("h2d-fault")
         } else if v.livelocked {
-            "livelock"
+            csym!("livelock")
         } else {
-            "h2d"
+            csym!("h2d")
         };
-        let deps_hb = deps.clone();
         let mut builder = Op::on(eng_h2d, v.duration)
             .not_before(self.host_clock)
             .host_cause(self.last_block)
-            .after_all(deps)
-            .label(label.clone())
+            .after_all(deps.iter().copied())
+            .label(label)
             .category(category)
             .touches(BufKey::Host(src.0).resource_id(), false)
             .touches(BufKey::Device(dst.0).resource_id(), true);
@@ -765,36 +851,46 @@ impl GpuSystem {
             // A faulted or wedged attempt occupies the engine but moves no
             // data. A healthy one copies under the integrity layer: flips
             // land, digests are verified, retransmits repair.
-            let integrity = Rc::clone(&self.integrity);
-            let corrupt = v.corrupt;
-            let (dst_idx, src_idx) = (dst.0, src.0);
-            builder = builder.effect(move || {
-                integrity.borrow_mut().h2d_effect(
-                    &dst_slab, dst_idx, dst_off, &src_slab, src_idx, src_off, len, corrupt,
-                )
-            });
+            if self.data_effects {
+                let integrity = Rc::clone(&self.integrity);
+                let corrupt = v.corrupt;
+                let (dst_idx, src_idx) = (dst.0, src.0);
+                let dst_slab = self.dev[dst.0].slab.clone();
+                let src_slab = self.host[src.0].slab.clone();
+                builder = builder.effect(move || {
+                    integrity.borrow_mut().h2d_effect(
+                        &dst_slab, dst_idx, dst_off, &src_slab, src_idx, src_off, len, corrupt,
+                    )
+                });
+            } else {
+                self.integrity.borrow_mut().note_passive_copy();
+            }
         }
         let op = self.sched.submit(builder);
         self.push_stream_op(stream, op);
-        let mut hb_accesses: Vec<(BufKey, Dir)> = Vec::new();
+        let hb_buf = [
+            (BufKey::Host(src.0), Dir::Read),
+            (BufKey::Device(dst.0), Dir::Write),
+        ];
+        let mut hb_accesses: &[(BufKey, Dir)] = &[];
         if v.faulted {
             self.fault.mark_faulted(op);
         } else if !v.livelocked {
             self.bytes_h2d += bytes;
-            self.record_access(op, BufKey::Host(src.0), Access::Read, "h2d");
-            self.record_access(op, BufKey::Device(dst.0), Access::Write, "h2d");
-            hb_accesses.push((BufKey::Host(src.0), Dir::Read));
-            hb_accesses.push((BufKey::Device(dst.0), Dir::Write));
+            self.record_access(op, BufKey::Host(src.0), Access::Read, csym!("h2d"));
+            self.record_access(op, BufKey::Device(dst.0), Access::Write, csym!("h2d"));
+            hb_accesses = &hb_buf;
         }
         self.hazards.observe_op(
             op,
             stream.0 + 1,
-            &deps_hb,
-            &label,
+            &deps,
+            label,
             category,
-            &hb_accesses,
+            hb_accesses,
             self.host_clock,
         );
+        self.put_deps(deps);
 
         if kind == HostMemKind::Pageable {
             let t = self.sched.run_until(op);
@@ -823,8 +919,6 @@ impl GpuSystem {
         let eng_d2h = self.devices[device].eng_d2h;
         let bytes = (len * std::mem::size_of::<f64>()) as u64;
         let kind = self.host[dst.0].kind;
-        let dst_slab = self.host[dst.0].slab.clone();
-        let src_slab = self.dev[src.0].slab.clone();
         let mut deps = self.stream_deps(stream);
 
         if kind == HostMemKind::Pinned {
@@ -843,65 +937,74 @@ impl GpuSystem {
                     .not_before(self.host_clock)
                     .after_all(deps.iter().copied())
                     .label("xfer-stall")
-                    .category("stall"),
+                    .category(csym!("stall")),
             );
             deps.push(sop);
         }
 
         let label = if v.faulted {
-            format!("D2H-fault[{bytes}B]")
+            intern_fmt(format_args!("D2H-fault[{bytes}B]"))
         } else if v.livelocked {
-            format!("D2H-wedged[{bytes}B]")
+            intern_fmt(format_args!("D2H-wedged[{bytes}B]"))
         } else {
-            format!("D2H[{bytes}B]")
+            self.xfer_label(xk::D2H, bytes, || intern_fmt(format_args!("D2H[{bytes}B]")))
         };
         let category = if v.faulted {
-            "d2h-fault"
+            csym!("d2h-fault")
         } else if v.livelocked {
-            "livelock"
+            csym!("livelock")
         } else {
-            "d2h"
+            csym!("d2h")
         };
-        let deps_hb = deps.clone();
         let mut builder = Op::on(eng_d2h, v.duration)
             .not_before(self.host_clock)
             .host_cause(self.last_block)
-            .after_all(deps)
-            .label(label.clone())
+            .after_all(deps.iter().copied())
+            .label(label)
             .category(category)
             .touches(BufKey::Device(src.0).resource_id(), false)
             .touches(BufKey::Host(dst.0).resource_id(), true);
         if !v.faulted && !v.livelocked {
-            let integrity = Rc::clone(&self.integrity);
-            let corrupt = v.corrupt;
-            let (dst_idx, src_idx) = (dst.0, src.0);
-            builder = builder.effect(move || {
-                integrity.borrow_mut().d2h_effect(
-                    &dst_slab, dst_idx, dst_off, &src_slab, src_idx, src_off, len, corrupt,
-                )
-            });
+            if self.data_effects {
+                let integrity = Rc::clone(&self.integrity);
+                let corrupt = v.corrupt;
+                let (dst_idx, src_idx) = (dst.0, src.0);
+                let dst_slab = self.host[dst.0].slab.clone();
+                let src_slab = self.dev[src.0].slab.clone();
+                builder = builder.effect(move || {
+                    integrity.borrow_mut().d2h_effect(
+                        &dst_slab, dst_idx, dst_off, &src_slab, src_idx, src_off, len, corrupt,
+                    )
+                });
+            } else {
+                self.integrity.borrow_mut().note_passive_copy();
+            }
         }
         let op = self.sched.submit(builder);
         self.push_stream_op(stream, op);
-        let mut hb_accesses: Vec<(BufKey, Dir)> = Vec::new();
+        let hb_buf = [
+            (BufKey::Device(src.0), Dir::Read),
+            (BufKey::Host(dst.0), Dir::Write),
+        ];
+        let mut hb_accesses: &[(BufKey, Dir)] = &[];
         if v.faulted {
             self.fault.mark_faulted(op);
         } else if !v.livelocked {
             self.bytes_d2h += bytes;
-            self.record_access(op, BufKey::Device(src.0), Access::Read, "d2h");
-            self.record_access(op, BufKey::Host(dst.0), Access::Write, "d2h");
-            hb_accesses.push((BufKey::Device(src.0), Dir::Read));
-            hb_accesses.push((BufKey::Host(dst.0), Dir::Write));
+            self.record_access(op, BufKey::Device(src.0), Access::Read, csym!("d2h"));
+            self.record_access(op, BufKey::Host(dst.0), Access::Write, csym!("d2h"));
+            hb_accesses = &hb_buf;
         }
         self.hazards.observe_op(
             op,
             stream.0 + 1,
-            &deps_hb,
-            &label,
+            &deps,
+            label,
             category,
-            &hb_accesses,
+            hb_accesses,
             self.host_clock,
         );
+        self.put_deps(deps);
 
         if kind == HostMemKind::Pageable {
             // DMA into the bounce buffer, then a host-side unstage copy;
@@ -910,7 +1013,7 @@ impl GpuSystem {
                 Op::on(self.eng_host, self.cfg.stage_time(bytes))
                     .after(op)
                     .label("stage-d2h")
-                    .category("host"),
+                    .category(csym!("host")),
             );
             let t = self.sched.run_until(unstage);
             self.host_clock = self.host_clock.max(t);
@@ -943,46 +1046,50 @@ impl GpuSystem {
             "stream and buffers live on different devices"
         );
         let bytes = (len * std::mem::size_of::<f64>()) as u64;
-        let dst_slab = self.dev[dst.0].slab.clone();
-        let src_slab = self.dev[src.0].slab.clone();
         let deps = self.stream_deps(stream);
         self.host_clock += self.cfg.host_enqueue_overhead;
         // Read + write of the payload at device memory bandwidth.
         let duration = self.cfg.copy_latency
             + SimTime::from_secs_f64(2.0 * bytes as f64 / self.cfg.device_mem_bw);
-        let deps_hb = deps.clone();
-        let integrity = Rc::clone(&self.integrity);
-        let (dst_idx, src_idx) = (dst.0, src.0);
-        let op = self.sched.submit(
-            Op::on(self.devices[device].eng_compute, duration)
-                .not_before(self.host_clock)
-                .host_cause(self.last_block)
-                .after_all(deps)
-                .label(format!("D2D[{bytes}B]"))
-                .category("d2d")
-                .touches(BufKey::Device(src.0).resource_id(), false)
-                .touches(BufKey::Device(dst.0).resource_id(), true)
-                .effect(move || {
-                    integrity.borrow_mut().dev_copy_effect(
-                        &dst_slab, dst_idx, dst_off, &src_slab, src_idx, src_off, len,
-                    )
-                }),
-        );
+        let label = self.xfer_label(xk::D2D, bytes, || intern_fmt(format_args!("D2D[{bytes}B]")));
+        let mut builder = Op::on(self.devices[device].eng_compute, duration)
+            .not_before(self.host_clock)
+            .host_cause(self.last_block)
+            .after_all(deps.iter().copied())
+            .label(label)
+            .category(csym!("d2d"))
+            .touches(BufKey::Device(src.0).resource_id(), false)
+            .touches(BufKey::Device(dst.0).resource_id(), true);
+        if self.data_effects {
+            let integrity = Rc::clone(&self.integrity);
+            let (dst_idx, src_idx) = (dst.0, src.0);
+            let dst_slab = self.dev[dst.0].slab.clone();
+            let src_slab = self.dev[src.0].slab.clone();
+            builder = builder.effect(move || {
+                integrity.borrow_mut().dev_copy_effect(
+                    &dst_slab, dst_idx, dst_off, &src_slab, src_idx, src_off, len,
+                )
+            });
+        } else {
+            self.integrity.borrow_mut().note_passive_copy();
+        }
+        let op = self.sched.submit(builder);
         self.push_stream_op(stream, op);
-        self.record_access(op, BufKey::Device(src.0), Access::Read, "d2d");
-        self.record_access(op, BufKey::Device(dst.0), Access::Write, "d2d");
+        self.record_access(op, BufKey::Device(src.0), Access::Read, csym!("d2d"));
+        self.record_access(op, BufKey::Device(dst.0), Access::Write, csym!("d2d"));
         self.hazards.observe_op(
             op,
             stream.0 + 1,
-            &deps_hb,
-            &format!("D2D[{bytes}B]"),
-            "d2d",
+            &deps,
+            label,
+            csym!("d2d"),
             &[
                 (BufKey::Device(src.0), Dir::Read),
                 (BufKey::Device(dst.0), Dir::Write),
             ],
             self.host_clock,
         );
+        self.put_deps(deps);
         op
     }
 
@@ -1010,45 +1117,49 @@ impl GpuSystem {
         );
         let bytes = (len * std::mem::size_of::<f64>()) as u64;
         self.bytes_p2p += bytes;
-        let dst_slab = self.dev[dst.0].slab.clone();
-        let src_slab = self.dev[src.0].slab.clone();
         let deps = self.stream_deps(stream);
         self.host_clock += self.cfg.host_enqueue_overhead;
         let duration =
             self.cfg.copy_latency + SimTime::from_secs_f64(bytes as f64 / self.cfg.p2p_bw);
-        let deps_hb = deps.clone();
-        let integrity = Rc::clone(&self.integrity);
-        let (dst_idx, src_idx) = (dst.0, src.0);
-        let op = self.sched.submit(
-            Op::on(self.devices[dst_device].eng_h2d, duration)
-                .not_before(self.host_clock)
-                .host_cause(self.last_block)
-                .after_all(deps)
-                .label(format!("P2P[{bytes}B]"))
-                .category("p2p")
-                .touches(BufKey::Device(src.0).resource_id(), false)
-                .touches(BufKey::Device(dst.0).resource_id(), true)
-                .effect(move || {
-                    integrity.borrow_mut().dev_copy_effect(
-                        &dst_slab, dst_idx, dst_off, &src_slab, src_idx, src_off, len,
-                    )
-                }),
-        );
+        let label = self.xfer_label(xk::P2P, bytes, || intern_fmt(format_args!("P2P[{bytes}B]")));
+        let mut builder = Op::on(self.devices[dst_device].eng_h2d, duration)
+            .not_before(self.host_clock)
+            .host_cause(self.last_block)
+            .after_all(deps.iter().copied())
+            .label(label)
+            .category(csym!("p2p"))
+            .touches(BufKey::Device(src.0).resource_id(), false)
+            .touches(BufKey::Device(dst.0).resource_id(), true);
+        if self.data_effects {
+            let integrity = Rc::clone(&self.integrity);
+            let (dst_idx, src_idx) = (dst.0, src.0);
+            let dst_slab = self.dev[dst.0].slab.clone();
+            let src_slab = self.dev[src.0].slab.clone();
+            builder = builder.effect(move || {
+                integrity.borrow_mut().dev_copy_effect(
+                    &dst_slab, dst_idx, dst_off, &src_slab, src_idx, src_off, len,
+                )
+            });
+        } else {
+            self.integrity.borrow_mut().note_passive_copy();
+        }
+        let op = self.sched.submit(builder);
         self.push_stream_op(stream, op);
-        self.record_access(op, BufKey::Device(src.0), Access::Read, "p2p");
-        self.record_access(op, BufKey::Device(dst.0), Access::Write, "p2p");
+        self.record_access(op, BufKey::Device(src.0), Access::Read, csym!("p2p"));
+        self.record_access(op, BufKey::Device(dst.0), Access::Write, csym!("p2p"));
         self.hazards.observe_op(
             op,
             stream.0 + 1,
-            &deps_hb,
-            &format!("P2P[{bytes}B]"),
-            "p2p",
+            &deps,
+            label,
+            csym!("p2p"),
             &[
                 (BufKey::Device(src.0), Dir::Read),
                 (BufKey::Device(dst.0), Dir::Write),
             ],
             self.host_clock,
         );
+        self.put_deps(deps);
         op
     }
 
@@ -1096,6 +1207,7 @@ impl GpuSystem {
     /// Replace the fault plan, resetting all fault bookkeeping (attempt
     /// ordinals, counters, faulted-op registry).
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.data_effects = self.backed || plan.corruption.enabled();
         self.fault = FaultState::new(plan);
     }
 
@@ -1122,12 +1234,12 @@ impl GpuSystem {
     /// Host-side retry backoff: occupies the host lane like
     /// [`GpuSystem::host_work`] but categorised as `backoff` so traces and
     /// reports attribute recovery time separately from useful work.
-    pub fn backoff_work(&mut self, duration: SimTime, label: impl Into<Cow<'static, str>>) {
+    pub fn backoff_work(&mut self, duration: SimTime, label: impl Into<Sym>) {
         let op = Op::on(self.eng_host, duration)
             .not_before(self.host_clock)
             .host_cause(self.last_block)
             .label(label.into())
-            .category("backoff");
+            .category(csym!("backoff"));
         let op = self.sched.submit(op);
         let t = self.sched.run_until(op);
         self.last_block = Some(op);
@@ -1160,46 +1272,52 @@ impl GpuSystem {
         let slowdown = self.fault.plan.salvage_slowdown.max(1.0);
         let nominal = self.cfg.d2h_time(bytes);
         let duration = SimTime::from_ns((nominal.as_ns() as f64 * slowdown).round() as u64);
-        let dst_slab = self.host[dst.0].slab.clone();
-        let src_slab = self.dev[src.0].slab.clone();
         let deps = self.stream_deps(stream);
         self.host_clock += self.cfg.host_enqueue_overhead;
-        let deps_hb = deps.clone();
-        let integrity = Rc::clone(&self.integrity);
-        let (dst_idx, src_idx) = (dst.0, src.0);
-        let op = self.sched.submit(
-            Op::on(eng_d2h, duration)
-                .not_before(self.host_clock)
-                .host_cause(self.last_block)
-                .after_all(deps)
-                .label(format!("D2H-salvage[{bytes}B]"))
-                .category("salvage")
-                .touches(BufKey::Device(src.0).resource_id(), false)
-                .touches(BufKey::Host(dst.0).resource_id(), true)
-                .effect(move || {
-                    // The maintenance path is exempt from injected link
-                    // corruption but still verifies the device source, so a
-                    // salvage of a struck slot cannot launder bad bytes.
-                    integrity.borrow_mut().d2h_effect(
-                        &dst_slab, dst_idx, dst_off, &src_slab, src_idx, src_off, len, None,
-                    )
-                }),
-        );
+        let label = self.xfer_label(xk::SALVAGE, bytes, || {
+            intern_fmt(format_args!("D2H-salvage[{bytes}B]"))
+        });
+        let mut builder = Op::on(eng_d2h, duration)
+            .not_before(self.host_clock)
+            .host_cause(self.last_block)
+            .after_all(deps.iter().copied())
+            .label(label)
+            .category(csym!("salvage"))
+            .touches(BufKey::Device(src.0).resource_id(), false)
+            .touches(BufKey::Host(dst.0).resource_id(), true);
+        if self.data_effects {
+            let integrity = Rc::clone(&self.integrity);
+            let (dst_idx, src_idx) = (dst.0, src.0);
+            let dst_slab = self.host[dst.0].slab.clone();
+            let src_slab = self.dev[src.0].slab.clone();
+            builder = builder.effect(move || {
+                // The maintenance path is exempt from injected link
+                // corruption but still verifies the device source, so a
+                // salvage of a struck slot cannot launder bad bytes.
+                integrity.borrow_mut().d2h_effect(
+                    &dst_slab, dst_idx, dst_off, &src_slab, src_idx, src_off, len, None,
+                )
+            });
+        } else {
+            self.integrity.borrow_mut().note_passive_copy();
+        }
+        let op = self.sched.submit(builder);
         self.push_stream_op(stream, op);
-        self.record_access(op, BufKey::Device(src.0), Access::Read, "salvage");
-        self.record_access(op, BufKey::Host(dst.0), Access::Write, "salvage");
+        self.record_access(op, BufKey::Device(src.0), Access::Read, csym!("salvage"));
+        self.record_access(op, BufKey::Host(dst.0), Access::Write, csym!("salvage"));
         self.hazards.observe_op(
             op,
             stream.0 + 1,
-            &deps_hb,
-            &format!("D2H-salvage[{bytes}B]"),
-            "salvage",
+            &deps,
+            label,
+            csym!("salvage"),
             &[
                 (BufKey::Device(src.0), Dir::Read),
                 (BufKey::Host(dst.0), Dir::Write),
             ],
             self.host_clock,
         );
+        self.put_deps(deps);
         self.fault.stats.salvages += 1;
         op
     }
@@ -1239,26 +1357,27 @@ impl GpuSystem {
                 SimTime::ZERO
             };
             let device = self.streams[stream.0].device;
-            let deps_hb = deps.clone();
+            let label = intern_fmt(format_args!("{}-crash", k.label));
             let op = self.sched.submit(
                 Op::on(self.devices[device].eng_compute, duration)
                     .not_before(self.host_clock)
                     .host_cause(self.last_block)
-                    .after_all(deps)
-                    .label(format!("{}-crash", k.label))
-                    .category("crash"),
+                    .after_all(deps.iter().copied())
+                    .label(label)
+                    .category(csym!("crash")),
             );
             self.push_stream_op(stream, op);
             self.fault.mark_faulted(op);
             self.hazards.observe_op(
                 op,
                 stream.0 + 1,
-                &deps_hb,
-                &format!("{}-crash", k.label),
-                "crash",
+                &deps,
+                label,
+                csym!("crash"),
                 &[],
                 self.host_clock,
             );
+            self.put_deps(deps);
             return op;
         }
 
@@ -1268,7 +1387,7 @@ impl GpuSystem {
             .iter()
             .chain(k.writes.iter())
             .filter_map(|key| match key {
-                BufKey::Managed(i) => Some(*i),
+                BufKey::Managed(i) => Some(i),
                 _ => None,
             })
             .collect();
@@ -1280,6 +1399,9 @@ impl GpuSystem {
                     "managed buffer touched from a stream on another device"
                 );
                 let bytes = self.managed[i].slab.bytes();
+                let label = self.xfer_label(xk::UVM, bytes, || {
+                    intern_fmt(format_args!("UVM-mig[{bytes}B]"))
+                });
                 let mig = self.sched.submit(
                     Op::on(
                         self.devices[device].eng_h2d,
@@ -1287,8 +1409,8 @@ impl GpuSystem {
                     )
                     .not_before(self.host_clock)
                     .after_all(deps.iter().copied())
-                    .label(format!("UVM-mig[{bytes}B]"))
-                    .category("uvm")
+                    .label(label)
+                    .category(csym!("uvm"))
                     .touches(BufKey::Managed(i).resource_id(), true),
                 );
                 deps.push(mig);
@@ -1297,71 +1419,111 @@ impl GpuSystem {
         }
 
         let duration = k.cost.duration(&self.cfg, k.efficiency);
-        let deps_hb = deps.clone();
-        // Integrity wrapper around the kernel's data effect: pre-verify the
-        // device buffers it reads (repairing resident strikes on clean slots
-        // from their host origin), run the kernel, record post-write digests
-        // and propagate poison, then land any scheduled dirty-DRAM strike.
-        let strike = self.fault.kernel_strike();
-        let dev_slabs = |keys: &[BufKey]| -> Vec<(usize, Slab)> {
-            keys.iter()
-                .filter_map(|key| match key {
-                    BufKey::Device(i) => Some((*i, self.dev[*i].slab.clone())),
-                    _ => None,
-                })
-                .collect()
-        };
-        let read_slabs = dev_slabs(&k.reads);
-        let write_slabs = dev_slabs(&k.writes);
-        let integrity = Rc::clone(&self.integrity);
-        let exec = k.exec;
-        // A kernel that runs a data effect without declaring its write set
-        // may have mutated any device buffer; all digests/origins are forfeit.
-        let undeclared = exec.is_some() && k.writes.is_empty();
         let mut op = Op::on(self.devices[device].eng_compute, duration)
             .not_before(self.host_clock)
             .host_cause(self.last_block)
-            .after_all(deps)
-            .label(k.label.clone())
-            .category("kernel");
-        for key in &k.reads {
+            .after_all(deps.iter().copied())
+            .label(k.label)
+            .category(csym!("kernel"));
+        for key in k.reads.iter() {
             op = op.touches(key.resource_id(), false);
         }
-        for key in &k.writes {
+        for key in k.writes.iter() {
             op = op.touches(key.resource_id(), true);
         }
-        let op = op.effect(move || {
-            let inputs_poisoned = integrity.borrow_mut().kernel_pre(&read_slabs, &write_slabs);
-            if let Some(exec) = exec {
-                exec();
-            }
-            integrity
-                .borrow_mut()
-                .kernel_post(inputs_poisoned, &write_slabs, undeclared, strike);
-        });
+        let op = if self.data_effects {
+            // Integrity wrapper around the kernel's data effect: pre-verify
+            // the device buffers it reads (repairing resident strikes on
+            // clean slots from their host origin), run the kernel, record
+            // post-write digests and propagate poison, then land any
+            // scheduled dirty-DRAM strike.
+            let strike = self.fault.kernel_strike();
+            let dev_slabs = |keys: &crate::kernel::KeyList| -> Vec<(usize, Slab)> {
+                keys.iter()
+                    .filter_map(|key| match key {
+                        BufKey::Device(i) => Some((i, self.dev[i].slab.clone())),
+                        _ => None,
+                    })
+                    .collect()
+            };
+            let read_slabs = dev_slabs(&k.reads);
+            let write_slabs = dev_slabs(&k.writes);
+            let integrity = Rc::clone(&self.integrity);
+            let exec = k.exec;
+            // A kernel that runs a data effect without declaring its write
+            // set may have mutated any device buffer; all digests/origins
+            // are forfeit.
+            let undeclared = exec.is_some() && k.writes.is_empty();
+            op.effect(move || {
+                let inputs_poisoned = integrity.borrow_mut().kernel_pre(&read_slabs, &write_slabs);
+                if let Some(exec) = exec {
+                    exec();
+                }
+                integrity.borrow_mut().kernel_post(
+                    inputs_poisoned,
+                    &write_slabs,
+                    undeclared,
+                    strike,
+                );
+            })
+        } else if let Some(exec) = k.exec {
+            // Timing-only buffers with no corruption in play: digests,
+            // origins and poison sets are all provably empty, so the
+            // integrity wrapper is pure overhead — run the bare data effect.
+            op.effect(exec)
+        } else {
+            op
+        };
         let id = self.sched.submit(op);
         self.push_stream_op(stream, id);
-        for key in &k.reads {
-            self.record_access(id, *key, Access::Read, &k.label);
+        for key in k.reads.iter() {
+            self.record_access(id, key, Access::Read, k.label);
         }
-        for key in &k.writes {
-            self.record_access(id, *key, Access::Write, &k.label);
+        for key in k.writes.iter() {
+            self.record_access(id, key, Access::Write, k.label);
         }
-        let hb_accesses: Vec<(BufKey, Dir)> = k
+        // Kernel access lists are short (a handful of buffers); one inline
+        // buffer covers the common case without an allocation.
+        let mut hb_buf = [(BufKey::Device(0), Dir::Read); 8];
+        let mut hb_n = 0;
+        let mut hb_spill: Vec<(BufKey, Dir)> = Vec::new();
+        for access in k
             .reads
             .iter()
-            .map(|key| (*key, Dir::Read))
-            .chain(k.writes.iter().map(|key| (*key, Dir::Write)))
-            .collect();
-        self.hazards.observe_op(
-            id,
-            stream.0 + 1,
-            &deps_hb,
-            &k.label,
-            "kernel",
-            &hb_accesses,
-            self.host_clock,
-        );
+            .map(|key| (key, Dir::Read))
+            .chain(k.writes.iter().map(|key| (key, Dir::Write)))
+        {
+            if hb_n < hb_buf.len() {
+                hb_buf[hb_n] = access;
+                hb_n += 1;
+            } else {
+                hb_spill.push(access);
+            }
+        }
+        if hb_spill.is_empty() {
+            self.hazards.observe_op(
+                id,
+                stream.0 + 1,
+                &deps,
+                k.label,
+                csym!("kernel"),
+                &hb_buf[..hb_n],
+                self.host_clock,
+            );
+        } else {
+            let mut all = hb_buf[..hb_n].to_vec();
+            all.append(&mut hb_spill);
+            self.hazards.observe_op(
+                id,
+                stream.0 + 1,
+                &deps,
+                k.label,
+                csym!("kernel"),
+                &all,
+                self.host_clock,
+            );
+        }
+        self.put_deps(deps);
         id
     }
 
@@ -1383,7 +1545,7 @@ impl GpuSystem {
                 )
                 .not_before(self.host_clock)
                 .label(format!("UVM-mig-back[{bytes}B]"))
-                .category("uvm"),
+                .category(csym!("uvm")),
             );
             let t = self.sched.run_until(mig);
             self.host_clock = self.host_clock.max(t);
@@ -1408,43 +1570,43 @@ impl GpuSystem {
         &mut self,
         stream: StreamId,
         duration: SimTime,
-        label: impl Into<Cow<'static, str>>,
+        label: impl Into<Sym>,
         f: impl FnOnce() + 'static,
     ) -> OpId {
         let deps = self.stream_deps(stream);
         self.host_clock += self.cfg.host_enqueue_overhead;
-        let deps_hb = deps.clone();
-        let label: Cow<'static, str> = label.into();
+        let label: Sym = label.into();
         let op = self.sched.submit(
             Op::on(self.eng_host, duration)
                 .not_before(self.host_clock)
                 .host_cause(self.last_block)
-                .after_all(deps)
-                .label(label.clone())
-                .category("hostfn")
+                .after_all(deps.iter().copied())
+                .label(label)
+                .category(csym!("hostfn"))
                 .effect(f),
         );
         self.push_stream_op(stream, op);
         self.hazards.observe_op(
             op,
             stream.0 + 1,
-            &deps_hb,
-            &label,
-            "hostfn",
+            &deps,
+            label,
+            csym!("hostfn"),
             &[],
             self.host_clock,
         );
+        self.put_deps(deps);
         op
     }
 
     /// Perform `duration` of host CPU work (occupies the `host` trace lane
     /// and advances the host clock).
-    pub fn host_work(&mut self, duration: SimTime, label: impl Into<Cow<'static, str>>) {
+    pub fn host_work(&mut self, duration: SimTime, label: impl Into<Sym>) {
         let op = Op::on(self.eng_host, duration)
             .not_before(self.host_clock)
             .host_cause(self.last_block)
             .label(label.into())
-            .category("host");
+            .category(csym!("host"));
         let op = self.sched.submit(op);
         let t = self.sched.run_until(op);
         self.last_block = Some(op);
@@ -1452,7 +1614,7 @@ impl GpuSystem {
     }
 
     /// Host-side memcpy of `bytes` (ghost-cell exchange on the host).
-    pub fn host_copy_work(&mut self, bytes: u64, label: impl Into<Cow<'static, str>>) {
+    pub fn host_copy_work(&mut self, bytes: u64, label: impl Into<Sym>) {
         self.host_work(self.cfg.host_copy_time(bytes), label);
     }
 

@@ -160,6 +160,11 @@ impl TileArray {
     pub fn apply_patch(&self, p: &GhostPatch) {
         let dst = &self.regions[p.dst_region];
         let src = &self.regions[p.src_region];
+        if dst.slab.is_virtual() || src.slab.is_virtual() {
+            // Timing-only arrays move no data: skip the index-list build,
+            // which is O(cells) and dominates unbacked exchange cost.
+            return;
+        }
         let dst_idx = dst.layout.offsets_of(&p.dst_box);
         let src_idx: Vec<usize> = p
             .dst_box

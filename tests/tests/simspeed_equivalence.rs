@@ -1,0 +1,151 @@
+//! Equivalence properties behind the simulator hot-path overhaul.
+//!
+//! The overhaul's contract is that trace levels change only what is
+//! *recorded*, never what is *simulated*, and that the parallel multi-run
+//! driver is a pure fan-out. Concretely:
+//!
+//! * `TraceLevel::Off` and `Counters` runs are bit-identical to `Full`
+//!   runs — same makespan, same AccStats, same hazard counters, same
+//!   decision points, and (on backed runs) the same final grid data.
+//! * `desim::ParallelDriver` produces exactly the outcomes sequential
+//!   execution produces, run for run.
+
+use desim::ParallelDriver;
+use gpu_sim::{GpuSystem, MachineConfig, TraceLevel};
+use kernels::{heat, init};
+use proptest::prelude::*;
+use std::sync::Arc;
+use tida::{tiles_of, Decomposition, Domain, ExchangeMode, RegionSpec, TileArray, TileSpec};
+use tida_acc::{AccOptions, AccStats, SlotPolicy, TileAcc};
+use tida_bench::simspeed::{run_heat, HeatParams, RunOutcome};
+
+const LEVELS: [TraceLevel; 3] = [TraceLevel::Off, TraceLevel::Counters, TraceLevel::Full];
+
+/// Everything observable from one backed heat run: the final grid plus the
+/// counters the timing-only equivalence checks (`data` is the digest — any
+/// effect misapplied or skipped under a cheaper trace level changes it).
+#[derive(Debug, Clone, PartialEq)]
+struct BackedOutcome {
+    data: Vec<f64>,
+    makespan_ns: u64,
+    stats: AccStats,
+    hazard_total: u64,
+}
+
+fn backed_run(level: TraceLevel, n: i64, steps: usize, slots: usize, seed: u64) -> BackedOutcome {
+    let decomp = Arc::new(Decomposition::new(
+        Domain::periodic_cube(n),
+        RegionSpec::Count(8),
+    ));
+    let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+    let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+    ua.fill_valid(init::hash_field(seed));
+    let mut gpu = GpuSystem::new(MachineConfig::k40m());
+    gpu.set_trace_level(level);
+    let mut opts = AccOptions::paper()
+        .with_policy(SlotPolicy::ReuseDistance)
+        .with_lookahead(2);
+    opts.max_slots = Some(slots);
+    let mut acc = TileAcc::new(gpu, opts);
+    let a = acc.register(&ua);
+    let b = acc.register(&ub);
+    let tiles = tiles_of(&decomp, TileSpec::RegionSized);
+    let (mut src, mut dst) = (a, b);
+    for _ in 0..steps {
+        acc.begin_step().unwrap();
+        acc.fill_boundary(src).unwrap();
+        for &t in &tiles {
+            acc.compute2(
+                t,
+                dst,
+                src,
+                heat::cost(t.num_cells()),
+                "heat",
+                |d, s, bx| heat::step_tile(d, s, &bx, heat::DEFAULT_FAC),
+            )
+            .unwrap();
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    acc.sync_to_host(src).unwrap();
+    let makespan = acc.gpu_mut().finish();
+    let stats = acc.stats();
+    let hazard_total = acc.gpu().hazard_counters().total();
+    let arr = if src == a { &ua } else { &ub };
+    BackedOutcome {
+        data: arr.to_dense().expect("backed run"),
+        makespan_ns: makespan.as_ns(),
+        stats,
+        hazard_total,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Timing-only runs (the regime simspeed, schedcheck and the fault
+    /// sweeps live in): every trace level yields the same RunOutcome.
+    #[test]
+    fn prop_trace_levels_identical_timing_only(
+        steps in 2usize..5,
+        slots in 3usize..8,
+        lookahead in 0usize..3,
+    ) {
+        let p = HeatParams { n: 16, steps, regions: 8, slots, lookahead };
+        let full = run_heat(p, TraceLevel::Full);
+        for level in [TraceLevel::Off, TraceLevel::Counters] {
+            prop_assert_eq!(&run_heat(p, level), &full,
+                "trace level {:?} diverged from Full", level);
+        }
+    }
+
+    /// Backed runs: the final grid (the data digest), makespan, AccStats
+    /// and hazard counters are bit-identical across trace levels, and the
+    /// grid matches the dense golden solution — cheaper trace levels must
+    /// not skip or reorder any data effect.
+    #[test]
+    fn prop_trace_levels_identical_backed(
+        steps in 1usize..4,
+        slots in 3usize..6,
+        seed in 0u64..1000,
+    ) {
+        let n = 8i64;
+        let full = backed_run(TraceLevel::Full, n, steps, slots, seed);
+        let golden = heat::golden_run(init::hash_field(seed), n, steps, heat::DEFAULT_FAC);
+        prop_assert_eq!(&full.data, &golden);
+        for level in [TraceLevel::Off, TraceLevel::Counters] {
+            prop_assert_eq!(&backed_run(level, n, steps, slots, seed), &full,
+                "trace level {:?} diverged from Full", level);
+        }
+    }
+
+    /// The parallel driver is a pure fan-out: N workloads fanned over
+    /// threads produce exactly the outcomes sequential execution produces,
+    /// in order, at every trace level.
+    #[test]
+    fn prop_parallel_driver_matches_sequential(
+        base_steps in 2usize..4,
+        threads in 2usize..5,
+        level_idx in 0usize..3,
+    ) {
+        let level = LEVELS[level_idx];
+        let params: Vec<HeatParams> = (0..6)
+            .map(|i| HeatParams {
+                n: 16,
+                steps: base_steps + (i % 3),
+                regions: 8,
+                slots: 5 + (i % 2),
+                lookahead: i % 3,
+            })
+            .collect();
+        let sequential: Vec<RunOutcome> =
+            params.iter().map(|&p| run_heat(p, level)).collect();
+        let parallel = ParallelDriver::new(threads).run(
+            params
+                .iter()
+                .map(|&p| move || run_heat(p, level))
+                .collect::<Vec<_>>(),
+        );
+        prop_assert_eq!(parallel, sequential);
+    }
+}
