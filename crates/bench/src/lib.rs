@@ -8,4 +8,5 @@
 
 pub mod experiments;
 pub mod report;
+pub mod serving;
 pub mod simspeed;

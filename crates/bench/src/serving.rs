@@ -1,0 +1,222 @@
+//! Open-loop load generator and metrics for the multi-tenant serving
+//! runtime (`crates/serving`).
+//!
+//! The workload floods the admission queue with a fixed mix of job sizes
+//! across several tenants, serves it down, and reports throughput
+//! (jobs per *simulated* second) and the virtual-time latency
+//! distribution. Everything runs in virtual time on the deterministic
+//! simulator, so every number here is bit-stable run to run — which is
+//! what lets CI gate on them with a tight tolerance.
+//!
+//! Two runs are reported: a clean platform, and one with transient faults
+//! injected into every tenant — the robustness overhead (retries,
+//! salvage, resubmission) shows up as the throughput delta between them.
+
+use gpu_sim::FaultPlan;
+use serving::{JobSpec, ServingConfig, ServingRuntime};
+
+/// Metrics of one serving run.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ServingRun {
+    pub label: String,
+    pub jobs: usize,
+    pub tenants: u32,
+    pub completed: u64,
+    pub failed: u64,
+    /// Virtual time from first dispatch to idle, milliseconds.
+    pub makespan_ms: f64,
+    /// Completed jobs per simulated second.
+    pub jobs_per_sec: f64,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub mean_ms: f64,
+    pub transfer_fault_events: u64,
+    pub job_retries: u64,
+    pub preemptions: u64,
+    pub cross_tenant_touches: u64,
+    pub hazards: u64,
+}
+
+/// The full benchmark payload written to `BENCH_serving.json`.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ServingBench {
+    pub workload: String,
+    pub clean: ServingRun,
+    pub faulted: ServingRun,
+}
+
+/// The job mix: three size classes so the scheduler juggles short and
+/// long residencies, deterministic per index.
+fn spec_for(i: usize, tenants: u32) -> JobSpec {
+    let tenant = i as u32 % tenants;
+    let seed = 0x5e21 + i as u64;
+    match i % 3 {
+        0 => JobSpec::new(tenant, 1, 64, 2, seed),
+        1 => JobSpec::new(tenant, 2, 512, 4, seed),
+        _ => JobSpec::new(tenant, 1, 4096, 8, seed),
+    }
+}
+
+fn run(label: &str, jobs: usize, tenants: u32, plan: FaultPlan) -> ServingRun {
+    let mut rt = ServingRuntime::new(ServingConfig {
+        max_queue_depth: jobs + 8,
+        per_tenant_quota: jobs,
+        max_active: 4,
+        fault_plan: plan,
+        ..ServingConfig::default()
+    });
+    let mut golden = std::collections::HashMap::new();
+    for i in 0..jobs {
+        let spec = spec_for(i, tenants);
+        let digest = spec.golden_digest();
+        let id = rt.submit(spec).expect("queue is sized for the flood");
+        golden.insert(id, digest);
+    }
+    rt.run_until_idle();
+    let results = rt.results();
+    assert_eq!(
+        results.len(),
+        jobs,
+        "every queued job must produce a result"
+    );
+    let mut completed = 0u64;
+    let mut failed = 0u64;
+    let mut lat: Vec<u64> = Vec::with_capacity(jobs);
+    for r in results {
+        match &r.outcome {
+            Ok(d) => {
+                assert_eq!(*d, golden[&r.job], "bench results must stay golden");
+                completed += 1;
+                lat.push(r.latency().as_ns());
+            }
+            Err(_) => failed += 1,
+        }
+    }
+    lat.sort_unstable();
+    assert!(!lat.is_empty(), "a serving bench run must complete jobs");
+    let ms = |ns: u64| ns as f64 / 1.0e6;
+    let makespan = rt.now();
+    let fs = rt.fault_stats();
+    let (retries, preemptions) = (0..tenants).fold((0, 0), |(r, p), t| {
+        let st = rt.tenant_stats(t);
+        (r + st.retries, p + st.preemptions)
+    });
+    ServingRun {
+        label: label.to_string(),
+        jobs,
+        tenants,
+        completed,
+        failed,
+        makespan_ms: makespan.as_ms_f64(),
+        jobs_per_sec: completed as f64 / makespan.as_secs_f64(),
+        p50_ms: ms(lat[lat.len() / 2]),
+        p99_ms: ms(lat[lat.len() * 99 / 100]),
+        mean_ms: ms(lat.iter().sum::<u64>() / lat.len().max(1) as u64),
+        transfer_fault_events: fs.h2d_faults + fs.d2h_faults,
+        job_retries: retries,
+        preemptions,
+        cross_tenant_touches: rt.cross_tenant_touches(),
+        hazards: rt.hazard_counters().total(),
+    }
+}
+
+/// Run the open-loop serving benchmark. `quick` is the CI gate scale
+/// (1000 jobs / 4 tenants — the acceptance floor); the full scale is
+/// 4000 jobs across 8 tenants.
+pub fn serving_bench(quick: bool) -> ServingBench {
+    let (jobs, tenants) = if quick { (1000, 4) } else { (4000, 8) };
+    let clean = run("clean", jobs, tenants, FaultPlan::none());
+    let faulted = run(
+        "transient-0.05",
+        jobs,
+        tenants,
+        FaultPlan::none().with_seed(0xFA).with_transient(0.05),
+    );
+    assert_eq!(clean.cross_tenant_touches, 0);
+    assert_eq!(clean.hazards, 0);
+    ServingBench {
+        workload: format!("open-loop flood, {jobs} jobs across {tenants} tenants, max_active=4"),
+        clean,
+        faulted,
+    }
+}
+
+/// One chaos-soak cell: a fault plan of class `kind` scoped to one tenant,
+/// served next to three bystander tenants. Returns an error description on
+/// any isolation violation.
+pub fn soak_cell(kind: usize, seed: u64) -> Result<u64, String> {
+    use gpu_sim::{CorruptionFault, CrashFault, TransferFaults};
+    let faulty = (seed % 4) as u32;
+    let plan = match kind {
+        0 => FaultPlan::none().with_seed(seed).with_transient(0.25),
+        1 => FaultPlan {
+            d2h: TransferFaults {
+                fail_after: Some(2),
+                ..TransferFaults::default()
+            },
+            ..FaultPlan::none().with_seed(seed)
+        },
+        2 => FaultPlan::none()
+            .with_seed(seed)
+            .with_corruption(CorruptionFault {
+                h2d_rate: 0.3,
+                strike_after_kernel: vec![1],
+                ..CorruptionFault::default()
+            }),
+        _ => FaultPlan::none()
+            .with_seed(seed)
+            .with_crash(CrashFault::at_transfer(3 + seed % 7)),
+    }
+    .scoped_to(faulty);
+    let mut rt = ServingRuntime::new(ServingConfig {
+        max_active: 2,
+        fault_plan: plan,
+        ..ServingConfig::default()
+    });
+    let specs: Vec<JobSpec> = (0..16u64)
+        .map(|i| JobSpec::new((i % 4) as u32, 2, 48, 3, seed ^ (i << 8)))
+        .collect();
+    for s in &specs {
+        rt.submit(s.clone())
+            .map_err(|e| format!("admission refused: {e:?}"))?;
+    }
+    rt.run_until_idle();
+    if rt.results().len() != specs.len() {
+        return Err(format!(
+            "{} jobs submitted, {} results",
+            specs.len(),
+            rt.results().len()
+        ));
+    }
+    for r in rt.results() {
+        let golden: Vec<u64> = specs
+            .iter()
+            .filter(|s| s.tenant == r.tenant)
+            .map(|s| s.golden_digest())
+            .collect();
+        let ok = match &r.outcome {
+            Ok(d) => golden.contains(d),
+            // Only the scoped tenant may fail, and only with a typed error.
+            Err(_) => r.tenant == faulty,
+        };
+        if !ok {
+            return Err(format!(
+                "kind={kind} seed={seed} faulty={faulty}: tenant {} job {} violated isolation: {:?}",
+                r.tenant, r.job, r.outcome
+            ));
+        }
+    }
+    if rt.cross_tenant_touches() != 0 {
+        return Err(format!(
+            "kind={kind} seed={seed}: {} cross-tenant buffer touches",
+            rt.cross_tenant_touches()
+        ));
+    }
+    if rt.hazard_counters().total() != 0 {
+        return Err(format!(
+            "kind={kind} seed={seed}: {} scheduler hazards",
+            rt.hazard_counters().total()
+        ));
+    }
+    Ok(rt.total_fault_events())
+}

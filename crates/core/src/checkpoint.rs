@@ -245,6 +245,28 @@ fn stats_from_words(w: &[u64; 26]) -> AccStats {
 }
 
 impl Checkpoint {
+    /// Build a snapshot directly from drained region data — the entry point
+    /// for runtimes layered above [`crate::TileAcc`] (the serving layer
+    /// checkpoints a preempted job's regions through the same TACK codec and
+    /// store machinery). `data` is `[array][region]` host values; the
+    /// snapshot satisfies the post-sync invariant by construction (no
+    /// resident slots, nothing dirty).
+    pub fn from_region_data(step: u64, data: Vec<Vec<Vec<f64>>>) -> Checkpoint {
+        Checkpoint {
+            step,
+            clock: 0,
+            stats: AccStats::default(),
+            data,
+            cache: Vec::new(),
+            dirty: Vec::new(),
+        }
+    }
+
+    /// The `[array][region]` host values this snapshot carries.
+    pub fn region_data(&self) -> &[Vec<Vec<f64>>] {
+        &self.data
+    }
+
     /// Serialize to the versioned, per-section-checksummed binary format.
     pub fn encode(&self) -> Vec<u8> {
         let mut meta = Vec::new();
@@ -399,6 +421,9 @@ pub struct CheckpointStore {
     /// `(sequence number, encoded blob)`, oldest first.
     ring: VecDeque<(u64, Vec<u8>)>,
     next_seq: u64,
+    /// Directory entries the last [`CheckpointStore::scan_dir`] skipped:
+    /// foreign files, zero-length snapshots, unreadable entries.
+    scan_skipped: u64,
 }
 
 impl CheckpointStore {
@@ -407,37 +432,75 @@ impl CheckpointStore {
             policy,
             ring: VecDeque::new(),
             next_seq: 0,
+            scan_skipped: 0,
         }
     }
 
     /// Rebuild a store from the `ck_*.tack` files in a directory (for a
     /// cross-process restart). Blobs are loaded verbatim; validation happens
     /// in [`CheckpointStore::latest_valid`].
+    ///
+    /// A snapshot directory on a real deployment is never pristine — editor
+    /// droppings, half-written temp files from a killed mirror, operator
+    /// notes. Anything that is not a well-formed, non-empty `ck_<seq>.tack`
+    /// file is skipped and counted ([`CheckpointStore::scan_skipped`])
+    /// rather than aborting the rescan: a recovery that has a valid snapshot
+    /// on disk must find it regardless of what else accumulated next to it.
+    /// Only a missing/unreadable directory itself is an error.
     pub fn scan_dir(policy: CheckpointPolicy, dir: &Path) -> Result<Self, CheckpointError> {
         let mut found: Vec<(u64, PathBuf)> = Vec::new();
+        let mut skipped = 0u64;
         let entries = std::fs::read_dir(dir).map_err(|e| CheckpointError::Io(e.to_string()))?;
         for entry in entries {
-            let entry = entry.map_err(|e| CheckpointError::Io(e.to_string()))?;
+            let Ok(entry) = entry else {
+                skipped += 1;
+                continue;
+            };
             let name = entry.file_name().to_string_lossy().into_owned();
-            if let Some(seq) = name
+            match name
                 .strip_prefix("ck_")
                 .and_then(|s| s.strip_suffix(".tack"))
                 .and_then(|s| s.parse::<u64>().ok())
             {
-                found.push((seq, entry.path()));
+                Some(seq) => found.push((seq, entry.path())),
+                // Foreign file (or a `.ck_*.tmp` torn mirror): not ours.
+                None => skipped += 1,
             }
         }
         found.sort();
         let mut store = CheckpointStore::new(policy);
         for (seq, path) in found {
-            let blob = std::fs::read(&path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+            let blob = match std::fs::read(&path) {
+                Ok(b) => b,
+                Err(_) => {
+                    // Vanished or unreadable since the directory listing
+                    // (permissions, concurrent pruning): skip it.
+                    skipped += 1;
+                    continue;
+                }
+            };
+            if blob.is_empty() {
+                // A zero-length snapshot carries nothing worth keeping in
+                // the ring; it would only burn a `keep` slot and a rejection
+                // in `latest_valid`.
+                skipped += 1;
+                continue;
+            }
             store.ring.push_back((seq, blob));
-            store.next_seq = seq + 1;
+            store.next_seq = store.next_seq.max(seq + 1);
         }
         while store.ring.len() > store.policy.keep.max(1) {
             store.ring.pop_front();
         }
+        store.scan_skipped = skipped;
         Ok(store)
+    }
+
+    /// How many directory entries the last `scan_dir` skipped (foreign
+    /// files, zero-length or unreadable snapshots). 0 for stores that were
+    /// not built by a rescan.
+    pub fn scan_skipped(&self) -> u64 {
+        self.scan_skipped
     }
 
     pub fn len(&self) -> usize {
@@ -601,6 +664,42 @@ mod tests {
         let (ck, rejected) = store.latest_valid();
         assert_eq!(ck.unwrap().step, 8);
         assert_eq!(rejected, 2);
+    }
+
+    #[test]
+    fn scan_dir_skips_and_counts_foreign_and_empty_files() {
+        let dir = std::env::temp_dir().join(format!("tack-scan-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let policy = CheckpointPolicy::every(1).keep(4).on_disk(&dir);
+        let mut store = CheckpointStore::new(policy.clone());
+        let mut ck = sample();
+        ck.step = 11;
+        store.push(&ck).unwrap();
+
+        // Junk a real snapshot directory accumulates: an operator note, a
+        // torn temp file from a killed mirror, a zero-length snapshot, and
+        // a file with an unparseable sequence number.
+        std::fs::write(dir.join("README.txt"), b"ops notes").unwrap();
+        std::fs::write(dir.join(".ck_00000009.tmp"), b"torn").unwrap();
+        std::fs::write(dir.join("ck_00000099.tack"), b"").unwrap();
+        std::fs::write(dir.join("ck_banana.tack"), b"not a seq").unwrap();
+
+        let rescanned = CheckpointStore::scan_dir(policy, &dir).unwrap();
+        assert_eq!(rescanned.scan_skipped(), 4, "every junk entry counted");
+        assert_eq!(rescanned.len(), 1, "only the real snapshot loaded");
+        let (got, rejected) = rescanned.latest_valid();
+        assert_eq!(got.unwrap().step, 11);
+        assert_eq!(rejected, 0, "junk never reaches the decode path");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn from_region_data_roundtrips_through_the_codec() {
+        let ck = Checkpoint::from_region_data(5, vec![vec![vec![1.5, -2.0], vec![0.0]]]);
+        assert_eq!(ck.step, 5);
+        assert_eq!(ck.region_data()[0][0], vec![1.5, -2.0]);
+        let back = Checkpoint::decode(&ck.encode()).unwrap();
+        assert_eq!(back, ck);
     }
 
     #[test]

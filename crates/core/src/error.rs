@@ -32,6 +32,15 @@ pub enum AccError {
     /// struck, or the host mirror itself poisoned by a bad write-back).
     /// Recovery means restoring a checkpoint taken before the strike.
     Integrity { region: usize, kind: IntegrityKind },
+    /// The serving layer's global admission queue is at its depth bound;
+    /// the job was shed (overload protection, not a runtime failure).
+    QueueFull { tenant: u32 },
+    /// The submitting tenant is at its queued-job quota; the job was shed
+    /// so one tenant's backlog cannot crowd out the others.
+    QuotaExceeded { tenant: u32 },
+    /// The job's deadline passed — either before it could be dispatched
+    /// (queueing delay under load) or before it finished.
+    DeadlineExceeded { tenant: u32, job: u64 },
 }
 
 /// Where an unrepairable corruption was pinned down.
@@ -76,6 +85,16 @@ impl fmt::Display for AccError {
                 f,
                 "unrepairable corruption on region {region} ({kind}); restore a checkpoint"
             ),
+            AccError::QueueFull { tenant } => write!(
+                f,
+                "admission queue full; job from tenant {tenant} was shed"
+            ),
+            AccError::QuotaExceeded { tenant } => {
+                write!(f, "tenant {tenant} is at its queued-job quota")
+            }
+            AccError::DeadlineExceeded { tenant, job } => {
+                write!(f, "job {job} of tenant {tenant} missed its deadline")
+            }
         }
     }
 }
@@ -110,6 +129,15 @@ mod tests {
         }
         .to_string()
         .contains("host mirror"));
+        assert!(AccError::QueueFull { tenant: 2 }
+            .to_string()
+            .contains("shed"));
+        assert!(AccError::QuotaExceeded { tenant: 1 }
+            .to_string()
+            .contains("quota"));
+        assert!(AccError::DeadlineExceeded { tenant: 0, job: 7 }
+            .to_string()
+            .contains("deadline"));
     }
 
     #[test]

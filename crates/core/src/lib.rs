@@ -67,7 +67,7 @@ pub use checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy, CheckpointSt
 pub use error::{AccError, IntegrityKind};
 pub use iter::AccIter;
 pub use multi::MultiAcc;
-pub use options::{AccOptions, SlotPolicy, WritebackPolicy};
+pub use options::{AccOptions, RetryPolicy, SlotPolicy, WritebackPolicy};
 pub use recovery::{restore_into, RecoveryError, RecoveryOutcome, Supervisor, SupervisorConfig};
 pub use stats::AccStats;
 pub use tileacc::{ArrayId, Residency, TileAcc};

@@ -21,6 +21,62 @@ pub enum SlotPolicy {
     ReuseDistance,
 }
 
+/// Bounded retry-with-backoff: how many times a transiently failed
+/// operation is reattempted, and how long the host backs off before each
+/// retry (doubling per attempt, capped at 16 doublings so the shift can
+/// never overflow).
+///
+/// One policy governs every retry loop in the stack — the transfer retries
+/// in [`crate::TileAcc`] / [`crate::MultiAcc`] and the job-level admission
+/// retries of the serving layer — so a deployment tunes a single knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt before the operation is declared
+    /// dead (0 = fail on the first fault).
+    pub max_retries: u32,
+    /// Host-side backoff charged before the first retry; doubles on each
+    /// further attempt.
+    pub base_backoff: SimTime,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: SimTime::from_us(20),
+        }
+    }
+}
+
+impl RetryPolicy {
+    pub const fn new(max_retries: u32, base_backoff: SimTime) -> Self {
+        RetryPolicy {
+            max_retries,
+            base_backoff,
+        }
+    }
+
+    /// A policy that never retries: the first fault is final.
+    pub const fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base_backoff: SimTime::ZERO,
+        }
+    }
+
+    /// Whether `attempt` (0-based count of retries already spent) has
+    /// exhausted the budget.
+    pub fn exhausted(&self, attempt: u32) -> bool {
+        attempt >= self.max_retries
+    }
+
+    /// Backoff charged before retry number `attempt` (0-based): the base
+    /// doubled `attempt` times, capped at 16 doublings.
+    pub fn backoff(&self, attempt: u32) -> SimTime {
+        SimTime::from_ns(self.base_backoff.as_ns() << attempt.min(16))
+    }
+}
+
 /// When an evicted region's device data is copied back to the host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WritebackPolicy {
@@ -77,12 +133,9 @@ pub struct AccOptions {
     /// automatic prefetching; the step-plan recorder still runs so
     /// `SlotPolicy::ReuseDistance` can victimize by reuse distance.
     pub lookahead: usize,
-    /// How many times a transient transfer fault is retried before the
-    /// runtime declares the device path dead and degrades to the host.
-    pub max_transfer_retries: u32,
-    /// Host-side backoff charged before the first retry; doubles on each
-    /// further attempt.
-    pub retry_backoff: SimTime,
+    /// Retry-with-backoff budget for transient transfer faults; exhausting
+    /// it declares the device path dead and degrades to the host.
+    pub retry: RetryPolicy,
 }
 
 impl Default for AccOptions {
@@ -99,8 +152,7 @@ impl Default for AccOptions {
             ghost_barrier: true,
             ghost_batching: false,
             lookahead: 0,
-            max_transfer_retries: 3,
-            retry_backoff: SimTime::from_us(20),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -127,7 +179,12 @@ impl AccOptions {
     }
 
     pub fn with_transfer_retries(mut self, n: u32) -> Self {
-        self.max_transfer_retries = n;
+        self.retry.max_retries = n;
+        self
+    }
+
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -167,8 +224,23 @@ mod tests {
     #[test]
     fn retry_defaults_are_bounded() {
         let o = AccOptions::default();
-        assert_eq!(o.max_transfer_retries, 3);
-        assert!(o.retry_backoff > SimTime::ZERO);
-        assert_eq!(o.with_transfer_retries(9).max_transfer_retries, 9);
+        assert_eq!(o.retry.max_retries, 3);
+        assert!(o.retry.base_backoff > SimTime::ZERO);
+        assert_eq!(o.with_transfer_retries(9).retry.max_retries, 9);
+    }
+
+    #[test]
+    fn retry_policy_backoff_doubles_and_caps() {
+        let p = RetryPolicy::new(3, SimTime::from_us(20));
+        assert_eq!(p.backoff(0), SimTime::from_us(20));
+        assert_eq!(p.backoff(1), SimTime::from_us(40));
+        assert_eq!(p.backoff(2), SimTime::from_us(80));
+        // The doubling caps at 16 shifts so huge attempt counts can't
+        // overflow the nanosecond arithmetic.
+        assert_eq!(p.backoff(16), p.backoff(40));
+        assert!(!p.exhausted(2));
+        assert!(p.exhausted(3));
+        assert!(RetryPolicy::none().exhausted(0));
+        assert_eq!(RetryPolicy::none().backoff(0), SimTime::ZERO);
     }
 }

@@ -622,13 +622,13 @@ impl TileAcc {
             if self.gpu.crashed() {
                 return Err(AcquireFail::Fatal(AccError::Crashed));
             }
-            if attempt >= self.opts.max_transfer_retries {
+            if self.opts.retry.exhausted(attempt) {
                 self.fail_device();
                 return Err(AcquireFail::Fallback);
             }
             self.stats.transfer_retries += 1;
-            let backoff = SimTime::from_ns(self.opts.retry_backoff.as_ns() << attempt.min(16));
-            self.gpu.backoff_work(backoff, "h2d-retry-backoff");
+            self.gpu
+                .backoff_work(self.opts.retry.backoff(attempt), "h2d-retry-backoff");
             op = self.gpu.memcpy_h2d_async(dev, 0, host, 0, len, stream);
             attempt += 1;
         }
@@ -654,15 +654,15 @@ impl TileAcc {
                 // path can rescue it. The caller restores a checkpoint.
                 return Err(AccError::Crashed);
             }
-            if attempt >= self.opts.max_transfer_retries {
+            if self.opts.retry.exhausted(attempt) {
                 self.stats.salvaged_regions += 1;
                 let op = self.gpu.memcpy_d2h_salvage(dst, 0, dev, 0, len, stream);
                 self.fail_device();
                 return Ok(op);
             }
             self.stats.transfer_retries += 1;
-            let backoff = SimTime::from_ns(self.opts.retry_backoff.as_ns() << attempt.min(16));
-            self.gpu.backoff_work(backoff, "d2h-retry-backoff");
+            self.gpu
+                .backoff_work(self.opts.retry.backoff(attempt), "d2h-retry-backoff");
             op = self.gpu.memcpy_d2h_async(dst, 0, dev, 0, len, stream);
             attempt += 1;
         }

@@ -289,6 +289,15 @@ pub struct FaultPlan {
     pub livelocks: Vec<LivelockFault>,
     /// Silent bit flips in flight and in device DRAM.
     pub corruption: CorruptionFault,
+    /// Restrict injection to submissions tagged with this tenant
+    /// ([`crate::GpuSystem::set_tenant`]). Other tenants' (and untenanted)
+    /// submissions pass through clean *without advancing any fault
+    /// ordinal*, so the scoped tenant's fault schedule is a pure function
+    /// of its own operation sequence, not of who else shares the platform.
+    /// A crash still kills the whole platform once it fires — only its
+    /// *trigger counters* are scoped. `None` (the default) injects into
+    /// everything, bit-identical to the pre-tenant behaviour.
+    pub scope_tenant: Option<u32>,
 }
 
 impl Default for FaultPlan {
@@ -312,7 +321,14 @@ impl FaultPlan {
             crash: None,
             livelocks: Vec::new(),
             corruption: CorruptionFault::default(),
+            scope_tenant: None,
         }
+    }
+
+    /// Scope every injection trigger to one tenant's submissions.
+    pub fn scoped_to(mut self, tenant: u32) -> Self {
+        self.scope_tenant = Some(tenant);
+        self
     }
 
     /// Install a silent-corruption schedule.
@@ -483,6 +499,10 @@ pub(crate) struct FaultState {
     crashed: bool,
     /// Ops that represent failed attempts.
     faulted: HashSet<desim::OpId>,
+    /// Tenant tag of the submissions currently being enqueued (mirrors
+    /// [`crate::GpuSystem::set_tenant`]); evaluated against
+    /// [`FaultPlan::scope_tenant`].
+    pub(crate) current_tenant: Option<u32>,
 }
 
 impl FaultState {
@@ -496,7 +516,16 @@ impl FaultState {
             kernel_total: 0,
             crashed: false,
             faulted: HashSet::new(),
+            current_tenant: None,
         }
+    }
+
+    /// Whether the submission being enqueued is eligible for injection
+    /// under the plan's tenant scope.
+    fn in_scope(&self) -> bool {
+        self.plan
+            .scope_tenant
+            .is_none_or(|t| self.current_tenant == Some(t))
     }
 
     pub(crate) fn enabled(&self) -> bool {
@@ -526,7 +555,7 @@ impl FaultState {
     /// exactly this launch (the kernel dies mid-flight: it occupies the
     /// engine but its effect must be dropped).
     pub(crate) fn kernel_enqueue(&mut self, now: SimTime) -> bool {
-        if !self.enabled() || self.crashed {
+        if !self.enabled() || self.crashed || !self.in_scope() {
             return false;
         }
         self.kernel_total += 1;
@@ -539,7 +568,7 @@ impl FaultState {
 
     /// Whether the next `malloc_device` call is refused by the plan.
     pub(crate) fn alloc_refused(&mut self) -> bool {
-        if !self.enabled() {
+        if !self.enabled() || !self.in_scope() {
             return false;
         }
         let n = self.allocs;
@@ -574,6 +603,12 @@ impl FaultState {
                 stall: None,
                 corrupt: None,
             };
+        }
+        if !self.in_scope() {
+            // Out-of-scope tenants see a pristine platform: no verdict, no
+            // ordinal advance — the scoped tenant's schedule stays a pure
+            // function of its own ops.
+            return XferVerdict::clean(nominal);
         }
         self.xfer_total += 1;
         if self.crash_due(now) {
@@ -719,7 +754,7 @@ impl FaultState {
     /// [`FaultState::kernel_enqueue`] returned `false`). Targets the data
     /// the kernel just wrote — dirty, so the host copy is stale.
     pub(crate) fn kernel_strike(&mut self) -> Option<u64> {
-        if !self.enabled() || self.crashed || self.kernel_total == 0 {
+        if !self.enabled() || self.crashed || !self.in_scope() || self.kernel_total == 0 {
             return None;
         }
         let ordinal = self.kernel_total - 1;
@@ -969,6 +1004,66 @@ mod tests {
         assert!(!st.kernel_enqueue(SimTime::ZERO));
         assert!(st.kernel_strike().is_some(), "kernel ordinal 2 is struck");
         assert_eq!(st.stats.resident_strikes, 2);
+    }
+
+    #[test]
+    fn tenant_scope_gates_injection_and_freezes_ordinals() {
+        let mut plan = FaultPlan::none().with_seed(1).scoped_to(7);
+        plan.h2d.fail_after = Some(0); // every in-scope H2D attempt fails
+        let nominal = SimTime::from_us(10);
+        let mut st = FaultState::new(plan);
+        // Untenanted and other-tenant submissions pass clean and advance
+        // no ordinal.
+        for tag in [None, Some(3)] {
+            st.current_tenant = tag;
+            let v = st.transfer_enqueue(Lane::H2d, 0, SimTime::ZERO, nominal);
+            assert!(!v.faulted, "{tag:?} is out of scope");
+            assert_eq!(v.duration, nominal);
+        }
+        assert_eq!(st.stats.h2d_attempts, 0, "out-of-scope ops count nothing");
+        // The scoped tenant still sees its full schedule, starting at
+        // ordinal 0 as if it were alone on the platform.
+        st.current_tenant = Some(7);
+        let v = st.transfer_enqueue(Lane::H2d, 0, SimTime::ZERO, nominal);
+        assert!(v.faulted, "scoped tenant's first attempt faults");
+        assert_eq!(st.stats.h2d_attempts, 1);
+        assert_eq!(st.stats.h2d_faults, 1);
+        // Alloc refusals and kernel strikes are scoped the same way.
+        let mut plan = FaultPlan::none().scoped_to(7);
+        plan.alloc_fail_nth = vec![0];
+        let mut st = FaultState::new(plan);
+        st.current_tenant = Some(3);
+        assert!(!st.alloc_refused(), "other tenant's alloc passes");
+        st.current_tenant = Some(7);
+        assert!(st.alloc_refused(), "scoped tenant hits ordinal 0");
+    }
+
+    #[test]
+    fn scoped_crash_triggers_on_tenant_ops_but_kills_everyone() {
+        let plan = FaultPlan::none()
+            .with_crash(CrashFault::at_transfer(2))
+            .scoped_to(7);
+        let mut st = FaultState::new(plan);
+        let nominal = SimTime::from_us(10);
+        // Other tenants' transfers do not advance the crash trigger.
+        st.current_tenant = Some(3);
+        for _ in 0..5 {
+            let v = st.transfer_enqueue(Lane::H2d, 0, SimTime::ZERO, nominal);
+            assert!(!v.faulted);
+        }
+        assert!(!st.crashed());
+        // The scoped tenant's second transfer fires the crash...
+        st.current_tenant = Some(7);
+        let v = st.transfer_enqueue(Lane::H2d, 0, SimTime::ZERO, nominal);
+        assert!(!v.faulted);
+        let v = st.transfer_enqueue(Lane::H2d, 0, SimTime::ZERO, nominal);
+        assert!(v.faulted, "trigger counts only scoped ops");
+        assert!(st.crashed());
+        // ...and the dead platform then refuses everyone, scope or not.
+        st.current_tenant = Some(3);
+        let v = st.transfer_enqueue(Lane::H2d, 0, SimTime::ZERO, nominal);
+        assert!(v.faulted, "a crash is platform-wide");
+        assert_eq!(v.duration, SimTime::ZERO);
     }
 
     #[test]

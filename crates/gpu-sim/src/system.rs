@@ -43,6 +43,7 @@ use crate::memory::{DeviceAllocator, IntegrityBook, IntegrityStats, OutOfDeviceM
 use desim::{intern_fmt, EngineId, Op, OpId, Scheduler, SimTime, Sym, Trace, TraceLevel};
 use memslab::Slab;
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::rc::Rc;
 
 /// Interned symbol for a literal, resolved once per call site (an atomic
@@ -230,6 +231,18 @@ pub struct GpuSystem {
     xfer_labels: Vec<(u64, Sym)>,
     /// Always-on vector-clock happens-before tracker.
     hazards: HazardTracker,
+    /// Tenant tag applied to submissions until the next
+    /// [`GpuSystem::set_tenant`] (`None` = untenanted / runtime-internal).
+    current_tenant: Option<u32>,
+    /// First tenant to touch each buffer owns it; used by the isolation
+    /// accounting below. Untenanted work neither claims nor conflicts.
+    tenant_owner: HashMap<BufKey, u32>,
+    /// Submissions where a tenant touched a buffer owned by a *different*
+    /// tenant. Every such touch enqueues stream/engine edges between the
+    /// two tenants' operations — a happens-before path through shared
+    /// state — so a multi-tenant runtime that promises isolation asserts
+    /// this stays zero.
+    cross_tenant_touches: u64,
 }
 
 /// Transfer-label kinds for [`GpuSystem::xfer_labels`].
@@ -316,6 +329,9 @@ impl GpuSystem {
             data_effects,
             xfer_labels: Vec::new(),
             hazards: HazardTracker::new(),
+            current_tenant: None,
+            tenant_owner: HashMap::new(),
+            cross_tenant_touches: 0,
         }
     }
 
@@ -765,6 +781,49 @@ impl GpuSystem {
     }
 
     // ------------------------------------------------------------------
+    // Tenant tagging
+    // ------------------------------------------------------------------
+
+    /// Tag every following submission (transfers, kernels, allocations)
+    /// with `tenant` until the next call; `None` marks untenanted
+    /// runtime-internal work. The tag scopes fault injection (see
+    /// [`FaultPlan::scope_tenant`]) and drives the cross-tenant buffer
+    /// accounting behind [`GpuSystem::cross_tenant_touches`].
+    pub fn set_tenant(&mut self, tenant: Option<u32>) {
+        self.current_tenant = tenant;
+        self.fault.current_tenant = tenant;
+    }
+
+    /// The tenant tag currently applied to submissions.
+    pub fn current_tenant(&self) -> Option<u32> {
+        self.current_tenant
+    }
+
+    /// Submissions in which a tagged tenant touched a buffer owned by a
+    /// *different* tenant (first toucher owns). A multi-tenant runtime
+    /// keeping tenants on disjoint buffers must hold this at zero: any
+    /// happens-before edge between two tenants' operations would have to
+    /// run through a shared buffer, so zero cross-tenant touches witnesses
+    /// zero cross-tenant data-flow edges.
+    pub fn cross_tenant_touches(&self) -> u64 {
+        self.cross_tenant_touches
+    }
+
+    fn note_tenant_touch(&mut self, key: BufKey) {
+        let Some(t) = self.current_tenant else { return };
+        match self.tenant_owner.entry(key) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(t);
+            }
+            std::collections::hash_map::Entry::Occupied(e) => {
+                if *e.get() != t {
+                    self.cross_tenant_touches += 1;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Transfers
     // ------------------------------------------------------------------
 
@@ -790,6 +849,8 @@ impl GpuSystem {
             device, self.streams[stream.0].device,
             "stream and destination buffer live on different devices"
         );
+        self.note_tenant_touch(BufKey::Host(src.0));
+        self.note_tenant_touch(BufKey::Device(dst.0));
         let eng_h2d = self.devices[device].eng_h2d;
         let bytes = (len * std::mem::size_of::<f64>()) as u64;
         let kind = self.host[src.0].kind;
@@ -916,6 +977,8 @@ impl GpuSystem {
             device, self.streams[stream.0].device,
             "stream and source buffer live on different devices"
         );
+        self.note_tenant_touch(BufKey::Device(src.0));
+        self.note_tenant_touch(BufKey::Host(dst.0));
         let eng_d2h = self.devices[device].eng_d2h;
         let bytes = (len * std::mem::size_of::<f64>()) as u64;
         let kind = self.host[dst.0].kind;
@@ -1045,6 +1108,8 @@ impl GpuSystem {
             device, self.streams[stream.0].device,
             "stream and buffers live on different devices"
         );
+        self.note_tenant_touch(BufKey::Device(src.0));
+        self.note_tenant_touch(BufKey::Device(dst.0));
         let bytes = (len * std::mem::size_of::<f64>()) as u64;
         let deps = self.stream_deps(stream);
         self.host_clock += self.cfg.host_enqueue_overhead;
@@ -1115,6 +1180,8 @@ impl GpuSystem {
             dst_device, self.streams[stream.0].device,
             "peer-copy stream must live on the destination device"
         );
+        self.note_tenant_touch(BufKey::Device(src.0));
+        self.note_tenant_touch(BufKey::Device(dst.0));
         let bytes = (len * std::mem::size_of::<f64>()) as u64;
         self.bytes_p2p += bytes;
         let deps = self.stream_deps(stream);
@@ -1209,6 +1276,7 @@ impl GpuSystem {
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.data_effects = self.backed || plan.corruption.enabled();
         self.fault = FaultState::new(plan);
+        self.fault.current_tenant = self.current_tenant;
     }
 
     /// Whether a transfer op returned by `memcpy_*_async` was injected as a
@@ -1266,6 +1334,8 @@ impl GpuSystem {
             device, self.streams[stream.0].device,
             "stream and source buffer live on different devices"
         );
+        self.note_tenant_touch(BufKey::Device(src.0));
+        self.note_tenant_touch(BufKey::Host(dst.0));
         let eng_d2h = self.devices[device].eng_d2h;
         let bytes = (len * std::mem::size_of::<f64>()) as u64;
         self.bytes_d2h += bytes;
@@ -1332,6 +1402,9 @@ impl GpuSystem {
     /// the device first (in the same stream) if they are not resident,
     /// reproducing unified memory's on-demand behaviour.
     pub fn launch_kernel(&mut self, stream: StreamId, k: KernelLaunch) -> OpId {
+        for key in k.reads.iter().chain(k.writes.iter()) {
+            self.note_tenant_touch(key);
+        }
         let crash_now = self.fault.kernel_enqueue(self.host_clock);
         let dead = self.fault.crashed();
         if !dead {

@@ -245,3 +245,42 @@ fn misordered_writer_pins_write_after_read() {
     assert_eq!(r.buffer, BufKey::Device(0));
     assert_eq!(r.second_label, "overwriter");
 }
+
+#[test]
+fn tenant_tagging_counts_only_cross_tenant_buffer_touches() {
+    let mut g = GpuSystem::new(MachineConfig::k40m());
+    let h0 = g.malloc_host(256, HostMemKind::Pinned);
+    let h1 = g.malloc_host(256, HostMemKind::Pinned);
+    let d0 = g.malloc_device(256).unwrap();
+    let d1 = g.malloc_device(256).unwrap();
+    let s = g.create_stream();
+
+    // Disjoint working sets: each tenant touches only its own buffers.
+    g.set_tenant(Some(0));
+    g.memcpy_h2d_async(d0, 0, h0, 0, 256, s);
+    g.launch_kernel(
+        s,
+        KernelLaunch::new("t0", KernelCost::Fixed(SimTime::from_us(5)))
+            .reads(d0.into())
+            .writes(d0.into()),
+    );
+    g.set_tenant(Some(1));
+    g.memcpy_h2d_async(d1, 0, h1, 0, 256, s);
+    g.memcpy_d2h_async(h1, 0, d1, 0, 256, s);
+    g.finish();
+    assert_eq!(g.cross_tenant_touches(), 0, "disjoint tenants never cross");
+    assert_eq!(g.current_tenant(), Some(1));
+
+    // Untenanted runtime work on tenant 0's buffers does not count either.
+    g.set_tenant(None);
+    g.memcpy_d2h_async(h0, 0, d0, 0, 256, s);
+    g.finish();
+    assert_eq!(g.cross_tenant_touches(), 0, "untenanted work is exempt");
+
+    // Tenant 1 reading tenant 0's device buffer is a cross-tenant touch
+    // (d0 read + h1 write: only the foreign buffer counts).
+    g.set_tenant(Some(1));
+    g.memcpy_d2h_async(h1, 0, d0, 0, 256, s);
+    g.finish();
+    assert_eq!(g.cross_tenant_touches(), 1, "foreign buffer touch counted");
+}

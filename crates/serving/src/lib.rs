@@ -1,0 +1,32 @@
+//! Multi-tenant serving on the simulated accelerator.
+//!
+//! The paper's runtime overlaps one *job's* transfers with its own
+//! compute. This crate applies the same overlap argument across *tenants*:
+//! a fair-share scheduler keeps several tenants' jobs resident at once,
+//! each in its own stream with disjoint buffers, so one tenant's H2D DMA
+//! runs under another tenant's kernel. Around that core sit the serving
+//! concerns a shared platform needs:
+//!
+//! * **admission control** — a bounded queue with per-tenant quotas; jobs
+//!   beyond either bound are shed with typed errors
+//!   ([`tida_acc::AccError::QueueFull`] /
+//!   [`tida_acc::AccError::QuotaExceeded`]) before touching the device;
+//! * **deadlines** — queued or finished past their deadline, jobs fail
+//!   with [`tida_acc::AccError::DeadlineExceeded`];
+//! * **retry** — transient transfer faults are retried under one
+//!   [`tida_acc::RetryPolicy`]; persistent device-path failures resubmit
+//!   the whole job under a second, job-level budget;
+//! * **preemption** — higher-priority arrivals evict the lowest-priority
+//!   running job at a step boundary through the TACK checkpoint codec;
+//!   the evicted job resumes later, bit-identical to an uninterrupted run;
+//! * **fault isolation** — injected faults, corruption and even
+//!   whole-platform crashes scoped to one tenant leave every other
+//!   tenant's results bit-identical to solo golden runs, witnessed by
+//!   digests plus the platform's cross-tenant touch counter.
+
+mod job;
+mod queue;
+mod runtime;
+
+pub use job::{JobId, JobResult, JobSpec};
+pub use runtime::{ServingConfig, ServingRuntime, TenantStats};

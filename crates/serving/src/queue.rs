@@ -1,0 +1,239 @@
+//! Admission control: the bounded queue in front of the device.
+//!
+//! Overload protection happens here, before any device resource is
+//! touched: a full queue sheds the new job ([`AccError::QueueFull`]), a
+//! tenant at its quota is shed ([`AccError::QuotaExceeded`]) so one
+//! tenant's backlog cannot crowd out the others, and jobs whose deadline
+//! passes while queued are failed at dispatch time without ever occupying
+//! the device ([`AccError::DeadlineExceeded`]).
+
+use std::collections::{HashMap, VecDeque};
+
+use gpu_sim::SimTime;
+use tida_acc::AccError;
+
+use crate::job::{JobId, JobSpec};
+
+/// One queued unit of work. Re-enqueued entries (job-level retries and
+/// preempted jobs being restored) keep their original identity and
+/// submission time so end-to-end latency accounting stays honest.
+#[derive(Debug, Clone)]
+pub(crate) struct QueuedJob {
+    pub(crate) id: JobId,
+    pub(crate) spec: JobSpec,
+    pub(crate) submitted: SimTime,
+    /// Earliest virtual time the entry may be dispatched (retry backoff).
+    pub(crate) not_before: SimTime,
+    pub(crate) retries: u32,
+    pub(crate) preemptions: u32,
+    /// TACK-encoded checkpoint of a preempted run to resume from.
+    pub(crate) resume: Option<Vec<u8>>,
+}
+
+/// Bounded, quota-enforcing admission queue.
+#[derive(Debug)]
+pub(crate) struct AdmissionQueue {
+    queue: VecDeque<QueuedJob>,
+    max_depth: usize,
+    per_tenant_quota: usize,
+    queued_per_tenant: HashMap<u32, usize>,
+    /// Queued entries carrying a deadline, so the per-round expiry sweep
+    /// is free for deadline-less workloads (the open-loop bench).
+    with_deadline: usize,
+    next_id: JobId,
+}
+
+impl AdmissionQueue {
+    pub(crate) fn new(max_depth: usize, per_tenant_quota: usize) -> Self {
+        assert!(max_depth > 0 && per_tenant_quota > 0);
+        AdmissionQueue {
+            queue: VecDeque::new(),
+            max_depth,
+            per_tenant_quota,
+            queued_per_tenant: HashMap::new(),
+            with_deadline: 0,
+            next_id: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    pub(crate) fn queued_for(&self, tenant: u32) -> usize {
+        self.queued_per_tenant.get(&tenant).copied().unwrap_or(0)
+    }
+
+    /// Admit a fresh job or shed it. Shedding is an admission verdict, not
+    /// a runtime failure: nothing was dispatched, no device state exists.
+    pub(crate) fn admit(&mut self, spec: JobSpec, now: SimTime) -> Result<JobId, AccError> {
+        if self.queue.len() >= self.max_depth {
+            return Err(AccError::QueueFull {
+                tenant: spec.tenant,
+            });
+        }
+        let tenant = spec.tenant;
+        let queued = self.queued_for(tenant);
+        if queued >= self.per_tenant_quota {
+            return Err(AccError::QuotaExceeded { tenant });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        *self.queued_per_tenant.entry(tenant).or_insert(0) += 1;
+        if spec.deadline.is_some() {
+            self.with_deadline += 1;
+        }
+        self.queue.push_back(QueuedJob {
+            id,
+            spec,
+            submitted: now,
+            not_before: now,
+            retries: 0,
+            preemptions: 0,
+            resume: None,
+        });
+        Ok(id)
+    }
+
+    /// Put an already-admitted entry back (retry after a device-path
+    /// failure, or a preempted job carrying its checkpoint). Re-entry is
+    /// exempt from depth and quota checks: the job was already accepted
+    /// and its quota slot is still accounted to it.
+    pub(crate) fn requeue(&mut self, entry: QueuedJob) {
+        *self.queued_per_tenant.entry(entry.spec.tenant).or_insert(0) += 1;
+        if entry.spec.deadline.is_some() {
+            self.with_deadline += 1;
+        }
+        self.queue.push_back(entry);
+    }
+
+    /// Highest-priority dispatchable entry at `now` (FIFO among equals,
+    /// skipping entries still in retry backoff). `None` when nothing is
+    /// eligible yet.
+    pub(crate) fn pop_dispatchable(&mut self, now: SimTime) -> Option<QueuedJob> {
+        let idx = self
+            .queue
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.not_before <= now)
+            .max_by(|(ia, a), (ib, b)| {
+                (a.spec.priority, std::cmp::Reverse(*ia))
+                    .cmp(&(b.spec.priority, std::cmp::Reverse(*ib)))
+            })
+            .map(|(i, _)| i)?;
+        let entry = self.queue.remove(idx).unwrap();
+        let n = self
+            .queued_per_tenant
+            .get_mut(&entry.spec.tenant)
+            .expect("queued tenant has a counter");
+        *n -= 1;
+        if entry.spec.deadline.is_some() {
+            self.with_deadline -= 1;
+        }
+        entry.into()
+    }
+
+    /// Drop every queued entry whose deadline has already passed,
+    /// returning them so the runtime can emit failed results.
+    pub(crate) fn expire_deadlines(&mut self, now: SimTime) -> Vec<QueuedJob> {
+        if self.with_deadline == 0 {
+            return Vec::new();
+        }
+        let mut expired = Vec::new();
+        let mut keep = VecDeque::with_capacity(self.queue.len());
+        for e in self.queue.drain(..) {
+            if e.spec.deadline.is_some_and(|d| now > d) {
+                let n = self
+                    .queued_per_tenant
+                    .get_mut(&e.spec.tenant)
+                    .expect("queued tenant has a counter");
+                *n -= 1;
+                self.with_deadline -= 1;
+                expired.push(e);
+            } else {
+                keep.push_back(e);
+            }
+        }
+        self.queue = keep;
+        expired
+    }
+
+    /// Priority of the best dispatchable entry at `now` without removing
+    /// it — what the preemption policy compares running jobs against.
+    pub(crate) fn best_priority(&self, now: SimTime) -> Option<u32> {
+        self.queue
+            .iter()
+            .filter(|e| e.not_before <= now)
+            .map(|e| e.spec.priority)
+            .max()
+    }
+
+    /// Earliest `not_before` among queued entries — how far the runtime
+    /// must idle the host when everything eligible is backing off.
+    pub(crate) fn earliest_ready(&self) -> Option<SimTime> {
+        self.queue.iter().map(|e| e.not_before).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(tenant: u32) -> JobSpec {
+        JobSpec::new(tenant, 1, 16, 1, 1)
+    }
+
+    #[test]
+    fn depth_bound_sheds_and_quota_protects_other_tenants() {
+        let mut q = AdmissionQueue::new(3, 2);
+        assert!(q.admit(spec(0), SimTime::ZERO).is_ok());
+        assert!(q.admit(spec(0), SimTime::ZERO).is_ok());
+        // Tenant 0 is at quota: its third job is shed even though the
+        // queue has room...
+        assert_eq!(
+            q.admit(spec(0), SimTime::ZERO),
+            Err(AccError::QuotaExceeded { tenant: 0 })
+        );
+        // ...which is exactly the room tenant 1 still gets.
+        assert!(q.admit(spec(1), SimTime::ZERO).is_ok());
+        assert_eq!(
+            q.admit(spec(2), SimTime::ZERO),
+            Err(AccError::QueueFull { tenant: 2 })
+        );
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn dispatch_prefers_priority_then_fifo_and_respects_backoff() {
+        let mut q = AdmissionQueue::new(10, 10);
+        let a = q.admit(spec(0), SimTime::ZERO).unwrap();
+        let b = q.admit(spec(1).with_priority(5), SimTime::ZERO).unwrap();
+        let c = q.admit(spec(2), SimTime::ZERO).unwrap();
+        assert_eq!(q.pop_dispatchable(SimTime::ZERO).unwrap().id, b);
+        assert_eq!(q.pop_dispatchable(SimTime::ZERO).unwrap().id, a);
+        // Requeued entry in backoff is skipped until its time comes.
+        let mut e = q.pop_dispatchable(SimTime::ZERO).unwrap();
+        assert_eq!(e.id, c);
+        e.not_before = SimTime::from_us(50);
+        q.requeue(e);
+        assert!(q.pop_dispatchable(SimTime::from_us(10)).is_none());
+        assert_eq!(q.earliest_ready(), Some(SimTime::from_us(50)));
+        assert_eq!(q.pop_dispatchable(SimTime::from_us(50)).unwrap().id, c);
+    }
+
+    #[test]
+    fn queued_deadline_expiry_releases_quota() {
+        let mut q = AdmissionQueue::new(10, 1);
+        q.admit(spec(0).with_deadline(SimTime::from_us(10)), SimTime::ZERO)
+            .unwrap();
+        assert!(q.expire_deadlines(SimTime::from_us(10)).is_empty());
+        let dead = q.expire_deadlines(SimTime::from_us(11));
+        assert_eq!(dead.len(), 1);
+        assert_eq!(q.queued_for(0), 0, "expiry frees the quota slot");
+        assert!(q.admit(spec(0), SimTime::ZERO).is_ok());
+    }
+}
