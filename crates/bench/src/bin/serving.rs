@@ -17,9 +17,11 @@
 //! of the gate is a real scheduling change, not noise.
 //!
 //! `--soak` is the nightly chaos lane: a matrix of tenant-scoped fault
-//! plans (transient, dead-lane, corruption, crash) × seeds, each cell
-//! checked for the full isolation contract. `FAULT_SEED_OFFSET` displaces
-//! the seed window; `--soak-cells N` sets the per-class cell count.
+//! plans (transient, dead-lane, corruption, crash, device-death,
+//! link-flap) × seeds, each cell checked for the full isolation contract —
+//! an isolation violation or a lost admitted job fails the run.
+//! `FAULT_SEED_OFFSET` displaces the seed window; `--soak-cells N` sets
+//! the per-class cell count.
 
 use tida_bench::serving::{serving_bench, soak_cell, ServingBench, ServingRun};
 
@@ -85,7 +87,14 @@ fn run_soak(cells_per_class: u64) -> bool {
     let offset = seed_offset();
     let mut failures = 0u64;
     let mut fault_events = 0u64;
-    let classes = ["transient", "dead-d2h", "corruption", "crash"];
+    let classes = [
+        "transient",
+        "dead-d2h",
+        "corruption",
+        "crash",
+        "device-death",
+        "link-flap",
+    ];
     for (kind, name) in classes.iter().enumerate() {
         for s in 0..cells_per_class {
             let seed = 1 + offset + s;

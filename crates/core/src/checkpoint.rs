@@ -7,7 +7,7 @@
 //! `sync_to_host`, must be empty/clean — the crash-consistency invariant
 //! validated on restore).
 //!
-//! # Binary format (version 2)
+//! # Binary format (version 3)
 //!
 //! ```text
 //! magic   b"TACK"
@@ -35,9 +35,10 @@ use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"TACK";
 // v2: the stats section grew from 22 to 26 words (prefetch/deferral
-// counters). v1 blobs are rejected as UnsupportedVersion — nothing pins the
-// on-disk format across releases yet.
-const VERSION: u16 = 2;
+// counters). v3: 26 to 29 words (migration counters). Older blobs are
+// rejected as UnsupportedVersion — nothing pins the on-disk format across
+// releases yet.
+const VERSION: u16 = 3;
 const TAG_META: u8 = 1;
 const TAG_STATS: u8 = 2;
 const TAG_DATA: u8 = 3;
@@ -182,7 +183,7 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn stats_to_words(s: &AccStats) -> [u64; 26] {
+fn stats_to_words(s: &AccStats) -> [u64; 29] {
     [
         s.hits,
         s.loads,
@@ -210,10 +211,13 @@ fn stats_to_words(s: &AccStats) -> [u64; 26] {
         s.prefetch_hits,
         s.prefetch_fallbacks,
         s.writebacks_deferred,
+        s.regions_migrated,
+        s.migration_restage_loads,
+        s.migration_restage_bytes,
     ]
 }
 
-fn stats_from_words(w: &[u64; 26]) -> AccStats {
+fn stats_from_words(w: &[u64; 29]) -> AccStats {
     AccStats {
         hits: w[0],
         loads: w[1],
@@ -241,6 +245,9 @@ fn stats_from_words(w: &[u64; 26]) -> AccStats {
         prefetch_hits: w[23],
         prefetch_fallbacks: w[24],
         writebacks_deferred: w[25],
+        regions_migrated: w[26],
+        migration_restage_loads: w[27],
+        migration_restage_bytes: w[28],
     }
 }
 
@@ -376,7 +383,7 @@ impl Checkpoint {
             buf: &stats,
             pos: 0,
         };
-        let mut words = [0u64; 26];
+        let mut words = [0u64; 29];
         for w in &mut words {
             *w = s.u64()?;
         }

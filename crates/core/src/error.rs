@@ -41,6 +41,13 @@ pub enum AccError {
     /// The job's deadline passed — either before it could be dispatched
     /// (queueing delay under load) or before it finished.
     DeadlineExceeded { tenant: u32, job: u64 },
+    /// One device of a multi-device system died (or was quarantined by the
+    /// health monitor) and the operation touched it. Unlike [`Crashed`]
+    /// the platform survives: recovery means migrating the dead device's
+    /// regions onto the survivors and resuming from a checkpoint.
+    ///
+    /// [`Crashed`]: AccError::Crashed
+    DeviceLost { device: usize },
 }
 
 /// Where an unrepairable corruption was pinned down.
@@ -95,6 +102,10 @@ impl fmt::Display for AccError {
             AccError::DeadlineExceeded { tenant, job } => {
                 write!(f, "job {job} of tenant {tenant} missed its deadline")
             }
+            AccError::DeviceLost { device } => write!(
+                f,
+                "device {device} was lost; migrate its regions to the survivors"
+            ),
         }
     }
 }
@@ -138,6 +149,9 @@ mod tests {
         assert!(AccError::DeadlineExceeded { tenant: 0, job: 7 }
             .to_string()
             .contains("deadline"));
+        assert!(AccError::DeviceLost { device: 1 }
+            .to_string()
+            .contains("device 1"));
     }
 
     #[test]

@@ -54,6 +54,7 @@
 mod checkpoint;
 mod error;
 mod ghost;
+mod health;
 mod iter;
 mod multi;
 mod options;
@@ -65,6 +66,7 @@ mod tileacc;
 
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy, CheckpointStore};
 pub use error::{AccError, IntegrityKind};
+pub use health::{HealthMonitor, HealthPolicy, HealthState};
 pub use iter::AccIter;
 pub use multi::MultiAcc;
 pub use options::{AccOptions, RetryPolicy, SlotPolicy, WritebackPolicy};

@@ -21,6 +21,9 @@
 
 use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::error::{AccError, IntegrityKind};
+use crate::health::{HealthMonitor, HealthState};
+use crate::options::RetryPolicy;
+use crate::recovery::RecoveryError;
 use crate::stats::AccStats;
 use crate::tileacc::ArrayId;
 use gpu_sim::{
@@ -59,17 +62,20 @@ pub struct MultiAcc {
     /// geometry.
     staging_keys: Vec<(usize, usize, Box3)>,
     staging: Vec<PatchStaging>,
+    /// Retry budget for injected transient transfer faults. `MultiAcc`
+    /// keeps every region device-resident, so it has no host-fallback path:
+    /// exhausting the budget surfaces [`AccError::TransferExhausted`].
+    retry: RetryPolicy,
+    /// Per-device health scores fed by the retry loops; quarantined devices
+    /// are skipped when migration picks new owners.
+    health: HealthMonitor,
+    stats: AccStats,
 }
-
-/// Retry budget for injected transient transfer faults. `MultiAcc` keeps
-/// every region device-resident, so it has no host-fallback path: past this
-/// many retries a persistent fault surfaces as
-/// [`AccError::TransferExhausted`].
-const MAX_TRANSFER_RETRIES: u32 = 8;
 
 impl MultiAcc {
     /// Wrap a multi-device platform (see [`GpuSystem::multi`]).
     pub fn new(gpu: GpuSystem) -> Self {
+        let health = HealthMonitor::with_defaults(gpu.num_devices());
         MultiAcc {
             gpu,
             decomp: None,
@@ -80,7 +86,18 @@ impl MultiAcc {
             initialized: false,
             staging_keys: Vec::new(),
             staging: Vec::new(),
+            // Historical budget: 8 retries, 20 µs base backoff doubling per
+            // attempt — now expressed through the shared policy.
+            retry: RetryPolicy::new(8, SimTime::from_us(20)),
+            health,
+            stats: AccStats::default(),
         }
+    }
+
+    /// Override the transfer retry budget (see [`RetryPolicy`]).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// Register an array (all arrays must share one decomposition).
@@ -130,9 +147,24 @@ impl MultiAcc {
 
     /// Post-run report (API parity with [`crate::TileAcc::report`]).
     /// `MultiAcc` keeps every region resident on its owner, so the
-    /// prefetch/overlap-scheduler counters are always zero here.
+    /// prefetch/overlap-scheduler counters are always zero here. Health
+    /// transitions (quarantine/readmission/device loss) and migration
+    /// accounting are merged in from this runtime's monitor.
     pub fn report(&mut self) -> gpu_sim::RunReport {
-        self.gpu.report()
+        let mut h = self.health.counters();
+        h.regions_migrated += self.stats.regions_migrated;
+        h.migration_restage_bytes += self.stats.migration_restage_bytes;
+        self.gpu.report().with_health(h)
+    }
+
+    /// Runtime counters (API parity with [`crate::TileAcc::stats`]).
+    pub fn stats(&self) -> AccStats {
+        self.stats
+    }
+
+    /// The per-device health monitor feeding quarantine decisions.
+    pub fn health(&self) -> &HealthMonitor {
+        &self.health
     }
 
     fn num_regions(&self) -> usize {
@@ -145,6 +177,20 @@ impl MultiAcc {
     fn check_alive(&self) -> Result<(), AccError> {
         if self.gpu.crashed() {
             Err(AccError::Crashed)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Fail fast when the platform crashed *or* the owner device of region
+    /// `r` was lost: either way nothing submitted toward it will complete,
+    /// but a device loss is survivable — the caller can
+    /// [`failover`](MultiAcc::failover) onto the survivors.
+    fn check_region(&self, r: usize) -> Result<(), AccError> {
+        self.check_alive()?;
+        let device = self.owner[r];
+        if self.gpu.device_lost(device) {
+            Err(AccError::DeviceLost { device })
         } else {
             Ok(())
         }
@@ -191,6 +237,8 @@ impl MultiAcc {
         if !write_all {
             let len = self.arrays[a.0].array.region(r).slab.len();
             let (dev, host) = (self.arrays[a.0].dev[r], self.arrays[a.0].host[r]);
+            let device = self.owner[r];
+            self.stats.loads += 1;
             let mut op = self
                 .gpu
                 .memcpy_h2d_async(dev, 0, host, 0, len, self.streams[r]);
@@ -201,20 +249,29 @@ impl MultiAcc {
                     // dead platform would misdiagnose it.
                     return Err(AccError::Crashed);
                 }
-                if attempt >= MAX_TRANSFER_RETRIES {
+                if self.gpu.device_lost(device) {
+                    // The device died under this transfer: retrying is
+                    // hopeless, but the host mirror is intact — surface the
+                    // typed loss so the caller can migrate and fail over.
+                    return Err(AccError::DeviceLost { device });
+                }
+                self.health.observe_fault(device);
+                if self.retry.exhausted(attempt) {
                     // MultiAcc cannot degrade past a persistent H2D fault:
                     // it keeps every region device-resident.
                     return Err(AccError::TransferExhausted { region: r });
                 }
-                self.gpu.backoff_work(
-                    SimTime::from_us(20u64 << attempt.min(10)),
-                    "h2d-retry-backoff",
-                );
+                self.stats.transfer_retries += 1;
+                self.gpu
+                    .backoff_work(self.retry.backoff(attempt), "h2d-retry-backoff");
                 op = self
                     .gpu
                     .memcpy_h2d_async(dev, 0, host, 0, len, self.streams[r]);
                 attempt += 1;
             }
+            self.health.observe_success(device);
+        } else {
+            self.stats.write_allocs += 1;
         }
         self.arrays[a.0].resident[r] = true;
         self.arrays[a.0].dirty[r] = write_all;
@@ -229,6 +286,8 @@ impl MultiAcc {
         if self.arrays[a.0].dirty[r] {
             let len = self.arrays[a.0].array.region(r).slab.len();
             let (dev, host) = (self.arrays[a.0].dev[r], self.arrays[a.0].host[r]);
+            let device = self.owner[r];
+            self.stats.host_syncs += 1;
             let mut op = self
                 .gpu
                 .memcpy_d2h_async(host, 0, dev, 0, len, self.streams[r]);
@@ -239,21 +298,30 @@ impl MultiAcc {
                     // salvage path can rescue it.
                     return Err(AccError::Crashed);
                 }
-                if attempt >= MAX_TRANSFER_RETRIES {
+                if self.gpu.device_lost(device) {
+                    // The dirty device copy died with its device; only a
+                    // checkpoint taken before this step can reconstruct it.
+                    return Err(AccError::DeviceLost { device });
+                }
+                self.health.observe_fault(device);
+                if self.retry.exhausted(attempt) {
                     // Last resort: the fault-exempt salvage path still gets
                     // the data home (slowly) before we give up retrying.
+                    self.stats.salvaged_regions += 1;
                     self.gpu
                         .memcpy_d2h_salvage(host, 0, dev, 0, len, self.streams[r]);
                     break;
                 }
-                self.gpu.backoff_work(
-                    SimTime::from_us(20u64 << attempt.min(10)),
-                    "d2h-retry-backoff",
-                );
+                self.stats.transfer_retries += 1;
+                self.gpu
+                    .backoff_work(self.retry.backoff(attempt), "d2h-retry-backoff");
                 op = self
                     .gpu
                     .memcpy_d2h_async(host, 0, dev, 0, len, self.streams[r]);
                 attempt += 1;
+            }
+            if !self.gpu.op_faulted(op) {
+                self.health.observe_success(device);
             }
         }
         self.gpu.stream_synchronize(self.streams[r]);
@@ -265,6 +333,8 @@ impl MultiAcc {
         // (MultiAcc keeps no second copy) — surface it for checkpoint
         // recovery.
         if self.gpu.host_poisoned(self.arrays[a.0].host[r]) {
+            self.stats.integrity_detected += 1;
+            self.health.observe_integrity(self.owner[r]);
             return Err(AccError::Integrity {
                 region: r,
                 kind: if dev_struck {
@@ -311,8 +381,9 @@ impl MultiAcc {
                 }),
         );
         self.arrays[array.0].dirty[r] = true;
-        // The crash trigger may have fired on this very launch.
-        self.check_alive()
+        self.stats.kernels_gpu += 1;
+        // A crash or device-death trigger may have fired on this launch.
+        self.check_region(r)
     }
 
     /// Two-operand kernel over matching regions (distributed `compute2`).
@@ -350,8 +421,9 @@ impl MultiAcc {
                 }),
         );
         self.arrays[dst.0].dirty[r] = true;
-        // The crash trigger may have fired on this very launch.
-        self.check_alive()
+        self.stats.kernels_gpu += 1;
+        // A crash or device-death trigger may have fired on this launch.
+        self.check_region(r)
     }
 
     /// General multi-operand kernel over matching regions (distributed
@@ -416,8 +488,9 @@ impl MultiAcc {
         for &a in writes {
             self.arrays[a.0].dirty[r] = true;
         }
-        // The crash trigger may have fired on this very launch.
-        self.check_alive()
+        self.stats.kernels_gpu += 1;
+        // A crash or device-death trigger may have fired on this launch.
+        self.check_region(r)
     }
 
     /// Reduce `map(cell)` over every valid cell of `array` with `combine`
@@ -528,6 +601,7 @@ impl MultiAcc {
         let cost = cfg.host_index_time(cells) + cfg.host_copy_time(cells * 16);
         self.array_ref(array).apply_patch(p);
         self.gpu.host_work(cost, desim::sym!("ghost-host"));
+        self.stats.ghost_host += 1;
         Ok(())
     }
 
@@ -568,8 +642,9 @@ impl MultiAcc {
                 }),
         );
         self.arrays[array.0].dirty[p.dst_region] = true;
-        // The crash trigger may have fired on this very launch.
-        self.check_alive()
+        self.stats.ghost_gpu += 1;
+        // A crash or device-death trigger may have fired on this launch.
+        self.check_region(p.dst_region)
     }
 
     /// Pack on the source device, peer-copy, unpack on the destination.
@@ -644,8 +719,11 @@ impl MultiAcc {
         // peer copy; serialize via an event back onto the source stream.
         let ev2 = self.gpu.record_event(self.streams[p.dst_region]);
         self.gpu.stream_wait_event(self.streams[p.src_region], ev2);
-        // The crash trigger may have fired on the pack/copy/unpack chain.
-        self.check_alive()
+        self.stats.ghost_gpu += 1;
+        // A crash or device-death trigger may have fired anywhere on the
+        // pack/copy/unpack chain — either endpoint device counts.
+        self.check_region(p.src_region)?;
+        self.check_region(p.dst_region)
     }
 
     /// Get (allocating on first use) the staging pair for a patch. Staging
@@ -679,18 +757,124 @@ impl MultiAcc {
     }
 
     // ------------------------------------------------------------------
+    // Live region migration / failover.
+    // ------------------------------------------------------------------
+
+    /// Re-own every region of `from` onto the surviving devices: fresh
+    /// streams and device buffers on the new owners, residency dropped (the
+    /// host mirrors are the reconstruction source), and the cross-device
+    /// staging cache entries touching moved regions rebuilt lazily. Works
+    /// for a dead device (its buffers are simply abandoned — the hardware
+    /// is gone) and for a quarantine evacuation alike; quarantined devices
+    /// are skipped when picking new owners as long as a healthy survivor
+    /// exists.
+    ///
+    /// The caller must make the host mirrors authoritative before resuming
+    /// — on a device loss the dirty device copies are unrecoverable, so
+    /// that means [`restore`](MultiAcc::restore) from a snapshot (see
+    /// [`failover`](MultiAcc::failover) for the combined protocol).
+    pub fn migrate_off(&mut self, from: usize) -> Result<(), AccError> {
+        if self.gpu.device_lost(from) {
+            self.health.note_dead(from);
+        }
+        if !self.initialized {
+            return Ok(());
+        }
+        let all: Vec<usize> = (0..self.gpu.num_devices())
+            .filter(|&d| d != from && !self.gpu.device_lost(d))
+            .collect();
+        // Prefer healthy survivors; fall back to quarantined ones rather
+        // than failing when quarantine is all that's left.
+        let healthy: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(|&d| self.health.state(d) == HealthState::Healthy)
+            .collect();
+        let survivors = if healthy.is_empty() { all } else { healthy };
+        if survivors.is_empty() {
+            return Err(AccError::DeviceLost { device: from });
+        }
+        let mut moved = vec![false; self.owner.len()];
+        let mut next = 0usize;
+        for (r, was_moved) in moved.iter_mut().enumerate() {
+            if self.owner[r] != from {
+                continue;
+            }
+            let new_owner = survivors[next % survivors.len()];
+            next += 1;
+            self.owner[r] = new_owner;
+            self.streams[r] = self.gpu.create_stream_on(new_owner);
+            *was_moved = true;
+            self.stats.regions_migrated += 1;
+            for ai in 0..self.arrays.len() {
+                let len = self.arrays[ai].array.region(r).slab.len();
+                let bytes = (len * std::mem::size_of::<f64>()) as u64;
+                // The old buffer is stranded on `from`; nothing to free —
+                // the device (or its trustworthiness) is gone.
+                let dev = self
+                    .gpu
+                    .malloc_device_on(new_owner, len)
+                    .map_err(|_| AccError::DeviceAlloc { bytes })?;
+                self.arrays[ai].dev[r] = dev;
+                self.arrays[ai].resident[r] = false;
+                self.arrays[ai].dirty[r] = false;
+                // Credit the re-stage this move owes: the region must come
+                // back from its host mirror onto the new owner.
+                self.stats.migration_restage_loads += 1;
+                self.stats.migration_restage_bytes += bytes;
+            }
+        }
+        // Drop staging pairs whose geometry involves a moved region: their
+        // buffers sit on the wrong devices now. Pairs entirely on healthy
+        // devices are freed; a stranded buffer on `from` is abandoned.
+        let mut i = 0;
+        while i < self.staging_keys.len() {
+            let (src, dst, _) = self.staging_keys[i];
+            if moved[src] || moved[dst] {
+                let entry = self.staging.swap_remove(i);
+                self.staging_keys.swap_remove(i);
+                if self.gpu.device_of(entry.src_stage) != from {
+                    self.gpu.free_device(entry.src_stage);
+                }
+                if self.gpu.device_of(entry.dst_stage) != from {
+                    self.gpu.free_device(entry.dst_stage);
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// The full device-loss recovery protocol: restore the snapshot (host
+    /// mirrors authoritative again, all residency dropped), then migrate
+    /// every lost device's regions onto the survivors. Returns the step to
+    /// resume from; replaying the workload from there is bit-identical to a
+    /// failure-free run because reconstruction happens purely from the
+    /// snapshot's host data.
+    pub fn failover(&mut self, ck: &Checkpoint) -> Result<u64, RecoveryError> {
+        self.restore(ck).map_err(RecoveryError::Checkpoint)?;
+        for d in self.gpu.lost_devices() {
+            self.migrate_off(d).map_err(RecoveryError::Fatal)?;
+        }
+        self.stats.checkpoints_restored += 1;
+        Ok(ck.step)
+    }
+
+    // ------------------------------------------------------------------
     // Checkpoint / restore (shared [`Checkpoint`] type with `TileAcc`).
     // ------------------------------------------------------------------
 
     /// Capture a crash-consistent snapshot: all regions are drained home
     /// first, so host slabs are authoritative. `MultiAcc` carries no LRU
-    /// clock or stats, so those snapshot fields stay at their defaults.
+    /// clock, so that snapshot field stays at its default.
     pub fn checkpoint(&mut self, step: u64) -> Result<Checkpoint, AccError> {
         self.check_alive()?;
         for a in 0..self.arrays.len() {
             self.sync_to_host(ArrayId(a))?;
         }
         self.check_alive()?;
+        self.stats.checkpoints_taken += 1;
         let data: Vec<Vec<Vec<f64>>> = self
             .arrays
             .iter()
@@ -705,7 +889,7 @@ impl MultiAcc {
         Ok(Checkpoint {
             step,
             clock: 0,
-            stats: AccStats::default(),
+            stats: self.stats,
             data,
             cache: Vec::new(),
             dirty: Vec::new(),
@@ -758,6 +942,9 @@ impl MultiAcc {
                 self.gpu.clear_host_poison(h);
             }
         }
+        // Counters resume from the snapshot's view of the run; work done
+        // since (and discarded by this restore) stays discarded.
+        self.stats = ck.stats;
         Ok(())
     }
 }
@@ -973,6 +1160,181 @@ mod tests {
         let elapsed = acc.finish();
         assert!(elapsed > SimTime::ZERO);
         assert_eq!(u.value(tida::IntVect::new(0, 0, 5)), Some(5.0));
+    }
+
+    /// `heat_drive` with a snapshot every `ck_interval` steps and
+    /// device-loss failover: on [`AccError::DeviceLost`] the run migrates
+    /// the lost device's regions onto the survivors, restores the latest
+    /// snapshot, and replays. Returns the array holding the final result.
+    fn heat_drive_failover(
+        acc: &mut MultiAcc,
+        decomp: &Arc<Decomposition>,
+        a: ArrayId,
+        b: ArrayId,
+        steps: usize,
+        ck_interval: usize,
+    ) -> ArrayId {
+        let tiles = tiles_of(decomp, TileSpec::RegionSized);
+        let mut ck = acc.checkpoint(0).unwrap();
+        let mut step = 0usize;
+        while step < steps {
+            let (src, dst) = if step.is_multiple_of(2) {
+                (a, b)
+            } else {
+                (b, a)
+            };
+            let result: Result<(), AccError> = (|| {
+                acc.fill_boundary(src)?;
+                for &t in &tiles {
+                    acc.compute2(
+                        t,
+                        dst,
+                        src,
+                        heat::cost(t.num_cells()),
+                        "heat",
+                        |d, s, bx| heat::step_tile(d, s, &bx, heat::DEFAULT_FAC),
+                    )?;
+                }
+                Ok(())
+            })();
+            match result {
+                Ok(()) => {}
+                Err(AccError::DeviceLost { .. }) => {
+                    step = acc.failover(&ck).unwrap() as usize;
+                    continue;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+            step += 1;
+            if step.is_multiple_of(ck_interval) || step == steps {
+                match acc.checkpoint(step as u64) {
+                    Ok(c) => ck = c,
+                    Err(AccError::DeviceLost { .. }) => {
+                        step = acc.failover(&ck).unwrap() as usize;
+                    }
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+        }
+        // The final checkpoint's sync already drained everything home.
+        if steps.is_multiple_of(2) {
+            a
+        } else {
+            b
+        }
+    }
+
+    #[test]
+    fn device_death_mid_run_fails_over_bit_identical() {
+        let n = 8i64;
+        let steps = 4usize;
+        let mk = || {
+            let decomp = Arc::new(Decomposition::new(
+                Domain::periodic_cube(n),
+                RegionSpec::Count(4),
+            ));
+            let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+            let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+            ua.fill_valid(init::hash_field(77));
+            (decomp, ua, ub)
+        };
+
+        // Failure-free golden through the same checkpointed driver.
+        let (decomp, ua, ub) = mk();
+        let mut acc = MultiAcc::new(GpuSystem::multi(MachineConfig::k40m(), 2, true));
+        let a = acc.register(&ua);
+        let b = acc.register(&ub);
+        let last = heat_drive_failover(&mut acc, &decomp, a, b, steps, 2);
+        acc.finish();
+        let golden = if last == a {
+            ua.to_dense().unwrap()
+        } else {
+            ub.to_dense().unwrap()
+        };
+
+        // Device 1 dies on its 7th transfer — mid-run, past the step-2
+        // snapshot. The run must migrate regions 2-3 onto device 0, restore
+        // the snapshot, replay, and land on the exact same grid.
+        let (decomp, ua, ub) = mk();
+        let mut cfg = MachineConfig::k40m();
+        cfg.faults =
+            gpu_sim::FaultPlan::none().with_device_death(gpu_sim::DeviceDeath::at_transfer(1, 7));
+        let mut acc = MultiAcc::new(GpuSystem::multi(cfg, 2, true));
+        let a = acc.register(&ua);
+        let b = acc.register(&ub);
+        let last = heat_drive_failover(&mut acc, &decomp, a, b, steps, 2);
+        acc.finish();
+        let resumed = if last == a {
+            ua.to_dense().unwrap()
+        } else {
+            ub.to_dense().unwrap()
+        };
+        assert_eq!(resumed, golden, "failover must be bit-identical");
+
+        // Every region of every array now lives on the survivor, and the
+        // migration re-stage is accounted separately from organic loads.
+        assert_eq!(acc.owner(2), 0);
+        assert_eq!(acc.owner(3), 0);
+        let st = acc.stats();
+        assert_eq!(st.regions_migrated, 2, "{st}");
+        assert_eq!(st.migration_restage_loads, 4, "2 regions x 2 arrays");
+        assert!(st.migration_restage_bytes > 0);
+        assert!(st.checkpoints_restored >= 1);
+        assert_eq!(acc.gpu().fault_stats().device_deaths, 1);
+        let report = acc.report();
+        assert_eq!(report.health.devices_lost, 1);
+        assert_eq!(report.health.regions_migrated, 2);
+        assert!(report.health.migration_restage_bytes > 0);
+        assert_eq!(
+            acc.health().state(1),
+            HealthState::Dead,
+            "the monitor pins the loss"
+        );
+    }
+
+    #[test]
+    fn flapping_link_quarantines_then_readmits_without_oscillation() {
+        // One down window on device 1's link early in the run: the retry
+        // loop eats the faults (backoff outlasts the window), the health
+        // monitor quarantines the device, and the clean traffic afterwards
+        // readmits it — exactly one transition each way, pinned through
+        // RunReport's health counters.
+        let n = 8i64;
+        let steps = 8usize;
+        let decomp = Arc::new(Decomposition::new(
+            Domain::periodic_cube(n),
+            RegionSpec::Count(4),
+        ));
+        let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+        let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+        ua.fill_valid(init::hash_field(78));
+        let mut cfg = MachineConfig::k40m();
+        cfg.faults = gpu_sim::FaultPlan::none().with_link_flap(gpu_sim::LinkFlap::new(
+            1,
+            SimTime::ZERO,
+            SimTime::from_us(100_000),
+            SimTime::from_us(2_000),
+            1,
+        ));
+        let mut acc = MultiAcc::new(GpuSystem::multi(cfg, 2, true));
+        let a = acc.register(&ua);
+        let b = acc.register(&ub);
+        let last = heat_drive_failover(&mut acc, &decomp, a, b, steps, 1);
+        acc.finish();
+
+        let golden = heat::golden_run(init::hash_field(78), n, steps, heat::DEFAULT_FAC);
+        let arr = if last == a { &ua } else { &ub };
+        assert_eq!(arr.to_dense().unwrap(), golden, "flap must not corrupt");
+        assert!(
+            acc.stats().transfer_retries > 0,
+            "the retry loop absorbed the flap"
+        );
+        let report = acc.report();
+        assert_eq!(report.health.quarantines, 1, "one quarantine transition");
+        assert_eq!(report.health.readmissions, 1, "one readmission, no churn");
+        assert_eq!(report.health.devices_lost, 0);
+        assert_eq!(acc.health().state(1), HealthState::Healthy);
+        assert!(acc.gpu().fault_stats().flap_faults > 0);
     }
 
     #[test]

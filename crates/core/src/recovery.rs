@@ -31,6 +31,7 @@
 
 use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy, CheckpointStore};
 use crate::error::AccError;
+use crate::health::HealthMonitor;
 use crate::stats::AccStats;
 use crate::tileacc::{ArrayId, TileAcc};
 use gpu_sim::{RecoveryCounters, SimTime};
@@ -112,6 +113,11 @@ pub struct Supervisor {
     /// accelerator's clock restarts at zero, so without this the outcome
     /// would silently drop everything the dead attempt spent.
     discarded_time: SimTime,
+    /// Health score of the (single) device the supervised [`TileAcc`] runs
+    /// on, fed by the same fault/latency/integrity signals the recovery
+    /// state machine reacts to. Multi-device placement consults its
+    /// [`MultiAcc`](crate::MultiAcc) counterpart instead.
+    health: HealthMonitor,
 }
 
 enum StepFault {
@@ -130,12 +136,18 @@ impl Supervisor {
             store,
             counters: RecoveryCounters::default(),
             discarded_time: SimTime::ZERO,
+            health: HealthMonitor::with_defaults(1),
         }
     }
 
     /// Recovery accounting so far (useful after [`Supervisor::run`] fails).
     pub fn counters(&self) -> RecoveryCounters {
         self.counters
+    }
+
+    /// The device-health view the watchdog signals feed.
+    pub fn health(&self) -> &HealthMonitor {
+        &self.health
     }
 
     /// Run `steps` iterations of `step_fn` under the watchdog.
@@ -200,6 +212,7 @@ impl Supervisor {
                 continue;
             }
 
+            self.health.observe_success(0);
             step += 1;
             let interval = self.cfg.policy.interval;
             if interval > 0 && step.is_multiple_of(interval) && step < steps {
@@ -247,9 +260,18 @@ impl Supervisor {
     /// is lost work that recovery will replay.
     fn note_fault(&mut self, fault: StepFault, acc: &mut TileAcc, last_ck_time: SimTime) {
         match fault {
-            StepFault::Crash => self.counters.crash_detections += 1,
-            StepFault::Hang => self.counters.hang_detections += 1,
-            StepFault::Corruption => self.counters.corruption_detections += 1,
+            StepFault::Crash => {
+                self.counters.crash_detections += 1;
+                self.health.observe_fault(0);
+            }
+            StepFault::Hang => {
+                self.counters.hang_detections += 1;
+                self.health.observe_latency(0);
+            }
+            StepFault::Corruption => {
+                self.counters.corruption_detections += 1;
+                self.health.observe_integrity(0);
+            }
         }
         let spent = acc.finish();
         self.discarded_time += spent;

@@ -75,6 +75,16 @@ pub struct AccStats {
     /// detected step plan proves the host mirror is already current
     /// (only under `WritebackPolicy::Always` with a live plan).
     pub writebacks_deferred: u64,
+    /// Regions re-owned onto a surviving device after a device loss or a
+    /// quarantine evacuation (live migration; `MultiAcc` only).
+    pub regions_migrated: u64,
+    /// Host→device uploads owed to migration: each migrated region of each
+    /// array must be re-staged from its host mirror onto its new owner.
+    /// Kept separate from `loads` so failover cost is visible on its own.
+    pub migration_restage_loads: u64,
+    /// Bytes of host-mirror state the migration re-stage moves (the
+    /// separate accounting the failover conservation checks pin).
+    pub migration_restage_bytes: u64,
 }
 
 impl fmt::Display for AccStats {
@@ -136,6 +146,13 @@ impl fmt::Display for AccStats {
                 self.prefetch_hits,
                 self.prefetch_fallbacks,
                 self.writebacks_deferred,
+            )?;
+        }
+        if self.regions_migrated + self.migration_restage_loads + self.migration_restage_bytes > 0 {
+            write!(
+                f,
+                " migrated={} restage(loads/bytes)={}/{}",
+                self.regions_migrated, self.migration_restage_loads, self.migration_restage_bytes,
             )?;
         }
         Ok(())
@@ -232,5 +249,19 @@ mod tests {
         assert!(text.contains("prefetch(loads/hits)=5/4"));
         assert!(text.contains("prefetch_fallbacks=1"));
         assert!(text.contains("deferred_wb=3"));
+    }
+
+    #[test]
+    fn display_adds_migration_suffix_only_when_nonzero() {
+        assert!(!AccStats::default().to_string().contains("migrated"));
+        let s = AccStats {
+            regions_migrated: 2,
+            migration_restage_loads: 4,
+            migration_restage_bytes: 4096,
+            ..AccStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("migrated=2"));
+        assert!(text.contains("restage(loads/bytes)=4/4096"));
     }
 }

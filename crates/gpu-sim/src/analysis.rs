@@ -42,6 +42,35 @@ impl RecoveryCounters {
     }
 }
 
+/// Device-health and failover accounting merged into a [`RunReport`] by a
+/// health monitor / failover runtime (the simulator only injects device
+/// faults; quarantine decisions and region migration live a layer above).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthCounters {
+    /// Healthy→quarantined transitions (hysteresis entry).
+    pub quarantines: u64,
+    /// Quarantined→healthy transitions (hysteresis exit).
+    pub readmissions: u64,
+    /// Devices permanently retired (death or ECC kill) the runtime observed.
+    pub devices_lost: u64,
+    /// Regions re-owned onto surviving devices by live migration.
+    pub regions_migrated: u64,
+    /// Bytes re-staged onto surviving devices to rebuild migrated regions
+    /// (accounted separately from steady-state loads).
+    pub migration_restage_bytes: u64,
+}
+
+impl HealthCounters {
+    pub fn any(&self) -> bool {
+        self.quarantines
+            + self.readmissions
+            + self.devices_lost
+            + self.regions_migrated
+            + self.migration_restage_bytes
+            > 0
+    }
+}
+
 /// Prefetch/overlap-scheduler accounting merged into a [`RunReport`] by an
 /// accelerator runtime (the simulator never prefetches on its own; the
 /// lookahead scheduler lives a layer above, like checkpointing).
@@ -92,6 +121,9 @@ pub struct RunReport {
     /// Lookahead-prefetch accounting (zero unless a runtime merged its
     /// counters via [`RunReport::with_prefetch`]).
     pub prefetch: PrefetchCounters,
+    /// Device-health / failover accounting (zero unless a health monitor
+    /// merged its counters via [`RunReport::with_health`]).
+    pub health: HealthCounters,
     /// Transfer/resident digest verification counters for the run.
     pub integrity: IntegrityStats,
     /// Stream-ordering hazards flagged by the happens-before detector
@@ -118,6 +150,13 @@ impl RunReport {
     /// report.
     pub fn with_prefetch(mut self, prefetch: PrefetchCounters) -> Self {
         self.prefetch = prefetch;
+        self
+    }
+
+    /// Merge a health monitor's quarantine/failover counters into the
+    /// report.
+    pub fn with_health(mut self, health: HealthCounters) -> Self {
+        self.health = health;
         self
     }
 }
@@ -170,6 +209,17 @@ impl fmt::Display for RunReport {
                 self.prefetch.hits,
                 self.prefetch.fallbacks,
                 self.prefetch.deferred_writebacks
+            )?;
+        }
+        if self.health.any() {
+            writeln!(
+                f,
+                "  health: {} quarantines, {} readmissions, {} devices lost, {} regions migrated, {} B re-staged",
+                self.health.quarantines,
+                self.health.readmissions,
+                self.health.devices_lost,
+                self.health.regions_migrated,
+                self.health.migration_restage_bytes
             )?;
         }
         if self.integrity.detected + self.integrity.unrepaired > 0 {
@@ -252,6 +302,7 @@ impl GpuSystem {
             fault_stats,
             recovery: RecoveryCounters::default(),
             prefetch: PrefetchCounters::default(),
+            health: HealthCounters::default(),
             integrity: self.integrity_stats(),
             hazards: self.hazard_counters(),
         }

@@ -72,6 +72,10 @@ impl Lane {
 /// (seed, lane, ordinal) stream.
 const CORRUPT_SALT: u64 = 0x434f_5252;
 
+/// Salt separating per-device ECC-error draws from every other seeded
+/// stream.
+const ECC_SALT: u64 = 0x4543_4343;
+
 /// Seeded silent-corruption injection (a non-ECC DRAM model).
 ///
 /// Unlike [`TransferFaults`], a corrupted operation *completes normally* —
@@ -271,6 +275,133 @@ pub struct LivelockFault {
     pub horizon: SimTime,
 }
 
+/// Permanent death of one device at a scheduled point.
+///
+/// Unlike a [`CrashFault`], the rest of the platform keeps running: only
+/// submissions touching the dead device are refused (reported faulted with
+/// zero duration), surviving devices are untouched, and a runtime can
+/// migrate the dead device's regions onto the survivors and resume. The
+/// dying operation occupies its engine for [`DeviceDeath::fraction`] of its
+/// nominal time, like a crashing one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceDeath {
+    /// Device index that dies.
+    pub device: usize,
+    /// Die on the n-th (1-based) in-scope transfer enqueued to the device.
+    pub after_transfers: Option<u64>,
+    /// Die on the first in-scope submission to the device at or past this
+    /// host-clock time.
+    pub at_time: Option<SimTime>,
+    /// Fraction of the nominal duration the dying operation occupies its
+    /// engine before the device goes silent.
+    pub fraction: f64,
+}
+
+impl DeviceDeath {
+    /// Kill `device` on its n-th (1-based) transfer enqueue.
+    pub fn at_transfer(device: usize, n: u64) -> Self {
+        DeviceDeath {
+            device,
+            after_transfers: Some(n),
+            at_time: None,
+            fraction: 0.5,
+        }
+    }
+
+    /// Kill `device` at the first submission at or past `t`.
+    pub fn at_time(device: usize, t: SimTime) -> Self {
+        DeviceDeath {
+            device,
+            after_transfers: None,
+            at_time: Some(t),
+            fraction: 0.5,
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.after_transfers.is_some() || self.at_time.is_some()
+    }
+}
+
+/// A flapping interconnect link on one device: repeating down windows
+/// during which every transfer attempt touching the device fails
+/// (retryable), generalizing [`DegradeWindow`] to per-device scope and
+/// hard failure. Lane fault ordinals do **not** advance inside a down
+/// window, so adding a flap to a plan leaves the transient/persistent
+/// fault schedule of the surrounding run untouched — a health monitor
+/// sees a burst of retries, then clean air once the window closes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkFlap {
+    /// Device whose link flaps.
+    pub device: usize,
+    /// The first down window opens at this host-clock time.
+    pub from: SimTime,
+    /// A new down window opens every `period` after `from`.
+    pub period: SimTime,
+    /// Length of each down window (shorter than `period`).
+    pub down: SimTime,
+    /// Number of down/up cycles before the link stays up (0 = forever).
+    pub cycles: u64,
+    /// Fraction of the nominal transfer time a failed attempt occupies
+    /// the engine before the error surfaces.
+    pub fail_fraction: f64,
+}
+
+impl LinkFlap {
+    /// A flap of `cycles` windows of `down` out of every `period`,
+    /// starting at `from`.
+    pub fn new(device: usize, from: SimTime, period: SimTime, down: SimTime, cycles: u64) -> Self {
+        LinkFlap {
+            device,
+            from,
+            period,
+            down,
+            cycles,
+            fail_fraction: 0.5,
+        }
+    }
+
+    /// Whether the link is down at `now` (pure function of the schedule).
+    pub fn down_at(&self, now: SimTime) -> bool {
+        if self.period == SimTime::ZERO || now < self.from {
+            return false;
+        }
+        let off = now.as_ns() - self.from.as_ns();
+        if self.cycles > 0 && off >= self.period.as_ns().saturating_mul(self.cycles) {
+            return false;
+        }
+        (off % self.period.as_ns()) < self.down.as_ns()
+    }
+}
+
+/// ECC-error accumulation on one device's memory. Each in-scope transfer
+/// touching the device draws a seeded correctable-error verdict; past
+/// [`EccFault::degrade_after`] accumulated errors the device runs degraded
+/// (scrubbing steals bandwidth from every transfer), and past
+/// [`EccFault::kill_after`] the device is retired — a [`DeviceDeath`] at
+/// an error-history-dependent point. Errors are correctable and silent:
+/// no data is harmed, only the error *count* ages the device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EccFault {
+    /// Device whose memory accumulates errors.
+    pub device: usize,
+    /// Probability in `[0, 1]` that one transfer draws a correctable error.
+    pub error_rate: f64,
+    /// Accumulated errors past which transfers run degraded.
+    pub degrade_after: u64,
+    /// Duration multiplier once degraded (`> 1`).
+    pub degrade_factor: f64,
+    /// Accumulated errors past which the device is retired
+    /// (`None` = degrade only, never die).
+    pub kill_after: Option<u64>,
+}
+
+impl EccFault {
+    pub fn enabled(&self) -> bool {
+        self.error_rate > 0.0
+    }
+}
+
 /// The full seeded fault schedule. See the module docs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
@@ -289,6 +420,12 @@ pub struct FaultPlan {
     pub livelocks: Vec<LivelockFault>,
     /// Silent bit flips in flight and in device DRAM.
     pub corruption: CorruptionFault,
+    /// Scheduled permanent deaths of individual devices.
+    pub device_deaths: Vec<DeviceDeath>,
+    /// Flapping per-device links (repeating down windows).
+    pub link_flaps: Vec<LinkFlap>,
+    /// Per-device ECC-error accumulation (degrade, then die).
+    pub ecc: Vec<EccFault>,
     /// Restrict injection to submissions tagged with this tenant
     /// ([`crate::GpuSystem::set_tenant`]). Other tenants' (and untenanted)
     /// submissions pass through clean *without advancing any fault
@@ -321,6 +458,9 @@ impl FaultPlan {
             crash: None,
             livelocks: Vec::new(),
             corruption: CorruptionFault::default(),
+            device_deaths: Vec::new(),
+            link_flaps: Vec::new(),
+            ecc: Vec::new(),
             scope_tenant: None,
         }
     }
@@ -340,6 +480,24 @@ impl FaultPlan {
     /// Install a crash fault.
     pub fn with_crash(mut self, crash: CrashFault) -> Self {
         self.crash = Some(crash);
+        self
+    }
+
+    /// Schedule one device's permanent death.
+    pub fn with_device_death(mut self, death: DeviceDeath) -> Self {
+        self.device_deaths.push(death);
+        self
+    }
+
+    /// Install a flapping link on one device.
+    pub fn with_link_flap(mut self, flap: LinkFlap) -> Self {
+        self.link_flaps.push(flap);
+        self
+    }
+
+    /// Install an ECC-error-accumulation model on one device.
+    pub fn with_ecc(mut self, ecc: EccFault) -> Self {
+        self.ecc.push(ecc);
         self
     }
 
@@ -374,6 +532,15 @@ impl FaultPlan {
             || self.crash.as_ref().is_some_and(CrashFault::enabled)
             || !self.livelocks.is_empty()
             || self.corruption.enabled()
+            || self.device_deaths.iter().any(DeviceDeath::enabled)
+            || !self.link_flaps.is_empty()
+            || self.ecc.iter().any(EccFault::enabled)
+    }
+
+    /// Whether any device-scoped fault class is configured (gates the
+    /// per-device bookkeeping off the hot path when unused).
+    fn device_scoped(&self) -> bool {
+        !self.device_deaths.is_empty() || !self.link_flaps.is_empty() || !self.ecc.is_empty()
     }
 
     /// Largest degrade factor of any window open at `now` (1.0 when none).
@@ -420,6 +587,14 @@ pub struct FaultStats {
     pub corruptions: u64,
     /// Resident device-DRAM strikes injected.
     pub resident_strikes: u64,
+    /// Devices permanently retired (scheduled death or ECC kill).
+    pub device_deaths: u64,
+    /// Transfer attempts failed inside a link-flap down window.
+    pub flap_faults: u64,
+    /// Correctable ECC errors drawn (silent; they age the device).
+    pub ecc_errors: u64,
+    /// Transfers stretched by ECC-degraded device memory.
+    pub ecc_degraded: u64,
     /// Engine time consumed by faulted attempts and injected stalls — the
     /// raw material of the recovery time a run report accounts for.
     pub lost_time: SimTime,
@@ -437,6 +612,9 @@ impl FaultStats {
             + self.livelocked
             + self.corruptions
             + self.resident_strikes
+            + self.device_deaths
+            + self.flap_faults
+            + self.ecc_errors
     }
 }
 
@@ -497,6 +675,15 @@ pub(crate) struct FaultState {
     kernel_total: u64,
     /// Set once a crash fault fires; the platform is dead afterwards.
     crashed: bool,
+    /// Devices retired by a death or ECC-kill fault; submissions touching
+    /// them are refused, whoever submits them.
+    dead_devices: HashSet<usize>,
+    /// Per-device transfer enqueue counters (death and ECC triggers).
+    device_xfers: HashMap<usize, u64>,
+    /// Per-device accumulated correctable-ECC-error counts.
+    ecc_counts: HashMap<usize, u64>,
+    /// Cached [`FaultPlan::device_scoped`] (hot-path gate).
+    device_scoped: bool,
     /// Ops that represent failed attempts.
     faulted: HashSet<desim::OpId>,
     /// Tenant tag of the submissions currently being enqueued (mirrors
@@ -507,6 +694,7 @@ pub(crate) struct FaultState {
 
 impl FaultState {
     pub(crate) fn new(plan: FaultPlan) -> Self {
+        let device_scoped = plan.device_scoped();
         FaultState {
             plan,
             stats: FaultStats::default(),
@@ -515,6 +703,10 @@ impl FaultState {
             xfer_total: 0,
             kernel_total: 0,
             crashed: false,
+            dead_devices: HashSet::new(),
+            device_xfers: HashMap::new(),
+            ecc_counts: HashMap::new(),
+            device_scoped,
             faulted: HashSet::new(),
             current_tenant: None,
         }
@@ -534,6 +726,66 @@ impl FaultState {
 
     pub(crate) fn crashed(&self) -> bool {
         self.crashed
+    }
+
+    /// Whether `device` has been retired by a death or ECC-kill fault.
+    pub(crate) fn device_lost(&self, device: usize) -> bool {
+        self.device_scoped && self.dead_devices.contains(&device)
+    }
+
+    /// Record a non-transfer submission touching `device` (kernel launch,
+    /// peer copy endpoint): fires time-triggered device deaths. Returns
+    /// `true` when the device dies on exactly this submission — the
+    /// operation dies mid-flight like a crashing one.
+    pub(crate) fn device_submission(&mut self, device: usize, now: SimTime) -> bool {
+        if !self.device_scoped
+            || !self.enabled()
+            || self.crashed
+            || self.dead_devices.contains(&device)
+            || !self.in_scope()
+        {
+            return false;
+        }
+        let due = self
+            .plan
+            .device_deaths
+            .iter()
+            .any(|d| d.device == device && d.at_time.is_some_and(|t| now >= t));
+        if due {
+            self.dead_devices.insert(device);
+            self.stats.device_deaths += 1;
+        }
+        due
+    }
+
+    /// A death trigger due for `device` given its transfer count, if any.
+    fn death_due(&self, device: usize, count: u64, now: SimTime) -> Option<f64> {
+        self.plan
+            .device_deaths
+            .iter()
+            .find(|d| {
+                d.device == device
+                    && (d.after_transfers.is_some_and(|n| count >= n)
+                        || d.at_time.is_some_and(|t| now >= t))
+            })
+            .map(|d| d.fraction)
+    }
+
+    /// Retire `device`; the triggering transfer dies mid-flight, occupying
+    /// its engine for `fraction` of its (possibly stretched) duration.
+    fn kill_device(&mut self, device: usize, duration: SimTime, fraction: f64) -> XferVerdict {
+        self.dead_devices.insert(device);
+        self.stats.device_deaths += 1;
+        let frac = fraction.clamp(0.0, 1.0);
+        let duration = SimTime::from_ns((duration.as_ns() as f64 * frac).round() as u64);
+        self.stats.lost_time += duration;
+        XferVerdict {
+            duration,
+            faulted: true,
+            livelocked: false,
+            stall: None,
+            corrupt: None,
+        }
     }
 
     /// Whether a crash trigger fires given the counters advanced so far.
@@ -566,9 +818,18 @@ impl FaultState {
         false
     }
 
-    /// Whether the next `malloc_device` call is refused by the plan.
-    pub(crate) fn alloc_refused(&mut self) -> bool {
-        if !self.enabled() || !self.in_scope() {
+    /// Whether the next `malloc_device` call on `device` is refused by the
+    /// plan. A dead device refuses every allocation without consuming an
+    /// ordinal — the scheduled refusals stay pinned to the live sequence.
+    pub(crate) fn alloc_refused(&mut self, device: usize) -> bool {
+        if !self.enabled() {
+            return false;
+        }
+        if self.device_lost(device) {
+            self.stats.alloc_faults += 1;
+            return true;
+        }
+        if !self.in_scope() {
             return false;
         }
         let n = self.allocs;
@@ -586,6 +847,7 @@ impl FaultState {
     pub(crate) fn transfer_enqueue(
         &mut self,
         lane: Lane,
+        device: usize,
         stream: usize,
         now: SimTime,
         nominal: SimTime,
@@ -593,9 +855,11 @@ impl FaultState {
         if !self.enabled() {
             return XferVerdict::clean(nominal);
         }
-        if self.crashed {
-            // Dead platform: the submission is refused outright. Zero
-            // duration, no data; report it as faulted so callers notice.
+        if self.crashed || self.device_lost(device) {
+            // Dead platform or dead device: the submission is refused
+            // outright. Zero duration, no data; report it as faulted so
+            // callers notice. A dead device refuses *everyone* — the loss
+            // is physical, whatever tenant scope triggered it.
             return XferVerdict {
                 duration: SimTime::ZERO,
                 faulted: true,
@@ -632,6 +896,40 @@ impl FaultState {
             };
         }
         let mut duration = nominal;
+        if self.device_scoped {
+            // Per-device triggers: scheduled death, then ECC accumulation.
+            let count = {
+                let c = self.device_xfers.entry(device).or_insert(0);
+                *c += 1;
+                *c
+            };
+            if let Some(frac) = self.death_due(device, count, now) {
+                return self.kill_device(device, nominal, frac);
+            }
+            if let Some(e) = self.plan.ecc.iter().find(|e| e.device == device).cloned() {
+                let ord = count - 1;
+                if e.error_rate > 0.0
+                    && unit(splitmix64(
+                        splitmix64(self.plan.seed ^ ECC_SALT ^ ((device as u64) << 32)) ^ ord,
+                    )) < e.error_rate
+                {
+                    *self.ecc_counts.entry(device).or_insert(0) += 1;
+                    self.stats.ecc_errors += 1;
+                }
+                let errors = self.ecc_counts.get(&device).copied().unwrap_or(0);
+                if e.kill_after.is_some_and(|k| errors >= k) {
+                    return self.kill_device(device, nominal, 0.5);
+                }
+                if errors >= e.degrade_after.max(1) && e.degrade_factor > 1.0 {
+                    // Scrubbing steals bandwidth: every transfer on the
+                    // aged device is stretched.
+                    duration = SimTime::from_ns(
+                        (duration.as_ns() as f64 * e.degrade_factor).round() as u64,
+                    );
+                    self.stats.ecc_degraded += 1;
+                }
+            }
+        }
         let factor = self.plan.degrade_factor(now);
         if factor > 1.0 {
             duration = SimTime::from_ns((duration.as_ns() as f64 * factor).round() as u64);
@@ -660,6 +958,30 @@ impl FaultState {
                 stall: None,
                 corrupt: None,
             };
+        }
+        if self.device_scoped {
+            if let Some(fl) = self
+                .plan
+                .link_flaps
+                .iter()
+                .find(|f| f.device == device && f.down_at(now))
+            {
+                // Link down: the attempt fails *without advancing any lane
+                // ordinal*, so adding a flap leaves the surrounding
+                // transient/persistent fault schedule untouched. Retries
+                // keep failing until the window closes.
+                let frac = fl.fail_fraction.clamp(0.0, 1.0);
+                let d = SimTime::from_ns((duration.as_ns() as f64 * frac).round() as u64);
+                self.stats.flap_faults += 1;
+                self.stats.lost_time += d;
+                return XferVerdict {
+                    duration: d,
+                    faulted: true,
+                    livelocked: false,
+                    stall: None,
+                    corrupt: None,
+                };
+            }
         }
         let stall = self.plan.stall_for(stream, count);
         if let Some(s) = stall {
@@ -787,10 +1109,10 @@ mod tests {
     fn none_plan_is_disabled_and_neutral() {
         let mut st = FaultState::new(FaultPlan::none());
         assert!(!st.enabled());
-        assert!(!st.alloc_refused());
+        assert!(!st.alloc_refused(0));
         assert!(!st.crashed());
         assert!(!st.kernel_enqueue(SimTime::ZERO));
-        let v = st.transfer_enqueue(Lane::H2d, 0, SimTime::ZERO, SimTime::from_us(10));
+        let v = st.transfer_enqueue(Lane::H2d, 0, 0, SimTime::ZERO, SimTime::from_us(10));
         assert_eq!(v.duration, SimTime::from_us(10));
         assert!(!v.faulted);
         assert!(!v.livelocked);
@@ -846,11 +1168,11 @@ mod tests {
         });
         let mut st = FaultState::new(plan);
         // Outside the window, stream 1, first transfer: nothing.
-        let v = st.transfer_enqueue(Lane::H2d, 1, SimTime::ZERO, SimTime::from_us(4));
+        let v = st.transfer_enqueue(Lane::H2d, 0, 1, SimTime::ZERO, SimTime::from_us(4));
         assert_eq!(v.duration, SimTime::from_us(4));
         assert!(v.stall.is_none());
         // Inside the window, second transfer on stream 1: degraded + stalled.
-        let v = st.transfer_enqueue(Lane::H2d, 1, SimTime::from_us(15), SimTime::from_us(4));
+        let v = st.transfer_enqueue(Lane::H2d, 0, 1, SimTime::from_us(15), SimTime::from_us(4));
         assert_eq!(v.duration, SimTime::from_us(12));
         assert_eq!(v.stall, Some(SimTime::from_us(5)));
         assert_eq!(st.stats.degraded, 1);
@@ -863,17 +1185,17 @@ mod tests {
         let mut st = FaultState::new(plan);
         let nominal = SimTime::from_us(10);
         for _ in 0..2 {
-            let v = st.transfer_enqueue(Lane::H2d, 0, SimTime::ZERO, nominal);
+            let v = st.transfer_enqueue(Lane::H2d, 0, 0, SimTime::ZERO, nominal);
             assert!(!v.faulted);
         }
         assert!(!st.crashed());
-        let v = st.transfer_enqueue(Lane::H2d, 0, SimTime::ZERO, nominal);
+        let v = st.transfer_enqueue(Lane::H2d, 0, 0, SimTime::ZERO, nominal);
         assert!(v.faulted, "crashing transfer dies mid-flight");
         assert_eq!(v.duration, SimTime::from_us(5), "fraction 0.5 of nominal");
         assert!(st.crashed());
         assert_eq!(st.stats.crashes, 1);
         // Everything after the crash is refused with zero duration.
-        let v = st.transfer_enqueue(Lane::D2h, 1, SimTime::ZERO, nominal);
+        let v = st.transfer_enqueue(Lane::D2h, 0, 1, SimTime::ZERO, nominal);
         assert!(v.faulted);
         assert_eq!(v.duration, SimTime::ZERO);
         assert!(!st.kernel_enqueue(SimTime::ZERO), "dead, not crashing anew");
@@ -893,9 +1215,9 @@ mod tests {
             at_time: Some(SimTime::from_us(10)),
             fraction: 0.5,
         }));
-        let v = st.transfer_enqueue(Lane::H2d, 0, SimTime::from_us(5), SimTime::from_us(4));
+        let v = st.transfer_enqueue(Lane::H2d, 0, 0, SimTime::from_us(5), SimTime::from_us(4));
         assert!(!v.faulted, "before the deadline");
-        let v = st.transfer_enqueue(Lane::H2d, 0, SimTime::from_us(11), SimTime::from_us(4));
+        let v = st.transfer_enqueue(Lane::H2d, 0, 0, SimTime::from_us(11), SimTime::from_us(4));
         assert!(v.faulted, "first submission past the deadline dies");
         assert!(st.crashed());
     }
@@ -905,14 +1227,14 @@ mod tests {
         let horizon = SimTime::from_ms(100u64);
         let plan = FaultPlan::none().with_livelock(2, 1, horizon);
         let mut st = FaultState::new(plan);
-        let v = st.transfer_enqueue(Lane::H2d, 2, SimTime::ZERO, SimTime::from_us(4));
+        let v = st.transfer_enqueue(Lane::H2d, 0, 2, SimTime::ZERO, SimTime::from_us(4));
         assert!(!v.livelocked, "first transfer passes");
-        let v = st.transfer_enqueue(Lane::H2d, 2, SimTime::ZERO, SimTime::from_us(4));
+        let v = st.transfer_enqueue(Lane::H2d, 0, 2, SimTime::ZERO, SimTime::from_us(4));
         assert!(v.livelocked, "second transfer wedges");
         assert!(!v.faulted, "livelock is not a retryable fault");
         assert_eq!(v.duration, horizon);
         // Other streams are unaffected.
-        let v = st.transfer_enqueue(Lane::H2d, 0, SimTime::ZERO, SimTime::from_us(4));
+        let v = st.transfer_enqueue(Lane::H2d, 0, 0, SimTime::ZERO, SimTime::from_us(4));
         assert!(!v.livelocked);
         assert_eq!(st.stats.livelocked, 1);
         assert_eq!(st.stats.lost_time, horizon);
@@ -922,7 +1244,7 @@ mod tests {
     fn corruption_default_is_disabled_and_invisible() {
         assert!(!CorruptionFault::default().enabled());
         let mut st = FaultState::new(FaultPlan::none().with_seed(9));
-        let v = st.transfer_enqueue(Lane::H2d, 0, SimTime::ZERO, SimTime::from_us(10));
+        let v = st.transfer_enqueue(Lane::H2d, 0, 0, SimTime::ZERO, SimTime::from_us(10));
         assert!(v.corrupt.is_none());
         assert_eq!(v.duration, SimTime::from_us(10));
         assert_eq!(st.stats.corruptions, 0);
@@ -939,7 +1261,7 @@ mod tests {
             });
         let mut st = FaultState::new(plan);
         let nominal = SimTime::from_us(10);
-        let v = st.transfer_enqueue(Lane::H2d, 0, SimTime::ZERO, nominal);
+        let v = st.transfer_enqueue(Lane::H2d, 0, 0, SimTime::ZERO, nominal);
         let c = v.corrupt.expect("rate 1.0 always corrupts");
         assert_eq!(c.corrupt_attempts, 3, "original + 2 retransmits all flip");
         assert!(c.unrepaired, "budget exhausted leaves the dst poisoned");
@@ -951,7 +1273,7 @@ mod tests {
         assert!(!v.faulted, "corruption is silent, never an error verdict");
         assert_eq!(st.stats.corruptions, 3);
         // D2H lane is untouched by an H2D-only schedule.
-        let v = st.transfer_enqueue(Lane::D2h, 0, SimTime::ZERO, nominal);
+        let v = st.transfer_enqueue(Lane::D2h, 0, 0, SimTime::ZERO, nominal);
         assert!(v.corrupt.is_none());
     }
 
@@ -967,7 +1289,8 @@ mod tests {
             let mut st = FaultState::new(plan);
             (0..64)
                 .map(|_| {
-                    let v = st.transfer_enqueue(Lane::D2h, 0, SimTime::ZERO, SimTime::from_us(10));
+                    let v =
+                        st.transfer_enqueue(Lane::D2h, 0, 0, SimTime::ZERO, SimTime::from_us(10));
                     v.corrupt
                         .map(|c| (c.corrupt_attempts, c.unrepaired))
                         .unwrap_or((0, false))
@@ -989,9 +1312,9 @@ mod tests {
         });
         let mut st = FaultState::new(plan);
         let nominal = SimTime::from_us(10);
-        let v = st.transfer_enqueue(Lane::H2d, 0, SimTime::ZERO, nominal);
+        let v = st.transfer_enqueue(Lane::H2d, 0, 0, SimTime::ZERO, nominal);
         assert!(v.corrupt.is_none(), "ordinal 0 is clean");
-        let v = st.transfer_enqueue(Lane::H2d, 0, SimTime::ZERO, nominal);
+        let v = st.transfer_enqueue(Lane::H2d, 0, 0, SimTime::ZERO, nominal);
         let c = v.corrupt.expect("ordinal 1 is struck");
         assert!(c.resident_strike.is_some());
         assert_eq!(c.corrupt_attempts, 0, "a resident strike is not in-flight");
@@ -1016,7 +1339,7 @@ mod tests {
         // no ordinal.
         for tag in [None, Some(3)] {
             st.current_tenant = tag;
-            let v = st.transfer_enqueue(Lane::H2d, 0, SimTime::ZERO, nominal);
+            let v = st.transfer_enqueue(Lane::H2d, 0, 0, SimTime::ZERO, nominal);
             assert!(!v.faulted, "{tag:?} is out of scope");
             assert_eq!(v.duration, nominal);
         }
@@ -1024,7 +1347,7 @@ mod tests {
         // The scoped tenant still sees its full schedule, starting at
         // ordinal 0 as if it were alone on the platform.
         st.current_tenant = Some(7);
-        let v = st.transfer_enqueue(Lane::H2d, 0, SimTime::ZERO, nominal);
+        let v = st.transfer_enqueue(Lane::H2d, 0, 0, SimTime::ZERO, nominal);
         assert!(v.faulted, "scoped tenant's first attempt faults");
         assert_eq!(st.stats.h2d_attempts, 1);
         assert_eq!(st.stats.h2d_faults, 1);
@@ -1033,9 +1356,9 @@ mod tests {
         plan.alloc_fail_nth = vec![0];
         let mut st = FaultState::new(plan);
         st.current_tenant = Some(3);
-        assert!(!st.alloc_refused(), "other tenant's alloc passes");
+        assert!(!st.alloc_refused(0), "other tenant's alloc passes");
         st.current_tenant = Some(7);
-        assert!(st.alloc_refused(), "scoped tenant hits ordinal 0");
+        assert!(st.alloc_refused(0), "scoped tenant hits ordinal 0");
     }
 
     #[test]
@@ -1048,20 +1371,20 @@ mod tests {
         // Other tenants' transfers do not advance the crash trigger.
         st.current_tenant = Some(3);
         for _ in 0..5 {
-            let v = st.transfer_enqueue(Lane::H2d, 0, SimTime::ZERO, nominal);
+            let v = st.transfer_enqueue(Lane::H2d, 0, 0, SimTime::ZERO, nominal);
             assert!(!v.faulted);
         }
         assert!(!st.crashed());
         // The scoped tenant's second transfer fires the crash...
         st.current_tenant = Some(7);
-        let v = st.transfer_enqueue(Lane::H2d, 0, SimTime::ZERO, nominal);
+        let v = st.transfer_enqueue(Lane::H2d, 0, 0, SimTime::ZERO, nominal);
         assert!(!v.faulted);
-        let v = st.transfer_enqueue(Lane::H2d, 0, SimTime::ZERO, nominal);
+        let v = st.transfer_enqueue(Lane::H2d, 0, 0, SimTime::ZERO, nominal);
         assert!(v.faulted, "trigger counts only scoped ops");
         assert!(st.crashed());
         // ...and the dead platform then refuses everyone, scope or not.
         st.current_tenant = Some(3);
-        let v = st.transfer_enqueue(Lane::H2d, 0, SimTime::ZERO, nominal);
+        let v = st.transfer_enqueue(Lane::H2d, 0, 0, SimTime::ZERO, nominal);
         assert!(v.faulted, "a crash is platform-wide");
         assert_eq!(v.duration, SimTime::ZERO);
     }
@@ -1071,8 +1394,148 @@ mod tests {
         let mut plan = FaultPlan::none();
         plan.alloc_fail_nth = vec![1, 3];
         let mut st = FaultState::new(plan);
-        let refusals: Vec<bool> = (0..5).map(|_| st.alloc_refused()).collect();
+        let refusals: Vec<bool> = (0..5).map(|_| st.alloc_refused(0)).collect();
         assert_eq!(refusals, vec![false, true, false, true, false]);
         assert_eq!(st.stats.alloc_faults, 2);
+    }
+
+    #[test]
+    fn device_death_kills_one_device_and_spares_the_rest() {
+        let plan = FaultPlan::none().with_device_death(DeviceDeath::at_transfer(1, 2));
+        let mut st = FaultState::new(plan);
+        let nominal = SimTime::from_us(10);
+        // Device 0 is never touched by device 1's death.
+        for _ in 0..4 {
+            let v = st.transfer_enqueue(Lane::H2d, 0, 0, SimTime::ZERO, nominal);
+            assert!(!v.faulted, "device 0 stays healthy");
+        }
+        assert!(!st.device_lost(1));
+        let v = st.transfer_enqueue(Lane::H2d, 1, 1, SimTime::ZERO, nominal);
+        assert!(!v.faulted, "device 1's first transfer passes");
+        let v = st.transfer_enqueue(Lane::H2d, 1, 1, SimTime::ZERO, nominal);
+        assert!(v.faulted, "second transfer on device 1 kills it");
+        assert_eq!(v.duration, SimTime::from_us(5), "fraction 0.5 of nominal");
+        assert!(st.device_lost(1));
+        assert!(!st.crashed(), "a device death is not a platform crash");
+        assert_eq!(st.stats.device_deaths, 1);
+        // Everything on the dead device is refused; device 0 keeps working.
+        let v = st.transfer_enqueue(Lane::D2h, 1, 1, SimTime::ZERO, nominal);
+        assert!(v.faulted);
+        assert_eq!(v.duration, SimTime::ZERO);
+        assert!(st.alloc_refused(1), "dead device refuses allocations");
+        let v = st.transfer_enqueue(Lane::H2d, 0, 0, SimTime::ZERO, nominal);
+        assert!(!v.faulted, "survivor is untouched");
+        assert_eq!(st.stats.device_deaths, 1, "a device only dies once");
+    }
+
+    #[test]
+    fn device_death_at_time_fires_on_any_submission() {
+        let plan =
+            FaultPlan::none().with_device_death(DeviceDeath::at_time(0, SimTime::from_us(10)));
+        let mut st = FaultState::new(plan);
+        assert!(
+            !st.device_submission(0, SimTime::from_us(5)),
+            "before the deadline"
+        );
+        assert!(
+            st.device_submission(0, SimTime::from_us(11)),
+            "first submission past the deadline dies"
+        );
+        assert!(st.device_lost(0));
+        assert!(
+            !st.device_submission(0, SimTime::from_us(12)),
+            "already dead, not dying anew"
+        );
+        assert_eq!(st.stats.device_deaths, 1);
+    }
+
+    #[test]
+    fn link_flap_windows_fail_without_advancing_lane_ordinals() {
+        let flap = LinkFlap::new(
+            0,
+            SimTime::from_us(10),
+            SimTime::from_us(20),
+            SimTime::from_us(5),
+            2,
+        );
+        assert!(
+            !flap.down_at(SimTime::from_us(5)),
+            "before the first window"
+        );
+        assert!(flap.down_at(SimTime::from_us(12)), "inside window 1");
+        assert!(!flap.down_at(SimTime::from_us(16)), "between windows");
+        assert!(flap.down_at(SimTime::from_us(33)), "inside window 2");
+        assert!(
+            !flap.down_at(SimTime::from_us(52)),
+            "cycle budget exhausted: the link stays up"
+        );
+        let plan = FaultPlan::none().with_link_flap(flap);
+        let mut st = FaultState::new(plan);
+        let nominal = SimTime::from_us(10);
+        let v = st.transfer_enqueue(Lane::H2d, 0, 0, SimTime::from_us(12), nominal);
+        assert!(v.faulted, "attempt inside the down window fails");
+        assert_eq!(v.duration, SimTime::from_us(5), "fail_fraction 0.5");
+        assert_eq!(st.stats.flap_faults, 1);
+        assert_eq!(
+            st.stats.h2d_attempts, 0,
+            "flap failures advance no lane ordinal"
+        );
+        let v = st.transfer_enqueue(Lane::H2d, 0, 0, SimTime::from_us(16), nominal);
+        assert!(!v.faulted, "retry after the window closes succeeds");
+        assert_eq!(st.stats.h2d_attempts, 1);
+        // Another device's transfers never see the flap.
+        let v = st.transfer_enqueue(Lane::H2d, 1, 1, SimTime::from_us(12), nominal);
+        assert!(!v.faulted);
+    }
+
+    #[test]
+    fn ecc_accumulation_degrades_then_kills() {
+        let plan = FaultPlan::none().with_seed(11).with_ecc(EccFault {
+            device: 0,
+            error_rate: 1.0,
+            degrade_after: 2,
+            degrade_factor: 2.0,
+            kill_after: Some(4),
+        });
+        let mut st = FaultState::new(plan);
+        let nominal = SimTime::from_us(10);
+        // Errors 1 and 2 accumulate silently; transfer 2 crosses the
+        // degrade threshold and runs stretched.
+        let v = st.transfer_enqueue(Lane::H2d, 0, 0, SimTime::ZERO, nominal);
+        assert!(!v.faulted);
+        assert_eq!(v.duration, nominal, "one error: not yet degraded");
+        let v = st.transfer_enqueue(Lane::H2d, 0, 0, SimTime::ZERO, nominal);
+        assert!(!v.faulted);
+        assert_eq!(v.duration, SimTime::from_us(20), "degraded past 2 errors");
+        let v = st.transfer_enqueue(Lane::H2d, 0, 0, SimTime::ZERO, nominal);
+        assert!(!v.faulted, "three errors: degraded but alive");
+        let v = st.transfer_enqueue(Lane::H2d, 0, 0, SimTime::ZERO, nominal);
+        assert!(v.faulted, "fourth error retires the device");
+        assert!(st.device_lost(0));
+        assert_eq!(st.stats.ecc_errors, 4);
+        assert_eq!(st.stats.ecc_degraded, 2);
+        assert_eq!(st.stats.device_deaths, 1, "an ECC kill is a device death");
+    }
+
+    #[test]
+    fn ecc_draws_are_seeded_and_deterministic() {
+        let errors_with_seed = |seed: u64| -> u64 {
+            let plan = FaultPlan::none().with_seed(seed).with_ecc(EccFault {
+                device: 0,
+                error_rate: 0.3,
+                degrade_after: 1000,
+                degrade_factor: 2.0,
+                kill_after: None,
+            });
+            let mut st = FaultState::new(plan);
+            for _ in 0..64 {
+                st.transfer_enqueue(Lane::H2d, 0, 0, SimTime::ZERO, SimTime::from_us(10));
+            }
+            st.stats.ecc_errors
+        };
+        assert_eq!(errors_with_seed(5), errors_with_seed(5));
+        assert!(errors_with_seed(5) > 0, "rate 0.3 over 64 draws errors");
+        assert!(errors_with_seed(5) < 64, "rate 0.3 over 64 draws passes");
+        assert_ne!(errors_with_seed(5), errors_with_seed(777));
     }
 }

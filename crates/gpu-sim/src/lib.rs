@@ -20,11 +20,11 @@ mod kernel;
 mod memory;
 mod system;
 
-pub use analysis::{PrefetchCounters, RecoveryCounters, RunReport};
+pub use analysis::{HealthCounters, PrefetchCounters, RecoveryCounters, RunReport};
 pub use config::{HostMemKind, KernelCost, MachineConfig};
 pub use fault::{
-    CorruptionFault, CrashFault, DegradeWindow, FaultPlan, FaultStats, LivelockFault, StreamStall,
-    TransferFaults,
+    CorruptionFault, CrashFault, DegradeWindow, DeviceDeath, EccFault, FaultPlan, FaultStats,
+    LinkFlap, LivelockFault, StreamStall, TransferFaults,
 };
 pub use hazard::{HazardCounters, HazardKind, HazardRecord};
 pub use kernel::KernelLaunch;
@@ -398,6 +398,75 @@ mod tests {
             (0..8).map(|i| i as f64).collect::<Vec<_>>()
         );
         assert_eq!(g.stats_bytes_p2p(), 64);
+    }
+
+    #[test]
+    fn device_death_refuses_the_dead_device_and_spares_survivors() {
+        let mut cfg = MachineConfig::k40m();
+        cfg.faults = FaultPlan::none().with_device_death(DeviceDeath::at_transfer(1, 2));
+        let mut g = GpuSystem::multi(cfg, 2, true);
+        let h = g.malloc_host(8, HostMemKind::Pinned);
+        g.host_slab(h).fill_with(|i| i as f64);
+        let d0 = g.malloc_device_on(0, 8).unwrap();
+        let d1 = g.malloc_device_on(1, 8).unwrap();
+        let s0 = g.create_stream_on(0);
+        let s1 = g.create_stream_on(1);
+        // Device 1's first transfer passes, the second kills it.
+        let op = g.memcpy_h2d_async(d1, 0, h, 0, 8, s1);
+        assert!(!g.op_faulted(op));
+        let op = g.memcpy_h2d_async(d1, 0, h, 0, 8, s1);
+        assert!(g.op_faulted(op), "second transfer kills device 1");
+        assert!(g.device_lost(1));
+        assert!(!g.crashed(), "a device death is not a platform crash");
+        assert_eq!(g.lost_devices(), vec![1]);
+        // Work on the dead device is refused: transfers, peer copies into
+        // it, salvage from it, and allocations.
+        let op = g.memcpy_d2h_async(h, 0, d1, 0, 8, s1);
+        assert!(g.op_faulted(op));
+        let op = g.memcpy_p2p_async(d1, 0, d0, 0, 8, s1);
+        assert!(g.op_faulted(op));
+        let op = g.memcpy_d2h_salvage(h, 0, d1, 0, 8, s1);
+        assert!(g.op_faulted(op));
+        assert!(g.malloc_device_on(1, 8).is_err());
+        // Device 0 is untouched: its transfers and kernels still run.
+        let op = g.memcpy_h2d_async(d0, 0, h, 0, 8, s0);
+        assert!(!g.op_faulted(op));
+        let k = g.launch_kernel(s0, KernelLaunch::new("k", KernelCost::Bytes(64)));
+        assert!(!g.op_faulted(k));
+        let h2 = g.malloc_host(8, HostMemKind::Pinned);
+        let op = g.memcpy_d2h_async(h2, 0, d0, 0, 8, s0);
+        g.stream_synchronize(s0);
+        assert!(!g.op_faulted(op));
+        assert_eq!(
+            g.host_slab(h2).snapshot().unwrap(),
+            (0..8).map(|i| i as f64).collect::<Vec<_>>(),
+            "survivor's data path stays golden"
+        );
+        assert_eq!(g.fault_stats().device_deaths, 1);
+    }
+
+    #[test]
+    fn device_fault_plan_serde_roundtrip_via_machine_config() {
+        let mut cfg = MachineConfig::k40m();
+        cfg.faults = FaultPlan::none()
+            .with_device_death(DeviceDeath::at_time(1, SimTime::from_us(50)))
+            .with_link_flap(LinkFlap::new(
+                0,
+                SimTime::from_us(10),
+                SimTime::from_us(20),
+                SimTime::from_us(5),
+                3,
+            ))
+            .with_ecc(EccFault {
+                device: 1,
+                error_rate: 0.1,
+                degrade_after: 4,
+                degrade_factor: 2.0,
+                kill_after: Some(16),
+            });
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: MachineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.faults, cfg.faults);
     }
 
     #[test]

@@ -527,7 +527,7 @@ impl GpuSystem {
         len: usize,
     ) -> Result<DeviceBuffer, OutOfDeviceMemory> {
         let bytes = (len * std::mem::size_of::<f64>()) as u64;
-        if self.fault.alloc_refused() {
+        if self.fault.alloc_refused(device) {
             // An injected `cudaMalloc` failure: report the allocator's real
             // state so callers that size pools from the error stay honest.
             let a = &self.devices[device].alloc;
@@ -871,6 +871,7 @@ impl GpuSystem {
 
         let v = self.fault.transfer_enqueue(
             Lane::H2d,
+            device,
             stream.0,
             self.host_clock,
             self.cfg.h2d_time(bytes),
@@ -990,6 +991,7 @@ impl GpuSystem {
 
         let v = self.fault.transfer_enqueue(
             Lane::D2h,
+            device,
             stream.0,
             self.host_clock,
             self.cfg.d2h_time(bytes),
@@ -1113,6 +1115,31 @@ impl GpuSystem {
         let bytes = (len * std::mem::size_of::<f64>()) as u64;
         let deps = self.stream_deps(stream);
         self.host_clock += self.cfg.host_enqueue_overhead;
+        if self.fault.device_lost(device) {
+            // Dead device: the copy is refused (zero-duration faulted op).
+            let label = intern_fmt(format_args!("D2D-fault[{bytes}B]"));
+            let op = self.sched.submit(
+                Op::on(self.devices[device].eng_compute, SimTime::ZERO)
+                    .not_before(self.host_clock)
+                    .host_cause(self.last_block)
+                    .after_all(deps.iter().copied())
+                    .label(label)
+                    .category(csym!("d2d-fault")),
+            );
+            self.push_stream_op(stream, op);
+            self.fault.mark_faulted(op);
+            self.hazards.observe_op(
+                op,
+                stream.0 + 1,
+                &deps,
+                label,
+                csym!("d2d-fault"),
+                &[],
+                self.host_clock,
+            );
+            self.put_deps(deps);
+            return op;
+        }
         // Read + write of the payload at device memory bandwidth.
         let duration = self.cfg.copy_latency
             + SimTime::from_secs_f64(2.0 * bytes as f64 / self.cfg.device_mem_bw);
@@ -1183,11 +1210,48 @@ impl GpuSystem {
         self.note_tenant_touch(BufKey::Device(src.0));
         self.note_tenant_touch(BufKey::Device(dst.0));
         let bytes = (len * std::mem::size_of::<f64>()) as u64;
-        self.bytes_p2p += bytes;
         let deps = self.stream_deps(stream);
         self.host_clock += self.cfg.host_enqueue_overhead;
-        let duration =
+        let nominal =
             self.cfg.copy_latency + SimTime::from_secs_f64(bytes as f64 / self.cfg.p2p_bw);
+        let src_device = self.dev[src.0].device;
+        let src_died = self.fault.device_submission(src_device, self.host_clock);
+        let dst_died = self.fault.device_submission(dst_device, self.host_clock);
+        if self.fault.device_lost(src_device) || self.fault.device_lost(dst_device) {
+            // A dead endpoint refuses the peer copy. If the death fired on
+            // exactly this submission the op dies mid-flight, occupying the
+            // engine for a fraction of its nominal time; afterwards peer
+            // copies are refused outright with zero duration.
+            let duration = if src_died || dst_died {
+                SimTime::from_ns((nominal.as_ns() as f64 * 0.5).round() as u64)
+            } else {
+                SimTime::ZERO
+            };
+            let label = intern_fmt(format_args!("P2P-fault[{bytes}B]"));
+            let op = self.sched.submit(
+                Op::on(self.devices[dst_device].eng_h2d, duration)
+                    .not_before(self.host_clock)
+                    .host_cause(self.last_block)
+                    .after_all(deps.iter().copied())
+                    .label(label)
+                    .category(csym!("p2p-fault")),
+            );
+            self.push_stream_op(stream, op);
+            self.fault.mark_faulted(op);
+            self.hazards.observe_op(
+                op,
+                stream.0 + 1,
+                &deps,
+                label,
+                csym!("p2p-fault"),
+                &[],
+                self.host_clock,
+            );
+            self.put_deps(deps);
+            return op;
+        }
+        self.bytes_p2p += bytes;
+        let duration = nominal;
         let label = self.xfer_label(xk::P2P, bytes, || intern_fmt(format_args!("P2P[{bytes}B]")));
         let mut builder = Op::on(self.devices[dst_device].eng_h2d, duration)
             .not_before(self.host_clock)
@@ -1294,6 +1358,21 @@ impl GpuSystem {
         self.fault.crashed()
     }
 
+    /// Whether `device` has been permanently retired by a device-death or
+    /// ECC-kill fault. Unlike [`GpuSystem::crashed`], the rest of the
+    /// platform keeps running: a runtime that migrates the dead device's
+    /// regions onto the survivors can resume the run.
+    pub fn device_lost(&self, device: usize) -> bool {
+        self.fault.device_lost(device)
+    }
+
+    /// Indices of devices retired so far (empty on a healthy platform).
+    pub fn lost_devices(&self) -> Vec<usize> {
+        (0..self.devices.len())
+            .filter(|&d| self.fault.device_lost(d))
+            .collect()
+    }
+
     /// Counters of injected faults and the engine time they consumed.
     pub fn fault_stats(&self) -> FaultStats {
         self.fault.stats
@@ -1338,12 +1417,38 @@ impl GpuSystem {
         self.note_tenant_touch(BufKey::Host(dst.0));
         let eng_d2h = self.devices[device].eng_d2h;
         let bytes = (len * std::mem::size_of::<f64>()) as u64;
-        self.bytes_d2h += bytes;
         let slowdown = self.fault.plan.salvage_slowdown.max(1.0);
         let nominal = self.cfg.d2h_time(bytes);
         let duration = SimTime::from_ns((nominal.as_ns() as f64 * slowdown).round() as u64);
         let deps = self.stream_deps(stream);
         self.host_clock += self.cfg.host_enqueue_overhead;
+        if self.fault.device_lost(device) {
+            // Even the maintenance path needs live hardware: salvage from
+            // a dead device is refused (zero-duration faulted op).
+            let label = intern_fmt(format_args!("D2H-salvage-fault[{bytes}B]"));
+            let op = self.sched.submit(
+                Op::on(eng_d2h, SimTime::ZERO)
+                    .not_before(self.host_clock)
+                    .host_cause(self.last_block)
+                    .after_all(deps.iter().copied())
+                    .label(label)
+                    .category(csym!("salvage-fault")),
+            );
+            self.push_stream_op(stream, op);
+            self.fault.mark_faulted(op);
+            self.hazards.observe_op(
+                op,
+                stream.0 + 1,
+                &deps,
+                label,
+                csym!("salvage-fault"),
+                &[],
+                self.host_clock,
+            );
+            self.put_deps(deps);
+            return op;
+        }
+        self.bytes_d2h += bytes;
         let label = self.xfer_label(xk::SALVAGE, bytes, || {
             intern_fmt(format_args!("D2H-salvage[{bytes}B]"))
         });
@@ -1405,31 +1510,36 @@ impl GpuSystem {
         for key in k.reads.iter().chain(k.writes.iter()) {
             self.note_tenant_touch(key);
         }
+        let device = self.streams[stream.0].device;
         let crash_now = self.fault.kernel_enqueue(self.host_clock);
-        let dead = self.fault.crashed();
+        let died_now = self.fault.device_submission(device, self.host_clock);
+        let dead = self.fault.crashed() || self.fault.device_lost(device);
         if !dead {
             self.kernels_launched += 1;
         }
         let mut deps = self.stream_deps(stream);
         self.host_clock += self.cfg.host_enqueue_overhead;
         if dead {
-            // The platform died: a crashing launch occupies the compute
-            // engine for a fraction of its nominal time and has no effect;
-            // launches on an already-dead platform are refused outright.
-            let duration = if crash_now {
-                let frac = self
-                    .fault
-                    .plan
-                    .crash
-                    .as_ref()
-                    .map(|c| c.fraction.clamp(0.0, 1.0))
-                    .unwrap_or(0.5);
+            // The platform (or this stream's device) died: a dying launch
+            // occupies the compute engine for a fraction of its nominal
+            // time and has no effect; launches on already-dead hardware
+            // are refused outright.
+            let duration = if crash_now || died_now {
+                let frac = if crash_now {
+                    self.fault
+                        .plan
+                        .crash
+                        .as_ref()
+                        .map(|c| c.fraction.clamp(0.0, 1.0))
+                        .unwrap_or(0.5)
+                } else {
+                    0.5
+                };
                 let nominal = k.cost.duration(&self.cfg, k.efficiency);
                 SimTime::from_ns((nominal.as_ns() as f64 * frac).round() as u64)
             } else {
                 SimTime::ZERO
             };
-            let device = self.streams[stream.0].device;
             let label = intern_fmt(format_args!("{}-crash", k.label));
             let op = self.sched.submit(
                 Op::on(self.devices[device].eng_compute, duration)

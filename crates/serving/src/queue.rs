@@ -177,6 +177,16 @@ impl AdmissionQueue {
     pub(crate) fn earliest_ready(&self) -> Option<SimTime> {
         self.queue.iter().map(|e| e.not_before).min()
     }
+
+    /// Remove and return every queued entry regardless of backoff state —
+    /// the runtime's last resort when no live device remains to serve
+    /// them, so each can be failed with a typed verdict instead of
+    /// waiting forever.
+    pub(crate) fn drain_all(&mut self) -> Vec<QueuedJob> {
+        self.queued_per_tenant.clear();
+        self.with_deadline = 0;
+        self.queue.drain(..).collect()
+    }
 }
 
 #[cfg(test)]

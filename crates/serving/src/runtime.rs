@@ -52,6 +52,10 @@ pub struct ServingConfig {
     pub per_tenant_quota: usize,
     /// Device slots: jobs resident and interleaving at once.
     pub max_active: usize,
+    /// Devices in the platform. Slot `s` lives on device `s % num_devices`,
+    /// so a multi-device runtime spreads concurrent jobs across devices —
+    /// and a device death takes out only the slots mapped to it.
+    pub num_devices: usize,
     /// Per-transfer retry budget inside a running job.
     pub transfer_retry: RetryPolicy,
     /// Job-level resubmission budget after a device-path failure.
@@ -68,6 +72,7 @@ impl Default for ServingConfig {
             max_queue_depth: 4096,
             per_tenant_quota: 2048,
             max_active: 4,
+            num_devices: 1,
             transfer_retry: RetryPolicy::default(),
             job_retry: RetryPolicy::new(2, SimTime::from_us(200)),
             fault_plan: FaultPlan::none(),
@@ -94,6 +99,10 @@ pub struct TenantStats {
     pub deadline_missed: u64,
     /// Job-level resubmissions performed on the tenant's behalf.
     pub retries: u64,
+    /// Jobs drained off a lost device and rescheduled onto survivors.
+    /// A device loss is the platform's fault, not the job's, so these do
+    /// not consume the job-level retry budget.
+    pub evacuated: u64,
     /// Evictions of the tenant's jobs by higher-priority work.
     pub preemptions: u64,
 }
@@ -139,6 +148,9 @@ enum Pump {
     Preempted,
     /// The platform died mid-pump; the job is still active.
     Crashed,
+    /// The job's device died mid-pump (the platform survives); the job is
+    /// still active and must be evacuated onto a surviving device.
+    Lost { device: usize },
 }
 
 /// See the module docs.
@@ -150,6 +162,9 @@ pub struct ServingRuntime {
     /// Lazily created stream per slot; slots are reused across jobs.
     streams: Vec<Option<StreamId>>,
     slot_busy: Vec<bool>,
+    /// Slots retired because their device died. Never refilled until a
+    /// platform rebuild brings fresh hardware.
+    slot_dead: Vec<bool>,
     results: Vec<JobResult>,
     stats: HashMap<u32, TenantStats>,
     weights: HashMap<u32, u32>,
@@ -165,7 +180,7 @@ pub struct ServingRuntime {
 
 impl ServingRuntime {
     pub fn new(cfg: ServingConfig) -> Self {
-        let mut gpu = GpuSystem::with_backing(cfg.machine.clone(), cfg.backed);
+        let mut gpu = GpuSystem::multi(cfg.machine.clone(), cfg.num_devices.max(1), cfg.backed);
         gpu.set_fault_plan(cfg.fault_plan.clone());
         let queue = AdmissionQueue::new(cfg.max_queue_depth, cfg.per_tenant_quota);
         let max_active = cfg.max_active.max(1);
@@ -175,6 +190,7 @@ impl ServingRuntime {
             active: Vec::new(),
             streams: vec![None; max_active],
             slot_busy: vec![false; max_active],
+            slot_dead: vec![false; max_active],
             results: Vec::new(),
             stats: HashMap::new(),
             weights: HashMap::new(),
@@ -246,9 +262,28 @@ impl ServingRuntime {
         if self.gpu.crashed() {
             self.recover_from_crash();
         }
+        self.evacuate_lost_devices();
         let now = self.now();
         for e in self.queue.expire_deadlines(now) {
             self.finish_entry_expired(e, now);
+        }
+        if self.live_slot_count() == 0 {
+            // Every device is gone: nothing can ever run again. Fail the
+            // backlog with a typed verdict instead of idling forever —
+            // an admitted job is never silently dropped.
+            let device = self.gpu.lost_devices().first().copied().unwrap_or(0);
+            for e in self.queue.drain_all() {
+                self.record_result(
+                    e.id,
+                    e.spec.tenant,
+                    Err(AccError::DeviceLost { device }),
+                    e.submitted,
+                    None,
+                    e.retries,
+                    e.preemptions,
+                );
+            }
+            return false;
         }
         self.fill_slots();
         self.request_preemptions();
@@ -257,8 +292,12 @@ impl ServingRuntime {
                 return false;
             }
             // Everything admitted is in retry backoff: idle the host
-            // forward to the earliest eligible entry.
-            let ready = self.queue.earliest_ready().expect("non-empty queue");
+            // forward to the earliest eligible entry. (A non-empty queue
+            // always has an earliest entry; treat the impossible case as
+            // idle rather than panicking.)
+            let Some(ready) = self.queue.earliest_ready() else {
+                return false;
+            };
             let now = self.now();
             if ready > now {
                 self.gpu.host_work(ready - now, "serving-idle");
@@ -312,6 +351,11 @@ impl ServingRuntime {
         self.crashes_survived
     }
 
+    /// Devices of the current platform the fault plan has killed.
+    pub fn lost_devices(&self) -> Vec<usize> {
+        self.gpu.lost_devices()
+    }
+
     /// Injected fault events across all platforms this runtime has owned,
     /// including ones discarded after a crash.
     pub fn total_fault_events(&self) -> u64 {
@@ -326,13 +370,31 @@ impl ServingRuntime {
         self.weights.get(&tenant).copied().unwrap_or(1)
     }
 
+    /// Device a slot's stream and buffers live on.
+    fn slot_device(&self, slot: usize) -> usize {
+        slot % self.cfg.num_devices.max(1)
+    }
+
+    /// Slots still backed by live hardware.
+    fn live_slot_count(&self) -> usize {
+        self.slot_dead.iter().filter(|d| !**d).count()
+    }
+
+    /// First slot that is neither occupied nor retired by a device loss.
+    fn live_free_slot(&self) -> Option<usize> {
+        (0..self.slot_busy.len()).find(|&s| !self.slot_busy[s] && !self.slot_dead[s])
+    }
+
     fn fill_slots(&mut self) {
-        while self.active.len() < self.cfg.max_active.max(1) {
+        // A dead device retires its slots, so free capacity is the count
+        // of live free slots — `active < max_active` alone no longer
+        // implies a usable slot exists.
+        while let Some(slot) = self.live_free_slot() {
             let now = self.now();
             let Some(entry) = self.queue.pop_dispatchable(now) else {
                 break;
             };
-            if let Err(entry) = self.activate(entry) {
+            if let Err(entry) = self.activate(entry, slot) {
                 // Device allocation refused (injected cudaMalloc fault):
                 // treat as a job-level device failure — retry or fail.
                 let bytes = (entry.spec.region_len * std::mem::size_of::<f64>()) as u64;
@@ -341,24 +403,21 @@ impl ServingRuntime {
         }
     }
 
-    /// Bring a queued entry onto the device: fresh host slabs seeded from
-    /// the spec or its checkpoint, device buffers, a slot stream.
-    fn activate(&mut self, entry: QueuedJob) -> Result<(), QueuedJob> {
-        let slot = self
-            .slot_busy
-            .iter()
-            .position(|b| !b)
-            .expect("active < max_active implies a free slot");
+    /// Bring a queued entry onto `slot`'s device: fresh host slabs seeded
+    /// from the spec or its checkpoint, device buffers, a slot stream.
+    fn activate(&mut self, entry: QueuedJob, slot: usize) -> Result<(), QueuedJob> {
+        let device = self.slot_device(slot);
         let spec = entry.spec.clone();
         // Resume point: a preempted job restarts at its checkpointed step
         // with the checkpointed bytes; a fresh (or retried) job restarts
-        // from the seed.
+        // from the seed. A blob that fails validation is treated as no
+        // durable state — restart from the seed, which is always correct,
+        // rather than panicking the runtime over one tenant's snapshot.
         let (start_step, region_data): (u64, Option<Vec<Vec<f64>>>) = match &entry.resume {
-            Some(blob) => {
-                let ck =
-                    Checkpoint::decode(blob).expect("runtime-produced checkpoint blob decodes");
-                (ck.step, Some(ck.region_data()[0].clone()))
-            }
+            Some(blob) => match Checkpoint::decode(blob) {
+                Ok(ck) => (ck.step, Some(ck.region_data()[0].clone())),
+                Err(_) => (0, None),
+            },
             None => (0, None),
         };
         self.gpu.set_tenant(Some(spec.tenant));
@@ -375,7 +434,7 @@ impl ServingRuntime {
                     }
                 }
             });
-            match self.gpu.malloc_device(spec.region_len) {
+            match self.gpu.malloc_device_on(device, spec.region_len) {
                 Ok(d) => dev.push(d),
                 Err(_) => {
                     for d in dev {
@@ -389,7 +448,7 @@ impl ServingRuntime {
             host_slabs.push(slab);
         }
         if self.streams[slot].is_none() {
-            self.streams[slot] = Some(self.gpu.create_stream());
+            self.streams[slot] = Some(self.gpu.create_stream_on(device));
         }
         self.gpu.set_tenant(None);
         self.slot_busy[slot] = true;
@@ -475,6 +534,14 @@ impl ServingRuntime {
                         break;
                     }
                     Pump::Crashed => return,
+                    Pump::Lost { device } => {
+                        // Retire every slot on the dead device and requeue
+                        // its jobs (this one included) from their durable
+                        // state. Survivor slots keep pumping: the walk is
+                        // by job id, so evacuated jobs are skipped.
+                        self.retire_device(device);
+                        break;
+                    }
                 }
             }
         }
@@ -484,6 +551,13 @@ impl ServingRuntime {
     fn pump_job(&mut self, idx: usize) -> Pump {
         if self.gpu.crashed() {
             return Pump::Crashed;
+        }
+        let device = self.slot_device(self.active[idx].slot);
+        if self.gpu.device_lost(device) {
+            // The slot's device died between pumps (timed death, or a
+            // sibling slot's transfer tripped the trigger): evacuate
+            // instead of submitting to dead hardware.
+            return Pump::Lost { device };
         }
         if self.active[idx].preempt_requested {
             return self.preempt(idx);
@@ -496,7 +570,12 @@ impl ServingRuntime {
     }
 
     fn pump_tagged(&mut self, idx: usize) -> Pump {
-        let stream = self.streams[self.active[idx].slot].expect("active slot has a stream");
+        let device = self.slot_device(self.active[idx].slot);
+        // A slot's stream disappears only when the slot was retired by a
+        // device loss; surface the loss instead of panicking.
+        let Some(stream) = self.streams[self.active[idx].slot] else {
+            return Pump::Lost { device };
+        };
         let (regions, len) = {
             let j = &self.active[idx];
             (j.spec.regions, j.spec.region_len)
@@ -504,9 +583,9 @@ impl ServingRuntime {
         match self.active[idx].phase {
             Phase::Load { next } => {
                 let (h, d) = (self.active[idx].host[next], self.active[idx].dev[next]);
-                match self
-                    .transfer_with_retry(next, |g| g.memcpy_h2d_async(d, 0, h, 0, len, stream))
-                {
+                match self.transfer_with_retry(next, device, |g| {
+                    g.memcpy_h2d_async(d, 0, h, 0, len, stream)
+                }) {
                     Ok(()) => {}
                     Err(e) => return e,
                 }
@@ -545,14 +624,20 @@ impl ServingRuntime {
                 if self.gpu.crashed() {
                     return Pump::Crashed;
                 }
+                if self.gpu.device_lost(device) {
+                    // A timed death landed on the kernel submission: the
+                    // step did not execute, so don't count it — the job
+                    // recomputes it after evacuation.
+                    return Pump::Lost { device };
+                }
                 self.active[idx].step += 1;
                 Pump::Progress
             }
             Phase::Drain { next } => {
                 let (h, d) = (self.active[idx].host[next], self.active[idx].dev[next]);
-                match self
-                    .transfer_with_retry(next, |g| g.memcpy_d2h_async(h, 0, d, 0, len, stream))
-                {
+                match self.transfer_with_retry(next, device, |g| {
+                    g.memcpy_d2h_async(h, 0, d, 0, len, stream)
+                }) {
                     Ok(()) => {}
                     Err(Pump::Done(Err(AccError::TransferExhausted { .. }))) => {
                         // The D2H lane is dead: rescue the region over the
@@ -575,10 +660,13 @@ impl ServingRuntime {
 
     /// Enqueue one transfer, retrying faulted attempts under the
     /// per-transfer policy (fault verdicts land at enqueue time, so no
-    /// sync is needed between attempts).
+    /// sync is needed between attempts). A fault caused by the device
+    /// itself dying is not retryable: it surfaces as [`Pump::Lost`] so
+    /// the job evacuates without burning its transfer budget.
     fn transfer_with_retry(
         &mut self,
         region: usize,
+        device: usize,
         mut submit: impl FnMut(&mut GpuSystem) -> gpu_sim::OpId,
     ) -> Result<(), Pump> {
         let mut attempt = 0u32;
@@ -589,6 +677,9 @@ impl ServingRuntime {
             }
             if !self.gpu.op_faulted(op) {
                 return Ok(());
+            }
+            if self.gpu.device_lost(device) {
+                return Err(Pump::Lost { device });
             }
             if self.cfg.transfer_retry.exhausted(attempt) {
                 return Err(Pump::Done(Err(AccError::TransferExhausted { region })));
@@ -635,8 +726,13 @@ impl ServingRuntime {
     /// snapshot through the TACK codec, free its slot, requeue.
     fn preempt(&mut self, idx: usize) -> Pump {
         let tenant = self.active[idx].spec.tenant;
+        let device = self.slot_device(self.active[idx].slot);
+        // As in pump_tagged: a missing stream means the slot was retired
+        // by a device loss — evacuate rather than panic.
+        let Some(stream) = self.streams[self.active[idx].slot] else {
+            return Pump::Lost { device };
+        };
         self.gpu.set_tenant(Some(tenant));
-        let stream = self.streams[self.active[idx].slot].expect("active slot has a stream");
         // Make every submitted kernel's effect real before reading bytes.
         self.gpu.stream_synchronize(stream);
         if self.gpu.crashed() {
@@ -651,7 +747,9 @@ impl ServingRuntime {
         if matches!(self.active[idx].phase, Phase::Compute | Phase::Drain { .. }) {
             for r in 0..regions {
                 let (h, d) = (self.active[idx].host[r], self.active[idx].dev[r]);
-                match self.transfer_with_retry(r, |g| g.memcpy_d2h_async(h, 0, d, 0, len, stream)) {
+                match self
+                    .transfer_with_retry(r, device, |g| g.memcpy_d2h_async(h, 0, d, 0, len, stream))
+                {
                     Ok(()) => {}
                     Err(Pump::Done(Err(AccError::TransferExhausted { .. }))) => {
                         self.gpu.memcpy_d2h_salvage(h, 0, d, 0, len, stream);
@@ -699,6 +797,55 @@ impl ServingRuntime {
     // ------------------------------------------------------------------
     // Completion, failure, crash recovery
     // ------------------------------------------------------------------
+
+    /// Sweep for devices the fault plan has killed since the last round
+    /// and retire them. Idempotent: already-retired devices have no live
+    /// slots or active jobs left to touch.
+    fn evacuate_lost_devices(&mut self) {
+        for d in self.gpu.lost_devices() {
+            self.retire_device(d);
+        }
+    }
+
+    /// A device died: retire its slots permanently (hardware gone until a
+    /// platform rebuild) and drain-reschedule every job mapped to it.
+    fn retire_device(&mut self, device: usize) {
+        for s in 0..self.slot_dead.len() {
+            if self.slot_device(s) == device {
+                self.slot_dead[s] = true;
+                self.streams[s] = None;
+            }
+        }
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.slot_device(self.active[i].slot) == device {
+                let job = self.active.remove(i);
+                self.evacuate_job(job);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Requeue a job whose device died, preserving its identity, submit
+    /// time, and retry budget. The job's device buffers died with the
+    /// hardware (nothing to free); its durable state is the last
+    /// checkpoint blob or the seed, exactly as in crash recovery.
+    fn evacuate_job(&mut self, mut job: ActiveJob) {
+        job.dev.clear();
+        self.slot_busy[job.slot] = false;
+        self.stats.entry(job.spec.tenant).or_default().evacuated += 1;
+        let now = self.now();
+        self.queue.requeue(QueuedJob {
+            id: job.id,
+            spec: job.spec,
+            submitted: job.submitted,
+            not_before: now,
+            retries: job.retries,
+            preemptions: job.preemptions,
+            resume: job.checkpoint,
+        });
+    }
 
     fn release_device(&mut self, job: &mut ActiveJob) {
         for d in job.dev.drain(..) {
@@ -856,11 +1003,17 @@ impl ServingRuntime {
             });
         }
         self.cfg.fault_plan.crash = None;
-        let mut gpu = GpuSystem::with_backing(self.cfg.machine.clone(), self.cfg.backed);
+        let mut gpu = GpuSystem::multi(
+            self.cfg.machine.clone(),
+            self.cfg.num_devices.max(1),
+            self.cfg.backed,
+        );
         gpu.set_fault_plan(self.cfg.fault_plan.clone());
         self.gpu = gpu;
         self.streams = vec![None; self.cfg.max_active.max(1)];
         self.slot_busy = vec![false; self.cfg.max_active.max(1)];
+        // Fresh platform, fresh hardware: retired slots come back.
+        self.slot_dead = vec![false; self.cfg.max_active.max(1)];
     }
 }
 
@@ -1006,6 +1159,78 @@ mod tests {
         assert_eq!(rt.tenant_stats(0).preemptions, long_res.preemptions as u64);
         let hot_res = rt.results().iter().find(|r| r.tenant == 1).unwrap();
         assert_eq!(hot_res.outcome, Ok(hot.golden_digest()));
+    }
+
+    #[test]
+    fn device_death_mid_flood_loses_no_admitted_jobs() {
+        // Acceptance (b): 4 tenants flood a 2-device runtime open-loop;
+        // device 1 dies mid-flood. Every admitted job must end golden (the
+        // survivors absorb the evacuated work) — never silently dropped —
+        // and no job-retry budget is consumed by the loss.
+        let mut rt = ServingRuntime::new(ServingConfig {
+            num_devices: 2,
+            max_active: 4,
+            fault_plan: FaultPlan::none()
+                .with_device_death(gpu_sim::DeviceDeath::at_transfer(1, 6)),
+            ..ServingConfig::default()
+        });
+        let mut admitted: Vec<(JobId, JobSpec)> = Vec::new();
+        for wave in 0..4u64 {
+            for t in 0..4u32 {
+                let spec = JobSpec::new(t, 2, 64, 3, 1000 + wave * 4 + t as u64);
+                let id = rt.submit(spec.clone()).unwrap();
+                admitted.push((id, spec));
+            }
+            rt.run_rounds(3);
+        }
+        rt.run_until_idle();
+        assert_eq!(rt.fault_stats().device_deaths, 1, "the seeded death fired");
+        assert_eq!(rt.lost_devices(), vec![1]);
+        assert_eq!(
+            rt.results().len(),
+            admitted.len(),
+            "every admitted job has a terminal result"
+        );
+        for (id, spec) in &admitted {
+            let r = rt.results().iter().find(|r| r.job == *id).unwrap();
+            // The digest is a pure function of the spec, so golden here is
+            // bit-identical to a solo run of the same job — bystander
+            // tenants included.
+            assert_eq!(r.outcome, Ok(spec.golden_digest()), "job {id} is golden");
+            assert_eq!(r.retries, 0, "device loss must not burn retry budget");
+        }
+        let evacuated: u64 = (0..4).map(|t| rt.tenant_stats(t).evacuated).sum();
+        assert!(evacuated > 0, "the death caught jobs mid-run");
+        assert_eq!(rt.cross_tenant_touches(), 0);
+        assert_eq!(rt.hazard_counters().total(), 0);
+    }
+
+    #[test]
+    fn total_device_loss_fails_the_backlog_typed() {
+        // Single device dies: nothing can ever run again. The backlog must
+        // come back as typed DeviceLost failures, not hang or vanish.
+        let mut rt = ServingRuntime::new(ServingConfig {
+            fault_plan: FaultPlan::none()
+                .with_device_death(gpu_sim::DeviceDeath::at_transfer(0, 3)),
+            ..tiny_cfg()
+        });
+        for t in 0..3u32 {
+            rt.submit(JobSpec::new(t, 2, 64, 3, 70 + t as u64)).unwrap();
+        }
+        rt.run_until_idle();
+        assert_eq!(rt.results().len(), 3, "no admitted job is silently lost");
+        let lost = rt
+            .results()
+            .iter()
+            .filter(|r| matches!(r.outcome, Err(AccError::DeviceLost { device: 0 })))
+            .count();
+        assert!(lost > 0, "the loss surfaces typed");
+        for r in rt.results() {
+            assert!(
+                r.outcome.is_ok() || matches!(r.outcome, Err(AccError::DeviceLost { .. })),
+                "golden or typed, never anything else: {r:?}"
+            );
+        }
     }
 
     #[test]
