@@ -23,7 +23,9 @@ pub mod tuning;
 
 pub use common::{d2h_retrying, h2d_retrying, MemMode, RunOpts, RunResult};
 pub use jacobi::{cuda_jacobi, tida_jacobi};
-pub use tida_impl::{tida_busy, tida_heat, tida_heat_multi, tida_heat_timetiled, TidaOpts};
+pub use tida_impl::{
+    tida_busy, tida_heat, tida_heat_fused, tida_heat_multi, tida_heat_timetiled, TidaOpts,
+};
 
 #[cfg(test)]
 mod cross_validation {

@@ -263,6 +263,100 @@ pub fn tida_heat_timetiled(
     }
 }
 
+/// Temporally blocked heat solver through the FUSED runtime path: like
+/// [`tida_heat_timetiled`], but each region's `block` inner steps run as
+/// ONE fused [`TileAcc::compute_fused`] launch (the on-chip double-buffer
+/// model) instead of `block` separate kernels, and the exchange still
+/// happens once per outer block over a depth-`block` halo. With `overlap`
+/// the run layers the automatic lookahead scheduler on top
+/// (`begin_step` + reuse-distance eviction + 2-step prefetch) — the "fused
+/// planner path" the temporal bench and the E5 figure measure.
+///
+/// Data effects are bitwise-identical to the unfused ping-pong, so fused
+/// runs validate against the same goldens.
+#[allow(clippy::too_many_arguments)]
+pub fn tida_heat_fused(
+    cfg: &MachineConfig,
+    n: i64,
+    steps: usize,
+    regions: usize,
+    block: usize,
+    max_slots: Option<usize>,
+    backed: bool,
+    overlap: bool,
+) -> RunResult {
+    assert!(block >= 1, "block must be positive");
+    assert!(
+        steps.is_multiple_of(block),
+        "steps ({steps}) must be a multiple of the block ({block})"
+    );
+    let decomp = Arc::new(Decomposition::new(
+        Domain::periodic_cube(n),
+        RegionSpec::Count(regions),
+    ));
+    let ghost = block as i64;
+    let mode = if block == 1 {
+        ExchangeMode::Faces
+    } else {
+        ExchangeMode::Full
+    };
+    let ua = TileArray::new(decomp.clone(), ghost, mode, backed);
+    let ub = TileArray::new(decomp.clone(), ghost, mode, backed);
+    ua.fill_valid(crate::heat::heat_init());
+
+    let mut opts = AccOptions::paper();
+    opts.max_slots = max_slots;
+    if overlap {
+        opts.policy = SlotPolicy::ReuseDistance;
+        opts.lookahead = 2;
+    }
+    let mut acc = TileAcc::new(GpuSystem::with_backing(cfg.clone(), backed), opts);
+    let a = acc.register(&ua);
+    let b = acc.register(&ub);
+    let fac = heat::DEFAULT_FAC;
+
+    let (mut src, mut dst) = (a, b);
+    for _ in 0..steps / block {
+        if overlap {
+            acc.begin_step().unwrap();
+        }
+        // One deep exchange feeds the whole fused block.
+        acc.fill_boundary(src).unwrap();
+        for r in 0..decomp.num_regions() {
+            let valid = decomp.region_box(r);
+            acc.compute_fused(
+                r,
+                dst,
+                src,
+                block,
+                heat::fused_cost(block, &valid),
+                "heat-fused",
+                move |d, s, bx| heat::step_tile(d, s, &bx, fac),
+            )
+            .unwrap();
+        }
+        if block % 2 == 1 {
+            std::mem::swap(&mut src, &mut dst);
+        }
+        // block even: the result landed back in `src`.
+    }
+    acc.sync_to_host(src).unwrap();
+    let elapsed = acc.finish();
+    let stats = acc.stats();
+    assert_eq!(stats.hazards, 0, "fused run must be hazard-free");
+    assert_eq!(stats.integrity_detected, 0, "fused run must be clean");
+    let final_array = if src == a { &ua } else { &ub };
+    RunResult {
+        label: format!("TiDA-fused({regions}r,k{block})"),
+        elapsed,
+        bytes_h2d: acc.gpu().stats_bytes_h2d(),
+        bytes_d2h: acc.gpu().stats_bytes_d2h(),
+        kernels: acc.gpu().stats_kernels(),
+        result: final_array.to_dense(),
+        trace: None,
+    }
+}
+
 /// Multi-GPU TiDA heat solver: regions distributed over `devices` GPUs with
 /// pack/peer-copy/unpack halo exchange (the `MultiAcc` extension).
 pub fn tida_heat_multi(
@@ -390,6 +484,98 @@ mod tests {
         let golden = heat::golden_run(crate::heat::heat_init(), n, steps, heat::DEFAULT_FAC);
         let r = tida_heat_timetiled(&cfg(), n, steps, 3, 2, Some(3), true);
         assert_eq!(r.result.unwrap(), golden);
+    }
+
+    #[test]
+    fn fused_heat_bitwise_golden_for_all_depths() {
+        let n = 12;
+        let steps = 6;
+        let golden = heat::golden_run(crate::heat::heat_init(), n, steps, heat::DEFAULT_FAC);
+        // Regions are 12x12x4 slabs: depths up to the slab depth work.
+        for block in [1usize, 2, 3] {
+            let r = tida_heat_fused(&cfg(), n, steps, 3, block, None, true, false);
+            assert_eq!(r.result.as_ref().unwrap(), &golden, "depth {block}");
+        }
+    }
+
+    #[test]
+    fn fused_matches_timetiled_bitwise_with_fewer_launches() {
+        // Same trapezoid, same exchange schedule: the fused run must agree
+        // bit-for-bit with k separate launches while launching fewer
+        // kernels and staging no more data. (It actually stages LESS: the
+        // unfused loop's first inner step writes grow(k-1), not the whole
+        // valid box, so it never qualifies for a write-intent claim and
+        // uploads the destination array; the fused call proves the full
+        // overwrite up front and skips that upload.)
+        let n = 12;
+        let steps = 6;
+        let block = 2;
+        let f = tida_heat_fused(&cfg(), n, steps, 3, block, Some(3), true, false);
+        let t = tida_heat_timetiled(&cfg(), n, steps, 3, block, Some(3), true);
+        assert_eq!(f.result.unwrap(), t.result.unwrap());
+        assert!(
+            f.bytes_h2d < t.bytes_h2d,
+            "fused staging {} !< unfused {}",
+            f.bytes_h2d,
+            t.bytes_h2d
+        );
+        assert!(
+            f.kernels < t.kernels,
+            "fused {} launches !< unfused {}",
+            f.kernels,
+            t.kernels
+        );
+    }
+
+    #[test]
+    fn fused_depth_one_degenerates_bit_identically() {
+        // k=1 must be indistinguishable from today's unfused path: same
+        // field, same byte counts, same launch count, same makespan.
+        let n = 12;
+        let steps = 4;
+        let f = tida_heat_fused(&cfg(), n, steps, 3, 1, Some(3), true, false);
+        let t = tida_heat_timetiled(&cfg(), n, steps, 3, 1, Some(3), true);
+        assert_eq!(f.result.unwrap(), t.result.unwrap());
+        assert_eq!(f.bytes_h2d, t.bytes_h2d);
+        assert_eq!(f.bytes_d2h, t.bytes_d2h);
+        assert_eq!(f.kernels, t.kernels);
+        assert_eq!(f.elapsed, t.elapsed, "k=1 fused must not change timing");
+    }
+
+    #[test]
+    fn fused_overlap_path_stays_bitwise_golden() {
+        // The full fused planner path (begin_step + reuse-distance +
+        // lookahead prefetch) under memory pressure must still be golden.
+        let n = 12;
+        let steps = 6;
+        let golden = heat::golden_run(crate::heat::heat_init(), n, steps, heat::DEFAULT_FAC);
+        for block in [1usize, 2] {
+            let r = tida_heat_fused(&cfg(), n, steps, 3, block, Some(3), true, true);
+            assert_eq!(r.result.as_ref().unwrap(), &golden, "depth {block}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ghost width")]
+    fn fused_depth_deeper_than_region_panics() {
+        tida_heat_fused(&cfg(), 12, 6, 3, 6, None, true, false);
+    }
+
+    #[test]
+    fn fused_cuts_staged_bytes_per_step() {
+        // Out-of-core regime: depth 4 re-stages each region once per 4
+        // steps instead of once per step.
+        let n = 64;
+        let steps = 8;
+        let k1 = tida_heat_fused(&cfg(), n, steps, 8, 1, Some(4), false, false);
+        let k4 = tida_heat_fused(&cfg(), n, steps, 8, 4, Some(4), false, false);
+        assert!(
+            (k4.bytes_h2d as f64) < 0.67 * k1.bytes_h2d as f64,
+            "depth 4 staged {} !< 2/3 of depth 1's {}",
+            k4.bytes_h2d,
+            k1.bytes_h2d
+        );
+        assert!(k4.elapsed < k1.elapsed, "amortization must win end-to-end");
     }
 
     #[test]

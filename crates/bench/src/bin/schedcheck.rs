@@ -20,7 +20,7 @@
 //! render (forced vector + interleaving) is printed and, with
 //! `--artifact-dir`, written to `schedcheck-counterexample-<name>.txt`.
 
-use schedcheck::programs::{self, HeatConfig};
+use schedcheck::programs::{self, FusedConfig, HeatConfig};
 use schedcheck::{CheckSpec, Checker, Program, Report, Strategy};
 use serde::Serialize;
 
@@ -80,6 +80,11 @@ fn main_tier() -> Vec<Lane> {
             strategy: Strategy::Dpor { max_schedules: 12 },
             program: programs::heat_overlap(HeatConfig::default()),
         },
+        Lane {
+            name: "heat-fused-small-dpor",
+            strategy: Strategy::Dpor { max_schedules: 12 },
+            program: programs::heat_fused(FusedConfig::default()),
+        },
     ]
 }
 
@@ -126,7 +131,47 @@ fn nightly_tier() -> Vec<Lane> {
                 ..HeatConfig::default()
             }),
         },
+        Lane {
+            name: "heat-fused-dpor",
+            strategy: Strategy::Dpor { max_schedules: 250 },
+            program: programs::heat_fused(FusedConfig {
+                depth: 2,
+                steps: 8,
+                ..FusedConfig::default()
+            }),
+        },
     ]
+    .into_iter()
+    .chain(fused_sweep_lanes())
+    .collect()
+}
+
+/// The nightly k-sweep: seeded random walks over the fused step program at
+/// every depth the 16³/2-region decomposition supports. Each depth shapes
+/// the exchange (halo width), the per-launch work, and the schedule space
+/// differently; all must stay bit-identical to the FIFO golden.
+fn fused_sweep_lanes() -> Vec<Lane> {
+    let depths: [(usize, &'static str); 4] = [
+        (1, "heat-fused-k1-walk"),
+        (2, "heat-fused-k2-walk"),
+        (4, "heat-fused-k4-walk"),
+        (8, "heat-fused-k8-walk"),
+    ];
+    depths
+        .into_iter()
+        .map(|(depth, name)| Lane {
+            name,
+            strategy: Strategy::RandomWalk {
+                seed: 0xF0_5ED0 ^ depth as u64,
+                budget: 64,
+            },
+            program: programs::heat_fused(FusedConfig {
+                depth,
+                steps: 8,
+                ..FusedConfig::default()
+            }),
+        })
+        .collect()
 }
 
 fn run_lane(lane: Lane, artifact_dir: Option<&str>) -> (LaneSummary, bool) {

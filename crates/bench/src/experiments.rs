@@ -550,8 +550,15 @@ pub fn cpu_gpu_crossover(scale: Scale) -> FigData {
 }
 
 /// Extension experiment E5: temporal blocking on top of region staging.
-/// In the out-of-core regime (2-slot device limit), computing `block` time
+/// In the out-of-core regime (4-slot device limit), computing `block` time
 /// steps per region residency amortizes the staging transfers.
+///
+/// Every point is a MEASURED makespan of a run through the fused runtime
+/// path ([`baselines::tida_heat_fused`]: one depth-`block` launch per
+/// region per outer step, deep halos, the lookahead overlap scheduler on
+/// top) — nothing here is modelled analytically, and the fused data
+/// effects are pinned bitwise against the unfused goldens by the
+/// baselines/conformance suites.
 pub fn temporal_blocking(scale: Scale) -> FigData {
     let c = cfg();
     let n = scale.heat_n();
@@ -564,14 +571,15 @@ pub fn temporal_blocking(scale: Scale) -> FigData {
         format!("E5: temporal blocking under staging, heat {n}^3, {steps} steps, {regions} regions, 4 slots"),
         "time [ms]",
     );
-    let mut s = Series::new("TiDA-tt");
+    let mut s = Series::new("TiDA-fused");
     for block in [1usize, 2, 4] {
-        let r = baselines::tida_heat_timetiled(&c, n, steps, regions, block, Some(4), false);
+        let r = baselines::tida_heat_fused(&c, n, steps, regions, block, Some(4), false, true);
         s.push(format!("block {block}"), r.ms());
     }
     fig.series.push(s);
     fig.notes.push(
-        "wider halos and trapezoid re-compute buy fewer stagings; the optimum depends on          the transfer/compute ratio"
+        "measured fused-runtime makespans: wider halos and trapezoid re-compute buy fewer \
+         stagings; the optimum depends on the transfer/compute ratio"
             .into(),
     );
     fig
@@ -994,6 +1002,250 @@ pub fn overlap_bench(scale: Scale, lookahead: usize, sweep: bool) -> OverlapBenc
     }
 }
 
+// ----------------------------------------------------------------------
+// The temporal-blocking bench (BENCH_temporal): staged-byte amortization.
+// ----------------------------------------------------------------------
+
+/// One fused temporal-blocking run at a fixed depth `k`.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct TemporalRun {
+    pub label: String,
+    /// Fusion depth: time steps executed per region residency.
+    pub depth: usize,
+    pub makespan_ms: f64,
+    /// Host→device bytes staged over the whole run.
+    pub staged_bytes_h2d: u64,
+    pub staged_bytes_d2h: u64,
+    /// Host→device bytes per computed time step — the quantity temporal
+    /// blocking amortizes and the gate measures.
+    pub staged_bytes_per_step: f64,
+    pub transfer_critical_ms: f64,
+    pub compute_critical_ms: f64,
+    pub loads: u64,
+    pub hits: u64,
+    pub fused_launches: u64,
+    pub fused_substeps: u64,
+}
+
+/// The `BENCH_temporal.json` payload: the k=1 baseline vs the
+/// automatically chosen depth, plus an optional depth sweep.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct TemporalBench {
+    pub workload: String,
+    /// Depth 1 through the same fused planner path (the control).
+    pub baseline: TemporalRun,
+    /// The automatically chosen depth.
+    pub fused: TemporalRun,
+    /// Depth picked by [`tida_acc::recommend_fusion_depth`] from the
+    /// baseline's transfer/compute critical-path split.
+    pub auto_depth: usize,
+    /// Deepest halo the decomposition supports (thinnest region extent).
+    pub halo_cap: usize,
+    /// `baseline.staged_bytes_per_step / fused.staged_bytes_per_step` —
+    /// how many× fewer bytes each computed step stages. The CI gate pins
+    /// this at >= 1.5.
+    pub staging_amortization_x: f64,
+    pub makespan_speedup_x: f64,
+    pub sweep: Vec<TemporalRun>,
+}
+
+/// Drive out-of-core heat through the fused `TileAcc` path at depth `k` on
+/// the interconnect-starved machine (same PCIe Gen3 x4-class link as the
+/// overlap bench). Returns the run metrics plus the final field (backed
+/// runs only) for bit-identity checks.
+fn temporal_heat_run(
+    n: i64,
+    steps: usize,
+    regions: usize,
+    slots: usize,
+    depth: usize,
+    backed: bool,
+    label: &str,
+) -> (TemporalRun, Option<Vec<f64>>) {
+    use gpu_sim::GpuSystem;
+    use std::sync::Arc;
+    use tida::{Decomposition, Domain, ExchangeMode, RegionSpec, TileArray};
+    use tida_acc::TileAcc;
+
+    assert!(
+        steps.is_multiple_of(depth),
+        "steps ({steps}) must be a multiple of the depth ({depth})"
+    );
+    let decomp = Arc::new(Decomposition::new(
+        Domain::periodic_cube(n),
+        RegionSpec::Count(regions),
+    ));
+    let mode = if depth == 1 {
+        ExchangeMode::Faces
+    } else {
+        ExchangeMode::Full
+    };
+    let ua = TileArray::new(decomp.clone(), depth as i64, mode, backed);
+    let ub = TileArray::new(decomp.clone(), depth as i64, mode, backed);
+    ua.fill_valid(baselines::heat::heat_init());
+
+    // Same interconnect-starved regime as the overlap bench: a K40m behind
+    // a narrow PCIe link, where staging dominates and deeper fusion buys
+    // k× fewer trips per computed step.
+    let mut machine = cfg();
+    machine.name = "Tesla K40m / PCIe Gen3 x4".to_string();
+    machine.h2d_pinned_bw = 3.3e9;
+    machine.d2h_pinned_bw = 3.5e9;
+    machine.host_stage_bw = 3.0e9;
+    let mut gpu = GpuSystem::with_backing(machine, backed);
+    gpu.set_tracing(true);
+    let mut opts = AccOptions::paper()
+        .with_policy(SlotPolicy::ReuseDistance)
+        .with_lookahead(2);
+    opts.max_slots = Some(slots);
+    let mut acc = TileAcc::new(gpu, opts);
+    let a = acc.register(&ua);
+    let b = acc.register(&ub);
+    let fac = kernels::heat::DEFAULT_FAC;
+    let (mut src, mut dst) = (a, b);
+    for _ in 0..steps / depth {
+        acc.begin_step().unwrap();
+        acc.fill_boundary(src).unwrap();
+        for r in 0..decomp.num_regions() {
+            let valid = decomp.region_box(r);
+            acc.compute_fused(
+                r,
+                dst,
+                src,
+                depth,
+                kernels::heat::fused_cost(depth, &valid),
+                "heat-fused",
+                move |d, s, bx| kernels::heat::step_tile(d, s, &bx, fac),
+            )
+            .unwrap();
+        }
+        if depth % 2 == 1 {
+            std::mem::swap(&mut src, &mut dst);
+        }
+    }
+    acc.sync_to_host(src).unwrap();
+    let report = acc.report();
+    assert!(
+        !report.hazards.any(),
+        "temporal bench must be hazard-free: {:?}",
+        report.hazards
+    );
+    let stats = acc.stats();
+    assert_eq!(stats.integrity_detected, 0, "temporal bench must be clean");
+    let crit_ms = |cat: &str| {
+        report
+            .critical_by_category
+            .get(cat)
+            .copied()
+            .unwrap_or(gpu_sim::SimTime::ZERO)
+            .as_ms_f64()
+    };
+    let bytes_h2d = acc.gpu().stats_bytes_h2d();
+    let run = TemporalRun {
+        label: label.to_string(),
+        depth,
+        makespan_ms: report.elapsed.as_ms_f64(),
+        staged_bytes_h2d: bytes_h2d,
+        staged_bytes_d2h: acc.gpu().stats_bytes_d2h(),
+        staged_bytes_per_step: bytes_h2d as f64 / steps as f64,
+        transfer_critical_ms: crit_ms("h2d") + crit_ms("d2h"),
+        compute_critical_ms: crit_ms("kernel"),
+        loads: stats.loads,
+        hits: stats.hits,
+        fused_launches: stats.kernels_fused,
+        fused_substeps: stats.fused_substeps,
+    };
+    let data = if backed {
+        let arr = if src == a { &ua } else { &ub };
+        arr.to_dense()
+    } else {
+        None
+    };
+    (run, data)
+}
+
+/// The temporal-blocking bench behind the `temporal` bin and the CI
+/// `temporal-gate` lane.
+///
+/// A depth-1 probe run measures the transfer/compute critical-path split
+/// (the same numbers `BENCH_overlap.json` reports);
+/// [`tida_acc::recommend_fusion_depth`] turns that split into a depth,
+/// capped by the decomposition's halo limit
+/// ([`tida::Decomposition::max_ghost_depth`]) and step-count
+/// divisibility; the fused run then executes that many time steps per
+/// residency. Backed at quick scale, where baseline and fused runs are
+/// also checked bit-identical.
+pub fn temporal_bench(scale: Scale, sweep: bool) -> TemporalBench {
+    use std::sync::Arc;
+    use tida::{Decomposition, Domain, RegionSpec};
+
+    let (n, steps, regions, slots, backed) = match scale {
+        Scale::Paper => (128i64, 48usize, 16usize, 4usize, false),
+        Scale::Quick => (64, 24, 8, 4, true),
+    };
+    let workload = format!(
+        "out-of-core heat {n}^3, {steps} steps, {regions} regions x 2 arrays, {slots} slots, \
+         PCIe Gen3 x4-class link"
+    );
+    let halo_cap = Arc::new(Decomposition::new(
+        Domain::periodic_cube(n),
+        RegionSpec::Count(regions),
+    ))
+    .max_ghost_depth() as usize;
+
+    let (baseline, base_data) = temporal_heat_run(n, steps, regions, slots, 1, backed, "depth-1");
+    // Pick k from the probe's critical-path split, capped by what the halo
+    // and the step count allow.
+    let mut cap = halo_cap.min(steps);
+    while cap > 1 && !steps.is_multiple_of(cap) {
+        cap -= 1;
+    }
+    let auto_depth = tida_acc::recommend_fusion_depth(
+        baseline.transfer_critical_ms,
+        baseline.compute_critical_ms,
+        cap,
+    );
+    let (fused, fused_data) = temporal_heat_run(
+        n,
+        steps,
+        regions,
+        slots,
+        auto_depth,
+        backed,
+        &format!("auto-depth-{auto_depth}"),
+    );
+    if backed {
+        assert_eq!(
+            base_data, fused_data,
+            "fusion must not change results (depth {auto_depth})"
+        );
+    }
+    let staging_amortization_x =
+        baseline.staged_bytes_per_step / fused.staged_bytes_per_step.max(1e-12);
+    let makespan_speedup_x = baseline.makespan_ms / fused.makespan_ms.max(1e-12);
+    let sweep_runs = if sweep {
+        [1usize, 2, 4, 8]
+            .iter()
+            .filter(|&&k| k <= cap && steps.is_multiple_of(k))
+            .map(|&k| {
+                temporal_heat_run(n, steps, regions, slots, k, backed, &format!("depth-{k}")).0
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    TemporalBench {
+        workload,
+        baseline,
+        fused,
+        auto_depth,
+        halo_cap,
+        staging_amortization_x,
+        makespan_speedup_x,
+        sweep: sweep_runs,
+    }
+}
+
 /// The options struct used across the harness (re-exported for benches).
 pub fn paper_acc_options() -> AccOptions {
     AccOptions::paper()
@@ -1223,6 +1475,45 @@ mod tests {
         };
         assert!(get("block 4") < get("block 2"));
         assert!(get("block 2") < get("block 1"));
+    }
+
+    #[test]
+    fn temporal_bench_amortizes_staged_bytes() {
+        // Quick scale is backed, so temporal_bench also asserts the fused
+        // run bit-identical to the depth-1 baseline internally.
+        let b = temporal_bench(Scale::Quick, true);
+        assert!(
+            b.auto_depth >= 2,
+            "the PCIe-starved regime must pick a depth > 1, got {}",
+            b.auto_depth
+        );
+        assert!(
+            b.staging_amortization_x >= 1.5,
+            "fusion must stage >= 1.5x fewer bytes per computed step: \
+             {:.0} B/step baseline vs {:.0} B/step fused ({:.2}x)",
+            b.baseline.staged_bytes_per_step,
+            b.fused.staged_bytes_per_step,
+            b.staging_amortization_x
+        );
+        assert!(
+            b.fused.makespan_ms < b.baseline.makespan_ms,
+            "fusion must beat the depth-1 makespan: {:.3}ms vs {:.3}ms",
+            b.fused.makespan_ms,
+            b.baseline.makespan_ms
+        );
+        assert_eq!(
+            b.fused.fused_substeps,
+            b.fused.fused_launches * b.auto_depth as u64,
+            "every fused launch must amortize exactly k sub-steps"
+        );
+        // The sweep is monotone in staged bytes: deeper always stages less.
+        let per_step: Vec<f64> = b.sweep.iter().map(|r| r.staged_bytes_per_step).collect();
+        for w in per_step.windows(2) {
+            assert!(
+                w[1] < w[0],
+                "staged bytes/step must fall with depth: {per_step:?}"
+            );
+        }
     }
 
     #[test]

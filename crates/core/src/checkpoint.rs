@@ -7,7 +7,7 @@
 //! `sync_to_host`, must be empty/clean — the crash-consistency invariant
 //! validated on restore).
 //!
-//! # Binary format (version 3)
+//! # Binary format (version 4)
 //!
 //! ```text
 //! magic   b"TACK"
@@ -38,7 +38,7 @@ const MAGIC: &[u8; 4] = b"TACK";
 // counters). v3: 26 to 29 words (migration counters). Older blobs are
 // rejected as UnsupportedVersion — nothing pins the on-disk format across
 // releases yet.
-const VERSION: u16 = 3;
+const VERSION: u16 = 4;
 const TAG_META: u8 = 1;
 const TAG_STATS: u8 = 2;
 const TAG_DATA: u8 = 3;
@@ -183,7 +183,7 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn stats_to_words(s: &AccStats) -> [u64; 29] {
+fn stats_to_words(s: &AccStats) -> [u64; 31] {
     [
         s.hits,
         s.loads,
@@ -214,10 +214,12 @@ fn stats_to_words(s: &AccStats) -> [u64; 29] {
         s.regions_migrated,
         s.migration_restage_loads,
         s.migration_restage_bytes,
+        s.kernels_fused,
+        s.fused_substeps,
     ]
 }
 
-fn stats_from_words(w: &[u64; 29]) -> AccStats {
+fn stats_from_words(w: &[u64; 31]) -> AccStats {
     AccStats {
         hits: w[0],
         loads: w[1],
@@ -248,6 +250,8 @@ fn stats_from_words(w: &[u64; 29]) -> AccStats {
         regions_migrated: w[26],
         migration_restage_loads: w[27],
         migration_restage_bytes: w[28],
+        kernels_fused: w[29],
+        fused_substeps: w[30],
     }
 }
 
@@ -383,7 +387,7 @@ impl Checkpoint {
             buf: &stats,
             pos: 0,
         };
-        let mut words = [0u64; 29];
+        let mut words = [0u64; 31];
         for w in &mut words {
             *w = s.u64()?;
         }

@@ -25,12 +25,16 @@ impl TileAcc {
     /// Update the ghost cells of every region of `array` from its
     /// neighbours, on the device when possible.
     pub fn fill_boundary(&mut self, array: ArrayId) -> Result<(), AccError> {
-        let patches: Vec<GhostPatch> = self.array(array).patches().to_vec();
+        // The exchange mutates `self` per patch, so it cannot hold a borrow
+        // of the patch list; clone the `Arc` handle (a refcount bump) rather
+        // than the list itself — this runs once per step and must not
+        // allocate.
+        let patches = self.array(array).patches_arc();
         if patches.is_empty() {
             return Ok(());
         }
         if !self.gpu_enabled() || !self.ghost_on_device() {
-            for p in &patches {
+            for p in patches.iter() {
                 self.host_patch(array, p)?;
             }
             return Ok(());
@@ -47,7 +51,7 @@ impl TileAcc {
         if self.ghost_batching() {
             return self.fill_boundary_batched(array, &patches);
         }
-        for p in &patches {
+        for p in patches.iter() {
             let dst_res = self.residency(array, p.dst_region);
             let src_res = self.residency(array, p.src_region);
             if dst_res == Residency::Host && src_res == Residency::Host {

@@ -70,6 +70,7 @@ pub use health::{HealthMonitor, HealthPolicy, HealthState};
 pub use iter::AccIter;
 pub use multi::MultiAcc;
 pub use options::{AccOptions, RetryPolicy, SlotPolicy, WritebackPolicy};
+pub use plan::recommend_fusion_depth;
 pub use recovery::{restore_into, RecoveryError, RecoveryOutcome, Supervisor, SupervisorConfig};
 pub use stats::AccStats;
 pub use tileacc::{ArrayId, Residency, TileAcc};

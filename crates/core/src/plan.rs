@@ -231,6 +231,45 @@ impl StepPlanner {
     }
 }
 
+/// Pick the temporal-blocking depth `k` from a run's transfer/compute
+/// critical-path split (the numbers the overlap bench emits as
+/// `transfer_critical_ms` / `compute_critical_ms` in `BENCH_overlap.json`).
+///
+/// When the run is compute-bound (`transfer <= compute`) there is nothing
+/// to amortize and fusing only adds redundant trapezoid work: `k = 1`.
+/// When it is interconnect-starved, every staged byte should buy about
+/// `transfer / compute` kernel applications before the link catches up, so
+/// the depth is that ratio rounded **up** to the next power of two —
+/// overshooting slightly trades cheap redundant compute for scarce link
+/// bandwidth. `max_depth` caps the result at what the halo can support
+/// (the thinnest region extent, [`tida::Decomposition::max_ghost_depth`])
+/// and at the caller's step-count divisibility.
+pub fn recommend_fusion_depth(
+    transfer_critical_ms: f64,
+    compute_critical_ms: f64,
+    max_depth: usize,
+) -> usize {
+    let max_depth = max_depth.max(1);
+    // NaN or non-positive transfer time also lands here: fuse only on
+    // positive evidence of starvation.
+    if transfer_critical_ms.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+        || transfer_critical_ms <= compute_critical_ms
+    {
+        return 1;
+    }
+    // compute == 0 with transfer > 0: infinitely starved, take the cap.
+    let ratio = if compute_critical_ms > 0.0 {
+        transfer_critical_ms / compute_critical_ms
+    } else {
+        f64::INFINITY
+    };
+    let mut k = 1usize;
+    while k * 2 <= max_depth && (k as f64) < ratio {
+        k *= 2;
+    }
+    k
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -416,5 +455,152 @@ mod tests {
         // Re-detection works after the reset.
         drive(&mut p, &[s, s], 1);
         assert!(p.has_plan());
+    }
+
+    // ---- temporal blocking (fused steps) × the planner ----------------
+    //
+    // A fused run collapses k time steps into one planner step: per outer
+    // step each region records [src read-write load, dst write claim]
+    // instead of k alternating pairs. These tests pin that the period
+    // detector sees the collapsed sequence correctly.
+
+    /// One fused outer step over `regions` regions: array `src` is loaded
+    /// read-write, array `dst` is write-claimed (skip-load).
+    fn fused_step(regions: usize, src: usize, dst: usize) -> Vec<StepAccess> {
+        let mut v = Vec::new();
+        for r in 0..regions {
+            v.push(StepAccess {
+                g: r * 2 + src,
+                needs_load: true,
+                dirties: true,
+            });
+            v.push(StepAccess {
+                g: r * 2 + dst,
+                needs_load: false,
+                dirties: true,
+            });
+        }
+        v
+    }
+
+    #[test]
+    fn fused_even_depth_collapses_to_period_one() {
+        // Even k: the final level lands back in src, so every outer step
+        // reads the same array — the collapsed sequence has period 1, not
+        // the unfused double-buffer period 2.
+        let mut p = StepPlanner::default();
+        let s = fused_step(3, 0, 1);
+        let steps: Vec<&[StepAccess]> = vec![&s, &s];
+        drive(&mut p, &steps, 2);
+        assert_eq!(p.period(), Some(1));
+    }
+
+    #[test]
+    fn fused_odd_depth_keeps_the_double_buffer_period() {
+        // Odd k swaps the handles per outer step: period 2 survives.
+        let mut p = StepPlanner::default();
+        let even = fused_step(3, 0, 1);
+        let odd = fused_step(3, 1, 0);
+        let steps: Vec<&[StepAccess]> = vec![&even, &odd, &even, &odd];
+        drive(&mut p, &steps, 2);
+        assert_eq!(p.period(), Some(2));
+    }
+
+    #[test]
+    fn fused_rotation_at_max_period_boundary_detects() {
+        // A 4-phase fused rotation sits exactly on MAX_PERIOD: with two
+        // full repetitions recorded, detection must succeed.
+        let mut p = StepPlanner::default();
+        let phases: Vec<Vec<StepAccess>> = (0..MAX_PERIOD)
+            .map(|i| fused_step(2, i % 2, (i + 1) % 2))
+            .collect();
+        // Make each phase distinguishable by touching a phase-tagged region.
+        let phases: Vec<Vec<StepAccess>> = phases
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut v)| {
+                v.push(read(100 + i));
+                v
+            })
+            .collect();
+        let mut steps: Vec<&[StepAccess]> = Vec::new();
+        for _ in 0..2 {
+            for ph in &phases {
+                steps.push(ph);
+            }
+        }
+        drive(&mut p, &steps, 2);
+        assert_eq!(p.period(), Some(MAX_PERIOD));
+    }
+
+    #[test]
+    fn fused_rotation_beyond_max_period_stays_unplanned() {
+        // One phase more than MAX_PERIOD: the detector must refuse rather
+        // than lock onto a wrong shorter period.
+        let mut p = StepPlanner::default();
+        let phases: Vec<Vec<StepAccess>> = (0..MAX_PERIOD + 1)
+            .map(|i| {
+                let mut v = fused_step(2, i % 2, (i + 1) % 2);
+                v.push(read(100 + i));
+                v
+            })
+            .collect();
+        let mut steps: Vec<&[StepAccess]> = Vec::new();
+        for _ in 0..3 {
+            for ph in &phases {
+                steps.push(ph);
+            }
+        }
+        drive(&mut p, &steps, 2);
+        assert_eq!(p.period(), None);
+    }
+
+    #[test]
+    fn plan_invalidates_when_fusion_depth_changes_mid_run() {
+        // Switching k mid-run (odd→even) changes the collapsed sequence;
+        // the locked plan must dissolve instead of predicting stale swaps.
+        let mut p = StepPlanner::default();
+        let even = fused_step(3, 0, 1);
+        let odd = fused_step(3, 1, 0);
+        let steps: Vec<&[StepAccess]> = vec![&even, &odd, &even, &odd];
+        drive(&mut p, &steps, 2);
+        assert_eq!(p.period(), Some(2));
+        // Now the run re-tiles to an even depth: the next outer step reads
+        // array 0 again instead of swapping. The locked plan must dissolve.
+        let steps: Vec<&[StepAccess]> = vec![&even];
+        drive(&mut p, &steps, 2);
+        assert_eq!(p.period(), None, "stale double-buffer plan survived");
+        // And the new collapsed sequence locks in after its own repetition.
+        let steps: Vec<&[StepAccess]> = vec![&even, &even];
+        drive(&mut p, &steps, 2);
+        assert_eq!(p.period(), Some(1));
+    }
+
+    #[test]
+    fn fusion_depth_is_one_when_compute_bound() {
+        assert_eq!(recommend_fusion_depth(10.0, 20.0, 8), 1);
+        assert_eq!(recommend_fusion_depth(10.0, 10.0, 8), 1);
+        assert_eq!(recommend_fusion_depth(0.0, 0.0, 8), 1);
+        assert_eq!(recommend_fusion_depth(f64::NAN, 1.0, 8), 1);
+    }
+
+    #[test]
+    fn fusion_depth_rounds_ratio_up_to_power_of_two() {
+        // ratio 1.5 → 2; ratio 3 → 4; ratio 4 → exactly 4; ratio 6.1 → 8.
+        assert_eq!(recommend_fusion_depth(15.0, 10.0, 8), 2);
+        assert_eq!(recommend_fusion_depth(30.0, 10.0, 8), 4);
+        assert_eq!(recommend_fusion_depth(40.0, 10.0, 8), 4);
+        assert_eq!(recommend_fusion_depth(61.0, 10.0, 8), 8);
+    }
+
+    #[test]
+    fn fusion_depth_respects_the_halo_cap() {
+        // Starved run, but thin regions cap the halo: never exceed.
+        assert_eq!(recommend_fusion_depth(100.0, 1.0, 4), 4);
+        assert_eq!(recommend_fusion_depth(100.0, 1.0, 3), 2);
+        assert_eq!(recommend_fusion_depth(100.0, 1.0, 1), 1);
+        assert_eq!(recommend_fusion_depth(100.0, 1.0, 0), 1);
+        // Infinitely starved (zero measured compute): take the cap.
+        assert_eq!(recommend_fusion_depth(5.0, 0.0, 8), 8);
     }
 }

@@ -75,6 +75,13 @@ pub struct AccStats {
     /// detected step plan proves the host mirror is already current
     /// (only under `WritebackPolicy::Always` with a live plan).
     pub writebacks_deferred: u64,
+    /// Fused temporal-blocking launches (one launch covering k stencil
+    /// applications; also counted in `kernels_gpu`).
+    pub kernels_fused: u64,
+    /// Total stencil applications executed inside fused launches (host or
+    /// device): the sum of every fused call's depth. `fused_substeps /
+    /// kernels_fused` is the average amortization factor k.
+    pub fused_substeps: u64,
     /// Regions re-owned onto a surviving device after a device loss or a
     /// quarantine evacuation (live migration; `MultiAcc` only).
     pub regions_migrated: u64,
@@ -146,6 +153,13 @@ impl fmt::Display for AccStats {
                 self.prefetch_hits,
                 self.prefetch_fallbacks,
                 self.writebacks_deferred,
+            )?;
+        }
+        if self.kernels_fused + self.fused_substeps > 0 {
+            write!(
+                f,
+                " fused(launches/substeps)={}/{}",
+                self.kernels_fused, self.fused_substeps,
             )?;
         }
         if self.regions_migrated + self.migration_restage_loads + self.migration_restage_bytes > 0 {
@@ -249,6 +263,17 @@ mod tests {
         assert!(text.contains("prefetch(loads/hits)=5/4"));
         assert!(text.contains("prefetch_fallbacks=1"));
         assert!(text.contains("deferred_wb=3"));
+    }
+
+    #[test]
+    fn display_adds_fused_suffix_only_when_nonzero() {
+        assert!(!AccStats::default().to_string().contains("fused"));
+        let s = AccStats {
+            kernels_fused: 3,
+            fused_substeps: 12,
+            ..AccStats::default()
+        };
+        assert!(s.to_string().contains("fused(launches/substeps)=3/12"));
     }
 
     #[test]

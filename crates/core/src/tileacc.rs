@@ -1278,6 +1278,167 @@ impl TileAcc {
         Ok(())
     }
 
+    /// Temporally blocked kernel: ONE fused launch that applies `f` to
+    /// region `r` `depth` times between ghost exchanges, ping-ponging
+    /// between `dst` and `src` on a shrinking trapezoid of boxes
+    /// (sub-step `i` computes `valid.grow(depth-1-i)`), so each byte staged
+    /// through the interconnect is amortized over `depth` time steps.
+    ///
+    /// This models a fused stencil kernel that double-buffers the
+    /// intermediate levels on chip (shared-memory ping-pong): the data
+    /// effect still writes every level through to the device slabs so
+    /// fused runs stay bitwise-comparable to `depth` separate
+    /// [`TileAcc::compute2`] calls, while `cost` (normally a
+    /// [`KernelCost::Fused`]) charges the launch the on-chip-reuse DRAM
+    /// traffic. After the call the final level sits in `dst` when `depth`
+    /// is odd and in `src` when it is even — the caller swaps the handles
+    /// exactly as in the unfused ping-pong loop.
+    ///
+    /// Both arrays need a ghost halo at least `depth` deep and a `Full`
+    /// exchange (each application widens the dependence cone diagonally),
+    /// and the preceding exchange must have filled `src`'s halo. `depth`
+    /// = 1 degenerates to exactly [`TileAcc::compute2`] over the valid box.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compute_fused(
+        &mut self,
+        r: usize,
+        dst: ArrayId,
+        src: ArrayId,
+        depth: usize,
+        cost: KernelCost,
+        label: &'static str,
+        f: impl Fn(&mut tida::ViewMut<'_>, &tida::View<'_>, Box3) + 'static,
+    ) -> Result<(), AccError> {
+        assert!(depth >= 1, "fused depth must be at least 1");
+        assert_ne!(dst, src, "fused kernel needs distinct ping-pong arrays");
+        let valid = self.arrays[dst.0].array.region(r).valid;
+        if depth == 1 {
+            let tile = Tile {
+                region: r,
+                bx: valid,
+            };
+            return self.compute2(tile, dst, src, cost, label, move |d, s, bx| f(d, s, bx));
+        }
+        for &a in &[dst, src] {
+            let arr = &self.arrays[a.0].array;
+            assert!(
+                arr.ghost() >= depth as i64,
+                "fused depth {depth} needs a ghost halo at least that deep;                  array {a:?} has ghost {}",
+                arr.ghost()
+            );
+            assert_eq!(
+                arr.exchange_mode(),
+                tida::ExchangeMode::Full,
+                "fused depth {depth} widens the dependence cone diagonally;                  array {a:?} needs ExchangeMode::Full"
+            );
+        }
+        if !self.gpu_mode {
+            return self.compute_fused_host(r, dst, src, depth, cost, label, f);
+        }
+        self.check_alive()?;
+        self.ensure_slots()?;
+
+        // `src` is read by sub-step 0 and overwritten by sub-step 1, so it
+        // acquires read-write; `dst` is fully overwritten (sub-step 0 writes
+        // `valid.grow(depth-1)` before anything reads it), so it claims its
+        // slot with write intent and skips the upload.
+        let s_src = match self.acquire_device_rw(src, r, &[]) {
+            Ok(s) => s,
+            Err(AcquireFail::Fatal(e)) => return Err(e),
+            Err(AcquireFail::Fallback) => {
+                self.note_fallback();
+                return self.compute_fused_host(r, dst, src, depth, cost, label, f);
+            }
+        };
+        let s_dst = match self.acquire_device_intent(dst, r, &[s_src], true) {
+            Ok(s) => s,
+            Err(AcquireFail::Fatal(e)) => return Err(e),
+            Err(AcquireFail::Fallback) => {
+                self.note_fallback();
+                return self.compute_fused_host(r, dst, src, depth, cost, label, f);
+            }
+        };
+        debug_assert_ne!(s_src, s_dst, "pinning keeps the ping-pong slots distinct");
+
+        // One launch in the dst slot's stream, ordered after src's
+        // outstanding work and after foreign uses of both slots (both are
+        // overwritten by the ping-pong).
+        let ks = s_dst;
+        let ev = self.gpu.record_event(self.streams[s_src]);
+        self.gpu.stream_wait_event(self.streams[ks], ev);
+        self.drain_consumers_into(s_dst, ks);
+        self.drain_consumers_into(s_src, ks);
+
+        let backed = self.gpu.backed();
+        let dst_pair = (
+            self.gpu.device_slab(self.slots[s_dst].dev),
+            self.arrays[dst.0].array.region(r).layout,
+        );
+        let src_pair = (
+            self.gpu.device_slab(self.slots[s_src].dev),
+            self.arrays[src.0].array.region(r).layout,
+        );
+        let launch = gpu_sim::KernelLaunch::new(label, cost)
+            .efficiency(self.opts.kernel_efficiency)
+            .reads(self.slots[s_src].dev.into())
+            .writes(self.slots[s_src].dev.into())
+            .writes(self.slots[s_dst].dev.into())
+            .exec_if(backed, move || {
+                let (mut cur_dst, mut cur_src) = (&dst_pair, &src_pair);
+                for i in 0..depth {
+                    let bx = valid.grow((depth - 1 - i) as i64);
+                    let wrefs = [(&cur_dst.0, cur_dst.1)];
+                    let rrefs = [(&cur_src.0, cur_src.1)];
+                    tida::with_many(&wrefs, &rrefs, |ws, rs| f(&mut ws[0], &rs[0], bx));
+                    std::mem::swap(&mut cur_dst, &mut cur_src);
+                }
+            });
+        self.gpu.launch_kernel(self.streams[ks], launch);
+        for s in [s_dst, s_src] {
+            self.slots[s].dirty = true;
+            self.note_foreign_read(s, ks);
+        }
+        self.stats.kernels_gpu += 1;
+        self.stats.kernels_fused += 1;
+        self.stats.fused_substeps += depth as u64;
+        self.check_alive()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn compute_fused_host(
+        &mut self,
+        r: usize,
+        dst: ArrayId,
+        src: ArrayId,
+        depth: usize,
+        cost: KernelCost,
+        label: &'static str,
+        f: impl Fn(&mut tida::ViewMut<'_>, &tida::View<'_>, Box3),
+    ) -> Result<(), AccError> {
+        self.acquire_host(src, r)?;
+        self.acquire_host(dst, r)?;
+        let valid = self.arrays[dst.0].array.region(r).valid;
+        let pair = |slf: &Self, a: ArrayId| {
+            let reg = slf.arrays[a.0].array.region(r);
+            (reg.slab.clone(), reg.layout)
+        };
+        let dst_pair = pair(self, dst);
+        let src_pair = pair(self, src);
+        let (mut cur_dst, mut cur_src) = (&dst_pair, &src_pair);
+        for i in 0..depth {
+            let bx = valid.grow((depth - 1 - i) as i64);
+            let wrefs = [(&cur_dst.0, cur_dst.1)];
+            let rrefs = [(&cur_src.0, cur_src.1)];
+            tida::with_many(&wrefs, &rrefs, |ws, rs| f(&mut ws[0], &rs[0], bx));
+            std::mem::swap(&mut cur_dst, &mut cur_src);
+        }
+        let d = cost.duration_on_host(self.gpu.config());
+        self.gpu.host_work(d, label);
+        self.stats.kernels_host += 1;
+        self.stats.fused_substeps += depth as u64;
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // Checkpoint / restore (crash-consistent snapshots).
     // ------------------------------------------------------------------

@@ -197,6 +197,16 @@ pub enum KernelCost {
     Roofline { bytes: u64, flops: f64 },
     /// Fixed duration (testing, microbenchmarks).
     Fixed(SimTime),
+    /// One *fused* launch covering `k` stencil applications with on-chip
+    /// double buffering (temporal blocking). `bytes` is the DRAM traffic of
+    /// the whole launch — roughly one streaming read of the halo'd input
+    /// block plus one write of the result, because the `k-1` intermediate
+    /// trapezoid levels ping-pong between on-chip buffers — and `flops` is
+    /// the total floating-point work of all `k` applications. The duration
+    /// formula is the same roofline as [`KernelCost::Roofline`]; the fusion
+    /// win is structural: one launch overhead instead of `k`, and `bytes`
+    /// that do not scale with `k`.
+    Fused { k: u32, bytes: u64, flops: f64 },
 }
 
 impl KernelCost {
@@ -214,6 +224,10 @@ impl KernelCost {
                 (bytes as f64 / cfg.device_mem_bw).max(flops / cfg.device_flops)
             }
             KernelCost::Fixed(t) => return cfg.kernel_launch_overhead + t,
+            KernelCost::Fused { k, bytes, flops } => {
+                assert!(k >= 1, "fused kernel depth must be at least 1");
+                (bytes as f64 / cfg.device_mem_bw).max(flops / cfg.device_flops)
+            }
         };
         cfg.kernel_launch_overhead + SimTime::from_secs_f64(body / efficiency)
     }
@@ -228,6 +242,13 @@ impl KernelCost {
                 (bytes as f64 / cfg.host_mem_bw).max(flops / cfg.host_flops)
             }
             KernelCost::Fixed(t) => return t,
+            // The host has no launch overhead to amortize and no explicit
+            // on-chip staging; its caches already capture the inter-step
+            // reuse, so the same roofline applies.
+            KernelCost::Fused { k, bytes, flops } => {
+                assert!(k >= 1, "fused kernel depth must be at least 1");
+                (bytes as f64 / cfg.host_mem_bw).max(flops / cfg.host_flops)
+            }
         };
         SimTime::from_secs_f64(body)
     }
@@ -347,6 +368,57 @@ mod tests {
         let kc = KernelCost::Roofline {
             bytes: 7,
             flops: 3.5,
+        };
+        let kj = serde_json::to_string(&kc).unwrap();
+        assert_eq!(serde_json::from_str::<KernelCost>(&kj).unwrap(), kc);
+    }
+
+    #[test]
+    fn fused_cost_matches_roofline_at_same_totals() {
+        // Fused is the same roofline over its totals: with identical
+        // bytes/flops the durations are bit-identical, so a depth-1 fused
+        // launch with an unfused application's totals degenerates exactly.
+        let cfg = MachineConfig::k40m();
+        let roof = KernelCost::Roofline {
+            bytes: 1 << 24,
+            flops: 3.0e9,
+        };
+        let fused = KernelCost::Fused {
+            k: 1,
+            bytes: 1 << 24,
+            flops: 3.0e9,
+        };
+        assert_eq!(fused.duration(&cfg, 0.95), roof.duration(&cfg, 0.95));
+        assert_eq!(fused.duration_on_host(&cfg), roof.duration_on_host(&cfg));
+    }
+
+    #[test]
+    fn fused_launch_beats_k_separate_launches() {
+        // The structural win: one launch covering k applications with
+        // on-chip reuse is cheaper than k launches each paying overhead
+        // and full DRAM traffic.
+        let cfg = MachineConfig::k40m();
+        let cells = 1u64 << 20;
+        let one = KernelCost::Roofline {
+            bytes: cells * 24,
+            flops: cells as f64 * 9.0,
+        };
+        let k = 4u32;
+        let fused = KernelCost::Fused {
+            k,
+            bytes: cells * 24 + cells * 8,
+            flops: cells as f64 * 9.0 * k as f64,
+        };
+        let unfused_total = SimTime::from_ns(one.duration(&cfg, 0.95).as_ns() * k as u64);
+        assert!(fused.duration(&cfg, 0.95) < unfused_total);
+    }
+
+    #[test]
+    fn fused_serde_roundtrip() {
+        let kc = KernelCost::Fused {
+            k: 4,
+            bytes: 1024,
+            flops: 2.5e6,
         };
         let kj = serde_json::to_string(&kc).unwrap();
         assert_eq!(serde_json::from_str::<KernelCost>(&kj).unwrap(), kc);

@@ -34,6 +34,43 @@ pub fn cost(cells: u64) -> KernelCost {
     }
 }
 
+/// Device cost of ONE fused launch covering `k` temporally blocked heat
+/// steps over a region with valid box `valid` (see
+/// `gpu_sim::KernelCost::Fused`).
+///
+/// The fused kernel double-buffers the intermediate trapezoid levels on
+/// chip (the shared-memory ping-pong pattern), so its DRAM traffic is one
+/// clean streaming pass over the depth-`k` halo'd input block — 8 bytes
+/// per cell, with no neighbour re-read slop because the halo planes stay
+/// in the on-chip buffers — plus one 8-byte write of the final level. The
+/// floating-point work is the full trapezoid: sub-step `i` computes
+/// `valid.grow(k-1-i)`, so fusion trades redundant halo compute for
+/// interconnect and launch amortization. `k = 1` has no fused structure
+/// and carries exactly the unfused [`cost`] totals (24 B/cell, re-reads
+/// included), so a depth-1 fused launch is bit-identical in time to the
+/// ordinary path.
+pub fn fused_cost(k: usize, valid: &Box3) -> KernelCost {
+    assert!(k >= 1, "fused depth must be at least 1");
+    if k == 1 {
+        let cells = valid.num_cells();
+        return KernelCost::Fused {
+            k: 1,
+            bytes: cells * BYTES_PER_CELL,
+            flops: cells as f64 * FLOPS_PER_CELL,
+        };
+    }
+    let flops: f64 = (0..k)
+        .map(|i| valid.grow((k - 1 - i) as i64).num_cells() as f64)
+        .sum::<f64>()
+        * FLOPS_PER_CELL;
+    let bytes = valid.grow(k as i64).num_cells() * 8 + valid.num_cells() * 8;
+    KernelCost::Fused {
+        k: k as u32,
+        bytes,
+        flops,
+    }
+}
+
 /// The cell update. Shared by every executor so results agree exactly.
 #[inline]
 pub fn stencil(src: &View<'_>, iv: IntVect, fac: f64) -> f64 {
@@ -106,6 +143,48 @@ mod tests {
 
     fn init(iv: IntVect) -> f64 {
         ((iv.x() * 3 + iv.y() * 5 + iv.z() * 7) % 11) as f64
+    }
+
+    #[test]
+    fn fused_cost_depth_one_equals_unfused_totals() {
+        let valid = Box3::cube(8);
+        let cells = valid.num_cells();
+        match fused_cost(1, &valid) {
+            gpu_sim::KernelCost::Fused { k, bytes, flops } => {
+                assert_eq!(k, 1);
+                assert_eq!(bytes, cells * BYTES_PER_CELL);
+                assert_eq!(flops, cells as f64 * FLOPS_PER_CELL);
+            }
+            other => panic!("expected Fused, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fused_cost_amortizes_dram_traffic_but_not_flops() {
+        // The temporal-blocking trade: k separate launches stream
+        // k * cells * BYTES_PER_CELL through DRAM; the fused launch keeps
+        // the intermediate levels on chip, so its bytes are well below the
+        // unfused total while its flops EXCEED k applications of the valid
+        // box (the redundant trapezoid halo work is charged honestly).
+        let valid = Box3::cube(32);
+        let cells = valid.num_cells();
+        for k in [2usize, 4] {
+            match fused_cost(k, &valid) {
+                gpu_sim::KernelCost::Fused { bytes, flops, .. } => {
+                    let unfused_bytes = (k as u64 * cells * BYTES_PER_CELL) as f64;
+                    let unfused_flops = k as f64 * cells as f64 * FLOPS_PER_CELL;
+                    assert!(
+                        (bytes as f64) < 0.5 * unfused_bytes,
+                        "k={k}: fused bytes {bytes} not well below unfused {unfused_bytes}"
+                    );
+                    assert!(
+                        flops > unfused_flops,
+                        "k={k}: trapezoid flops {flops} must exceed unfused {unfused_flops}"
+                    );
+                }
+                other => panic!("expected Fused, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -302,3 +302,121 @@ pub fn heat_overlap(cfg: HeatConfig) -> Program {
 pub fn heat_golden(cfg: &HeatConfig) -> Vec<f64> {
     heat::golden_run(init::hash_field(cfg.seed), 8, cfg.steps, heat::DEFAULT_FAC)
 }
+
+/// Knobs for the fused (temporal-blocking) TileAcc step program.
+#[derive(Debug, Clone, Copy)]
+pub struct FusedConfig {
+    pub seed: u64,
+    /// Fusion depth: time steps per residency. The 16³/2-region
+    /// decomposition supports up to 8.
+    pub depth: usize,
+    /// Total time steps; must be a multiple of `depth`.
+    pub steps: usize,
+}
+
+impl Default for FusedConfig {
+    fn default() -> Self {
+        FusedConfig {
+            seed: 7,
+            depth: 2,
+            steps: 4,
+        }
+    }
+}
+
+/// Out-of-core fused heat (n=16, 2 regions, 3 slots) under the automatic
+/// scheduler: each residency runs `depth` kernel applications as one fused
+/// launch between full-shell ghost exchanges, with depth-`depth` halos.
+/// The exchange/prefetch/fused-launch interleavings are all schedule
+/// choice points; every schedule must reproduce the analytic golden field
+/// bit-for-bit ([`fused_golden`]).
+pub fn heat_fused(cfg: FusedConfig) -> Program {
+    Box::new(move |oracle| {
+        assert!(
+            cfg.steps.is_multiple_of(cfg.depth),
+            "steps ({}) must be a multiple of the depth ({})",
+            cfg.steps,
+            cfg.depth
+        );
+        let n = 16i64;
+        let decomp = Arc::new(Decomposition::new(
+            Domain::periodic_cube(n),
+            RegionSpec::Count(2),
+        ));
+        let mode = if cfg.depth == 1 {
+            ExchangeMode::Faces
+        } else {
+            ExchangeMode::Full
+        };
+        let ua = TileArray::new(decomp.clone(), cfg.depth as i64, mode, true);
+        let ub = TileArray::new(decomp.clone(), cfg.depth as i64, mode, true);
+        ua.fill_valid(init::hash_field(cfg.seed));
+
+        let mut gpu = GpuSystem::new(MachineConfig::k40m());
+        gpu.set_tracing(true);
+        gpu.set_hazard_checking(true);
+        install(&mut gpu, oracle);
+
+        let opts = AccOptions::paper()
+            .with_max_slots(3)
+            .with_policy(SlotPolicy::ReuseDistance)
+            .with_lookahead(2);
+        let mut acc = TileAcc::new(gpu, opts);
+        let a = acc.register(&ua);
+        let b = acc.register(&ub);
+        let (mut src, mut dst) = (a, b);
+        for _ in 0..cfg.steps / cfg.depth {
+            acc.begin_step().unwrap();
+            acc.fill_boundary(src).unwrap();
+            for r in 0..decomp.num_regions() {
+                let valid = decomp.region_box(r);
+                acc.compute_fused(
+                    r,
+                    dst,
+                    src,
+                    cfg.depth,
+                    heat::fused_cost(cfg.depth, &valid),
+                    "heat-fused",
+                    |d, s, bx| heat::step_tile(d, s, &bx, heat::DEFAULT_FAC),
+                )
+                .unwrap();
+            }
+            if cfg.depth % 2 == 1 {
+                std::mem::swap(&mut src, &mut dst);
+            }
+        }
+        acc.sync_to_host(src).unwrap();
+        let makespan = acc.finish();
+        let stats = acc.stats();
+
+        // Same transfer-hazard filter as `heat_overlap`: only a transfer
+        // overlapping other work on a buffer is a real finding.
+        let is_transfer = |l: &str| l == "h2d" || l == "d2h";
+        let hazards = acc
+            .gpu_mut()
+            .check_hazards()
+            .iter()
+            .filter(|h| is_transfer(&h.first_label) || is_transfer(&h.second_label))
+            .count() as u64;
+
+        let result = if src == a { &ua } else { &ub }
+            .to_dense()
+            .expect("backed run");
+        let digest = fnv_digest(&result);
+        RunOutcome {
+            digest,
+            result,
+            hazards,
+            integrity_detected: stats.integrity_detected,
+            stats: Some(stats),
+            trace: acc.gpu().trace(),
+            decisions: Vec::new(),
+            makespan,
+        }
+    })
+}
+
+/// The analytic golden field for [`heat_fused`].
+pub fn fused_golden(cfg: &FusedConfig) -> Vec<f64> {
+    heat::golden_run(init::hash_field(cfg.seed), 16, cfg.steps, heat::DEFAULT_FAC)
+}

@@ -2,7 +2,7 @@
 //! DPOR pruning, bug detection with minimal counterexamples, and
 //! schedule-invariance of the full TileAcc heat step program.
 
-use schedcheck::programs::{self, HeatConfig};
+use schedcheck::programs::{self, FusedConfig, HeatConfig};
 use schedcheck::{CheckSpec, Checker, Fallback, Strategy};
 
 /// Two independent 3-op chains sharing the h2d/compute/d2h engines have
@@ -246,4 +246,43 @@ fn mid_step_restore_is_schedule_invariant() {
         "mid-flight restore schedule divergence:\n{}",
         report.failure.map(|f| f.render()).unwrap_or_default()
     );
+}
+
+/// The fused (temporal-blocking) step program at every supported depth:
+/// FIFO must reproduce the analytic golden field bit-for-bit, with the
+/// fused-launch counters conserved, and DPOR must find every sampled
+/// interleaving schedule-invariant.
+#[test]
+fn fused_steps_are_schedule_invariant_at_every_depth() {
+    for depth in [1usize, 2, 4, 8] {
+        let cfg = FusedConfig {
+            depth,
+            steps: 8,
+            ..FusedConfig::default()
+        };
+        let checker = Checker::new(programs::heat_fused(cfg), CheckSpec::default());
+
+        let fifo = checker.run(&[], Fallback::Fifo);
+        assert_eq!(
+            fifo.result,
+            programs::fused_golden(&cfg),
+            "fused golden run vs analytic field at depth {depth}"
+        );
+        assert_eq!(fifo.hazards, 0, "depth {depth}");
+        let stats = fifo.stats.as_ref().unwrap();
+        if depth >= 2 {
+            assert_eq!(
+                stats.fused_substeps,
+                stats.kernels_fused * depth as u64,
+                "fused launch accounting at depth {depth}"
+            );
+        }
+
+        let report = checker.explore(Strategy::Dpor { max_schedules: 10 });
+        assert!(
+            report.failure.is_none(),
+            "schedule-dependent behaviour in fused step at depth {depth}:\n{}",
+            report.failure.map(|f| f.render()).unwrap_or_default()
+        );
+    }
 }

@@ -106,6 +106,15 @@ impl TileArray {
         &self.patches
     }
 
+    /// Shared handle to the precomputed ghost-patch geometry. The patch
+    /// list is immutable after construction, so exchange loops that need an
+    /// owned handle (to sidestep borrowing the array while applying
+    /// patches) clone this `Arc` instead of copying the `Vec` — the ghost
+    /// hot path must not allocate per exchange.
+    pub fn patches_arc(&self) -> Arc<Vec<GhostPatch>> {
+        Arc::clone(&self.patches)
+    }
+
     /// Largest region buffer size in bytes — the device slot size TiDA-acc
     /// allocates so any region can occupy any slot.
     pub fn max_region_bytes(&self) -> u64 {
@@ -246,6 +255,24 @@ mod tests {
         assert_eq!(r.grown.size(), IntVect::new(10, 10, 6));
         assert_eq!(r.slab.len(), 600);
         assert_eq!(r.bytes(), 4800);
+    }
+
+    #[test]
+    fn patches_arc_shares_the_precomputed_list() {
+        let a = TileArray::new(
+            decomp(8, RegionSpec::Count(2)),
+            1,
+            ExchangeMode::Faces,
+            true,
+        );
+        let h1 = a.patches_arc();
+        let h2 = a.patches_arc();
+        // Same allocation every time: the exchange hot path clones a
+        // refcount, never the patch list itself.
+        assert!(Arc::ptr_eq(&h1, &h2));
+        assert_eq!(h1.len(), a.patches().len());
+        let clone = a.clone();
+        assert!(Arc::ptr_eq(&h1, &clone.patches_arc()));
     }
 
     #[test]

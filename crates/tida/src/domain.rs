@@ -224,6 +224,20 @@ impl Decomposition {
         &self.boxes
     }
 
+    /// Deepest ghost shell a single exchange can fill: the thinnest region
+    /// extent over every region and dimension. Patches come from the 26
+    /// immediate neighbours, so a halo wider than this would need cells
+    /// that live in a neighbour's neighbour. Temporal blocking uses this to
+    /// cap the fusion depth `k` (a depth-`k` fused step needs a depth-`k`
+    /// halo).
+    pub fn max_ghost_depth(&self) -> i64 {
+        self.boxes
+            .iter()
+            .flat_map(|b| (0..3).map(|d| b.size()[d]))
+            .min()
+            .expect("decomposition has regions")
+    }
+
     /// Grid coordinate of region `id`.
     pub fn grid_coord(&self, id: usize) -> IntVect {
         let id = id as i64;
@@ -267,12 +281,7 @@ impl Decomposition {
         // Patches come from the 26 immediate neighbours, so a ghost shell
         // deeper than the thinnest region cannot be filled (its far cells
         // live in a neighbour's neighbour).
-        let min_extent = self
-            .boxes
-            .iter()
-            .flat_map(|b| (0..3).map(|d| b.size()[d]))
-            .min()
-            .expect("decomposition has regions");
+        let min_extent = self.max_ghost_depth();
         assert!(
             g <= min_extent,
             "ghost width {g} exceeds the thinnest region extent {min_extent}; \
@@ -434,6 +443,69 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn max_ghost_depth_is_thinnest_extent() {
+        let d = Decomposition::new(Domain::periodic_cube(16), RegionSpec::Count(4));
+        assert_eq!(d.max_ghost_depth(), 4);
+        let d = Decomposition::new(Domain::periodic_cube(8), RegionSpec::Grid([2, 2, 2]));
+        assert_eq!(d.max_ghost_depth(), 4);
+        // Uneven split: 10 over 3 x-cuts gives a thinnest extent of 3.
+        let d = Decomposition::new(
+            Domain::periodic_cube(10),
+            RegionSpec::Size(IntVect::new(4, 10, 10)),
+        );
+        assert_eq!(d.max_ghost_depth(), 3);
+    }
+
+    #[test]
+    fn full_mode_covers_ghost_shell_at_every_legal_depth() {
+        // Depth-k halos for temporal blocking: at every depth up to the
+        // thinnest region extent, the Full exchange must tile the whole
+        // shell exactly once (deeper shells pull corner/edge wedges from
+        // diagonal neighbours, so Faces mode is not enough).
+        let d = Decomposition::new(Domain::periodic_cube(16), RegionSpec::Count(4));
+        for g in 1..=d.max_ghost_depth() {
+            let patches = d.ghost_patches(g, ExchangeMode::Full);
+            for r in 0..d.num_regions() {
+                let valid = d.region_box(r);
+                let grown = valid.grow(g);
+                let shell = grown.num_cells() - valid.num_cells();
+                let mine: Vec<&GhostPatch> = patches.iter().filter(|p| p.dst_region == r).collect();
+                let covered: u64 = mine.iter().map(|p| p.num_cells()).sum();
+                assert_eq!(covered, shell, "depth {g}, region {r}: shell covered");
+                for (i, a) in mine.iter().enumerate() {
+                    assert!(grown.contains_box(&a.dst_box));
+                    assert!(a.dst_box.intersect(&valid).is_empty());
+                    for b in &mine[i + 1..] {
+                        assert!(a.dst_box.intersect(&b.dst_box).is_empty());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depth_k_patch_sources_stay_in_source_valid_boxes() {
+        // The per-cell source index `c - shift` must resolve inside the
+        // source region's valid box even for the widest legal halo.
+        let d = Decomposition::new(Domain::periodic_cube(16), RegionSpec::Grid([2, 1, 2]));
+        for g in [2, 4, 8] {
+            for p in d.ghost_patches(g, ExchangeMode::Full) {
+                let src_box = d.region_box(p.src_region);
+                for c in p.dst_box.iter() {
+                    assert!(src_box.contains(c - p.shift), "depth {g}: ghost {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ghost width")]
+    fn ghost_deeper_than_thinnest_region_panics() {
+        let d = Decomposition::new(Domain::periodic_cube(16), RegionSpec::Count(4));
+        let _ = d.ghost_patches(5, ExchangeMode::Full);
     }
 
     #[test]
