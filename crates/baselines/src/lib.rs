@@ -14,6 +14,7 @@
 //! these functions.
 
 pub mod busy;
+mod cluster_impl;
 mod common;
 pub mod heat;
 pub mod jacobi;
@@ -21,6 +22,7 @@ pub mod multigrid;
 mod tida_impl;
 pub mod tuning;
 
+pub use cluster_impl::{cluster_heat, cluster_jacobi, net_bytes_from_trace};
 pub use common::{d2h_retrying, h2d_retrying, MemMode, RunOpts, RunResult};
 pub use jacobi::{cuda_jacobi, tida_jacobi};
 pub use tida_impl::{

@@ -20,7 +20,7 @@
 //! render (forced vector + interleaving) is printed and, with
 //! `--artifact-dir`, written to `schedcheck-counterexample-<name>.txt`.
 
-use schedcheck::programs::{self, FusedConfig, HeatConfig};
+use schedcheck::programs::{self, ClusterHeatConfig, FusedConfig, HeatConfig};
 use schedcheck::{CheckSpec, Checker, Program, Report, Strategy};
 use serde::Serialize;
 
@@ -85,6 +85,21 @@ fn main_tier() -> Vec<Lane> {
             strategy: Strategy::Dpor { max_schedules: 12 },
             program: programs::heat_fused(FusedConfig::default()),
         },
+        // Cluster skeleton: exhaustive over the two-node, three-region
+        // ghost exchange — 24310 = C(17,8) interleavings of the two
+        // per-node op chains, network deliveries included.
+        Lane {
+            name: "cluster-ghost-exhaustive",
+            strategy: Strategy::Exhaustive {
+                max_schedules: 30_000,
+            },
+            program: programs::cluster_ghost(),
+        },
+        Lane {
+            name: "cluster-heat-small-dpor",
+            strategy: Strategy::Dpor { max_schedules: 12 },
+            program: programs::cluster_heat(ClusterHeatConfig::default()),
+        },
     ]
 }
 
@@ -140,10 +155,52 @@ fn nightly_tier() -> Vec<Lane> {
                 ..FusedConfig::default()
             }),
         },
+        Lane {
+            name: "cluster-ghost-dpor",
+            strategy: Strategy::Dpor {
+                max_schedules: 30_000,
+            },
+            program: programs::cluster_ghost(),
+        },
+        Lane {
+            name: "cluster-heat-dpor",
+            strategy: Strategy::Dpor { max_schedules: 250 },
+            program: programs::cluster_heat(ClusterHeatConfig::default()),
+        },
     ]
     .into_iter()
     .chain(fused_sweep_lanes())
+    .chain(cluster_sweep_lanes())
     .collect()
+}
+
+/// The nightly cluster soak: seeded random walks over the multi-step
+/// cluster heat program across node counts and fabric fault classes —
+/// every sampled interleaving of stream ops and (possibly retransmitted)
+/// message deliveries must stay bit-identical to the FIFO golden.
+fn cluster_sweep_lanes() -> Vec<Lane> {
+    let grid: [(usize, f64, &'static str); 6] = [
+        (2, 0.0, "cluster-n2-clean-walk"),
+        (3, 0.0, "cluster-n3-clean-walk"),
+        (4, 0.0, "cluster-n4-clean-walk"),
+        (2, 0.3, "cluster-n2-lossy-walk"),
+        (3, 0.3, "cluster-n3-lossy-walk"),
+        (4, 0.3, "cluster-n4-lossy-walk"),
+    ];
+    grid.into_iter()
+        .map(|(nodes, drop_rate, name)| Lane {
+            name,
+            strategy: Strategy::RandomWalk {
+                seed: 0xC1_0D00 ^ (nodes as u64) << 8 ^ (drop_rate * 10.0) as u64,
+                budget: 48,
+            },
+            program: programs::cluster_heat(ClusterHeatConfig {
+                nodes,
+                drop_rate,
+                ..ClusterHeatConfig::default()
+            }),
+        })
+        .collect()
 }
 
 /// The nightly k-sweep: seeded random walks over the fused step program at

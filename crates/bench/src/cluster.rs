@@ -1,0 +1,184 @@
+//! Cluster scaling runner: strong- and weak-scaling heat sweeps over the
+//! multi-node halo-exchange runtime, feeding `BENCH_cluster.json` and the
+//! `cluster` regression gate.
+//!
+//! Strong scaling holds the global domain fixed and spreads its regions
+//! over 1..=N simulated nodes: per-node staging shrinks like 1/N while
+//! the inter-node ghost traffic grows with the number of cut interfaces,
+//! so the speedup curve rises and then flattens once the (deliberately
+//! constrained) fabric becomes the bottleneck — the classic cluster
+//! stencil signature. Weak scaling grows the domain with the node count
+//! (fixed region size, two regions per node); ideal is a flat makespan.
+//!
+//! Runs are unbacked (timing-only): the protocol submits the identical
+//! op/message graph, just without touching field data, so a 32-node sweep
+//! stays cheap enough for CI.
+
+use cluster::{Cluster, ClusterConfig, NetConfig};
+use gpu_sim::FaultPlan;
+use kernels::heat;
+use std::sync::Arc;
+use tida::{Box3, Decomposition, Domain, ExchangeMode, IntVect, RegionSpec, TileArray};
+
+use crate::experiments::Scale;
+
+/// One node-count sample of a scaling sweep.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ClusterPoint {
+    pub nodes: usize,
+    pub regions: usize,
+    pub makespan_ms: f64,
+    /// Strong: T(1)/T(N). Weak: T(1)/T(N) as well — ideal is 1.0 there.
+    pub speedup_x: f64,
+    /// Speedup divided by the node count (strong) or plain T(1)/T(N)
+    /// (weak); 1.0 is ideal in both readings.
+    pub efficiency: f64,
+    pub bytes_net: u64,
+    pub bytes_pcie: u64,
+    pub msgs_inter: u64,
+    pub msgs_local: u64,
+    pub net_drops: u64,
+}
+
+/// The full payload emitted as `BENCH_cluster.json`.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ClusterBench {
+    pub workload: String,
+    pub steps: usize,
+    /// Inter-node fabric bandwidth used for the sweep (bytes/µs).
+    pub fabric_bytes_per_us: u64,
+    pub strong: Vec<ClusterPoint>,
+    pub weak: Vec<ClusterPoint>,
+    pub peak_speedup_x: f64,
+    pub peak_speedup_nodes: usize,
+    /// Speedup gained by the last doubling of the strong sweep — the
+    /// flattening witness (2.0 would be ideal linear scaling).
+    pub tail_doubling_gain_x: f64,
+    /// Worst weak-scaling efficiency across the sweep.
+    pub weak_floor_efficiency: f64,
+}
+
+/// Time `steps` heat steps of `decomp` on `nodes` simulated nodes and
+/// return the sampled point (speedup/efficiency are filled by the caller
+/// once T(1) is known).
+fn run_point(
+    decomp: &Arc<Decomposition>,
+    nodes: usize,
+    steps: usize,
+    net: &NetConfig,
+) -> ClusterPoint {
+    let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, false);
+    let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, false);
+    let mut cl = Cluster::new(
+        ClusterConfig::new(nodes)
+            .net(net.clone())
+            .fault(FaultPlan::none())
+            .backed(false),
+    );
+    let a = cl.register(&ua);
+    let b = cl.register(&ub);
+    let (mut src, mut dst) = (a, b);
+    for _ in 0..steps {
+        cl.step(dst, src, None, heat::cost, "heat", |d, s, _aux, bx| {
+            heat::step_tile(d, s, &bx, heat::DEFAULT_FAC)
+        })
+        .expect("clean-machine cluster step");
+        std::mem::swap(&mut src, &mut dst);
+    }
+    let makespan = cl.finish();
+    let ns = cl.net_stats();
+    ClusterPoint {
+        nodes,
+        regions: decomp.num_regions(),
+        makespan_ms: makespan.as_ns() as f64 / 1e6,
+        speedup_x: 0.0,
+        efficiency: 0.0,
+        bytes_net: cl.bytes_net(),
+        bytes_pcie: cl.bytes_h2d() + cl.bytes_d2h(),
+        msgs_inter: ns.msgs_inter,
+        msgs_local: ns.msgs_local,
+        net_drops: ns.drops,
+    }
+}
+
+/// Run the strong- and weak-scaling sweeps at the given scale.
+pub fn cluster_bench(scale: Scale) -> ClusterBench {
+    let quick = scale == Scale::Quick;
+    // A deliberately modest fabric (1 GB/s inter-node) so the strong curve
+    // visibly knees inside the swept range instead of at thousands of nodes.
+    let fabric = 1_000u64;
+    let net = NetConfig::default().constrained(fabric);
+    let steps = if quick { 2 } else { 4 };
+    let node_counts: &[usize] = if quick {
+        &[1, 2, 4, 8, 16]
+    } else {
+        &[1, 2, 4, 8, 16, 24, 32]
+    };
+    let max_nodes = *node_counts.last().unwrap();
+
+    // Strong: fixed 64x64x64 periodic domain cut into one z-slab per
+    // maximum node (each slab 64x64x2, interior-free at ghost 1, so every
+    // step is pure exchange + boundary kernels — the worst case for the
+    // fabric and the most honest one for the knee).
+    let edge = if quick { 32 } else { 64 };
+    let strong_decomp = Arc::new(Decomposition::new(
+        Domain::periodic_cube(edge),
+        RegionSpec::Count(max_nodes),
+    ));
+    let mut strong: Vec<ClusterPoint> = node_counts
+        .iter()
+        .map(|&n| run_point(&strong_decomp, n, steps, &net))
+        .collect();
+    let t1 = strong[0].makespan_ms;
+    for p in &mut strong {
+        p.speedup_x = t1 / p.makespan_ms;
+        p.efficiency = p.speedup_x / p.nodes as f64;
+    }
+
+    // Weak: two 32x32x4 regions per node; the domain grows with the node
+    // count, the per-node work does not.
+    let mut weak: Vec<ClusterPoint> = node_counts
+        .iter()
+        .map(|&n| {
+            let regions = 2 * n;
+            let dom = Domain::periodic(Box3::new(
+                IntVect::ZERO,
+                IntVect::new(31, 31, 4 * regions as i64 - 1),
+            ));
+            let decomp = Arc::new(Decomposition::new(dom, RegionSpec::Count(regions)));
+            run_point(&decomp, n, steps, &net)
+        })
+        .collect();
+    let w1 = weak[0].makespan_ms;
+    for p in &mut weak {
+        p.speedup_x = w1 / p.makespan_ms;
+        p.efficiency = p.speedup_x;
+    }
+
+    let peak = strong
+        .iter()
+        .max_by(|a, b| a.speedup_x.total_cmp(&b.speedup_x))
+        .unwrap();
+    let last = strong.last().unwrap();
+    let half = strong
+        .iter()
+        .find(|p| p.nodes * 2 == last.nodes)
+        .unwrap_or(&strong[0]);
+    ClusterBench {
+        workload: format!(
+            "heat {edge}^3 strong / 32x32x4-per-region weak, {} nodes max",
+            max_nodes
+        ),
+        steps,
+        fabric_bytes_per_us: fabric,
+        peak_speedup_x: peak.speedup_x,
+        peak_speedup_nodes: peak.nodes,
+        tail_doubling_gain_x: last.speedup_x / half.speedup_x,
+        weak_floor_efficiency: weak
+            .iter()
+            .map(|p| p.efficiency)
+            .fold(f64::INFINITY, f64::min),
+        strong,
+        weak,
+    }
+}

@@ -6,6 +6,7 @@
 //! the command-line front end; the Criterion benches under `benches/` wrap
 //! the same runners.
 
+pub mod cluster;
 pub mod experiments;
 pub mod report;
 pub mod serving;

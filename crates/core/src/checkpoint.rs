@@ -136,13 +136,14 @@ pub struct Checkpoint {
     /// Runtime counters at snapshot time (rolled back on restore).
     pub stats: AccStats,
     /// `[array][region]` host-slab values; an empty region is virtual
-    /// (never materialized).
-    pub(crate) data: Vec<Vec<Vec<f64>>>,
+    /// (never materialized). Public so out-of-crate runtimes (e.g. the
+    /// cluster layer) can reuse the snapshot as a live-migration format.
+    pub data: Vec<Vec<Vec<f64>>>,
     /// Cache list at snapshot time (`-1` = empty slot). Post-sync this is
     /// all `-1`; restore rejects anything else as inconsistent.
-    pub(crate) cache: Vec<i64>,
+    pub cache: Vec<i64>,
     /// Dirty bits at snapshot time (must all be clear; see `cache`).
-    pub(crate) dirty: Vec<bool>,
+    pub dirty: Vec<bool>,
 }
 
 use memslab::fnv1a64;

@@ -44,7 +44,7 @@ use tida::{with_view_mut, Box3, Decomposition, Tile, TileArray};
 
 /// Handle to an array registered with [`TileAcc::register`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct ArrayId(pub(crate) usize);
+pub struct ArrayId(pub usize);
 
 /// Where a region's authoritative data currently lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -374,6 +374,154 @@ impl LinkFlap {
     }
 }
 
+/// Salt separating cluster-link drop draws from every other seeded stream.
+const LINK_DROP_SALT: u64 = 0x4C44_524F;
+
+/// Salt separating cluster-link reorder draws from drop draws.
+const LINK_REORDER_SALT: u64 = 0x4C52_4F52;
+
+/// FNV-1a over a link name, folding the name into the seeded draw so two
+/// links with the same fault config fail independently.
+fn link_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Faults on one *named* cluster link ("ib:0-1", "nvl:2", or `*` for every
+/// link): seeded message drops (each drop costs one serialization plus a
+/// retransmit timeout before the wire carries the message clean), seeded
+/// delivery reordering (a message is held back past later traffic), and
+/// deterministic down windows (flap — the sender waits out the window).
+///
+/// Unlike the device-scoped fault classes, a `LinkFault` carries no mutable
+/// state in the simulator: every verdict is a pure function of
+/// `(plan seed, link name, per-link message ordinal)`, evaluated by the
+/// cluster's network model at send time. The per-link ordinal advances once
+/// per *message* (not per retransmit attempt), so adding retransmits never
+/// shifts later draws, and flap delays — being time-based — never shift the
+/// drop/reorder schedule at all.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkFault {
+    /// Link name the fault applies to (`*` matches every link).
+    pub link: String,
+    /// Probability in `[0, 1]` that one transmission attempt is dropped.
+    pub drop_rate: f64,
+    /// Probability in `[0, 1]` that one message's delivery is held back.
+    pub reorder_rate: f64,
+    /// Extra delivery delay for a reordered message.
+    pub reorder_delay: SimTime,
+    /// First down window opens at this time (flap disabled if `period` is
+    /// zero).
+    pub flap_from: SimTime,
+    /// A new down window opens every `period` after `flap_from`.
+    pub flap_period: SimTime,
+    /// Length of each down window (shorter than `flap_period`).
+    pub flap_down: SimTime,
+    /// Down/up cycles before the link stays up (0 = forever).
+    pub flap_cycles: u64,
+}
+
+impl LinkFault {
+    /// A fault-free descriptor on `link` to build on.
+    pub fn on(link: impl Into<String>) -> Self {
+        LinkFault {
+            link: link.into(),
+            drop_rate: 0.0,
+            reorder_rate: 0.0,
+            reorder_delay: SimTime::ZERO,
+            flap_from: SimTime::ZERO,
+            flap_period: SimTime::ZERO,
+            flap_down: SimTime::ZERO,
+            flap_cycles: 0,
+        }
+    }
+
+    /// Drop each transmission attempt with probability `rate`.
+    pub fn drops(mut self, rate: f64) -> Self {
+        self.drop_rate = rate;
+        self
+    }
+
+    /// Hold back each message with probability `rate` for `delay`.
+    pub fn reorders(mut self, rate: f64, delay: SimTime) -> Self {
+        self.reorder_rate = rate;
+        self.reorder_delay = delay;
+        self
+    }
+
+    /// Repeating down windows: `cycles` windows of `down` out of every
+    /// `period`, starting at `from` (0 cycles = forever).
+    pub fn flaps(mut self, from: SimTime, period: SimTime, down: SimTime, cycles: u64) -> Self {
+        self.flap_from = from;
+        self.flap_period = period;
+        self.flap_down = down;
+        self.flap_cycles = cycles;
+        self
+    }
+
+    /// Whether this fault applies to the named link.
+    pub fn applies_to(&self, link: &str) -> bool {
+        self.link == "*" || self.link == link
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.drop_rate > 0.0
+            || self.reorder_rate > 0.0
+            || (self.flap_period > SimTime::ZERO && self.flap_down > SimTime::ZERO)
+    }
+
+    /// How many leading transmission attempts of message `ordinal` on
+    /// `link` are dropped (bounded by `max` so a 1.0 drop rate still
+    /// terminates). Pure function of `(seed, link, ordinal)`.
+    pub fn drop_count(&self, seed: u64, link: &str, ordinal: u64, max: u32) -> u32 {
+        if self.drop_rate <= 0.0 || !self.applies_to(link) {
+            return 0;
+        }
+        let base = splitmix64(seed ^ LINK_DROP_SALT ^ link_hash(link));
+        let mut drops = 0u32;
+        while drops < max {
+            let h = splitmix64(base ^ (ordinal | ((drops as u64 + 1) << 48)));
+            if unit(h) < self.drop_rate {
+                drops += 1;
+            } else {
+                break;
+            }
+        }
+        drops
+    }
+
+    /// Extra delivery delay if message `ordinal` on `link` draws a reorder.
+    pub fn reorder_for(&self, seed: u64, link: &str, ordinal: u64) -> Option<SimTime> {
+        if self.reorder_rate <= 0.0 || !self.applies_to(link) {
+            return None;
+        }
+        let h = splitmix64(splitmix64(seed ^ LINK_REORDER_SALT ^ link_hash(link)) ^ ordinal);
+        (unit(h) < self.reorder_rate).then_some(self.reorder_delay)
+    }
+
+    /// If the link is inside a down window at `now`, the time the window
+    /// closes; `None` when the link is up. Pure function of the schedule.
+    pub fn down_until(&self, now: SimTime) -> Option<SimTime> {
+        if self.flap_period == SimTime::ZERO || now < self.flap_from {
+            return None;
+        }
+        let off = now.as_ns() - self.flap_from.as_ns();
+        if self.flap_cycles > 0
+            && off >= self.flap_period.as_ns().saturating_mul(self.flap_cycles)
+        {
+            return None;
+        }
+        let into = off % self.flap_period.as_ns();
+        (into < self.flap_down.as_ns()).then(|| {
+            SimTime::from_ns(now.as_ns() - into + self.flap_down.as_ns())
+        })
+    }
+}
+
 /// ECC-error accumulation on one device's memory. Each in-scope transfer
 /// touching the device draws a seeded correctable-error verdict; past
 /// [`EccFault::degrade_after`] accumulated errors the device runs degraded
@@ -424,6 +572,10 @@ pub struct FaultPlan {
     pub device_deaths: Vec<DeviceDeath>,
     /// Flapping per-device links (repeating down windows).
     pub link_flaps: Vec<LinkFlap>,
+    /// Faults on named cluster links (drop/reorder/flap), evaluated as
+    /// pure functions by the cluster network model — the simulator itself
+    /// never reads them.
+    pub link_faults: Vec<LinkFault>,
     /// Per-device ECC-error accumulation (degrade, then die).
     pub ecc: Vec<EccFault>,
     /// Restrict injection to submissions tagged with this tenant
@@ -460,6 +612,7 @@ impl FaultPlan {
             corruption: CorruptionFault::default(),
             device_deaths: Vec::new(),
             link_flaps: Vec::new(),
+            link_faults: Vec::new(),
             ecc: Vec::new(),
             scope_tenant: None,
         }
@@ -492,6 +645,12 @@ impl FaultPlan {
     /// Install a flapping link on one device.
     pub fn with_link_flap(mut self, flap: LinkFlap) -> Self {
         self.link_flaps.push(flap);
+        self
+    }
+
+    /// Install a fault on a named cluster link.
+    pub fn with_link_fault(mut self, fault: LinkFault) -> Self {
+        self.link_faults.push(fault);
         self
     }
 
@@ -534,6 +693,7 @@ impl FaultPlan {
             || self.corruption.enabled()
             || self.device_deaths.iter().any(DeviceDeath::enabled)
             || !self.link_flaps.is_empty()
+            || self.link_faults.iter().any(LinkFault::enabled)
             || self.ecc.iter().any(EccFault::enabled)
     }
 

@@ -24,7 +24,7 @@ pub use analysis::{HealthCounters, PrefetchCounters, RecoveryCounters, RunReport
 pub use config::{HostMemKind, KernelCost, MachineConfig};
 pub use fault::{
     CorruptionFault, CrashFault, DegradeWindow, DeviceDeath, EccFault, FaultPlan, FaultStats,
-    LinkFlap, LivelockFault, StreamStall, TransferFaults,
+    LinkFault, LinkFlap, LivelockFault, StreamStall, TransferFaults,
 };
 pub use hazard::{HazardCounters, HazardKind, HazardRecord};
 pub use kernel::KernelLaunch;

@@ -195,6 +195,11 @@ pub struct GpuSystem {
     sched: Scheduler,
     devices: Vec<DeviceState>,
     eng_host: EngineId,
+    /// The NIC receive engine, created lazily by the first
+    /// [`GpuSystem::net_deliver`] so single-node runs keep their engine
+    /// table (and trace layout) bit-identical to builds without the
+    /// cluster layer.
+    eng_nic: Option<EngineId>,
     host_clock: SimTime,
     /// The operation the host most recently blocked on (critical-path
     /// attribution of host stalls).
@@ -212,6 +217,7 @@ pub struct GpuSystem {
     bytes_h2d: u64,
     bytes_d2h: u64,
     bytes_p2p: u64,
+    bytes_net: u64,
     kernels_launched: u64,
     fault: FaultState,
     /// Transfer-integrity bookkeeping, shared with the data effects that
@@ -253,6 +259,7 @@ mod xk {
     pub const P2P: u64 = 4;
     pub const SALVAGE: u64 = 5;
     pub const UVM: u64 = 6;
+    pub const NET: u64 = 7;
 }
 
 impl GpuSystem {
@@ -310,6 +317,7 @@ impl GpuSystem {
             sched,
             devices,
             eng_host,
+            eng_nic: None,
             host_clock: SimTime::ZERO,
             last_block: None,
             dev: Vec::new(),
@@ -323,6 +331,7 @@ impl GpuSystem {
             bytes_h2d: 0,
             bytes_d2h: 0,
             bytes_p2p: 0,
+            bytes_net: 0,
             kernels_launched: 0,
             fault,
             integrity: Rc::new(RefCell::new(IntegrityBook::new())),
@@ -732,6 +741,76 @@ impl GpuSystem {
             None => true,
             Some(op) => self.sched.run_until(op) <= self.host_clock,
         }
+    }
+
+    /// The simulated completion time of one operation, without advancing
+    /// the host clock or creating a happens-before edge — the same
+    /// schedule-neutral lazy-execution probe as [`GpuSystem::stream_query`].
+    /// The cluster layer uses it to read a D2H's finish time as the send
+    /// timestamp of an outgoing network message.
+    pub fn op_completion(&mut self, op: OpId) -> SimTime {
+        self.sched.run_until(op)
+    }
+
+    /// The NIC receive engine, created on first use (capacity 1: one
+    /// message lands at a time, so concurrent arrivals queue — and, under
+    /// a schedule oracle, become decision points).
+    fn nic_engine(&mut self) -> EngineId {
+        match self.eng_nic {
+            Some(e) => e,
+            None => {
+                let e = self.sched.add_engine("nic", 1);
+                self.eng_nic = Some(e);
+                e
+            }
+        }
+    }
+
+    /// Deliver an incoming network message of `bytes` into host buffer
+    /// `dst`, stream-ordered on `stream` of *this* node.
+    ///
+    /// `arrival` is the wire arrival time computed by the cluster's network
+    /// model (flight time, contention, drops already folded in); `rx_time`
+    /// is how long the NIC occupies landing the payload. The op starts no
+    /// earlier than `arrival`, queues behind other arrivals on the
+    /// capacity-1 NIC engine, and carries a write footprint on `dst` — so
+    /// under a schedule oracle, racing arrivals are decision points and
+    /// DPOR sees deliveries to different buffers as independent. `effect`
+    /// scatters the payload (already snapshotted on the sending side) and
+    /// runs only when the platform is backed.
+    pub fn net_deliver(
+        &mut self,
+        stream: StreamId,
+        dst: HostBuffer,
+        bytes: u64,
+        arrival: SimTime,
+        rx_time: SimTime,
+        effect: impl FnOnce() + 'static,
+    ) -> OpId {
+        self.note_tenant_touch(BufKey::Host(dst.0));
+        let eng = self.nic_engine();
+        let deps = self.stream_deps(stream);
+        let label = self.xfer_label(xk::NET, bytes, || intern_fmt(format_args!("NET[{bytes}B]")));
+        let category = csym!("net");
+        let mut builder = Op::on(eng, rx_time)
+            .not_before(arrival.max(self.host_clock))
+            .host_cause(self.last_block)
+            .after_all(deps.iter().copied())
+            .label(label)
+            .category(category)
+            .touches(BufKey::Host(dst.0).resource_id(), true);
+        if self.data_effects {
+            builder = builder.effect(effect);
+        }
+        let op = self.sched.submit(builder);
+        self.push_stream_op(stream, op);
+        self.bytes_net += bytes;
+        self.record_access(op, BufKey::Host(dst.0), Access::Write, category);
+        let hb_buf = [(BufKey::Host(dst.0), Dir::Write)];
+        self.hazards
+            .observe_op(op, stream.0 + 1, &deps, label, category, &hb_buf, self.host_clock);
+        self.put_deps(deps);
+        op
     }
 
     /// Drop a zero-width annotation span on the host lane — visible in
@@ -1842,6 +1921,11 @@ impl GpuSystem {
     /// Total bytes moved device→device over the peer link so far.
     pub fn stats_bytes_p2p(&self) -> u64 {
         self.bytes_p2p
+    }
+
+    /// Total network-message bytes delivered into this node so far.
+    pub fn stats_bytes_net(&self) -> u64 {
+        self.bytes_net
     }
 
     /// Kernels launched so far.

@@ -6,10 +6,11 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
 
+use cluster::{Cluster, ClusterConfig};
 use desim::ScheduleOracle;
 use gpu_sim::{FaultPlan, GpuSystem, HostMemKind, KernelLaunch, MachineConfig};
 use kernels::{heat, init};
-use tida::{tiles_of, Decomposition, Domain, ExchangeMode, RegionSpec, TileArray, TileSpec};
+use tida::{tiles_of, Box3, Decomposition, Domain, ExchangeMode, RegionSpec, TileArray, TileSpec};
 use tida_acc::{AccOptions, SlotPolicy, TileAcc};
 
 use crate::control::ControlOracle;
@@ -419,4 +420,143 @@ pub fn heat_fused(cfg: FusedConfig) -> Program {
 /// The analytic golden field for [`heat_fused`].
 pub fn fused_golden(cfg: &FusedConfig) -> Vec<f64> {
     heat::golden_run(init::hash_field(cfg.seed), 16, cfg.steps, heat::DEFAULT_FAC)
+}
+
+/// One heat step on a two-node cluster over a closed 6³ domain split into
+/// three z-slabs (owner slots `[0, 0, 1]`): the smallest program whose
+/// halo exchange both genuinely crosses the wire (the region-1↔2
+/// interface) and shares per-node engines between regions (node 0 owns
+/// two). The 6×6×2 regions have no interior at ghost 1, so the step
+/// reduces to its exchange skeleton — per region a staging upload, ghost
+/// deliveries on the NIC engines, the grown re-upload, and one boundary
+/// kernel. Message arrivals are decision points like any other op, so the
+/// explorer enumerates network delivery orders alongside the stream
+/// interleavings.
+pub fn cluster_ghost() -> Program {
+    cluster_ghost_sized(6, 3)
+}
+
+/// [`cluster_ghost`] with the domain edge and region count exposed, for
+/// sizing the exhaustive-DFS space: `Count(k)` z-slabs of a closed `n`³
+/// domain, owners assigned contiguously over two nodes.
+pub fn cluster_ghost_sized(n: i64, regions: usize) -> Program {
+    Box::new(move |oracle| {
+        let decomp = Arc::new(Decomposition::new(
+            Domain::closed(Box3::cube(n)),
+            RegionSpec::Count(regions),
+        ));
+        let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+        let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+        ua.fill_valid(init::hash_field(11));
+
+        let mut cl = Cluster::new(ClusterConfig::new(2));
+        cl.set_tracing(true);
+        cl.set_hazard_checking(true);
+        cl.install_oracle(oracle as Rc<RefCell<dyn ScheduleOracle>>);
+
+        let a = cl.register(&ua);
+        let b = cl.register(&ub);
+        cl.step(b, a, None, heat::cost, "heat", |d, s, _aux, bx| {
+            heat::step_tile(d, s, &bx, heat::DEFAULT_FAC)
+        })
+        .unwrap();
+        cl.sync_to_host(b).unwrap();
+        let makespan = cl.finish();
+
+        let result = ub.to_dense().expect("backed run");
+        let digest = fnv_digest(&result);
+        RunOutcome {
+            digest,
+            result,
+            hazards: cl.hazard_total(),
+            integrity_detected: cl.integrity_detected(),
+            stats: None,
+            trace: cl.trace(),
+            decisions: Vec::new(),
+            makespan,
+        }
+    })
+}
+
+/// Knobs for the multi-step cluster heat program.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterHeatConfig {
+    pub seed: u64,
+    pub steps: usize,
+    pub nodes: usize,
+    /// Link-fault knob: message drop probability on every inter-node link
+    /// (0.0 = clean fabric). Retransmits shift delivery times — extra
+    /// schedule choice points the results must be invariant to.
+    pub drop_rate: f64,
+}
+
+impl Default for ClusterHeatConfig {
+    fn default() -> Self {
+        ClusterHeatConfig {
+            seed: 7,
+            steps: 3,
+            nodes: 2,
+            drop_rate: 0.0,
+        }
+    }
+}
+
+/// Multi-step periodic heat (n=8, 4 regions) on a simulated cluster: the
+/// full five-phase exchange protocol — stage-out, interior kernels,
+/// network deliveries, grown re-upload, boundary kernels — with every
+/// message arrival a schedule decision point. Every explored interleaving
+/// must reproduce [`cluster_heat_golden`] bit-for-bit.
+pub fn cluster_heat(cfg: ClusterHeatConfig) -> Program {
+    Box::new(move |oracle| {
+        let n = 8i64;
+        let decomp = Arc::new(Decomposition::new(
+            Domain::periodic_cube(n),
+            RegionSpec::Count(4),
+        ));
+        let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+        let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+        ua.fill_valid(init::hash_field(cfg.seed));
+
+        let mut plan = FaultPlan::none().with_seed(cfg.seed ^ 0x5A5A);
+        if cfg.drop_rate > 0.0 {
+            plan = plan.with_link_fault(cluster::LinkFault::on("*").drops(cfg.drop_rate));
+        }
+        let mut cl = Cluster::new(ClusterConfig::new(cfg.nodes).fault(plan));
+        cl.set_tracing(true);
+        cl.set_hazard_checking(true);
+        cl.install_oracle(oracle as Rc<RefCell<dyn ScheduleOracle>>);
+
+        let a = cl.register(&ua);
+        let b = cl.register(&ub);
+        let (mut src, mut dst) = (a, b);
+        for _ in 0..cfg.steps {
+            cl.step(dst, src, None, heat::cost, "heat", |d, s, _aux, bx| {
+                heat::step_tile(d, s, &bx, heat::DEFAULT_FAC)
+            })
+            .unwrap();
+            std::mem::swap(&mut src, &mut dst);
+        }
+        cl.sync_to_host(src).unwrap();
+        let makespan = cl.finish();
+
+        let result = if src == a { &ua } else { &ub }
+            .to_dense()
+            .expect("backed run");
+        let digest = fnv_digest(&result);
+        RunOutcome {
+            digest,
+            result,
+            hazards: cl.hazard_total(),
+            integrity_detected: cl.integrity_detected(),
+            stats: None,
+            trace: cl.trace(),
+            decisions: Vec::new(),
+            makespan,
+        }
+    })
+}
+
+/// The analytic golden field for [`cluster_heat`].
+pub fn cluster_heat_golden(cfg: &ClusterHeatConfig) -> Vec<f64> {
+    heat::golden_run(init::hash_field(cfg.seed), 8, cfg.steps, heat::DEFAULT_FAC)
 }

@@ -286,3 +286,124 @@ fn fused_steps_are_schedule_invariant_at_every_depth() {
         );
     }
 }
+
+/// Cluster tentpole, part 1 — the network is just another engine: on the
+/// two-node ghost-exchange skeleton (3 regions, owners [0,0,1], empty
+/// interiors) the op partial order collapses to one chain per node — 9
+/// ops on node 0, 8 on node 1, coupled only through message send/arrival
+/// edges that FIFO admission cannot reorder — so exhaustive DFS must
+/// enumerate exactly C(17,8) = 24310 global linearizations and declare
+/// the walk complete, with every one of them agreeing with the FIFO
+/// golden (zero hazards, zero integrity findings, identical digest).
+#[test]
+fn exhaustive_enumerates_cluster_ghost_schedules() {
+    let checker = Checker::new(programs::cluster_ghost(), CheckSpec::default());
+    let fifo = checker.run(&[], Fallback::Fifo);
+    assert_eq!(fifo.hazards, 0, "exchange protocol must be HB-clean");
+    assert_eq!(fifo.integrity_detected, 0);
+
+    let report = checker.explore(Strategy::Exhaustive {
+        max_schedules: 30_000,
+    });
+    assert!(report.complete, "budget must not be the reason we stopped");
+    assert!(
+        report.failure.is_none(),
+        "network interleaving divergence:\n{}",
+        report.failure.map(|f| f.render()).unwrap_or_default()
+    );
+    assert_eq!(
+        report.schedules, 24_310,
+        "C(17,8) interleavings of the two per-node op chains"
+    );
+    assert!(report.max_decision_points >= 8);
+}
+
+/// Cluster tentpole, part 2 — DPOR sees that almost all of those 24310
+/// interleavings commute (ops on different nodes touch disjoint memory
+/// unless a message edge orders them) and prunes to a tiny fraction,
+/// while reaching the same all-green verdict.
+#[test]
+fn cluster_dpor_prunes_message_orders_but_agrees() {
+    let report = Checker::new(programs::cluster_ghost(), CheckSpec::default()).explore(
+        Strategy::Dpor {
+            max_schedules: 30_000,
+        },
+    );
+    assert!(report.complete);
+    assert!(
+        report.failure.is_none(),
+        "{:?}",
+        report.failure.map(|f| f.render())
+    );
+    assert!(
+        report.schedules < 24_310,
+        "DPOR must beat the exhaustive count: {}",
+        report.schedules
+    );
+    assert!(
+        report.schedules >= 2,
+        "message send/arrival pairs are dependent; some orders must remain: {}",
+        report.schedules
+    );
+}
+
+/// The full multi-step cluster heat program (periodic 8³, 4 regions over
+/// 2 nodes, five-phase exchange each step) is schedule-invariant: every
+/// DPOR-explored interleaving of stream ops *and* network deliveries
+/// reproduces the analytic golden field bit-identically with zero
+/// hazards.
+#[test]
+fn cluster_heat_schedules_are_invariant_under_dpor() {
+    let cfg = programs::ClusterHeatConfig::default();
+    let checker = Checker::new(programs::cluster_heat(cfg), CheckSpec::default());
+
+    let fifo = checker.run(&[], Fallback::Fifo);
+    assert_eq!(
+        fifo.result,
+        programs::cluster_heat_golden(&cfg),
+        "golden run vs analytic field"
+    );
+    assert_eq!(fifo.hazards, 0);
+    assert_eq!(fifo.integrity_detected, 0);
+
+    let report = checker.explore(Strategy::Dpor { max_schedules: 25 });
+    assert!(
+        report.failure.is_none(),
+        "schedule-dependent behaviour in cluster heat:\n{}",
+        report.failure.map(|f| f.render()).unwrap_or_default()
+    );
+    assert!(
+        report.schedules >= 5,
+        "the walk must actually explore: {}",
+        report.schedules
+    );
+    assert!(report.max_decision_points > 0);
+}
+
+/// Random-walk tier over a lossy fabric: link drops shift deliveries by
+/// retransmit timeouts, adding timing-only choice points; the results
+/// must stay bit-identical to the clean-fabric golden on every sampled
+/// schedule.
+#[test]
+fn cluster_heat_with_link_drops_survives_random_walks() {
+    let cfg = programs::ClusterHeatConfig {
+        drop_rate: 0.3,
+        ..programs::ClusterHeatConfig::default()
+    };
+    let checker = Checker::new(programs::cluster_heat(cfg), CheckSpec::default());
+    let fifo = checker.run(&[], Fallback::Fifo);
+    assert_eq!(
+        fifo.result,
+        programs::cluster_heat_golden(&cfg),
+        "drops may delay ghosts but never change them"
+    );
+    let report = checker.explore(Strategy::RandomWalk {
+        seed: 0xD0_5EED,
+        budget: 8,
+    });
+    assert!(
+        report.failure.is_none(),
+        "lossy-fabric schedule divergence:\n{}",
+        report.failure.map(|f| f.render()).unwrap_or_default()
+    );
+}

@@ -238,6 +238,117 @@ fn out_of_core_staging_conforms_to_in_core() {
 }
 
 // ---------------------------------------------------------------------------
+// Program 4: the cluster runtime — 1-node Cluster vs MultiAcc vs TileAcc
+// ---------------------------------------------------------------------------
+
+/// A one-node cluster is just another execution model and must conform
+/// like the rest: bitwise-identical heat and Jacobi grids (against the
+/// other runtimes and the analytic solvers), the counter floors, and
+/// trace-parsed transfer payloads summing exactly to the byte counters.
+#[test]
+fn cluster_conforms_across_implementations() {
+    // Heat: Cluster(1 node) vs TileAcc vs MultiAcc(1 device).
+    let clu = baselines::cluster_heat(&cfg(), N, STEPS, REGIONS, 1, true, true);
+    let tida = tida_heat(
+        &cfg(),
+        N,
+        STEPS,
+        &TidaOpts::validated(REGIONS).with_tracing(),
+    );
+    let multi = tida_heat_multi(&cfg(), N, STEPS, REGIONS, 1, true);
+    assert_same_result(&clu, &tida);
+    assert_same_result(&clu, &multi);
+    assert_eq!(
+        clu.result.as_ref().unwrap(),
+        &support::heat_golden(11, N, STEPS as u64),
+        "cluster execution diverged from the analytic solution"
+    );
+    assert_counter_floor(&clu);
+    assert_trace_matches_counters(&clu);
+    // The stencil schedule is intact: at least one launch per region per
+    // step (the exchange-protocol shell kernels may add more).
+    assert!(clu.kernels >= (STEPS * REGIONS) as u64);
+
+    // Jacobi: the two-operand path, rhs riding as the aux operand.
+    let sweeps = 3;
+    let cj = baselines::cluster_jacobi(&cfg(), N, sweeps, REGIONS, 1, true, true);
+    let tj = tida_jacobi(
+        &cfg(),
+        N,
+        sweeps,
+        &TidaOpts::validated(REGIONS).with_tracing(),
+    );
+    assert_same_result(&cj, &tj);
+    assert_eq!(
+        cj.result.as_ref().unwrap(),
+        &jacobi::golden_run(&jacobi::manufactured_rhs(N), N, sweeps),
+        "cluster jacobi diverged from the analytic solution"
+    );
+    assert_counter_floor(&cj);
+    assert_trace_matches_counters(&cj);
+}
+
+/// On two nodes the same accounting discipline must extend to the wire:
+/// the NET spans parsed back out of the merged trace sum to exactly the
+/// runtime's network byte counter, which in turn equals the link model's
+/// own ledger — and the PCIe counters still reconcile with the trace.
+#[test]
+fn cluster_wire_accounting_matches_trace() {
+    use cluster::{Cluster, ClusterConfig};
+    use kernels::heat;
+    use tida::{Decomposition, Domain, ExchangeMode, RegionSpec, TileArray};
+
+    let decomp = std::sync::Arc::new(Decomposition::new(
+        Domain::periodic_cube(N),
+        RegionSpec::Count(REGIONS),
+    ));
+    let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+    let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+    ua.fill_valid(kernels::init::hash_field(11));
+
+    let mut cl = Cluster::new(ClusterConfig::new(2).machine(cfg()));
+    cl.set_tracing(true);
+    let a = cl.register(&ua);
+    let b = cl.register(&ub);
+    let (mut src, mut dst) = (a, b);
+    for _ in 0..STEPS {
+        cl.step(dst, src, None, heat::cost, "heat", |d, s, _aux, bx| {
+            heat::step_tile(d, s, &bx, heat::DEFAULT_FAC)
+        })
+        .unwrap();
+        std::mem::swap(&mut src, &mut dst);
+    }
+    cl.sync_to_host(src).unwrap();
+    cl.finish();
+
+    let trace = cl.trace();
+    assert!(
+        cl.bytes_net() > 0,
+        "a 2-node run must put ghosts on the wire"
+    );
+    assert_eq!(
+        baselines::net_bytes_from_trace(&trace),
+        cl.bytes_net(),
+        "trace NET payloads disagree with the network byte counter"
+    );
+    assert_eq!(
+        cl.bytes_net(),
+        cl.net_stats().bytes(),
+        "runtime and link-model ledgers disagree"
+    );
+    let (h2d, d2h) = support::transfer_bytes_from_trace(&trace);
+    assert_eq!(h2d, cl.bytes_h2d(), "merged-trace H2D accounting broke");
+    assert_eq!(d2h, cl.bytes_d2h(), "merged-trace D2H accounting broke");
+
+    // And the result is still the analytic golden, of course.
+    let final_array = if src == a { &ua } else { &ub };
+    assert_eq!(
+        final_array.to_dense().unwrap(),
+        support::heat_golden(11, N, STEPS as u64)
+    );
+}
+
+// ---------------------------------------------------------------------------
 // Schedule-space tie-in: the conformance programs are schedule-invariant
 // ---------------------------------------------------------------------------
 

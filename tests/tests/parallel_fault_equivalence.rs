@@ -140,6 +140,102 @@ fn faulted_heat_batches_are_outcome_identical_across_thread_counts() {
     }
 }
 
+/// Same claim for the multi-node runtime: whole cluster simulations —
+/// network model, link faults, node deaths and failover included — reduce
+/// to a fingerprint (result digest, virtual time, accelerator stats, wire
+/// counters, recovery count) that must be bit-identical whatever thread
+/// count the driver uses.
+fn cluster_fingerprint(nodes: usize, plan: FaultPlan) -> String {
+    use cluster::{Cluster, ClusterConfig, ClusterError};
+
+    let decomp = Arc::new(Decomposition::new(
+        Domain::periodic_cube(N),
+        RegionSpec::Count(4),
+    ));
+    let ua = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+    let ub = TileArray::new(decomp.clone(), 1, ExchangeMode::Faces, true);
+    ua.fill_valid(init::hash_field(7));
+    let mut cl = Cluster::new(ClusterConfig::new(nodes).fault(plan));
+    let ids = [cl.register(&ua), cl.register(&ub)];
+    let ck = cl.checkpoint(0).expect("pristine checkpoint");
+    let mut s = 0u64;
+    let mut recoveries = 0u64;
+    while s < STEPS as u64 {
+        let (src, dst) = (ids[(s % 2) as usize], ids[((s + 1) % 2) as usize]);
+        match cl.step(dst, src, None, heat::cost, "heat", |d, s, _aux, bx| {
+            heat::step_tile(d, s, &bx, heat::DEFAULT_FAC)
+        }) {
+            Ok(()) => s += 1,
+            Err(ClusterError::NodeLost { .. }) | Err(ClusterError::Crashed { .. }) => {
+                recoveries += 1;
+                assert!(recoveries <= 8, "failover livelock");
+                s = cl.failover(&ck).expect("survivors remain");
+            }
+            Err(e) => panic!("unexpected cluster error: {e}"),
+        }
+    }
+    cl.sync_to_host(ids[(s % 2) as usize]).unwrap();
+    let elapsed = cl.finish();
+    let result = if s % 2 == 0 { &ua } else { &ub }
+        .to_dense()
+        .expect("backed run");
+    format!(
+        "digest={:016x} elapsed={:?} stats={:?} net={:?} recoveries={}",
+        fnv1a64_f64s(&result),
+        elapsed,
+        cl.stats(),
+        cl.net_stats(),
+        recoveries,
+    )
+}
+
+/// One cluster job per fault class: clean fabric on one and three nodes,
+/// lossy and reordering links, and a mid-run node death with failover.
+fn cluster_plans() -> Vec<(usize, FaultPlan)> {
+    use cluster::LinkFault;
+    vec![
+        (1, FaultPlan::none()),
+        (3, FaultPlan::none()),
+        (
+            2,
+            FaultPlan::none()
+                .with_seed(31)
+                .with_link_fault(LinkFault::on("*").drops(0.4)),
+        ),
+        (
+            2,
+            FaultPlan::none()
+                .with_seed(32)
+                .with_link_fault(LinkFault::on("*").reorders(0.4, SimTime::from_us(25))),
+        ),
+        (
+            2,
+            FaultPlan::none()
+                .with_seed(33)
+                .with_device_death(gpu_sim::DeviceDeath::at_transfer(1, 2)),
+        ),
+    ]
+}
+
+#[test]
+fn faulted_cluster_batches_are_outcome_identical_across_thread_counts() {
+    let reference: Vec<String> = cluster_plans()
+        .into_iter()
+        .map(|(nodes, plan)| cluster_fingerprint(nodes, plan))
+        .collect();
+    for threads in [1usize, 2, 4] {
+        let jobs: Vec<_> = cluster_plans()
+            .into_iter()
+            .map(|(nodes, plan)| move || cluster_fingerprint(nodes, plan))
+            .collect();
+        let got = ParallelDriver::new(threads).run(jobs);
+        assert_eq!(
+            got, reference,
+            "a {threads}-thread driver must reproduce the serial cluster outcomes"
+        );
+    }
+}
+
 /// Same claim one layer up: whole multi-tenant serving runtimes — each
 /// with its own fault plan, including tenant-scoped ones — run through the
 /// driver and must be placement-independent too.
